@@ -1,0 +1,379 @@
+//! One bench per table and figure of the paper: each regenerates and
+//! prints the rows/series the paper reports (once), then times the
+//! extraction over the shared corpus simulation.
+//!
+//! Run with `cargo bench -p turb-bench --bench figures`; the printed
+//! blocks are the paper-vs-measured data recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+use turb_bench::corpus;
+use turbulence::report;
+use turbulence::{figures, tables};
+
+/// Print each figure's data exactly once per bench run.
+fn print_once(tag: &'static str, body: impl FnOnce() -> String) {
+    // One static per call site would be nicer; a map keyed by tag
+    // keeps this simple for a bench harness.
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    static PRINTED: Mutex<Option<HashSet<&'static str>>> = Mutex::new(None);
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        *PRINTED.lock().expect("poisoned") = Some(HashSet::new());
+    });
+    let mut guard = PRINTED.lock().expect("poisoned");
+    let set = guard.as_mut().expect("initialised");
+    if set.insert(tag) {
+        println!("\n===== {tag} =====");
+        println!("{}", body());
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once("Table 1: experiment data sets (configured vs measured)", || {
+        let rows: Vec<Vec<String>> = tables::table1_measured(corpus)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.set.to_string(),
+                    r.label.clone(),
+                    format!("{:.1}/{:.1}", r.real_encoded, r.wmp_encoded),
+                    format!(
+                        "{:.1}/{:.1}",
+                        r.real_measured.unwrap_or(f64::NAN),
+                        r.wmp_measured.unwrap_or(f64::NAN)
+                    ),
+                    r.content.to_string(),
+                    format!("{:.0}s", r.duration_secs),
+                ]
+            })
+            .collect();
+        report::table(
+            "",
+            &["set", "pair", "encoded R/M (Kbps)", "measured R/M (Kbps)", "content", "len"],
+            &rows,
+        )
+    });
+    c.bench_function("table1_measured", |b| {
+        b.iter(|| black_box(tables::table1_measured(corpus)))
+    });
+}
+
+fn bench_fig01(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once("Figure 1: CDF of RTT (paper: median 40 ms, max 160 ms)", || {
+        report::cdf_quantiles("", &figures::fig01_rtt_cdf(corpus), "ms")
+    });
+    c.bench_function("fig01_rtt_cdf", |b| {
+        b.iter(|| black_box(figures::fig01_rtt_cdf(corpus)))
+    });
+}
+
+fn bench_fig02(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 2: CDF of hop count (paper: most sites 15-20, range 10-30)",
+        || report::cdf_quantiles("", &figures::fig02_hops_cdf(corpus), "hops"),
+    );
+    c.bench_function("fig02_hops_cdf", |b| {
+        b.iter(|| black_box(figures::fig02_hops_cdf(corpus)))
+    });
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 3: avg playback vs encoding rate (paper: Real above y=x, WMP on it)",
+        || {
+            let fig = figures::fig03_playback_vs_encoding(corpus);
+            let mut out = report::scatter("RealPlayer", "encoded", "playback", &fig.real_points);
+            out.push_str(&report::scatter(
+                "MediaPlayer",
+                "encoded",
+                "playback",
+                &fig.wmp_points,
+            ));
+            out.push_str(&format!(
+                "Real trend:  {:?}\nWMP trend:   {:?}\n",
+                fig.real_fit.coeffs, fig.wmp_fit.coeffs
+            ));
+            for x in [50.0, 150.0, 300.0, 600.0] {
+                out.push_str(&format!(
+                    "  at {x:>5.0} Kbps: Real fit {:.1}, WMP fit {:.1} (y=x: {x:.1})\n",
+                    fig.real_fit.eval(x),
+                    fig.wmp_fit.eval(x)
+                ));
+            }
+            out
+        },
+    );
+    c.bench_function("fig03_playback_vs_encoding", |b| {
+        b.iter(|| black_box(figures::fig03_playback_vs_encoding(corpus)))
+    });
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 4: packet arrivals vs time, set 5 high, 30-31 s (paper: WMP fragment trains, Real staircase)",
+        || report::series_digest("", &figures::fig04_packet_arrivals(corpus), 12),
+    );
+    c.bench_function("fig04_packet_arrivals", |b| {
+        b.iter(|| black_box(figures::fig04_packet_arrivals(corpus)))
+    });
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 5: WMP fragmentation vs encoded rate (paper: 0% <100K, 66% @300K, ~80% @731K)",
+        || report::scatter("", "encoded Kbps", "fragment fraction", &figures::fig05_fragmentation(corpus)),
+    );
+    c.bench_function("fig05_fragmentation", |b| {
+        b.iter(|| black_box(figures::fig05_fragmentation(corpus)))
+    });
+}
+
+fn pdf_digest(pair: &figures::PdfPair) -> String {
+    let fmt = |pdf: &turb_stats::Pdf, label: &str| -> String {
+        let mode = pdf.mode();
+        let support = pdf.support_above(0.004);
+        format!("  {label}: mode {mode:.3}, support>{:.3} = {support:?}\n", 0.004)
+    };
+    let mut out = fmt(&pair.real, "Real");
+    out.push_str(&fmt(&pair.wmp, "WMP "));
+    out
+}
+
+fn bench_fig06(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 6: packet-size PDF, set 1 low (paper: WMP 80% within 800-1000B, Real spread)",
+        || {
+            let pair = figures::fig06_pktsize_pdf(corpus);
+            let mut out = pdf_digest(&pair);
+            out.push_str(&format!(
+                "  WMP mass within 800-1000 B: {:.2}\n",
+                pair.wmp.mass_within(800.0, 1000.0)
+            ));
+            out
+        },
+    );
+    c.bench_function("fig06_pktsize_pdf", |b| {
+        b.iter(|| black_box(figures::fig06_pktsize_pdf(corpus)))
+    });
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 7: normalised size PDF, all sets (paper: WMP at 1, Real 0.6-1.8)",
+        || pdf_digest(&figures::fig07_pktsize_norm_pdf(corpus)),
+    );
+    c.bench_function("fig07_pktsize_norm_pdf", |b| {
+        b.iter(|| black_box(figures::fig07_pktsize_norm_pdf(corpus)))
+    });
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 8: interarrival PDF, set 1 low (paper: WMP constant, Real wide)",
+        || pdf_digest(&figures::fig08_interarrival_pdf(corpus)),
+    );
+    c.bench_function("fig08_interarrival_pdf", |b| {
+        b.iter(|| black_box(figures::fig08_interarrival_pdf(corpus)))
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 9: normalised interarrival CDF (paper: WMP step at 1, Real gradual over 0-3)",
+        || {
+            let pair = figures::fig09_interarrival_cdf(corpus);
+            let mut out = report::cdf_quantiles("Real", &pair.real, "x mean");
+            out.push_str(&report::cdf_quantiles("WMP", &pair.wmp, "x mean"));
+            out.push_str(&format!(
+                "WMP mass within [0.9,1.1]: {:.2}; Real: {:.2}\n",
+                pair.wmp.eval(1.1) - pair.wmp.eval(0.9),
+                pair.real.eval(1.1) - pair.real.eval(0.9),
+            ));
+            out
+        },
+    );
+    c.bench_function("fig09_interarrival_cdf", |b| {
+        b.iter(|| black_box(figures::fig09_interarrival_cdf(corpus)))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 10: bandwidth vs time, set 1 (paper: Real bursts then settles and ends early; WMP flat)",
+        || report::series_digest("", &figures::fig10_bandwidth_timeseries(corpus), 8),
+    );
+    c.bench_function("fig10_bandwidth_timeseries", |b| {
+        b.iter(|| black_box(figures::fig10_bandwidth_timeseries(corpus)))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 11: Real buffering/playout ratio vs encoding rate (paper: ~3 at <56K falling to ~1 at 637K)",
+        || report::scatter("", "encoded Kbps", "ratio", &figures::fig11_buffering_ratio(corpus)),
+    );
+    c.bench_function("fig11_buffering_ratio", |b| {
+        b.iter(|| black_box(figures::fig11_buffering_ratio(corpus)))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 12: network vs app receipt, set 5 high WMP (paper: OS every 100 ms, app batches of ~10 per second)",
+        || {
+            let fig = figures::fig12_app_vs_net(corpus);
+            format!(
+                "  network events in window: {}\n  app deliveries in window: {} across {} release instants\n",
+                fig.network.len(),
+                fig.app.len(),
+                {
+                    let mut t: Vec<f64> = fig.app.iter().map(|(t, _)| *t).collect();
+                    t.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+                    t.len()
+                }
+            )
+        },
+    );
+    c.bench_function("fig12_app_vs_net", |b| {
+        b.iter(|| black_box(figures::fig12_app_vs_net(corpus)))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 13: frame rate vs time, set 5 (paper: high pairs 25 fps; WMP 39K at 13 fps; Real 22K higher)",
+        || report::series_digest("", &figures::fig13_framerate_timeseries(corpus), 6),
+    );
+    c.bench_function("fig13_framerate_timeseries", |b| {
+        b.iter(|| black_box(figures::fig13_framerate_timeseries(corpus)))
+    });
+}
+
+fn framerate_digest(fig: &figures::FrameRateFigure) -> String {
+    let fmt = |classes: &[(f64, turb_stats::Summary)], label: &str| -> String {
+        let rows: Vec<Vec<String>> = classes
+            .iter()
+            .map(|(x, s)| {
+                vec![
+                    format!("{x:.1}"),
+                    format!("{:.1}", s.mean),
+                    format!("±{:.2}", s.std_err),
+                ]
+            })
+            .collect();
+        report::table(label, &["x", "fps", "stderr"], &rows)
+    };
+    let mut out = fmt(&fig.real_classes, "RealPlayer (low/high/very-high)");
+    out.push_str(&fmt(&fig.wmp_classes, "MediaPlayer (low/high/very-high)"));
+    out
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 14: frame rate vs encoding rate (paper: WMP below Real at low rates, equal at high)",
+        || framerate_digest(&figures::fig14_framerate_vs_encoding(corpus)),
+    );
+    c.bench_function("fig14_framerate_vs_encoding", |b| {
+        b.iter(|| black_box(figures::fig14_framerate_vs_encoding(corpus)))
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Figure 15: frame rate vs playout bandwidth (paper: Real higher fps for the same bandwidth)",
+        || framerate_digest(&figures::fig15_framerate_vs_bandwidth(corpus)),
+    );
+    c.bench_function("fig15_framerate_vs_bandwidth", |b| {
+        b.iter(|| black_box(figures::fig15_framerate_vs_bandwidth(corpus)))
+    });
+}
+
+fn bench_sec4(c: &mut Criterion) {
+    let corpus = corpus();
+    print_once(
+        "Section IV: synthetic flow generation validated against fitted distributions",
+        || {
+            let rows: Vec<Vec<String>> = figures::sec4_flowgen_validation(corpus, 42)
+                .iter()
+                .map(|(label, r)| {
+                    vec![
+                        label.clone(),
+                        format!("{:.3}", r.ks_sizes),
+                        format!("{:.3}", r.ks_gaps),
+                        format!("{:.4}", r.q_err_sizes),
+                        format!("{:.4}", r.q_err_gaps),
+                        format!("{:.2}", r.measured_ratio),
+                        r.passes(0.1).to_string(),
+                    ]
+                })
+                .collect();
+            report::table(
+                "",
+                &["clip", "KS sizes", "KS gaps", "qerr sizes", "qerr gaps", "ratio", "pass"],
+                &rows,
+            )
+        },
+    );
+    c.bench_function("sec4_flowgen_validation", |b| {
+        b.iter(|| black_box(figures::sec4_flowgen_validation(corpus, 42)))
+    });
+}
+
+/// End-to-end: how long one full pair run takes (the simulation itself,
+/// not just the analysis).
+fn bench_pair_run(c: &mut Criterion) {
+    let sets = turb_media::corpus::table1();
+    let pair = sets[1].pair(turb_media::RateClass::Low).unwrap().clone();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("pair_run_set2_low_39s_clip", |b| {
+        b.iter(|| {
+            black_box(turbulence::run_pair(&turbulence::PairRunConfig::new(
+                9, 2, pair.clone(),
+            )))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures_benches,
+    bench_table1,
+    bench_fig01,
+    bench_fig02,
+    bench_fig03,
+    bench_fig04,
+    bench_fig05,
+    bench_fig06,
+    bench_fig07,
+    bench_fig08,
+    bench_fig09,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+    bench_sec4,
+    bench_pair_run,
+);
+criterion_main!(figures_benches);

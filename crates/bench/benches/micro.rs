@@ -1,0 +1,215 @@
+//! Micro-benchmarks of the substrates: wire codecs, fragmentation,
+//! the event queue, sniffer filtering, and statistics kernels.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use turb_netsim::prelude::*;
+use turb_wire::frag::{fragment, Reassembler};
+use turb_wire::ipv4::{IpProtocol, Ipv4Packet};
+use turb_wire::udp::UdpDatagram;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(204, 71, 0, 33);
+const DST: Ipv4Addr = Ipv4Addr::new(130, 215, 36, 10);
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1480];
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("internet_checksum_1480B", |b| {
+        b.iter(|| black_box(turb_wire::checksum::checksum(black_box(&data))))
+    });
+    group.finish();
+}
+
+fn bench_ipv4_roundtrip(c: &mut Criterion) {
+    let packet = Ipv4Packet::new(SRC, DST, IpProtocol::Udp, 7, Bytes::from(vec![1u8; 1400]));
+    let encoded = packet.encode().unwrap();
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("ipv4_encode_1400B", |b| {
+        b.iter(|| black_box(packet.encode().unwrap()))
+    });
+    group.bench_function("ipv4_decode_1400B", |b| {
+        b.iter(|| black_box(Ipv4Packet::decode(black_box(&encoded)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_udp_roundtrip(c: &mut Criterion) {
+    let datagram = UdpDatagram::new(1755, 7000, Bytes::from(vec![2u8; 1400]));
+    let encoded = datagram.encode(SRC, DST).unwrap();
+    c.bench_function("wire/udp_encode_decode_1400B", |b| {
+        b.iter(|| {
+            let e = datagram.encode(SRC, DST).unwrap();
+            black_box(UdpDatagram::decode(&e, SRC, DST).unwrap())
+        })
+    });
+    black_box(encoded);
+}
+
+fn bench_fragmentation(c: &mut Criterion) {
+    // The paper's very-high-rate case: a 9149-byte datagram → 7 frames.
+    let packet = Ipv4Packet::new(SRC, DST, IpProtocol::Udp, 7, Bytes::from(vec![3u8; 9141]));
+    c.bench_function("wire/fragment_9141B_into_7", |b| {
+        b.iter(|| black_box(fragment(black_box(packet.clone()), 1500).unwrap()))
+    });
+    let frags = fragment(packet, 1500).unwrap();
+    c.bench_function("wire/reassemble_7_fragments", |b| {
+        b.iter(|| {
+            let mut r = Reassembler::new(u64::MAX);
+            let mut out = None;
+            for f in &frags {
+                out = r.push(f.clone(), 0);
+            }
+            black_box(out.unwrap())
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    // Raw engine throughput: two hosts ping-ponging timers.
+    struct Ticker {
+        remaining: u32,
+    }
+    impl Application for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer_after(SimDuration::from_micros(10), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.set_timer_after(SimDuration::from_micros(10), 0);
+            }
+        }
+    }
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(20);
+    group.bench_function("engine_100k_timer_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let node = sim.add_host("t", Ipv4Addr::new(10, 0, 0, 1));
+            sim.add_app(node, Box::new(Ticker { remaining: 100_000 }), None, false);
+            sim.run_to_idle(SimTime(u64::MAX));
+            black_box(sim.now())
+        })
+    });
+    group.finish();
+}
+
+fn bench_link_throughput(c: &mut Criterion) {
+    // Saturate a simulated link with datagrams end to end.
+    struct Blaster {
+        peer: Ipv4Addr,
+        remaining: u32,
+    }
+    impl Application for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer_after(SimDuration::from_micros(100), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send_udp(5000, self.peer, 6000, Bytes::from_static(&[0u8; 1000]));
+                ctx.set_timer_after(SimDuration::from_micros(900), 0);
+            }
+        }
+    }
+    struct Sink;
+    impl Application for Sink {}
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+    group.bench_function("udp_10k_packets_end_to_end", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let a = sim.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
+            let z = sim.add_host("z", Ipv4Addr::new(10, 0, 0, 2));
+            let (az, za) = sim.add_duplex(
+                a,
+                z,
+                LinkConfig::ethernet_10m(SimDuration::from_millis(1)),
+            );
+            sim.core_mut().node_mut(a).default_route = Some(az);
+            sim.core_mut().node_mut(z).default_route = Some(za);
+            sim.add_app(
+                a,
+                Box::new(Blaster {
+                    peer: Ipv4Addr::new(10, 0, 0, 2),
+                    remaining: 10_000,
+                }),
+                None,
+                false,
+            );
+            sim.add_app(z, Box::new(Sink), Some(6000), false);
+            sim.run_to_idle(SimTime(u64::MAX));
+            black_box(sim.node_stats(z).udp_delivered)
+        })
+    });
+    group.finish();
+}
+
+fn bench_capture_filter(c: &mut Criterion) {
+    use turb_capture::record::PacketRecord;
+    use turb_capture::{Capture, Filter};
+    // A 50k-record capture, mixed traffic.
+    let mut capture = Capture::default();
+    for i in 0..50_000u32 {
+        let payload = Bytes::from(vec![0u8; 100 + (i % 1200) as usize]);
+        let udp = UdpDatagram::new(1755, if i % 2 == 0 { 7000 } else { 7002 }, payload)
+            .encode(SRC, DST)
+            .unwrap();
+        let packet = Ipv4Packet::new(SRC, DST, IpProtocol::Udp, i as u16, udp);
+        capture.push_record(PacketRecord::dissect(
+            turb_netsim::SimTime(u64::from(i) * 1_000_000),
+            Direction::Rx,
+            &packet,
+        ));
+    }
+    let filter = Filter::stream_from(SRC).and(Filter::PortIs(7000));
+    let mut group = c.benchmark_group("capture");
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("filter_50k_records", |b| {
+        b.iter(|| black_box(capture.filtered(black_box(&filter)).len()))
+    });
+    group.bench_function("fragment_groups_50k_records", |b| {
+        b.iter(|| {
+            black_box(
+                turb_capture::FragmentGroups::build(capture.records().iter())
+                    .stats()
+                    .total_packets,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_stats_kernels(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..100_000).map(|i| (i as f64 * 0.7919) % 1500.0).collect();
+    let mut group = c.benchmark_group("stats");
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    group.bench_function("cdf_build_100k", |b| {
+        b.iter(|| black_box(turb_stats::Cdf::from_samples(black_box(&samples))))
+    });
+    group.bench_function("pdf_build_100k", |b| {
+        b.iter(|| black_box(turb_stats::Pdf::from_samples(&samples, 0.0, 1500.0, 80)))
+    });
+    let points: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, i as f64 * 1.08)).collect();
+    group.bench_function("polyfit_deg2_1k_points", |b| {
+        b.iter(|| black_box(turb_stats::polyfit(black_box(&points), 2).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_checksum,
+    bench_ipv4_roundtrip,
+    bench_udp_roundtrip,
+    bench_fragmentation,
+    bench_event_queue,
+    bench_link_throughput,
+    bench_capture_filter,
+    bench_stats_kernels,
+);
+criterion_main!(micro);

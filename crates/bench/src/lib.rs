@@ -1,0 +1,21 @@
+//! Shared helpers for the benchmark harness.
+
+use std::sync::OnceLock;
+use turbulence::CorpusResult;
+
+/// The full 26-clip corpus, simulated once per bench binary and shared
+/// by every figure bench in it. Seed 42 matches EXPERIMENTS.md.
+pub fn corpus() -> &'static CorpusResult {
+    static CORPUS: OnceLock<CorpusResult> = OnceLock::new();
+    CORPUS.get_or_init(|| turbulence::runner::run_corpus_parallel(42))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn corpus_builds_once_and_is_complete() {
+        let c = super::corpus();
+        assert_eq!(c.runs.len(), 13);
+        assert!(std::ptr::eq(c, super::corpus()));
+    }
+}

@@ -1,0 +1,216 @@
+//! Display filters over captured packets, in the spirit of Ethereal's
+//! filter language but as a typed combinator tree.
+
+use crate::record::PacketRecord;
+use std::net::Ipv4Addr;
+use turb_netsim::Direction;
+use turb_wire::ipv4::IpProtocol;
+use turb_wire::media::PlayerId;
+
+/// A display-filter predicate.
+#[derive(Debug, Clone)]
+pub enum Filter {
+    /// Match everything.
+    All,
+    /// UDP packets (including fragments of UDP datagrams).
+    Udp,
+    /// ICMP packets.
+    Icmp,
+    /// Packets travelling the given direction relative to the tap.
+    Dir(Direction),
+    /// Source address equals.
+    SrcIs(Ipv4Addr),
+    /// Destination address equals.
+    DstIs(Ipv4Addr),
+    /// Either endpoint equals.
+    HostIs(Ipv4Addr),
+    /// UDP source or destination port equals (never matches
+    /// continuation fragments, which carry no ports).
+    PortIs(u16),
+    /// Any IP fragment (MF or offset ≠ 0) — Ethereal's `ip.flags.mf or
+    /// ip.frag_offset > 0`.
+    Fragments,
+    /// Fragments other than the first (no L4 header visible).
+    ContinuationFragments,
+    /// Packets carrying a visible media header from the given player.
+    Player(PlayerId),
+    /// Wire length at least this many bytes.
+    MinWireLen(usize),
+    /// Both sub-filters match.
+    And(Box<Filter>, Box<Filter>),
+    /// Either sub-filter matches.
+    Or(Box<Filter>, Box<Filter>),
+    /// Sub-filter does not match.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// `self and other`.
+    pub fn and(self, other: Filter) -> Filter {
+        Filter::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self or other`.
+    pub fn or(self, other: Filter) -> Filter {
+        Filter::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `not self`.
+    pub fn negate(self) -> Filter {
+        Filter::Not(Box::new(self))
+    }
+
+    /// Received by the tapped node.
+    pub fn direction_rx() -> Filter {
+        Filter::Dir(Direction::Rx)
+    }
+
+    /// Sent by the tapped node.
+    pub fn direction_tx() -> Filter {
+        Filter::Dir(Direction::Tx)
+    }
+
+    /// The paper's per-stream filter: UDP arriving from this server.
+    pub fn stream_from(server: Ipv4Addr) -> Filter {
+        Filter::Udp
+            .and(Filter::direction_rx())
+            .and(Filter::SrcIs(server))
+    }
+
+    /// Evaluate against one record.
+    pub fn matches(&self, r: &PacketRecord) -> bool {
+        match self {
+            Filter::All => true,
+            Filter::Udp => r.protocol == IpProtocol::Udp,
+            Filter::Icmp => r.protocol == IpProtocol::Icmp,
+            Filter::Dir(d) => r.direction == *d,
+            Filter::SrcIs(a) => r.src == *a,
+            Filter::DstIs(a) => r.dst == *a,
+            Filter::HostIs(a) => r.src == *a || r.dst == *a,
+            Filter::PortIs(p) => r.ports.is_some_and(|(s, d)| s == *p || d == *p),
+            Filter::Fragments => r.is_fragment(),
+            Filter::ContinuationFragments => r.is_fragment() && !r.is_first_fragment(),
+            Filter::Player(p) => r.media.is_some_and(|m| m.player == *p),
+            Filter::MinWireLen(n) => r.wire_len >= *n,
+            Filter::And(a, b) => a.matches(r) && b.matches(r),
+            Filter::Or(a, b) => a.matches(r) || b.matches(r),
+            Filter::Not(f) => !f.matches(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use turb_netsim::SimTime;
+    use turb_wire::frag::fragment;
+    use turb_wire::ipv4::Ipv4Packet;
+    use turb_wire::media::MediaHeader;
+    use turb_wire::udp::UdpDatagram;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(204, 71, 0, 33);
+    const DST: Ipv4Addr = Ipv4Addr::new(130, 215, 36, 10);
+
+    fn udp_record(padding: usize, player: PlayerId) -> PacketRecord {
+        let header = MediaHeader {
+            player,
+            sequence: 0,
+            frame_number: 0,
+            media_time_ms: 0,
+            buffering: false,
+        };
+        let udp = UdpDatagram::new(1755, 7000, header.encode_with_padding(padding))
+            .encode(SRC, DST)
+            .unwrap();
+        let p = Ipv4Packet::new(SRC, DST, IpProtocol::Udp, 5, udp);
+        PacketRecord::dissect(SimTime(0), Direction::Rx, &p)
+    }
+
+    fn icmp_record() -> PacketRecord {
+        let p = Ipv4Packet::new(DST, SRC, IpProtocol::Icmp, 5, Bytes::from_static(&[0; 8]));
+        PacketRecord::dissect(SimTime(0), Direction::Tx, &p)
+    }
+
+    #[test]
+    fn protocol_and_direction_filters() {
+        let u = udp_record(50, PlayerId::RealPlayer);
+        let i = icmp_record();
+        assert!(Filter::Udp.matches(&u));
+        assert!(!Filter::Udp.matches(&i));
+        assert!(Filter::Icmp.matches(&i));
+        assert!(Filter::direction_rx().matches(&u));
+        assert!(Filter::direction_tx().matches(&i));
+    }
+
+    #[test]
+    fn address_and_port_filters() {
+        let u = udp_record(50, PlayerId::RealPlayer);
+        assert!(Filter::SrcIs(SRC).matches(&u));
+        assert!(!Filter::SrcIs(DST).matches(&u));
+        assert!(Filter::DstIs(DST).matches(&u));
+        assert!(Filter::HostIs(SRC).matches(&u));
+        assert!(Filter::HostIs(DST).matches(&u));
+        assert!(Filter::PortIs(1755).matches(&u));
+        assert!(Filter::PortIs(7000).matches(&u));
+        assert!(!Filter::PortIs(80).matches(&u));
+    }
+
+    #[test]
+    fn player_filter_reads_the_media_header() {
+        let real = udp_record(50, PlayerId::RealPlayer);
+        let wmp = udp_record(50, PlayerId::MediaPlayer);
+        assert!(Filter::Player(PlayerId::RealPlayer).matches(&real));
+        assert!(!Filter::Player(PlayerId::RealPlayer).matches(&wmp));
+        assert!(!Filter::Player(PlayerId::MediaPlayer).matches(&icmp_record()));
+    }
+
+    #[test]
+    fn fragment_filters_distinguish_first_from_continuation() {
+        let header = MediaHeader {
+            player: PlayerId::MediaPlayer,
+            sequence: 1,
+            frame_number: 0,
+            media_time_ms: 0,
+            buffering: false,
+        };
+        let udp = UdpDatagram::new(1755, 7000, header.encode_with_padding(4000))
+            .encode(SRC, DST)
+            .unwrap();
+        let p = Ipv4Packet::new(SRC, DST, IpProtocol::Udp, 5, udp);
+        let frags = fragment(p, 1500).unwrap();
+        let records: Vec<PacketRecord> = frags
+            .iter()
+            .map(|f| PacketRecord::dissect(SimTime(0), Direction::Rx, f))
+            .collect();
+        assert!(records.iter().all(|r| Filter::Fragments.matches(r)));
+        let continuation: Vec<_> = records
+            .iter()
+            .filter(|r| Filter::ContinuationFragments.matches(r))
+            .collect();
+        assert_eq!(continuation.len(), records.len() - 1);
+        // The stream filter still matches fragments (they're UDP
+        // protocol packets from the server).
+        assert!(records
+            .iter()
+            .all(|r| Filter::stream_from(SRC).matches(r)));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let u = udp_record(50, PlayerId::RealPlayer);
+        assert!(Filter::All.matches(&u));
+        assert!(Filter::Udp.and(Filter::SrcIs(SRC)).matches(&u));
+        assert!(!Filter::Udp.and(Filter::SrcIs(DST)).matches(&u));
+        assert!(Filter::Icmp.or(Filter::Udp).matches(&u));
+        assert!(!Filter::Udp.negate().matches(&u));
+    }
+
+    #[test]
+    fn min_wire_len() {
+        let small = udp_record(10, PlayerId::RealPlayer);
+        let big = udp_record(1000, PlayerId::RealPlayer);
+        assert!(!Filter::MinWireLen(500).matches(&small));
+        assert!(Filter::MinWireLen(500).matches(&big));
+    }
+}

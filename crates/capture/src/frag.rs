@@ -1,0 +1,263 @@
+//! Ethereal-style fragment-group analysis (§3.C, Figures 4, 5 and 9).
+//!
+//! "Further investigation of the packet types using Ethereal reveals
+//! that each packet group is composed of one UDP packet and the
+//! remaining packets are IP fragments." In Ethereal's display, the
+//! frame that completes reassembly is shown as UDP and all other
+//! frames of the datagram show as `Fragmented IP protocol` — so a
+//! datagram split into *n* frames contributes *n − 1* "IP fragment"
+//! packets. That convention is what makes a 3-fragment MediaPlayer
+//! group read as "66 % of packets are IP fragments".
+
+use crate::record::PacketRecord;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use turb_wire::media::PlayerId;
+
+/// One datagram's worth of captured frames (usually one MediaPlayer
+/// application frame).
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// The datagram key: (src, dst, protocol, identification).
+    pub key: (Ipv4Addr, Ipv4Addr, u8, u16),
+    /// Arrival time of the group's first frame, seconds.
+    pub first_time: f64,
+    /// Arrival time of the group's last frame, seconds.
+    pub last_time: f64,
+    /// Number of frames in the group (1 = unfragmented).
+    pub packets: usize,
+    /// Total wire bytes across the group.
+    pub wire_bytes: usize,
+    /// Wire length of each frame, in arrival order.
+    pub frame_lens: Vec<usize>,
+    /// Arrival time (seconds) of each frame, parallel to `frame_lens`.
+    pub frame_times: Vec<f64>,
+    /// The player that produced the datagram, when a media header was
+    /// visible on any of its frames (separates the two simultaneous
+    /// streams of the paper's methodology).
+    pub player: Option<PlayerId>,
+    /// Whether the datagram was flagged as buffering-phase traffic.
+    pub buffering: bool,
+}
+
+/// Aggregate fragmentation statistics for a capture slice — the data
+/// behind Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FragmentationStats {
+    /// Total frames observed.
+    pub total_packets: usize,
+    /// Frames Ethereal would display as IP fragments
+    /// (group size − 1 per multi-frame group).
+    pub fragment_packets: usize,
+    /// Number of datagram groups.
+    pub groups: usize,
+    /// Groups with more than one frame.
+    pub fragmented_groups: usize,
+}
+
+impl FragmentationStats {
+    /// Fragment share of all frames: Figure 5's y-axis.
+    pub fn fragment_fraction(&self) -> f64 {
+        if self.total_packets == 0 {
+            0.0
+        } else {
+            self.fragment_packets as f64 / self.total_packets as f64
+        }
+    }
+}
+
+/// Groups a capture slice into datagrams.
+#[derive(Debug, Clone)]
+pub struct FragmentGroups {
+    groups: Vec<Group>,
+}
+
+impl FragmentGroups {
+    /// Group records (already filtered to the stream of interest) by
+    /// datagram. Records of the same datagram need not be adjacent.
+    pub fn build<'a>(records: impl IntoIterator<Item = &'a PacketRecord>) -> FragmentGroups {
+        let mut order: Vec<(Ipv4Addr, Ipv4Addr, u8, u16)> = Vec::new();
+        let mut map: HashMap<(Ipv4Addr, Ipv4Addr, u8, u16), Group> = HashMap::new();
+        for r in records {
+            let key = r.packet.datagram_key();
+            let t = r.time_secs();
+            let entry = map.entry(key).or_insert_with(|| {
+                order.push(key);
+                Group {
+                    key,
+                    first_time: t,
+                    last_time: t,
+                    packets: 0,
+                    wire_bytes: 0,
+                    frame_lens: Vec::new(),
+                    frame_times: Vec::new(),
+                    player: None,
+                    buffering: false,
+                }
+            });
+            entry.packets += 1;
+            entry.wire_bytes += r.wire_len;
+            entry.frame_lens.push(r.wire_len);
+            entry.frame_times.push(t);
+            entry.first_time = entry.first_time.min(t);
+            entry.last_time = entry.last_time.max(t);
+            if entry.player.is_none() {
+                entry.player = r.media.map(|m| m.player);
+            }
+            entry.buffering |= r.media.is_some_and(|m| m.buffering);
+        }
+        FragmentGroups {
+            groups: order
+                .into_iter()
+                .map(|k| map.remove(&k).expect("keyed"))
+                .collect(),
+        }
+    }
+
+    /// The groups, in order of first appearance.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// Aggregate statistics (Figure 5).
+    pub fn stats(&self) -> FragmentationStats {
+        let mut s = FragmentationStats {
+            groups: self.groups.len(),
+            ..Default::default()
+        };
+        for g in &self.groups {
+            s.total_packets += g.packets;
+            if g.packets > 1 {
+                s.fragment_packets += g.packets - 1;
+                s.fragmented_groups += 1;
+            }
+        }
+        s
+    }
+
+    /// First-frame arrival times per group, for interarrival analysis
+    /// with fragment noise removed: "we consider only the first UDP
+    /// packet in each packet group" (§3.E, Figure 9).
+    pub fn group_leader_times(&self) -> Vec<f64> {
+        self.groups.iter().map(|g| g.first_time).collect()
+    }
+
+    /// Interarrival gaps between group leaders.
+    pub fn group_interarrivals(&self) -> Vec<f64> {
+        let times = self.group_leader_times();
+        times.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Only the groups attributable to `player` (by visible media
+    /// headers).
+    pub fn for_player(&self, player: PlayerId) -> FragmentGroups {
+        FragmentGroups {
+            groups: self
+                .groups
+                .iter()
+                .filter(|g| g.player == Some(player))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use turb_netsim::{Direction, SimTime};
+    use turb_wire::frag::fragment;
+    use turb_wire::ipv4::{IpProtocol, Ipv4Packet};
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(204, 71, 0, 33);
+    const DST: Ipv4Addr = Ipv4Addr::new(130, 215, 36, 10);
+
+    fn records_for(payloads: &[usize], spacing_ms: u64) -> Vec<PacketRecord> {
+        let mut out = Vec::new();
+        let mut t = 0u64;
+        for (i, &len) in payloads.iter().enumerate() {
+            let p = Ipv4Packet::new(
+                SRC,
+                DST,
+                IpProtocol::Udp,
+                i as u16,
+                Bytes::from(vec![0u8; len]),
+            );
+            for f in fragment(p, 1500).unwrap() {
+                out.push(PacketRecord::dissect(
+                    SimTime(t * 1_000_000),
+                    Direction::Rx,
+                    &f,
+                ));
+                t += 1; // fragments 1 ms apart
+            }
+            t += spacing_ms;
+        }
+        out
+    }
+
+    #[test]
+    fn three_fragment_groups_give_the_papers_66_percent() {
+        // ~3.8 KB application frames, like a 300 Kbit/s MediaPlayer clip.
+        let records = records_for(&[3848, 3848, 3848, 3848], 100);
+        let groups = FragmentGroups::build(records.iter());
+        let stats = groups.stats();
+        assert_eq!(stats.groups, 4);
+        assert_eq!(stats.fragmented_groups, 4);
+        assert_eq!(stats.total_packets, 12);
+        assert_eq!(stats.fragment_packets, 8);
+        assert!((stats.fragment_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfragmented_traffic_reports_zero() {
+        let records = records_for(&[800, 900, 1000], 100);
+        let stats = FragmentGroups::build(records.iter()).stats();
+        assert_eq!(stats.fragment_packets, 0);
+        assert_eq!(stats.fragment_fraction(), 0.0);
+        assert_eq!(stats.groups, 3);
+    }
+
+    #[test]
+    fn group_leaders_strip_fragment_noise_from_interarrivals() {
+        let records = records_for(&[3848, 3848, 3848], 100);
+        let groups = FragmentGroups::build(records.iter());
+        let gaps = groups.group_interarrivals();
+        assert_eq!(gaps.len(), 2);
+        for gap in &gaps {
+            // Group leaders ≈103 ms apart (100 ms spacing + 3 fragment ms).
+            assert!((gap - 0.103).abs() < 0.002, "gap = {gap}");
+        }
+        // Raw interarrivals, by contrast, mix 1 ms and ~100 ms gaps.
+        let raw: Vec<f64> = records.windows(2).map(|w| w[1].time_secs() - w[0].time_secs()).collect();
+        assert!(raw.iter().any(|g| *g < 0.002));
+    }
+
+    #[test]
+    fn frame_lengths_match_the_papers_pattern() {
+        let records = records_for(&[3848], 0);
+        let groups = FragmentGroups::build(records.iter());
+        let g = &groups.groups()[0];
+        assert_eq!(g.frame_lens[0], 1514);
+        assert_eq!(g.frame_lens[1], 1514);
+        assert!(g.frame_lens[2] < 1514);
+        assert_eq!(g.wire_bytes, g.frame_lens.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn out_of_order_fragments_still_group_correctly() {
+        let mut records = records_for(&[3848, 3848], 50);
+        records.swap(1, 2); // interleave fragments of the two datagrams
+        let groups = FragmentGroups::build(records.iter());
+        assert_eq!(groups.groups().len(), 2);
+        assert!(groups.groups().iter().all(|g| g.packets == 3));
+    }
+
+    #[test]
+    fn empty_capture() {
+        let groups = FragmentGroups::build(std::iter::empty());
+        assert_eq!(groups.stats(), FragmentationStats::default());
+        assert!(groups.group_leader_times().is_empty());
+    }
+}

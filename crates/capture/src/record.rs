@@ -1,0 +1,202 @@
+//! One captured packet, pre-dissected the way the analysis needs it.
+
+use std::net::Ipv4Addr;
+use turb_netsim::{Direction, SimTime};
+use turb_wire::ethernet::ETHERNET_HEADER_LEN;
+use turb_wire::ipv4::{IpProtocol, Ipv4Packet};
+use turb_wire::media::MediaHeader;
+use turb_wire::udp::UDP_HEADER_LEN;
+
+/// A captured packet with its dissection.
+///
+/// Retains the full [`Ipv4Packet`] so captures can be exported to pcap
+/// byte-exactly; the commonly used fields are denormalised for cheap
+/// analysis.
+#[derive(Debug, Clone)]
+pub struct PacketRecord {
+    /// Capture timestamp.
+    pub time: SimTime,
+    /// Direction relative to the tapped node.
+    pub direction: Direction,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// IP protocol.
+    pub protocol: IpProtocol,
+    /// UDP ports when the packet is UDP and carries the header (i.e. is
+    /// unfragmented or the first fragment).
+    pub ports: Option<(u16, u16)>,
+    /// Ethernet frame length as the sniffer reports it
+    /// (IP total length + 14; 1514 for a full-MTU packet).
+    pub wire_len: usize,
+    /// The application media header, when one is visible: parsed from
+    /// unfragmented UDP payloads and from first fragments (where the
+    /// UDP + media headers lead the payload).
+    pub media: Option<MediaHeader>,
+    /// The captured IP packet itself.
+    pub packet: Ipv4Packet,
+}
+
+impl PacketRecord {
+    /// Dissect a packet as observed at `time` travelling `direction`.
+    pub fn dissect(time: SimTime, direction: Direction, packet: &Ipv4Packet) -> PacketRecord {
+        let mut ports = None;
+        let mut media = None;
+        if packet.protocol == IpProtocol::Udp && packet.fragment_offset == 0 {
+            let payload = &packet.payload;
+            if payload.len() >= UDP_HEADER_LEN {
+                ports = Some((
+                    u16::from_be_bytes([payload[0], payload[1]]),
+                    u16::from_be_bytes([payload[2], payload[3]]),
+                ));
+                // A fragment carries only a prefix of the datagram, so
+                // parse leniently: the media header sits right after
+                // the UDP header whenever enough bytes survived.
+                let app = &payload[UDP_HEADER_LEN..];
+                media = MediaHeader::decode(app).ok().or_else(|| {
+                    // First fragments fail the full-length check in
+                    // decode (declared padding exceeds the fragment);
+                    // retry against just the header prefix.
+                    MediaHeaderPrefix::decode(app)
+                });
+            }
+        }
+        PacketRecord {
+            time,
+            direction,
+            src: packet.src,
+            dst: packet.dst,
+            protocol: packet.protocol,
+            ports,
+            wire_len: packet.total_len() + ETHERNET_HEADER_LEN,
+            media,
+            packet: packet.clone(),
+        }
+    }
+
+    /// Is this packet an IP fragment (MF set or non-zero offset)?
+    pub fn is_fragment(&self) -> bool {
+        self.packet.is_fragment()
+    }
+
+    /// Is this the first fragment of a fragmented datagram?
+    pub fn is_first_fragment(&self) -> bool {
+        self.packet.is_first_fragment()
+    }
+
+    /// Capture time in fractional seconds.
+    pub fn time_secs(&self) -> f64 {
+        self.time.as_secs_f64()
+    }
+}
+
+/// Lenient media-header parse for fragment prefixes: checks the magic
+/// and fixed fields but ignores the padding-length consistency check
+/// (the padding is spread across later fragments).
+struct MediaHeaderPrefix;
+
+impl MediaHeaderPrefix {
+    fn decode(data: &[u8]) -> Option<MediaHeader> {
+        use turb_wire::media::MEDIA_HEADER_LEN;
+        if data.len() < MEDIA_HEADER_LEN {
+            return None;
+        }
+        // Reject junk before trusting the declared padding length: the
+        // magic must match, and the padding cannot exceed what a single
+        // IP datagram could ever carry.
+        if data[0] != 0x75 || data[1] != 0x41 {
+            return None;
+        }
+        let declared = u32::from_be_bytes([data[16], data[17], data[18], data[19]]) as usize;
+        if declared > 65_535 {
+            return None;
+        }
+        // Reconstruct a buffer whose declared padding matches what
+        // MediaHeader::decode expects, then delegate.
+        let mut synthetic = Vec::with_capacity(MEDIA_HEADER_LEN + declared);
+        synthetic.extend_from_slice(&data[..MEDIA_HEADER_LEN]);
+        synthetic.resize(MEDIA_HEADER_LEN + declared, 0);
+        MediaHeader::decode(&synthetic).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use turb_wire::frag::fragment;
+    use turb_wire::media::PlayerId;
+    use turb_wire::udp::UdpDatagram;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(204, 71, 0, 33);
+    const DST: Ipv4Addr = Ipv4Addr::new(130, 215, 36, 10);
+
+    fn media_packet(padding: usize) -> Ipv4Packet {
+        let header = MediaHeader {
+            player: PlayerId::MediaPlayer,
+            sequence: 9,
+            frame_number: 2,
+            media_time_ms: 900,
+            buffering: false,
+        };
+        let udp = UdpDatagram::new(1755, 7000, header.encode_with_padding(padding))
+            .encode(SRC, DST)
+            .unwrap();
+        Ipv4Packet::new(SRC, DST, IpProtocol::Udp, 77, udp)
+    }
+
+    #[test]
+    fn dissects_ports_and_media_header() {
+        let p = media_packet(100);
+        let r = PacketRecord::dissect(SimTime(5), Direction::Rx, &p);
+        assert_eq!(r.ports, Some((1755, 7000)));
+        let media = r.media.expect("media header visible");
+        assert_eq!(media.sequence, 9);
+        assert_eq!(media.player, PlayerId::MediaPlayer);
+        assert!(!r.is_fragment());
+        assert_eq!(r.wire_len, p.total_len() + 14);
+    }
+
+    #[test]
+    fn first_fragment_still_exposes_media_header() {
+        let big = media_packet(4000);
+        let frags = fragment(big, 1500).unwrap();
+        assert!(frags.len() >= 3);
+        let first = PacketRecord::dissect(SimTime(0), Direction::Rx, &frags[0]);
+        assert!(first.is_first_fragment());
+        assert_eq!(first.ports, Some((1755, 7000)));
+        assert_eq!(first.media.expect("prefix parse").sequence, 9);
+        // Continuation fragments expose neither ports nor media.
+        let second = PacketRecord::dissect(SimTime(0), Direction::Rx, &frags[1]);
+        assert!(second.is_fragment());
+        assert_eq!(second.ports, None);
+        assert_eq!(second.media, None);
+    }
+
+    #[test]
+    fn full_mtu_fragment_is_1514_on_the_wire() {
+        let frags = fragment(media_packet(4000), 1500).unwrap();
+        let r = PacketRecord::dissect(SimTime(0), Direction::Rx, &frags[0]);
+        assert_eq!(r.wire_len, 1514);
+    }
+
+    #[test]
+    fn non_udp_packets_have_no_ports() {
+        let p = Ipv4Packet::new(SRC, DST, IpProtocol::Icmp, 1, Bytes::from_static(&[0u8; 16]));
+        let r = PacketRecord::dissect(SimTime(0), Direction::Tx, &p);
+        assert_eq!(r.ports, None);
+        assert_eq!(r.media, None);
+    }
+
+    #[test]
+    fn non_media_udp_payload_yields_no_media_header() {
+        let udp = UdpDatagram::new(53, 53, Bytes::from_static(b"plain dns-ish payload here"))
+            .encode(SRC, DST)
+            .unwrap();
+        let p = Ipv4Packet::new(SRC, DST, IpProtocol::Udp, 3, udp);
+        let r = PacketRecord::dissect(SimTime(0), Direction::Rx, &p);
+        assert_eq!(r.ports, Some((53, 53)));
+        assert_eq!(r.media, None);
+    }
+}

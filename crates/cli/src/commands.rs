@@ -1,0 +1,314 @@
+//! The CLI subcommand implementations.
+
+use crate::{class_of, pair_of, seed_of};
+use std::collections::HashMap;
+use turb_media::PlayerId;
+use turbulence::{figures, report, runner, tables, PairRunConfig};
+
+type Flags = HashMap<String, String>;
+
+/// `turbulence corpus`: run everything and print the digests.
+pub fn corpus(flags: &Flags) -> Result<(), String> {
+    let seed = seed_of(flags)?;
+    let result = match flags.get("sets") {
+        None => runner::run_corpus_parallel(seed),
+        Some(list) => {
+            let sets: Vec<u8> = list
+                .split(',')
+                .map(|s| s.trim().parse().map_err(|_| format!("bad set {s:?}")))
+                .collect::<Result<_, _>>()?;
+            runner::run_configs(&runner::corpus_configs_for_sets(seed, &sets))
+        }
+    };
+    println!("{} pair runs completed (seed {seed}).\n", result.runs.len());
+
+    // Table 1.
+    let rows: Vec<Vec<String>> = tables::table1_measured(&result)
+        .iter()
+        .map(|r| {
+            vec![
+                r.set.to_string(),
+                r.label.clone(),
+                format!("{:.1}/{:.1}", r.real_encoded, r.wmp_encoded),
+                match (r.real_measured, r.wmp_measured) {
+                    (Some(a), Some(b)) => format!("{a:.1}/{b:.1}"),
+                    _ => "-".into(),
+                },
+                r.content.to_string(),
+                format!("{:.0}s", r.duration_secs),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            "Table 1 (encoded vs measured playback, Kbit/s)",
+            &["set", "pair", "encoded R/M", "measured R/M", "content", "len"],
+            &rows
+        )
+    );
+
+    // Headline figures.
+    let rtt = figures::fig01_rtt_cdf(&result);
+    println!("{}", report::cdf_quantiles("Figure 1: RTT CDF", &rtt, "ms"));
+    let hops = figures::fig02_hops_cdf(&result);
+    println!("{}", report::cdf_quantiles("Figure 2: hop-count CDF", &hops, "hops"));
+    println!(
+        "{}",
+        report::scatter(
+            "Figure 5: WMP fragmentation vs encoded rate",
+            "Kbit/s",
+            "fragment fraction",
+            &figures::fig05_fragmentation(&result)
+        )
+    );
+    println!(
+        "{}",
+        report::scatter(
+            "Figure 11: Real buffering/playout ratio vs encoding rate",
+            "Kbit/s",
+            "ratio",
+            &figures::fig11_buffering_ratio(&result)
+        )
+    );
+    Ok(())
+}
+
+/// `turbulence pair`: one run, human summary, optional pcap.
+pub fn pair(flags: &Flags) -> Result<(), String> {
+    let seed = seed_of(flags)?;
+    let (set, pair) = pair_of(flags)?;
+    let mut config = PairRunConfig::new(seed, set, pair);
+    if let Some(loss) = flags.get("loss") {
+        config.access_loss = loss.parse().map_err(|_| "bad --loss".to_string())?;
+    }
+    let result = turbulence::run_pair(&config);
+
+    println!(
+        "path: {} hops to {}, ping median {:.1} ms, route stable: {}",
+        result
+            .tracert_before
+            .hop_count()
+            .map(|h| h.to_string())
+            .unwrap_or_else(|| "?".into()),
+        result.server_addr,
+        result
+            .ping_before
+            .median_rtt()
+            .map(|r| r.as_millis_f64())
+            .unwrap_or(f64::NAN),
+        result.route_stable(),
+    );
+    for log in [&result.real, &result.wmp] {
+        println!(
+            "{:>7}: encoded {:>6.1}K | playback {:>6.1}K | {:>4.1} fps | streamed {:>5.1}s/{:>3.0}s | lost {}",
+            log.clip.name(),
+            log.clip.encoded_kbps,
+            log.avg_playback_kbps(),
+            log.avg_frame_rate(),
+            log.streaming_duration_secs().unwrap_or(f64::NAN),
+            log.clip.duration_secs,
+            log.packets_lost,
+        );
+    }
+    for player in [PlayerId::RealPlayer, PlayerId::MediaPlayer] {
+        let stats = turbulence::analysis::stream_groups(&result, player).stats();
+        println!(
+            "{:>7}: {} wire packets, {} datagrams, {:.0}% IP fragments",
+            player.label(),
+            stats.total_packets,
+            stats.groups,
+            stats.fragment_fraction() * 100.0
+        );
+    }
+    if let Some(path) = flags.get("pcap") {
+        let mut file =
+            std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        turb_capture::pcap::write_pcap(&mut file, result.capture.records())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("capture: {} packets written to {path}", result.capture.len());
+    }
+    Ok(())
+}
+
+/// `turbulence figures`: full data rows per figure.
+pub fn figures_cmd(flags: &Flags) -> Result<(), String> {
+    let seed = seed_of(flags)?;
+    let result = runner::run_corpus_parallel(seed);
+    let fig3 = figures::fig03_playback_vs_encoding(&result);
+    println!(
+        "{}",
+        report::scatter("Figure 3 Real points", "encoded", "playback", &fig3.real_points)
+    );
+    println!(
+        "{}",
+        report::scatter("Figure 3 WMP points", "encoded", "playback", &fig3.wmp_points)
+    );
+    println!(
+        "{}",
+        report::series_digest("Figure 4: packet arrivals (set 5 high, 30-31s)", &figures::fig04_packet_arrivals(&result), 40)
+    );
+    println!(
+        "{}",
+        report::series_digest("Figure 10: bandwidth vs time (set 1)", &figures::fig10_bandwidth_timeseries(&result), 30)
+    );
+    println!(
+        "{}",
+        report::series_digest("Figure 13: frame rate vs time (set 5)", &figures::fig13_framerate_timeseries(&result), 30)
+    );
+    let f14 = figures::fig14_framerate_vs_encoding(&result);
+    println!(
+        "{}",
+        report::scatter("Figure 14 Real", "encoded Kbps", "fps", &f14.real_points)
+    );
+    println!(
+        "{}",
+        report::scatter("Figure 14 WMP", "encoded Kbps", "fps", &f14.wmp_points)
+    );
+    for (label, validation) in figures::sec4_flowgen_validation(&result, seed) {
+        println!(
+            "Section IV {label}: K-S sizes {:.3}, gaps {:.3}, pass {}",
+            validation.ks_sizes,
+            validation.ks_gaps,
+            validation.passes(0.1)
+        );
+    }
+    Ok(())
+}
+
+/// `turbulence flowgen`: fit → generate → validate → export.
+pub fn flowgen(flags: &Flags) -> Result<(), String> {
+    let seed = seed_of(flags)?;
+    let (set, pair) = pair_of(flags)?;
+    let player = match flags.get("player").map(String::as_str) {
+        None | Some("real") => PlayerId::RealPlayer,
+        Some("wmp") | Some("media") => PlayerId::MediaPlayer,
+        Some(other) => return Err(format!("unknown player {other:?} (real|wmp)")),
+    };
+    let clip = match player {
+        PlayerId::RealPlayer => pair.real.clone(),
+        PlayerId::MediaPlayer => pair.wmp.clone(),
+    };
+    let result = turbulence::run_pair(&PairRunConfig::new(seed, set, pair));
+    let model = turb_flowgen::TurbulenceModel::fit(
+        &result.capture,
+        result.server_addr,
+        player,
+        clip.encoded_kbps,
+    )
+    .ok_or("not enough captured data to fit a model")?;
+    eprintln!(
+        "fitted {}: median size {:.0} B, median gap {:.1} ms, frag {:.1}%, burst ratio {:.2} over {:.1}s",
+        clip.name(),
+        model.datagram_sizes.sample(0.5),
+        model.interarrivals.sample(0.5) * 1000.0,
+        model.fragment_fraction * 100.0,
+        model.buffering_ratio,
+        model.burst_secs,
+    );
+    let mut generator = turb_flowgen::FlowGenerator::new(
+        model.clone(),
+        turb_netsim::SimRng::new(seed ^ 0x9e37),
+    );
+    let packets = generator.generate(clip.duration_secs);
+    let validation = turb_flowgen::validate_against_model(&model, &packets);
+    eprintln!(
+        "generated {} packets; K-S sizes {:.3}, gaps {:.3}, pass {}",
+        packets.len(),
+        validation.ks_sizes,
+        validation.ks_gaps,
+        validation.passes(0.1)
+    );
+    let trace = turb_flowgen::FlowGenerator::export_ns_trace(&packets);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, trace).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("trace written to {path}");
+        }
+        None => print!("{trace}"),
+    }
+    Ok(())
+}
+
+/// `turbulence friendly`: the §VI sweep.
+pub fn friendly(flags: &Flags) -> Result<(), String> {
+    use turbulence::followup::{run_tcp_friendliness, FriendlinessConfig};
+    let seed = seed_of(flags)?;
+    let sweep: Vec<u64> = match flags.get("kbps") {
+        None => vec![300, 400, 600, 1000, 2000],
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("bad kbps {s:?}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let sets = turb_media::corpus::table1();
+    let clip = sets[4]
+        .pair(class_of(flags)?)
+        .ok_or("set 5 lacks that class")?
+        .wmp
+        .clone();
+    println!(
+        "{:>12} {:>10} {:>8} {:>12} {:>12} {:>8}",
+        "bottleneck", "offered", "loss", "tcp alone", "tcp shared", "index"
+    );
+    for kbps in sweep {
+        let result = run_tcp_friendliness(&FriendlinessConfig {
+            seed,
+            clip: clip.clone(),
+            bottleneck_bps: kbps * 1000,
+            propagation: turb_netsim::SimDuration::from_millis(20),
+            observe_secs: 45.0,
+        });
+        println!(
+            "{:>10}K {:>9.1}K {:>7.1}% {:>11.1}K {:>11.1}K {:>8.2}",
+            kbps,
+            result.stream_send_kbps,
+            result.stream_loss * 100.0,
+            result.tcp_alone_kbps,
+            result.tcp_shared_kbps,
+            result.stream_share_index(),
+        );
+    }
+    Ok(())
+}
+
+/// `turbulence ping`: path check against the six simulated sites.
+pub fn ping(flags: &Flags) -> Result<(), String> {
+    use turb_netsim::prelude::*;
+    let seed = seed_of(flags)?;
+    let mut sim = Simulation::new(seed);
+    let mut rng = SimRng::new(seed);
+    let scenario = InternetScenario::build(&mut sim, &mut rng, &ScenarioConfig::default());
+    let reports: Vec<_> = scenario
+        .sites
+        .iter()
+        .map(|site| {
+            (
+                site.server_addr,
+                site.hop_count,
+                tools::spawn_ping(
+                    &mut sim,
+                    scenario.client,
+                    site.server_addr,
+                    4,
+                    SimDuration::from_millis(500),
+                    SimDuration::ZERO,
+                    &mut rng,
+                ),
+            )
+        })
+        .collect();
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(20));
+    println!("{:>16} {:>6} {:>12} {:>12}", "site", "hops", "median rtt", "loss");
+    for (addr, hops, report) in reports {
+        let report = report.borrow();
+        println!(
+            "{:>16} {:>6} {:>10.1}ms {:>11.1}%",
+            addr.to_string(),
+            hops,
+            report.median_rtt().map(|r| r.as_millis_f64()).unwrap_or(f64::NAN),
+            report.loss_rate() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,200 @@
+//! `turbulence` — the workspace's command-line interface.
+//!
+//! ```text
+//! turbulence corpus     [--seed N] [--sets 1,2,5]     full corpus + figure digests
+//! turbulence pair       --set N --class low|high|vh   one pair run, summarised
+//!                       [--seed N] [--pcap FILE] [--loss P]
+//! turbulence figures    [--seed N]                    every figure's data rows
+//! turbulence flowgen    --set N --class C --player real|wmp
+//!                       [--seed N] [--out FILE]       fit, generate, validate, export
+//! turbulence friendly   [--kbps N,...] [--seed N]     §VI TCP-friendliness sweep
+//! turbulence ping       [--seed N]                    path check against all six sites
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use turb_media::{corpus, RateClass};
+
+mod commands;
+
+fn usage() -> &'static str {
+    "turbulence — reproduce 'MediaPlayer vs RealPlayer: A Comparison of Network Turbulence'
+
+USAGE:
+    turbulence <command> [options]
+
+COMMANDS:
+    corpus      run the full 26-clip corpus and print every figure's digest
+    pair        run one clip pair and summarise what both trackers measured
+    figures     run the corpus and print the full data rows per figure
+    flowgen     fit a Section-IV turbulence model and export an ns-style trace
+    friendly    run the §VI TCP-friendliness sweep
+    ping        check the simulated paths to all six server sites
+    help        print this text
+
+OPTIONS (per command):
+    --seed N            deterministic seed (default 42)
+    --sets 1,2,5        corpus: restrict to these data sets
+    --set N             pair/flowgen: data set number (1-6)
+    --class C           pair/flowgen: low | high | vh (default high)
+    --player P          flowgen: real | wmp (default real)
+    --pcap FILE         pair: write the client capture as a pcap file
+    --loss P            pair: inject Bernoulli loss on the access link
+    --out FILE          flowgen: trace output path (default stdout)
+    --kbps N,N,...      friendly: bottleneck sweep in Kbit/s
+"
+}
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn seed_of(flags: &HashMap<String, String>) -> Result<u64, String> {
+    match flags.get("seed") {
+        None => Ok(42),
+        Some(s) => s.parse().map_err(|_| format!("bad seed {s:?}")),
+    }
+}
+
+fn class_of(flags: &HashMap<String, String>) -> Result<RateClass, String> {
+    match flags.get("class").map(String::as_str) {
+        None | Some("high") => Ok(RateClass::High),
+        Some("low") => Ok(RateClass::Low),
+        Some("vh") | Some("veryhigh") | Some("very-high") => Ok(RateClass::VeryHigh),
+        Some(other) => Err(format!("unknown class {other:?} (low|high|vh)")),
+    }
+}
+
+fn pair_of(flags: &HashMap<String, String>) -> Result<(u8, turb_media::ClipPair), String> {
+    let set: u8 = flags
+        .get("set")
+        .ok_or("--set is required")?
+        .parse()
+        .map_err(|_| "bad --set".to_string())?;
+    let class = class_of(flags)?;
+    let sets = corpus::table1();
+    let data_set = sets
+        .iter()
+        .find(|s| s.id == set)
+        .ok_or_else(|| format!("data set {set} does not exist (1-6)"))?;
+    let pair = data_set
+        .pair(class)
+        .ok_or_else(|| format!("set {set} has no {class:?} pair"))?;
+    Ok((set, pair.clone()))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        print!("{}", usage());
+        return Ok(());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "corpus" => commands::corpus(&flags),
+        "pair" => commands::pair(&flags),
+        "figures" => commands::figures_cmd(&flags),
+        "flowgen" => commands::flowgen(&flags),
+        "friendly" => commands::friendly(&flags),
+        "ping" => commands::ping(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `turbulence help`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_flags_accepts_key_value_pairs() {
+        let args: Vec<String> = ["--seed", "7", "--set", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let parsed = parse_flags(&args).unwrap();
+        assert_eq!(parsed.get("seed").map(String::as_str), Some("7"));
+        assert_eq!(parsed.get("set").map(String::as_str), Some("3"));
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_values_and_dangling_flags() {
+        let bare: Vec<String> = vec!["seed".into()];
+        assert!(parse_flags(&bare).is_err());
+        let dangling: Vec<String> = vec!["--seed".into()];
+        assert!(parse_flags(&dangling).is_err());
+    }
+
+    #[test]
+    fn seed_defaults_to_42() {
+        assert_eq!(seed_of(&flags(&[])).unwrap(), 42);
+        assert_eq!(seed_of(&flags(&[("seed", "9")])).unwrap(), 9);
+        assert!(seed_of(&flags(&[("seed", "x")])).is_err());
+    }
+
+    #[test]
+    fn class_parses_all_spellings() {
+        assert_eq!(class_of(&flags(&[])).unwrap(), RateClass::High);
+        assert_eq!(class_of(&flags(&[("class", "low")])).unwrap(), RateClass::Low);
+        for vh in ["vh", "veryhigh", "very-high"] {
+            assert_eq!(
+                class_of(&flags(&[("class", vh)])).unwrap(),
+                RateClass::VeryHigh
+            );
+        }
+        assert!(class_of(&flags(&[("class", "medium")])).is_err());
+    }
+
+    #[test]
+    fn pair_of_validates_set_and_class() {
+        let (set, pair) = pair_of(&flags(&[("set", "5"), ("class", "low")])).unwrap();
+        assert_eq!(set, 5);
+        assert_eq!(pair.real.encoded_kbps, 22.0);
+        assert!(pair_of(&flags(&[])).is_err(), "--set required");
+        assert!(pair_of(&flags(&[("set", "9")])).is_err(), "no set 9");
+        assert!(
+            pair_of(&flags(&[("set", "1"), ("class", "vh")])).is_err(),
+            "set 1 has no very-high pair"
+        );
+    }
+
+    #[test]
+    fn usage_names_every_command() {
+        for command in ["corpus", "pair", "figures", "flowgen", "friendly", "ping"] {
+            assert!(usage().contains(command), "{command} missing from usage");
+        }
+    }
+}

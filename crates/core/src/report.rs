@@ -1,0 +1,132 @@
+//! Plain-text rendering of tables and figure data: what the bench
+//! harness prints so paper-vs-measured comparisons can be read off.
+
+use crate::figures::Series;
+use turb_stats::Cdf;
+
+/// Render an aligned ASCII table.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let line = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&line(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a CDF as quantile rows (the series a figure plots).
+pub fn cdf_quantiles(title: &str, cdf: &Cdf, unit: &str) -> String {
+    let quantiles = [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0];
+    let rows: Vec<Vec<String>> = quantiles
+        .iter()
+        .map(|&q| {
+            vec![
+                format!("{:.0}%", q * 100.0),
+                cdf.quantile(q)
+                    .map(|v| format!("{v:.2} {unit}"))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    table(title, &["quantile", "value"], &rows)
+}
+
+/// Render a handful of points from each series (head + tail), enough
+/// to see the shape without dumping thousands of rows.
+pub fn series_digest(title: &str, series: &[Series], max_points: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for s in series {
+        out.push_str(&format!("  {} ({} points)\n", s.label, s.points.len()));
+        let show = s.points.len().min(max_points);
+        for (x, y) in s.points.iter().take(show) {
+            out.push_str(&format!("    {x:>10.3}  {y:>12.3}\n"));
+        }
+        if s.points.len() > show {
+            out.push_str("    ...\n");
+        }
+    }
+    out
+}
+
+/// Format a scatter of (x, y) points as rows.
+pub fn scatter(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(x, y)| vec![format!("{x:.1}"), format!("{y:.4}")])
+        .collect();
+    table(title, &[x_label, y_label], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            "T",
+            &["a", "long_header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "x".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].contains("long_header"));
+        // All data lines equal width.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn cdf_quantiles_renders_all_rows() {
+        let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        let out = cdf_quantiles("rtt", &cdf, "ms");
+        assert!(out.contains("50%"));
+        assert!(out.contains("100%"));
+        assert!(out.contains("4.00 ms"));
+    }
+
+    #[test]
+    fn series_digest_truncates() {
+        let s = Series {
+            label: "x".into(),
+            points: (0..100).map(|i| (i as f64, 0.0)).collect(),
+        };
+        let out = series_digest("fig", &[s], 5);
+        assert!(out.contains("(100 points)"));
+        assert!(out.contains("..."));
+    }
+
+    #[test]
+    fn scatter_renders_points() {
+        let out = scatter("fig5", "kbps", "frac", &[(300.0, 0.66)]);
+        assert!(out.contains("300.0"));
+        assert!(out.contains("0.6600"));
+    }
+}

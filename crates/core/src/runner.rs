@@ -1,0 +1,122 @@
+//! Running the whole corpus: all six data sets, all rate classes.
+
+use crate::experiment::{run_pair, PairRunConfig, PairRunResult};
+use turb_media::corpus;
+
+/// Results of running every pair in Table 1 (13 pair runs, 26 clips).
+#[derive(Debug)]
+pub struct CorpusResult {
+    /// One entry per pair run, ordered (set, class high→low as in
+    /// Table 1).
+    pub runs: Vec<PairRunResult>,
+}
+
+impl CorpusResult {
+    /// Runs belonging to one data set.
+    pub fn for_set(&self, set_id: u8) -> Vec<&PairRunResult> {
+        self.runs.iter().filter(|r| r.set_id == set_id).collect()
+    }
+
+    /// The run for (set, class), if present.
+    pub fn run(&self, set_id: u8, class: turb_media::RateClass) -> Option<&PairRunResult> {
+        self.runs
+            .iter()
+            .find(|r| r.set_id == set_id && r.class == class)
+    }
+}
+
+/// All pair-run configurations for the corpus under a base seed.
+pub fn corpus_configs(base_seed: u64) -> Vec<PairRunConfig> {
+    let mut configs = Vec::new();
+    for set in corpus::table1() {
+        for pair in &set.pairs {
+            // Derive a stable per-run seed from set and class.
+            let class_tag = match pair.class() {
+                turb_media::RateClass::Low => 1u64,
+                turb_media::RateClass::High => 2,
+                turb_media::RateClass::VeryHigh => 3,
+            };
+            let seed = base_seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(u64::from(set.id) * 97 + class_tag);
+            configs.push(PairRunConfig::new(seed, set.id, pair.clone()));
+        }
+    }
+    configs
+}
+
+/// Run the full corpus sequentially (deterministic, single thread).
+pub fn run_corpus(base_seed: u64) -> CorpusResult {
+    run_configs(&corpus_configs(base_seed))
+}
+
+/// Run an arbitrary set of pair configurations sequentially (used for
+/// subset experiments and fast tests).
+pub fn run_configs(configs: &[PairRunConfig]) -> CorpusResult {
+    CorpusResult {
+        runs: configs.iter().map(run_pair).collect(),
+    }
+}
+
+/// The corpus configurations restricted to the given data sets.
+pub fn corpus_configs_for_sets(base_seed: u64, sets: &[u8]) -> Vec<PairRunConfig> {
+    corpus_configs(base_seed)
+        .into_iter()
+        .filter(|c| sets.contains(&c.set_id))
+        .collect()
+}
+
+/// Run the full corpus with one thread per pair run. Each simulation
+/// is seeded independently, so the result is identical to
+/// [`run_corpus`] — parallelism only changes wall-clock time.
+pub fn run_corpus_parallel(base_seed: u64) -> CorpusResult {
+    let configs = corpus_configs(base_seed);
+    let mut slots: Vec<Option<PairRunResult>> = Vec::new();
+    slots.resize_with(configs.len(), || None);
+    let slots = parking_lot::Mutex::new(slots);
+    crossbeam::scope(|scope| {
+        for (idx, config) in configs.iter().enumerate() {
+            let slots = &slots;
+            scope.spawn(move |_| {
+                let result = run_pair(config);
+                slots.lock()[idx] = Some(result);
+            });
+        }
+    })
+    .expect("corpus worker panicked");
+    let runs = slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect();
+    CorpusResult { runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turb_media::RateClass;
+
+    #[test]
+    fn configs_cover_the_whole_corpus() {
+        let configs = corpus_configs(1);
+        assert_eq!(configs.len(), 13); // 5 sets × 2 classes + set 6 × 3
+        let very_high = configs
+            .iter()
+            .filter(|c| c.pair.class() == RateClass::VeryHigh)
+            .count();
+        assert_eq!(very_high, 1);
+        // Seeds are pairwise distinct.
+        let mut seeds: Vec<u64> = configs.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 13);
+    }
+
+    #[test]
+    fn different_base_seeds_give_different_run_seeds() {
+        let a = corpus_configs(1);
+        let b = corpus_configs(2);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.seed != y.seed));
+    }
+}

@@ -1,0 +1,89 @@
+//! Table 1 regeneration: the corpus as streamed, with the encoded
+//! rates "captured by our customized video players" — here, reported
+//! by the tracker logs — next to the configured values.
+
+use crate::runner::CorpusResult;
+use turb_media::{corpus, RateClass};
+
+/// One row of the regenerated Table 1 (one clip pair).
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Data set number.
+    pub set: u8,
+    /// Rate class.
+    pub class: RateClass,
+    /// "R-x/M-x" label.
+    pub label: String,
+    /// Real encoding rate, Kbit/s (configured).
+    pub real_encoded: f64,
+    /// WMP encoding rate, Kbit/s (configured).
+    pub wmp_encoded: f64,
+    /// Real average playback rate measured by the tracker, Kbit/s
+    /// (`None` when built without measurements).
+    pub real_measured: Option<f64>,
+    /// WMP measured average playback rate.
+    pub wmp_measured: Option<f64>,
+    /// Content label.
+    pub content: &'static str,
+    /// Clip length, seconds.
+    pub duration_secs: f64,
+}
+
+/// The static Table 1 (no measurements).
+pub fn table1_static() -> Vec<Table1Row> {
+    corpus::table1()
+        .iter()
+        .flat_map(|set| {
+            set.pairs.iter().map(|pair| Table1Row {
+                set: set.id,
+                class: pair.class(),
+                label: format!(
+                    "R-{s}/M-{s}",
+                    s = pair.class().suffix()
+                ),
+                real_encoded: pair.real.encoded_kbps,
+                wmp_encoded: pair.wmp.encoded_kbps,
+                real_measured: None,
+                wmp_measured: None,
+                content: set.content.label(),
+                duration_secs: set.duration_secs,
+            })
+        })
+        .collect()
+}
+
+/// Table 1 with the measured playback rates filled in from a corpus
+/// run.
+pub fn table1_measured(corpus_result: &CorpusResult) -> Vec<Table1Row> {
+    let mut rows = table1_static();
+    for row in &mut rows {
+        if let Some(run) = corpus_result.run(row.set, row.class) {
+            row.real_measured = Some(run.real.avg_playback_kbps());
+            row.wmp_measured = Some(run.wmp.avg_playback_kbps());
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_table_has_13_rows() {
+        let rows = table1_static();
+        assert_eq!(rows.len(), 13);
+        assert!(rows.iter().all(|r| r.real_measured.is_none()));
+        // Set 6 contributes three rows.
+        assert_eq!(rows.iter().filter(|r| r.set == 6).count(), 3);
+    }
+
+    #[test]
+    fn labels_follow_table1() {
+        let rows = table1_static();
+        assert_eq!(rows[0].label, "R-h/M-h");
+        assert_eq!(rows[1].label, "R-l/M-l");
+        let vh = rows.iter().find(|r| r.class == RateClass::VeryHigh).unwrap();
+        assert_eq!(vh.label, "R-v/M-v");
+    }
+}

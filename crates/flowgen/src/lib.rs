@@ -1,0 +1,31 @@
+//! # turb-flowgen — Section IV: simulation of video flows
+//!
+//! The paper's stated downstream use for its measurements: "simulations
+//! based on data from this paper can be an effective means of exploring
+//! network impact and enhancements of streaming video traffic", with a
+//! recipe — select an RTT from Figure 1, an encoding rate and length
+//! from Table 1, packet sizes from Figures 6–7, intervals from
+//! Figures 8–9, fragmentation per Figure 5, and an initial-burst rate
+//! per Figure 11.
+//!
+//! This crate closes that loop:
+//!
+//! * [`model::TurbulenceModel`] — fitted from a capture: empirical
+//!   packet-size and interarrival distributions, fragmentation
+//!   fraction, buffering ratio and burst duration.
+//! * [`generate::FlowGenerator`] — emits a synthetic packet schedule
+//!   from a model (burst phase then steady phase, sizes and gaps drawn
+//!   by inverse-CDF sampling).
+//! * [`generate::SyntheticFlowApp`] — replays a schedule as real UDP
+//!   traffic inside a [`turb_netsim::Simulation`] (e.g. as cross
+//!   traffic for queue-management experiments).
+//! * [`validate`] — Kolmogorov-Smirnov comparison of generated flows
+//!   against the distributions they were fitted from.
+
+pub mod generate;
+pub mod model;
+pub mod validate;
+
+pub use generate::{FlowGenerator, SyntheticFlowApp, SyntheticPacket};
+pub use model::TurbulenceModel;
+pub use validate::{validate_against_model, ValidationReport};

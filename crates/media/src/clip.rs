@@ -1,0 +1,196 @@
+//! Clip, clip-pair and data-set types.
+
+use serde::Serialize;
+use turb_wire::media::PlayerId;
+
+/// Content category of a clip set (Table 1's "Clip Info" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ContentKind {
+    /// Sports footage (sets 1 and 3).
+    Sports,
+    /// A TV commercial (set 2).
+    Commercial,
+    /// A music-television clip (set 4).
+    MusicTv,
+    /// A news broadcast (set 5).
+    News,
+    /// A movie trailer/clip (set 6).
+    MovieClip,
+}
+
+impl ContentKind {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ContentKind::Sports => "Sports",
+            ContentKind::Commercial => "Commercial",
+            ContentKind::MusicTv => "Music TV",
+            ContentKind::News => "News",
+            ContentKind::MovieClip => "Movie clip",
+        }
+    }
+}
+
+/// The paper's three encoding classes: low (~56 Kbit/s modem pairs),
+/// high (~300 Kbit/s broadband pairs), and the single very-high
+/// (~700 Kbit/s) pair in set 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum RateClass {
+    /// Modem-class clips ("R-l"/"M-l").
+    Low,
+    /// Broadband-class clips ("R-h"/"M-h").
+    High,
+    /// The ~600 Kbit/s pair ("R-v"/"M-v").
+    VeryHigh,
+}
+
+impl RateClass {
+    /// Table-1 style suffix: `l`, `h`, or `v`.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            RateClass::Low => "l",
+            RateClass::High => "h",
+            RateClass::VeryHigh => "v",
+        }
+    }
+}
+
+/// One encoded clip, as served by one player's server.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Clip {
+    /// Data set number, 1-6.
+    pub set: u8,
+    /// Which player's format this encoding is in.
+    pub player: PlayerId,
+    /// Rate class within the set.
+    pub class: RateClass,
+    /// The *encoded* data rate in Kbit/s, "captured by our customized
+    /// video players" (Table 1) — not the advertised label.
+    pub encoded_kbps: f64,
+    /// The advertised connection bandwidth on the web page, Kbit/s.
+    pub advertised_kbps: f64,
+    /// Clip length in seconds.
+    pub duration_secs: f64,
+    /// Content category.
+    pub content: ContentKind,
+}
+
+impl Clip {
+    /// Table-1 style name, e.g. `R-h#1` or `M-v#6`.
+    pub fn name(&self) -> String {
+        let prefix = match self.player {
+            PlayerId::RealPlayer => "R",
+            PlayerId::MediaPlayer => "M",
+        };
+        format!("{prefix}-{}#{}", self.class.suffix(), self.set)
+    }
+
+    /// Encoded rate in bits per second.
+    pub fn encoded_bps(&self) -> u64 {
+        (self.encoded_kbps * 1000.0).round() as u64
+    }
+
+    /// Total encoded media bytes in the clip.
+    pub fn media_bytes(&self) -> u64 {
+        ((self.encoded_kbps * 1000.0 / 8.0) * self.duration_secs).round() as u64
+    }
+}
+
+/// The RealPlayer and MediaPlayer encodings of the same source
+/// material at the same rate class — the unit the paper streams
+/// simultaneously.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClipPair {
+    /// The RealPlayer encoding.
+    pub real: Clip,
+    /// The MediaPlayer encoding.
+    pub wmp: Clip,
+}
+
+impl ClipPair {
+    /// The pair's rate class.
+    pub fn class(&self) -> RateClass {
+        self.real.class
+    }
+
+    /// The two clips.
+    pub fn clips(&self) -> [&Clip; 2] {
+        [&self.real, &self.wmp]
+    }
+}
+
+/// One of Table 1's six data sets: same content and length, encoded in
+/// both formats at two (or, for set 6, three) rate classes.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DataSet {
+    /// Set number, 1-6.
+    pub id: u8,
+    /// Content category.
+    pub content: ContentKind,
+    /// Clip length in seconds.
+    pub duration_secs: f64,
+    /// The rate-class pairs, lowest class last (matching Table 1's
+    /// rows: very high, high, low).
+    pub pairs: Vec<ClipPair>,
+}
+
+impl DataSet {
+    /// The pair of the given class, if the set has one.
+    pub fn pair(&self, class: RateClass) -> Option<&ClipPair> {
+        self.pairs.iter().find(|p| p.class() == class)
+    }
+
+    /// All clips in the set.
+    pub fn clips(&self) -> impl Iterator<Item = &Clip> {
+        self.pairs.iter().flat_map(|p| [&p.real, &p.wmp])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clip() -> Clip {
+        Clip {
+            set: 1,
+            player: PlayerId::RealPlayer,
+            class: RateClass::High,
+            encoded_kbps: 284.0,
+            advertised_kbps: 300.0,
+            duration_secs: 120.0,
+            content: ContentKind::Sports,
+        }
+    }
+
+    #[test]
+    fn names_follow_table1_convention() {
+        assert_eq!(clip().name(), "R-h#1");
+        let mut c = clip();
+        c.player = PlayerId::MediaPlayer;
+        c.class = RateClass::VeryHigh;
+        c.set = 6;
+        assert_eq!(c.name(), "M-v#6");
+        let mut d = clip();
+        d.class = RateClass::Low;
+        assert_eq!(d.name(), "R-l#1");
+    }
+
+    #[test]
+    fn rate_conversions() {
+        let c = clip();
+        assert_eq!(c.encoded_bps(), 284_000);
+        assert_eq!(c.media_bytes(), (284_000.0 / 8.0 * 120.0) as u64);
+    }
+
+    #[test]
+    fn content_labels() {
+        assert_eq!(ContentKind::MusicTv.label(), "Music TV");
+        assert_eq!(ContentKind::MovieClip.label(), "Movie clip");
+    }
+
+    #[test]
+    fn rate_class_ordering_low_to_very_high() {
+        assert!(RateClass::Low < RateClass::High);
+        assert!(RateClass::High < RateClass::VeryHigh);
+    }
+}

@@ -1,0 +1,123 @@
+//! The codec frame-rate model, calibrated to §3.H.
+//!
+//! What the paper measured:
+//!
+//! * "The two high data rate clips for MediaPlayer and RealPlayer both
+//!   reach 25 frames per seconds, typically considered full-motion
+//!   video frame rate."
+//! * "The lowest frame rate is for the low encoded MediaPlayer clip,
+//!   which plays at 13 frames per second." (the 39 Kbit/s clip of
+//!   Figure 13)
+//! * "The similarly encoded RealPlayer clip reaches a significantly
+//!   higher frame rate than the MediaPlayer clip."
+//! * Figures 14/15: "For low date rate encoded clips, MediaPlayer has
+//!   a lower frame rate than RealPlayer, while for high and super high
+//!   encoded data rate clips, MediaPlayer and RealPlayer playback at a
+//!   similar frame rate."
+//!
+//! The model is a per-player rate→fps curve (linear with a full-motion
+//! cap) whose coefficients are pinned by those operating points.
+
+use turb_wire::media::PlayerId;
+
+/// Full-motion frame rate (§3.H).
+pub const FULL_MOTION_FPS: f64 = 25.0;
+
+/// Calibration constants for the rate→fps curves.
+pub mod calibration {
+    /// MediaPlayer: fps = WMP_BASE + WMP_SLOPE · kbps, capped.
+    /// Pinned by (39 Kbit/s → 13 fps) and reaching the cap near
+    /// 100 Kbit/s (the 102.3 Kbit/s "low" clips play full motion).
+    pub const WMP_BASE: f64 = 4.0;
+    /// Slope of the MediaPlayer curve (fps per Kbit/s).
+    pub const WMP_SLOPE: f64 = 0.23;
+    /// RealPlayer: fps = REAL_BASE + REAL_SLOPE · kbps, capped.
+    /// Pinned so the 22-36 Kbit/s clips play "significantly higher"
+    /// than MediaPlayer's 13 fps (≈19-24 fps).
+    pub const REAL_BASE: f64 = 12.0;
+    /// Slope of the RealPlayer curve (fps per Kbit/s).
+    pub const REAL_SLOPE: f64 = 0.35;
+    /// Floor below which no codec drops (a slideshow, not video).
+    pub const MIN_FPS: f64 = 4.0;
+}
+
+/// The nominal (steady-state) frame rate a player achieves for a clip
+/// encoded at `encoded_kbps`, before transient effects.
+pub fn nominal_fps(player: PlayerId, encoded_kbps: f64) -> f64 {
+    use calibration::*;
+    let raw = match player {
+        PlayerId::MediaPlayer => WMP_BASE + WMP_SLOPE * encoded_kbps,
+        PlayerId::RealPlayer => REAL_BASE + REAL_SLOPE * encoded_kbps,
+    };
+    raw.clamp(MIN_FPS, FULL_MOTION_FPS)
+}
+
+/// Nominal duration of one video frame in milliseconds.
+pub fn frame_interval_ms(player: PlayerId, encoded_kbps: f64) -> f64 {
+    1000.0 / nominal_fps(player, encoded_kbps)
+}
+
+/// Average encoded bytes per video frame.
+pub fn bytes_per_frame(player: PlayerId, encoded_kbps: f64) -> f64 {
+    (encoded_kbps * 1000.0 / 8.0) / nominal_fps(player, encoded_kbps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wmp_low_clip_plays_13_fps() {
+        // Figure 13's observation, the model's primary pin.
+        let fps = nominal_fps(PlayerId::MediaPlayer, 39.0);
+        assert!((fps - 13.0).abs() < 0.5, "fps = {fps}");
+    }
+
+    #[test]
+    fn real_low_clip_significantly_faster_than_wmp() {
+        // §3.H: Real's 22 Kbit/s clip beats WMP's 39 Kbit/s clip.
+        let real = nominal_fps(PlayerId::RealPlayer, 22.0);
+        let wmp = nominal_fps(PlayerId::MediaPlayer, 39.0);
+        assert!(real > wmp + 3.0, "real {real} vs wmp {wmp}");
+    }
+
+    #[test]
+    fn high_rate_clips_reach_full_motion_for_both() {
+        for kbps in [217.6, 250.4, 284.0, 323.1, 636.9, 731.3] {
+            assert_eq!(nominal_fps(PlayerId::RealPlayer, kbps), FULL_MOTION_FPS);
+            assert_eq!(nominal_fps(PlayerId::MediaPlayer, kbps), FULL_MOTION_FPS);
+        }
+    }
+
+    #[test]
+    fn fps_is_monotone_in_rate() {
+        for player in [PlayerId::RealPlayer, PlayerId::MediaPlayer] {
+            let mut last = 0.0;
+            for kbps in (0..800).step_by(10) {
+                let fps = nominal_fps(player, kbps as f64);
+                assert!(fps >= last);
+                assert!((calibration::MIN_FPS..=FULL_MOTION_FPS).contains(&fps));
+                last = fps;
+            }
+        }
+    }
+
+    #[test]
+    fn real_never_slower_than_wmp_at_equal_rate() {
+        // Figures 14/15: at the same bandwidth RealPlayer's frame rate
+        // is at least MediaPlayer's.
+        for kbps in (10..800).step_by(5) {
+            let real = nominal_fps(PlayerId::RealPlayer, kbps as f64);
+            let wmp = nominal_fps(PlayerId::MediaPlayer, kbps as f64);
+            assert!(real >= wmp, "at {kbps} Kbps: {real} < {wmp}");
+        }
+    }
+
+    #[test]
+    fn frame_interval_and_bytes_are_consistent() {
+        let fps = nominal_fps(PlayerId::MediaPlayer, 250.0);
+        assert!((frame_interval_ms(PlayerId::MediaPlayer, 250.0) - 1000.0 / fps).abs() < 1e-9);
+        let bpf = bytes_per_frame(PlayerId::MediaPlayer, 250.0);
+        assert!((bpf * fps - 250.0 * 1000.0 / 8.0).abs() < 1e-6);
+    }
+}

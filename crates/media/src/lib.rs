@@ -1,0 +1,14 @@
+//! # turb-media — clips, codecs, and the Table 1 corpus
+//!
+//! The media-side model of the reproduction: what a clip *is*
+//! ([`Clip`], [`ClipPair`], [`DataSet`]), the paper's exact experiment
+//! corpus ([`corpus::table1`] — six data sets, 26 clips, with the
+//! encoded rates the trackers measured), and the codec frame-rate
+//! model ([`codec`]) calibrated to §3.H's observations.
+
+pub mod clip;
+pub mod codec;
+pub mod corpus;
+
+pub use clip::{Clip, ClipPair, ContentKind, DataSet, RateClass};
+pub use turb_wire::media::PlayerId;

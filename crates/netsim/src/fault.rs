@@ -1,0 +1,261 @@
+//! Link fault injection: loss and jitter models.
+//!
+//! The paper measured under "typical conditions" (≈0 % loss, §3.A), but
+//! the analysis repeatedly reasons about what loss *would* do
+//! (fragmentation-based goodput collapse, §3.C) and jitter is the whole
+//! reason delay buffers exist (§3.F). The injector lets experiments and
+//! ablation benches turn those conditions on deterministically.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Packet loss model applied per-packet as it leaves a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// No loss.
+    None,
+    /// Independent loss with probability `p`.
+    Bernoulli {
+        /// Per-packet drop probability.
+        p: f64,
+    },
+    /// Two-state Gilbert-Elliott bursty loss.
+    GilbertElliott {
+        /// P(good → bad) per packet.
+        p_enter_bad: f64,
+        /// P(bad → good) per packet.
+        p_leave_bad: f64,
+        /// Drop probability while in the good state.
+        loss_good: f64,
+        /// Drop probability while in the bad state.
+        loss_bad: f64,
+    },
+}
+
+/// Additional per-packet delay model (beyond propagation + queueing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JitterModel {
+    /// No extra delay.
+    None,
+    /// Uniform extra delay in `[0, max]`.
+    Uniform {
+        /// Upper bound of the extra delay.
+        max: SimDuration,
+    },
+    /// Half-normal extra delay: `|N(0, std)|`, clamped at `cap`.
+    ///
+    /// A reasonable stand-in for cross-traffic queueing noise; large
+    /// draws can reorder packets exactly as real jitter does.
+    HalfNormal {
+        /// Standard deviation of the underlying normal.
+        std: SimDuration,
+        /// Hard upper bound.
+        cap: SimDuration,
+    },
+}
+
+/// Counters kept by a [`FaultInjector`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets offered to the injector.
+    pub offered: u64,
+    /// Packets dropped by the loss model.
+    pub dropped: u64,
+}
+
+/// Per-link fault injector combining a loss and a jitter model.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Active loss model.
+    pub loss: LossModel,
+    /// Active jitter model.
+    pub jitter: JitterModel,
+    in_bad_state: bool,
+    stats: FaultStats,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::none()
+    }
+}
+
+impl FaultInjector {
+    /// An injector that does nothing.
+    pub fn none() -> Self {
+        FaultInjector {
+            loss: LossModel::None,
+            jitter: JitterModel::None,
+            in_bad_state: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Independent loss with probability `p`, no jitter.
+    pub fn bernoulli(p: f64) -> Self {
+        FaultInjector {
+            loss: LossModel::Bernoulli { p },
+            ..FaultInjector::none()
+        }
+    }
+
+    /// Two-state bursty loss, no jitter.
+    pub fn gilbert_elliott(
+        p_enter_bad: f64,
+        p_leave_bad: f64,
+        loss_good: f64,
+        loss_bad: f64,
+    ) -> Self {
+        FaultInjector {
+            loss: LossModel::GilbertElliott {
+                p_enter_bad,
+                p_leave_bad,
+                loss_good,
+                loss_bad,
+            },
+            ..FaultInjector::none()
+        }
+    }
+
+    /// Decide whether to drop the next packet.
+    pub fn should_drop(&mut self, rng: &mut SimRng) -> bool {
+        self.stats.offered += 1;
+        let drop = match self.loss {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => rng.chance(p),
+            LossModel::GilbertElliott {
+                p_enter_bad,
+                p_leave_bad,
+                loss_good,
+                loss_bad,
+            } => {
+                if self.in_bad_state {
+                    if rng.chance(p_leave_bad) {
+                        self.in_bad_state = false;
+                    }
+                } else if rng.chance(p_enter_bad) {
+                    self.in_bad_state = true;
+                }
+                rng.chance(if self.in_bad_state { loss_bad } else { loss_good })
+            }
+        };
+        if drop {
+            self.stats.dropped += 1;
+        }
+        drop
+    }
+
+    /// Sample the extra delay for the next packet.
+    pub fn extra_delay(&mut self, rng: &mut SimRng) -> SimDuration {
+        match self.jitter {
+            JitterModel::None => SimDuration::ZERO,
+            JitterModel::Uniform { max } => {
+                SimDuration::from_nanos(rng.range_u64(0, max.as_nanos()))
+            }
+            JitterModel::HalfNormal { std, cap } => {
+                let d = rng.normal(0.0, std.as_nanos() as f64).abs();
+                SimDuration::from_nanos((d as u64).min(cap.as_nanos()))
+            }
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_drops_or_delays() {
+        let mut f = FaultInjector::none();
+        let mut rng = SimRng::new(1);
+        for _ in 0..1000 {
+            assert!(!f.should_drop(&mut rng));
+            assert_eq!(f.extra_delay(&mut rng), SimDuration::ZERO);
+        }
+        assert_eq!(f.stats().offered, 1000);
+        assert_eq!(f.stats().dropped, 0);
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_p() {
+        let mut f = FaultInjector::bernoulli(0.2);
+        let mut rng = SimRng::new(2);
+        for _ in 0..50_000 {
+            f.should_drop(&mut rng);
+        }
+        let rate = f.stats().dropped as f64 / f.stats().offered as f64;
+        assert!((rate - 0.2).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_is_bursty() {
+        let mut f = FaultInjector {
+            loss: LossModel::GilbertElliott {
+                p_enter_bad: 0.01,
+                p_leave_bad: 0.2,
+                loss_good: 0.0,
+                loss_bad: 0.8,
+            },
+            ..FaultInjector::none()
+        };
+        let mut rng = SimRng::new(3);
+        let drops: Vec<bool> = (0..100_000).map(|_| f.should_drop(&mut rng)).collect();
+        let total: usize = drops.iter().filter(|&&d| d).count();
+        assert!(total > 0);
+        // Burstiness: P(drop | previous drop) should far exceed P(drop).
+        let mut after_drop = 0usize;
+        let mut after_drop_hits = 0usize;
+        for w in drops.windows(2) {
+            if w[0] {
+                after_drop += 1;
+                if w[1] {
+                    after_drop_hits += 1;
+                }
+            }
+        }
+        let p_uncond = total as f64 / drops.len() as f64;
+        let p_cond = after_drop_hits as f64 / after_drop as f64;
+        assert!(
+            p_cond > 3.0 * p_uncond,
+            "p_cond = {p_cond}, p_uncond = {p_uncond}"
+        );
+    }
+
+    #[test]
+    fn uniform_jitter_respects_bound() {
+        let mut f = FaultInjector {
+            jitter: JitterModel::Uniform {
+                max: SimDuration::from_millis(5),
+            },
+            ..FaultInjector::none()
+        };
+        let mut rng = SimRng::new(4);
+        let mut saw_nonzero = false;
+        for _ in 0..1000 {
+            let d = f.extra_delay(&mut rng);
+            assert!(d <= SimDuration::from_millis(5));
+            saw_nonzero |= d > SimDuration::ZERO;
+        }
+        assert!(saw_nonzero);
+    }
+
+    #[test]
+    fn half_normal_jitter_is_capped() {
+        let mut f = FaultInjector {
+            jitter: JitterModel::HalfNormal {
+                std: SimDuration::from_millis(10),
+                cap: SimDuration::from_millis(4),
+            },
+            ..FaultInjector::none()
+        };
+        let mut rng = SimRng::new(5);
+        for _ in 0..1000 {
+            assert!(f.extra_delay(&mut rng) <= SimDuration::from_millis(4));
+        }
+    }
+}

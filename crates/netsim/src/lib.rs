@@ -1,0 +1,74 @@
+//! # turb-netsim — a deterministic discrete-event network simulator
+//!
+//! The substrate standing in for the 2002 Internet of the paper's
+//! measurement study. Sans-IO and single-threaded: a run is a pure
+//! function of (topology, applications, seed), so every experiment in
+//! the workspace is bit-reproducible.
+//!
+//! * [`time`] — nanosecond [`SimTime`]/[`SimDuration`] clock.
+//! * [`rng`] — embedded xoshiro256** [`SimRng`] with forkable
+//!   sub-streams.
+//! * [`link`] — simplex links with serialisation delay, propagation,
+//!   and drop-tail queues; duplex = a pair.
+//! * [`node`] — hosts (reassembly, UDP port table, ICMP listeners) and
+//!   routers (TTL, forwarding, ICMP time-exceeded).
+//! * [`fault`] — Bernoulli / Gilbert-Elliott loss and jitter injection.
+//! * [`sim`] — the engine: event queue, [`Application`] trait,
+//!   [`Ctx`] capability handle, sniffer taps.
+//! * [`topology`] — the paper's client-to-six-sites scenario with
+//!   hop-count and RTT distributions calibrated to Figures 1–2.
+//! * [`tools`] — `ping` and `tracert` as simulated applications.
+//! * [`tcp`] — a sans-IO Reno TCP (handshake, retransmission, fast
+//!   recovery) for the paper's §VI TCP-friendliness follow-up.
+//!
+//! ```
+//! use turb_netsim::prelude::*;
+//!
+//! let mut sim = Simulation::new(7);
+//! let mut rng = SimRng::new(7);
+//! let scenario = InternetScenario::build(&mut sim, &mut rng, &ScenarioConfig::default());
+//! let report = tools::spawn_ping(
+//!     &mut sim,
+//!     scenario.client,
+//!     scenario.sites[0].server_addr,
+//!     4,
+//!     SimDuration::from_secs(1),
+//!     SimDuration::ZERO,
+//!     &mut rng,
+//! );
+//! sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+//! assert_eq!(report.borrow().received, 4);
+//! ```
+
+pub mod fault;
+pub mod link;
+pub mod node;
+pub mod red;
+pub mod rng;
+pub mod sim;
+pub mod tcp;
+pub mod tcp_apps;
+pub mod time;
+pub mod tools;
+pub mod topology;
+
+pub use fault::{FaultInjector, JitterModel, LossModel};
+pub use link::{Link, LinkConfig, LinkId, LinkStats, NodeId};
+pub use node::{AppId, Node, NodeKind, NodeStats};
+pub use red::RedQueue;
+pub use rng::SimRng;
+pub use sim::{Application, Ctx, Direction, SimCore, Simulation, Tap, TapEvent};
+pub use time::{SimDuration, SimTime};
+pub use topology::{InternetScenario, ScenarioConfig, SitePath};
+
+/// Convenient glob import for simulation consumers.
+pub mod prelude {
+    pub use crate::fault::{FaultInjector, JitterModel, LossModel};
+    pub use crate::link::{LinkConfig, LinkId, NodeId};
+    pub use crate::node::AppId;
+    pub use crate::rng::SimRng;
+    pub use crate::sim::{Application, Ctx, Direction, Simulation, TapEvent};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::tools;
+    pub use crate::topology::{InternetScenario, ScenarioConfig};
+}

@@ -1,0 +1,283 @@
+//! Simplex point-to-point links with serialisation delay, propagation
+//! delay, and a drop-tail queue.
+
+use crate::fault::FaultInjector;
+use crate::red::RedQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a link within a [`crate::sim::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// Identifier of a node within a [`crate::sim::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Static configuration of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Transmission rate in bits per second.
+    pub rate_bps: u64,
+    /// Propagation delay.
+    pub propagation: SimDuration,
+    /// Drop-tail transmit queue capacity in bytes. Packets arriving
+    /// when the backlog would exceed this are discarded.
+    pub queue_capacity: usize,
+    /// Link MTU in bytes of IP packet; larger packets are fragmented by
+    /// the transmitting node.
+    pub mtu: usize,
+}
+
+impl LinkConfig {
+    /// A 10 Mbit/s Ethernet access link, like the paper's client NIC
+    /// ("PCI 10M base Network Interface Card").
+    pub fn ethernet_10m(propagation: SimDuration) -> Self {
+        LinkConfig {
+            rate_bps: 10_000_000,
+            propagation,
+            queue_capacity: 64 * 1024,
+            mtu: turb_wire::DEFAULT_MTU,
+        }
+    }
+
+    /// A 45 Mbit/s T3 backbone hop.
+    pub fn t3(propagation: SimDuration) -> Self {
+        LinkConfig {
+            rate_bps: 45_000_000,
+            propagation,
+            queue_capacity: 256 * 1024,
+            mtu: turb_wire::DEFAULT_MTU,
+        }
+    }
+
+    /// A 1.5 Mbit/s T1 tail circuit — a plausible 2002 server uplink
+    /// and the kind of bottleneck §3.F invokes for the 637 Kbit/s clip.
+    pub fn t1(propagation: SimDuration) -> Self {
+        LinkConfig {
+            rate_bps: 1_544_000,
+            propagation,
+            queue_capacity: 32 * 1024,
+            mtu: turb_wire::DEFAULT_MTU,
+        }
+    }
+
+    /// Serialisation time for a packet of `bytes`.
+    pub fn tx_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::transmission(bytes, self.rate_bps)
+    }
+}
+
+/// Counters kept per link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets accepted for transmission.
+    pub tx_packets: u64,
+    /// Bytes accepted for transmission (IP bytes).
+    pub tx_bytes: u64,
+    /// Packets dropped because the transmit queue was full.
+    pub dropped_queue: u64,
+    /// Packets dropped early by RED.
+    pub dropped_red: u64,
+    /// Packets dropped by the fault injector.
+    pub dropped_fault: u64,
+}
+
+/// A simplex link. Duplex connectivity is modelled as a pair of links.
+#[derive(Debug)]
+pub struct Link {
+    /// This link's id.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Static parameters.
+    pub config: LinkConfig,
+    /// Fault injector applied to every packet.
+    pub fault: FaultInjector,
+    /// Optional RED active queue management; `None` = plain drop-tail.
+    pub red: Option<RedQueue>,
+    /// Instant at which the transmitter becomes free.
+    next_free: SimTime,
+    /// Counters.
+    pub stats: LinkStats,
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// The packet will arrive at the far end at the given instant.
+    Deliver {
+        /// Arrival instant (end of serialisation + propagation + jitter).
+        arrival: SimTime,
+    },
+    /// Dropped: transmit queue full.
+    QueueFull,
+    /// Dropped: fault injector.
+    Faulted,
+}
+
+impl Link {
+    /// Create a link; normally done through
+    /// [`crate::sim::Simulation::add_link`].
+    pub fn new(id: LinkId, from: NodeId, to: NodeId, config: LinkConfig) -> Self {
+        Link {
+            id,
+            from,
+            to,
+            config,
+            fault: FaultInjector::none(),
+            red: None,
+            next_free: SimTime::ZERO,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Bytes currently queued awaiting transmission. Exact for a FIFO
+    /// transmitter: the backlog is whatever the remaining busy time can
+    /// serialise.
+    pub fn backlog_bytes(&self, now: SimTime) -> usize {
+        let busy = self.next_free.since(now);
+        ((busy.as_nanos() as u128 * self.config.rate_bps as u128) / (8 * 1_000_000_000)) as usize
+    }
+
+    /// Offer an IP packet of `bytes` for transmission at `now`.
+    ///
+    /// Applies drop-tail admission, FIFO serialisation, propagation
+    /// delay, and the fault injector, and returns when (or whether) the
+    /// packet reaches the far end.
+    pub fn transmit(
+        &mut self,
+        now: SimTime,
+        bytes: usize,
+        rng: &mut crate::rng::SimRng,
+    ) -> TxOutcome {
+        let backlog = self.backlog_bytes(now);
+        if backlog + bytes > self.config.queue_capacity {
+            self.stats.dropped_queue += 1;
+            return TxOutcome::QueueFull;
+        }
+        if let Some(red) = self.red.as_mut() {
+            if red.should_drop(backlog, rng) {
+                self.stats.dropped_red += 1;
+                return TxOutcome::QueueFull;
+            }
+        }
+        let start = self.next_free.max(now);
+        let done = start + self.config.tx_time(bytes);
+        self.next_free = done;
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += bytes as u64;
+        if self.fault.should_drop(rng) {
+            // The packet consumed transmit bandwidth but is lost in
+            // flight; nothing arrives.
+            self.stats.dropped_fault += 1;
+            return TxOutcome::Faulted;
+        }
+        let arrival = done + self.config.propagation + self.fault.extra_delay(rng);
+        TxOutcome::Deliver { arrival }
+    }
+
+    /// Utilisation bookkeeping: when the transmitter frees up.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    fn link(rate_bps: u64, prop_ms: u64, queue: usize) -> Link {
+        Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            LinkConfig {
+                rate_bps,
+                propagation: SimDuration::from_millis(prop_ms),
+                queue_capacity: queue,
+                mtu: 1500,
+            },
+        )
+    }
+
+    #[test]
+    fn single_packet_latency_is_tx_plus_prop() {
+        let mut l = link(8_000_000, 10, 1 << 20); // 1 byte / µs
+        let mut rng = SimRng::new(1);
+        match l.transmit(SimTime::ZERO, 1000, &mut rng) {
+            TxOutcome::Deliver { arrival } => {
+                // 1000 µs serialisation + 10 ms propagation.
+                assert_eq!(arrival, SimTime(1_000_000 + 10_000_000));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_serialise_fifo() {
+        let mut l = link(8_000_000, 0, 1 << 20);
+        let mut rng = SimRng::new(1);
+        let a = l.transmit(SimTime::ZERO, 1000, &mut rng);
+        let b = l.transmit(SimTime::ZERO, 1000, &mut rng);
+        let (TxOutcome::Deliver { arrival: ta }, TxOutcome::Deliver { arrival: tb }) = (a, b)
+        else {
+            panic!("both should deliver");
+        };
+        assert_eq!(tb.since(ta), SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn backlog_drains_over_time() {
+        let mut l = link(8_000_000, 0, 1 << 20);
+        let mut rng = SimRng::new(1);
+        l.transmit(SimTime::ZERO, 1000, &mut rng);
+        l.transmit(SimTime::ZERO, 1000, &mut rng);
+        assert_eq!(l.backlog_bytes(SimTime::ZERO), 2000);
+        assert_eq!(l.backlog_bytes(SimTime(1_000_000)), 1000);
+        assert_eq!(l.backlog_bytes(SimTime(2_000_000)), 0);
+    }
+
+    #[test]
+    fn drop_tail_when_queue_full() {
+        let mut l = link(8_000, 0, 1500); // slow link, tiny queue
+        let mut rng = SimRng::new(1);
+        assert!(matches!(
+            l.transmit(SimTime::ZERO, 1000, &mut rng),
+            TxOutcome::Deliver { .. }
+        ));
+        // Backlog is now 1000 bytes; a 1000-byte packet exceeds capacity.
+        assert_eq!(l.transmit(SimTime::ZERO, 1000, &mut rng), TxOutcome::QueueFull);
+        assert_eq!(l.stats.dropped_queue, 1);
+        // A small packet still fits.
+        assert!(matches!(
+            l.transmit(SimTime::ZERO, 400, &mut rng),
+            TxOutcome::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn fault_injector_drops_consume_bandwidth() {
+        let mut l = link(8_000_000, 0, 1 << 20);
+        l.fault = FaultInjector::bernoulli(1.0);
+        let mut rng = SimRng::new(1);
+        assert_eq!(l.transmit(SimTime::ZERO, 1000, &mut rng), TxOutcome::Faulted);
+        assert_eq!(l.stats.dropped_fault, 1);
+        assert_eq!(l.backlog_bytes(SimTime::ZERO), 1000);
+    }
+
+    #[test]
+    fn presets_have_expected_rates() {
+        let p = SimDuration::from_millis(1);
+        assert_eq!(LinkConfig::ethernet_10m(p).rate_bps, 10_000_000);
+        assert_eq!(LinkConfig::t3(p).rate_bps, 45_000_000);
+        assert_eq!(LinkConfig::t1(p).rate_bps, 1_544_000);
+        // 1500 bytes on 10 Mbit/s Ethernet = 1.2 ms.
+        assert_eq!(
+            LinkConfig::ethernet_10m(p).tx_time(1500),
+            SimDuration::from_micros(1200)
+        );
+    }
+}

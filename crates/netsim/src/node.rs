@@ -1,0 +1,162 @@
+//! Nodes: hosts (run applications, reassemble fragments) and routers
+//! (forward, decrement TTL, emit ICMP time-exceeded).
+
+use crate::link::{LinkId, NodeId};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use turb_wire::ethernet::MacAddr;
+use turb_wire::frag::Reassembler;
+
+/// Identifier of an application within a [`crate::sim::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub usize);
+
+/// What a node does with packets addressed elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// End system: terminates traffic, runs applications.
+    Host,
+    /// Forwards traffic, decrements TTL, answers traceroute.
+    Router,
+}
+
+/// Counters kept per node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// IP packets received (per fragment, pre-reassembly).
+    pub rx_packets: u64,
+    /// IP bytes received.
+    pub rx_bytes: u64,
+    /// IP packets originated or forwarded.
+    pub tx_packets: u64,
+    /// Packets discarded: TTL expired here.
+    pub ttl_expired: u64,
+    /// Packets discarded: no route to destination.
+    pub no_route: u64,
+    /// UDP datagrams delivered to applications.
+    pub udp_delivered: u64,
+    /// UDP datagrams to ports nobody listens on.
+    pub udp_unreachable: u64,
+    /// TCP segments delivered to applications.
+    pub tcp_delivered: u64,
+    /// TCP segments to ports nobody listens on.
+    pub tcp_unreachable: u64,
+    /// Packets whose L3/L4 decode failed (e.g. corrupted checksum).
+    pub decode_errors: u64,
+}
+
+/// A node in the simulated network.
+#[derive(Debug)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Human-readable name for reports and traceroute output.
+    pub name: String,
+    /// IPv4 address (one per node; multi-homing is not modelled).
+    pub addr: Ipv4Addr,
+    /// MAC address used when frames are materialised for capture.
+    pub mac: MacAddr,
+    /// Host or router.
+    pub kind: NodeKind,
+    /// Longest-prefix routing is overkill for our topologies: exact
+    /// destination → outgoing link, with an optional default.
+    pub routes: HashMap<Ipv4Addr, LinkId>,
+    /// Default route when no exact match exists.
+    pub default_route: Option<LinkId>,
+    /// UDP port → listening application.
+    pub ports: HashMap<u16, AppId>,
+    /// TCP port → listening application (raw segment delivery; the
+    /// connection state machine lives in `crate::tcp`).
+    pub tcp_ports: HashMap<u16, AppId>,
+    /// Applications that want a copy of non-echo-request ICMP
+    /// arriving at this node (ping/tracert tools).
+    pub icmp_listeners: Vec<AppId>,
+    /// IPv4 identification counter for originated datagrams.
+    pub ip_ident: u16,
+    /// Fragment reassembly state for traffic terminating here.
+    pub reassembler: Reassembler,
+    /// Counters.
+    pub stats: NodeStats,
+}
+
+impl Node {
+    /// Create a node; normally done through
+    /// [`crate::sim::Simulation::add_host`] / `add_router`.
+    pub fn new(id: NodeId, name: String, addr: Ipv4Addr, kind: NodeKind) -> Self {
+        // Classic stacks hold fragments for 15-60 s; 30 s here.
+        const REASSEMBLY_TIMEOUT_NS: u64 = 30_000_000_000;
+        Node {
+            id,
+            name,
+            addr,
+            mac: MacAddr::local(id.0 as u32),
+            kind,
+            routes: HashMap::new(),
+            default_route: None,
+            ports: HashMap::new(),
+            tcp_ports: HashMap::new(),
+            icmp_listeners: Vec::new(),
+            ip_ident: 0,
+            reassembler: Reassembler::new(REASSEMBLY_TIMEOUT_NS),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Allocate the next IPv4 identification value.
+    pub fn next_ident(&mut self) -> u16 {
+        let id = self.ip_ident;
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        id
+    }
+
+    /// Resolve the outgoing link toward `dst`.
+    pub fn route(&self, dst: Ipv4Addr) -> Option<LinkId> {
+        self.routes.get(&dst).copied().or(self.default_route)
+    }
+
+    /// Install an exact-destination route.
+    pub fn add_route(&mut self, dst: Ipv4Addr, via: LinkId) {
+        self.routes.insert(dst, via);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Node {
+        Node::new(
+            NodeId(3),
+            "client".into(),
+            Ipv4Addr::new(130, 215, 36, 10),
+            NodeKind::Host,
+        )
+    }
+
+    #[test]
+    fn ident_counter_increments_and_wraps() {
+        let mut n = node();
+        n.ip_ident = u16::MAX - 1;
+        assert_eq!(n.next_ident(), u16::MAX - 1);
+        assert_eq!(n.next_ident(), u16::MAX);
+        assert_eq!(n.next_ident(), 0);
+    }
+
+    #[test]
+    fn routing_prefers_exact_match_over_default() {
+        let mut n = node();
+        let dst = Ipv4Addr::new(204, 71, 200, 33);
+        assert_eq!(n.route(dst), None);
+        n.default_route = Some(LinkId(9));
+        assert_eq!(n.route(dst), Some(LinkId(9)));
+        n.add_route(dst, LinkId(2));
+        assert_eq!(n.route(dst), Some(LinkId(2)));
+        // Other destinations still use the default.
+        assert_eq!(n.route(Ipv4Addr::new(1, 2, 3, 4)), Some(LinkId(9)));
+    }
+
+    #[test]
+    fn mac_is_derived_from_id() {
+        assert_eq!(node().mac, MacAddr::local(3));
+    }
+}

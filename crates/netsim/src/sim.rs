@@ -1,0 +1,1056 @@
+//! The discrete-event simulation engine.
+//!
+//! Architecture (sans-IO, smoltcp-style): the engine owns all network
+//! state ([`SimCore`]: nodes, links, event queue, RNG) plus a slab of
+//! boxed [`Application`]s. Applications interact with the network only
+//! through a [`Ctx`] handed to their callbacks — sending UDP/ICMP,
+//! setting timers, drawing random numbers — so every run is a pure
+//! function of (topology, applications, seed).
+//!
+//! Event ordering is `(time, insertion sequence)`: simultaneous events
+//! fire in the order they were scheduled, which keeps runs
+//! deterministic and independent of heap internals.
+
+use crate::link::{Link, LinkConfig, LinkId, NodeId, TxOutcome};
+use crate::node::{AppId, Node, NodeKind, NodeStats};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use bytes::Bytes;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::net::Ipv4Addr;
+use turb_wire::icmp::IcmpMessage;
+use turb_wire::ipv4::{IpProtocol, Ipv4Packet};
+use turb_wire::tcp::TcpSegment;
+use turb_wire::udp::UdpDatagram;
+
+/// Which way a tapped packet was travelling relative to the tapped node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Leaving the node.
+    Tx,
+    /// Arriving at the node.
+    Rx,
+}
+
+/// A packet observation delivered to a tap (the sniffer hook).
+#[derive(Debug)]
+pub struct TapEvent<'a> {
+    /// Observation instant.
+    pub time: SimTime,
+    /// The node the tap is attached to.
+    pub node: NodeId,
+    /// Travel direction relative to that node.
+    pub direction: Direction,
+    /// The link the packet was on.
+    pub link: LinkId,
+    /// The IP packet (post-fragmentation: what the wire carries).
+    pub packet: &'a Ipv4Packet,
+}
+
+/// A sniffer hook: called for every packet leaving or arriving at the
+/// tapped node. Implemented as a boxed closure so capture buffers can
+/// live outside the simulation (e.g. behind `Rc<RefCell<..>>`).
+pub type Tap = Box<dyn FnMut(&TapEvent<'_>)>;
+
+/// Callbacks implemented by simulated applications (players, trackers,
+/// ping, traceroute, traffic generators).
+#[allow(unused_variables)]
+pub trait Application {
+    /// Called once when the simulation starts (or when the app is added
+    /// to a running simulation).
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {}
+    /// A UDP datagram arrived on a port this app is bound to.
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: (Ipv4Addr, u16), dst_port: u16, payload: Bytes) {
+    }
+    /// An ICMP message arrived at this node (echo replies, time
+    /// exceeded, destination unreachable). Echo *requests* are answered
+    /// by the node itself and not surfaced here.
+    fn on_icmp(&mut self, ctx: &mut Ctx<'_>, from: Ipv4Addr, msg: IcmpMessage) {}
+    /// A TCP segment arrived on a port this app is bound to (see
+    /// [`Simulation::bind_tcp_port`]); the connection state machine in
+    /// [`crate::tcp`] consumes these.
+    fn on_tcp(&mut self, ctx: &mut Ctx<'_>, from: Ipv4Addr, segment: TcpSegment) {}
+    /// A timer set through [`Ctx::set_timer_after`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {}
+}
+
+#[derive(Debug)]
+enum Event {
+    AppStart(AppId),
+    Timer { app: AppId, token: u64 },
+    Arrival { link: LinkId, packet: Ipv4Packet },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A pending delivery to an application, produced while network state
+/// is mutably borrowed and dispatched afterwards.
+enum Delivery {
+    Udp {
+        app: AppId,
+        from: (Ipv4Addr, u16),
+        dst_port: u16,
+        payload: Bytes,
+    },
+    Icmp {
+        app: AppId,
+        from: Ipv4Addr,
+        msg: IcmpMessage,
+    },
+    Tcp {
+        app: AppId,
+        from: Ipv4Addr,
+        segment: TcpSegment,
+    },
+}
+
+/// All network state: everything an [`Application`] can touch through
+/// its [`Ctx`].
+pub struct SimCore {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled>,
+    seq: u64,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    taps: Vec<(NodeId, Tap)>,
+    rng: SimRng,
+}
+
+impl SimCore {
+    fn schedule(&mut self, time: SimTime, event: Event) {
+        let time = time.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, event });
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The engine RNG (components wanting isolation should
+    /// [`SimRng::fork`] their own stream at setup).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Immutable link access.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Mutable link access.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn run_taps(&mut self, direction: Direction, node: NodeId, link: LinkId, packet: &Ipv4Packet) {
+        if self.taps.is_empty() {
+            return;
+        }
+        let ev_time = self.now;
+        for (tapped, tap) in &mut self.taps {
+            if *tapped == node {
+                tap(&TapEvent {
+                    time: ev_time,
+                    node,
+                    direction,
+                    link,
+                    packet,
+                });
+            }
+        }
+    }
+
+    /// Originate or forward an IP packet from `node`: route, tap,
+    /// fragment to the link MTU, and put every fragment on the wire.
+    pub fn send_ip(&mut self, node: NodeId, packet: Ipv4Packet) {
+        let Some(link_id) = self.nodes[node.0].route(packet.dst) else {
+            self.nodes[node.0].stats.no_route += 1;
+            return;
+        };
+        let mtu = self.links[link_id.0].config.mtu;
+        let fragments = match turb_wire::frag::fragment(packet, mtu) {
+            Ok(f) => f,
+            Err(_) => {
+                // DF set and too big: treat as unroutable.
+                self.nodes[node.0].stats.no_route += 1;
+                return;
+            }
+        };
+        for frag in fragments {
+            self.nodes[node.0].stats.tx_packets += 1;
+            self.run_taps(Direction::Tx, node, link_id, &frag);
+            let bytes = frag.total_len();
+            let outcome = self.links[link_id.0].transmit(self.now, bytes, &mut self.rng);
+            if let TxOutcome::Deliver { arrival } = outcome {
+                self.schedule(arrival, Event::Arrival { link: link_id, packet: frag });
+            }
+        }
+    }
+
+    /// Build and send a UDP datagram from `node`.
+    pub fn send_udp_from(
+        &mut self,
+        node: NodeId,
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: Bytes,
+        ttl: u8,
+    ) {
+        let src = self.nodes[node.0].addr;
+        let datagram = UdpDatagram::new(src_port, dst_port, payload);
+        let udp_bytes = datagram
+            .encode(src, dst)
+            .expect("UDP payload within size limits");
+        let ident = self.nodes[node.0].next_ident();
+        let mut packet = Ipv4Packet::new(src, dst, IpProtocol::Udp, ident, udp_bytes);
+        packet.ttl = ttl;
+        self.send_ip(node, packet);
+    }
+
+    /// Build and send an ICMP message from `node`.
+    pub fn send_icmp_from(&mut self, node: NodeId, dst: Ipv4Addr, msg: IcmpMessage) {
+        let src = self.nodes[node.0].addr;
+        let ident = self.nodes[node.0].next_ident();
+        let packet = Ipv4Packet::new(src, dst, IpProtocol::Icmp, ident, msg.encode());
+        self.send_ip(node, packet);
+    }
+
+    /// First 28 bytes (IP header + 8) of a packet, for ICMP error bodies.
+    fn icmp_original(packet: &Ipv4Packet) -> Bytes {
+        let encoded = packet.encode().expect("in-flight packet is encodable");
+        encoded.slice(..encoded.len().min(28))
+    }
+
+    fn handle_arrival(&mut self, link_id: LinkId, packet: Ipv4Packet) -> Vec<Delivery> {
+        let node_id = self.links[link_id.0].to;
+        {
+            let node = &mut self.nodes[node_id.0];
+            node.stats.rx_packets += 1;
+            node.stats.rx_bytes += packet.total_len() as u64;
+        }
+        self.run_taps(Direction::Rx, node_id, link_id, &packet);
+
+        let local = packet.dst == self.nodes[node_id.0].addr;
+        if !local {
+            if self.nodes[node_id.0].kind == NodeKind::Router {
+                self.forward(node_id, packet);
+            } else {
+                // Hosts silently drop transit traffic.
+                self.nodes[node_id.0].stats.no_route += 1;
+            }
+            return Vec::new();
+        }
+
+        // Local delivery: reassemble first.
+        let now_ns = self.now.as_nanos();
+        let whole = {
+            let node = &mut self.nodes[node_id.0];
+            node.reassembler.expire(now_ns);
+            node.reassembler.push(packet, now_ns)
+        };
+        let Some(packet) = whole else {
+            return Vec::new();
+        };
+        match packet.protocol {
+            IpProtocol::Icmp => self.deliver_icmp(node_id, packet),
+            IpProtocol::Udp => self.deliver_udp(node_id, packet),
+            IpProtocol::Tcp => self.deliver_tcp(node_id, packet),
+            _ => Vec::new(),
+        }
+    }
+
+    fn forward(&mut self, node_id: NodeId, mut packet: Ipv4Packet) {
+        if packet.ttl <= 1 {
+            self.nodes[node_id.0].stats.ttl_expired += 1;
+            // Never generate ICMP errors about ICMP errors.
+            let is_icmp_error = packet.protocol == IpProtocol::Icmp
+                && matches!(
+                    IcmpMessage::decode(&packet.payload),
+                    Ok(IcmpMessage::TimeExceeded { .. })
+                        | Ok(IcmpMessage::DestinationUnreachable { .. })
+                );
+            if !is_icmp_error {
+                let msg = IcmpMessage::TimeExceeded {
+                    original: Self::icmp_original(&packet),
+                };
+                self.send_icmp_from(node_id, packet.src, msg);
+            }
+            return;
+        }
+        packet.ttl -= 1;
+        self.send_ip(node_id, packet);
+    }
+
+    fn deliver_icmp(&mut self, node_id: NodeId, packet: Ipv4Packet) -> Vec<Delivery> {
+        let msg = match IcmpMessage::decode(&packet.payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.nodes[node_id.0].stats.decode_errors += 1;
+                return Vec::new();
+            }
+        };
+        if let Some(reply) = msg.reply_to() {
+            // Echo request: the node answers itself (hosts and routers).
+            self.send_icmp_from(node_id, packet.src, reply);
+            return Vec::new();
+        }
+        self.nodes[node_id.0]
+            .icmp_listeners
+            .clone()
+            .into_iter()
+            .map(|app| Delivery::Icmp {
+                app,
+                from: packet.src,
+                msg: msg.clone(),
+            })
+            .collect()
+    }
+
+    fn deliver_udp(&mut self, node_id: NodeId, packet: Ipv4Packet) -> Vec<Delivery> {
+        let datagram = match UdpDatagram::decode(&packet.payload, packet.src, packet.dst) {
+            Ok(d) => d,
+            Err(_) => {
+                self.nodes[node_id.0].stats.decode_errors += 1;
+                return Vec::new();
+            }
+        };
+        match self.nodes[node_id.0].ports.get(&datagram.dst_port).copied() {
+            Some(app) => {
+                self.nodes[node_id.0].stats.udp_delivered += 1;
+                vec![Delivery::Udp {
+                    app,
+                    from: (packet.src, datagram.src_port),
+                    dst_port: datagram.dst_port,
+                    payload: datagram.payload,
+                }]
+            }
+            None => {
+                self.nodes[node_id.0].stats.udp_unreachable += 1;
+                let msg = IcmpMessage::DestinationUnreachable {
+                    code: 3, // port unreachable
+                    original: Self::icmp_original(&packet),
+                };
+                self.send_icmp_from(node_id, packet.src, msg);
+                Vec::new()
+            }
+        }
+    }
+}
+
+impl SimCore {
+    fn deliver_tcp(&mut self, node_id: NodeId, packet: Ipv4Packet) -> Vec<Delivery> {
+        let segment = match TcpSegment::decode(&packet.payload, packet.src, packet.dst) {
+            Ok(s) => s,
+            Err(_) => {
+                self.nodes[node_id.0].stats.decode_errors += 1;
+                return Vec::new();
+            }
+        };
+        match self.nodes[node_id.0].tcp_ports.get(&segment.dst_port).copied() {
+            Some(app) => {
+                self.nodes[node_id.0].stats.tcp_delivered += 1;
+                vec![Delivery::Tcp {
+                    app,
+                    from: packet.src,
+                    segment,
+                }]
+            }
+            None => {
+                // A real stack would answer RST; nothing in the
+                // workspace needs that, so just count it.
+                self.nodes[node_id.0].stats.tcp_unreachable += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Build and send a TCP segment from `node`.
+    pub fn send_tcp_from(&mut self, node: NodeId, dst: Ipv4Addr, segment: &TcpSegment) {
+        let src = self.nodes[node.0].addr;
+        let bytes = segment.encode(src, dst).expect("segment within size limits");
+        let ident = self.nodes[node.0].next_ident();
+        let mut packet = Ipv4Packet::new(src, dst, IpProtocol::Tcp, ident, bytes);
+        packet.ttl = 128;
+        self.send_ip(node, packet);
+    }
+}
+
+/// The application-facing handle: everything an app may do during a
+/// callback.
+pub struct Ctx<'a> {
+    core: &'a mut SimCore,
+    app: AppId,
+    node: NodeId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// This application's id.
+    pub fn app_id(&self) -> AppId {
+        self.app
+    }
+
+    /// The node this application runs on.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's IPv4 address.
+    pub fn local_addr(&self) -> Ipv4Addr {
+        self.core.nodes[self.node.0].addr
+    }
+
+    /// Engine RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.rng
+    }
+
+    /// Send a UDP datagram with the default TTL (128, matching the
+    /// Windows senders of the study).
+    pub fn send_udp(&mut self, src_port: u16, dst: Ipv4Addr, dst_port: u16, payload: Bytes) {
+        self.core
+            .send_udp_from(self.node, src_port, dst, dst_port, payload, 128);
+    }
+
+    /// Send a UDP datagram with an explicit TTL (traceroute probes).
+    pub fn send_udp_ttl(
+        &mut self,
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: Bytes,
+        ttl: u8,
+    ) {
+        self.core
+            .send_udp_from(self.node, src_port, dst, dst_port, payload, ttl);
+    }
+
+    /// Send an ICMP message (e.g. an echo request for ping).
+    pub fn send_icmp(&mut self, dst: Ipv4Addr, msg: IcmpMessage) {
+        self.core.send_icmp_from(self.node, dst, msg);
+    }
+
+    /// Send a TCP segment.
+    pub fn send_tcp(&mut self, dst: Ipv4Addr, segment: &TcpSegment) {
+        self.core.send_tcp_from(self.node, dst, segment);
+    }
+
+    /// Schedule [`Application::on_timer`] with `token` after `delay`.
+    pub fn set_timer_after(&mut self, delay: SimDuration, token: u64) {
+        let at = self.core.now + delay;
+        self.core.schedule(
+            at,
+            Event::Timer {
+                app: self.app,
+                token,
+            },
+        );
+    }
+
+    /// Schedule [`Application::on_timer`] with `token` at absolute time
+    /// `at` (clamped to now).
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+        self.core.schedule(
+            at,
+            Event::Timer {
+                app: self.app,
+                token,
+            },
+        );
+    }
+}
+
+struct AppSlot {
+    node: NodeId,
+    app: Option<Box<dyn Application>>,
+}
+
+/// The simulation: network core plus applications.
+pub struct Simulation {
+    core: SimCore,
+    apps: Vec<AppSlot>,
+}
+
+impl Simulation {
+    /// Create an empty simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            core: SimCore {
+                now: SimTime::ZERO,
+                queue: BinaryHeap::new(),
+                seq: 0,
+                nodes: Vec::new(),
+                links: Vec::new(),
+                taps: Vec::new(),
+                rng: SimRng::new(seed),
+            },
+            apps: Vec::new(),
+        }
+    }
+
+    /// Add an end host.
+    pub fn add_host(&mut self, name: &str, addr: Ipv4Addr) -> NodeId {
+        self.add_node(name, addr, NodeKind::Host)
+    }
+
+    /// Add a router.
+    pub fn add_router(&mut self, name: &str, addr: Ipv4Addr) -> NodeId {
+        self.add_node(name, addr, NodeKind::Router)
+    }
+
+    fn add_node(&mut self, name: &str, addr: Ipv4Addr, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.core.nodes.len());
+        assert!(
+            !self.core.nodes.iter().any(|n| n.addr == addr),
+            "duplicate node address {addr}"
+        );
+        self.core.nodes.push(Node::new(id, name.to_string(), addr, kind));
+        id
+    }
+
+    /// Add a simplex link.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, config: LinkConfig) -> LinkId {
+        let id = LinkId(self.core.links.len());
+        self.core.links.push(Link::new(id, from, to, config));
+        id
+    }
+
+    /// Add a duplex link (two simplex links with the same config).
+    pub fn add_duplex(&mut self, a: NodeId, b: NodeId, config: LinkConfig) -> (LinkId, LinkId) {
+        (self.add_link(a, b, config), self.add_link(b, a, config))
+    }
+
+    /// Install an application on `node`. `udp_port` binds the app to a
+    /// UDP port; `listen_icmp` subscribes it to incoming ICMP. The
+    /// app's `on_start` fires when the simulation next runs.
+    pub fn add_app(
+        &mut self,
+        node: NodeId,
+        app: Box<dyn Application>,
+        udp_port: Option<u16>,
+        listen_icmp: bool,
+    ) -> AppId {
+        let id = AppId(self.apps.len());
+        self.apps.push(AppSlot {
+            node,
+            app: Some(app),
+        });
+        if let Some(port) = udp_port {
+            let previous = self.core.nodes[node.0].ports.insert(port, id);
+            assert!(previous.is_none(), "UDP port {port} already bound");
+        }
+        if listen_icmp {
+            self.core.nodes[node.0].icmp_listeners.push(id);
+        }
+        let now = self.core.now;
+        self.core.schedule(now, Event::AppStart(id));
+        id
+    }
+
+    /// Bind an application to a TCP port on its node (raw segment
+    /// delivery).
+    pub fn bind_tcp_port(&mut self, node: NodeId, port: u16, app: AppId) {
+        let previous = self.core.nodes[node.0].tcp_ports.insert(port, app);
+        assert!(previous.is_none(), "TCP port {port} already bound");
+    }
+
+    /// Attach a sniffer tap to `node`; it observes every packet the
+    /// node sends or receives (both directions, like Ethereal on the
+    /// client machine).
+    pub fn add_tap(&mut self, node: NodeId, tap: Tap) {
+        self.core.taps.push((node, tap));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Access the network core (topology, stats, RNG).
+    pub fn core(&self) -> &SimCore {
+        &self.core
+    }
+
+    /// Mutable access to the network core.
+    pub fn core_mut(&mut self) -> &mut SimCore {
+        &mut self.core
+    }
+
+    /// Convenience: a node's stats.
+    pub fn node_stats(&self, id: NodeId) -> NodeStats {
+        self.core.nodes[id.0].stats
+    }
+
+    fn dispatch(&mut self, app_id: AppId, f: impl FnOnce(&mut dyn Application, &mut Ctx<'_>)) {
+        let node = self.apps[app_id.0].node;
+        let Some(mut app) = self.apps[app_id.0].app.take() else {
+            return; // app removed itself? (not supported, but be safe)
+        };
+        {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                app: app_id,
+                node,
+            };
+            f(app.as_mut(), &mut ctx);
+        }
+        self.apps[app_id.0].app = Some(app);
+    }
+
+    /// Process one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(scheduled) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(scheduled.time >= self.core.now, "time must not run backwards");
+        self.core.now = scheduled.time;
+        match scheduled.event {
+            Event::AppStart(app) => self.dispatch(app, |a, ctx| a.on_start(ctx)),
+            Event::Timer { app, token } => self.dispatch(app, |a, ctx| a.on_timer(ctx, token)),
+            Event::Arrival { link, packet } => {
+                for delivery in self.core.handle_arrival(link, packet) {
+                    match delivery {
+                        Delivery::Udp {
+                            app,
+                            from,
+                            dst_port,
+                            payload,
+                        } => self.dispatch(app, |a, ctx| a.on_udp(ctx, from, dst_port, payload)),
+                        Delivery::Icmp { app, from, msg } => {
+                            self.dispatch(app, |a, ctx| a.on_icmp(ctx, from, msg))
+                        }
+                        Delivery::Tcp { app, from, segment } => {
+                            self.dispatch(app, |a, ctx| a.on_tcp(ctx, from, segment))
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Process every event up to and including `limit`, then advance
+    /// the clock to `limit`. Returns the final simulated time (`limit`,
+    /// unless the clock was already past it).
+    pub fn run_until(&mut self, limit: SimTime) -> SimTime {
+        while let Some(next) = self.core.queue.peek() {
+            if next.time > limit {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < limit {
+            self.core.now = limit;
+        }
+        self.core.now
+    }
+
+    /// Run for a further `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) -> SimTime {
+        let limit = self.core.now + duration;
+        self.run_until(limit)
+    }
+
+    /// Run until there are no events left at or before `limit` (a
+    /// runaway guard), without force-advancing the clock. Returns the
+    /// time of the last processed event.
+    pub fn run_to_idle(&mut self, limit: SimTime) -> SimTime {
+        while let Some(next) = self.core.queue.peek() {
+            if next.time > limit {
+                break;
+            }
+            self.step();
+        }
+        self.core.now
+    }
+
+    /// Take back ownership of an application after the run, for result
+    /// extraction. Panics if the id is unknown.
+    pub fn remove_app(&mut self, id: AppId) -> Box<dyn Application> {
+        self.apps[id.0]
+            .app
+            .take()
+            .expect("application already removed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn two_hosts(seed: u64) -> (Simulation, NodeId, NodeId) {
+        let mut sim = Simulation::new(seed);
+        let a = sim.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
+        let b = sim.add_host("b", Ipv4Addr::new(10, 0, 0, 2));
+        let (ab, ba) = sim.add_duplex(
+            a,
+            b,
+            LinkConfig::ethernet_10m(SimDuration::from_millis(1)),
+        );
+        sim.core_mut().node_mut(a).add_route(Ipv4Addr::new(10, 0, 0, 2), ab);
+        sim.core_mut().node_mut(b).add_route(Ipv4Addr::new(10, 0, 0, 1), ba);
+        (sim, a, b)
+    }
+
+    /// App that sends one datagram at start and records what it receives.
+    struct Echoer {
+        peer: Ipv4Addr,
+        send_at_start: bool,
+        received: Rc<RefCell<Vec<(SimTime, Bytes)>>>,
+    }
+
+    impl Application for Echoer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if self.send_at_start {
+                ctx.send_udp(5000, self.peer, 6000, Bytes::from_static(b"ping over udp"));
+            }
+        }
+        fn on_udp(
+            &mut self,
+            ctx: &mut Ctx<'_>,
+            from: (Ipv4Addr, u16),
+            _dst_port: u16,
+            payload: Bytes,
+        ) {
+            self.received.borrow_mut().push((ctx.now(), payload.clone()));
+            // Echo it back once.
+            if payload.as_ref() == b"ping over udp" {
+                ctx.send_udp(6000, from.0, from.1, Bytes::from_static(b"pong"));
+            }
+        }
+    }
+
+    #[test]
+    fn udp_roundtrip_between_hosts() {
+        let (mut sim, a, b) = two_hosts(1);
+        let a_rx = Rc::new(RefCell::new(Vec::new()));
+        let b_rx = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(
+            a,
+            Box::new(Echoer {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                send_at_start: true,
+                received: a_rx.clone(),
+            }),
+            Some(5000),
+            false,
+        );
+        sim.add_app(
+            b,
+            Box::new(Echoer {
+                peer: Ipv4Addr::new(10, 0, 0, 1),
+                send_at_start: false,
+                received: b_rx.clone(),
+            }),
+            Some(6000),
+            false,
+        );
+        sim.run_until(SimTime(10_000_000_000));
+        assert_eq!(b_rx.borrow().len(), 1, "b received the ping");
+        assert_eq!(a_rx.borrow().len(), 1, "a received the pong");
+        // Latency sanity: one-way ≥ propagation (1 ms).
+        let (t, _) = b_rx.borrow()[0].clone();
+        assert!(t >= SimTime(1_000_000));
+    }
+
+    #[test]
+    fn unbound_port_triggers_port_unreachable() {
+        struct Prober {
+            peer: Ipv4Addr,
+            unreachable: Rc<RefCell<u32>>,
+        }
+        impl Application for Prober {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send_udp(4000, self.peer, 33434, Bytes::from_static(b"probe"));
+            }
+            fn on_icmp(&mut self, _ctx: &mut Ctx<'_>, _from: Ipv4Addr, msg: IcmpMessage) {
+                if matches!(msg, IcmpMessage::DestinationUnreachable { code: 3, .. }) {
+                    *self.unreachable.borrow_mut() += 1;
+                }
+            }
+        }
+        let (mut sim, a, _b) = two_hosts(2);
+        let hits = Rc::new(RefCell::new(0));
+        sim.add_app(
+            a,
+            Box::new(Prober {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                unreachable: hits.clone(),
+            }),
+            Some(4000),
+            true,
+        );
+        sim.run_until(SimTime(5_000_000_000));
+        assert_eq!(*hits.borrow(), 1);
+    }
+
+    #[test]
+    fn router_forwards_and_ttl_expiry_generates_time_exceeded() {
+        // a --- r --- b; probe with ttl 1 dies at r.
+        let mut sim = Simulation::new(3);
+        let a = sim.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
+        let r = sim.add_router("r", Ipv4Addr::new(10, 0, 0, 254));
+        let b = sim.add_host("b", Ipv4Addr::new(10, 0, 1, 1));
+        let cfg = LinkConfig::ethernet_10m(SimDuration::from_millis(1));
+        let (ar, ra) = sim.add_duplex(a, r, cfg);
+        let (rb, br) = sim.add_duplex(r, b, cfg);
+        let addr_a = Ipv4Addr::new(10, 0, 0, 1);
+        let addr_b = Ipv4Addr::new(10, 0, 1, 1);
+        sim.core_mut().node_mut(a).default_route = Some(ar);
+        sim.core_mut().node_mut(r).add_route(addr_a, ra);
+        sim.core_mut().node_mut(r).add_route(addr_b, rb);
+        sim.core_mut().node_mut(b).default_route = Some(br);
+
+        struct TtlProbe {
+            dst: Ipv4Addr,
+            ttl: u8,
+            time_exceeded_from: Rc<RefCell<Vec<Ipv4Addr>>>,
+        }
+        impl Application for TtlProbe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send_udp_ttl(4000, self.dst, 33434, Bytes::from_static(b"p"), self.ttl);
+            }
+            fn on_icmp(&mut self, _ctx: &mut Ctx<'_>, from: Ipv4Addr, msg: IcmpMessage) {
+                if matches!(msg, IcmpMessage::TimeExceeded { .. }) {
+                    self.time_exceeded_from.borrow_mut().push(from);
+                }
+            }
+        }
+        let hops = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(
+            a,
+            Box::new(TtlProbe {
+                dst: addr_b,
+                ttl: 1,
+                time_exceeded_from: hops.clone(),
+            }),
+            Some(4000),
+            true,
+        );
+        sim.run_until(SimTime(5_000_000_000));
+        assert_eq!(hops.borrow().as_slice(), &[Ipv4Addr::new(10, 0, 0, 254)]);
+        assert_eq!(sim.node_stats(r).ttl_expired, 1);
+        // With ttl 2 the probe reaches b and comes back port-unreachable,
+        // so no new time-exceeded is recorded.
+        let before = hops.borrow().len();
+        let probe2 = TtlProbe {
+            dst: addr_b,
+            ttl: 2,
+            time_exceeded_from: hops.clone(),
+        };
+        sim.add_app(a, Box::new(probe2), Some(4001), true);
+        sim.run_until(SimTime(10_000_000_000));
+        assert_eq!(hops.borrow().len(), before);
+        assert_eq!(sim.node_stats(b).udp_unreachable, 1);
+    }
+
+    #[test]
+    fn hosts_answer_ping() {
+        struct Pinger {
+            dst: Ipv4Addr,
+            rtt: Rc<RefCell<Option<SimDuration>>>,
+            sent_at: SimTime,
+        }
+        impl Application for Pinger {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.sent_at = ctx.now();
+                ctx.send_icmp(
+                    self.dst,
+                    IcmpMessage::EchoRequest {
+                        ident: 77,
+                        seq: 0,
+                        payload: Bytes::from_static(&[0u8; 32]),
+                    },
+                );
+            }
+            fn on_icmp(&mut self, ctx: &mut Ctx<'_>, _from: Ipv4Addr, msg: IcmpMessage) {
+                if let IcmpMessage::EchoReply { ident: 77, .. } = msg {
+                    *self.rtt.borrow_mut() = Some(ctx.now().since(self.sent_at));
+                }
+            }
+        }
+        let (mut sim, a, _b) = two_hosts(4);
+        let rtt = Rc::new(RefCell::new(None));
+        sim.add_app(
+            a,
+            Box::new(Pinger {
+                dst: Ipv4Addr::new(10, 0, 0, 2),
+                rtt: rtt.clone(),
+                sent_at: SimTime::ZERO,
+            }),
+            None,
+            true,
+        );
+        sim.run_until(SimTime(5_000_000_000));
+        let rtt = rtt.borrow().expect("got an echo reply");
+        // ≥ 2 × 1 ms propagation.
+        assert!(rtt >= SimDuration::from_millis(2));
+        assert!(rtt < SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn large_datagram_fragments_and_reassembles_end_to_end() {
+        struct BigSender {
+            peer: Ipv4Addr,
+        }
+        impl Application for BigSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                // 4 KiB payload: 3 fragments at MTU 1500.
+                ctx.send_udp(5000, self.peer, 6000, Bytes::from(vec![0xabu8; 4096]));
+            }
+        }
+        struct Sink {
+            got: Rc<RefCell<Vec<usize>>>,
+        }
+        impl Application for Sink {
+            fn on_udp(
+                &mut self,
+                _ctx: &mut Ctx<'_>,
+                _from: (Ipv4Addr, u16),
+                _dst_port: u16,
+                payload: Bytes,
+            ) {
+                self.got.borrow_mut().push(payload.len());
+            }
+        }
+        let (mut sim, a, b) = two_hosts(5);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(
+            a,
+            Box::new(BigSender {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+            }),
+            None,
+            false,
+        );
+        sim.add_app(b, Box::new(Sink { got: got.clone() }), Some(6000), false);
+
+        // Tap the receiver to count on-the-wire fragments.
+        let frames = Rc::new(RefCell::new(0usize));
+        let frames_tap = frames.clone();
+        sim.add_tap(
+            b,
+            Box::new(move |ev| {
+                if ev.direction == Direction::Rx {
+                    *frames_tap.borrow_mut() += 1;
+                }
+            }),
+        );
+        sim.run_until(SimTime(5_000_000_000));
+        assert_eq!(got.borrow().as_slice(), &[4096]);
+        assert_eq!(*frames.borrow(), 3, "4 KiB + UDP header = 3 fragments");
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        fn run(seed: u64) -> Vec<(SimTime, Bytes)> {
+            let (mut sim, a, b) = two_hosts(seed);
+            let b_rx = Rc::new(RefCell::new(Vec::new()));
+            sim.add_app(
+                a,
+                Box::new(Echoer {
+                    peer: Ipv4Addr::new(10, 0, 0, 2),
+                    send_at_start: true,
+                    received: Rc::new(RefCell::new(Vec::new())),
+                }),
+                Some(5000),
+                false,
+            );
+            sim.add_app(
+                b,
+                Box::new(Echoer {
+                    peer: Ipv4Addr::new(10, 0, 0, 1),
+                    send_at_start: false,
+                    received: b_rx.clone(),
+                }),
+                Some(6000),
+                false,
+            );
+            sim.run_until(SimTime(10_000_000_000));
+            let out = b_rx.borrow().clone();
+            out
+        }
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node address")]
+    fn duplicate_addresses_are_rejected() {
+        let mut sim = Simulation::new(0);
+        sim.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
+        sim.add_host("b", Ipv4Addr::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn duplicate_port_binding_is_rejected() {
+        struct Nop;
+        impl Application for Nop {}
+        let (mut sim, a, _b) = two_hosts(0);
+        sim.add_app(a, Box::new(Nop), Some(5000), false);
+        sim.add_app(a, Box::new(Nop), Some(5000), false);
+    }
+
+    #[test]
+    fn run_for_advances_clock_without_events() {
+        let (mut sim, _a, _b) = two_hosts(0);
+        // No apps: queue is empty, but the window still passes and the
+        // clock lands exactly on the limit.
+        let t = sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(t, SimTime(1_000_000_000));
+    }
+}

@@ -1,0 +1,1125 @@
+//! A sans-IO TCP implementation: Reno congestion control over the
+//! simulator's IP layer.
+//!
+//! §2.D notes both players "can use either TCP or UDP as a transport
+//! protocol"; the paper forced UDP and left the TCP story — and the
+//! TCP-friendliness question — to future work (§VI): "The use of
+//! TCP-Friendly congestion control is important for continued
+//! avoidance of Internet congestion collapse \[FF99\]". This module
+//! provides the TCP needed for those follow-up experiments:
+//!
+//! * three-way handshake, graceful FIN close;
+//! * cumulative ACKs, out-of-order reassembly;
+//! * RFC 6298 RTT estimation with Karn's algorithm and exponential
+//!   RTO backoff;
+//! * Reno congestion control: slow start, congestion avoidance, fast
+//!   retransmit / fast recovery on three duplicate ACKs.
+//!
+//! The [`Connection`] is a pure state machine (segments in → segments
+//! out); [`TcpDriver`] couples one to a simulation [`Ctx`].
+
+use crate::sim::Ctx;
+use crate::time::{SimDuration, SimTime};
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+use std::net::Ipv4Addr;
+use turb_wire::tcp::{TcpFlags, TcpSegment};
+
+/// Maximum segment size: MTU 1500 − 20 IP − 20 TCP.
+pub const MSS: usize = 1460;
+
+/// Sequence-space comparison: is `a` strictly before `b`?
+fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// Sequence-space comparison: is `a` at or before `b`?
+fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// Connection state (TIME_WAIT is collapsed into `Closed`; simulated
+/// runs end long before 2MSL matters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// No connection.
+    Closed,
+    /// Passive open, awaiting SYN.
+    Listen,
+    /// Active open, SYN sent.
+    SynSent,
+    /// SYN received, SYN+ACK sent.
+    SynReceived,
+    /// Data transfer.
+    Established,
+    /// We sent FIN, awaiting its ACK.
+    FinWait1,
+    /// Our FIN is acked, awaiting the peer's FIN.
+    FinWait2,
+    /// Peer sent FIN; we may still send.
+    CloseWait,
+    /// We sent FIN after the peer's, awaiting its ACK.
+    LastAck,
+}
+
+/// Counters and estimator state exposed for analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TcpStats {
+    /// Payload bytes handed to the connection by the application.
+    pub bytes_written: u64,
+    /// Payload bytes acknowledged by the peer.
+    pub bytes_acked: u64,
+    /// Payload bytes delivered to the application in order.
+    pub bytes_received: u64,
+    /// Segments emitted (including retransmissions).
+    pub segments_sent: u64,
+    /// Segments consumed.
+    pub segments_received: u64,
+    /// Fast retransmissions.
+    pub fast_retransmits: u64,
+    /// Timeout retransmissions.
+    pub timeouts: u64,
+    /// Smoothed RTT estimate, seconds.
+    pub srtt: Option<f64>,
+    /// Snapshot: bytes in flight.
+    pub in_flight: u32,
+    /// Snapshot: congestion window, bytes.
+    pub cwnd: f64,
+    /// Snapshot: whether an RTO deadline is armed.
+    pub timer_armed: bool,
+    /// Snapshot: send-buffer occupancy.
+    pub send_buffered: usize,
+}
+
+/// Tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// Maximum segment size.
+    pub mss: usize,
+    /// Receive window advertised to the peer.
+    pub recv_window: u16,
+    /// Application send-buffer limit (write() backpressure).
+    pub send_buffer: usize,
+    /// Initial retransmission timeout.
+    pub initial_rto: SimDuration,
+    /// Lower RTO clamp.
+    pub min_rto: SimDuration,
+    /// Upper RTO clamp.
+    pub max_rto: SimDuration,
+    /// Initial congestion window, in segments (2 was the 2002-era
+    /// default; RFC 3390 later allowed up to 4).
+    pub initial_cwnd_segments: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: MSS,
+            recv_window: u16::MAX,
+            send_buffer: 256 * 1024,
+            initial_rto: SimDuration::from_secs(1),
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+            initial_cwnd_segments: 2,
+        }
+    }
+}
+
+/// A TCP connection endpoint.
+#[derive(Debug)]
+pub struct Connection {
+    /// Current state.
+    state: State,
+    config: TcpConfig,
+    local_port: u16,
+    remote: Option<(Ipv4Addr, u16)>,
+
+    // --- send side ---
+    iss: u32,
+    /// Oldest unacknowledged sequence number.
+    snd_una: u32,
+    /// Next sequence number to send.
+    snd_nxt: u32,
+    /// Highest sequence number ever sent (snd_nxt may be rolled back
+    /// below this during go-back-N recovery; ACK validation uses this).
+    snd_max: u32,
+    /// Bytes from `snd_una` onward (acked bytes are drained).
+    send_buf: VecDeque<u8>,
+    fin_queued: bool,
+    /// Sequence number the FIN occupies, once it has been transmitted
+    /// at least once. Whether the FIN counts as "in flight" is derived
+    /// from `snd_nxt` (go-back-N may roll the pointer back below it).
+    fin_seq: Option<u32>,
+    peer_window: u32,
+    cwnd: f64,
+    ssthresh: f64,
+    dup_acks: u32,
+    /// Fast-recovery flag: set until snd_una passes `recover`.
+    in_recovery: bool,
+    recover: u32,
+
+    // --- timers / RTT ---
+    rto: SimDuration,
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto_deadline: Option<SimTime>,
+    /// (sequence, send time) of the segment being timed (Karn).
+    rtt_sample: Option<(u32, SimTime)>,
+
+    // --- receive side ---
+    rcv_nxt: u32,
+    ooo: BTreeMap<u32, Bytes>,
+    recv_buf: VecDeque<u8>,
+    peer_fin_received: bool,
+
+    stats: TcpStats,
+}
+
+impl Connection {
+    /// Active open: returns the connection and the SYN to transmit.
+    pub fn connect(
+        local_port: u16,
+        remote_addr: Ipv4Addr,
+        remote_port: u16,
+        iss: u32,
+        config: TcpConfig,
+        now: SimTime,
+    ) -> (Connection, TcpSegment) {
+        let mut conn = Connection::new(local_port, config);
+        conn.state = State::SynSent;
+        conn.remote = Some((remote_addr, remote_port));
+        conn.iss = iss;
+        conn.snd_una = iss;
+        conn.snd_nxt = iss.wrapping_add(1);
+        conn.snd_max = conn.snd_nxt;
+        conn.arm_rto(now);
+        let syn = TcpSegment {
+            src_port: local_port,
+            dst_port: remote_port,
+            seq: iss,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: config.recv_window,
+            payload: Bytes::new(),
+        };
+        conn.stats.segments_sent += 1;
+        (conn, syn)
+    }
+
+    /// Passive open.
+    pub fn listen(local_port: u16, iss: u32, config: TcpConfig) -> Connection {
+        let mut conn = Connection::new(local_port, config);
+        conn.state = State::Listen;
+        conn.iss = iss;
+        conn.snd_una = iss;
+        conn.snd_nxt = iss;
+        conn
+    }
+
+    fn new(local_port: u16, config: TcpConfig) -> Connection {
+        Connection {
+            state: State::Closed,
+            config,
+            local_port,
+            remote: None,
+            iss: 0,
+            snd_una: 0,
+            snd_nxt: 0,
+            snd_max: 0,
+            send_buf: VecDeque::new(),
+            fin_queued: false,
+            fin_seq: None,
+            peer_window: u32::from(u16::MAX),
+            cwnd: (config.initial_cwnd_segments.max(1) * config.mss) as f64,
+            ssthresh: 64.0 * 1024.0,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            rto: config.initial_rto,
+            srtt: None,
+            rttvar: 0.0,
+            rto_deadline: None,
+            rtt_sample: None,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            recv_buf: VecDeque::new(),
+            peer_fin_received: false,
+            stats: TcpStats::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// True once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        matches!(
+            self.state,
+            State::Established | State::FinWait1 | State::FinWait2 | State::CloseWait | State::LastAck
+        )
+    }
+
+    /// True once both directions are closed.
+    pub fn is_closed(&self) -> bool {
+        self.state == State::Closed
+    }
+
+    /// The peer, once known.
+    pub fn remote(&self) -> Option<(Ipv4Addr, u16)> {
+        self.remote
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TcpStats {
+        let mut s = self.stats;
+        s.srtt = self.srtt;
+        s.in_flight = self.flight();
+        s.cwnd = self.cwnd;
+        s.timer_armed = self.rto_deadline.is_some();
+        s.send_buffered = self.send_buf.len();
+        s
+    }
+
+    /// Congestion window, bytes.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Space left in the send buffer.
+    pub fn send_capacity(&self) -> usize {
+        self.config.send_buffer.saturating_sub(self.send_buf.len())
+    }
+
+    /// True when the FIN occupies sequence space at or below snd_nxt
+    /// (i.e. it has been sent and not rolled back).
+    fn fin_outstanding(&self) -> bool {
+        self.fin_seq.is_some_and(|f| seq_lt(f, self.snd_nxt))
+    }
+
+    /// Queue application data; returns how much was accepted.
+    pub fn write(&mut self, data: &[u8]) -> usize {
+        if self.fin_queued || matches!(self.state, State::Closed | State::Listen) {
+            return 0;
+        }
+        let n = data.len().min(self.send_capacity());
+        self.send_buf.extend(&data[..n]);
+        self.stats.bytes_written += n as u64;
+        n
+    }
+
+    /// Begin a graceful close once all queued data is sent.
+    pub fn close(&mut self) {
+        self.fin_queued = true;
+    }
+
+    /// Drain in-order received payload.
+    pub fn take_received(&mut self) -> Bytes {
+        let drained: Vec<u8> = self.recv_buf.drain(..).collect();
+        Bytes::from(drained)
+    }
+
+    /// Bytes in flight.
+    fn flight(&self) -> u32 {
+        self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+
+    /// Effective send window.
+    fn window(&self) -> u32 {
+        (self.cwnd as u32).min(self.peer_window).max(self.config.mss as u32)
+    }
+
+    /// Offset of the first unsent byte within `send_buf`, accounting
+    /// for a FIN occupying the last sequence unit.
+    fn unsent_offset(&self) -> usize {
+        let in_flight = self.flight() as usize;
+        in_flight.saturating_sub(usize::from(self.fin_outstanding()))
+    }
+
+    fn arm_rto(&mut self, now: SimTime) {
+        self.rto_deadline = Some(now + self.rto);
+    }
+
+    fn make_segment(&self, seq: u32, flags: TcpFlags, payload: Bytes) -> TcpSegment {
+        let (_, remote_port) = self.remote.expect("remote known");
+        TcpSegment {
+            src_port: self.local_port,
+            dst_port: remote_port,
+            seq,
+            ack: self.rcv_nxt,
+            flags,
+            window: self.config.recv_window,
+            payload,
+        }
+    }
+
+    fn ack_segment(&self) -> TcpSegment {
+        self.make_segment(self.snd_nxt, TcpFlags::ACK, Bytes::new())
+    }
+
+    /// Emit whatever the window allows. Call after `write`, `close`,
+    /// or processing input.
+    pub fn pump(&mut self, now: SimTime) -> Vec<TcpSegment> {
+        let mut out = Vec::new();
+        if !self.is_established() || self.state == State::CloseWait && self.send_buf.is_empty() && !self.fin_queued {
+            // CloseWait with nothing to send: nothing to do here.
+        }
+        if !self.is_established() {
+            return out;
+        }
+        loop {
+            let window = self.window();
+            let flight = self.flight();
+            if flight >= window {
+                break;
+            }
+            let budget = (window - flight) as usize;
+            let offset = self.unsent_offset();
+            let unsent = self.send_buf.len().saturating_sub(offset);
+            let chunk = unsent.min(self.config.mss).min(budget);
+            if chunk > 0 && !self.fin_outstanding() {
+                let payload: Bytes = self
+                    .send_buf
+                    .iter()
+                    .skip(offset)
+                    .take(chunk)
+                    .copied()
+                    .collect::<Vec<u8>>()
+                    .into();
+                let seq = self.snd_nxt;
+                self.snd_nxt = self.snd_nxt.wrapping_add(chunk as u32);
+                if seq_lt(self.snd_max, self.snd_nxt) {
+                    self.snd_max = self.snd_nxt;
+                }
+                let flags = TcpFlags {
+                    psh: chunk == unsent,
+                    ..TcpFlags::ACK
+                };
+                out.push(self.make_segment(seq, flags, payload));
+                self.stats.segments_sent += 1;
+                if self.rtt_sample.is_none() {
+                    self.rtt_sample = Some((self.snd_nxt, now));
+                }
+                continue;
+            }
+            // All data sent: maybe FIN.
+            if self.fin_queued && !self.fin_outstanding() && unsent == 0 {
+                let seq = self.snd_nxt;
+                self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                if seq_lt(self.snd_max, self.snd_nxt) {
+                    self.snd_max = self.snd_nxt;
+                }
+                self.fin_seq = Some(seq);
+                out.push(self.make_segment(seq, TcpFlags::FIN_ACK, Bytes::new()));
+                self.stats.segments_sent += 1;
+                self.state = match self.state {
+                    State::CloseWait => State::LastAck,
+                    _ => State::FinWait1,
+                };
+            }
+            break;
+        }
+        if self.flight() > 0 && self.rto_deadline.is_none() {
+            self.arm_rto(now);
+        }
+        out
+    }
+
+    /// Retransmit the earliest unacknowledged segment.
+    fn retransmit_head(&mut self) -> Option<TcpSegment> {
+        if self.flight() == 0 {
+            return None;
+        }
+        match self.state {
+            State::SynSent => {
+                self.stats.segments_sent += 1;
+                let (_, remote_port) = self.remote?;
+                return Some(TcpSegment {
+                    src_port: self.local_port,
+                    dst_port: remote_port,
+                    seq: self.iss,
+                    ack: 0,
+                    flags: TcpFlags::SYN,
+                    window: self.config.recv_window,
+                    payload: Bytes::new(),
+                });
+            }
+            State::SynReceived => {
+                self.stats.segments_sent += 1;
+                return Some(self.make_segment(self.iss, TcpFlags::SYN_ACK, Bytes::new()));
+            }
+            _ => {}
+        }
+        let data_in_buf = self.send_buf.len();
+        let chunk = data_in_buf.min(self.config.mss);
+        if chunk > 0 {
+            let payload: Bytes = self
+                .send_buf
+                .iter()
+                .take(chunk)
+                .copied()
+                .collect::<Vec<u8>>()
+                .into();
+            self.stats.segments_sent += 1;
+            Some(self.make_segment(self.snd_una, TcpFlags::ACK, payload))
+        } else if self.fin_outstanding() {
+            self.stats.segments_sent += 1;
+            Some(self.make_segment(self.snd_una, TcpFlags::FIN_ACK, Bytes::new()))
+        } else {
+            None
+        }
+    }
+
+    /// RTO check; call when the armed timer fires.
+    pub fn on_timer(&mut self, now: SimTime) -> Vec<TcpSegment> {
+        let Some(deadline) = self.rto_deadline else {
+            return Vec::new();
+        };
+        if now < deadline || self.flight() == 0 {
+            if self.flight() == 0 {
+                self.rto_deadline = None;
+            }
+            return Vec::new();
+        }
+        // Timeout: multiplicative backoff, collapse the window.
+        self.stats.timeouts += 1;
+        self.rto = SimDuration::from_nanos(
+            (self.rto.as_nanos() * 2).min(self.config.max_rto.as_nanos()),
+        );
+        self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.config.mss as f64);
+        self.cwnd = self.config.mss as f64;
+        self.dup_acks = 0;
+        self.in_recovery = false;
+        self.rtt_sample = None; // Karn: never time a retransmission
+        self.arm_rto(now);
+        let head = self.retransmit_head();
+        // Go-back-N: everything past the retransmitted head is
+        // presumed lost; roll the send pointer back so pump() resends
+        // it as the window reopens (otherwise each lost segment would
+        // cost a full RTO).
+        if let Some(seg) = &head {
+            if !matches!(self.state, State::SynSent | State::SynReceived) {
+                let rolled_back = self.snd_una.wrapping_add(seg.seq_len());
+                if seq_lt(rolled_back, self.snd_nxt) {
+                    // A rolled-back FIN re-sends automatically: it is
+                    // no longer "outstanding" once snd_nxt ≤ fin_seq.
+                    self.snd_nxt = rolled_back;
+                }
+            }
+        }
+        head.into_iter().collect()
+    }
+
+    /// When the caller should invoke [`Connection::on_timer`] next.
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        self.rto_deadline
+    }
+
+    /// Process one incoming segment; returns segments to transmit.
+    pub fn on_segment(&mut self, from: Ipv4Addr, seg: TcpSegment, now: SimTime) -> Vec<TcpSegment> {
+        self.stats.segments_received += 1;
+        if seg.flags.rst {
+            self.state = State::Closed;
+            return Vec::new();
+        }
+        match self.state {
+            State::Listen => self.handle_listen(from, seg),
+            State::SynSent => self.handle_syn_sent(seg, now),
+            _ => self.handle_synchronized(seg, now),
+        }
+    }
+
+    fn handle_listen(&mut self, from: Ipv4Addr, seg: TcpSegment) -> Vec<TcpSegment> {
+        if !seg.flags.syn {
+            return Vec::new();
+        }
+        self.remote = Some((from, seg.src_port));
+        self.rcv_nxt = seg.seq.wrapping_add(1);
+        self.peer_window = u32::from(seg.window);
+        self.snd_nxt = self.iss.wrapping_add(1);
+        self.snd_max = self.snd_nxt;
+        self.snd_una = self.iss;
+        self.state = State::SynReceived;
+        self.stats.segments_sent += 1;
+        vec![self.make_segment(self.iss, TcpFlags::SYN_ACK, Bytes::new())]
+    }
+
+    fn handle_syn_sent(&mut self, seg: TcpSegment, now: SimTime) -> Vec<TcpSegment> {
+        if !(seg.flags.syn && seg.flags.ack) || seg.ack != self.iss.wrapping_add(1) {
+            return Vec::new();
+        }
+        self.rcv_nxt = seg.seq.wrapping_add(1);
+        self.snd_una = seg.ack;
+        self.peer_window = u32::from(seg.window);
+        self.state = State::Established;
+        self.rto_deadline = None;
+        let mut out = vec![self.ack_segment()];
+        self.stats.segments_sent += 1;
+        out.extend(self.pump(now));
+        out
+    }
+
+    fn handle_synchronized(&mut self, seg: TcpSegment, now: SimTime) -> Vec<TcpSegment> {
+        let mut out = Vec::new();
+        self.peer_window = u32::from(seg.window);
+
+        // --- ACK processing ---
+        if seg.flags.ack {
+            let ack = seg.ack;
+            if seq_lt(self.snd_una, ack) && seq_le(ack, self.snd_max) {
+                // An ACK may cover sequence space beyond a rolled-back
+                // snd_nxt (the receiver held it out of order); fast
+                // forward past it.
+                if seq_lt(self.snd_nxt, ack) {
+                    self.snd_nxt = ack;
+                }
+                let newly = ack.wrapping_sub(self.snd_una);
+                // Completing the handshake from SynReceived.
+                if self.state == State::SynReceived {
+                    self.state = State::Established;
+                }
+                // Drain acked payload (the SYN/FIN sequence units are
+                // not in the buffer).
+                let fin_unit =
+                    u32::from(self.fin_outstanding() && ack == self.snd_max);
+                let syn_unit = u32::from(self.snd_una == self.iss);
+                let payload_acked =
+                    (newly.saturating_sub(fin_unit).saturating_sub(syn_unit)) as usize;
+                let drain = payload_acked.min(self.send_buf.len());
+                self.send_buf.drain(..drain);
+                self.stats.bytes_acked += drain as u64;
+                self.snd_una = ack;
+                self.dup_acks = 0;
+
+                // RTT sampling (Karn: only if the timed seq is covered).
+                if let Some((timed_seq, sent_at)) = self.rtt_sample {
+                    if seq_le(timed_seq, ack) {
+                        let sample = now.since(sent_at).as_secs_f64();
+                        self.update_rtt(sample);
+                        self.rtt_sample = None;
+                    }
+                }
+
+                // Congestion control.
+                if self.in_recovery {
+                    if seq_le(self.recover, ack) {
+                        self.in_recovery = false;
+                        self.cwnd = self.ssthresh;
+                    } else {
+                        // Partial ack: retransmit the next hole.
+                        out.extend(self.retransmit_head());
+                    }
+                } else if self.cwnd < self.ssthresh {
+                    self.cwnd += self.config.mss as f64; // slow start
+                } else {
+                    self.cwnd +=
+                        self.config.mss as f64 * self.config.mss as f64 / self.cwnd;
+                }
+
+                // FIN fully acked?
+                if self.fin_seq.is_some_and(|f| seq_lt(f, ack)) {
+                    self.state = match self.state {
+                        State::FinWait1 => State::FinWait2,
+                        State::LastAck => State::Closed,
+                        s => s,
+                    };
+                }
+
+                if self.flight() == 0 {
+                    self.rto_deadline = None;
+                    self.rto = self
+                        .srtt
+                        .map(|srtt| self.rto_from_estimate(srtt))
+                        .unwrap_or(self.config.initial_rto);
+                } else {
+                    self.arm_rto(now);
+                }
+            } else if ack == self.snd_una
+                && seg.payload.is_empty()
+                && !seg.flags.syn
+                && !seg.flags.fin
+                && self.flight() > 0
+            {
+                // Duplicate ACK.
+                self.dup_acks += 1;
+                if self.dup_acks == 3 && !self.in_recovery {
+                    // Fast retransmit + fast recovery.
+                    self.stats.fast_retransmits += 1;
+                    self.ssthresh =
+                        (self.flight() as f64 / 2.0).max(2.0 * self.config.mss as f64);
+                    self.cwnd = self.ssthresh + 3.0 * self.config.mss as f64;
+                    self.in_recovery = true;
+                    self.recover = self.snd_nxt;
+                    self.rtt_sample = None;
+                    out.extend(self.retransmit_head());
+                } else if self.dup_acks > 3 {
+                    self.cwnd += self.config.mss as f64; // window inflation
+                }
+            }
+        }
+
+        // --- payload processing ---
+        let had_payload_or_fin = !seg.payload.is_empty() || seg.flags.fin;
+        if !seg.payload.is_empty() {
+            self.ingest(seg.seq, seg.payload.clone());
+        }
+        if seg.flags.fin {
+            let fin_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
+            if fin_seq == self.rcv_nxt {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                self.peer_fin_received = true;
+                self.state = match self.state {
+                    State::Established => State::CloseWait,
+                    State::FinWait1 => State::CloseWait, // simultaneous close
+                    State::FinWait2 => State::Closed,
+                    s => s,
+                };
+            }
+        }
+        if had_payload_or_fin {
+            out.push(self.ack_segment());
+            self.stats.segments_sent += 1;
+        }
+
+        // New window/acks may allow more data out.
+        out.extend(self.pump(now));
+        out
+    }
+
+    fn ingest(&mut self, seq: u32, payload: Bytes) {
+        if seq_le(seq.wrapping_add(payload.len() as u32), self.rcv_nxt) {
+            return; // entirely old
+        }
+        if seq != self.rcv_nxt {
+            if seq_lt(self.rcv_nxt, seq) && self.ooo.len() < 256 {
+                self.ooo.insert(seq, payload);
+            } else if seq_lt(seq, self.rcv_nxt) {
+                // Partial overlap: keep the new tail.
+                let skip = self.rcv_nxt.wrapping_sub(seq) as usize;
+                if skip < payload.len() {
+                    self.accept_in_order(payload.slice(skip..));
+                }
+            }
+            return;
+        }
+        self.accept_in_order(payload);
+        // Drain contiguous out-of-order segments.
+        while let Some((&seq, _)) = self.ooo.first_key_value() {
+            if seq_lt(self.rcv_nxt, seq) {
+                break;
+            }
+            let (seq, data) = self.ooo.pop_first().expect("checked");
+            let skip = self.rcv_nxt.wrapping_sub(seq) as usize;
+            if skip < data.len() {
+                self.accept_in_order(data.slice(skip..));
+            }
+        }
+    }
+
+    fn accept_in_order(&mut self, payload: Bytes) {
+        self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+        self.stats.bytes_received += payload.len() as u64;
+        self.recv_buf.extend(payload.iter());
+    }
+
+    fn update_rtt(&mut self, sample: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2.0;
+            }
+            Some(srtt) => {
+                const ALPHA: f64 = 1.0 / 8.0;
+                const BETA: f64 = 1.0 / 4.0;
+                self.rttvar = (1.0 - BETA) * self.rttvar + BETA * (srtt - sample).abs();
+                self.srtt = Some((1.0 - ALPHA) * srtt + ALPHA * sample);
+            }
+        }
+        self.rto = self.rto_from_estimate(self.srtt.expect("just set"));
+    }
+
+    fn rto_from_estimate(&self, srtt: f64) -> SimDuration {
+        let rto = srtt + (4.0 * self.rttvar).max(0.01);
+        SimDuration::from_secs_f64(rto)
+            .max(self.config.min_rto)
+            .min(self.config.max_rto)
+    }
+}
+
+/// Timer token used by [`TcpDriver`].
+pub const TCP_TIMER_TOKEN: u64 = 0x7C9;
+
+/// Couples a [`Connection`] to a simulation [`Ctx`]: transmits pump
+/// output and keeps the RTO timer armed.
+#[derive(Debug)]
+pub struct TcpDriver {
+    /// The connection being driven.
+    pub conn: Connection,
+    remote_addr: Ipv4Addr,
+    /// The single pending timer wakeup, if any — arming is
+    /// deduplicated so a busy connection doesn't flood the event queue
+    /// with stale timers.
+    armed_at: Option<SimTime>,
+}
+
+impl TcpDriver {
+    /// Active open: sends the SYN immediately.
+    pub fn connect(
+        ctx: &mut Ctx<'_>,
+        local_port: u16,
+        remote_addr: Ipv4Addr,
+        remote_port: u16,
+        config: TcpConfig,
+    ) -> TcpDriver {
+        let iss = ctx.rng().next_u64() as u32;
+        let (conn, syn) = Connection::connect(
+            local_port,
+            remote_addr,
+            remote_port,
+            iss,
+            config,
+            ctx.now(),
+        );
+        ctx.send_tcp(remote_addr, &syn);
+        let mut driver = TcpDriver {
+            conn,
+            remote_addr,
+            armed_at: None,
+        };
+        driver.arm(ctx);
+        driver
+    }
+
+    /// Passive open (the remote address is learned from the SYN).
+    pub fn listen(ctx: &mut Ctx<'_>, local_port: u16, config: TcpConfig) -> TcpDriver {
+        let iss = ctx.rng().next_u64() as u32;
+        TcpDriver {
+            conn: Connection::listen(local_port, iss, config),
+            remote_addr: Ipv4Addr::UNSPECIFIED,
+            armed_at: None,
+        }
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(deadline) = self.conn.next_timeout() else {
+            return;
+        };
+        // At most one pending wakeup: skip if one is already scheduled
+        // at or before the deadline (a too-early wakeup is harmless —
+        // it no-ops and re-arms).
+        if let Some(armed) = self.armed_at {
+            if armed > ctx.now() && armed <= deadline {
+                return;
+            }
+        }
+        ctx.set_timer_at(deadline, TCP_TIMER_TOKEN);
+        self.armed_at = Some(deadline.max(ctx.now()));
+    }
+
+    fn transmit(&mut self, ctx: &mut Ctx<'_>, segments: Vec<TcpSegment>) {
+        for seg in segments {
+            ctx.send_tcp(self.remote_addr, &seg);
+        }
+        self.arm(ctx);
+    }
+
+    /// Feed an incoming segment.
+    pub fn on_segment(&mut self, ctx: &mut Ctx<'_>, from: Ipv4Addr, seg: TcpSegment) {
+        if self.remote_addr.is_unspecified() {
+            self.remote_addr = from;
+        }
+        let out = self.conn.on_segment(from, seg, ctx.now());
+        self.transmit(ctx, out);
+    }
+
+    /// Forward a fired timer.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TCP_TIMER_TOKEN {
+            return;
+        }
+        // This wakeup is consumed.
+        if self.armed_at.is_some_and(|t| t <= ctx.now()) {
+            self.armed_at = None;
+        }
+        let out = self.conn.on_timer(ctx.now());
+        self.transmit(ctx, out);
+        // Re-arm for the next deadline even when nothing fired (the
+        // timer may have been stale).
+        self.arm(ctx);
+    }
+
+    /// Queue data and push out what the window allows.
+    pub fn write(&mut self, ctx: &mut Ctx<'_>, data: &[u8]) -> usize {
+        let n = self.conn.write(data);
+        let out = self.conn.pump(ctx.now());
+        self.transmit(ctx, out);
+        n
+    }
+
+    /// Graceful close.
+    pub fn close(&mut self, ctx: &mut Ctx<'_>) {
+        self.conn.close();
+        let out = self.conn.pump(ctx.now());
+        self.transmit(ctx, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Drive two connections against each other with a perfect network.
+    fn exchange(
+        client: &mut Connection,
+        server: &mut Connection,
+        mut from_client: Vec<TcpSegment>,
+        now: SimTime,
+        rounds: usize,
+    ) {
+        let mut from_server: Vec<TcpSegment> = Vec::new();
+        for _ in 0..rounds {
+            let mut next_server: Vec<TcpSegment> = Vec::new();
+            for seg in from_client.drain(..) {
+                next_server.extend(server.on_segment(A, seg, now));
+            }
+            from_server.extend(next_server);
+            let mut next_client: Vec<TcpSegment> = Vec::new();
+            for seg in from_server.drain(..) {
+                next_client.extend(client.on_segment(B, seg, now));
+            }
+            from_client = next_client;
+            if from_client.is_empty() {
+                break;
+            }
+        }
+    }
+
+    fn established_pair() -> (Connection, Connection) {
+        let (mut client, syn) = Connection::connect(40000, B, 80, 1000, TcpConfig::default(), t(0));
+        let mut server = Connection::listen(80, 9000, TcpConfig::default());
+        exchange(&mut client, &mut server, vec![syn], t(1), 8);
+        assert!(client.is_established());
+        assert!(server.is_established());
+        (client, server)
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let (client, server) = established_pair();
+        assert_eq!(client.state(), State::Established);
+        assert_eq!(server.state(), State::Established);
+        assert_eq!(client.stats().segments_sent, 2); // SYN + ACK
+    }
+
+    #[test]
+    fn in_order_transfer() {
+        let (mut client, mut server) = established_pair();
+        let data = vec![0xabu8; 10_000];
+        assert_eq!(client.write(&data), 10_000);
+        let out = client.pump(t(2));
+        assert!(!out.is_empty());
+        exchange(&mut client, &mut server, out, t(3), 32);
+        assert_eq!(server.take_received(), Bytes::from(data));
+        assert_eq!(client.stats().bytes_acked, 10_000);
+        assert_eq!(client.stats().fast_retransmits, 0);
+    }
+
+    #[test]
+    fn segments_respect_mss_and_window() {
+        let (mut client, _server) = established_pair();
+        client.write(&vec![1u8; 100_000]);
+        let out = client.pump(t(2));
+        for seg in &out {
+            assert!(seg.payload.len() <= MSS);
+        }
+        // Initial flight bounded by cwnd (2 MSS at start... grown by
+        // handshake ack to ≥2 MSS; certainly ≤ 64 KB ssthresh).
+        let flight: usize = out.iter().map(|s| s.payload.len()).sum();
+        assert!(flight as f64 <= client.cwnd() + MSS as f64);
+    }
+
+    #[test]
+    fn slow_start_doubles_cwnd() {
+        let (mut client, mut server) = established_pair();
+        let before = client.cwnd();
+        client.write(&vec![2u8; 50_000]);
+        let out = client.pump(t(2));
+        exchange(&mut client, &mut server, out, t(3), 64);
+        assert!(client.cwnd() > before, "{} vs {before}", client.cwnd());
+    }
+
+    #[test]
+    fn lost_segment_triggers_fast_retransmit() {
+        let (mut client, mut server) = established_pair();
+        client.write(&vec![3u8; 20_000]);
+        let mut out = client.pump(t(2));
+        assert!(out.len() >= 2);
+        // Drop the first data segment.
+        let dropped = out.remove(0);
+        let mut acks = Vec::new();
+        for seg in out {
+            acks.extend(server.on_segment(A, seg, t(3)));
+        }
+        // Feed the duplicate ACKs back: 3 dups → fast retransmit.
+        let mut retrans = Vec::new();
+        for ack in acks {
+            retrans.extend(client.on_segment(B, ack, t(4)));
+        }
+        let retransmitted: Vec<&TcpSegment> =
+            retrans.iter().filter(|s| s.seq == dropped.seq).collect();
+        if client.stats().fast_retransmits > 0 {
+            assert!(!retransmitted.is_empty(), "head must be retransmitted");
+        } else {
+            // Not enough dupacks in flight (small initial window):
+            // the RTO path must still recover it.
+            let out = client.on_timer(t(4_000));
+            assert!(out.iter().any(|s| s.seq == dropped.seq));
+        }
+        // Deliver everything; the stream must complete.
+        let mut pending = retrans;
+        pending.push(dropped);
+        exchange(&mut client, &mut server, pending, t(5), 64);
+        assert_eq!(server.stats().bytes_received, 20_000);
+    }
+
+    #[test]
+    fn timeout_collapses_cwnd_and_backs_off() {
+        let (mut client, _server) = established_pair();
+        client.write(&vec![4u8; 50_000]);
+        let _lost = client.pump(t(2));
+        let cwnd_before = client.cwnd();
+        let rto1 = client.next_timeout().expect("armed");
+        let out = client.on_timer(rto1);
+        assert_eq!(out.len(), 1, "retransmit exactly the head");
+        assert!(client.cwnd() < cwnd_before);
+        assert_eq!(client.cwnd(), MSS as f64);
+        assert_eq!(client.stats().timeouts, 1);
+        // Backoff: next deadline at least twice as far out.
+        let rto2 = client.next_timeout().expect("re-armed");
+        assert!(rto2.since(rto1) >= SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn out_of_order_segments_reassemble() {
+        // A wide initial window so five segments leave in one flight.
+        let config = TcpConfig {
+            initial_cwnd_segments: 8,
+            ..TcpConfig::default()
+        };
+        let (mut client, syn) = Connection::connect(40000, B, 80, 1000, config, t(0));
+        let mut server = Connection::listen(80, 9000, config);
+        exchange(&mut client, &mut server, vec![syn], t(1), 8);
+        client.write(&vec![5u8; 5 * MSS]);
+        let mut out = client.pump(t(2));
+        out.reverse(); // deliver in reverse order
+        let mut acks = Vec::new();
+        for seg in out {
+            acks.extend(server.on_segment(A, seg, t(3)));
+        }
+        assert_eq!(server.stats().bytes_received, 5 * MSS as u64);
+        // Retire the ACKs so the client can finish cleanly.
+        for ack in acks {
+            client.on_segment(B, ack, t(4));
+        }
+        assert_eq!(client.stats().bytes_acked, 5 * MSS as u64);
+    }
+
+    #[test]
+    fn duplicate_data_is_not_double_delivered() {
+        let (mut client, mut server) = established_pair();
+        client.write(&vec![6u8; 1000]);
+        let out = client.pump(t(2));
+        assert_eq!(out.len(), 1);
+        server.on_segment(A, out[0].clone(), t(3));
+        server.on_segment(A, out[0].clone(), t(4));
+        assert_eq!(server.stats().bytes_received, 1000);
+        assert_eq!(server.take_received().len(), 1000);
+    }
+
+    #[test]
+    fn graceful_close_both_ways() {
+        let (mut client, mut server) = established_pair();
+        client.write(b"bye");
+        client.close();
+        let out = client.pump(t(2));
+        exchange(&mut client, &mut server, out, t(3), 16);
+        assert_eq!(server.take_received(), Bytes::from_static(b"bye"));
+        assert_eq!(server.state(), State::CloseWait);
+        assert_eq!(client.state(), State::FinWait2);
+        // Server closes its side.
+        server.close();
+        let out = server.pump(t(4));
+        let mut back = Vec::new();
+        for seg in out {
+            back.extend(client.on_segment(B, seg, t(5)));
+        }
+        for seg in back {
+            server.on_segment(A, seg, t(6));
+        }
+        assert!(client.is_closed());
+        assert!(server.is_closed());
+    }
+
+    #[test]
+    fn rtt_estimation_sets_srtt() {
+        let (mut client, mut server) = established_pair();
+        client.write(&vec![7u8; 1000]);
+        let out = client.pump(t(10));
+        let mut acks = Vec::new();
+        for seg in out {
+            acks.extend(server.on_segment(A, seg, t(50)));
+        }
+        for ack in acks {
+            client.on_segment(B, ack, t(90)); // 80 ms after send
+        }
+        let srtt = client.stats().srtt.expect("sampled");
+        assert!((srtt - 0.08).abs() < 0.005, "srtt = {srtt}");
+    }
+
+    #[test]
+    fn write_respects_send_buffer_backpressure() {
+        let config = TcpConfig {
+            send_buffer: 1000,
+            ..TcpConfig::default()
+        };
+        let (mut client, _syn) = Connection::connect(1, B, 2, 0, config, t(0));
+        assert_eq!(client.write(&vec![0u8; 5000]), 1000);
+        assert_eq!(client.write(&[0u8; 10]), 0);
+        assert_eq!(client.send_capacity(), 0);
+    }
+
+    #[test]
+    fn rst_kills_the_connection() {
+        let (mut client, _server) = established_pair();
+        let rst = TcpSegment {
+            src_port: 80,
+            dst_port: 40000,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags {
+                rst: true,
+                ..TcpFlags::default()
+            },
+            window: 0,
+            payload: Bytes::new(),
+        };
+        client.on_segment(B, rst, t(9));
+        assert!(client.is_closed());
+    }
+
+    #[test]
+    fn seq_arithmetic_wraps() {
+        assert!(seq_lt(u32::MAX, 1));
+        assert!(seq_lt(u32::MAX - 10, 5));
+        assert!(!seq_lt(5, u32::MAX - 10));
+        assert!(seq_le(7, 7));
+    }
+}

@@ -1,0 +1,304 @@
+//! Topology construction: the paper's measurement scenario as a
+//! simulated internetwork.
+//!
+//! The experimental setup (§2.D) is one client on the WPI campus
+//! network (10 Mbit/s Ethernet NIC) reaching six distinct server sites
+//! over the 2002 Internet. §3.A reports the path statistics we
+//! calibrate against: median RTT ≈ 40 ms, max ≈ 160 ms (Figure 1), and
+//! 10–30 hops with most sites 15–20 away (Figure 2).
+//!
+//! [`InternetScenario::build`] samples a hop count and RTT per site
+//! from those calibrated distributions, materialises a router chain per
+//! site behind a shared campus access router, and installs routes in
+//! both directions.
+
+use crate::link::{LinkConfig, LinkId, NodeId};
+use crate::rng::SimRng;
+use crate::sim::Simulation;
+use crate::time::SimDuration;
+use std::net::Ipv4Addr;
+
+/// Calibration constants for path sampling (§3.A, Figures 1 and 2).
+pub mod calibration {
+    /// Median RTT in milliseconds (Figure 1: "median round-trip time of
+    /// 40 ms").
+    pub const RTT_MEDIAN_MS: f64 = 40.0;
+    /// Log-normal sigma chosen so the RTT CDF spans ~20–160 ms.
+    pub const RTT_SIGMA: f64 = 0.45;
+    /// Clamp bounds for sampled RTTs in milliseconds (Figure 1 axis).
+    pub const RTT_MIN_MS: f64 = 15.0;
+    /// Maximum observed RTT (Figure 1: "maximum round-trip time of 160 ms").
+    pub const RTT_MAX_MS: f64 = 160.0;
+    /// Hop-count normal mean (Figure 2: "most of the servers were
+    /// between 15 and 20 hops away").
+    pub const HOPS_MEAN: f64 = 17.0;
+    /// Hop-count normal standard deviation.
+    pub const HOPS_STD: f64 = 3.0;
+    /// Hop-count clamp bounds (Figure 2 axis runs 10–30).
+    pub const HOPS_MIN: usize = 10;
+    /// Upper clamp bound for hop count.
+    pub const HOPS_MAX: usize = 30;
+}
+
+/// Sample a per-site hop count from the Figure 2 calibration.
+pub fn sample_hop_count(rng: &mut SimRng) -> usize {
+    let h = rng.normal(calibration::HOPS_MEAN, calibration::HOPS_STD).round();
+    (h as i64).clamp(calibration::HOPS_MIN as i64, calibration::HOPS_MAX as i64) as usize
+}
+
+/// Sample a per-site baseline RTT from the Figure 1 calibration.
+pub fn sample_rtt(rng: &mut SimRng) -> SimDuration {
+    let ms = rng
+        .log_normal(calibration::RTT_MEDIAN_MS.ln(), calibration::RTT_SIGMA)
+        .clamp(calibration::RTT_MIN_MS, calibration::RTT_MAX_MS);
+    SimDuration::from_secs_f64(ms / 1e3)
+}
+
+/// One server site reachable from the client.
+#[derive(Debug, Clone)]
+pub struct SitePath {
+    /// The server host.
+    pub server: NodeId,
+    /// The server's address (what the players stream from).
+    pub server_addr: Ipv4Addr,
+    /// Routers between the access router and the server, in order.
+    pub routers: Vec<NodeId>,
+    /// Traceroute-visible hop count (routers + the server itself).
+    pub hop_count: usize,
+    /// Sum of configured propagation delays, one way.
+    pub one_way_delay: SimDuration,
+    /// The narrowest link rate on the path, which the RealServer model
+    /// uses as its bandwidth estimate when capping the buffering burst.
+    pub bottleneck_bps: u64,
+    /// The server's access link (the usual bottleneck), client-ward.
+    pub server_access_down: LinkId,
+}
+
+/// The full scenario: client, campus access router, and server sites.
+#[derive(Debug, Clone)]
+pub struct InternetScenario {
+    /// The measurement client (runs players, trackers, sniffer).
+    pub client: NodeId,
+    /// Client address.
+    pub client_addr: Ipv4Addr,
+    /// Campus access router (hop 1 for every site).
+    pub access_router: NodeId,
+    /// The client's access link, downstream direction (router → client)
+    /// — where the paper's sniffer sat.
+    pub client_access_down: LinkId,
+    /// One entry per server site.
+    pub sites: Vec<SitePath>,
+}
+
+/// Tunables for scenario construction.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Number of server sites (the paper used 6).
+    pub n_sites: usize,
+    /// Client access link (defaults to 10 Mbit/s Ethernet).
+    pub client_access: LinkConfig,
+    /// Backbone hop rate in bit/s (defaults to a 45 Mbit/s T3).
+    pub backbone_rate: u64,
+    /// Per-site server access rate in bit/s. `None` picks 10 Mbit/s.
+    /// A site serving only low rates might sit behind a T1; the harness
+    /// sets this per experiment.
+    pub server_access_rate: Option<u64>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            n_sites: 6,
+            client_access: LinkConfig::ethernet_10m(SimDuration::from_micros(50)),
+            backbone_rate: 45_000_000,
+            server_access_rate: None,
+        }
+    }
+}
+
+impl InternetScenario {
+    /// Build the scenario into `sim`, drawing path parameters from `rng`.
+    pub fn build(sim: &mut Simulation, rng: &mut SimRng, config: &ScenarioConfig) -> Self {
+        assert!(config.n_sites >= 1 && config.n_sites <= 200);
+        let client_addr = Ipv4Addr::new(130, 215, 36, 10);
+        let client = sim.add_host("wpi-client", client_addr);
+        let access_addr = Ipv4Addr::new(130, 215, 36, 1);
+        let access_router = sim.add_router("wpi-gw", access_addr);
+
+        let (up, down) = sim.add_duplex(client, access_router, config.client_access);
+        sim.core_mut().node_mut(client).default_route = Some(up);
+        sim.core_mut()
+            .node_mut(access_router)
+            .add_route(client_addr, down);
+
+        let mut sites = Vec::with_capacity(config.n_sites);
+        for site_idx in 0..config.n_sites {
+            sites.push(Self::build_site(
+                sim,
+                rng,
+                config,
+                site_idx,
+                client_addr,
+                access_router,
+                down,
+            ));
+        }
+        InternetScenario {
+            client,
+            client_addr,
+            access_router,
+            client_access_down: down,
+            sites,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_site(
+        sim: &mut Simulation,
+        rng: &mut SimRng,
+        config: &ScenarioConfig,
+        site_idx: usize,
+        client_addr: Ipv4Addr,
+        access_router: NodeId,
+        access_to_client: LinkId,
+    ) -> SitePath {
+        let hop_count = sample_hop_count(rng);
+        let rtt = sample_rtt(rng);
+        let one_way = SimDuration::from_nanos(rtt.as_nanos() / 2);
+
+        // Router chain: the access router is hop 1; the server is the
+        // final hop; in between sit hop_count - 2 transit routers.
+        let transit = hop_count.saturating_sub(2);
+        // Split the one-way delay across (transit + 2) links with
+        // exponential weights; one randomly chosen hop is a long-haul
+        // link carrying 6x weight.
+        let n_links = transit + 2;
+        let mut weights: Vec<f64> = (0..n_links).map(|_| rng.exponential(1.0) + 0.05).collect();
+        let long_haul = rng.index(n_links);
+        weights[long_haul] *= 6.0;
+        let total_weight: f64 = weights.iter().sum();
+        let delays: Vec<SimDuration> = weights
+            .iter()
+            .map(|w| SimDuration::from_nanos((one_way.as_nanos() as f64 * w / total_weight) as u64))
+            .collect();
+
+        let server_addr = Ipv4Addr::new(204, 71, site_idx as u8, 33);
+        let server_rate = config.server_access_rate.unwrap_or(10_000_000);
+
+        // Chain construction. Forward direction: each node routes the
+        // server's address to the next hop. Reverse direction: every
+        // router's default route points back toward the client side, so
+        // returning traffic and ICMP errors (time-exceeded to the
+        // client) flow home without per-destination routes.
+        let _ = (client_addr, access_to_client);
+        let mut prev = access_router;
+        let mut routers = Vec::with_capacity(transit);
+        // An index loop reads better here: `t` names both the hop and
+        // its delay slot.
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..transit {
+            let addr = Ipv4Addr::new(10, 100 + site_idx as u8, t as u8, 1);
+            let router = sim.add_router(&format!("site{site_idx}-r{t}"), addr);
+            let cfg = LinkConfig {
+                rate_bps: config.backbone_rate,
+                propagation: delays[t],
+                queue_capacity: 256 * 1024,
+                mtu: turb_wire::DEFAULT_MTU,
+            };
+            let (fwd, back) = sim.add_duplex(prev, router, cfg);
+            sim.core_mut().node_mut(prev).add_route(server_addr, fwd);
+            sim.core_mut().node_mut(router).default_route = Some(back);
+            prev = router;
+            routers.push(router);
+        }
+
+        // Server access link (often the path bottleneck).
+        let server = sim.add_host(&format!("site{site_idx}-server"), server_addr);
+        let access_cfg = LinkConfig {
+            rate_bps: server_rate,
+            propagation: *delays.last().expect("at least one delay"),
+            queue_capacity: 64 * 1024,
+            mtu: turb_wire::DEFAULT_MTU,
+        };
+        let (fwd, back) = sim.add_duplex(prev, server, access_cfg);
+        sim.core_mut().node_mut(prev).add_route(server_addr, fwd);
+        sim.core_mut().node_mut(server).default_route = Some(back);
+
+        let bottleneck_bps = server_rate
+            .min(config.backbone_rate)
+            .min(config.client_access.rate_bps);
+
+        SitePath {
+            server,
+            server_addr,
+            routers,
+            hop_count,
+            one_way_delay: one_way,
+            bottleneck_bps,
+            server_access_down: back,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+
+    #[test]
+    fn hop_count_samples_stay_in_figure2_range() {
+        let mut rng = SimRng::new(1);
+        let samples: Vec<usize> = (0..1000).map(|_| sample_hop_count(&mut rng)).collect();
+        assert!(samples.iter().all(|&h| (10..=30).contains(&h)));
+        let in_band = samples.iter().filter(|&&h| (15..=20).contains(&h)).count();
+        assert!(
+            in_band as f64 / samples.len() as f64 > 0.5,
+            "most sites should be 15-20 hops away, got {in_band}/1000"
+        );
+    }
+
+    #[test]
+    fn rtt_samples_match_figure1_calibration() {
+        let mut rng = SimRng::new(2);
+        let mut ms: Vec<f64> = (0..2000).map(|_| sample_rtt(&mut rng).as_millis_f64()).collect();
+        ms.sort_by(f64::total_cmp);
+        let median = ms[ms.len() / 2];
+        assert!((30.0..=50.0).contains(&median), "median = {median}");
+        assert!(*ms.last().unwrap() <= 160.0 + 1e-9);
+        assert!(*ms.first().unwrap() >= 15.0 - 1e-9);
+    }
+
+    #[test]
+    fn scenario_builds_with_six_sites() {
+        let mut sim = Simulation::new(3);
+        let mut rng = SimRng::new(3);
+        let scenario = InternetScenario::build(&mut sim, &mut rng, &ScenarioConfig::default());
+        assert_eq!(scenario.sites.len(), 6);
+        for site in &scenario.sites {
+            assert!((10..=30).contains(&site.hop_count));
+            assert_eq!(site.routers.len(), site.hop_count - 2);
+            assert!(site.bottleneck_bps <= 10_000_000);
+        }
+        // All addresses distinct is enforced by construction (asserted
+        // inside add_host); spot-check the route out of the client.
+        assert!(sim
+            .core()
+            .node(scenario.client)
+            .route(scenario.sites[0].server_addr)
+            .is_some());
+    }
+
+    #[test]
+    fn different_seeds_give_different_paths() {
+        let paths: Vec<usize> = [10u64, 20]
+            .iter()
+            .map(|&seed| {
+                let mut sim = Simulation::new(seed);
+                let mut rng = SimRng::new(seed);
+                let sc = InternetScenario::build(&mut sim, &mut rng, &ScenarioConfig::default());
+                sc.sites.iter().map(|s| s.hop_count).sum()
+            })
+            .collect();
+        assert_ne!(paths[0], paths[1]);
+    }
+}

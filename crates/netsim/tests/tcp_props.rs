@@ -1,0 +1,103 @@
+//! Property-based tests for the TCP implementation: reliability under
+//! arbitrary loss and reordering.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use turb_netsim::tcp::{Connection, TcpConfig};
+use turb_netsim::time::SimTime;
+use turb_wire::tcp::TcpSegment;
+
+const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn t(ms: u64) -> SimTime {
+    SimTime(ms * 1_000_000)
+}
+
+/// A lossy in-memory "network" between two connections: each segment
+/// survives according to the seeded pattern; time advances per round,
+/// and RTO timers fire whenever due.
+fn run_lossy_session(
+    payload: Vec<u8>,
+    drop_pattern: u64,
+    reorder: bool,
+) -> (Connection, Connection, Vec<u8>) {
+    let config = TcpConfig {
+        initial_rto: turb_netsim::SimDuration::from_millis(400),
+        min_rto: turb_netsim::SimDuration::from_millis(100),
+        ..TcpConfig::default()
+    };
+    let (mut client, syn) = Connection::connect(40000, B, 80, 1, config, t(0));
+    let mut server = Connection::listen(80, 9, config);
+    client.write(&payload);
+    client.close();
+
+    let mut to_server: Vec<TcpSegment> = vec![syn];
+    let mut to_client: Vec<TcpSegment> = Vec::new();
+    let mut received = Vec::new();
+    let mut lcg = drop_pattern | 1;
+    let mut survive = move || {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // ~15 % loss.
+        (lcg >> 33) % 100 >= 15
+    };
+
+    for round in 0..4000u64 {
+        let now = t(10 + round * 20);
+        // Deliver client → server.
+        let mut batch: Vec<TcpSegment> = to_server.drain(..).filter(|_| survive()).collect();
+        if reorder && batch.len() > 1 && round % 3 == 0 {
+            batch.reverse();
+        }
+        for seg in batch {
+            to_client.extend(server.on_segment(A, seg, now));
+        }
+        received.extend(server.take_received().iter());
+        // Deliver server → client (ACKs survive; losing both directions
+        // at 15 % each makes worst-case convergence very slow).
+        for seg in to_client.drain(..) {
+            to_server.extend(client.on_segment(B, seg, now));
+        }
+        // Fire timers.
+        to_server.extend(client.on_timer(now));
+        to_client.extend(server.on_timer(now));
+        // Let idle endpoints push pending data.
+        to_server.extend(client.pump(now));
+
+        if client.is_closed() && server.stats().bytes_received as usize >= payload.len() {
+            break;
+        }
+    }
+    received.extend(server.take_received().iter());
+    (client, server, received)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// 15 % random loss: every byte still arrives, exactly once, in
+    /// order.
+    #[test]
+    fn reliable_delivery_under_loss(
+        payload in proptest::collection::vec(any::<u8>(), 1..40_000),
+        pattern: u64,
+    ) {
+        let (client, server, received) = run_lossy_session(payload.clone(), pattern, false);
+        prop_assert_eq!(received.len(), payload.len(),
+            "client state {:?}, server acked {}", client.state(), client.stats().bytes_acked);
+        prop_assert_eq!(received, payload);
+        prop_assert_eq!(server.stats().bytes_received as usize, client.stats().bytes_acked as usize);
+    }
+
+    /// Loss plus batch reordering: still a perfect stream.
+    #[test]
+    fn reliable_delivery_under_loss_and_reordering(
+        payload in proptest::collection::vec(any::<u8>(), 1..20_000),
+        pattern: u64,
+    ) {
+        let (_client, _server, received) = run_lossy_session(payload.clone(), pattern, true);
+        prop_assert_eq!(received, payload);
+    }
+}

@@ -1,0 +1,397 @@
+//! An adaptive streaming pair: the §VI media-scaling study made
+//! executable.
+//!
+//! The measured 2002 players were effectively unresponsive on the
+//! timescale of a clip (that is the paper's point); but both shipped
+//! media-scaling machinery (SureStream, intelligent streaming). This
+//! module pairs a RealPlayer-style server with a [`MediaScaler`] and a
+//! client that reports reception quality, so the "would scaling have
+//! made them TCP-friendlier?" question can be answered in simulation.
+
+use crate::calibration::{END_FRAME_MARKER, REAL_PACING_SIGMA};
+use crate::config::{StreamConfig, START_REQUEST};
+use crate::scaling::{MediaScaler, RateLadder, ScalingPolicy};
+use bytes::Bytes;
+use serde::Serialize;
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use turb_netsim::rng::SimRng;
+use turb_netsim::sim::{Application, Ctx};
+use turb_netsim::{AppId, NodeId, SimDuration, Simulation};
+use turb_wire::media::{MediaHeader, PlayerId, MEDIA_HEADER_LEN};
+
+/// Magic prefix of a client feedback report.
+const FEEDBACK_MAGIC: &[u8; 8] = b"TURB-FB1";
+
+/// How often the client reports reception quality.
+const FEEDBACK_INTERVAL_MS: u64 = 2000;
+
+/// One entry of the server's rate history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RateChange {
+    /// When the change took effect (ns of sim time).
+    pub time_ns: u64,
+    /// The new target rate, Kbit/s.
+    pub rate_kbps: f64,
+}
+
+/// Shared log of an adaptive session.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct AdaptiveLog {
+    /// Server-side rate changes over time.
+    pub rate_history: Vec<RateChange>,
+    /// Per-window loss rates the client reported.
+    pub reported_loss: Vec<f64>,
+    /// Bytes the client received.
+    pub bytes_received: u64,
+    /// Datagrams lost (client view).
+    pub packets_lost: u32,
+    /// Datagrams received (client view).
+    pub packets_received: u32,
+}
+
+impl AdaptiveLog {
+    /// The final streaming rate, Kbit/s.
+    pub fn final_rate_kbps(&self) -> Option<f64> {
+        self.rate_history.last().map(|r| r.rate_kbps)
+    }
+
+    /// Loss rate over the whole session.
+    pub fn overall_loss(&self) -> f64 {
+        let total = self.packets_received + self.packets_lost;
+        if total == 0 {
+            0.0
+        } else {
+            f64::from(self.packets_lost) / f64::from(total)
+        }
+    }
+}
+
+const TOKEN_SEND: u64 = 1;
+
+/// The adaptive server: Real-style pacing at the scaler's rate.
+pub struct AdaptiveServer {
+    config: StreamConfig,
+    scaler: MediaScaler,
+    rng: SimRng,
+    client: Option<(Ipv4Addr, u16)>,
+    seq: u32,
+    sent_bytes: u64,
+    budget: u64,
+    done: bool,
+    log: Rc<RefCell<AdaptiveLog>>,
+}
+
+impl AdaptiveServer {
+    fn mean_payload(&self) -> f64 {
+        crate::calibration::real_mean_payload(self.scaler.rate_kbps())
+    }
+
+    fn send_packet(&mut self, ctx: &mut Ctx<'_>) {
+        let Some((addr, port)) = self.client else {
+            return;
+        };
+        let mean = self.mean_payload();
+        let payload_len = (self
+            .rng
+            .normal(mean, 0.3 * mean)
+            .clamp(0.55 * mean, (1.85 * mean).min(1472.0))
+            .round() as usize)
+            .max(MEDIA_HEADER_LEN);
+        let header = MediaHeader {
+            player: PlayerId::RealPlayer,
+            sequence: self.seq,
+            frame_number: 0,
+            media_time_ms: 0,
+            buffering: false,
+        };
+        self.seq += 1;
+        ctx.send_udp(
+            self.config.server_port,
+            addr,
+            port,
+            header.encode_with_padding(payload_len - MEDIA_HEADER_LEN),
+        );
+        self.sent_bytes += payload_len as u64;
+        if self.sent_bytes >= self.budget {
+            for _ in 0..3 {
+                let end = MediaHeader {
+                    player: PlayerId::RealPlayer,
+                    sequence: self.seq,
+                    frame_number: END_FRAME_MARKER,
+                    media_time_ms: 0,
+                    buffering: false,
+                };
+                self.seq += 1;
+                ctx.send_udp(self.config.server_port, addr, port, end.encode_with_padding(0));
+            }
+            self.done = true;
+            return;
+        }
+        let rate = self.scaler.rate_kbps() * 1000.0;
+        let sigma = REAL_PACING_SIGMA;
+        let jitter = self.rng.log_normal(-sigma * sigma / 2.0, sigma);
+        let gap = payload_len as f64 * 8.0 / rate * jitter;
+        ctx.set_timer_after(SimDuration::from_secs_f64(gap), TOKEN_SEND);
+    }
+}
+
+impl Application for AdaptiveServer {
+    fn on_udp(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: (Ipv4Addr, u16),
+        _dst_port: u16,
+        payload: Bytes,
+    ) {
+        if payload.as_ref() == START_REQUEST && self.client.is_none() {
+            self.client = Some(from);
+            self.log.borrow_mut().rate_history.push(RateChange {
+                time_ns: ctx.now().as_nanos(),
+                rate_kbps: self.scaler.rate_kbps(),
+            });
+            self.send_packet(ctx);
+            return;
+        }
+        // Feedback report: 8-byte magic + f64 loss rate (BE bits).
+        if payload.len() == 16 && &payload[..8] == FEEDBACK_MAGIC {
+            let loss = f64::from_bits(u64::from_be_bytes(
+                payload[8..16].try_into().expect("8 bytes"),
+            ));
+            self.log.borrow_mut().reported_loss.push(loss);
+            let before = self.scaler.rate_kbps();
+            let after = self.scaler.on_feedback(loss.clamp(0.0, 1.0));
+            if (after - before).abs() > f64::EPSILON {
+                self.log.borrow_mut().rate_history.push(RateChange {
+                    time_ns: ctx.now().as_nanos(),
+                    rate_kbps: after,
+                });
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_SEND && !self.done {
+            self.send_packet(ctx);
+        }
+    }
+}
+
+const TOKEN_FEEDBACK: u64 = 2;
+const TOKEN_RETRY: u64 = 3;
+
+/// The adaptive client: receives, tracks windowed loss, reports.
+pub struct AdaptiveClient {
+    config: StreamConfig,
+    next_seq: u32,
+    window_received: u32,
+    window_lost: u32,
+    started: bool,
+    ended: bool,
+    log: Rc<RefCell<AdaptiveLog>>,
+}
+
+impl Application for AdaptiveClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send_udp(
+            self.config.client_port,
+            self.config.server_addr,
+            self.config.server_port,
+            Bytes::from_static(START_REQUEST),
+        );
+        ctx.set_timer_after(SimDuration::from_millis(FEEDBACK_INTERVAL_MS), TOKEN_FEEDBACK);
+        ctx.set_timer_after(SimDuration::from_secs(2), TOKEN_RETRY);
+    }
+
+    fn on_udp(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        _from: (Ipv4Addr, u16),
+        _dst_port: u16,
+        payload: Bytes,
+    ) {
+        let Ok(header) = MediaHeader::decode(&payload) else {
+            return;
+        };
+        self.started = true;
+        if header.frame_number == END_FRAME_MARKER {
+            self.ended = true;
+            return;
+        }
+        let mut log = self.log.borrow_mut();
+        log.bytes_received += payload.len() as u64;
+        log.packets_received += 1;
+        self.window_received += 1;
+        if header.sequence > self.next_seq {
+            let gap = header.sequence - self.next_seq;
+            log.packets_lost += gap;
+            self.window_lost += gap;
+        }
+        if header.sequence >= self.next_seq {
+            self.next_seq = header.sequence + 1;
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_FEEDBACK => {
+                let total = self.window_received + self.window_lost;
+                let loss = if total == 0 {
+                    0.0
+                } else {
+                    f64::from(self.window_lost) / f64::from(total)
+                };
+                self.window_received = 0;
+                self.window_lost = 0;
+                let mut payload = Vec::with_capacity(16);
+                payload.extend_from_slice(FEEDBACK_MAGIC);
+                payload.extend_from_slice(&loss.to_bits().to_be_bytes());
+                ctx.send_udp(
+                    self.config.client_port,
+                    self.config.server_addr,
+                    self.config.server_port,
+                    Bytes::from(payload),
+                );
+                if !self.ended {
+                    ctx.set_timer_after(
+                        SimDuration::from_millis(FEEDBACK_INTERVAL_MS),
+                        TOKEN_FEEDBACK,
+                    );
+                }
+            }
+            TOKEN_RETRY
+                if !self.started => {
+                    ctx.send_udp(
+                        self.config.client_port,
+                        self.config.server_addr,
+                        self.config.server_port,
+                        Bytes::from_static(START_REQUEST),
+                    );
+                    ctx.set_timer_after(SimDuration::from_secs(2), TOKEN_RETRY);
+                }
+            _ => {}
+        }
+    }
+}
+
+/// Install an adaptive session: a server streaming `config.clip`'s
+/// material through a halving rate ladder topped at the clip's
+/// encoding rate, and a feedback-reporting client.
+pub fn spawn_adaptive_stream(
+    sim: &mut Simulation,
+    server_node: NodeId,
+    client_node: NodeId,
+    config: StreamConfig,
+    policy: ScalingPolicy,
+    rng: &mut SimRng,
+) -> (Rc<RefCell<AdaptiveLog>>, AppId, AppId) {
+    let log = Rc::new(RefCell::new(AdaptiveLog::default()));
+    let ladder = RateLadder::halving_from(config.clip.encoded_kbps);
+    let budget = config.media_bytes();
+    let server = AdaptiveServer {
+        scaler: MediaScaler::new(ladder, policy),
+        rng: rng.fork(0xada7),
+        client: None,
+        seq: 0,
+        sent_bytes: 0,
+        budget,
+        done: false,
+        log: log.clone(),
+        config: config.clone(),
+    };
+    let server_app = sim.add_app(server_node, Box::new(server), Some(config.server_port), false);
+    let client = AdaptiveClient {
+        next_seq: 0,
+        window_received: 0,
+        window_lost: 0,
+        started: false,
+        ended: false,
+        log: log.clone(),
+        config: config.clone(),
+    };
+    let client_app = sim.add_app(client_node, Box::new(client), Some(config.client_port), false);
+    (log, server_app, client_app)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turb_media::{corpus, RateClass};
+    use turb_netsim::{LinkConfig, SimTime};
+
+    fn constrained_run(bottleneck_bps: u64, seed: u64) -> AdaptiveLog {
+        let sets = corpus::table1();
+        let clip = sets[4].pair(RateClass::High).unwrap().real.clone(); // 217.6 K
+        let server_addr = Ipv4Addr::new(204, 71, 0, 33);
+        let client_addr = Ipv4Addr::new(130, 215, 36, 10);
+        let mut sim = Simulation::new(seed);
+        let mut rng = SimRng::new(seed);
+        let server = sim.add_host("server", server_addr);
+        let client = sim.add_host("client", client_addr);
+        let link = LinkConfig {
+            rate_bps: bottleneck_bps,
+            propagation: SimDuration::from_millis(20),
+            queue_capacity: 16 * 1024,
+            mtu: 1500,
+        };
+        let (sc, cs) = sim.add_duplex(server, client, link);
+        sim.core_mut().node_mut(server).default_route = Some(sc);
+        sim.core_mut().node_mut(client).default_route = Some(cs);
+        let config = StreamConfig {
+            clip,
+            server_addr,
+            server_port: 554,
+            client_addr,
+            client_port: 7002,
+            bottleneck_bps,
+        };
+        let (log, _, _) =
+            spawn_adaptive_stream(&mut sim, server, client, config, ScalingPolicy::default(), &mut rng);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+        let out = log.borrow().clone();
+        out
+    }
+
+    #[test]
+    fn adaptation_steps_down_under_constraint() {
+        // A 120 Kbit/s bottleneck cannot carry 217.6 Kbit/s: the scaler
+        // must step down within a few feedback windows.
+        let log = constrained_run(120_000, 9);
+        let final_rate = log.final_rate_kbps().expect("rate history");
+        assert!(
+            final_rate < 217.6 * 0.7,
+            "should have scaled down: {final_rate}"
+        );
+        assert!(log.rate_history.len() >= 2, "{:?}", log.rate_history);
+        // And the typical late window is clean (the scaler re-probes
+        // the higher tier periodically, so use the median rather than
+        // the mean: probe windows show a loss burst by design).
+        let mut tail: Vec<f64> = log.reported_loss.iter().rev().take(10).copied().collect();
+        tail.sort_by(f64::total_cmp);
+        let median = tail[tail.len() / 2];
+        assert!(median < 0.05, "late median loss still {median}");
+    }
+
+    #[test]
+    fn ample_bandwidth_keeps_the_top_tier() {
+        let log = constrained_run(10_000_000, 10);
+        assert_eq!(log.final_rate_kbps(), Some(217.6));
+        assert_eq!(log.rate_history.len(), 1);
+        assert!(log.overall_loss() < 0.01);
+    }
+
+    #[test]
+    fn adaptive_stream_outperforms_unresponsive_on_delivered_quality() {
+        // Same 120 Kbit/s bottleneck: the unresponsive Real stream
+        // ploughs through with heavy loss, the adaptive one converges
+        // to a cleanly delivered lower tier.
+        let adaptive = constrained_run(120_000, 11);
+        assert!(adaptive.overall_loss() < 0.35);
+        let mut tail: Vec<f64> =
+            adaptive.reported_loss.iter().rev().take(10).copied().collect();
+        tail.sort_by(f64::total_cmp);
+        let late_median = tail[tail.len() / 2];
+        assert!(late_median < 0.05, "adaptive late loss {late_median}");
+    }
+}

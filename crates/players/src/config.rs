@@ -1,0 +1,64 @@
+//! Stream session configuration shared by servers, clients and spawn
+//! helpers.
+
+use std::net::Ipv4Addr;
+use turb_media::Clip;
+
+/// Everything a server/client pair needs to know about one streaming
+//  session.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// The clip being streamed (rates, duration, player).
+    pub clip: Clip,
+    /// Server address.
+    pub server_addr: Ipv4Addr,
+    /// Server UDP port (1755 for WMP, 554 for Real by convention).
+    pub server_port: u16,
+    /// Client address.
+    pub client_addr: Ipv4Addr,
+    /// Client UDP port the stream is delivered to.
+    pub client_port: u16,
+    /// The server's estimate of the path bottleneck in bit/s, used by
+    /// the RealServer to cap its buffering burst (§3.F).
+    pub bottleneck_bps: u64,
+}
+
+impl StreamConfig {
+    /// Encoded rate in bit/s.
+    pub fn encoded_bps(&self) -> f64 {
+        self.clip.encoded_kbps * 1000.0
+    }
+
+    /// Total media bytes of the clip.
+    pub fn media_bytes(&self) -> u64 {
+        self.clip.media_bytes()
+    }
+}
+
+/// The START request a client sends to a server to begin streaming.
+pub const START_REQUEST: &[u8] = b"TURB-START";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turb_media::{corpus, PlayerId};
+
+    #[test]
+    fn config_conversions() {
+        let clip = corpus::all_clips()
+            .into_iter()
+            .find(|c| c.player == PlayerId::RealPlayer)
+            .unwrap();
+        let kbps = clip.encoded_kbps;
+        let cfg = StreamConfig {
+            clip,
+            server_addr: Ipv4Addr::new(204, 71, 0, 33),
+            server_port: 554,
+            client_addr: Ipv4Addr::new(130, 215, 36, 10),
+            client_port: 7002,
+            bottleneck_bps: 10_000_000,
+        };
+        assert_eq!(cfg.encoded_bps(), kbps * 1000.0);
+        assert!(cfg.media_bytes() > 0);
+    }
+}

@@ -1,0 +1,440 @@
+//! An RTSP-style control channel over TCP.
+//!
+//! The real players negotiated their sessions over TCP (RTSP on port
+//! 554 for RealServer, MMS on 1755 for Windows Media) and then, in the
+//! paper's configuration, carried the media over UDP. The base models
+//! in this crate collapse that handshake into a single UDP START
+//! datagram; this module restores the control plane on top of the
+//! workspace's TCP substrate, with a minimal text protocol:
+//!
+//! ```text
+//! C→S  DESCRIBE\r\n
+//! S→C  200 OK rate=<kbps> duration=<secs>\r\n
+//! C→S  PLAY port=<udp-port>\r\n
+//! S→C  200 OK\r\n            (and the UDP stream starts)
+//! C→S  TEARDOWN\r\n
+//! S→C  200 OK\r\n            (connection closes)
+//! ```
+//!
+//! (The real MMS protocol was binary; using one text protocol for both
+//! players is a documented simplification — the observable of interest
+//! is a TCP control conversation alongside the UDP data, which is what
+//! the paper's captures contained.)
+
+use crate::config::StreamConfig;
+use crate::real_server::RealServer;
+use crate::wmp_server::WmpServer;
+use bytes::Bytes;
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use turb_netsim::sim::{Application, Ctx};
+use turb_netsim::tcp::{TcpConfig, TcpDriver};
+use turb_netsim::SimDuration;
+use turb_wire::tcp::TcpSegment;
+
+/// A streaming engine that a control channel can start.
+pub trait MediaServerCore: Application {
+    /// Start pushing media to `client`.
+    fn begin_streaming(&mut self, ctx: &mut Ctx<'_>, client: (Ipv4Addr, u16));
+    /// The clip configuration being served.
+    fn stream_config(&self) -> &StreamConfig;
+}
+
+impl MediaServerCore for WmpServer {
+    fn begin_streaming(&mut self, ctx: &mut Ctx<'_>, client: (Ipv4Addr, u16)) {
+        WmpServer::begin_streaming(self, ctx, client);
+    }
+    fn stream_config(&self) -> &StreamConfig {
+        self.config()
+    }
+}
+
+impl MediaServerCore for RealServer {
+    fn begin_streaming(&mut self, ctx: &mut Ctx<'_>, client: (Ipv4Addr, u16)) {
+        RealServer::begin_streaming(self, ctx, client);
+    }
+    fn stream_config(&self) -> &StreamConfig {
+        self.config()
+    }
+}
+
+/// Wraps a streaming server with a TCP control listener.
+pub struct ControlledServer<S: MediaServerCore> {
+    inner: S,
+    control: Option<TcpDriver>,
+    peer_addr: Option<Ipv4Addr>,
+    line_buf: String,
+    torn_down: bool,
+}
+
+impl<S: MediaServerCore> ControlledServer<S> {
+    /// Wrap a server; install with the TCP port bound to the session's
+    /// `server_port` (see [`spawn_controlled_stream`]).
+    pub fn new(inner: S) -> Self {
+        ControlledServer {
+            inner,
+            control: None,
+            peer_addr: None,
+            line_buf: String::new(),
+            torn_down: false,
+        }
+    }
+
+    fn reply(&mut self, ctx: &mut Ctx<'_>, line: &str) {
+        if let Some(driver) = self.control.as_mut() {
+            driver.write(ctx, line.as_bytes());
+            driver.write(ctx, b"\r\n");
+        }
+    }
+
+    fn handle_line(&mut self, ctx: &mut Ctx<'_>, line: String) {
+        let line = line.trim();
+        if line == "DESCRIBE" {
+            let config = self.inner.stream_config();
+            let response = format!(
+                "200 OK rate={} duration={}",
+                config.clip.encoded_kbps, config.clip.duration_secs
+            );
+            self.reply(ctx, &response);
+        } else if let Some(port_str) = line.strip_prefix("PLAY port=") {
+            match (port_str.parse::<u16>(), self.peer_addr) {
+                (Ok(port), Some(addr)) => {
+                    self.reply(ctx, "200 OK");
+                    self.inner.begin_streaming(ctx, (addr, port));
+                }
+                _ => self.reply(ctx, "400 bad port"),
+            }
+        } else if line == "TEARDOWN" {
+            self.reply(ctx, "200 OK");
+            self.torn_down = true;
+            if let Some(driver) = self.control.as_mut() {
+                driver.close(ctx);
+            }
+        } else if !line.is_empty() {
+            self.reply(ctx, "405 unknown method");
+        }
+    }
+
+    fn drain_control(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(driver) = self.control.as_mut() else {
+            return;
+        };
+        let data = driver.conn.take_received();
+        self.line_buf.push_str(&String::from_utf8_lossy(&data));
+        while let Some(newline) = self.line_buf.find('\n') {
+            let line: String = self.line_buf.drain(..=newline).collect();
+            self.handle_line(ctx, line);
+        }
+    }
+}
+
+impl<S: MediaServerCore> Application for ControlledServer<S> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.control = Some(TcpDriver::listen(
+            ctx,
+            self.inner.stream_config().server_port,
+            TcpConfig::default(),
+        ));
+        self.inner.on_start(ctx);
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Ctx<'_>, from: Ipv4Addr, segment: TcpSegment) {
+        self.peer_addr.get_or_insert(from);
+        if let Some(driver) = self.control.as_mut() {
+            driver.on_segment(ctx, from, segment);
+        }
+        self.drain_control(ctx);
+    }
+
+    fn on_udp(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: (Ipv4Addr, u16),
+        dst_port: u16,
+        payload: Bytes,
+    ) {
+        // The tracker clients still broadcast the legacy UDP START (and
+        // the adaptive feedback reports); forward them to the engine.
+        self.inner.on_udp(ctx, from, dst_port, payload);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == turb_netsim::tcp::TCP_TIMER_TOKEN {
+            if let Some(driver) = self.control.as_mut() {
+                driver.on_timer(ctx, token);
+            }
+        } else {
+            self.inner.on_timer(ctx, token);
+        }
+    }
+}
+
+/// What the control client records.
+#[derive(Debug, Clone, Default)]
+pub struct ControlLog {
+    /// The DESCRIBE response's advertised rate, Kbit/s.
+    pub described_rate: Option<f64>,
+    /// The DESCRIBE response's advertised duration, seconds.
+    pub described_duration: Option<f64>,
+    /// Whether PLAY was acknowledged.
+    pub play_acked: bool,
+    /// Whether TEARDOWN was acknowledged.
+    pub teardown_acked: bool,
+}
+
+const TOKEN_TEARDOWN: u64 = 0x7ea2;
+
+/// The client side of the control channel: DESCRIBE → PLAY →
+/// (after the clip) TEARDOWN. The media itself is received by the
+/// ordinary tracker client listening on the UDP port.
+pub struct ControlClient {
+    server_addr: Ipv4Addr,
+    server_port: u16,
+    data_port: u16,
+    clip_duration: f64,
+    control: Option<TcpDriver>,
+    line_buf: String,
+    sent_play: bool,
+    log: Rc<RefCell<ControlLog>>,
+}
+
+impl ControlClient {
+    /// Build the client and its log handle.
+    pub fn new(config: &StreamConfig) -> (ControlClient, Rc<RefCell<ControlLog>>) {
+        let log = Rc::new(RefCell::new(ControlLog::default()));
+        (
+            ControlClient {
+                server_addr: config.server_addr,
+                server_port: config.server_port,
+                data_port: config.client_port,
+                clip_duration: config.clip.duration_secs,
+                control: None,
+                line_buf: String::new(),
+                sent_play: false,
+                log: log.clone(),
+            },
+            log,
+        )
+    }
+
+    fn send_line(&mut self, ctx: &mut Ctx<'_>, line: &str) {
+        if let Some(driver) = self.control.as_mut() {
+            driver.write(ctx, line.as_bytes());
+            driver.write(ctx, b"\r\n");
+        }
+    }
+
+    fn handle_line(&mut self, ctx: &mut Ctx<'_>, line: String) {
+        let line = line.trim();
+        if !line.starts_with("200 OK") {
+            return;
+        }
+        if let Some(rest) = line.strip_prefix("200 OK rate=") {
+            // DESCRIBE response: "rate=<kbps> duration=<secs>".
+            let mut parts = rest.split(" duration=");
+            let mut log = self.log.borrow_mut();
+            log.described_rate = parts.next().and_then(|v| v.parse().ok());
+            log.described_duration = parts.next().and_then(|v| v.parse().ok());
+            drop(log);
+            let play = format!("PLAY port={}", self.data_port);
+            self.send_line(ctx, &play);
+            self.sent_play = true;
+        } else if self.sent_play && !self.log.borrow().play_acked {
+            self.log.borrow_mut().play_acked = true;
+            // Tear the session down after the clip (plus margin).
+            ctx.set_timer_after(
+                SimDuration::from_secs_f64(self.clip_duration * 1.2 + 30.0),
+                TOKEN_TEARDOWN,
+            );
+        } else if self.log.borrow().play_acked {
+            self.log.borrow_mut().teardown_acked = true;
+        }
+    }
+
+    fn drain_control(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(driver) = self.control.as_mut() else {
+            return;
+        };
+        let data = driver.conn.take_received();
+        self.line_buf.push_str(&String::from_utf8_lossy(&data));
+        while let Some(newline) = self.line_buf.find('\n') {
+            let line: String = self.line_buf.drain(..=newline).collect();
+            self.handle_line(ctx, line);
+        }
+    }
+}
+
+impl Application for ControlClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let mut driver = TcpDriver::connect(
+            ctx,
+            // An ephemeral control port distinct from the data port.
+            self.data_port + 10_000,
+            self.server_addr,
+            self.server_port,
+            TcpConfig::default(),
+        );
+        driver.write(ctx, b"DESCRIBE\r\n");
+        self.control = Some(driver);
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Ctx<'_>, from: Ipv4Addr, segment: TcpSegment) {
+        if let Some(driver) = self.control.as_mut() {
+            driver.on_segment(ctx, from, segment);
+        }
+        self.drain_control(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_TEARDOWN {
+            self.send_line(ctx, "TEARDOWN");
+            return;
+        }
+        if let Some(driver) = self.control.as_mut() {
+            driver.on_timer(ctx, token);
+        }
+    }
+}
+
+/// Handles for a control-channel session.
+pub struct ControlledStreamHandles {
+    /// The tracker log (same schema as the UDP-START sessions).
+    pub log: Rc<RefCell<crate::stats::AppStatsLog>>,
+    /// The control conversation log.
+    pub control: Rc<RefCell<ControlLog>>,
+}
+
+/// Install a full control-channel session: a [`ControlledServer`]
+/// wrapping the player's engine (TCP control on `config.server_port`),
+/// the ordinary tracker client on the UDP `config.client_port`, and a
+/// [`ControlClient`] performing DESCRIBE/PLAY/TEARDOWN.
+pub fn spawn_controlled_stream(
+    sim: &mut turb_netsim::Simulation,
+    server_node: turb_netsim::NodeId,
+    client_node: turb_netsim::NodeId,
+    config: StreamConfig,
+    rng: &mut turb_netsim::SimRng,
+) -> ControlledStreamHandles {
+    use turb_media::PlayerId;
+
+    // Server: wrapped engine. Bound to both the TCP control port and
+    // the UDP port (so legacy START datagrams are consumed silently).
+    let server_app = match config.clip.player {
+        PlayerId::MediaPlayer => sim.add_app(
+            server_node,
+            Box::new(ControlledServer::new(WmpServer::new(config.clone()))),
+            Some(config.server_port),
+            false,
+        ),
+        PlayerId::RealPlayer => {
+            let server_rng = rng.fork(0xc7a1);
+            sim.add_app(
+                server_node,
+                Box::new(ControlledServer::new(RealServer::new(
+                    config.clone(),
+                    server_rng,
+                ))),
+                Some(config.server_port),
+                false,
+            )
+        }
+    };
+    sim.bind_tcp_port(server_node, config.server_port, server_app);
+
+    // Data-plane tracker client (unchanged schema).
+    let log = match config.clip.player {
+        PlayerId::MediaPlayer => {
+            let (client, log) = crate::wmp_client::WmpClient::new(config.clone());
+            sim.add_app(client_node, Box::new(client), Some(config.client_port), false);
+            log
+        }
+        PlayerId::RealPlayer => {
+            let (client, log) = crate::real_client::RealClient::new(config.clone());
+            sim.add_app(client_node, Box::new(client), Some(config.client_port), false);
+            log
+        }
+    };
+
+    // Control-plane client.
+    let (control_client, control) = ControlClient::new(&config);
+    let control_app = sim.add_app(client_node, Box::new(control_client), None, false);
+    sim.bind_tcp_port(client_node, config.client_port + 10_000, control_app);
+
+    ControlledStreamHandles { log, control }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turb_media::{corpus, RateClass};
+    use turb_netsim::prelude::*;
+
+    fn run(player: turb_media::PlayerId) -> (ControlledStreamHandles, usize) {
+        let sets = corpus::table1();
+        let pair = sets[1].pair(RateClass::Low).unwrap().clone(); // 39 s
+        let clip = match player {
+            turb_media::PlayerId::RealPlayer => pair.real,
+            turb_media::PlayerId::MediaPlayer => pair.wmp,
+        };
+        let server_addr = std::net::Ipv4Addr::new(204, 71, 0, 33);
+        let client_addr = std::net::Ipv4Addr::new(130, 215, 36, 10);
+        let mut sim = Simulation::new(31);
+        let mut rng = SimRng::new(31);
+        let server = sim.add_host("server", server_addr);
+        let client = sim.add_host("client", client_addr);
+        let (sc, cs) = sim.add_duplex(
+            server,
+            client,
+            LinkConfig::ethernet_10m(SimDuration::from_millis(20)),
+        );
+        sim.core_mut().node_mut(server).default_route = Some(sc);
+        sim.core_mut().node_mut(client).default_route = Some(cs);
+        let config = StreamConfig {
+            clip,
+            server_addr,
+            server_port: match player {
+                turb_media::PlayerId::RealPlayer => 554,
+                turb_media::PlayerId::MediaPlayer => 1755,
+            },
+            client_addr,
+            client_port: 7000,
+            bottleneck_bps: 10_000_000,
+        };
+        let handles = spawn_controlled_stream(&mut sim, server, client, config, &mut rng);
+        sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(200));
+        let tcp_segments = sim.node_stats(client).tcp_delivered as usize;
+        (handles, tcp_segments)
+    }
+
+    #[test]
+    fn rtsp_handshake_describes_plays_and_tears_down_real() {
+        let (handles, tcp_segments) = run(turb_media::PlayerId::RealPlayer);
+        let control = handles.control.borrow();
+        assert_eq!(control.described_rate, Some(84.0));
+        assert_eq!(control.described_duration, Some(39.0));
+        assert!(control.play_acked);
+        assert!(control.teardown_acked, "TEARDOWN acked");
+        // Media flowed over UDP as usual.
+        let log = handles.log.borrow();
+        assert!(log.stream_end.is_some());
+        assert_eq!(log.packets_lost, 0);
+        assert!(log.bytes_total > 0);
+        // And an actual TCP conversation happened at the client.
+        assert!(tcp_segments >= 4, "{tcp_segments} control segments");
+    }
+
+    #[test]
+    fn control_channel_works_for_wmp_too() {
+        let (handles, _) = run(turb_media::PlayerId::MediaPlayer);
+        let control = handles.control.borrow();
+        assert_eq!(control.described_rate, Some(102.3));
+        assert!(control.play_acked);
+        let log = handles.log.borrow();
+        assert!(log.stream_end.is_some());
+        // The delivered stream matches the plain UDP-START variant's
+        // behaviour: playback ≈ encoding rate.
+        let avg = log.avg_playback_kbps();
+        assert!((avg - 102.3).abs() / 102.3 < 0.05, "avg = {avg}");
+    }
+}

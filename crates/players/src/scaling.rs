@@ -1,0 +1,214 @@
+//! Media scaling: the rate-adaptation capability §VI attributes to
+//! both players ("capabilities that employ media scaling to reduce
+//! application level data rates in the presence of reduced
+//! bandwidth"), modelled as a pluggable controller.
+//!
+//! The mechanism mirrors how the commercial players did it: the clip
+//! is encoded at several rates (SureStream / intelligent streaming),
+//! the client reports reception quality, and the server switches down
+//! a tier under sustained loss and back up after a clean period.
+
+use serde::Serialize;
+
+/// A ladder of encoding tiers, Kbit/s, highest first (e.g. the
+/// advertised encodings of a SureStream clip).
+#[derive(Debug, Clone, Serialize)]
+pub struct RateLadder {
+    tiers: Vec<f64>,
+}
+
+impl RateLadder {
+    /// Build a ladder; tiers are sorted descending and deduplicated.
+    ///
+    /// # Panics
+    /// If no tier is positive.
+    pub fn new(mut tiers: Vec<f64>) -> RateLadder {
+        tiers.retain(|t| *t > 0.0);
+        assert!(!tiers.is_empty(), "ladder needs at least one tier");
+        tiers.sort_by(|a, b| b.total_cmp(a));
+        tiers.dedup();
+        RateLadder { tiers }
+    }
+
+    /// A 2002-typical ladder below a top rate: each tier roughly half
+    /// the one above, down to ~20 Kbit/s.
+    pub fn halving_from(top_kbps: f64) -> RateLadder {
+        let mut tiers = Vec::new();
+        let mut rate = top_kbps;
+        while rate >= 20.0 {
+            tiers.push(rate);
+            rate /= 2.0;
+        }
+        if tiers.is_empty() {
+            tiers.push(top_kbps);
+        }
+        RateLadder::new(tiers)
+    }
+
+    /// Number of tiers.
+    pub fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Always false (construction requires ≥ 1 tier).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The rate of tier `i` (0 = highest).
+    pub fn rate(&self, i: usize) -> f64 {
+        self.tiers[i.min(self.tiers.len() - 1)]
+    }
+}
+
+/// Decision thresholds for the scaler.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ScalingPolicy {
+    /// Loss rate (per feedback window) above which to step down.
+    pub down_loss: f64,
+    /// Loss rate below which a window counts as clean.
+    pub up_loss: f64,
+    /// Clean windows required before stepping back up.
+    pub up_after_clean: u32,
+}
+
+impl Default for ScalingPolicy {
+    fn default() -> Self {
+        ScalingPolicy {
+            down_loss: 0.05,
+            up_loss: 0.01,
+            up_after_clean: 4,
+        }
+    }
+}
+
+/// The media-scaling controller: consumes per-window loss reports,
+/// yields the tier to stream at.
+#[derive(Debug, Clone, Serialize)]
+pub struct MediaScaler {
+    ladder: RateLadder,
+    policy: ScalingPolicy,
+    tier: usize,
+    clean_windows: u32,
+    /// Tier switches performed (for reports).
+    pub switches: u32,
+}
+
+impl MediaScaler {
+    /// Start at the top tier.
+    pub fn new(ladder: RateLadder, policy: ScalingPolicy) -> MediaScaler {
+        MediaScaler {
+            ladder,
+            policy,
+            tier: 0,
+            clean_windows: 0,
+            switches: 0,
+        }
+    }
+
+    /// Current tier index (0 = highest rate).
+    pub fn tier(&self) -> usize {
+        self.tier
+    }
+
+    /// Current target rate, Kbit/s.
+    pub fn rate_kbps(&self) -> f64 {
+        self.ladder.rate(self.tier)
+    }
+
+    /// Feed one feedback window's loss rate; returns the (possibly
+    /// changed) target rate.
+    pub fn on_feedback(&mut self, loss_rate: f64) -> f64 {
+        if loss_rate > self.policy.down_loss {
+            if self.tier + 1 < self.ladder.len() {
+                self.tier += 1;
+                self.switches += 1;
+            }
+            self.clean_windows = 0;
+        } else if loss_rate < self.policy.up_loss {
+            self.clean_windows += 1;
+            if self.clean_windows >= self.policy.up_after_clean && self.tier > 0 {
+                self.tier -= 1;
+                self.switches += 1;
+                self.clean_windows = 0;
+            }
+        } else {
+            self.clean_windows = 0;
+        }
+        self.rate_kbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler() -> MediaScaler {
+        MediaScaler::new(
+            RateLadder::new(vec![300.0, 150.0, 80.0, 40.0]),
+            ScalingPolicy::default(),
+        )
+    }
+
+    #[test]
+    fn ladder_sorts_and_dedups() {
+        let ladder = RateLadder::new(vec![80.0, 300.0, 150.0, 300.0, -5.0]);
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder.rate(0), 300.0);
+        assert_eq!(ladder.rate(2), 80.0);
+        assert_eq!(ladder.rate(99), 80.0); // clamped
+        assert!(!ladder.is_empty());
+    }
+
+    #[test]
+    fn halving_ladder_spans_down_to_modem_rates() {
+        let ladder = RateLadder::halving_from(300.0);
+        assert_eq!(ladder.rate(0), 300.0);
+        assert!(ladder.rate(ladder.len() - 1) < 56.0);
+        assert!(ladder.len() >= 3);
+    }
+
+    #[test]
+    fn sustained_loss_steps_down() {
+        let mut s = scaler();
+        assert_eq!(s.rate_kbps(), 300.0);
+        assert_eq!(s.on_feedback(0.10), 150.0);
+        assert_eq!(s.on_feedback(0.10), 80.0);
+        assert_eq!(s.on_feedback(0.10), 40.0);
+        // Bottom of the ladder: stays put.
+        assert_eq!(s.on_feedback(0.10), 40.0);
+        assert_eq!(s.switches, 3);
+    }
+
+    #[test]
+    fn clean_windows_step_back_up() {
+        let mut s = scaler();
+        s.on_feedback(0.10); // → 150
+        for _ in 0..3 {
+            assert_eq!(s.on_feedback(0.0), 150.0);
+        }
+        // The fourth clean window restores the top tier.
+        assert_eq!(s.on_feedback(0.0), 300.0);
+    }
+
+    #[test]
+    fn moderate_loss_holds_the_tier_and_resets_the_clean_run() {
+        let mut s = scaler();
+        s.on_feedback(0.10); // → 150
+        s.on_feedback(0.0);
+        s.on_feedback(0.0);
+        s.on_feedback(0.0);
+        // 3 clean, then a moderate window: counter resets.
+        assert_eq!(s.on_feedback(0.03), 150.0);
+        for _ in 0..3 {
+            assert_eq!(s.on_feedback(0.0), 150.0);
+        }
+        assert_eq!(s.on_feedback(0.0), 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn empty_ladder_rejected() {
+        RateLadder::new(vec![]);
+    }
+}

@@ -1,0 +1,280 @@
+//! The application-layer statistics log — what MediaTracker and
+//! RealTracker record (§2.B): "encoded bit rate, playback bandwidth,
+//! application level packets received, lost and recovered, frame rate,
+//! transport protocol, and reception quality".
+
+use serde::Serialize;
+use turb_media::Clip;
+use turb_netsim::SimTime;
+
+/// One second of tracker statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SecondStats {
+    /// Second index since the client started (0-based).
+    pub t_sec: u64,
+    /// Bytes received from the network in this second.
+    pub bytes_received: u64,
+    /// Playback bandwidth in Kbit/s for this second.
+    pub kbps: f64,
+    /// Video frames played in this second (0 before playout starts and
+    /// after the clip ends).
+    pub frames_played: u32,
+    /// Application datagrams received this second.
+    pub packets_received: u32,
+}
+
+/// One application datagram as the OS delivered it (post-reassembly).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NetEvent {
+    /// Arrival instant.
+    pub time_ns: u64,
+    /// Stream sequence number.
+    pub seq: u32,
+    /// UDP payload bytes.
+    pub bytes: u32,
+    /// Media timestamp carried by the packet.
+    pub media_time_ms: u32,
+    /// Whether the server flagged it as buffering-phase traffic.
+    pub buffering: bool,
+}
+
+/// One interleave batch released to the application layer (MediaPlayer
+/// only; §3.G / Figure 12).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AppBatch {
+    /// Release instant.
+    pub time_ns: u64,
+    /// Sequence numbers in the batch.
+    pub seqs: Vec<u32>,
+}
+
+/// The complete log of one tracked streaming session.
+#[derive(Debug, Clone, Serialize)]
+pub struct AppStatsLog {
+    /// The clip streamed (carries the encoded rate the tracker reports).
+    pub clip: Clip,
+    /// Per-second statistics.
+    pub per_second: Vec<SecondStats>,
+    /// Per-datagram network-layer receipt events.
+    pub net_events: Vec<NetEvent>,
+    /// Application-layer interleave batches (empty for RealPlayer:
+    /// "We are not able to gather application packets in RealTracker").
+    pub app_batches: Vec<AppBatch>,
+    /// When the first media packet arrived.
+    pub first_packet: Option<SimTime>,
+    /// When the last media packet arrived.
+    pub last_packet: Option<SimTime>,
+    /// When playout began (pre-roll filled).
+    pub playout_start: Option<SimTime>,
+    /// When the END marker arrived.
+    pub stream_end: Option<SimTime>,
+    /// Datagrams lost (sequence gaps).
+    pub packets_lost: u32,
+    /// Datagrams recovered (always 0: no FEC is modelled; the field
+    /// exists because the tracker schema has it).
+    pub packets_recovered: u32,
+    /// Total media payload bytes received.
+    pub bytes_total: u64,
+}
+
+impl AppStatsLog {
+    /// Fresh log for a clip.
+    pub fn new(clip: Clip) -> AppStatsLog {
+        AppStatsLog {
+            clip,
+            per_second: Vec::new(),
+            net_events: Vec::new(),
+            app_batches: Vec::new(),
+            first_packet: None,
+            last_packet: None,
+            playout_start: None,
+            stream_end: None,
+            packets_lost: 0,
+            packets_recovered: 0,
+            bytes_total: 0,
+        }
+    }
+
+    /// Average playback bandwidth in Kbit/s over the clip duration —
+    /// the y-axis of Figure 3 (total bits delivered / clip length).
+    pub fn avg_playback_kbps(&self) -> f64 {
+        if self.clip.duration_secs <= 0.0 {
+            return 0.0;
+        }
+        (self.bytes_total as f64 * 8.0 / 1000.0) / self.clip.duration_secs
+    }
+
+    /// Average frame rate over the seconds during which the clip was
+    /// actually playing — the y-axis of Figures 14 and 15.
+    pub fn avg_frame_rate(&self) -> f64 {
+        let playing: Vec<f64> = self
+            .per_second
+            .iter()
+            .filter(|s| s.frames_played > 0)
+            .map(|s| f64::from(s.frames_played))
+            .collect();
+        if playing.is_empty() {
+            0.0
+        } else {
+            playing.iter().sum::<f64>() / playing.len() as f64
+        }
+    }
+
+    /// How long the server actually streamed (first to last packet),
+    /// seconds. RealPlayer's is shorter than the clip (§3.F).
+    pub fn streaming_duration_secs(&self) -> Option<f64> {
+        match (self.first_packet, self.last_packet) {
+            (Some(a), Some(b)) => Some(b.since(a).as_secs_f64()),
+            _ => None,
+        }
+    }
+
+    /// Average arrival rate (Kbit/s) over events matching the
+    /// buffering flag — the two operands of Figure 11's ratio.
+    pub fn phase_rate_kbps(&self, buffering: bool) -> Option<f64> {
+        let events: Vec<&NetEvent> = self
+            .net_events
+            .iter()
+            .filter(|e| e.buffering == buffering)
+            .collect();
+        if events.len() < 2 {
+            return None;
+        }
+        let bytes: u64 = events.iter().map(|e| u64::from(e.bytes)).sum();
+        let span_ns = events.last().expect("len>=2").time_ns - events[0].time_ns;
+        if span_ns == 0 {
+            return None;
+        }
+        Some(bytes as f64 * 8.0 / (span_ns as f64 / 1e9) / 1000.0)
+    }
+
+    /// Figure 11's y-value: buffering-phase rate / steady-phase rate.
+    /// `None` when either phase is too short to measure.
+    pub fn buffering_ratio(&self) -> Option<f64> {
+        let burst = self.phase_rate_kbps(true)?;
+        let steady = self.phase_rate_kbps(false)?;
+        (steady > 0.0).then(|| burst / steady)
+    }
+
+    /// Loss rate across the stream.
+    pub fn loss_rate(&self) -> f64 {
+        let received = self.net_events.len() as f64;
+        let lost = f64::from(self.packets_lost);
+        if received + lost == 0.0 {
+            0.0
+        } else {
+            lost / (received + lost)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turb_media::{corpus, PlayerId};
+
+    fn log() -> AppStatsLog {
+        let clip = corpus::all_clips()
+            .into_iter()
+            .find(|c| c.player == PlayerId::MediaPlayer)
+            .unwrap();
+        AppStatsLog::new(clip)
+    }
+
+    #[test]
+    fn avg_playback_uses_clip_duration() {
+        let mut l = log();
+        let duration = l.clip.duration_secs;
+        l.bytes_total = (duration * 1000.0) as u64; // 8 Kbit/s worth
+        assert!((l.avg_playback_kbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_frame_rate_ignores_non_playing_seconds() {
+        let mut l = log();
+        for (t, f) in [(0u64, 0u32), (1, 0), (2, 24), (3, 26), (4, 0)] {
+            l.per_second.push(SecondStats {
+                t_sec: t,
+                bytes_received: 0,
+                kbps: 0.0,
+                frames_played: f,
+                packets_received: 0,
+            });
+        }
+        assert!((l.avg_frame_rate() - 25.0).abs() < 1e-9);
+        assert_eq!(log().avg_frame_rate(), 0.0);
+    }
+
+    #[test]
+    fn phase_rates_and_ratio() {
+        let mut l = log();
+        // Buffering: 3000 bytes over 1 s → 24 Kbit/s.
+        // Steady: 1000 bytes over 1 s → 8 Kbit/s.
+        let mut t = 0u64;
+        for i in 0..4u32 {
+            l.net_events.push(NetEvent {
+                time_ns: t,
+                seq: i,
+                bytes: 1000,
+                media_time_ms: 0,
+                buffering: true,
+            });
+            t += 333_333_333;
+        }
+        let steady_start = 10_000_000_000;
+        for i in 0..3u32 {
+            l.net_events.push(NetEvent {
+                time_ns: steady_start + u64::from(i) * 500_000_000,
+                seq: 4 + i,
+                bytes: 500,
+                media_time_ms: 0,
+                buffering: false,
+            });
+        }
+        let burst = l.phase_rate_kbps(true).unwrap();
+        let steady = l.phase_rate_kbps(false).unwrap();
+        assert!(burst > steady);
+        let ratio = l.buffering_ratio().unwrap();
+        assert!((ratio - burst / steady).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_is_none_without_both_phases() {
+        let mut l = log();
+        assert!(l.buffering_ratio().is_none());
+        l.net_events.push(NetEvent {
+            time_ns: 0,
+            seq: 0,
+            bytes: 10,
+            media_time_ms: 0,
+            buffering: true,
+        });
+        assert!(l.buffering_ratio().is_none());
+    }
+
+    #[test]
+    fn loss_rate_counts_gaps() {
+        let mut l = log();
+        assert_eq!(l.loss_rate(), 0.0);
+        l.packets_lost = 1;
+        for i in 0..3 {
+            l.net_events.push(NetEvent {
+                time_ns: i,
+                seq: i as u32,
+                bytes: 1,
+                media_time_ms: 0,
+                buffering: false,
+            });
+        }
+        assert!((l.loss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_duration() {
+        let mut l = log();
+        assert!(l.streaming_duration_secs().is_none());
+        l.first_packet = Some(SimTime(1_000_000_000));
+        l.last_packet = Some(SimTime(5_500_000_000));
+        assert!((l.streaming_duration_secs().unwrap() - 4.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests over the player models' calibration surfaces.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use turb_media::{Clip, ContentKind, PlayerId, RateClass};
+use turb_netsim::rng::SimRng;
+use turb_players::calibration::{
+    real_buffering_ratio, real_effective_ratio, real_mean_payload, REAL_MAX_PAYLOAD,
+    WMP_MIN_UNIT_BYTES,
+};
+use turb_players::{RealServer, StreamConfig, WmpServer};
+
+fn clip(player: PlayerId, kbps: f64, duration: f64) -> Clip {
+    Clip {
+        set: 0,
+        player,
+        class: RateClass::High,
+        encoded_kbps: kbps,
+        advertised_kbps: kbps,
+        duration_secs: duration,
+        content: ContentKind::Sports,
+    }
+}
+
+fn config(player: PlayerId, kbps: f64, bottleneck: u64) -> StreamConfig {
+    StreamConfig {
+        clip: clip(player, kbps, 60.0),
+        server_addr: Ipv4Addr::new(204, 71, 0, 33),
+        server_port: 1755,
+        client_addr: Ipv4Addr::new(130, 215, 36, 10),
+        client_port: 7000,
+        bottleneck_bps: bottleneck,
+    }
+}
+
+proptest! {
+    /// The WMP unit/tick pair always reproduces the encoding rate and
+    /// respects the low-rate minimum unit.
+    #[test]
+    fn wmp_unit_tick_invariants(kbps in 10.0f64..1500.0) {
+        let server = WmpServer::new(config(PlayerId::MediaPlayer, kbps, 10_000_000));
+        let unit = server.unit_bytes();
+        let tick = server.tick().as_secs_f64();
+        prop_assert!(unit >= WMP_MIN_UNIT_BYTES || tick == 0.1);
+        let rate = unit as f64 * 8.0 / tick;
+        prop_assert!((rate - kbps * 1000.0).abs() / (kbps * 1000.0) < 0.01,
+            "rate {rate} vs {}", kbps * 1000.0);
+        // The tick never shrinks below the 100 ms pacing.
+        prop_assert!(tick >= 0.0999, "tick = {tick}");
+    }
+
+    /// The WMP fragmentation threshold is exactly where the 100 ms
+    /// unit (+ UDP header) crosses the MTU fragment capacity.
+    #[test]
+    fn wmp_fragmentation_threshold(kbps in 10.0f64..1500.0) {
+        let server = WmpServer::new(config(PlayerId::MediaPlayer, kbps, 10_000_000));
+        let fragments = (server.unit_bytes() + 8).div_ceil(1480);
+        let predicted_rate_threshold: f64 = 1472.0 * 8.0 / 0.1 / 1000.0; // ≈117.8 Kbit/s
+        if kbps < predicted_rate_threshold.min(WMP_MIN_UNIT_BYTES as f64 * 8.0 / 0.1 / 1000.0) {
+            prop_assert_eq!(fragments, 1, "no fragmentation below the threshold");
+        }
+        if kbps > predicted_rate_threshold + 1.0 {
+            prop_assert!(fragments >= 2);
+        }
+    }
+
+    /// Real payload draws always respect the Figure-7 support and the
+    /// sub-MTU guarantee, for any rate and seed.
+    #[test]
+    fn real_payload_bounds(kbps in 10.0f64..1500.0, seed: u64) {
+        let mut server = RealServer::new(
+            config(PlayerId::RealPlayer, kbps, 10_000_000),
+            SimRng::new(seed),
+        );
+        let mean = real_mean_payload(kbps);
+        for _ in 0..200 {
+            let p = server.draw_payload();
+            prop_assert!(p <= REAL_MAX_PAYLOAD);
+            prop_assert!(p as f64 >= 0.5 * mean - 1.0, "p = {p}, mean = {mean}");
+            prop_assert!(p as f64 <= 1.9 * mean + 1.0, "p = {p}, mean = {mean}");
+        }
+    }
+
+    /// Pacing jitter stays positive and mean-one for any seed.
+    #[test]
+    fn real_pacing_jitter_mean_one(seed: u64) {
+        let mut server = RealServer::new(
+            config(PlayerId::RealPlayer, 100.0, 10_000_000),
+            SimRng::new(seed),
+        );
+        let draws: Vec<f64> = (0..2000).map(|_| server.pacing_jitter()).collect();
+        prop_assert!(draws.iter().all(|&j| j > 0.0));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        prop_assert!((mean - 1.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    /// The buffering-ratio curve is monotone, clamped, and always
+    /// weakly reduced by a bottleneck cap.
+    #[test]
+    fn buffering_ratio_properties(kbps in 10.0f64..1500.0, bottleneck in 50_000u64..50_000_000) {
+        let base = real_buffering_ratio(kbps);
+        prop_assert!((1.0..=3.24).contains(&base));
+        let capped = real_effective_ratio(kbps, bottleneck);
+        prop_assert!(capped <= base + 1e-12);
+        prop_assert!(capped >= 1.0);
+        // Infinite bandwidth never binds.
+        prop_assert_eq!(real_effective_ratio(kbps, u64::MAX / 2), base);
+    }
+}
+

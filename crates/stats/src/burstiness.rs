@@ -1,0 +1,162 @@
+//! Burstiness metrics for packet streams: the quantitative side of
+//! the paper's "RealPlayer generates burstier traffic that may be more
+//! difficult for the network to manage" (§3.F).
+//!
+//! * [`autocorrelation`] — serial correlation of a series at a lag
+//!   (CBR interarrivals are uncorrelated *and* near-constant; the
+//!   interesting signal is usually in counts or rates).
+//! * [`index_of_dispersion`] — variance-to-mean ratio of per-window
+//!   packet counts (1 = Poisson; ≪1 = smoother/CBR-like; ≫1 = bursty).
+//! * [`peak_to_mean`] — peak rate over mean rate across windows, the
+//!   classic provisioning ratio.
+
+/// Sample autocorrelation of `series` at `lag`. Returns `None` when the
+/// series is shorter than `lag + 2` or has zero variance.
+pub fn autocorrelation(series: &[f64], lag: usize) -> Option<f64> {
+    if series.len() < lag + 2 {
+        return None;
+    }
+    let n = series.len();
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean).powi(2)).sum();
+    if var == 0.0 {
+        return None;
+    }
+    let cov: f64 = (0..n - lag)
+        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+        .sum();
+    Some(cov / var)
+}
+
+/// Bucket event timestamps (seconds) into windows of `window_secs` and
+/// return the per-window counts, from the first event to the last.
+pub fn window_counts(times: &[f64], window_secs: f64) -> Vec<f64> {
+    assert!(window_secs > 0.0, "window must be positive");
+    if times.is_empty() {
+        return Vec::new();
+    }
+    let start = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let end = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let buckets = ((end - start) / window_secs).floor() as usize + 1;
+    let mut counts = vec![0.0; buckets];
+    for &t in times {
+        let idx = (((t - start) / window_secs) as usize).min(buckets - 1);
+        counts[idx] += 1.0;
+    }
+    counts
+}
+
+/// Index of dispersion of counts: `Var(N) / E(N)` over windows of
+/// `window_secs`. `None` for an empty stream.
+pub fn index_of_dispersion(times: &[f64], window_secs: f64) -> Option<f64> {
+    let counts = window_counts(times, window_secs);
+    if counts.is_empty() {
+        return None;
+    }
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return None;
+    }
+    let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n;
+    Some(var / mean)
+}
+
+/// Peak-to-mean ratio of per-window counts. `None` for an empty stream.
+pub fn peak_to_mean(times: &[f64], window_secs: f64) -> Option<f64> {
+    let counts = window_counts(times, window_secs);
+    if counts.is_empty() {
+        return None;
+    }
+    let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+    if mean == 0.0 {
+        return None;
+    }
+    let peak = counts.iter().copied().fold(f64::MIN, f64::max);
+    Some(peak / mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cbr_times(n: usize, gap: f64) -> Vec<f64> {
+        (0..n).map(|i| i as f64 * gap).collect()
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_negative() {
+        let series: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r1 = autocorrelation(&series, 1).unwrap();
+        assert!(r1 < -0.9, "r1 = {r1}");
+        let r2 = autocorrelation(&series, 2).unwrap();
+        assert!(r2 > 0.9, "r2 = {r2}");
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), None);
+        assert_eq!(autocorrelation(&[3.0; 50], 1), None); // zero variance
+        // Lag 0 of any varying series is 1.
+        let series: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let r0 = autocorrelation(&series, 0).unwrap();
+        assert!((r0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cbr_stream_has_near_zero_dispersion() {
+        // 10 events per 1 s window, exactly.
+        let times = cbr_times(1000, 0.1);
+        let iod = index_of_dispersion(&times, 1.0).unwrap();
+        assert!(iod < 0.15, "iod = {iod}");
+        let ptm = peak_to_mean(&times, 1.0).unwrap();
+        assert!(ptm < 1.15, "ptm = {ptm}");
+    }
+
+    #[test]
+    fn bursty_stream_has_high_dispersion() {
+        // Bursts of 50 packets at the start of every 5th second.
+        let mut times = Vec::new();
+        for burst in 0..20 {
+            for i in 0..50 {
+                times.push(burst as f64 * 5.0 + i as f64 * 0.001);
+            }
+        }
+        let iod = index_of_dispersion(&times, 1.0).unwrap();
+        assert!(iod > 5.0, "iod = {iod}");
+        let ptm = peak_to_mean(&times, 1.0).unwrap();
+        assert!(ptm > 3.0, "ptm = {ptm}");
+    }
+
+    #[test]
+    fn poissonish_stream_has_dispersion_near_one() {
+        // A deterministic low-discrepancy stand-in with exponential-ish
+        // gaps from a simple LCG.
+        let mut t = 0.0;
+        let mut state = 12345u64;
+        let mut times = Vec::new();
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+            t += -0.1 * u.ln(); // Exp(mean 0.1)
+            times.push(t);
+        }
+        let iod = index_of_dispersion(&times, 1.0).unwrap();
+        assert!((0.6..1.6).contains(&iod), "iod = {iod}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(index_of_dispersion(&[], 1.0).is_none());
+        assert!(peak_to_mean(&[], 1.0).is_none());
+        assert_eq!(window_counts(&[], 1.0), Vec::<f64>::new());
+        // A single event: one window, count 1.
+        assert_eq!(window_counts(&[5.0], 1.0), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        window_counts(&[1.0], 0.0);
+    }
+}

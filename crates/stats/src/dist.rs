@@ -1,0 +1,305 @@
+//! Empirical distributions: PDFs, CDFs, normalisation, K-S distance,
+//! and inverse-CDF sampling.
+
+use crate::hist::Histogram;
+use serde::Serialize;
+
+/// A probability density estimate over a fixed range — the PDF plots
+/// of Figures 6, 7 and 8. Bin values are *probability mass per bin*
+/// (so they sum to the in-range share), matching how the paper plots
+/// "Probability Density" on packet-size and interarrival histograms.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Pdf {
+    /// (bin center, probability mass) points, in order.
+    pub points: Vec<(f64, f64)>,
+    /// Bin width used for the estimate.
+    pub bin_width: f64,
+}
+
+impl Pdf {
+    /// Estimate from samples over `[lo, hi)` with `bins` bins.
+    pub fn from_samples(samples: &[f64], lo: f64, hi: f64, bins: usize) -> Pdf {
+        let h = Histogram::of(samples, lo, hi, bins);
+        let fractions = h.fractions();
+        Pdf {
+            points: (0..h.bins()).map(|i| (h.bin_center(i), fractions[i])).collect(),
+            bin_width: h.bin_width(),
+        }
+    }
+
+    /// The x-position of the highest-mass bin.
+    pub fn mode(&self) -> f64 {
+        self.points
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(x, _)| x)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Probability mass within `[a, b]` (sum of bins whose center lies
+    /// inside).
+    pub fn mass_within(&self, a: f64, b: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|(x, _)| (a..=b).contains(x))
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// The span `[min, max]` of bin centers with mass above `threshold`.
+    pub fn support_above(&self, threshold: f64) -> Option<(f64, f64)> {
+        let xs: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|(_, p)| *p > threshold)
+            .map(|(x, _)| *x)
+            .collect();
+        match (xs.first(), xs.last()) {
+            (Some(&a), Some(&b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+/// An empirical cumulative distribution — the CDF plots of Figures 1,
+/// 2 and 9. Exact (sample-based), not binned.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (NaNs are dropped).
+    pub fn from_samples(samples: &[f64]) -> Cdf {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(f64::total_cmp);
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were provided.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-quantile (inverse CDF), `None` when empty.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        crate::summary::percentile(&self.sorted, p)
+    }
+
+    /// Median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Step-function points `(x, P(X <= x))` for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Divide every sample by the sample mean — the normalisation of
+/// Figures 7 ("normalizing the packets by the average packet size seen
+/// over the entire clip") and 9. Empty or zero-mean input returns an
+/// empty vector.
+pub fn normalize_by_mean(samples: &[f64]) -> Vec<f64> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    if mean == 0.0 || !mean.is_finite() {
+        return Vec::new();
+    }
+    samples.iter().map(|x| x / mean).collect()
+}
+
+/// Two-sample Kolmogorov-Smirnov distance: the maximum vertical gap
+/// between the two empirical CDFs. Used to check that flows generated
+/// by `turb-flowgen` match the distributions they were fitted from.
+pub fn ks_distance(a: &Cdf, b: &Cdf) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let mut d: f64 = 0.0;
+    for &x in a.samples().iter().chain(b.samples()) {
+        d = d.max((a.eval(x) - b.eval(x)).abs());
+    }
+    d
+}
+
+/// Inverse-CDF sampler over an empirical distribution, with linear
+/// interpolation between order statistics. This is how Section IV's
+/// simulation sketch "select\[s\] packet sizes from distributions based
+/// on Figures 6 and 7".
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EmpiricalSampler {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalSampler {
+    /// Build from samples.
+    ///
+    /// # Panics
+    /// If `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> EmpiricalSampler {
+        assert!(!samples.is_empty(), "sampler needs at least one sample");
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(f64::total_cmp);
+        EmpiricalSampler { sorted }
+    }
+
+    /// Map a uniform `u ∈ [0, 1)` to a sample from the distribution.
+    pub fn sample(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let idx = u * (self.sorted.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Never true: construction requires ≥1 sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_masses_sum_to_one_for_in_range_data() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let pdf = Pdf::from_samples(&samples, 0.0, 10.0, 20);
+        let sum: f64 = pdf.points.iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_mode_and_mass() {
+        let samples = [1.0, 5.0, 5.1, 5.2, 9.0];
+        let pdf = Pdf::from_samples(&samples, 0.0, 10.0, 10);
+        assert!((pdf.mode() - 5.5).abs() < 1e-12);
+        assert!((pdf.mass_within(5.0, 6.0) - 0.6).abs() < 1e-12);
+        let (lo, hi) = pdf.support_above(0.0).unwrap();
+        assert!(lo < 2.0 && hi > 8.0);
+    }
+
+    #[test]
+    fn cdf_eval_and_quantiles() {
+        let cdf = Cdf::from_samples(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.5), 0.5);
+        assert_eq!(cdf.eval(100.0), 1.0);
+        assert_eq!(cdf.median(), Some(2.5));
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.max(), Some(4.0));
+    }
+
+    #[test]
+    fn cdf_points_are_a_step_function() {
+        let cdf = Cdf::from_samples(&[1.0, 2.0]);
+        assert_eq!(cdf.points(), vec![(1.0, 0.5), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn cdf_drops_nans() {
+        let cdf = Cdf::from_samples(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let cdf = Cdf::from_samples(&[]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.eval(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+    }
+
+    #[test]
+    fn normalize_by_mean_centers_at_one() {
+        let out = normalize_by_mean(&[2.0, 4.0, 6.0]);
+        let mean: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert_eq!(out, vec![0.5, 1.0, 1.5]);
+        assert!(normalize_by_mean(&[]).is_empty());
+        assert!(normalize_by_mean(&[0.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    fn ks_distance_identical_is_zero_disjoint_is_one() {
+        let a = Cdf::from_samples(&[1.0, 2.0, 3.0]);
+        let b = Cdf::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(ks_distance(&a, &b), 0.0);
+        let c = Cdf::from_samples(&[100.0, 101.0]);
+        assert_eq!(ks_distance(&a, &c), 1.0);
+        assert_eq!(ks_distance(&a, &Cdf::from_samples(&[])), 1.0);
+    }
+
+    #[test]
+    fn ks_distance_is_symmetric() {
+        let a = Cdf::from_samples(&[1.0, 2.0, 3.0, 10.0]);
+        let b = Cdf::from_samples(&[1.5, 2.5, 3.5]);
+        assert_eq!(ks_distance(&a, &b), ks_distance(&b, &a));
+    }
+
+    #[test]
+    fn sampler_reproduces_quantiles() {
+        let samples: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let s = EmpiricalSampler::from_samples(&samples);
+        assert_eq!(s.sample(0.0), 0.0);
+        assert!((s.sample(0.5) - 50.0).abs() < 1e-9);
+        assert_eq!(s.sample(1.0), 100.0);
+        assert_eq!(s.sample(2.0), 100.0); // clamped
+        assert_eq!(s.len(), 101);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn sampler_rejects_empty() {
+        EmpiricalSampler::from_samples(&[]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # turb-stats — the paper's statistical toolkit
+//!
+//! Everything §3's analysis needs, implemented from scratch:
+//!
+//! * [`summary`] — mean / standard deviation / standard error (the
+//!   error bars of Figures 14–15), min/max/percentiles.
+//! * [`hist`] — fixed-width histograms.
+//! * [`dist`] — empirical PDFs (Figures 6–8), CDFs (Figures 1, 2, 9),
+//!   mean-normalisation (Figures 7 and 9), Kolmogorov-Smirnov distance
+//!   (used to validate the Section-IV flow generator), and an
+//!   inverse-CDF sampler for generating from measured distributions.
+//! * [`mod@polyfit`] — least-squares polynomial fitting: Figure 3's
+//!   "second order polynomial trend curves".
+//! * [`series`] — time-bucketed series: bandwidth-vs-time (Figure 10)
+//!   and frame-rate-vs-time (Figure 13).
+//! * [`burstiness`] — autocorrelation, index of dispersion, and
+//!   peak-to-mean ratio: quantifying §3.F's "RealPlayer generates
+//!   burstier traffic".
+
+pub mod burstiness;
+pub mod dist;
+pub mod hist;
+pub mod polyfit;
+pub mod series;
+pub mod summary;
+
+pub use burstiness::{autocorrelation, index_of_dispersion, peak_to_mean};
+pub use dist::{ks_distance, normalize_by_mean, Cdf, EmpiricalSampler, Pdf};
+pub use hist::Histogram;
+pub use polyfit::{polyfit, Polynomial};
+pub use series::TimeSeries;
+pub use summary::Summary;

@@ -1,0 +1,181 @@
+//! Least-squares polynomial fitting — Figure 3's "second order
+//! polynomial trend curves".
+//!
+//! Solves the normal equations with Gaussian elimination and partial
+//! pivoting; fine for the low degrees (≤ 4) the workspace uses.
+
+use serde::Serialize;
+
+/// A polynomial `c[0] + c[1]·x + c[2]·x² + …`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Polynomial {
+    /// Coefficients, constant term first.
+    pub coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Evaluate at `x` (Horner's method).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Degree (coefficients − 1; 0 for an empty polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+}
+
+/// Fit a polynomial of `degree` to `(x, y)` points by least squares.
+///
+/// Returns `None` when there are fewer points than coefficients or the
+/// normal equations are singular (e.g. all x identical).
+pub fn polyfit(points: &[(f64, f64)], degree: usize) -> Option<Polynomial> {
+    let m = degree + 1;
+    if points.len() < m {
+        return None;
+    }
+    // Build the normal equations A·c = b where
+    // A[i][j] = Σ x^(i+j), b[i] = Σ y·x^i.
+    let mut a = vec![vec![0.0f64; m]; m];
+    let mut b = vec![0.0f64; m];
+    for &(x, y) in points {
+        let mut xi = 1.0;
+        let mut powers = Vec::with_capacity(2 * m - 1);
+        for _ in 0..(2 * m - 1) {
+            powers.push(xi);
+            xi *= x;
+        }
+        for i in 0..m {
+            b[i] += y * powers[i];
+            for j in 0..m {
+                a[i][j] += powers[i + j];
+            }
+        }
+    }
+    solve(a, b).map(|coeffs| Polynomial { coeffs })
+}
+
+/// Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // textbook index form is clearest
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot: the row with the largest magnitude in this column.
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None; // singular
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..n {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} !≈ {b}");
+    }
+
+    #[test]
+    fn fits_an_exact_line() {
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let p = polyfit(&points, 1).unwrap();
+        assert_eq!(p.degree(), 1);
+        assert_close(p.coeffs[0], 3.0, 1e-9);
+        assert_close(p.coeffs[1], 2.0, 1e-9);
+    }
+
+    #[test]
+    fn fits_an_exact_quadratic() {
+        let points: Vec<(f64, f64)> = (-5..=5)
+            .map(|i| {
+                let x = i as f64;
+                (x, 1.0 - 4.0 * x + 0.5 * x * x)
+            })
+            .collect();
+        let p = polyfit(&points, 2).unwrap();
+        assert_close(p.coeffs[0], 1.0, 1e-9);
+        assert_close(p.coeffs[1], -4.0, 1e-9);
+        assert_close(p.coeffs[2], 0.5, 1e-9);
+        assert_close(p.eval(2.0), 1.0 - 8.0 + 2.0, 1e-9);
+    }
+
+    #[test]
+    fn least_squares_minimises_residuals_on_noisy_data() {
+        // y = x with symmetric noise: the fit must stay near y = x.
+        let points: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 1.0 } else { -1.0 };
+                (x, x + noise)
+            })
+            .collect();
+        let p = polyfit(&points, 1).unwrap();
+        assert_close(p.coeffs[1], 1.0, 0.01);
+    }
+
+    #[test]
+    fn underdetermined_returns_none() {
+        assert!(polyfit(&[(1.0, 2.0)], 2).is_none());
+        assert!(polyfit(&[], 0).is_none());
+    }
+
+    #[test]
+    fn degenerate_x_returns_none() {
+        let points = [(2.0, 1.0), (2.0, 3.0), (2.0, 5.0)];
+        assert!(polyfit(&points, 1).is_none());
+    }
+
+    #[test]
+    fn degree_zero_is_the_mean() {
+        let p = polyfit(&[(0.0, 2.0), (1.0, 4.0), (2.0, 6.0)], 0).unwrap();
+        assert_close(p.coeffs[0], 4.0, 1e-12);
+    }
+
+    #[test]
+    fn eval_of_empty_polynomial_is_zero() {
+        let p = Polynomial { coeffs: vec![] };
+        assert_eq!(p.eval(3.0), 0.0);
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn figure3_shape_check() {
+        // Synthetic Figure 3: RealPlayer plays back ~8 % above encoding,
+        // MediaPlayer at encoding rate. The fitted trend curves must
+        // order correctly over the observed range.
+        let real: Vec<(f64, f64)> = [36.0, 84.0, 180.9, 268.0, 284.0, 636.9]
+            .iter()
+            .map(|&r| (r, r * 1.08))
+            .collect();
+        let wmp: Vec<(f64, f64)> = [49.8, 102.3, 250.4, 307.2, 323.1, 731.3]
+            .iter()
+            .map(|&r| (r, r))
+            .collect();
+        let real_fit = polyfit(&real, 2).unwrap();
+        let wmp_fit = polyfit(&wmp, 2).unwrap();
+        for x in [50.0, 150.0, 300.0, 600.0] {
+            assert!(real_fit.eval(x) > x * 1.02, "Real trend above y=x at {x}");
+            assert_close(wmp_fit.eval(x), x, x * 0.02);
+        }
+    }
+}

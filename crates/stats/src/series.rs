@@ -1,0 +1,174 @@
+//! Time-bucketed series: bandwidth-vs-time (Figure 10) and
+//! frame-rate-vs-time (Figure 13).
+
+use serde::Serialize;
+
+/// Accumulates `(time, value)` events into fixed-width buckets.
+///
+/// For Figure 10 the events are `(arrival_time, packet_bits)` and each
+/// bucket's sum divided by the bucket width is the bandwidth; for
+/// Figure 13 the events are `(time, frames_rendered)`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TimeSeries {
+    bucket_width: f64,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Create a series with buckets of `bucket_width` (seconds, by the
+    /// workspace's convention).
+    ///
+    /// # Panics
+    /// If the width is not positive and finite.
+    pub fn new(bucket_width: f64) -> Self {
+        assert!(
+            bucket_width > 0.0 && bucket_width.is_finite(),
+            "bucket width must be positive"
+        );
+        TimeSeries {
+            bucket_width,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Add `value` at time `t` (non-negative).
+    pub fn add(&mut self, t: f64, value: f64) {
+        assert!(t >= 0.0 && t.is_finite(), "time must be non-negative");
+        let idx = (t / self.bucket_width) as usize;
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Bucket width.
+    pub fn bucket_width(&self) -> f64 {
+        self.bucket_width
+    }
+
+    /// Number of buckets (up to the last event seen).
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True when no events were added.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// `(bucket_start_time, sum)` per bucket.
+    pub fn sums(&self) -> Vec<(f64, f64)> {
+        self.sums
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as f64 * self.bucket_width, s))
+            .collect()
+    }
+
+    /// `(bucket_start_time, sum / width)` per bucket — a rate series.
+    pub fn rates(&self) -> Vec<(f64, f64)> {
+        self.sums
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as f64 * self.bucket_width, s / self.bucket_width))
+            .collect()
+    }
+
+    /// `(bucket_start_time, mean value)` per bucket (0 for empty buckets).
+    pub fn means(&self) -> Vec<(f64, f64)> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .map(|(i, (&s, &c))| {
+                let mean = if c == 0 { 0.0 } else { s / c as f64 };
+                (i as f64 * self.bucket_width, mean)
+            })
+            .collect()
+    }
+
+    /// Mean of the per-bucket rates over `[from, to)` bucket times.
+    pub fn mean_rate_between(&self, from: f64, to: f64) -> f64 {
+        let rates: Vec<f64> = self
+            .rates()
+            .into_iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, r)| r)
+            .collect();
+        if rates.is_empty() {
+            0.0
+        } else {
+            rates.iter().sum::<f64>() / rates.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_land_in_their_buckets() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.add(0.1, 10.0);
+        ts.add(0.9, 5.0);
+        ts.add(2.5, 7.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.sums(), vec![(0.0, 15.0), (1.0, 0.0), (2.0, 7.0)]);
+    }
+
+    #[test]
+    fn rates_divide_by_width() {
+        let mut ts = TimeSeries::new(0.5);
+        ts.add(0.0, 100.0);
+        ts.add(0.25, 100.0);
+        assert_eq!(ts.rates()[0], (0.0, 400.0));
+    }
+
+    #[test]
+    fn means_average_per_bucket() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.add(0.0, 10.0);
+        ts.add(0.5, 30.0);
+        ts.add(2.0, 7.0);
+        let means = ts.means();
+        assert_eq!(means[0], (0.0, 20.0));
+        assert_eq!(means[1], (1.0, 0.0)); // empty bucket
+        assert_eq!(means[2], (2.0, 7.0));
+    }
+
+    #[test]
+    fn mean_rate_between_windows() {
+        let mut ts = TimeSeries::new(1.0);
+        for i in 0..10 {
+            ts.add(i as f64, if i < 5 { 300.0 } else { 100.0 });
+        }
+        assert!((ts.mean_rate_between(0.0, 5.0) - 300.0).abs() < 1e-12);
+        assert!((ts.mean_rate_between(5.0, 10.0) - 100.0).abs() < 1e-12);
+        assert_eq!(ts.mean_rate_between(20.0, 30.0), 0.0);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new(1.0);
+        assert!(ts.is_empty());
+        assert!(ts.sums().is_empty());
+        assert_eq!(ts.mean_rate_between(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        TimeSeries::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        TimeSeries::new(1.0).add(-0.1, 1.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for statistical invariants.
+
+use proptest::prelude::*;
+use turb_stats::{ks_distance, normalize_by_mean, polyfit, Cdf, EmpiricalSampler, Pdf, Summary};
+
+fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn summary_mean_within_min_max(samples in finite_samples(200)) {
+        let s = Summary::of(&samples).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.std_err <= s.std_dev + 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(samples in finite_samples(200), probes in finite_samples(20)) {
+        let cdf = Cdf::from_samples(&samples);
+        let mut probes = probes;
+        probes.sort_by(f64::total_cmp);
+        let mut last = 0.0;
+        for &p in &probes {
+            let v = cdf.eval(p);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= last);
+            last = v;
+        }
+        prop_assert_eq!(cdf.eval(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn cdf_quantile_inverts_eval(samples in finite_samples(100), p in 0.0f64..1.0) {
+        let cdf = Cdf::from_samples(&samples);
+        let q = cdf.quantile(p).unwrap();
+        // The quantile interpolates between order statistics, so the
+        // mass at or below it may undershoot p by at most one sample.
+        prop_assert!(cdf.eval(q) + 1.0 / cdf.len() as f64 + 1e-9 >= p);
+    }
+
+    #[test]
+    fn normalized_samples_have_unit_mean(samples in proptest::collection::vec(0.1f64..1e5, 1..200)) {
+        let out = normalize_by_mean(&samples);
+        let mean = out.iter().sum::<f64>() / out.len() as f64;
+        prop_assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_distance_is_a_metricish(a in finite_samples(100), b in finite_samples(100)) {
+        let ca = Cdf::from_samples(&a);
+        let cb = Cdf::from_samples(&b);
+        let d = ks_distance(&ca, &cb);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((ks_distance(&cb, &ca) - d).abs() < 1e-12);
+        prop_assert_eq!(ks_distance(&ca, &ca), 0.0);
+    }
+
+    #[test]
+    fn pdf_mass_never_exceeds_one(samples in finite_samples(300)) {
+        let pdf = Pdf::from_samples(&samples, -1e6, 1e6, 50);
+        let total: f64 = pdf.points.iter().map(|(_, p)| p).sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+    }
+
+    /// Sampling through the inverse CDF reproduces the source
+    /// distribution (K-S distance shrinks with sample count).
+    #[test]
+    fn empirical_sampler_matches_source(samples in proptest::collection::vec(0.0f64..1000.0, 50..200), seed: u64) {
+        let sampler = EmpiricalSampler::from_samples(&samples);
+        let mut state = seed | 1;
+        let drawn: Vec<f64> = (0..2000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                sampler.sample(u)
+            })
+            .collect();
+        let d = ks_distance(&Cdf::from_samples(&samples), &Cdf::from_samples(&drawn));
+        prop_assert!(d < 0.15, "K-S distance {d} too large");
+    }
+
+    /// A polynomial fitted to exact polynomial data reproduces it.
+    #[test]
+    fn polyfit_recovers_exact_polynomials(
+        c0 in -100.0f64..100.0,
+        c1 in -10.0f64..10.0,
+        c2 in -1.0f64..1.0,
+    ) {
+        let points: Vec<(f64, f64)> = (-10..=10)
+            .map(|i| {
+                let x = i as f64;
+                (x, c0 + c1 * x + c2 * x * x)
+            })
+            .collect();
+        let p = polyfit(&points, 2).unwrap();
+        for x in [-5.0, 0.0, 3.0, 7.0] {
+            let expect = c0 + c1 * x + c2 * x * x;
+            prop_assert!((p.eval(x) - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared by all decoders in this crate.
+
+use core::fmt;
+
+/// Why a byte buffer could not be decoded as (part of) a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the minimum for this format.
+    ///
+    /// Carries the format name, the required length, and the length we got.
+    Truncated {
+        /// Human-readable name of the layer being decoded.
+        what: &'static str,
+        /// Minimum number of bytes required.
+        need: usize,
+        /// Number of bytes actually available.
+        got: usize,
+    },
+    /// A header field holds a value the decoder cannot accept
+    /// (e.g. IPv4 version != 4, IHL < 5, total length inconsistent).
+    Malformed {
+        /// Human-readable name of the layer being decoded.
+        what: &'static str,
+        /// Description of the offending field.
+        field: &'static str,
+    },
+    /// A checksum failed verification.
+    BadChecksum {
+        /// Human-readable name of the layer whose checksum failed.
+        what: &'static str,
+    },
+    /// The payload is larger than the format can describe
+    /// (e.g. an IPv4 packet longer than 65535 bytes).
+    Oversize {
+        /// Human-readable name of the layer being encoded.
+        what: &'static str,
+        /// The limit that was exceeded.
+        limit: usize,
+        /// The requested size.
+        got: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what, need, got } => {
+                write!(f, "{what}: truncated, need {need} bytes, got {got}")
+            }
+            WireError::Malformed { what, field } => {
+                write!(f, "{what}: malformed field {field}")
+            }
+            WireError::BadChecksum { what } => write!(f, "{what}: checksum mismatch"),
+            WireError::Oversize { what, limit, got } => {
+                write!(f, "{what}: size {got} exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated {
+            what: "ipv4",
+            need: 20,
+            got: 7,
+        };
+        assert_eq!(e.to_string(), "ipv4: truncated, need 20 bytes, got 7");
+        let e = WireError::BadChecksum { what: "udp" };
+        assert_eq!(e.to_string(), "udp: checksum mismatch");
+        let e = WireError::Malformed {
+            what: "ipv4",
+            field: "version",
+        };
+        assert_eq!(e.to_string(), "ipv4: malformed field version");
+        let e = WireError::Oversize {
+            what: "ipv4",
+            limit: 65535,
+            got: 70000,
+        };
+        assert_eq!(e.to_string(), "ipv4: size 70000 exceeds limit 65535");
+    }
+}

@@ -1,0 +1,211 @@
+//! Ethernet II framing — the sniffer's vantage point.
+
+use crate::error::WireError;
+use bytes::{BufMut, Bytes, BytesMut};
+use core::fmt;
+
+/// Length of an Ethernet II header (dst MAC + src MAC + EtherType).
+///
+/// We model frames as captured by the paper's sniffer (Ethereal on the
+/// receiving host), which sees the 14-byte header but not the trailing
+/// FCS — hence a full frame for a 1500-byte IP packet is 1514 bytes,
+/// exactly the size the paper reports for MediaPlayer fragments.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// A locally-administered unicast address derived from a small id,
+    /// handy for giving simulated NICs stable, readable addresses.
+    pub fn local(id: u32) -> Self {
+        let b = id.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// True if the least-significant bit of the first octet is set
+    /// (group/multicast bit).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// The EtherType of the encapsulated payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (`0x0800`) — the only payload the 2002 capture contained.
+    Ipv4,
+    /// ARP (`0x0806`), decoded but not interpreted further.
+    Arp,
+    /// Anything else, carried verbatim.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl EtherType {
+    /// The on-wire 16-bit value.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// An Ethernet II frame: header plus opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// Payload type.
+    pub ethertype: EtherType,
+    /// Encapsulated payload (e.g. an encoded IPv4 packet).
+    pub payload: Bytes,
+}
+
+impl EthernetFrame {
+    /// Wrap an IPv4 payload in a frame.
+    pub fn ipv4(dst: MacAddr, src: MacAddr, payload: Bytes) -> Self {
+        EthernetFrame {
+            dst,
+            src,
+            ethertype: EtherType::Ipv4,
+            payload,
+        }
+    }
+
+    /// Total frame length as seen by a capture (header + payload, no FCS).
+    pub fn wire_len(&self) -> usize {
+        ETHERNET_HEADER_LEN + self.payload.len()
+    }
+
+    /// Serialise to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        buf.put_slice(&self.dst.0);
+        buf.put_slice(&self.src.0);
+        buf.put_u16(self.ethertype.as_u16());
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parse a frame from bytes.
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < ETHERNET_HEADER_LEN {
+            return Err(WireError::Truncated {
+                what: "ethernet",
+                need: ETHERNET_HEADER_LEN,
+                got: data.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        let ethertype = EtherType::from(u16::from_be_bytes([data[12], data[13]]));
+        Ok(EthernetFrame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+            payload: Bytes::copy_from_slice(&data[ETHERNET_HEADER_LEN..]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(
+            MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]).to_string(),
+            "de:ad:be:ef:00:01"
+        );
+    }
+
+    #[test]
+    fn mac_local_is_unicast_and_stable() {
+        let a = MacAddr::local(7);
+        assert!(!a.is_multicast());
+        assert_eq!(a, MacAddr::local(7));
+        assert_ne!(a, MacAddr::local(8));
+    }
+
+    #[test]
+    fn broadcast_is_multicast() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for v in [0x0800u16, 0x0806, 0x86dd, 0x1234] {
+            assert_eq!(EtherType::from(v).as_u16(), v);
+        }
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from(0x0806), EtherType::Arp);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = EthernetFrame::ipv4(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Bytes::from_static(b"hello ethernet"),
+        );
+        let encoded = f.encode();
+        assert_eq!(encoded.len(), f.wire_len());
+        let g = EthernetFrame::decode(&encoded).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        let err = EthernetFrame::decode(&[0u8; 13]).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { what: "ethernet", .. }));
+    }
+
+    #[test]
+    fn mtu_frame_is_1514_bytes() {
+        let f = EthernetFrame::ipv4(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            Bytes::from(vec![0u8; crate::DEFAULT_MTU]),
+        );
+        assert_eq!(f.wire_len(), 1514);
+    }
+
+    #[test]
+    fn empty_payload_frame_roundtrip() {
+        let f = EthernetFrame::ipv4(MacAddr::local(1), MacAddr::local(2), Bytes::new());
+        let g = EthernetFrame::decode(&f.encode()).unwrap();
+        assert_eq!(g.payload.len(), 0);
+    }
+}

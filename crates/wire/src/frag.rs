@@ -1,0 +1,366 @@
+//! IPv4 fragmentation and reassembly (RFC 791 semantics).
+//!
+//! This is the mechanism behind the paper's Figures 4 and 5: the
+//! MediaPlayer server hands the OS application-layer frames larger than
+//! the path MTU, the sending stack fragments them, and the capture sees
+//! "groups of packets … one UDP packet and the remaining packets are IP
+//! fragments", every non-final fragment occupying a full 1514-byte
+//! Ethernet frame. Loss of any one fragment discards the whole datagram
+//! on reassembly — the goodput hazard §3.C discusses via \[FF99\].
+
+use crate::error::WireError;
+use crate::ipv4::{Ipv4Packet, IPV4_HEADER_LEN};
+use bytes::{Bytes, BytesMut};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Split `packet` into MTU-sized fragments.
+///
+/// Returns the packet unchanged (as a single element) when it already
+/// fits. Respects the DF flag. Fragment payload sizes are the largest
+/// multiple of 8 that fits in `mtu - 20` bytes, except for the final
+/// fragment — reproducing the "all 1514 bytes except the last" pattern.
+///
+/// Fragmenting an existing fragment is supported (offsets accumulate and
+/// the final piece inherits the original's MF flag), as a real router
+/// would.
+pub fn fragment(packet: Ipv4Packet, mtu: usize) -> Result<Vec<Ipv4Packet>, WireError> {
+    if mtu < IPV4_HEADER_LEN + 8 {
+        return Err(WireError::Malformed {
+            what: "fragment",
+            field: "mtu",
+        });
+    }
+    if packet.total_len() <= mtu {
+        return Ok(vec![packet]);
+    }
+    if packet.dont_fragment {
+        return Err(WireError::Malformed {
+            what: "fragment",
+            field: "dont_fragment",
+        });
+    }
+    let chunk = ((mtu - IPV4_HEADER_LEN) / 8) * 8;
+    let payload = packet.payload.clone();
+    let mut fragments = Vec::with_capacity(payload.len().div_ceil(chunk));
+    let mut offset = 0usize;
+    while offset < payload.len() {
+        let end = usize::min(offset + chunk, payload.len());
+        let last = end == payload.len();
+        let mut frag = packet.clone();
+        frag.payload = payload.slice(offset..end);
+        frag.fragment_offset = packet.fragment_offset + (offset / 8) as u16;
+        frag.more_fragments = if last { packet.more_fragments } else { true };
+        if frag.fragment_offset > 0x1fff {
+            return Err(WireError::Malformed {
+                what: "fragment",
+                field: "fragment_offset",
+            });
+        }
+        fragments.push(frag);
+        offset = end;
+    }
+    Ok(fragments)
+}
+
+/// A partially reassembled datagram.
+#[derive(Debug)]
+struct Partial {
+    /// Received (offset_bytes, payload) pieces, unordered.
+    pieces: Vec<(usize, Bytes)>,
+    /// Total payload length, known once the final fragment arrives.
+    total_len: Option<usize>,
+    /// Header template from the first fragment seen.
+    template: Ipv4Packet,
+    /// Timestamp (caller's clock) of the first fragment.
+    first_seen: u64,
+}
+
+impl Partial {
+    fn is_complete(&self) -> bool {
+        let Some(total) = self.total_len else {
+            return false;
+        };
+        let mut intervals: Vec<(usize, usize)> = self
+            .pieces
+            .iter()
+            .map(|(off, b)| (*off, off + b.len()))
+            .collect();
+        intervals.sort_unstable();
+        let mut covered = 0usize;
+        for (start, end) in intervals {
+            if start > covered {
+                return false; // hole
+            }
+            covered = covered.max(end);
+        }
+        covered >= total
+    }
+
+    fn assemble(&self) -> Bytes {
+        let total = self.total_len.expect("assemble called before complete");
+        let mut buf = BytesMut::from(&vec![0u8; total][..]);
+        for (off, piece) in &self.pieces {
+            let end = usize::min(off + piece.len(), total);
+            buf[*off..end].copy_from_slice(&piece[..end - off]);
+        }
+        buf.freeze()
+    }
+}
+
+/// Counters describing a [`Reassembler`]'s life so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReassemblyStats {
+    /// Fragments accepted.
+    pub fragments_received: u64,
+    /// Whole (unfragmented) packets passed straight through.
+    pub passthrough: u64,
+    /// Datagrams successfully reassembled.
+    pub reassembled: u64,
+    /// Datagrams abandoned because their timer expired with holes —
+    /// the wasted-bandwidth case behind fragmentation-based congestion
+    /// collapse.
+    pub timed_out: u64,
+    /// Duplicate or overlapping fragments ignored.
+    pub duplicates: u64,
+}
+
+/// Reassembles fragmented IPv4 datagrams keyed by
+/// (src, dst, protocol, identification), with a per-datagram timeout.
+#[derive(Debug)]
+pub struct Reassembler {
+    partials: HashMap<(Ipv4Addr, Ipv4Addr, u8, u16), Partial>,
+    timeout: u64,
+    stats: ReassemblyStats,
+}
+
+impl Reassembler {
+    /// Create a reassembler whose partial datagrams expire `timeout`
+    /// clock units after their first fragment (classic stacks use
+    /// 15–60 s; the simulator passes nanoseconds).
+    pub fn new(timeout: u64) -> Self {
+        Reassembler {
+            partials: HashMap::new(),
+            timeout,
+            stats: ReassemblyStats::default(),
+        }
+    }
+
+    /// Offer a packet at time `now`. Returns a complete datagram when
+    /// `packet` is unfragmented or completes a pending reassembly.
+    pub fn push(&mut self, packet: Ipv4Packet, now: u64) -> Option<Ipv4Packet> {
+        if !packet.is_fragment() {
+            self.stats.passthrough += 1;
+            return Some(packet);
+        }
+        self.stats.fragments_received += 1;
+        let key = packet.datagram_key();
+        let offset = packet.fragment_offset_bytes();
+        let partial = self.partials.entry(key).or_insert_with(|| Partial {
+            pieces: Vec::new(),
+            total_len: None,
+            template: packet.clone(),
+            first_seen: now,
+        });
+        if partial.pieces.iter().any(|(off, _)| *off == offset) {
+            self.stats.duplicates += 1;
+            return None;
+        }
+        if !packet.more_fragments {
+            partial.total_len = Some(offset + packet.payload.len());
+        }
+        if offset == 0 {
+            // Prefer the first fragment's header as the template so the
+            // reassembled datagram carries its TTL/TOS.
+            partial.template = packet.clone();
+        }
+        partial.pieces.push((offset, packet.payload));
+        if partial.is_complete() {
+            let partial = self.partials.remove(&key).expect("present");
+            let payload = partial.assemble();
+            let mut whole = partial.template;
+            whole.payload = payload;
+            whole.more_fragments = false;
+            whole.fragment_offset = 0;
+            self.stats.reassembled += 1;
+            return Some(whole);
+        }
+        None
+    }
+
+    /// Drop partial datagrams older than the timeout. Returns how many
+    /// were abandoned.
+    pub fn expire(&mut self, now: u64) -> usize {
+        let timeout = self.timeout;
+        let before = self.partials.len();
+        self.partials
+            .retain(|_, p| now.saturating_sub(p.first_seen) < timeout);
+        let dropped = before - self.partials.len();
+        self.stats.timed_out += dropped as u64;
+        dropped
+    }
+
+    /// Number of datagrams currently awaiting more fragments.
+    pub fn pending(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ReassemblyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::IpProtocol;
+
+    fn packet(payload_len: usize) -> Ipv4Packet {
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+        Ipv4Packet::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            IpProtocol::Udp,
+            42,
+            Bytes::from(payload),
+        )
+    }
+
+    #[test]
+    fn small_packet_passes_through() {
+        let p = packet(100);
+        let frags = fragment(p.clone(), 1500).unwrap();
+        assert_eq!(frags, vec![p]);
+    }
+
+    #[test]
+    fn fragment_sizes_match_the_paper() {
+        // A ~3840-byte application frame at ≈300 Kbps over 100 ms
+        // (paper §3.C): 3 packets, the first two full-MTU.
+        let p = packet(3840 + 8);
+        let frags = fragment(p, 1500).unwrap();
+        assert_eq!(frags.len(), 3);
+        assert_eq!(frags[0].total_len(), 1500); // 1514 on Ethernet
+        assert_eq!(frags[1].total_len(), 1500);
+        assert!(frags[2].total_len() < 1500);
+        assert!(frags[0].is_first_fragment());
+        assert!(frags[1].is_fragment() && !frags[1].is_first_fragment());
+        assert!(!frags[2].more_fragments);
+        // Offsets are contiguous in 8-byte units.
+        assert_eq!(frags[0].fragment_offset, 0);
+        assert_eq!(frags[1].fragment_offset_bytes(), 1480);
+        assert_eq!(frags[2].fragment_offset_bytes(), 2960);
+    }
+
+    #[test]
+    fn df_flag_refuses_fragmentation() {
+        let mut p = packet(3000);
+        p.dont_fragment = true;
+        assert!(matches!(
+            fragment(p, 1500).unwrap_err(),
+            WireError::Malformed { field: "dont_fragment", .. }
+        ));
+    }
+
+    #[test]
+    fn tiny_mtu_is_rejected() {
+        assert!(fragment(packet(100), 20).is_err());
+    }
+
+    #[test]
+    fn reassembly_roundtrip_in_order() {
+        let p = packet(5000);
+        let frags = fragment(p.clone(), 1500).unwrap();
+        let mut r = Reassembler::new(u64::MAX);
+        let mut out = None;
+        for f in frags {
+            out = r.push(f, 0);
+        }
+        let whole = out.expect("reassembly completes on last fragment");
+        assert_eq!(whole.payload, p.payload);
+        assert!(!whole.is_fragment());
+        assert_eq!(r.stats().reassembled, 1);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reassembly_roundtrip_out_of_order() {
+        let p = packet(6000);
+        let mut frags = fragment(p.clone(), 1500).unwrap();
+        frags.reverse();
+        let mut r = Reassembler::new(u64::MAX);
+        let mut out = None;
+        for f in frags {
+            out = out.or(r.push(f, 0));
+        }
+        assert_eq!(out.unwrap().payload, p.payload);
+    }
+
+    #[test]
+    fn missing_fragment_never_completes_and_times_out() {
+        let p = packet(5000);
+        let mut frags = fragment(p, 1500).unwrap();
+        frags.remove(1); // lose a middle fragment
+        let mut r = Reassembler::new(1000);
+        for f in frags {
+            assert!(r.push(f, 0).is_none());
+        }
+        assert_eq!(r.pending(), 1);
+        assert_eq!(r.expire(999), 0); // not yet
+        assert_eq!(r.expire(1000), 1);
+        assert_eq!(r.stats().timed_out, 1);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn duplicate_fragments_are_ignored() {
+        let p = packet(2000);
+        let frags = fragment(p.clone(), 1500).unwrap();
+        let mut r = Reassembler::new(u64::MAX);
+        assert!(r.push(frags[0].clone(), 0).is_none());
+        assert!(r.push(frags[0].clone(), 0).is_none());
+        let whole = r.push(frags[1].clone(), 0).unwrap();
+        assert_eq!(whole.payload, p.payload);
+        assert_eq!(r.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn interleaved_datagrams_reassemble_independently() {
+        let a = packet(2000);
+        let mut b = packet(2000);
+        b.identification = 43;
+        let fa = fragment(a.clone(), 1500).unwrap();
+        let fb = fragment(b.clone(), 1500).unwrap();
+        let mut r = Reassembler::new(u64::MAX);
+        assert!(r.push(fa[0].clone(), 0).is_none());
+        assert!(r.push(fb[0].clone(), 0).is_none());
+        let wa = r.push(fa[1].clone(), 0).unwrap();
+        let wb = r.push(fb[1].clone(), 0).unwrap();
+        assert_eq!(wa.identification, 42);
+        assert_eq!(wb.identification, 43);
+        assert_eq!(wa.payload, a.payload);
+        assert_eq!(wb.payload, b.payload);
+    }
+
+    #[test]
+    fn refragmenting_a_fragment_accumulates_offsets() {
+        let p = packet(4000);
+        let frags = fragment(p, 1500).unwrap();
+        // Push the middle fragment through a smaller-MTU hop.
+        let sub = fragment(frags[1].clone(), 700).unwrap();
+        assert!(sub.len() > 1);
+        assert_eq!(sub[0].fragment_offset, frags[1].fragment_offset);
+        // All sub-fragments of a non-final fragment keep MF set.
+        assert!(sub.iter().all(|f| f.more_fragments));
+    }
+
+    #[test]
+    fn encode_decode_of_fragments_roundtrips() {
+        let p = packet(4000);
+        for f in fragment(p, 1500).unwrap() {
+            let decoded = Ipv4Packet::decode(&f.encode().unwrap()).unwrap();
+            assert_eq!(decoded, f);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! ICMPv4 messages: exactly the subset needed to implement the paper's
+//! methodology tools — `ping` (echo request/reply, §3.A Figure 1) and
+//! `tracert` (time-exceeded, §3.A Figure 2), plus destination
+//! unreachable for port probes.
+
+use crate::checksum::Checksum;
+use crate::error::WireError;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Minimum ICMP message length (type, code, checksum, 4 bytes of body).
+pub const ICMP_HEADER_LEN: usize = 8;
+
+/// A decoded ICMPv4 message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpMessage {
+    /// Echo request (type 8): `ping` probe.
+    EchoRequest {
+        /// Echo identifier (distinguishes concurrent pingers).
+        ident: u16,
+        /// Echo sequence number.
+        seq: u16,
+        /// Opaque probe payload (commonly a timestamp).
+        payload: Bytes,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Identifier copied from the request.
+        ident: u16,
+        /// Sequence number copied from the request.
+        seq: u16,
+        /// Payload copied from the request.
+        payload: Bytes,
+    },
+    /// Time exceeded in transit (type 11, code 0): the router response
+    /// `tracert` elicits with ascending TTLs.
+    TimeExceeded {
+        /// Leading bytes of the expired datagram (IP header + 8 bytes).
+        original: Bytes,
+    },
+    /// Destination unreachable (type 3) with the given code
+    /// (3 = port unreachable, the UDP-traceroute terminator).
+    DestinationUnreachable {
+        /// Unreachable code.
+        code: u8,
+        /// Leading bytes of the offending datagram.
+        original: Bytes,
+    },
+}
+
+impl IcmpMessage {
+    /// The on-wire (type, code) pair.
+    pub fn type_code(&self) -> (u8, u8) {
+        match self {
+            IcmpMessage::EchoReply { .. } => (0, 0),
+            IcmpMessage::EchoRequest { .. } => (8, 0),
+            IcmpMessage::TimeExceeded { .. } => (11, 0),
+            IcmpMessage::DestinationUnreachable { code, .. } => (3, *code),
+        }
+    }
+
+    /// Serialise with checksum.
+    pub fn encode(&self) -> Bytes {
+        let (ty, code) = self.type_code();
+        let (word, body): (u32, &Bytes) = match self {
+            IcmpMessage::EchoRequest { ident, seq, payload }
+            | IcmpMessage::EchoReply { ident, seq, payload } => {
+                ((u32::from(*ident) << 16) | u32::from(*seq), payload)
+            }
+            IcmpMessage::TimeExceeded { original }
+            | IcmpMessage::DestinationUnreachable { original, .. } => (0, original),
+        };
+        let mut buf = BytesMut::with_capacity(ICMP_HEADER_LEN + body.len());
+        buf.put_u8(ty);
+        buf.put_u8(code);
+        buf.put_u16(0); // checksum placeholder
+        buf.put_u32(word);
+        buf.put_slice(body);
+        let mut csum = Checksum::new();
+        csum.push(&buf);
+        let value = csum.value();
+        buf[2..4].copy_from_slice(&value.to_be_bytes());
+        buf.freeze()
+    }
+
+    /// Parse and verify a message.
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < ICMP_HEADER_LEN {
+            return Err(WireError::Truncated {
+                what: "icmp",
+                need: ICMP_HEADER_LEN,
+                got: data.len(),
+            });
+        }
+        if !crate::checksum::verify(data) {
+            return Err(WireError::BadChecksum { what: "icmp" });
+        }
+        let ident = u16::from_be_bytes([data[4], data[5]]);
+        let seq = u16::from_be_bytes([data[6], data[7]]);
+        let body = Bytes::copy_from_slice(&data[ICMP_HEADER_LEN..]);
+        match (data[0], data[1]) {
+            (0, 0) => Ok(IcmpMessage::EchoReply {
+                ident,
+                seq,
+                payload: body,
+            }),
+            (8, 0) => Ok(IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload: body,
+            }),
+            (11, 0) => Ok(IcmpMessage::TimeExceeded { original: body }),
+            (3, code) => Ok(IcmpMessage::DestinationUnreachable {
+                code,
+                original: body,
+            }),
+            _ => Err(WireError::Malformed {
+                what: "icmp",
+                field: "type/code",
+            }),
+        }
+    }
+
+    /// Build the reply matching an echo request; `None` for other types.
+    pub fn reply_to(&self) -> Option<IcmpMessage> {
+        match self {
+            IcmpMessage::EchoRequest { ident, seq, payload } => Some(IcmpMessage::EchoReply {
+                ident: *ident,
+                seq: *seq,
+                payload: payload.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let m = IcmpMessage::EchoRequest {
+            ident: 0x1234,
+            seq: 7,
+            payload: Bytes::from_static(b"timestamp"),
+        };
+        let n = IcmpMessage::decode(&m.encode()).unwrap();
+        assert_eq!(m, n);
+    }
+
+    #[test]
+    fn reply_mirrors_request() {
+        let m = IcmpMessage::EchoRequest {
+            ident: 9,
+            seq: 42,
+            payload: Bytes::from_static(b"x"),
+        };
+        let r = m.reply_to().unwrap();
+        match r {
+            IcmpMessage::EchoReply { ident, seq, ref payload } => {
+                assert_eq!((ident, seq), (9, 42));
+                assert_eq!(payload.as_ref(), b"x");
+            }
+            _ => panic!("expected echo reply"),
+        }
+        assert!(r.reply_to().is_none());
+    }
+
+    #[test]
+    fn time_exceeded_roundtrip() {
+        let m = IcmpMessage::TimeExceeded {
+            original: Bytes::from_static(&[0x45; 28]),
+        };
+        assert_eq!(IcmpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn unreachable_roundtrip_preserves_code() {
+        let m = IcmpMessage::DestinationUnreachable {
+            code: 3,
+            original: Bytes::from_static(&[0u8; 28]),
+        };
+        match IcmpMessage::decode(&m.encode()).unwrap() {
+            IcmpMessage::DestinationUnreachable { code, .. } => assert_eq!(code, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_message_fails_checksum() {
+        let m = IcmpMessage::EchoRequest {
+            ident: 1,
+            seq: 1,
+            payload: Bytes::from_static(b"abc"),
+        };
+        let mut bytes = m.encode().to_vec();
+        bytes[0] = 0; // flip request into reply without fixing checksum
+        assert_eq!(
+            IcmpMessage::decode(&bytes).unwrap_err(),
+            WireError::BadChecksum { what: "icmp" }
+        );
+    }
+
+    #[test]
+    fn unknown_type_is_malformed() {
+        // Type 13 (timestamp) is valid ICMP but outside our subset.
+        let mut buf = vec![13u8, 0, 0, 0, 0, 0, 0, 0];
+        let c = crate::checksum::checksum(&buf);
+        buf[2..4].copy_from_slice(&c.to_be_bytes());
+        assert!(matches!(
+            IcmpMessage::decode(&buf).unwrap_err(),
+            WireError::Malformed { field: "type/code", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            IcmpMessage::decode(&[8u8, 0, 0]).unwrap_err(),
+            WireError::Truncated { what: "icmp", .. }
+        ));
+    }
+}

@@ -1,0 +1,348 @@
+//! IPv4 packets: header encoding/decoding, checksum, fragment fields.
+
+use crate::checksum::Checksum;
+use crate::error::WireError;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// Length of an IPv4 header without options. This crate neither emits
+/// nor accepts options (the 2002 traces contained none).
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// Largest total length an IPv4 packet can describe.
+pub const IPV4_MAX_TOTAL_LEN: usize = 65535;
+
+/// IP protocol numbers this workspace cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProtocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6) — recognised so captures can classify cross traffic.
+    Tcp,
+    /// UDP (17) — the transport both players were forced to use.
+    Udp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+impl IpProtocol {
+    /// The on-wire protocol number.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(v) => v,
+        }
+    }
+}
+
+/// A decoded IPv4 packet (header without options + payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Packet {
+    /// Differentiated services / TOS byte.
+    pub tos: u8,
+    /// Identification, shared by all fragments of one datagram.
+    pub identification: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+    /// More-fragments flag: set on every fragment except the last.
+    pub more_fragments: bool,
+    /// Fragment offset in 8-byte units (13 bits on the wire).
+    pub fragment_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub protocol: IpProtocol,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload bytes (the L4 segment or a fragment thereof).
+    pub payload: Bytes,
+}
+
+impl Ipv4Packet {
+    /// Build an unfragmented packet with common defaults
+    /// (TTL 128, matching the Windows 2000 sender the paper used).
+    pub fn new(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        protocol: IpProtocol,
+        identification: u16,
+        payload: Bytes,
+    ) -> Self {
+        Ipv4Packet {
+            tos: 0,
+            identification,
+            dont_fragment: false,
+            more_fragments: false,
+            fragment_offset: 0,
+            ttl: 128,
+            protocol,
+            src,
+            dst,
+            payload,
+        }
+    }
+
+    /// Whether this packet is a fragment of a larger datagram
+    /// (Ethereal's "Fragmented IP protocol" classification matches
+    /// every packet with MF set or a non-zero offset).
+    pub fn is_fragment(&self) -> bool {
+        self.more_fragments || self.fragment_offset != 0
+    }
+
+    /// Whether this is the *first* fragment of a fragmented datagram.
+    pub fn is_first_fragment(&self) -> bool {
+        self.more_fragments && self.fragment_offset == 0
+    }
+
+    /// Total on-wire length (header + payload).
+    pub fn total_len(&self) -> usize {
+        IPV4_HEADER_LEN + self.payload.len()
+    }
+
+    /// Fragment offset in bytes.
+    pub fn fragment_offset_bytes(&self) -> usize {
+        usize::from(self.fragment_offset) * 8
+    }
+
+    /// Key identifying the datagram this packet (fragment) belongs to.
+    pub fn datagram_key(&self) -> (Ipv4Addr, Ipv4Addr, u8, u16) {
+        (self.src, self.dst, self.protocol.as_u8(), self.identification)
+    }
+
+    /// Serialise, computing the header checksum.
+    ///
+    /// Fails with [`WireError::Oversize`] if the payload would push the
+    /// total length beyond 65535 bytes, and with
+    /// [`WireError::Malformed`] if the fragment offset does not fit in
+    /// 13 bits.
+    pub fn encode(&self) -> Result<Bytes, WireError> {
+        if self.total_len() > IPV4_MAX_TOTAL_LEN {
+            return Err(WireError::Oversize {
+                what: "ipv4",
+                limit: IPV4_MAX_TOTAL_LEN,
+                got: self.total_len(),
+            });
+        }
+        if self.fragment_offset > 0x1fff {
+            return Err(WireError::Malformed {
+                what: "ipv4",
+                field: "fragment_offset",
+            });
+        }
+        let mut header = [0u8; IPV4_HEADER_LEN];
+        header[0] = 0x45; // version 4, IHL 5
+        header[1] = self.tos;
+        header[2..4].copy_from_slice(&(self.total_len() as u16).to_be_bytes());
+        header[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        let mut flags_frag = self.fragment_offset & 0x1fff;
+        if self.dont_fragment {
+            flags_frag |= 0x4000;
+        }
+        if self.more_fragments {
+            flags_frag |= 0x2000;
+        }
+        header[6..8].copy_from_slice(&flags_frag.to_be_bytes());
+        header[8] = self.ttl;
+        header[9] = self.protocol.as_u8();
+        // header[10..12] = checksum, zero while summing
+        header[12..16].copy_from_slice(&self.src.octets());
+        header[16..20].copy_from_slice(&self.dst.octets());
+        let mut csum = Checksum::new();
+        csum.push(&header);
+        header[10..12].copy_from_slice(&csum.value().to_be_bytes());
+
+        let mut buf = BytesMut::with_capacity(self.total_len());
+        buf.put_slice(&header);
+        buf.put_slice(&self.payload);
+        Ok(buf.freeze())
+    }
+
+    /// Parse and verify a packet from bytes.
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < IPV4_HEADER_LEN {
+            return Err(WireError::Truncated {
+                what: "ipv4",
+                need: IPV4_HEADER_LEN,
+                got: data.len(),
+            });
+        }
+        if data[0] >> 4 != 4 {
+            return Err(WireError::Malformed {
+                what: "ipv4",
+                field: "version",
+            });
+        }
+        let ihl = usize::from(data[0] & 0x0f) * 4;
+        if ihl != IPV4_HEADER_LEN {
+            return Err(WireError::Malformed {
+                what: "ipv4",
+                field: "ihl",
+            });
+        }
+        let total_len = usize::from(u16::from_be_bytes([data[2], data[3]]));
+        if total_len < IPV4_HEADER_LEN || total_len > data.len() {
+            return Err(WireError::Malformed {
+                what: "ipv4",
+                field: "total_length",
+            });
+        }
+        if !crate::checksum::verify(&data[..IPV4_HEADER_LEN]) {
+            return Err(WireError::BadChecksum { what: "ipv4" });
+        }
+        let flags_frag = u16::from_be_bytes([data[6], data[7]]);
+        Ok(Ipv4Packet {
+            tos: data[1],
+            identification: u16::from_be_bytes([data[4], data[5]]),
+            dont_fragment: flags_frag & 0x4000 != 0,
+            more_fragments: flags_frag & 0x2000 != 0,
+            fragment_offset: flags_frag & 0x1fff,
+            ttl: data[8],
+            protocol: IpProtocol::from(data[9]),
+            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+            payload: Bytes::copy_from_slice(&data[IPV4_HEADER_LEN..total_len]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Packet {
+        Ipv4Packet::new(
+            Ipv4Addr::new(130, 215, 36, 1),
+            Ipv4Addr::new(204, 71, 200, 33),
+            IpProtocol::Udp,
+            0xbeef,
+            Bytes::from_static(b"payload bytes"),
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let encoded = p.encode().unwrap();
+        assert_eq!(encoded.len(), p.total_len());
+        let q = Ipv4Packet::decode(&encoded).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn fragment_fields_roundtrip() {
+        let mut p = sample();
+        p.more_fragments = true;
+        p.fragment_offset = 185; // 1480 bytes
+        let q = Ipv4Packet::decode(&p.encode().unwrap()).unwrap();
+        assert!(q.is_fragment());
+        assert!(!q.is_first_fragment());
+        assert_eq!(q.fragment_offset_bytes(), 1480);
+    }
+
+    #[test]
+    fn first_fragment_classification() {
+        let mut p = sample();
+        p.more_fragments = true;
+        assert!(p.is_fragment());
+        assert!(p.is_first_fragment());
+        p.more_fragments = false;
+        assert!(!p.is_fragment());
+    }
+
+    #[test]
+    fn corrupted_header_fails_checksum() {
+        let p = sample();
+        let mut encoded = p.encode().unwrap().to_vec();
+        encoded[8] ^= 0xff; // mangle TTL
+        assert_eq!(
+            Ipv4Packet::decode(&encoded).unwrap_err(),
+            WireError::BadChecksum { what: "ipv4" }
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let p = sample();
+        let mut encoded = p.encode().unwrap().to_vec();
+        encoded[0] = 0x65; // version 6
+        assert!(matches!(
+            Ipv4Packet::decode(&encoded).unwrap_err(),
+            WireError::Malformed { field: "version", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_inconsistent_total_length() {
+        let p = sample();
+        let encoded = p.encode().unwrap();
+        // Truncate below the declared total length.
+        assert!(matches!(
+            Ipv4Packet::decode(&encoded[..encoded.len() - 1]).unwrap_err(),
+            WireError::Malformed { field: "total_length", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_oversize_payload() {
+        let mut p = sample();
+        p.payload = Bytes::from(vec![0u8; IPV4_MAX_TOTAL_LEN]);
+        assert!(matches!(
+            p.encode().unwrap_err(),
+            WireError::Oversize { what: "ipv4", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_offset_beyond_13_bits() {
+        let mut p = sample();
+        p.fragment_offset = 0x2000;
+        assert!(matches!(
+            p.encode().unwrap_err(),
+            WireError::Malformed { field: "fragment_offset", .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_link_padding_is_ignored() {
+        // A frame may be longer than the IP total length (e.g. minimum
+        // Ethernet frame padding); decode must honour total_length.
+        let p = sample();
+        let mut encoded = p.encode().unwrap().to_vec();
+        encoded.extend_from_slice(&[0u8; 9]);
+        let q = Ipv4Packet::decode(&encoded).unwrap();
+        assert_eq!(q.payload, p.payload);
+    }
+
+    #[test]
+    fn protocol_numbers_roundtrip() {
+        for v in [1u8, 6, 17, 89] {
+            assert_eq!(IpProtocol::from(v).as_u8(), v);
+        }
+    }
+
+    #[test]
+    fn datagram_key_groups_fragments() {
+        let mut a = sample();
+        a.more_fragments = true;
+        let mut b = sample();
+        b.fragment_offset = 185;
+        assert_eq!(a.datagram_key(), b.datagram_key());
+        b.identification = 1;
+        assert_ne!(a.datagram_key(), b.datagram_key());
+    }
+}

@@ -1,0 +1,62 @@
+//! # turb-wire — wire formats for the turbulence workspace
+//!
+//! Owned, validated representations of the packet formats the paper's
+//! measurement pipeline observed on the wire in 2002, together with the
+//! IPv4 fragmentation and reassembly machinery that produces the
+//! MediaPlayer fragment trains of Figures 4 and 5:
+//!
+//! * [`EthernetFrame`] — Ethernet II framing (the sniffer's vantage
+//!   point; a full frame carrying an MTU-sized IP packet is the
+//!   paper's repeatedly-observed 1514 bytes).
+//! * [`Ipv4Packet`] — IPv4 header with internet checksum, identification,
+//!   DF/MF flags and 13-bit fragment offset.
+//! * [`UdpDatagram`] — UDP with the IPv4 pseudo-header checksum.
+//! * [`icmp`] — echo request/reply and time-exceeded, enough to
+//!   implement `ping` and `tracert`.
+//! * [`frag`] — RFC 791 style fragmentation ([`frag::fragment`]) and a
+//!   hole-tracking [`frag::Reassembler`].
+//! * [`media`] — the small application-layer media header
+//!   (player id, sequence number, frame number, media timestamp) that
+//!   the tracker tools read back out of received payloads.
+//!
+//! Everything here is sans-IO and deterministic: structs encode to
+//! `bytes::Bytes` and decode from `&[u8]`, and never touch a socket.
+
+pub mod checksum;
+pub mod ethernet;
+pub mod error;
+pub mod frag;
+pub mod icmp;
+pub mod ipv4;
+pub mod media;
+pub mod tcp;
+pub mod udp;
+
+pub use error::WireError;
+pub use ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
+pub use frag::{fragment, Reassembler};
+pub use ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
+pub use tcp::{TcpFlags, TcpSegment, TCP_HEADER_LEN};
+pub use udp::{UdpDatagram, UDP_HEADER_LEN};
+
+/// The default Ethernet MTU, and the default MTU of the Windows 2000
+/// stack the paper's client ran on (Microsoft KB Q140375, cited in the
+/// paper): 1500 bytes of IP packet per frame.
+pub const DEFAULT_MTU: usize = 1500;
+
+/// Maximum Ethernet frame length at the sniffer for [`DEFAULT_MTU`]:
+/// the `1514` bytes the paper reports for every non-final MediaPlayer
+/// fragment ("All the packets in one group except the last IP fragment
+/// have the same size, which is 1514 bytes").
+pub const MAX_FRAME_LEN: usize = DEFAULT_MTU + ETHERNET_HEADER_LEN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_constants_match_the_paper() {
+        assert_eq!(DEFAULT_MTU, 1500);
+        assert_eq!(MAX_FRAME_LEN, 1514);
+    }
+}

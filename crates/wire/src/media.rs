@@ -1,0 +1,206 @@
+//! The application-layer media header carried inside every streaming
+//! UDP payload in the simulation.
+//!
+//! The real players use proprietary framing (MMS/WMS for MediaPlayer,
+//! RDT for RealPlayer); the trackers in the paper read sequence and
+//! frame statistics out of the player SDKs instead of the wire. Our
+//! substitute puts the minimum fields the trackers need — player id,
+//! packet sequence number, media frame number, media timestamp — into a
+//! fixed 20-byte header at the start of each datagram, padded out to
+//! the desired packet size with deterministic filler.
+
+use crate::error::WireError;
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::Serialize;
+
+/// Length of the media header.
+pub const MEDIA_HEADER_LEN: usize = 20;
+
+/// Magic tag so stray traffic is never misparsed as media.
+const MAGIC: u16 = 0x7541; // "uA" for turbulence Analysis
+
+/// Which player model produced a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum PlayerId {
+    /// Windows MediaPlayer model.
+    MediaPlayer,
+    /// RealPlayer model.
+    RealPlayer,
+}
+
+impl PlayerId {
+    fn as_u8(self) -> u8 {
+        match self {
+            PlayerId::MediaPlayer => 0,
+            PlayerId::RealPlayer => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(PlayerId::MediaPlayer),
+            1 => Ok(PlayerId::RealPlayer),
+            _ => Err(WireError::Malformed {
+                what: "media",
+                field: "player",
+            }),
+        }
+    }
+
+    /// Short label used in reports ("WMP" / "Real").
+    pub fn label(self) -> &'static str {
+        match self {
+            PlayerId::MediaPlayer => "WMP",
+            PlayerId::RealPlayer => "Real",
+        }
+    }
+}
+
+/// The media header prepended to every streaming payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct MediaHeader {
+    /// Producing player model.
+    pub player: PlayerId,
+    /// Monotone per-stream packet sequence number.
+    pub sequence: u32,
+    /// Media frame this packet carries (several packets may share one
+    /// frame; one MediaPlayer application frame may span many packets).
+    pub frame_number: u32,
+    /// Media timestamp in milliseconds from the start of the clip.
+    pub media_time_ms: u32,
+    /// True while the server is in its initial-buffering phase —
+    /// lets the analysis separate buffering from steady playout
+    /// (Figures 10 and 11) exactly as the paper inferred it from
+    /// bandwidth-over-time.
+    pub buffering: bool,
+}
+
+impl MediaHeader {
+    /// Serialise header followed by `payload_len` bytes of filler so
+    /// the total application payload is `MEDIA_HEADER_LEN + payload_len`.
+    pub fn encode_with_padding(&self, padding: usize) -> Bytes {
+        let mut buf = BytesMut::with_capacity(MEDIA_HEADER_LEN + padding);
+        buf.put_u16(MAGIC);
+        buf.put_u8(self.player.as_u8());
+        buf.put_u8(u8::from(self.buffering));
+        buf.put_u32(self.sequence);
+        buf.put_u32(self.frame_number);
+        buf.put_u32(self.media_time_ms);
+        buf.put_u32(padding as u32);
+        // Deterministic filler derived from the sequence number, so
+        // payload bytes differ across packets (checksums exercise real
+        // data) without any RNG.
+        let seed = self.sequence.wrapping_mul(0x9e37_79b9);
+        for i in 0..padding {
+            buf.put_u8((seed.wrapping_add(i as u32) >> (i % 4 * 8)) as u8);
+        }
+        buf.freeze()
+    }
+
+    /// Parse the header from the front of a payload.
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < MEDIA_HEADER_LEN {
+            return Err(WireError::Truncated {
+                what: "media",
+                need: MEDIA_HEADER_LEN,
+                got: data.len(),
+            });
+        }
+        if u16::from_be_bytes([data[0], data[1]]) != MAGIC {
+            return Err(WireError::Malformed {
+                what: "media",
+                field: "magic",
+            });
+        }
+        let declared_padding =
+            u32::from_be_bytes([data[16], data[17], data[18], data[19]]) as usize;
+        if MEDIA_HEADER_LEN + declared_padding != data.len() {
+            return Err(WireError::Malformed {
+                what: "media",
+                field: "padding_len",
+            });
+        }
+        Ok(MediaHeader {
+            player: PlayerId::from_u8(data[2])?,
+            buffering: data[3] != 0,
+            sequence: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            frame_number: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            media_time_ms: u32::from_be_bytes([data[12], data[13], data[14], data[15]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> MediaHeader {
+        MediaHeader {
+            player: PlayerId::RealPlayer,
+            sequence: 1234,
+            frame_number: 56,
+            media_time_ms: 7890,
+            buffering: true,
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_padding() {
+        let h = header();
+        for padding in [0usize, 1, 100, 1452] {
+            let bytes = h.encode_with_padding(padding);
+            assert_eq!(bytes.len(), MEDIA_HEADER_LEN + padding);
+            assert_eq!(MediaHeader::decode(&bytes).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn players_roundtrip() {
+        for p in [PlayerId::MediaPlayer, PlayerId::RealPlayer] {
+            let mut h = header();
+            h.player = p;
+            let bytes = h.encode_with_padding(4);
+            assert_eq!(MediaHeader::decode(&bytes).unwrap().player, p);
+        }
+        assert_eq!(PlayerId::MediaPlayer.label(), "WMP");
+        assert_eq!(PlayerId::RealPlayer.label(), "Real");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = header().encode_with_padding(4).to_vec();
+        bytes[0] = 0;
+        assert!(matches!(
+            MediaHeader::decode(&bytes).unwrap_err(),
+            WireError::Malformed { field: "magic", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let bytes = header().encode_with_padding(0);
+        assert!(MediaHeader::decode(&bytes[..MEDIA_HEADER_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_padding_length() {
+        let mut bytes = header().encode_with_padding(8).to_vec();
+        bytes.truncate(MEDIA_HEADER_LEN + 4);
+        assert!(matches!(
+            MediaHeader::decode(&bytes).unwrap_err(),
+            WireError::Malformed { field: "padding_len", .. }
+        ));
+    }
+
+    #[test]
+    fn filler_differs_across_sequences() {
+        let mut a = header();
+        a.sequence = 1;
+        let mut b = header();
+        b.sequence = 2;
+        assert_ne!(
+            a.encode_with_padding(64)[MEDIA_HEADER_LEN..],
+            b.encode_with_padding(64)[MEDIA_HEADER_LEN..]
+        );
+    }
+}

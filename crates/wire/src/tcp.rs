@@ -1,0 +1,291 @@
+//! TCP segments: header encoding/decoding with the pseudo-header
+//! checksum.
+//!
+//! Both players "can use either TCP or UDP as a transport protocol for
+//! streaming data" (§2.D); the paper forced UDP, and §VI proposes the
+//! TCP-friendliness follow-up study. The workspace's TCP experiments
+//! (see `turb-netsim::tcp`) ride on this wire format.
+
+use crate::checksum::Checksum;
+use crate::error::WireError;
+use crate::ipv4::IpProtocol;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// Length of a TCP header without options. Like the IPv4 codec, this
+/// crate neither emits nor accepts options (MSS is negotiated out of
+/// band in the simulator).
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP control flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// Synchronise sequence numbers.
+    pub syn: bool,
+    /// Acknowledgement field is significant.
+    pub ack: bool,
+    /// No more data from sender.
+    pub fin: bool,
+    /// Reset the connection.
+    pub rst: bool,
+    /// Push function.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// A bare SYN.
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// SYN+ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// A bare ACK.
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// FIN+ACK.
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+        psh: false,
+    };
+
+    fn to_byte(self) -> u8 {
+        u8::from(self.fin)
+            | u8::from(self.syn) << 1
+            | u8::from(self.rst) << 2
+            | u8::from(self.psh) << 3
+            | u8::from(self.ack) << 4
+    }
+
+    fn from_byte(b: u8) -> TcpFlags {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// A TCP segment (header without options + payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte (or of the SYN/FIN).
+    pub seq: u32,
+    /// Acknowledgement number (valid when `flags.ack`).
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window, bytes.
+    pub window: u16,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+impl TcpSegment {
+    /// Sequence space this segment occupies (payload + SYN/FIN).
+    pub fn seq_len(&self) -> u32 {
+        self.payload.len() as u32 + u32::from(self.flags.syn) + u32::from(self.flags.fin)
+    }
+
+    /// Total segment length on the wire.
+    pub fn len(&self) -> usize {
+        TCP_HEADER_LEN + self.payload.len()
+    }
+
+    /// True when the segment carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Serialise with a pseudo-header checksum.
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Result<Bytes, WireError> {
+        if self.len() > usize::from(u16::MAX) {
+            return Err(WireError::Oversize {
+                what: "tcp",
+                limit: usize::from(u16::MAX),
+                got: self.len(),
+            });
+        }
+        let mut header = [0u8; TCP_HEADER_LEN];
+        header[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        header[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        header[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        header[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        header[12] = (TCP_HEADER_LEN as u8 / 4) << 4; // data offset
+        header[13] = self.flags.to_byte();
+        header[14..16].copy_from_slice(&self.window.to_be_bytes());
+        // header[16..18] = checksum, zero while summing.
+        // header[18..20] = urgent pointer, always zero.
+        let mut csum = Checksum::new();
+        csum.push_addr(src);
+        csum.push_addr(dst);
+        csum.push_u16(u16::from(IpProtocol::Tcp.as_u8()));
+        csum.push_u16(self.len() as u16);
+        csum.push(&header);
+        csum.push(&self.payload);
+        header[16..18].copy_from_slice(&csum.value().to_be_bytes());
+        let mut buf = BytesMut::with_capacity(self.len());
+        buf.put_slice(&header);
+        buf.put_slice(&self.payload);
+        Ok(buf.freeze())
+    }
+
+    /// Parse and verify a segment transmitted between `src` and `dst`.
+    pub fn decode(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<Self, WireError> {
+        if data.len() < TCP_HEADER_LEN {
+            return Err(WireError::Truncated {
+                what: "tcp",
+                need: TCP_HEADER_LEN,
+                got: data.len(),
+            });
+        }
+        let data_offset = usize::from(data[12] >> 4) * 4;
+        if data_offset != TCP_HEADER_LEN {
+            return Err(WireError::Malformed {
+                what: "tcp",
+                field: "data_offset",
+            });
+        }
+        let mut csum = Checksum::new();
+        csum.push_addr(src);
+        csum.push_addr(dst);
+        csum.push_u16(u16::from(IpProtocol::Tcp.as_u8()));
+        csum.push_u16(data.len() as u16);
+        csum.push(data);
+        if csum.value() != 0 {
+            return Err(WireError::BadChecksum { what: "tcp" });
+        }
+        Ok(TcpSegment {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            flags: TcpFlags::from_byte(data[13]),
+            window: u16::from_be_bytes([data[14], data[15]]),
+            payload: Bytes::copy_from_slice(&data[TCP_HEADER_LEN..]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(130, 215, 36, 10);
+    const DST: Ipv4Addr = Ipv4Addr::new(204, 71, 0, 33);
+
+    fn segment() -> TcpSegment {
+        TcpSegment {
+            src_port: 33000,
+            dst_port: 554,
+            seq: 0xdead_beef,
+            ack: 0x0102_0304,
+            flags: TcpFlags::ACK,
+            window: 65535,
+            payload: Bytes::from_static(b"stream bytes"),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = segment();
+        let encoded = s.encode(SRC, DST).unwrap();
+        assert_eq!(encoded.len(), s.len());
+        assert_eq!(TcpSegment::decode(&encoded, SRC, DST).unwrap(), s);
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        for flags in [
+            TcpFlags::SYN,
+            TcpFlags::SYN_ACK,
+            TcpFlags::ACK,
+            TcpFlags::FIN_ACK,
+            TcpFlags {
+                rst: true,
+                psh: true,
+                ..TcpFlags::default()
+            },
+        ] {
+            let mut s = segment();
+            s.flags = flags;
+            let decoded = TcpSegment::decode(&s.encode(SRC, DST).unwrap(), SRC, DST).unwrap();
+            assert_eq!(decoded.flags, flags);
+        }
+    }
+
+    #[test]
+    fn seq_len_counts_syn_and_fin() {
+        let mut s = segment();
+        assert_eq!(s.seq_len(), 12);
+        s.flags = TcpFlags::SYN;
+        s.payload = Bytes::new();
+        assert_eq!(s.seq_len(), 1);
+        assert!(s.is_empty());
+        s.flags = TcpFlags::FIN_ACK;
+        assert_eq!(s.seq_len(), 1);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let s = segment();
+        let mut encoded = s.encode(SRC, DST).unwrap().to_vec();
+        encoded[7] ^= 0x40; // mangle seq
+        assert_eq!(
+            TcpSegment::decode(&encoded, SRC, DST).unwrap_err(),
+            WireError::BadChecksum { what: "tcp" }
+        );
+    }
+
+    #[test]
+    fn wrong_pseudo_header_is_detected() {
+        let s = segment();
+        let encoded = s.encode(SRC, DST).unwrap();
+        assert_eq!(
+            TcpSegment::decode(&encoded, SRC, Ipv4Addr::new(9, 9, 9, 9)).unwrap_err(),
+            WireError::BadChecksum { what: "tcp" }
+        );
+    }
+
+    #[test]
+    fn rejects_options_bearing_headers() {
+        let s = segment();
+        let mut encoded = s.encode(SRC, DST).unwrap().to_vec();
+        encoded[12] = 6 << 4; // data offset 24: options present
+        assert!(matches!(
+            TcpSegment::decode(&encoded, SRC, DST).unwrap_err(),
+            WireError::Malformed { field: "data_offset", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            TcpSegment::decode(&[0u8; 19], SRC, DST).unwrap_err(),
+            WireError::Truncated { what: "tcp", .. }
+        ));
+    }
+}

@@ -1,0 +1,200 @@
+//! UDP datagrams with the IPv4 pseudo-header checksum.
+
+use crate::checksum::Checksum;
+use crate::error::WireError;
+use crate::ipv4::IpProtocol;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A UDP datagram. The checksum is computed over the IPv4 pseudo-header,
+/// so encoding and decoding take the enclosing addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl UdpDatagram {
+    /// Construct a datagram.
+    pub fn new(src_port: u16, dst_port: u16, payload: Bytes) -> Self {
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        }
+    }
+
+    /// Total UDP length (header + payload).
+    pub fn len(&self) -> usize {
+        UDP_HEADER_LEN + self.payload.len()
+    }
+
+    /// True when the payload is empty (header-only datagram).
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Serialise with a pseudo-header checksum for `src`/`dst`.
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Result<Bytes, WireError> {
+        if self.len() > usize::from(u16::MAX) {
+            return Err(WireError::Oversize {
+                what: "udp",
+                limit: usize::from(u16::MAX),
+                got: self.len(),
+            });
+        }
+        let len = self.len() as u16;
+        let mut header = [0u8; UDP_HEADER_LEN];
+        header[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        header[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        header[4..6].copy_from_slice(&len.to_be_bytes());
+        let mut csum = Checksum::new();
+        csum.push_addr(src);
+        csum.push_addr(dst);
+        csum.push_u16(u16::from(IpProtocol::Udp.as_u8()));
+        csum.push_u16(len);
+        csum.push(&header);
+        csum.push(&self.payload);
+        let mut value = csum.value();
+        if value == 0 {
+            // RFC 768: an all-zero computed checksum is transmitted as
+            // all ones; zero on the wire means "no checksum".
+            value = 0xffff;
+        }
+        header[6..8].copy_from_slice(&value.to_be_bytes());
+        let mut buf = BytesMut::with_capacity(self.len());
+        buf.put_slice(&header);
+        buf.put_slice(&self.payload);
+        Ok(buf.freeze())
+    }
+
+    /// Parse and verify a datagram transmitted between `src` and `dst`.
+    pub fn decode(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<Self, WireError> {
+        if data.len() < UDP_HEADER_LEN {
+            return Err(WireError::Truncated {
+                what: "udp",
+                need: UDP_HEADER_LEN,
+                got: data.len(),
+            });
+        }
+        let len = usize::from(u16::from_be_bytes([data[4], data[5]]));
+        if len < UDP_HEADER_LEN || len > data.len() {
+            return Err(WireError::Malformed {
+                what: "udp",
+                field: "length",
+            });
+        }
+        let stored = u16::from_be_bytes([data[6], data[7]]);
+        if stored != 0 {
+            let mut csum = Checksum::new();
+            csum.push_addr(src);
+            csum.push_addr(dst);
+            csum.push_u16(u16::from(IpProtocol::Udp.as_u8()));
+            csum.push_u16(len as u16);
+            csum.push(&data[..len]);
+            if csum.value() != 0 {
+                return Err(WireError::BadChecksum { what: "udp" });
+            }
+        }
+        Ok(UdpDatagram {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            payload: Bytes::copy_from_slice(&data[UDP_HEADER_LEN..len]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(130, 215, 36, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(204, 71, 200, 33);
+
+    #[test]
+    fn roundtrip() {
+        let d = UdpDatagram::new(7070, 1755, Bytes::from_static(b"media data"));
+        let encoded = d.encode(SRC, DST).unwrap();
+        assert_eq!(encoded.len(), d.len());
+        let e = UdpDatagram::decode(&encoded, SRC, DST).unwrap();
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let d = UdpDatagram::new(1, 2, Bytes::from_static(b"xyz"));
+        let mut encoded = d.encode(SRC, DST).unwrap().to_vec();
+        *encoded.last_mut().unwrap() ^= 0x01;
+        assert_eq!(
+            UdpDatagram::decode(&encoded, SRC, DST).unwrap_err(),
+            WireError::BadChecksum { what: "udp" }
+        );
+    }
+
+    #[test]
+    fn wrong_pseudo_header_fails_checksum() {
+        let d = UdpDatagram::new(1, 2, Bytes::from_static(b"xyz"));
+        let encoded = d.encode(SRC, DST).unwrap();
+        let other = Ipv4Addr::new(10, 0, 0, 1);
+        assert_eq!(
+            UdpDatagram::decode(&encoded, SRC, other).unwrap_err(),
+            WireError::BadChecksum { what: "udp" }
+        );
+    }
+
+    #[test]
+    fn zero_checksum_means_unchecked() {
+        let d = UdpDatagram::new(1, 2, Bytes::from_static(b"xyz"));
+        let mut encoded = d.encode(SRC, DST).unwrap().to_vec();
+        encoded[6] = 0;
+        encoded[7] = 0;
+        // Decodes fine even against the wrong pseudo-header.
+        let other = Ipv4Addr::new(10, 0, 0, 1);
+        let e = UdpDatagram::decode(&encoded, SRC, other).unwrap();
+        assert_eq!(e.payload, d.payload);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let d = UdpDatagram::new(9, 9, Bytes::new());
+        assert!(d.is_empty());
+        let e = UdpDatagram::decode(&d.encode(SRC, DST).unwrap(), SRC, DST).unwrap();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            UdpDatagram::decode(&[0u8; 7], SRC, DST).unwrap_err(),
+            WireError::Truncated { what: "udp", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_length_field() {
+        let d = UdpDatagram::new(1, 2, Bytes::from_static(b"abcdef"));
+        let mut encoded = d.encode(SRC, DST).unwrap().to_vec();
+        encoded[4] = 0xff;
+        encoded[5] = 0xff; // declared length far beyond the buffer
+        assert!(matches!(
+            UdpDatagram::decode(&encoded, SRC, DST).unwrap_err(),
+            WireError::Malformed { field: "length", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_oversize_payload() {
+        let d = UdpDatagram::new(1, 2, Bytes::from(vec![0u8; 65536]));
+        assert!(matches!(
+            d.encode(SRC, DST).unwrap_err(),
+            WireError::Oversize { what: "udp", .. }
+        ));
+    }
+}

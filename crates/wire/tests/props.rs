@@ -1,0 +1,155 @@
+//! Property-based tests for wire formats and fragmentation invariants.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use turb_wire::frag::{fragment, Reassembler};
+use turb_wire::icmp::IcmpMessage;
+use turb_wire::ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
+use turb_wire::media::{MediaHeader, PlayerId, MEDIA_HEADER_LEN};
+use turb_wire::udp::UdpDatagram;
+use turb_wire::{EthernetFrame, MacAddr};
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<[u8; 4]>().prop_map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+}
+
+fn arb_payload(max: usize) -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..max).prop_map(Bytes::from)
+}
+
+fn arb_packet(max_payload: usize) -> impl Strategy<Value = Ipv4Packet> {
+    (
+        arb_addr(),
+        arb_addr(),
+        any::<u16>(),
+        any::<u8>(),
+        arb_payload(max_payload),
+    )
+        .prop_map(|(src, dst, ident, ttl, payload)| {
+            let mut p = Ipv4Packet::new(src, dst, IpProtocol::Udp, ident, payload);
+            p.ttl = ttl;
+            p
+        })
+}
+
+proptest! {
+    #[test]
+    fn ethernet_roundtrip(payload in arb_payload(2000), a: u32, b: u32) {
+        let f = EthernetFrame::ipv4(MacAddr::local(a), MacAddr::local(b), payload);
+        prop_assert_eq!(EthernetFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn ipv4_roundtrip(p in arb_packet(4000)) {
+        let q = Ipv4Packet::decode(&p.encode().unwrap()).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn ipv4_decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Ipv4Packet::decode(&data);
+    }
+
+    #[test]
+    fn udp_roundtrip(src in arb_addr(), dst in arb_addr(), sp: u16, dp: u16,
+                     payload in arb_payload(2000)) {
+        let d = UdpDatagram::new(sp, dp, payload);
+        let e = UdpDatagram::decode(&d.encode(src, dst).unwrap(), src, dst).unwrap();
+        prop_assert_eq!(d, e);
+    }
+
+    #[test]
+    fn icmp_echo_roundtrip(ident: u16, seq: u16, payload in arb_payload(256)) {
+        let m = IcmpMessage::EchoRequest { ident, seq, payload };
+        prop_assert_eq!(IcmpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn icmp_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = IcmpMessage::decode(&data);
+    }
+
+    #[test]
+    fn media_header_roundtrip(seq: u32, frame: u32, t: u32, buffering: bool,
+                              padding in 0usize..2000) {
+        let h = MediaHeader {
+            player: if seq % 2 == 0 { PlayerId::MediaPlayer } else { PlayerId::RealPlayer },
+            sequence: seq,
+            frame_number: frame,
+            media_time_ms: t,
+            buffering,
+        };
+        let bytes = h.encode_with_padding(padding);
+        prop_assert_eq!(bytes.len(), MEDIA_HEADER_LEN + padding);
+        prop_assert_eq!(MediaHeader::decode(&bytes).unwrap(), h);
+    }
+
+    /// Fragmentation invariants: fragments all fit the MTU, offsets are
+    /// contiguous, payload bytes are preserved in order, only the last
+    /// fragment clears MF.
+    #[test]
+    fn fragmentation_invariants(p in arb_packet(20_000),
+                                mtu in (IPV4_HEADER_LEN + 8)..3000usize) {
+        let total = p.payload.len();
+        let frags = fragment(p.clone(), mtu).unwrap();
+        prop_assert!(!frags.is_empty());
+        let mut rebuilt = Vec::with_capacity(total);
+        for (i, f) in frags.iter().enumerate() {
+            prop_assert!(f.total_len() <= mtu.max(p.total_len().min(mtu)));
+            if frags.len() > 1 {
+                prop_assert!(f.total_len() <= mtu);
+                prop_assert_eq!(f.more_fragments, i + 1 != frags.len());
+                prop_assert_eq!(f.fragment_offset_bytes(), rebuilt.len());
+            }
+            rebuilt.extend_from_slice(&f.payload);
+        }
+        prop_assert_eq!(Bytes::from(rebuilt), p.payload);
+    }
+
+    /// Reassembly recovers the original payload under any fragment
+    /// arrival order.
+    #[test]
+    fn reassembly_is_order_independent(p in arb_packet(20_000),
+                                       mtu in 600usize..1600,
+                                       seed: u64) {
+        let frags = fragment(p.clone(), mtu).unwrap();
+        // Deterministic shuffle from the seed (Fisher-Yates with an LCG).
+        let mut order: Vec<usize> = (0..frags.len()).collect();
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut r = Reassembler::new(u64::MAX);
+        let mut out = None;
+        for idx in order {
+            if let Some(w) = r.push(frags[idx].clone(), 0) {
+                prop_assert!(out.is_none(), "completed twice");
+                out = Some(w);
+            }
+        }
+        let whole = out.expect("all fragments delivered ⇒ complete");
+        prop_assert_eq!(whole.payload, p.payload);
+        prop_assert_eq!(r.pending(), 0);
+    }
+
+    /// Losing any single fragment of a multi-fragment datagram prevents
+    /// reassembly — the goodput-collapse mechanism of §3.C.
+    #[test]
+    fn any_single_loss_kills_the_datagram(p in arb_packet(20_000), drop_idx: usize) {
+        prop_assume!(p.payload.len() + IPV4_HEADER_LEN > 1500);
+        let frags = fragment(p, 1500).unwrap();
+        prop_assume!(frags.len() >= 2);
+        let drop_idx = drop_idx % frags.len();
+        let mut r = Reassembler::new(u64::MAX);
+        for (i, f) in frags.iter().enumerate() {
+            if i == drop_idx {
+                continue;
+            }
+            prop_assert!(r.push(f.clone(), 0).is_none());
+        }
+        prop_assert_eq!(r.pending(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's headline comparison, as a report: stream every pair of
+//! a data set and contrast the two players' turbulence — packet sizes,
+//! interarrival spread, fragmentation, buffering behaviour, and frame
+//! rate.
+//!
+//! ```sh
+//! cargo run --example compare_players            # data set 1
+//! cargo run --example compare_players -- 6       # the movie-clip set
+//! ```
+
+use turb_media::{corpus, PlayerId};
+use turb_stats::Summary;
+use turbulence::analysis;
+use turbulence::{run_pair, PairRunConfig};
+
+fn main() {
+    let set_id: u8 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let sets = corpus::table1();
+    let set = sets
+        .iter()
+        .find(|s| s.id == set_id)
+        .unwrap_or_else(|| panic!("data set {set_id} does not exist (1-6)"));
+
+    println!(
+        "Data set {}: {} ({:.0}s clip), {} rate class(es)\n",
+        set.id,
+        set.content.label(),
+        set.duration_secs,
+        set.pairs.len()
+    );
+
+    for (i, pair) in set.pairs.iter().enumerate() {
+        let result = run_pair(&PairRunConfig::new(
+            1000 + u64::from(set_id) * 10 + i as u64,
+            set_id,
+            pair.clone(),
+        ));
+        println!(
+            "== {} vs {} ({:?} class) ==",
+            pair.real.name(),
+            pair.wmp.name(),
+            pair.class()
+        );
+        println!(
+            "{:<28} {:>14} {:>14}",
+            "", "RealPlayer", "MediaPlayer"
+        );
+        let row = |label: &str, real: String, wmp: String| {
+            println!("{label:<28} {real:>14} {wmp:>14}");
+        };
+        let size_summary = |player| {
+            Summary::of(&analysis::wire_sizes(&result, player))
+                .map(|s| format!("{:.0}±{:.0}B", s.mean, s.std_dev))
+                .unwrap_or_else(|| "-".into())
+        };
+        let gap_summary = |player| {
+            Summary::of(&analysis::leader_interarrivals(&result, player))
+                .map(|s| format!("{:.0}±{:.0}ms", s.mean * 1000.0, s.std_dev * 1000.0))
+                .unwrap_or_else(|| "-".into())
+        };
+        let frag = |player| {
+            let stats = analysis::stream_groups(&result, player).stats();
+            format!("{:.0}%", stats.fragment_fraction() * 100.0)
+        };
+        let burst_summary = |player| {
+            analysis::burstiness(&result, player)
+                .map(|(iod, ptm)| format!("{iod:.2}/{ptm:.2}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        row("wire packet size", size_summary(PlayerId::RealPlayer), size_summary(PlayerId::MediaPlayer));
+        row("datagram interarrival", gap_summary(PlayerId::RealPlayer), gap_summary(PlayerId::MediaPlayer));
+        row("IP fragments", frag(PlayerId::RealPlayer), frag(PlayerId::MediaPlayer));
+        row(
+            "avg playback rate",
+            format!("{:.1} Kbps", result.real.avg_playback_kbps()),
+            format!("{:.1} Kbps", result.wmp.avg_playback_kbps()),
+        );
+        row(
+            "buffering/playout ratio",
+            result
+                .real
+                .buffering_ratio()
+                .map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            result
+                .wmp
+                .buffering_ratio()
+                .map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+        row(
+            "streaming duration",
+            format!("{:.0}s", result.real.streaming_duration_secs().unwrap_or(f64::NAN)),
+            format!("{:.0}s", result.wmp.streaming_duration_secs().unwrap_or(f64::NAN)),
+        );
+        row(
+            "burstiness (IoD/peak:mean)",
+            burst_summary(PlayerId::RealPlayer),
+            burst_summary(PlayerId::MediaPlayer),
+        );
+        row(
+            "avg frame rate",
+            format!("{:.1} fps", result.real.avg_frame_rate()),
+            format!("{:.1} fps", result.wmp.avg_frame_rate()),
+        );
+        println!();
+    }
+}

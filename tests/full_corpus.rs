@@ -1,0 +1,364 @@
+//! The acceptance test: run the paper's full 26-clip corpus and check
+//! every figure and table against the shape criteria in DESIGN.md §4.
+//!
+//! Absolute numbers need not match the 2002 testbed; the *shape* —
+//! who wins, by roughly what factor, where the crossovers fall — must.
+
+use std::sync::OnceLock;
+use turb_media::{PlayerId, RateClass};
+use turbulence::{figures, tables, CorpusResult};
+
+fn corpus() -> &'static CorpusResult {
+    static CORPUS: OnceLock<CorpusResult> = OnceLock::new();
+    CORPUS.get_or_init(|| turbulence::runner::run_corpus_parallel(42))
+}
+
+#[test]
+fn corpus_runs_cleanly() {
+    let corpus = corpus();
+    assert_eq!(corpus.runs.len(), 13);
+    for run in &corpus.runs {
+        assert!(
+            run.real.stream_end.is_some() && run.wmp.stream_end.is_some(),
+            "set {} {:?}: stream did not finish",
+            run.set_id,
+            run.class
+        );
+        assert_eq!(
+            run.real.packets_lost + run.wmp.packets_lost,
+            0,
+            "set {} {:?}: loss on an uncongested path",
+            run.set_id,
+            run.class
+        );
+        assert!(run.route_stable(), "set {} route changed", run.set_id);
+    }
+}
+
+#[test]
+fn table1_measured_rates_track_encodings() {
+    for row in tables::table1_measured(corpus()) {
+        let wmp = row.wmp_measured.expect("measured");
+        let real = row.real_measured.expect("measured");
+        // WMP plays back at the encoding rate…
+        assert!(
+            (wmp - row.wmp_encoded).abs() / row.wmp_encoded < 0.05,
+            "set {} {:?}: WMP {wmp} vs {}",
+            row.set,
+            row.class,
+            row.wmp_encoded
+        );
+        // …Real consistently above it (§3.B).
+        assert!(
+            real > row.real_encoded,
+            "set {} {:?}: Real {real} vs {}",
+            row.set,
+            row.class,
+            row.real_encoded
+        );
+    }
+}
+
+#[test]
+fn fig01_rtt_shape() {
+    let cdf = figures::fig01_rtt_cdf(corpus());
+    let median = cdf.median().expect("samples");
+    assert!((30.0..=50.0).contains(&median), "median RTT = {median} ms");
+    assert!(cdf.max().unwrap() <= 200.0, "max RTT = {:?}", cdf.max());
+    assert!(cdf.min().unwrap() >= 10.0);
+}
+
+#[test]
+fn fig02_hops_shape() {
+    let cdf = figures::fig02_hops_cdf(corpus());
+    assert!(cdf.min().unwrap() >= 10.0);
+    assert!(cdf.max().unwrap() <= 30.0);
+    // "most of the servers were between 15 and 20 hops away":
+    let in_band = cdf.eval(20.0) - cdf.eval(14.999);
+    assert!(in_band >= 0.4, "15-20 hop share = {in_band}");
+}
+
+#[test]
+fn fig03_shape() {
+    let fig = figures::fig03_playback_vs_encoding(corpus());
+    assert_eq!(fig.real_points.len(), 13);
+    assert_eq!(fig.wmp_points.len(), 13);
+    for x in [50.0, 150.0, 300.0, 600.0] {
+        assert!(
+            fig.real_fit.eval(x) > x * 1.02,
+            "Real trend at {x}: {}",
+            fig.real_fit.eval(x)
+        );
+        assert!(
+            (fig.wmp_fit.eval(x) - x).abs() / x < 0.05,
+            "WMP trend at {x}: {}",
+            fig.wmp_fit.eval(x)
+        );
+    }
+}
+
+#[test]
+fn fig04_shape() {
+    let series = figures::fig04_packet_arrivals(corpus());
+    let wmp = series.iter().find(|s| s.label.starts_with("WMP")).unwrap();
+    let real = series.iter().find(|s| s.label.starts_with("Real")).unwrap();
+    // ~10 groups × 3 fragments for WMP; Real sends smaller packets
+    // faster (≈30-80 in the window).
+    assert!((20..=40).contains(&wmp.points.len()), "wmp: {}", wmp.points.len());
+    assert!(real.points.len() >= 20, "real: {}", real.points.len());
+}
+
+#[test]
+fn fig05_shape() {
+    let points = figures::fig05_fragmentation(corpus());
+    assert_eq!(points.len(), 13);
+    // Monotone non-decreasing in rate (small sampling jitter allowed:
+    // END markers are unfragmented datagrams in the same stream).
+    for w in points.windows(2) {
+        assert!(w[1].1 >= w[0].1 - 0.01, "not monotone: {points:?}");
+    }
+    for (kbps, frac) in &points {
+        if *kbps < 110.0 {
+            assert_eq!(*frac, 0.0, "fragmentation below 110 Kbps at {kbps}");
+        }
+        if (240.0..340.0).contains(kbps) {
+            assert!((0.60..0.70).contains(frac), "at {kbps}: {frac}");
+        }
+        if *kbps > 700.0 {
+            assert!(*frac >= 0.75, "top rate {kbps}: {frac}");
+        }
+    }
+}
+
+#[test]
+fn fig06_shape() {
+    let pair = figures::fig06_pktsize_pdf(corpus());
+    assert!(
+        pair.wmp.mass_within(800.0, 1000.0) > 0.8,
+        "WMP 800-1000B mass = {}",
+        pair.wmp.mass_within(800.0, 1000.0)
+    );
+    let (lo, hi) = pair.real.support_above(0.005).unwrap();
+    assert!(hi - lo > 300.0, "Real support [{lo}, {hi}]");
+}
+
+#[test]
+fn fig07_shape() {
+    let pair = figures::fig07_pktsize_norm_pdf(corpus());
+    assert!(
+        pair.wmp.mass_within(0.85, 1.15) > 0.6,
+        "WMP near-1 mass = {}",
+        pair.wmp.mass_within(0.85, 1.15)
+    );
+    let (lo, hi) = pair.real.support_above(0.005).unwrap();
+    assert!(lo <= 0.75 && hi >= 1.5, "Real support [{lo}, {hi}]");
+}
+
+#[test]
+fn fig08_shape() {
+    let pair = figures::fig08_interarrival_pdf(corpus());
+    let wmp_mode = pair.wmp.mode();
+    assert!((0.12..=0.16).contains(&wmp_mode), "WMP mode = {wmp_mode}");
+    let (lo, hi) = pair.real.support_above(0.004).unwrap();
+    assert!(hi - lo > 0.05, "Real gap support [{lo}, {hi}]");
+}
+
+#[test]
+fn fig09_shape() {
+    let pair = figures::fig09_interarrival_cdf(corpus());
+    let wmp_step = pair.wmp.eval(1.1) - pair.wmp.eval(0.9);
+    let real_step = pair.real.eval(1.1) - pair.real.eval(0.9);
+    assert!(wmp_step >= 0.8, "WMP step = {wmp_step}");
+    assert!(real_step < 0.6, "Real step = {real_step}");
+    // Real's gaps span a wide range (paper plots 0-3× the mean).
+    assert!(pair.real.quantile(0.95).unwrap() > 1.5);
+}
+
+#[test]
+fn fig10_shape() {
+    let series = figures::fig10_bandwidth_timeseries(corpus());
+    assert_eq!(series.len(), 4);
+    let rate_between = |s: &figures::Series, a: f64, b: f64| -> f64 {
+        let w: Vec<f64> = s
+            .points
+            .iter()
+            .filter(|(t, _)| (a..b).contains(t))
+            .map(|(_, v)| *v)
+            .collect();
+        w.iter().sum::<f64>() / w.len().max(1) as f64
+    };
+    for s in &series {
+        let early = rate_between(s, 2.0, 12.0);
+        let steady = rate_between(s, 60.0, 150.0);
+        if s.label.starts_with("Real") {
+            assert!(early > 1.5 * steady, "{}: {early} vs {steady}", s.label);
+        } else {
+            assert!(
+                (early - steady).abs() / steady < 0.15,
+                "{}: {early} vs {steady}",
+                s.label
+            );
+        }
+    }
+    // Real finishes streaming before WMP (find last non-zero bucket).
+    let last_active = |s: &figures::Series| -> f64 {
+        s.points
+            .iter()
+            .filter(|(_, v)| *v > 1.0)
+            .map(|(t, _)| *t)
+            .fold(0.0, f64::max)
+    };
+    let real_high = series.iter().find(|s| s.label.starts_with("Real (284")).unwrap();
+    let wmp_high = series.iter().find(|s| s.label.starts_with("WMP (323")).unwrap();
+    assert!(
+        last_active(real_high) < last_active(wmp_high) - 15.0,
+        "Real should end well before WMP: {} vs {}",
+        last_active(real_high),
+        last_active(wmp_high)
+    );
+}
+
+#[test]
+fn fig11_shape() {
+    let points = figures::fig11_buffering_ratio(corpus());
+    assert_eq!(points.len(), 13);
+    // ≥2.5 at ≤56 Kbit/s.
+    for (kbps, ratio) in points.iter().filter(|(k, _)| *k <= 56.0) {
+        assert!(*ratio >= 2.3, "β({kbps}) = {ratio}");
+    }
+    // ≤1.3 at 637 Kbit/s.
+    let (_, vh) = points.iter().find(|(k, _)| *k > 600.0).unwrap();
+    assert!(*vh <= 1.3, "β(637) = {vh}");
+    // Broadly decreasing: first third's mean > last third's mean.
+    let n = points.len();
+    let mean = |s: &[(f64, f64)]| s.iter().map(|(_, r)| r).sum::<f64>() / s.len() as f64;
+    assert!(mean(&points[..n / 3]) > mean(&points[2 * n / 3..]) + 0.5);
+}
+
+#[test]
+fn fig12_shape() {
+    let fig = figures::fig12_app_vs_net(corpus());
+    // 4-second window at 250.4 Kbit/s: ≈40 network datagrams…
+    assert!((30..=50).contains(&fig.network.len()), "{}", fig.network.len());
+    // …released to the app in ≈4 batches of ≈10.
+    let mut instants: Vec<f64> = fig.app.iter().map(|(t, _)| *t).collect();
+    instants.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    assert!((3..=5).contains(&instants.len()), "{} instants", instants.len());
+    let per_batch = fig.app.len() as f64 / instants.len() as f64;
+    assert!((8.0..=12.0).contains(&per_batch), "batch size = {per_batch}");
+    // Batches are ≈1 s apart.
+    for w in instants.windows(2) {
+        assert!((w[1] - w[0] - 1.0).abs() < 0.05, "gap = {}", w[1] - w[0]);
+    }
+}
+
+#[test]
+fn fig13_shape() {
+    let series = figures::fig13_framerate_timeseries(corpus());
+    let steady = |label_prefix: &str| -> f64 {
+        let s = series
+            .iter()
+            .find(|s| s.label.starts_with(label_prefix))
+            .unwrap_or_else(|| panic!("{label_prefix} missing from {:?}", series.iter().map(|s| &s.label).collect::<Vec<_>>()));
+        let vals: Vec<f64> = s
+            .points
+            .iter()
+            .filter(|(t, v)| (20.0..80.0).contains(t) && *v > 0.0)
+            .map(|(_, v)| *v)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    assert!((24.0..=26.0).contains(&steady("Real (218")));
+    assert!((24.0..=26.0).contains(&steady("WMP (250")));
+    assert!((12.0..=14.5).contains(&steady("WMP (39")), "{}", steady("WMP (39"));
+    assert!(steady("Real (22") >= steady("WMP (39") + 3.0);
+}
+
+#[test]
+fn fig14_fig15_shape() {
+    for fig in [
+        figures::fig14_framerate_vs_encoding(corpus()),
+        figures::fig15_framerate_vs_bandwidth(corpus()),
+    ] {
+        assert_eq!(fig.real_points.len(), 13);
+        // Per class: Real ≥ WMP; low class clearly ahead; both ≈25 at
+        // high and very-high.
+        let real_low = fig.real_classes[0].1.mean;
+        let wmp_low = fig.wmp_classes[0].1.mean;
+        assert!(real_low > wmp_low + 3.0, "{real_low} vs {wmp_low}");
+        for (idx, ((_, real), (_, wmp))) in
+            fig.real_classes.iter().zip(&fig.wmp_classes).enumerate()
+        {
+            assert!(real.mean + 0.5 >= wmp.mean, "class {idx}");
+            if idx > 0 {
+                assert!((24.0..=26.0).contains(&real.mean), "class {idx}: {}", real.mean);
+                assert!((24.0..=26.0).contains(&wmp.mean), "class {idx}: {}", wmp.mean);
+            }
+        }
+    }
+}
+
+#[test]
+fn sec4_validation_passes() {
+    let reports = figures::sec4_flowgen_validation(corpus(), 42);
+    assert_eq!(reports.len(), 4);
+    for (label, report) in &reports {
+        assert!(
+            report.passes(0.1),
+            "{label}: K-S sizes {:.3} gaps {:.3}, q-err {:.3}/{:.3}",
+            report.ks_sizes,
+            report.ks_gaps,
+            report.q_err_sizes,
+            report.q_err_gaps
+        );
+    }
+    // The Real low-rate model's burst ratio is near the Figure 11 value.
+    let (_, real_low) = reports
+        .iter()
+        .find(|(label, _)| label.starts_with("R-l"))
+        .unwrap();
+    assert!(
+        (2.0..=3.6).contains(&real_low.measured_ratio),
+        "generated burst ratio = {}",
+        real_low.measured_ratio
+    );
+}
+
+#[test]
+fn player_conclusions_hold_per_pair() {
+    // The summary paragraph of §VI, checked pairwise on every run.
+    for run in &corpus().runs {
+        // "MediaPlayer packet sizes and inter-packet times are typical
+        // of a CBR flow, while RealPlayer['s] vary considerably more":
+        // compare coefficients of variation of datagram interarrivals.
+        let cv = |player: PlayerId| -> f64 {
+            let gaps = turbulence::analysis::leader_interarrivals(run, player);
+            let s = turb_stats::Summary::of(&gaps).expect("gaps");
+            s.std_dev / s.mean
+        };
+        assert!(
+            cv(PlayerId::RealPlayer) > 2.0 * cv(PlayerId::MediaPlayer),
+            "set {} {:?}: Real CV {} vs WMP CV {}",
+            run.set_id,
+            run.class,
+            cv(PlayerId::RealPlayer),
+            cv(PlayerId::MediaPlayer)
+        );
+        // "RealPlayer buffers at a higher rate than does MediaPlayer".
+        let real_ratio = run.real.buffering_ratio().unwrap_or(1.0);
+        let wmp_ratio = run.wmp.buffering_ratio().unwrap_or(1.0);
+        if run.class != RateClass::VeryHigh {
+            assert!(
+                real_ratio > wmp_ratio + 0.2,
+                "set {} {:?}: {real_ratio} vs {wmp_ratio}",
+                run.set_id,
+                run.class
+            );
+        }
+        // "RealPlayer has none" (IP fragments).
+        let real_frag = turbulence::analysis::stream_groups(run, PlayerId::RealPlayer)
+            .stats()
+            .fragment_fraction();
+        assert_eq!(real_frag, 0.0, "set {} {:?}", run.set_id, run.class);
+    }
+}

@@ -1,0 +1,82 @@
+//! The paper's conclusions must not be artifacts of one random path
+//! draw: re-run a corpus subset under different seeds and check that
+//! every headline conclusion survives.
+
+use turb_media::PlayerId;
+use turb_stats::Summary;
+use turbulence::runner::{corpus_configs_for_sets, run_configs};
+use turbulence::{analysis, figures};
+
+#[test]
+fn headline_conclusions_hold_across_seeds() {
+    for seed in [7u64, 1999, 0xdecaf] {
+        // Sets 2 and 5: the two shortest (39 s + 107 s), one of each
+        // content class, both rate classes each.
+        let corpus = run_configs(&corpus_configs_for_sets(seed, &[2, 5]));
+        assert_eq!(corpus.runs.len(), 4);
+
+        for run in &corpus.runs {
+            let label = format!("seed {seed} set {} {:?}", run.set_id, run.class);
+            // Clean delivery on uncongested paths.
+            assert_eq!(run.real.packets_lost + run.wmp.packets_lost, 0, "{label}");
+            assert!(run.route_stable(), "{label}");
+
+            // RealPlayer above its encoding rate, MediaPlayer on it.
+            assert!(
+                run.real.avg_playback_kbps() > run.real.clip.encoded_kbps,
+                "{label}"
+            );
+            let wmp_err = (run.wmp.avg_playback_kbps() - run.wmp.clip.encoded_kbps).abs()
+                / run.wmp.clip.encoded_kbps;
+            assert!(wmp_err < 0.05, "{label}: {wmp_err}");
+
+            // RealPlayer never fragments; its interarrivals vary far
+            // more than MediaPlayer's.
+            let real_frag = analysis::stream_groups(run, PlayerId::RealPlayer)
+                .stats()
+                .fragment_fraction();
+            assert_eq!(real_frag, 0.0, "{label}");
+            let cv = |player| {
+                let gaps = analysis::leader_interarrivals(run, player);
+                let s = Summary::of(&gaps).expect("gaps");
+                s.std_dev / s.mean
+            };
+            assert!(
+                cv(PlayerId::RealPlayer) > 2.0 * cv(PlayerId::MediaPlayer),
+                "{label}"
+            );
+
+            // The buffering burst favours Real at every class but
+            // very-high (absent from this subset anyway).
+            let real_ratio = run.real.buffering_ratio().unwrap_or(1.0);
+            let wmp_ratio = run.wmp.buffering_ratio().unwrap_or(1.0);
+            assert!(real_ratio > wmp_ratio + 0.2, "{label}: {real_ratio} vs {wmp_ratio}");
+        }
+
+        // Frame-rate ordering across the subset.
+        let fig = figures::fig14_framerate_vs_encoding(&corpus);
+        let real_low = fig.real_classes[0].1.mean;
+        let wmp_low = fig.wmp_classes[0].1.mean;
+        assert!(real_low > wmp_low + 3.0, "seed {seed}: {real_low} vs {wmp_low}");
+    }
+}
+
+#[test]
+fn measured_paths_differ_across_seeds_but_stay_calibrated() {
+    let mut medians = Vec::new();
+    for seed in [11u64, 22, 33] {
+        let corpus = run_configs(&corpus_configs_for_sets(seed, &[2]));
+        let cdf = figures::fig01_rtt_cdf(&corpus);
+        let median = cdf.median().expect("samples");
+        assert!(
+            (10.0..=170.0).contains(&median),
+            "seed {seed}: median {median} ms"
+        );
+        medians.push(median);
+    }
+    // Different seeds draw genuinely different paths.
+    assert!(
+        medians.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-6),
+        "{medians:?}"
+    );
+}
