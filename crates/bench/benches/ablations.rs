@@ -28,18 +28,17 @@ fn ablation_loss_vs_goodput(c: &mut Criterion) {
     let pair = sets[1].pair(RateClass::High).unwrap().clone();
 
     println!("\n===== Ablation: access loss vs delivered goodput (set 2 high) =====");
-    println!("{:>6}  {:>12}  {:>12}  {:>22}", "loss", "Real frac", "WMP frac", "WMP amplification");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>22}",
+        "loss", "Real frac", "WMP frac", "WMP amplification"
+    );
     for loss in [0.0, 0.01, 0.03, 0.06, 0.10] {
         let mut config = PairRunConfig::new(31337, 2, pair.clone());
         config.access_loss = loss;
         let result = run_pair(&config);
         let real = delivered_fraction(&result.real, 1.08);
         let wmp = delivered_fraction(&result.wmp, 1.0);
-        let amplification = if loss > 0.0 {
-            (1.0 - wmp) / loss
-        } else {
-            0.0
-        };
+        let amplification = if loss > 0.0 { (1.0 - wmp) / loss } else { 0.0 };
         println!("{loss:>6.2}  {real:>12.3}  {wmp:>12.3}  {amplification:>22.2}");
     }
 
@@ -57,7 +56,9 @@ fn ablation_bottleneck_vs_beta(c: &mut Criterion) {
     use turb_players::calibration::real_effective_ratio;
     println!("\n===== Ablation: bottleneck vs RealServer buffering ratio (637 Kbit/s clip) =====");
     println!("{:>14}  {:>8}", "bottleneck", "beta");
-    for bottleneck in [256_000u64, 512_000, 1_000_000, 1_544_000, 3_000_000, 10_000_000] {
+    for bottleneck in [
+        256_000u64, 512_000, 1_000_000, 1_544_000, 3_000_000, 10_000_000,
+    ] {
         let beta = real_effective_ratio(636.9, bottleneck);
         println!("{bottleneck:>14}  {beta:>8.2}");
     }
@@ -109,11 +110,7 @@ fn ablation_jitter_vs_interarrival_spread(c: &mut Criterion) {
         let mut sim = Simulation::new(5);
         let a = sim.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
         let z = sim.add_host("z", Ipv4Addr::new(10, 0, 0, 2));
-        let (az, za) = sim.add_duplex(
-            a,
-            z,
-            LinkConfig::ethernet_10m(SimDuration::from_millis(5)),
-        );
+        let (az, za) = sim.add_duplex(a, z, LinkConfig::ethernet_10m(SimDuration::from_millis(5)));
         sim.core_mut().node_mut(a).default_route = Some(az);
         sim.core_mut().node_mut(z).default_route = Some(za);
         if jitter_std_ms > 0 {
@@ -164,7 +161,9 @@ fn ablation_tcp_friendliness(c: &mut Criterion) {
     use turbulence::followup::{run_tcp_friendliness, FriendlinessConfig};
     let sets = corpus::table1();
     let clip = sets[4].pair(RateClass::High).unwrap().wmp.clone();
-    println!("\n===== Ablation: TCP-friendliness (§VI follow-up, 250.4 Kbit/s WMP vs greedy TCP) =====");
+    println!(
+        "\n===== Ablation: TCP-friendliness (§VI follow-up, 250.4 Kbit/s WMP vs greedy TCP) ====="
+    );
     println!(
         "{:>12}  {:>10}  {:>8}  {:>12}  {:>8}",
         "bottleneck", "offered", "loss", "tcp shared", "index"
@@ -267,7 +266,10 @@ fn ablation_red_vs_droptail(c: &mut Criterion) {
         (goodput, link.stats.dropped_queue, link.stats.dropped_red)
     };
     println!("\n===== Ablation: RED vs drop-tail (greedy TCP vs 600 Kbit/s firehose, 1 Mbit/s link) =====");
-    println!("{:>10}  {:>14}  {:>12}  {:>10}", "queue", "tcp goodput", "tail drops", "red drops");
+    println!(
+        "{:>10}  {:>14}  {:>12}  {:>10}",
+        "queue", "tcp goodput", "tail drops", "red drops"
+    );
     for use_red in [false, true] {
         let (goodput, tail, red) = run(use_red);
         println!(
@@ -312,18 +314,11 @@ fn ablation_interleaving_burstiness(c: &mut Criterion) {
     println!("{:>22}  {:>10}", "process", "IoD@200ms");
     println!("{:>22}  {:>10.2}", "network arrivals", net_iod);
     println!("{:>22}  {:>10.2}", "app-layer releases", app_iod);
-    println!(
-        "(the wire is CBR-smooth; interleaving releases land in once-per-second bursts)"
-    );
+    println!("(the wire is CBR-smooth; interleaving releases land in once-per-second bursts)");
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     group.bench_function("interleaving_iod", |b| {
-        b.iter(|| {
-            black_box(turb_stats::index_of_dispersion(
-                black_box(&app_times),
-                0.2,
-            ))
-        })
+        b.iter(|| black_box(turb_stats::index_of_dispersion(black_box(&app_times), 0.2)))
     });
     group.finish();
 }
@@ -382,17 +377,26 @@ fn ablation_burst_loss_vs_fragmentation(c: &mut Criterion) {
     };
 
     println!("\n===== Ablation: independent vs bursty loss on fragmented WMP (set 2 high) =====");
-    println!("{:>16}  {:>12}  {:>14}  {:>14}", "loss model", "pkt loss", "datagram loss", "amplification");
+    println!(
+        "{:>16}  {:>12}  {:>14}  {:>14}",
+        "loss model", "pkt loss", "datagram loss", "amplification"
+    );
     let (p_pkt, p_dgram) = run_with(FaultInjector::bernoulli(0.05));
     println!(
         "{:>16}  {:>11.1}%  {:>13.1}%  {:>14.2}",
-        "Bernoulli 5%", p_pkt * 100.0, p_dgram * 100.0, p_dgram / p_pkt.max(1e-9)
+        "Bernoulli 5%",
+        p_pkt * 100.0,
+        p_dgram * 100.0,
+        p_dgram / p_pkt.max(1e-9)
     );
     let ge = FaultInjector::gilbert_elliott(0.013, 0.25, 0.0, 1.0);
     let (g_pkt, g_dgram) = run_with(ge);
     println!(
         "{:>16}  {:>11.1}%  {:>13.1}%  {:>14.2}",
-        "Gilbert-Elliott", g_pkt * 100.0, g_dgram * 100.0, g_dgram / g_pkt.max(1e-9)
+        "Gilbert-Elliott",
+        g_pkt * 100.0,
+        g_dgram * 100.0,
+        g_dgram / g_pkt.max(1e-9)
     );
     println!("(equal-ish packet loss; bursty drops cluster within fragment trains)");
     let mut group = c.benchmark_group("ablations");

@@ -33,30 +33,40 @@ fn print_once(tag: &'static str, body: impl FnOnce() -> String) {
 
 fn bench_table1(c: &mut Criterion) {
     let corpus = corpus();
-    print_once("Table 1: experiment data sets (configured vs measured)", || {
-        let rows: Vec<Vec<String>> = tables::table1_measured(corpus)
-            .iter()
-            .map(|r| {
-                vec![
-                    r.set.to_string(),
-                    r.label.clone(),
-                    format!("{:.1}/{:.1}", r.real_encoded, r.wmp_encoded),
-                    format!(
-                        "{:.1}/{:.1}",
-                        r.real_measured.unwrap_or(f64::NAN),
-                        r.wmp_measured.unwrap_or(f64::NAN)
-                    ),
-                    r.content.to_string(),
-                    format!("{:.0}s", r.duration_secs),
-                ]
-            })
-            .collect();
-        report::table(
-            "",
-            &["set", "pair", "encoded R/M (Kbps)", "measured R/M (Kbps)", "content", "len"],
-            &rows,
-        )
-    });
+    print_once(
+        "Table 1: experiment data sets (configured vs measured)",
+        || {
+            let rows: Vec<Vec<String>> = tables::table1_measured(corpus)
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.set.to_string(),
+                        r.label.clone(),
+                        format!("{:.1}/{:.1}", r.real_encoded, r.wmp_encoded),
+                        format!(
+                            "{:.1}/{:.1}",
+                            r.real_measured.unwrap_or(f64::NAN),
+                            r.wmp_measured.unwrap_or(f64::NAN)
+                        ),
+                        r.content.to_string(),
+                        format!("{:.0}s", r.duration_secs),
+                    ]
+                })
+                .collect();
+            report::table(
+                "",
+                &[
+                    "set",
+                    "pair",
+                    "encoded R/M (Kbps)",
+                    "measured R/M (Kbps)",
+                    "content",
+                    "len",
+                ],
+                &rows,
+            )
+        },
+    );
     c.bench_function("table1_measured", |b| {
         b.iter(|| black_box(tables::table1_measured(corpus)))
     });
@@ -64,9 +74,10 @@ fn bench_table1(c: &mut Criterion) {
 
 fn bench_fig01(c: &mut Criterion) {
     let corpus = corpus();
-    print_once("Figure 1: CDF of RTT (paper: median 40 ms, max 160 ms)", || {
-        report::cdf_quantiles("", &figures::fig01_rtt_cdf(corpus), "ms")
-    });
+    print_once(
+        "Figure 1: CDF of RTT (paper: median 40 ms, max 160 ms)",
+        || report::cdf_quantiles("", &figures::fig01_rtt_cdf(corpus), "ms"),
+    );
     c.bench_function("fig01_rtt_cdf", |b| {
         b.iter(|| black_box(figures::fig01_rtt_cdf(corpus)))
     });
@@ -130,7 +141,14 @@ fn bench_fig05(c: &mut Criterion) {
     let corpus = corpus();
     print_once(
         "Figure 5: WMP fragmentation vs encoded rate (paper: 0% <100K, 66% @300K, ~80% @731K)",
-        || report::scatter("", "encoded Kbps", "fragment fraction", &figures::fig05_fragmentation(corpus)),
+        || {
+            report::scatter(
+                "",
+                "encoded Kbps",
+                "fragment fraction",
+                &figures::fig05_fragmentation(corpus),
+            )
+        },
     );
     c.bench_function("fig05_fragmentation", |b| {
         b.iter(|| black_box(figures::fig05_fragmentation(corpus)))
@@ -141,7 +159,10 @@ fn pdf_digest(pair: &figures::PdfPair) -> String {
     let fmt = |pdf: &turb_stats::Pdf, label: &str| -> String {
         let mode = pdf.mode();
         let support = pdf.support_above(0.004);
-        format!("  {label}: mode {mode:.3}, support>{:.3} = {support:?}\n", 0.004)
+        format!(
+            "  {label}: mode {mode:.3}, support>{:.3} = {support:?}\n",
+            0.004
+        )
     };
     let mut out = fmt(&pair.real, "Real");
     out.push_str(&fmt(&pair.wmp, "WMP "));
@@ -328,7 +349,15 @@ fn bench_sec4(c: &mut Criterion) {
                 .collect();
             report::table(
                 "",
-                &["clip", "KS sizes", "KS gaps", "qerr sizes", "qerr gaps", "ratio", "pass"],
+                &[
+                    "clip",
+                    "KS sizes",
+                    "KS gaps",
+                    "qerr sizes",
+                    "qerr gaps",
+                    "ratio",
+                    "pass",
+                ],
                 &rows,
             )
         },
@@ -348,7 +377,9 @@ fn bench_pair_run(c: &mut Criterion) {
     group.bench_function("pair_run_set2_low_39s_clip", |b| {
         b.iter(|| {
             black_box(turbulence::run_pair(&turbulence::PairRunConfig::new(
-                9, 2, pair.clone(),
+                9,
+                2,
+                pair.clone(),
             )))
         })
     });

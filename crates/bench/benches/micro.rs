@@ -125,11 +125,8 @@ fn bench_link_throughput(c: &mut Criterion) {
             let mut sim = Simulation::new(1);
             let a = sim.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
             let z = sim.add_host("z", Ipv4Addr::new(10, 0, 0, 2));
-            let (az, za) = sim.add_duplex(
-                a,
-                z,
-                LinkConfig::ethernet_10m(SimDuration::from_millis(1)),
-            );
+            let (az, za) =
+                sim.add_duplex(a, z, LinkConfig::ethernet_10m(SimDuration::from_millis(1)));
             sim.core_mut().node_mut(a).default_route = Some(az);
             sim.core_mut().node_mut(z).default_route = Some(za);
             sim.add_app(

@@ -191,9 +191,7 @@ mod tests {
         assert_eq!(continuation.len(), records.len() - 1);
         // The stream filter still matches fragments (they're UDP
         // protocol packets from the server).
-        assert!(records
-            .iter()
-            .all(|r| Filter::stream_from(SRC).matches(r)));
+        assert!(records.iter().all(|r| Filter::stream_from(SRC).matches(r)));
     }
 
     #[test]

@@ -38,6 +38,40 @@ pub struct Group {
     pub player: Option<PlayerId>,
     /// Whether the datagram was flagged as buffering-phase traffic.
     pub buffering: bool,
+    /// Fragment extents seen: (payload offset, payload length,
+    /// more-fragments flag) per frame. Used for completeness checks.
+    extents: Vec<(usize, usize, bool)>,
+}
+
+impl Group {
+    /// Would this group reassemble? True iff a final fragment arrived
+    /// and the payload bytes cover `[0, end)` without holes — the same
+    /// test a host's reassembler applies, so incomplete groups here
+    /// correspond one-to-one with reassembly timeout discards.
+    pub fn is_complete(&self) -> bool {
+        let Some(end) = self
+            .extents
+            .iter()
+            .find(|(_, _, more)| !more)
+            .map(|(off, len, _)| off + len)
+        else {
+            return false;
+        };
+        let mut extents: Vec<(usize, usize)> = self
+            .extents
+            .iter()
+            .map(|(off, len, _)| (*off, *len))
+            .collect();
+        extents.sort_unstable();
+        let mut covered = 0usize;
+        for (off, len) in extents {
+            if off > covered {
+                return false; // hole
+            }
+            covered = covered.max(off + len);
+        }
+        covered >= end
+    }
 }
 
 /// Aggregate fragmentation statistics for a capture slice — the data
@@ -93,9 +127,15 @@ impl FragmentGroups {
                     frame_times: Vec::new(),
                     player: None,
                     buffering: false,
+                    extents: Vec::new(),
                 }
             });
             entry.packets += 1;
+            entry.extents.push((
+                r.packet.fragment_offset_bytes(),
+                r.packet.payload.len(),
+                r.packet.more_fragments,
+            ));
             entry.wire_bytes += r.wire_len;
             entry.frame_lens.push(r.wire_len);
             entry.frame_times.push(t);
@@ -133,6 +173,13 @@ impl FragmentGroups {
             }
         }
         s
+    }
+
+    /// Groups that would NOT reassemble (missing or holed fragments) —
+    /// the sniffer-side mirror of the hosts' reassembly timeout
+    /// discards.
+    pub fn incomplete_groups(&self) -> usize {
+        self.groups.iter().filter(|g| !g.is_complete()).count()
     }
 
     /// First-frame arrival times per group, for interarrival analysis
@@ -230,7 +277,10 @@ mod tests {
             assert!((gap - 0.103).abs() < 0.002, "gap = {gap}");
         }
         // Raw interarrivals, by contrast, mix 1 ms and ~100 ms gaps.
-        let raw: Vec<f64> = records.windows(2).map(|w| w[1].time_secs() - w[0].time_secs()).collect();
+        let raw: Vec<f64> = records
+            .windows(2)
+            .map(|w| w[1].time_secs() - w[0].time_secs())
+            .collect();
         assert!(raw.iter().any(|g| *g < 0.002));
     }
 

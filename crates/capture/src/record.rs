@@ -183,7 +183,13 @@ mod tests {
 
     #[test]
     fn non_udp_packets_have_no_ports() {
-        let p = Ipv4Packet::new(SRC, DST, IpProtocol::Icmp, 1, Bytes::from_static(&[0u8; 16]));
+        let p = Ipv4Packet::new(
+            SRC,
+            DST,
+            IpProtocol::Icmp,
+            1,
+            Bytes::from_static(&[0u8; 16]),
+        );
         let r = PacketRecord::dissect(SimTime(0), Direction::Tx, &p);
         assert_eq!(r.ports, None);
         assert_eq!(r.media, None);

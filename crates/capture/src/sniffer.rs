@@ -7,9 +7,12 @@ use std::rc::Rc;
 use turb_netsim::{NodeId, Simulation};
 
 /// A finished (or in-progress) capture buffer.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Capture {
     records: Vec<PacketRecord>,
+    /// Packets offered to the tap, including ones a capture filter
+    /// rejected; `records.len()` is what was kept.
+    sniffed: u64,
 }
 
 impl Capture {
@@ -22,6 +25,28 @@ impl Capture {
     /// a pcap file or a synthetic trace rather than a live tap.
     pub fn push_record(&mut self, record: PacketRecord) {
         self.records.push(record);
+        self.sniffed += 1;
+    }
+
+    /// Packets the tap observed, whether or not they were kept.
+    pub fn sniffed(&self) -> u64 {
+        self.sniffed
+    }
+
+    /// Packets observed but rejected by the capture filter.
+    pub fn filtered_out(&self) -> u64 {
+        self.sniffed - self.records.len() as u64
+    }
+
+    /// Harvest capture counters into `registry` under `component`.
+    pub fn collect_metrics(&self, component: &str, registry: &mut turb_obs::MetricsRegistry) {
+        registry.counter_add("capture_sniffed_total", component, self.sniffed);
+        registry.counter_add(
+            "capture_records_total",
+            component,
+            self.records.len() as u64,
+        );
+        registry.counter_add("capture_filtered_out_total", component, self.filtered_out());
     }
 
     /// Number of captured packets.
@@ -83,7 +108,30 @@ impl Sniffer {
             node,
             Box::new(move |ev| {
                 let record = PacketRecord::dissect(ev.time, ev.direction, ev.packet);
-                tap_handle.borrow_mut().records.push(record);
+                let mut capture = tap_handle.borrow_mut();
+                capture.sniffed += 1;
+                capture.records.push(record);
+            }),
+        );
+        handle
+    }
+
+    /// Like [`Sniffer::attach`], but retain only records matching
+    /// `filter` (a capture filter, as opposed to the display filters
+    /// applied after the fact). Rejected packets still count toward
+    /// [`Capture::sniffed`].
+    pub fn attach_filtered(sim: &mut Simulation, node: NodeId, filter: Filter) -> CaptureHandle {
+        let handle: CaptureHandle = Rc::new(RefCell::new(Capture::default()));
+        let tap_handle = handle.clone();
+        sim.add_tap(
+            node,
+            Box::new(move |ev| {
+                let record = PacketRecord::dissect(ev.time, ev.direction, ev.packet);
+                let mut capture = tap_handle.borrow_mut();
+                capture.sniffed += 1;
+                if filter.matches(&record) {
+                    capture.records.push(record);
+                }
             }),
         );
         handle
@@ -119,11 +167,7 @@ mod tests {
         let mut sim = Simulation::new(1);
         let a = sim.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
         let b = sim.add_host("b", Ipv4Addr::new(10, 0, 0, 2));
-        let (ab, ba) = sim.add_duplex(
-            a,
-            b,
-            LinkConfig::ethernet_10m(SimDuration::from_millis(1)),
-        );
+        let (ab, ba) = sim.add_duplex(a, b, LinkConfig::ethernet_10m(SimDuration::from_millis(1)));
         sim.core_mut().node_mut(a).default_route = Some(ab);
         sim.core_mut().node_mut(b).default_route = Some(ba);
         let capture = Sniffer::attach(&mut sim, b);

@@ -7,19 +7,36 @@ use turbulence::{figures, report, runner, tables, PairRunConfig};
 
 type Flags = HashMap<String, String>;
 
+/// `--loss P`, validated to a probability.
+fn loss_of(flags: &Flags) -> Result<Option<f64>, String> {
+    let Some(raw) = flags.get("loss") else {
+        return Ok(None);
+    };
+    let loss: f64 = raw.parse().map_err(|_| format!("bad --loss {raw:?}"))?;
+    if !(0.0..=1.0).contains(&loss) {
+        return Err(format!("--loss {loss} out of range (0..=1)"));
+    }
+    Ok(Some(loss))
+}
+
 /// `turbulence corpus`: run everything and print the digests.
 pub fn corpus(flags: &Flags) -> Result<(), String> {
     let seed = seed_of(flags)?;
-    let result = match flags.get("sets") {
-        None => runner::run_corpus_parallel(seed),
+    let telemetry = flags.contains_key("telemetry");
+    let mut configs = match flags.get("sets") {
+        None => runner::corpus_configs(seed),
         Some(list) => {
             let sets: Vec<u8> = list
                 .split(',')
                 .map(|s| s.trim().parse().map_err(|_| format!("bad set {s:?}")))
                 .collect::<Result<_, _>>()?;
-            runner::run_configs(&runner::corpus_configs_for_sets(seed, &sets))
+            runner::corpus_configs_for_sets(seed, &sets)
         }
     };
+    for config in &mut configs {
+        config.telemetry = telemetry;
+    }
+    let result = runner::run_configs_parallel(&configs);
     println!("{} pair runs completed (seed {seed}).\n", result.runs.len());
 
     // Table 1.
@@ -43,7 +60,14 @@ pub fn corpus(flags: &Flags) -> Result<(), String> {
         "{}",
         report::table(
             "Table 1 (encoded vs measured playback, Kbit/s)",
-            &["set", "pair", "encoded R/M", "measured R/M", "content", "len"],
+            &[
+                "set",
+                "pair",
+                "encoded R/M",
+                "measured R/M",
+                "content",
+                "len"
+            ],
             &rows
         )
     );
@@ -52,7 +76,10 @@ pub fn corpus(flags: &Flags) -> Result<(), String> {
     let rtt = figures::fig01_rtt_cdf(&result);
     println!("{}", report::cdf_quantiles("Figure 1: RTT CDF", &rtt, "ms"));
     let hops = figures::fig02_hops_cdf(&result);
-    println!("{}", report::cdf_quantiles("Figure 2: hop-count CDF", &hops, "hops"));
+    println!(
+        "{}",
+        report::cdf_quantiles("Figure 2: hop-count CDF", &hops, "hops")
+    );
     println!(
         "{}",
         report::scatter(
@@ -71,6 +98,11 @@ pub fn corpus(flags: &Flags) -> Result<(), String> {
             &figures::fig11_buffering_ratio(&result)
         )
     );
+    if telemetry {
+        if let Some(report) = result.aggregate_report() {
+            println!("{}", report.render_table());
+        }
+    }
     Ok(())
 }
 
@@ -79,9 +111,10 @@ pub fn pair(flags: &Flags) -> Result<(), String> {
     let seed = seed_of(flags)?;
     let (set, pair) = pair_of(flags)?;
     let mut config = PairRunConfig::new(seed, set, pair);
-    if let Some(loss) = flags.get("loss") {
-        config.access_loss = loss.parse().map_err(|_| "bad --loss".to_string())?;
+    if let Some(loss) = loss_of(flags)? {
+        config.access_loss = loss;
     }
+    config.telemetry = flags.contains_key("telemetry");
     let result = turbulence::run_pair(&config);
 
     println!(
@@ -122,11 +155,41 @@ pub fn pair(flags: &Flags) -> Result<(), String> {
         );
     }
     if let Some(path) = flags.get("pcap") {
-        let mut file =
-            std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        let mut file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
         turb_capture::pcap::write_pcap(&mut file, result.capture.records())
             .map_err(|e| format!("write {path}: {e}"))?;
-        println!("capture: {} packets written to {path}", result.capture.len());
+        println!(
+            "capture: {} packets written to {path}",
+            result.capture.len()
+        );
+    }
+    if let Some(telemetry) = &result.telemetry {
+        println!("\n{}", telemetry.report.render_table());
+    }
+    Ok(())
+}
+
+/// `turbulence obs`: one pair run with telemetry on, report printed.
+pub fn obs(flags: &Flags) -> Result<(), String> {
+    let seed = seed_of(flags)?;
+    let (set, pair) = pair_of(flags)?;
+    let mut config = PairRunConfig::new(seed, set, pair).with_telemetry();
+    if let Some(loss) = loss_of(flags)? {
+        config.access_loss = loss;
+    }
+    let result = turbulence::run_pair(&config);
+    let telemetry = result
+        .telemetry
+        .as_ref()
+        .expect("telemetry was requested for this run");
+    println!("{}", telemetry.report.render_table());
+    if flags.contains_key("metrics") {
+        println!("{}", telemetry.metrics.render_text());
+    }
+    if let Some(path) = flags.get("trace") {
+        std::fs::write(path, &telemetry.trace_jsonl).map_err(|e| format!("write {path}: {e}"))?;
+        let lines = telemetry.trace_jsonl.lines().count();
+        println!("trace: {lines} events written to {path}");
     }
     Ok(())
 }
@@ -138,23 +201,45 @@ pub fn figures_cmd(flags: &Flags) -> Result<(), String> {
     let fig3 = figures::fig03_playback_vs_encoding(&result);
     println!(
         "{}",
-        report::scatter("Figure 3 Real points", "encoded", "playback", &fig3.real_points)
+        report::scatter(
+            "Figure 3 Real points",
+            "encoded",
+            "playback",
+            &fig3.real_points
+        )
     );
     println!(
         "{}",
-        report::scatter("Figure 3 WMP points", "encoded", "playback", &fig3.wmp_points)
+        report::scatter(
+            "Figure 3 WMP points",
+            "encoded",
+            "playback",
+            &fig3.wmp_points
+        )
     );
     println!(
         "{}",
-        report::series_digest("Figure 4: packet arrivals (set 5 high, 30-31s)", &figures::fig04_packet_arrivals(&result), 40)
+        report::series_digest(
+            "Figure 4: packet arrivals (set 5 high, 30-31s)",
+            &figures::fig04_packet_arrivals(&result),
+            40
+        )
     );
     println!(
         "{}",
-        report::series_digest("Figure 10: bandwidth vs time (set 1)", &figures::fig10_bandwidth_timeseries(&result), 30)
+        report::series_digest(
+            "Figure 10: bandwidth vs time (set 1)",
+            &figures::fig10_bandwidth_timeseries(&result),
+            30
+        )
     );
     println!(
         "{}",
-        report::series_digest("Figure 13: frame rate vs time (set 5)", &figures::fig13_framerate_timeseries(&result), 30)
+        report::series_digest(
+            "Figure 13: frame rate vs time (set 5)",
+            &figures::fig13_framerate_timeseries(&result),
+            30
+        )
     );
     let f14 = figures::fig14_framerate_vs_encoding(&result);
     println!(
@@ -206,10 +291,8 @@ pub fn flowgen(flags: &Flags) -> Result<(), String> {
         model.buffering_ratio,
         model.burst_secs,
     );
-    let mut generator = turb_flowgen::FlowGenerator::new(
-        model.clone(),
-        turb_netsim::SimRng::new(seed ^ 0x9e37),
-    );
+    let mut generator =
+        turb_flowgen::FlowGenerator::new(model.clone(), turb_netsim::SimRng::new(seed ^ 0x9e37));
     let packets = generator.generate(clip.duration_secs);
     let validation = turb_flowgen::validate_against_model(&model, &packets);
     eprintln!(
@@ -299,14 +382,20 @@ pub fn ping(flags: &Flags) -> Result<(), String> {
         })
         .collect();
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(20));
-    println!("{:>16} {:>6} {:>12} {:>12}", "site", "hops", "median rtt", "loss");
+    println!(
+        "{:>16} {:>6} {:>12} {:>12}",
+        "site", "hops", "median rtt", "loss"
+    );
     for (addr, hops, report) in reports {
         let report = report.borrow();
         println!(
             "{:>16} {:>6} {:>10.1}ms {:>11.1}%",
             addr.to_string(),
             hops,
-            report.median_rtt().map(|r| r.as_millis_f64()).unwrap_or(f64::NAN),
+            report
+                .median_rtt()
+                .map(|r| r.as_millis_f64())
+                .unwrap_or(f64::NAN),
             report.loss_rate() * 100.0
         );
     }

@@ -3,7 +3,9 @@
 //! ```text
 //! turbulence corpus     [--seed N] [--sets 1,2,5]     full corpus + figure digests
 //! turbulence pair       --set N --class low|high|vh   one pair run, summarised
-//!                       [--seed N] [--pcap FILE] [--loss P]
+//!                       [--seed N] [--pcap FILE] [--loss P] [--telemetry]
+//! turbulence obs        --set N [--class C] [--seed N] [--loss P]
+//!                       [--metrics] [--trace FILE]    one pair run, telemetry report
 //! turbulence figures    [--seed N]                    every figure's data rows
 //! turbulence flowgen    --set N --class C --player real|wmp
 //!                       [--seed N] [--out FILE]       fit, generate, validate, export
@@ -26,6 +28,7 @@ USAGE:
 COMMANDS:
     corpus      run the full 26-clip corpus and print every figure's digest
     pair        run one clip pair and summarise what both trackers measured
+    obs         run one clip pair with telemetry and print the run report
     figures     run the corpus and print the full data rows per figure
     flowgen     fit a Section-IV turbulence model and export an ns-style trace
     friendly    run the §VI TCP-friendliness sweep
@@ -35,17 +38,24 @@ COMMANDS:
 OPTIONS (per command):
     --seed N            deterministic seed (default 42)
     --sets 1,2,5        corpus: restrict to these data sets
-    --set N             pair/flowgen: data set number (1-6)
-    --class C           pair/flowgen: low | high | vh (default high)
+    --set N             pair/obs/flowgen: data set number (1-6)
+    --class C           pair/obs/flowgen: low | high | vh (default high)
     --player P          flowgen: real | wmp (default real)
     --pcap FILE         pair: write the client capture as a pcap file
-    --loss P            pair: inject Bernoulli loss on the access link
+    --loss P            pair/obs: Bernoulli loss (0..=1) on the access link
+    --telemetry         pair/corpus: collect and print the telemetry report
+    --metrics           obs: also print Prometheus-style metrics exposition
+    --trace FILE        obs: dump the flight recorder as JSON Lines
     --out FILE          flowgen: trace output path (default stdout)
     --kbps N,N,...      friendly: bottleneck sweep in Kbit/s
 "
 }
 
-/// Minimal flag parser: `--key value` pairs after the subcommand.
+/// Flags that stand alone (no value); parsed as `flag=true`.
+const BOOLEAN_FLAGS: &[&str] = &["telemetry", "metrics"];
+
+/// Minimal flag parser: `--key value` pairs after the subcommand, plus
+/// the bare boolean flags in [`BOOLEAN_FLAGS`].
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -53,6 +63,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        if BOOLEAN_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("--{key} needs a value"))?;
@@ -106,6 +121,7 @@ fn run() -> Result<(), String> {
     match command.as_str() {
         "corpus" => commands::corpus(&flags),
         "pair" => commands::pair(&flags),
+        "obs" => commands::obs(&flags),
         "figures" => commands::figures_cmd(&flags),
         "flowgen" => commands::flowgen(&flags),
         "friendly" => commands::friendly(&flags),
@@ -119,10 +135,22 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+    // A panic anywhere below (simulator invariant violation, slice
+    // index, poisoned lock) must still leave the shell a nonzero exit
+    // code and a readable message, not a raw backtrace dump.
+    match std::panic::catch_unwind(run) {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(message)) => {
             eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown internal error".to_string());
+            eprintln!("error: internal failure: {message}");
             ExitCode::FAILURE
         }
     }
@@ -168,7 +196,10 @@ mod tests {
     #[test]
     fn class_parses_all_spellings() {
         assert_eq!(class_of(&flags(&[])).unwrap(), RateClass::High);
-        assert_eq!(class_of(&flags(&[("class", "low")])).unwrap(), RateClass::Low);
+        assert_eq!(
+            class_of(&flags(&[("class", "low")])).unwrap(),
+            RateClass::Low
+        );
         for vh in ["vh", "veryhigh", "very-high"] {
             assert_eq!(
                 class_of(&flags(&[("class", vh)])).unwrap(),
@@ -193,8 +224,22 @@ mod tests {
 
     #[test]
     fn usage_names_every_command() {
-        for command in ["corpus", "pair", "figures", "flowgen", "friendly", "ping"] {
+        for command in [
+            "corpus", "pair", "obs", "figures", "flowgen", "friendly", "ping",
+        ] {
             assert!(usage().contains(command), "{command} missing from usage");
         }
+    }
+
+    #[test]
+    fn boolean_flags_need_no_value() {
+        let args: Vec<String> = ["--telemetry", "--seed", "7", "--metrics"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let parsed = parse_flags(&args).unwrap();
+        assert_eq!(parsed.get("telemetry").map(String::as_str), Some("true"));
+        assert_eq!(parsed.get("metrics").map(String::as_str), Some("true"));
+        assert_eq!(parsed.get("seed").map(String::as_str), Some("7"));
     }
 }

@@ -6,9 +6,7 @@ use turb_media::PlayerId;
 
 /// The fragment-group view of one player's stream within a run.
 pub fn stream_groups(run: &PairRunResult, player: PlayerId) -> FragmentGroups {
-    let records = run
-        .capture
-        .filtered(&Filter::stream_from(run.server_addr));
+    let records = run.capture.filtered(&Filter::stream_from(run.server_addr));
     FragmentGroups::build(records).for_player(player)
 }
 

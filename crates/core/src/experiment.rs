@@ -5,13 +5,13 @@
 //! client, with Ethereal capturing at the client NIC, and `ping` /
 //! `tracert` before and after to verify the path did not change.
 
+use crate::telemetry::{harvest, RunTelemetry};
 use std::net::Ipv4Addr;
 use turb_capture::{Capture, Sniffer};
 use turb_media::{ClipPair, RateClass};
 use turb_netsim::tools::{self, PingReport, TracertReport};
-use turb_netsim::{
-    InternetScenario, ScenarioConfig, SimDuration, SimRng, SimTime, Simulation,
-};
+use turb_netsim::{InternetScenario, ScenarioConfig, SimDuration, SimRng, SimTime, Simulation};
+use turb_obs::ScopeTimer;
 use turb_players::calibration::{REAL_SERVER_PORT, WMP_SERVER_PORT};
 use turb_players::{spawn_stream, AppStatsLog, StreamConfig};
 
@@ -36,6 +36,11 @@ pub struct PairRunConfig {
     /// Optional per-link loss probability on the client access link
     /// (0 for the paper's uncongested conditions; used by ablations).
     pub access_loss: f64,
+    /// Collect telemetry (metrics, flight recorder, run report) for
+    /// this run. Harvesting reads counters the simulator keeps anyway
+    /// and never draws randomness, so results are bit-identical either
+    /// way.
+    pub telemetry: bool,
 }
 
 impl PairRunConfig {
@@ -47,7 +52,14 @@ impl PairRunConfig {
             pair,
             ping_count: 4,
             access_loss: 0.0,
+            telemetry: false,
         }
+    }
+
+    /// Same config with telemetry collection switched on.
+    pub fn with_telemetry(mut self) -> PairRunConfig {
+        self.telemetry = true;
+        self
     }
 }
 
@@ -81,6 +93,9 @@ pub struct PairRunResult {
     /// When (sim time) the streams were started — analysis windows are
     /// usually relative to this.
     pub stream_start: SimTime,
+    /// Telemetry harvested from the run, when
+    /// [`PairRunConfig::telemetry`] was set.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl PairRunResult {
@@ -102,7 +117,17 @@ impl PairRunResult {
 
 /// Execute one pair run.
 pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
+    let label = format!(
+        "set{}/{:?}/seed{}",
+        config.set_id,
+        config.pair.class(),
+        config.seed
+    );
+    let timer = ScopeTimer::start("pair_run_wall_ns", &label);
     let mut sim = Simulation::new(config.seed);
+    if config.telemetry {
+        sim.enable_telemetry();
+    }
     let mut rng = SimRng::new(config.seed ^ 0x7075_6c73_6172);
 
     let scenario = InternetScenario::build(&mut sim, &mut rng, &ScenarioConfig::default());
@@ -157,8 +182,7 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
     let real = spawn_stream(&mut sim, site.server, scenario.client, real_cfg, &mut rng);
     let wmp = spawn_stream(&mut sim, site.server, scenario.client, wmp_cfg, &mut rng);
 
-    let stream_window =
-        SimDuration::from_secs_f64(config.pair.real.duration_secs * 2.0 + 90.0);
+    let stream_window = SimDuration::from_secs_f64(config.pair.real.duration_secs * 2.0 + 90.0);
     sim.run_to_idle(stream_start + stream_window);
 
     // Phase 3: post-run network check.
@@ -186,13 +210,23 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
         .map(|c| c.into_inner())
         .unwrap_or_else(|rc| {
             // The tap closure still holds a clone; clone the data out.
-            clone_capture(&rc.borrow())
+            rc.borrow().clone()
         });
 
     // Clone out of the shared handles before the simulation (which
     // still holds tap/app clones) goes out of scope.
     let real_log = real.log.borrow().clone();
     let wmp_log = wmp.log.borrow().clone();
+    let telemetry = config.telemetry.then(|| {
+        harvest(
+            &label,
+            &sim,
+            &capture,
+            &real_log,
+            &wmp_log,
+            timer.elapsed_ns(),
+        )
+    });
     let result = PairRunResult {
         set_id: config.set_id,
         class: config.pair.class(),
@@ -207,16 +241,9 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
         server_addr: site.server_addr,
         configured_hops: site.hop_count,
         stream_start,
+        telemetry,
     };
     result
-}
-
-fn clone_capture(capture: &Capture) -> Capture {
-    let mut out = Capture::default();
-    for r in capture.records() {
-        out.push_record(r.clone());
-    }
-    out
 }
 
 #[cfg(test)]
@@ -252,12 +279,12 @@ mod tests {
 
         // The capture saw both streams (distinguished by client port).
         use turb_capture::Filter;
-        let real_packets = result
-            .capture
-            .filtered(&Filter::stream_from(result.server_addr).and(Filter::PortIs(REAL_CLIENT_PORT)));
-        let wmp_packets = result
-            .capture
-            .filtered(&Filter::stream_from(result.server_addr).and(Filter::PortIs(WMP_CLIENT_PORT)));
+        let real_packets = result.capture.filtered(
+            &Filter::stream_from(result.server_addr).and(Filter::PortIs(REAL_CLIENT_PORT)),
+        );
+        let wmp_packets = result.capture.filtered(
+            &Filter::stream_from(result.server_addr).and(Filter::PortIs(WMP_CLIENT_PORT)),
+        );
         assert!(real_packets.len() > 100, "{}", real_packets.len());
         assert!(wmp_packets.len() > 100, "{}", wmp_packets.len());
     }
@@ -270,10 +297,7 @@ mod tests {
         assert_eq!(a.capture.len(), b.capture.len());
         assert_eq!(a.real.bytes_total, b.real.bytes_total);
         assert_eq!(a.wmp.bytes_total, b.wmp.bytes_total);
-        assert_eq!(
-            a.ping_before.median_rtt(),
-            b.ping_before.median_rtt()
-        );
+        assert_eq!(a.ping_before.median_rtt(), b.ping_before.median_rtt());
     }
 
     #[test]

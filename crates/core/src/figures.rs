@@ -156,8 +156,14 @@ pub fn fig07_pktsize_norm_pdf(corpus: &CorpusResult) -> PdfPair {
     let mut real = Vec::new();
     let mut wmp = Vec::new();
     for run in &corpus.runs {
-        real.extend(normalize_by_mean(&datagram_sizes(run, PlayerId::RealPlayer)));
-        wmp.extend(normalize_by_mean(&datagram_sizes(run, PlayerId::MediaPlayer)));
+        real.extend(normalize_by_mean(&datagram_sizes(
+            run,
+            PlayerId::RealPlayer,
+        )));
+        wmp.extend(normalize_by_mean(&datagram_sizes(
+            run,
+            PlayerId::MediaPlayer,
+        )));
     }
     PdfPair {
         real: Pdf::from_samples(&real, 0.0, 2.0, 40),
@@ -330,7 +336,10 @@ pub struct FrameRateFigure {
     pub wmp_classes: Vec<(f64, Summary)>,
 }
 
-fn framerate_figure(corpus: &CorpusResult, x_of: impl Fn(&PairRunResult, PlayerId) -> f64) -> FrameRateFigure {
+fn framerate_figure(
+    corpus: &CorpusResult,
+    x_of: impl Fn(&PairRunResult, PlayerId) -> f64,
+) -> FrameRateFigure {
     let mut real_points = Vec::new();
     let mut wmp_points = Vec::new();
     for run in &corpus.runs {
@@ -395,8 +404,10 @@ pub fn sec4_flowgen_validation(
             ) else {
                 continue;
             };
-            let mut generator =
-                turb_flowgen::FlowGenerator::new(model.clone(), SimRng::new(seed).fork(out.len() as u64));
+            let mut generator = turb_flowgen::FlowGenerator::new(
+                model.clone(),
+                SimRng::new(seed).fork(out.len() as u64),
+            );
             let packets = generator.generate(log.clip.duration_secs);
             let report = turb_flowgen::validate_against_model(&model, &packets);
             out.push((log.clip.name(), report));
@@ -442,7 +453,10 @@ mod tests {
             assert!(y > x, "Real point ({x}, {y}) not above y=x");
         }
         for (x, y) in &fig.wmp_points {
-            assert!((y - x).abs() / x < 0.05, "WMP point ({x}, {y}) off the diagonal");
+            assert!(
+                (y - x).abs() / x < 0.05,
+                "WMP point ({x}, {y}) off the diagonal"
+            );
         }
     }
 
@@ -452,7 +466,11 @@ mod tests {
         assert_eq!(series.len(), 2);
         let wmp = series.iter().find(|s| s.label.starts_with("WMP")).unwrap();
         // 250.4 Kbit/s WMP: ~10 groups of 3 packets in the window.
-        assert!((20..=40).contains(&wmp.points.len()), "{}", wmp.points.len());
+        assert!(
+            (20..=40).contains(&wmp.points.len()),
+            "{}",
+            wmp.points.len()
+        );
         // Grouped arrivals: within each fragment group the gaps are
         // sub-5-ms, so at least a third of consecutive gaps are tiny.
         let tiny_gaps = wmp
@@ -554,7 +572,10 @@ mod tests {
             .unwrap();
         let early = rate_between(wmp_high, 2.0, 20.0);
         let late = rate_between(wmp_high, 100.0, 200.0);
-        assert!((early - late).abs() / late < 0.1, "early {early} late {late}");
+        assert!(
+            (early - late).abs() / late < 0.1,
+            "early {early} late {late}"
+        );
     }
 
     #[test]
@@ -572,12 +593,20 @@ mod tests {
     fn fig12_app_batches_of_ten_once_per_second() {
         let fig = fig12_app_vs_net(mini_corpus());
         // 4-second window, 250.4 Kbit/s: ~40 network datagrams.
-        assert!((30..=50).contains(&fig.network.len()), "{}", fig.network.len());
+        assert!(
+            (30..=50).contains(&fig.network.len()),
+            "{}",
+            fig.network.len()
+        );
         assert!(!fig.app.is_empty());
         // App releases cluster into ≈4 distinct instants.
         let mut times: Vec<f64> = fig.app.iter().map(|(t, _)| *t).collect();
         times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-        assert!((3..=5).contains(&times.len()), "{} release instants", times.len());
+        assert!(
+            (3..=5).contains(&times.len()),
+            "{} release instants",
+            times.len()
+        );
     }
 
     #[test]
@@ -593,11 +622,27 @@ mod tests {
                 .collect();
             vals.iter().sum::<f64>() / vals.len().max(1) as f64
         };
-        let wmp_low = series.iter().find(|s| s.label.starts_with("WMP (39")).unwrap();
-        let real_low = series.iter().find(|s| s.label.starts_with("Real (22")).unwrap();
-        let wmp_high = series.iter().find(|s| s.label.starts_with("WMP (250")).unwrap();
-        let real_high = series.iter().find(|s| s.label.starts_with("Real (218")).unwrap();
-        assert!((12.0..14.5).contains(&steady_mean(wmp_low)), "{}", steady_mean(wmp_low));
+        let wmp_low = series
+            .iter()
+            .find(|s| s.label.starts_with("WMP (39"))
+            .unwrap();
+        let real_low = series
+            .iter()
+            .find(|s| s.label.starts_with("Real (22"))
+            .unwrap();
+        let wmp_high = series
+            .iter()
+            .find(|s| s.label.starts_with("WMP (250"))
+            .unwrap();
+        let real_high = series
+            .iter()
+            .find(|s| s.label.starts_with("Real (218"))
+            .unwrap();
+        assert!(
+            (12.0..14.5).contains(&steady_mean(wmp_low)),
+            "{}",
+            steady_mean(wmp_low)
+        );
         assert!(steady_mean(real_low) > steady_mean(wmp_low) + 3.0);
         assert!((24.0..26.0).contains(&steady_mean(wmp_high)));
         assert!((24.0..26.0).contains(&steady_mean(real_high)));

@@ -256,10 +256,8 @@ pub fn run_egress_study(config: &EgressConfig) -> EgressResult {
     let first_frag_or_whole = Filter::Udp.and(Filter::ContinuationFragments.negate());
     let _ = first_frag_or_whole;
     let records = capture_data.filtered(&media);
-    let groups = FragmentGroups::build(
-        capture_data
-            .filtered(&Filter::Udp.and(Filter::direction_tx())),
-    );
+    let groups =
+        FragmentGroups::build(capture_data.filtered(&Filter::Udp.and(Filter::direction_tx())));
     let bytes: usize = groups.groups().iter().map(|g| g.wire_bytes).sum();
     let _ = records;
     EgressResult {

@@ -15,6 +15,8 @@
 //!   series each figure of the paper plots.
 //! * [`tables`] — Table 1, static and with measured rates.
 //! * [`report`] — plain-text rendering for the bench harness.
+//! * [`telemetry`] — per-run observability harvest ([`RunTelemetry`]):
+//!   run report, metrics registry, flight-recorder dump.
 //!
 //! ```no_run
 //! use turbulence::{figures, runner};
@@ -31,6 +33,8 @@ pub mod followup;
 pub mod report;
 pub mod runner;
 pub mod tables;
+pub mod telemetry;
 
 pub use experiment::{run_pair, PairRunConfig, PairRunResult};
 pub use runner::{run_corpus, run_corpus_parallel, CorpusResult};
+pub use telemetry::RunTelemetry;

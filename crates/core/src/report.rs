@@ -91,10 +91,7 @@ mod tests {
         let out = table(
             "T",
             &["a", "long_header"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["100".into(), "x".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["100".into(), "x".into()]],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines[0], "T");

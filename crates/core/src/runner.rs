@@ -23,6 +23,32 @@ impl CorpusResult {
             .iter()
             .find(|r| r.set_id == set_id && r.class == class)
     }
+
+    /// Fold every per-run report into one corpus-wide [`RunReport`].
+    /// `None` when no run collected telemetry.
+    pub fn aggregate_report(&self) -> Option<turb_obs::RunReport> {
+        let mut out: Option<turb_obs::RunReport> = None;
+        for run in &self.runs {
+            let Some(t) = &run.telemetry else { continue };
+            match &mut out {
+                Some(agg) => agg.absorb(&t.report),
+                None => out = Some(t.report.clone()),
+            }
+        }
+        out
+    }
+
+    /// Merge every per-run metrics registry into one. Empty when no
+    /// run collected telemetry.
+    pub fn aggregate_metrics(&self) -> turb_obs::MetricsRegistry {
+        let mut out = turb_obs::MetricsRegistry::new();
+        for run in &self.runs {
+            if let Some(t) = &run.telemetry {
+                out.merge(&t.metrics);
+            }
+        }
+        out
+    }
 }
 
 /// All pair-run configurations for the corpus under a base seed.
@@ -70,22 +96,27 @@ pub fn corpus_configs_for_sets(base_seed: u64, sets: &[u8]) -> Vec<PairRunConfig
 /// is seeded independently, so the result is identical to
 /// [`run_corpus`] — parallelism only changes wall-clock time.
 pub fn run_corpus_parallel(base_seed: u64) -> CorpusResult {
-    let configs = corpus_configs(base_seed);
+    run_configs_parallel(&corpus_configs(base_seed))
+}
+
+/// Run an arbitrary set of pair configurations with one thread per
+/// run; ordering and results match [`run_configs`].
+pub fn run_configs_parallel(configs: &[PairRunConfig]) -> CorpusResult {
     let mut slots: Vec<Option<PairRunResult>> = Vec::new();
     slots.resize_with(configs.len(), || None);
-    let slots = parking_lot::Mutex::new(slots);
-    crossbeam::scope(|scope| {
+    let slots = std::sync::Mutex::new(slots);
+    std::thread::scope(|scope| {
         for (idx, config) in configs.iter().enumerate() {
             let slots = &slots;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let result = run_pair(config);
-                slots.lock()[idx] = Some(result);
+                slots.lock().expect("corpus worker panicked")[idx] = Some(result);
             });
         }
-    })
-    .expect("corpus worker panicked");
+    });
     let runs = slots
         .into_inner()
+        .expect("corpus worker panicked")
         .into_iter()
         .map(|r| r.expect("every slot filled"))
         .collect();

@@ -37,10 +37,7 @@ pub fn table1_static() -> Vec<Table1Row> {
             set.pairs.iter().map(|pair| Table1Row {
                 set: set.id,
                 class: pair.class(),
-                label: format!(
-                    "R-{s}/M-{s}",
-                    s = pair.class().suffix()
-                ),
+                label: format!("R-{s}/M-{s}", s = pair.class().suffix()),
                 real_encoded: pair.real.encoded_kbps,
                 wmp_encoded: pair.wmp.encoded_kbps,
                 real_measured: None,
@@ -83,7 +80,10 @@ mod tests {
         let rows = table1_static();
         assert_eq!(rows[0].label, "R-h/M-h");
         assert_eq!(rows[1].label, "R-l/M-l");
-        let vh = rows.iter().find(|r| r.class == RateClass::VeryHigh).unwrap();
+        let vh = rows
+            .iter()
+            .find(|r| r.class == RateClass::VeryHigh)
+            .unwrap();
         assert_eq!(vh.label, "R-v/M-v");
     }
 }

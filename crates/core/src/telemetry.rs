@@ -1,0 +1,111 @@
+//! Assembling per-run telemetry: the [`RunReport`], the merged metrics
+//! registry, and the flight-recorder dump for one pair run.
+//!
+//! Harvesting happens once, after the simulation has finished — it
+//! reads counters the components keep anyway, so whether telemetry is
+//! collected can never affect what the simulation computed.
+
+use turb_capture::Capture;
+use turb_netsim::Simulation;
+use turb_obs::{FragReport, LinkReport, MetricsRegistry, RunReport};
+use turb_players::telemetry::player_report;
+use turb_players::AppStatsLog;
+
+/// Everything observability-related measured during one pair run.
+#[derive(Debug, Clone)]
+pub struct RunTelemetry {
+    /// The headline summary (rendered by `turbulence obs`).
+    pub report: RunReport,
+    /// Every metric, for Prometheus-style exposition.
+    pub metrics: MetricsRegistry,
+    /// The flight recorder's events as JSON Lines.
+    pub trace_jsonl: String,
+}
+
+/// Harvest a finished simulation into a [`RunTelemetry`].
+pub fn harvest(
+    label: &str,
+    sim: &Simulation,
+    capture: &Capture,
+    real: &AppStatsLog,
+    wmp: &AppStatsLog,
+    wall_ns: u64,
+) -> RunTelemetry {
+    let core = sim.core();
+    let stats = sim.sim_stats();
+
+    let elapsed_secs = sim.now().as_nanos() as f64 / 1e9;
+    let mut links = Vec::with_capacity(core.link_count());
+    let mut fault_losses = 0u64;
+    let mut fault_delayed = 0u64;
+    for i in 0..core.link_count() {
+        let link = core.link(turb_netsim::LinkId(i));
+        let s = link.stats;
+        let f = link.fault.stats();
+        fault_losses += f.dropped;
+        fault_delayed += f.delayed;
+        let busy_secs = s.tx_bytes as f64 * 8.0 / link.config.rate_bps as f64;
+        links.push(LinkReport {
+            component: format!("link:{i}"),
+            tx_packets: s.tx_packets,
+            tx_bytes: s.tx_bytes,
+            dropped_queue: s.dropped_queue,
+            dropped_red: s.dropped_red,
+            dropped_fault: s.dropped_fault,
+            utilization: if elapsed_secs > 0.0 {
+                (busy_secs / elapsed_secs).min(1.0)
+            } else {
+                0.0
+            },
+        });
+    }
+
+    let mut frag = FragReport {
+        fragmented_datagrams: stats.fragmented_datagrams,
+        fragments_sent: stats.fragments_sent,
+        ..FragReport::default()
+    };
+    for i in 0..core.node_count() {
+        let r = core.node(turb_netsim::NodeId(i)).reassembler.stats();
+        frag.fragments_received += r.fragments_received;
+        frag.reassembled += r.reassembled;
+        frag.passthrough += r.passthrough;
+        frag.timed_out += r.timed_out;
+        frag.duplicates += r.duplicates;
+    }
+
+    let report = RunReport {
+        label: label.to_string(),
+        wall_ns,
+        sim_events_processed: stats.events_processed,
+        sim_events_scheduled: stats.events_scheduled,
+        queue_high_water: stats.queue_high_water,
+        fault_induced_losses: fault_losses,
+        fault_delayed,
+        capture_records: capture.len() as u64,
+        links,
+        frag,
+        players: vec![
+            player_report("player:real", real),
+            player_report("player:wmp", wmp),
+        ],
+    };
+
+    let mut metrics = MetricsRegistry::new();
+    sim.collect_metrics(&mut metrics);
+    capture.collect_metrics("client", &mut metrics);
+    turb_players::telemetry::collect_metrics("player:real", real, &mut metrics);
+    turb_players::telemetry::collect_metrics("player:wmp", wmp, &mut metrics);
+    metrics.histogram_observe(
+        "pair_run_wall_ns",
+        label,
+        turb_obs::SCOPE_NS_BUCKETS,
+        wall_ns as f64,
+    );
+
+    RunTelemetry {
+        report,
+        metrics,
+        trace_jsonl: core.obs.trace.to_jsonl(),
+    }
+}

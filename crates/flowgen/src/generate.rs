@@ -101,7 +101,9 @@ impl SyntheticFlowApp {
         src_port: u16,
         player: PlayerId,
     ) -> SyntheticFlowApp {
-        debug_assert!(schedule.windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
+        debug_assert!(schedule
+            .windows(2)
+            .all(|w| w[0].time_secs <= w[1].time_secs));
         SyntheticFlowApp {
             schedule,
             next: 0,
@@ -138,7 +140,10 @@ impl Application for SyntheticFlowApp {
         self.next += 1;
         // Reconstruct an application payload of the scheduled wire
         // size: wire = payload + 8 (UDP) + 20 (IP) + 14 (Ethernet).
-        let payload_len = p.bytes.saturating_sub(42).max(turb_wire::media::MEDIA_HEADER_LEN);
+        let payload_len = p
+            .bytes
+            .saturating_sub(42)
+            .max(turb_wire::media::MEDIA_HEADER_LEN);
         let header = turb_wire::media::MediaHeader {
             player: self.player,
             sequence: self.next as u32 - 1,
@@ -247,11 +252,7 @@ mod tests {
         let mut sim = Simulation::new(4);
         let a = sim.add_host("src", Ipv4Addr::new(10, 0, 0, 1));
         let b = sim.add_host("dst", Ipv4Addr::new(10, 0, 0, 2));
-        let (ab, ba) = sim.add_duplex(
-            a,
-            b,
-            LinkConfig::ethernet_10m(SimDuration::from_millis(1)),
-        );
+        let (ab, ba) = sim.add_duplex(a, b, LinkConfig::ethernet_10m(SimDuration::from_millis(1)));
         sim.core_mut().node_mut(a).default_route = Some(ab);
         sim.core_mut().node_mut(b).default_route = Some(ba);
 
@@ -270,7 +271,14 @@ mod tests {
             }
         }
         let count = Rc::new(RefCell::new(0));
-        sim.add_app(b, Box::new(Sink { count: count.clone() }), Some(9000), false);
+        sim.add_app(
+            b,
+            Box::new(Sink {
+                count: count.clone(),
+            }),
+            Some(9000),
+            false,
+        );
         sim.add_app(
             a,
             Box::new(SyntheticFlowApp::new(

@@ -131,7 +131,7 @@ impl TurbulenceModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use turb_capture::record::PacketRecord;
     use turb_netsim::{Direction, SimTime};
     use turb_wire::frag::fragment;
@@ -202,7 +202,11 @@ mod tests {
         assert!((model.fragment_fraction - 2.0 / 3.0).abs() < 0.01);
         // The burst phase doubles the rate.
         assert!(model.burst_secs > 1.0);
-        assert!((1.5..2.5).contains(&model.buffering_ratio), "{}", model.buffering_ratio);
+        assert!(
+            (1.5..2.5).contains(&model.buffering_ratio),
+            "{}",
+            model.buffering_ratio
+        );
     }
 
     #[test]

@@ -84,7 +84,8 @@ pub fn validate_against_model(
             let span = |ps: &[&SyntheticPacket]| -> f64 {
                 ps.last().expect("len>=2").time_secs - ps[0].time_secs
             };
-            let burst_rate = burst.iter().map(|p| p.bytes).sum::<usize>() as f64 / span(&burst).max(1e-9);
+            let burst_rate =
+                burst.iter().map(|p| p.bytes).sum::<usize>() as f64 / span(&burst).max(1e-9);
             let steady_rate =
                 steady.iter().map(|p| p.bytes).sum::<usize>() as f64 / span(&steady).max(1e-9);
             burst_rate / steady_rate

@@ -1,10 +1,9 @@
 //! Clip, clip-pair and data-set types.
 
-use serde::Serialize;
 use turb_wire::media::PlayerId;
 
 /// Content category of a clip set (Table 1's "Clip Info" column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ContentKind {
     /// Sports footage (sets 1 and 3).
     Sports,
@@ -34,7 +33,7 @@ impl ContentKind {
 /// The paper's three encoding classes: low (~56 Kbit/s modem pairs),
 /// high (~300 Kbit/s broadband pairs), and the single very-high
 /// (~700 Kbit/s) pair in set 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RateClass {
     /// Modem-class clips ("R-l"/"M-l").
     Low,
@@ -56,7 +55,7 @@ impl RateClass {
 }
 
 /// One encoded clip, as served by one player's server.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Clip {
     /// Data set number, 1-6.
     pub set: u8,
@@ -99,7 +98,7 @@ impl Clip {
 /// The RealPlayer and MediaPlayer encodings of the same source
 /// material at the same rate class — the unit the paper streams
 /// simultaneously.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClipPair {
     /// The RealPlayer encoding.
     pub real: Clip,
@@ -121,7 +120,7 @@ impl ClipPair {
 
 /// One of Table 1's six data sets: same content and length, encoded in
 /// both formats at two (or, for set 6, three) rate classes.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataSet {
     /// Set number, 1-6.
     pub id: u8,

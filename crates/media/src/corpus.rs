@@ -153,11 +153,17 @@ mod tests {
     fn table1_rates_match_the_paper() {
         let sets = table1();
         let s1h = sets[0].pair(RateClass::High).unwrap();
-        assert_eq!((s1h.real.encoded_kbps, s1h.wmp.encoded_kbps), (284.0, 323.1));
+        assert_eq!(
+            (s1h.real.encoded_kbps, s1h.wmp.encoded_kbps),
+            (284.0, 323.1)
+        );
         let s4l = sets[3].pair(RateClass::Low).unwrap();
         assert_eq!((s4l.real.encoded_kbps, s4l.wmp.encoded_kbps), (26.0, 49.6));
         let s6v = sets[5].pair(RateClass::VeryHigh).unwrap();
-        assert_eq!((s6v.real.encoded_kbps, s6v.wmp.encoded_kbps), (636.9, 731.3));
+        assert_eq!(
+            (s6v.real.encoded_kbps, s6v.wmp.encoded_kbps),
+            (636.9, 731.3)
+        );
     }
 
     #[test]
@@ -180,8 +186,13 @@ mod tests {
     #[test]
     fn advertised_rate_is_at_or_above_real_encoding() {
         for clip in all_clips() {
-            assert!(clip.advertised_kbps >= clip.encoded_kbps || clip.player == PlayerId::MediaPlayer,
-                "{}: advertised {} < encoded {}", clip.name(), clip.advertised_kbps, clip.encoded_kbps);
+            assert!(
+                clip.advertised_kbps >= clip.encoded_kbps || clip.player == PlayerId::MediaPlayer,
+                "{}: advertised {} < encoded {}",
+                clip.name(),
+                clip.advertised_kbps,
+                clip.encoded_kbps
+            );
         }
     }
 

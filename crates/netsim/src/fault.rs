@@ -61,6 +61,9 @@ pub struct FaultStats {
     pub offered: u64,
     /// Packets dropped by the loss model.
     pub dropped: u64,
+    /// Packets given a nonzero extra delay by the jitter model (the
+    /// reorder-risk population).
+    pub delayed: u64,
 }
 
 /// Per-link fault injector combining a loss and a jitter model.
@@ -136,7 +139,11 @@ impl FaultInjector {
                 } else if rng.chance(p_enter_bad) {
                     self.in_bad_state = true;
                 }
-                rng.chance(if self.in_bad_state { loss_bad } else { loss_good })
+                rng.chance(if self.in_bad_state {
+                    loss_bad
+                } else {
+                    loss_good
+                })
             }
         };
         if drop {
@@ -147,7 +154,7 @@ impl FaultInjector {
 
     /// Sample the extra delay for the next packet.
     pub fn extra_delay(&mut self, rng: &mut SimRng) -> SimDuration {
-        match self.jitter {
+        let delay = match self.jitter {
             JitterModel::None => SimDuration::ZERO,
             JitterModel::Uniform { max } => {
                 SimDuration::from_nanos(rng.range_u64(0, max.as_nanos()))
@@ -156,7 +163,11 @@ impl FaultInjector {
                 let d = rng.normal(0.0, std.as_nanos() as f64).abs();
                 SimDuration::from_nanos((d as u64).min(cap.as_nanos()))
             }
+        };
+        if delay > SimDuration::ZERO {
+            self.stats.delayed += 1;
         }
+        delay
     }
 
     /// Lifetime counters.

@@ -57,7 +57,7 @@ pub use link::{Link, LinkConfig, LinkId, LinkStats, NodeId};
 pub use node::{AppId, Node, NodeKind, NodeStats};
 pub use red::RedQueue;
 pub use rng::SimRng;
-pub use sim::{Application, Ctx, Direction, SimCore, Simulation, Tap, TapEvent};
+pub use sim::{Application, Ctx, Direction, SimCore, SimStats, Simulation, Tap, TapEvent};
 pub use time::{SimDuration, SimTime};
 pub use topology::{InternetScenario, ScenarioConfig, SitePath};
 

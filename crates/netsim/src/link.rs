@@ -249,7 +249,10 @@ mod tests {
             TxOutcome::Deliver { .. }
         ));
         // Backlog is now 1000 bytes; a 1000-byte packet exceeds capacity.
-        assert_eq!(l.transmit(SimTime::ZERO, 1000, &mut rng), TxOutcome::QueueFull);
+        assert_eq!(
+            l.transmit(SimTime::ZERO, 1000, &mut rng),
+            TxOutcome::QueueFull
+        );
         assert_eq!(l.stats.dropped_queue, 1);
         // A small packet still fits.
         assert!(matches!(
@@ -263,7 +266,10 @@ mod tests {
         let mut l = link(8_000_000, 0, 1 << 20);
         l.fault = FaultInjector::bernoulli(1.0);
         let mut rng = SimRng::new(1);
-        assert_eq!(l.transmit(SimTime::ZERO, 1000, &mut rng), TxOutcome::Faulted);
+        assert_eq!(
+            l.transmit(SimTime::ZERO, 1000, &mut rng),
+            TxOutcome::Faulted
+        );
         assert_eq!(l.stats.dropped_fault, 1);
         assert_eq!(l.backlog_bytes(SimTime::ZERO), 1000);
     }

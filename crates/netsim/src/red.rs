@@ -196,8 +196,7 @@ mod tests {
             sim.core_mut().node_mut(a).default_route = Some(ab);
             sim.core_mut().node_mut(b).default_route = Some(ba);
             if use_red {
-                sim.core_mut().link_mut(ab).red =
-                    Some(crate::red::RedQueue::for_capacity(30_000));
+                sim.core_mut().link_mut(ab).red = Some(crate::red::RedQueue::for_capacity(30_000));
             }
             // An unresponsive 600 Kbit/s firehose.
             sim.add_app(

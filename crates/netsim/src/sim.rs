@@ -19,6 +19,7 @@ use bytes::Bytes;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
+use turb_obs::{MetricsRegistry, Obs, Severity};
 use turb_wire::icmp::IcmpMessage;
 use turb_wire::ipv4::{IpProtocol, Ipv4Packet};
 use turb_wire::tcp::TcpSegment;
@@ -61,8 +62,7 @@ pub trait Application {
     /// to a running simulation).
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {}
     /// A UDP datagram arrived on a port this app is bound to.
-    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: (Ipv4Addr, u16), dst_port: u16, payload: Bytes) {
-    }
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: (Ipv4Addr, u16), dst_port: u16, payload: Bytes) {}
     /// An ICMP message arrived at this node (echo replies, time
     /// exceeded, destination unreachable). Echo *requests* are answered
     /// by the node itself and not surfaced here.
@@ -128,6 +128,25 @@ enum Delivery {
     },
 }
 
+/// Event-loop counters kept by the engine. Always on: plain integer
+/// updates with no observable effect on simulation behaviour, so the
+/// cost of keeping them is one add per event and telemetry on/off
+/// cannot perturb a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events pushed onto the queue.
+    pub events_scheduled: u64,
+    /// Events popped and dispatched.
+    pub events_processed: u64,
+    /// Maximum queue length observed.
+    pub queue_high_water: u64,
+    /// Datagrams the sender had to split (send-side fragmentation).
+    pub fragmented_datagrams: u64,
+    /// Fragments produced by send-side fragmentation (counts only
+    /// fragments of split datagrams, not whole packets).
+    pub fragments_sent: u64,
+}
+
 /// All network state: everything an [`Application`] can touch through
 /// its [`Ctx`].
 pub struct SimCore {
@@ -138,6 +157,11 @@ pub struct SimCore {
     links: Vec<Link>,
     taps: Vec<(NodeId, Tap)>,
     rng: SimRng,
+    stats: SimStats,
+    /// Telemetry context. Disabled by default; trace hooks check
+    /// `obs.enabled` and never touch the RNG or the event queue, so
+    /// enabling it cannot change simulation results.
+    pub obs: Obs,
 }
 
 impl SimCore {
@@ -146,6 +170,11 @@ impl SimCore {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { time, seq, event });
+        self.stats.events_scheduled += 1;
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.queue_high_water {
+            self.stats.queue_high_water = depth;
+        }
     }
 
     /// Current simulated time.
@@ -157,6 +186,87 @@ impl SimCore {
     /// [`SimRng::fork`] their own stream at setup).
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
+    }
+
+    /// Event-loop counters (always on).
+    pub fn sim_stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Harvest every component's counters into `registry`: engine
+    /// event-loop stats, per-link transmit/drop/fault counters and
+    /// utilisation, per-node delivery and reassembly counters. Pure
+    /// read of state the simulator keeps anyway, so it can be called
+    /// whether or not `obs` is enabled.
+    pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.counter_add(
+            "sim_events_scheduled_total",
+            "sim",
+            self.stats.events_scheduled,
+        );
+        registry.counter_add(
+            "sim_events_processed_total",
+            "sim",
+            self.stats.events_processed,
+        );
+        registry.gauge_max(
+            "sim_queue_high_water",
+            "sim",
+            self.stats.queue_high_water as f64,
+        );
+        registry.counter_add(
+            "sim_fragmented_datagrams_total",
+            "sim",
+            self.stats.fragmented_datagrams,
+        );
+        registry.counter_add("sim_fragments_sent_total", "sim", self.stats.fragments_sent);
+
+        let elapsed_secs = self.now.as_nanos() as f64 / 1e9;
+        for link in &self.links {
+            let component = format!("link:{}", link.id.0);
+            let s = link.stats;
+            registry.counter_add("link_tx_packets_total", &component, s.tx_packets);
+            registry.counter_add("link_tx_bytes_total", &component, s.tx_bytes);
+            registry.counter_add("link_dropped_queue_total", &component, s.dropped_queue);
+            registry.counter_add("link_dropped_red_total", &component, s.dropped_red);
+            registry.counter_add("link_dropped_fault_total", &component, s.dropped_fault);
+            let f = link.fault.stats();
+            registry.counter_add("fault_offered_total", &component, f.offered);
+            registry.counter_add("fault_dropped_total", &component, f.dropped);
+            registry.counter_add("fault_delayed_total", &component, f.delayed);
+            if elapsed_secs > 0.0 {
+                let busy_secs = s.tx_bytes as f64 * 8.0 / link.config.rate_bps as f64;
+                registry.gauge_set(
+                    "link_utilization",
+                    &component,
+                    (busy_secs / elapsed_secs).min(1.0),
+                );
+            }
+        }
+
+        for node in &self.nodes {
+            let component = format!("node:{}", node.name);
+            let s = node.stats;
+            registry.counter_add("node_rx_packets_total", &component, s.rx_packets);
+            registry.counter_add("node_tx_packets_total", &component, s.tx_packets);
+            registry.counter_add("node_ttl_expired_total", &component, s.ttl_expired);
+            registry.counter_add("node_no_route_total", &component, s.no_route);
+            registry.counter_add("node_udp_delivered_total", &component, s.udp_delivered);
+            registry.counter_add("node_udp_unreachable_total", &component, s.udp_unreachable);
+            registry.counter_add("node_tcp_delivered_total", &component, s.tcp_delivered);
+            registry.counter_add("node_tcp_unreachable_total", &component, s.tcp_unreachable);
+            registry.counter_add("node_decode_errors_total", &component, s.decode_errors);
+            let r = node.reassembler.stats();
+            registry.counter_add(
+                "reassembly_fragments_received_total",
+                &component,
+                r.fragments_received,
+            );
+            registry.counter_add("reassembly_passthrough_total", &component, r.passthrough);
+            registry.counter_add("reassembly_reassembled_total", &component, r.reassembled);
+            registry.counter_add("reassembly_timed_out_total", &component, r.timed_out);
+            registry.counter_add("reassembly_duplicates_total", &component, r.duplicates);
+        }
     }
 
     /// Immutable node access.
@@ -223,13 +333,42 @@ impl SimCore {
                 return;
             }
         };
+        if fragments.len() > 1 {
+            self.stats.fragmented_datagrams += 1;
+            self.stats.fragments_sent += fragments.len() as u64;
+        }
         for frag in fragments {
             self.nodes[node.0].stats.tx_packets += 1;
             self.run_taps(Direction::Tx, node, link_id, &frag);
             let bytes = frag.total_len();
             let outcome = self.links[link_id.0].transmit(self.now, bytes, &mut self.rng);
-            if let TxOutcome::Deliver { arrival } = outcome {
-                self.schedule(arrival, Event::Arrival { link: link_id, packet: frag });
+            match outcome {
+                TxOutcome::Deliver { arrival } => {
+                    self.schedule(
+                        arrival,
+                        Event::Arrival {
+                            link: link_id,
+                            packet: frag,
+                        },
+                    );
+                }
+                TxOutcome::QueueFull | TxOutcome::Faulted => {
+                    if self.obs.enabled {
+                        let cause = if outcome == TxOutcome::Faulted {
+                            "fault injector"
+                        } else {
+                            "queue full"
+                        };
+                        let now_ns = self.now.as_nanos();
+                        self.obs.trace_with(
+                            now_ns,
+                            Severity::Warn,
+                            "link",
+                            &format!("link:{}", link_id.0),
+                            || format!("dropped {bytes}-byte packet: {cause}"),
+                        );
+                    }
+                }
             }
         }
     }
@@ -291,11 +430,23 @@ impl SimCore {
 
         // Local delivery: reassemble first.
         let now_ns = self.now.as_nanos();
-        let whole = {
+        let (whole, expired) = {
             let node = &mut self.nodes[node_id.0];
+            let timed_out_before = node.reassembler.stats().timed_out;
             node.reassembler.expire(now_ns);
-            node.reassembler.push(packet, now_ns)
+            let expired = node.reassembler.stats().timed_out - timed_out_before;
+            (node.reassembler.push(packet, now_ns), expired)
         };
+        if expired > 0 && self.obs.enabled {
+            let name = self.nodes[node_id.0].name.clone();
+            self.obs.trace_with(
+                now_ns,
+                Severity::Warn,
+                "reassembly",
+                &format!("node:{name}"),
+                || format!("discarded {expired} incomplete fragment group(s) on timeout"),
+            );
+        }
         let Some(packet) = whole else {
             return Vec::new();
         };
@@ -394,7 +545,11 @@ impl SimCore {
                 return Vec::new();
             }
         };
-        match self.nodes[node_id.0].tcp_ports.get(&segment.dst_port).copied() {
+        match self.nodes[node_id.0]
+            .tcp_ports
+            .get(&segment.dst_port)
+            .copied()
+        {
             Some(app) => {
                 self.nodes[node_id.0].stats.tcp_delivered += 1;
                 vec![Delivery::Tcp {
@@ -415,7 +570,9 @@ impl SimCore {
     /// Build and send a TCP segment from `node`.
     pub fn send_tcp_from(&mut self, node: NodeId, dst: Ipv4Addr, segment: &TcpSegment) {
         let src = self.nodes[node.0].addr;
-        let bytes = segment.encode(src, dst).expect("segment within size limits");
+        let bytes = segment
+            .encode(src, dst)
+            .expect("segment within size limits");
         let ident = self.nodes[node.0].next_ident();
         let mut packet = Ipv4Packet::new(src, dst, IpProtocol::Tcp, ident, bytes);
         packet.ttl = 128;
@@ -535,9 +692,29 @@ impl Simulation {
                 links: Vec::new(),
                 taps: Vec::new(),
                 rng: SimRng::new(seed),
+                stats: SimStats::default(),
+                obs: Obs::disabled(),
             },
             apps: Vec::new(),
         }
+    }
+
+    /// Turn on metric recording and the flight recorder. Telemetry
+    /// never draws randomness or schedules events, so a run behaves
+    /// identically either way.
+    pub fn enable_telemetry(&mut self) {
+        self.core.obs.enabled = true;
+    }
+
+    /// Event-loop counters (always on).
+    pub fn sim_stats(&self) -> SimStats {
+        self.core.sim_stats()
+    }
+
+    /// Harvest component counters into `registry`; see
+    /// [`SimCore::collect_metrics`].
+    pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
+        self.core.collect_metrics(registry);
     }
 
     /// Add an end host.
@@ -556,7 +733,9 @@ impl Simulation {
             !self.core.nodes.iter().any(|n| n.addr == addr),
             "duplicate node address {addr}"
         );
-        self.core.nodes.push(Node::new(id, name.to_string(), addr, kind));
+        self.core
+            .nodes
+            .push(Node::new(id, name.to_string(), addr, kind));
         id
     }
 
@@ -654,8 +833,12 @@ impl Simulation {
         let Some(scheduled) = self.core.queue.pop() else {
             return false;
         };
-        debug_assert!(scheduled.time >= self.core.now, "time must not run backwards");
+        debug_assert!(
+            scheduled.time >= self.core.now,
+            "time must not run backwards"
+        );
         self.core.now = scheduled.time;
+        self.core.stats.events_processed += 1;
         match scheduled.event {
             Event::AppStart(app) => self.dispatch(app, |a, ctx| a.on_start(ctx)),
             Event::Timer { app, token } => self.dispatch(app, |a, ctx| a.on_timer(ctx, token)),
@@ -736,13 +919,13 @@ mod tests {
         let mut sim = Simulation::new(seed);
         let a = sim.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
         let b = sim.add_host("b", Ipv4Addr::new(10, 0, 0, 2));
-        let (ab, ba) = sim.add_duplex(
-            a,
-            b,
-            LinkConfig::ethernet_10m(SimDuration::from_millis(1)),
-        );
-        sim.core_mut().node_mut(a).add_route(Ipv4Addr::new(10, 0, 0, 2), ab);
-        sim.core_mut().node_mut(b).add_route(Ipv4Addr::new(10, 0, 0, 1), ba);
+        let (ab, ba) = sim.add_duplex(a, b, LinkConfig::ethernet_10m(SimDuration::from_millis(1)));
+        sim.core_mut()
+            .node_mut(a)
+            .add_route(Ipv4Addr::new(10, 0, 0, 2), ab);
+        sim.core_mut()
+            .node_mut(b)
+            .add_route(Ipv4Addr::new(10, 0, 0, 1), ba);
         (sim, a, b)
     }
 
@@ -766,7 +949,9 @@ mod tests {
             _dst_port: u16,
             payload: Bytes,
         ) {
-            self.received.borrow_mut().push((ctx.now(), payload.clone()));
+            self.received
+                .borrow_mut()
+                .push((ctx.now(), payload.clone()));
             // Echo it back once.
             if payload.as_ref() == b"ping over udp" {
                 ctx.send_udp(6000, from.0, from.1, Bytes::from_static(b"pong"));

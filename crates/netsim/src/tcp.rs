@@ -91,6 +91,32 @@ pub struct TcpStats {
     pub send_buffered: usize,
 }
 
+impl TcpStats {
+    /// Harvest the connection's counters into `registry` under
+    /// `component` (cumulative counters only; snapshots such as cwnd
+    /// become gauges).
+    pub fn collect_metrics(&self, component: &str, registry: &mut turb_obs::MetricsRegistry) {
+        registry.counter_add("tcp_bytes_acked_total", component, self.bytes_acked);
+        registry.counter_add("tcp_bytes_received_total", component, self.bytes_received);
+        registry.counter_add("tcp_segments_sent_total", component, self.segments_sent);
+        registry.counter_add(
+            "tcp_segments_received_total",
+            component,
+            self.segments_received,
+        );
+        registry.counter_add(
+            "tcp_fast_retransmits_total",
+            component,
+            self.fast_retransmits,
+        );
+        registry.counter_add("tcp_rto_retransmits_total", component, self.timeouts);
+        registry.gauge_set("tcp_cwnd_bytes", component, self.cwnd);
+        if let Some(srtt) = self.srtt {
+            registry.gauge_set("tcp_srtt_seconds", component, srtt);
+        }
+    }
+}
+
 /// Tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct TcpConfig {
@@ -257,7 +283,11 @@ impl Connection {
     pub fn is_established(&self) -> bool {
         matches!(
             self.state,
-            State::Established | State::FinWait1 | State::FinWait2 | State::CloseWait | State::LastAck
+            State::Established
+                | State::FinWait1
+                | State::FinWait2
+                | State::CloseWait
+                | State::LastAck
         )
     }
 
@@ -327,7 +357,9 @@ impl Connection {
 
     /// Effective send window.
     fn window(&self) -> u32 {
-        (self.cwnd as u32).min(self.peer_window).max(self.config.mss as u32)
+        (self.cwnd as u32)
+            .min(self.peer_window)
+            .max(self.config.mss as u32)
     }
 
     /// Offset of the first unsent byte within `send_buf`, accounting
@@ -362,7 +394,9 @@ impl Connection {
     /// or processing input.
     pub fn pump(&mut self, now: SimTime) -> Vec<TcpSegment> {
         let mut out = Vec::new();
-        if !self.is_established() || self.state == State::CloseWait && self.send_buf.is_empty() && !self.fin_queued {
+        if !self.is_established()
+            || self.state == State::CloseWait && self.send_buf.is_empty() && !self.fin_queued
+        {
             // CloseWait with nothing to send: nothing to do here.
         }
         if !self.is_established() {
@@ -484,9 +518,8 @@ impl Connection {
         }
         // Timeout: multiplicative backoff, collapse the window.
         self.stats.timeouts += 1;
-        self.rto = SimDuration::from_nanos(
-            (self.rto.as_nanos() * 2).min(self.config.max_rto.as_nanos()),
-        );
+        self.rto =
+            SimDuration::from_nanos((self.rto.as_nanos() * 2).min(self.config.max_rto.as_nanos()));
         self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.config.mss as f64);
         self.cwnd = self.config.mss as f64;
         self.dup_acks = 0;
@@ -581,8 +614,7 @@ impl Connection {
                 }
                 // Drain acked payload (the SYN/FIN sequence units are
                 // not in the buffer).
-                let fin_unit =
-                    u32::from(self.fin_outstanding() && ack == self.snd_max);
+                let fin_unit = u32::from(self.fin_outstanding() && ack == self.snd_max);
                 let syn_unit = u32::from(self.snd_una == self.iss);
                 let payload_acked =
                     (newly.saturating_sub(fin_unit).saturating_sub(syn_unit)) as usize;
@@ -613,8 +645,7 @@ impl Connection {
                 } else if self.cwnd < self.ssthresh {
                     self.cwnd += self.config.mss as f64; // slow start
                 } else {
-                    self.cwnd +=
-                        self.config.mss as f64 * self.config.mss as f64 / self.cwnd;
+                    self.cwnd += self.config.mss as f64 * self.config.mss as f64 / self.cwnd;
                 }
 
                 // FIN fully acked?
@@ -646,8 +677,7 @@ impl Connection {
                 if self.dup_acks == 3 && !self.in_recovery {
                     // Fast retransmit + fast recovery.
                     self.stats.fast_retransmits += 1;
-                    self.ssthresh =
-                        (self.flight() as f64 / 2.0).max(2.0 * self.config.mss as f64);
+                    self.ssthresh = (self.flight() as f64 / 2.0).max(2.0 * self.config.mss as f64);
                     self.cwnd = self.ssthresh + 3.0 * self.config.mss as f64;
                     self.in_recovery = true;
                     self.recover = self.snd_nxt;
@@ -773,14 +803,8 @@ impl TcpDriver {
         config: TcpConfig,
     ) -> TcpDriver {
         let iss = ctx.rng().next_u64() as u32;
-        let (conn, syn) = Connection::connect(
-            local_port,
-            remote_addr,
-            remote_port,
-            iss,
-            config,
-            ctx.now(),
-        );
+        let (conn, syn) =
+            Connection::connect(local_port, remote_addr, remote_port, iss, config, ctx.now());
         ctx.send_tcp(remote_addr, &syn);
         let mut driver = TcpDriver {
             conn,

@@ -263,9 +263,10 @@ impl Application for TracertApp {
             IcmpMessage::TimeExceeded { ref original } if self.matches_probe(original, ctx) => {
                 self.advance(ctx, Some((from, rtt)), false);
             }
-            IcmpMessage::DestinationUnreachable { code: 3, ref original }
-                if self.matches_probe(original, ctx) && from == self.dst =>
-            {
+            IcmpMessage::DestinationUnreachable {
+                code: 3,
+                ref original,
+            } if self.matches_probe(original, ctx) && from == self.dst => {
                 self.advance(ctx, Some((from, rtt)), true);
             }
             _ => {}

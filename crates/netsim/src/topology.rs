@@ -42,7 +42,9 @@ pub mod calibration {
 
 /// Sample a per-site hop count from the Figure 2 calibration.
 pub fn sample_hop_count(rng: &mut SimRng) -> usize {
-    let h = rng.normal(calibration::HOPS_MEAN, calibration::HOPS_STD).round();
+    let h = rng
+        .normal(calibration::HOPS_MEAN, calibration::HOPS_STD)
+        .round();
     (h as i64).clamp(calibration::HOPS_MIN as i64, calibration::HOPS_MAX as i64) as usize
 }
 
@@ -260,7 +262,9 @@ mod tests {
     #[test]
     fn rtt_samples_match_figure1_calibration() {
         let mut rng = SimRng::new(2);
-        let mut ms: Vec<f64> = (0..2000).map(|_| sample_rtt(&mut rng).as_millis_f64()).collect();
+        let mut ms: Vec<f64> = (0..2000)
+            .map(|_| sample_rtt(&mut rng).as_millis_f64())
+            .collect();
         ms.sort_by(f64::total_cmp);
         let median = ms[ms.len() / 2];
         assert!((30.0..=50.0).contains(&median), "median = {median}");

@@ -1,0 +1,209 @@
+//! # turb-obs — deterministic telemetry for the turbulence workspace
+//!
+//! Three small pieces, zero dependencies:
+//!
+//! * [`MetricsRegistry`] — counters, gauges, and fixed-bucket
+//!   histograms keyed by a `&'static str` metric name plus a component
+//!   label, rendered Prometheus-style by
+//!   [`MetricsRegistry::render_text`].
+//! * [`TraceRecorder`] — a bounded flight recorder of sim-time-stamped
+//!   [`TraceEvent`]s with severity and category, dumped as JSON Lines.
+//! * [`ScopeTimer`] — wall-clock scopes that observe their duration
+//!   into a histogram when finished.
+//!
+//! ## The no-perturbation invariant
+//!
+//! Telemetry must never change simulation results. Nothing in this
+//! crate draws randomness, schedules events, or inspects simulator
+//! state; recording a metric is a pure integer/float update on the
+//! side. Instrumented components either keep counters that are always
+//! on (plain `u64` increments, present whether or not anyone reads
+//! them) or gate trace emission on [`Obs::enabled`] *outside* their
+//! hot paths, so a run with telemetry on is bit-identical to the same
+//! seed with telemetry off. The workspace `tests/telemetry.rs` suite
+//! asserts this end to end.
+
+mod metrics;
+mod report;
+mod trace;
+
+pub use metrics::{Histogram, Key, MetricsRegistry, SCOPE_NS_BUCKETS};
+pub use report::{FragReport, LinkReport, PlayerReport, RunReport};
+pub use trace::{Severity, TraceEvent, TraceRecorder};
+
+use std::time::Instant;
+
+/// The telemetry context a component threads through a run: a metrics
+/// registry plus a flight recorder, with a master switch.
+///
+/// When `enabled` is false every helper is a cheap no-op, and the
+/// lazy-message forms ([`Obs::trace_with`]) never build their strings.
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// Master switch. Off means helpers do nothing.
+    pub enabled: bool,
+    /// Metrics recorded so far.
+    pub metrics: MetricsRegistry,
+    /// Flight recorder.
+    pub trace: TraceRecorder,
+}
+
+impl Obs {
+    /// A disabled context (all recording is a no-op).
+    pub fn disabled() -> Obs {
+        Obs::default()
+    }
+
+    /// An enabled context with default trace capacity.
+    pub fn enabled() -> Obs {
+        Obs {
+            enabled: true,
+            ..Obs::default()
+        }
+    }
+
+    /// Add to a counter when enabled.
+    pub fn counter_add(&mut self, name: &'static str, component: &str, delta: u64) {
+        if self.enabled {
+            self.metrics.counter_add(name, component, delta);
+        }
+    }
+
+    /// Set a gauge when enabled.
+    pub fn gauge_set(&mut self, name: &'static str, component: &str, value: f64) {
+        if self.enabled {
+            self.metrics.gauge_set(name, component, value);
+        }
+    }
+
+    /// Raise a high-water gauge when enabled.
+    pub fn gauge_max(&mut self, name: &'static str, component: &str, value: f64) {
+        if self.enabled {
+            self.metrics.gauge_max(name, component, value);
+        }
+    }
+
+    /// Observe a histogram value when enabled.
+    pub fn histogram_observe(
+        &mut self,
+        name: &'static str,
+        component: &str,
+        bounds: &'static [f64],
+        value: f64,
+    ) {
+        if self.enabled {
+            self.metrics
+                .histogram_observe(name, component, bounds, value);
+        }
+    }
+
+    /// Record a trace event when enabled, building the message lazily
+    /// so disabled runs pay no formatting cost.
+    pub fn trace_with(
+        &mut self,
+        time_ns: u64,
+        severity: Severity,
+        category: &'static str,
+        component: &str,
+        message: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.trace.emit(
+                time_ns,
+                severity,
+                category,
+                component.to_string(),
+                message(),
+            );
+        }
+    }
+
+    /// Start a wall-clock scope. Always measures (the cost is one
+    /// `Instant::now`); whether the result lands in the registry is
+    /// decided when the scope is finished.
+    pub fn scope(&self, name: &'static str, component: &str) -> ScopeTimer {
+        ScopeTimer::start(name, component)
+    }
+}
+
+/// A wall-clock profiling scope. Create with [`ScopeTimer::start`] (or
+/// [`Obs::scope`]), then call [`ScopeTimer::finish`] to observe the
+/// elapsed nanoseconds into `<name>_ns` in a registry, or
+/// [`ScopeTimer::elapsed_ns`] to just read the clock.
+///
+/// Wall-clock time is inherently nondeterministic, so it is kept out
+/// of anything that feeds figure data — it only ever lands in
+/// telemetry histograms.
+#[derive(Debug)]
+pub struct ScopeTimer {
+    name: &'static str,
+    component: String,
+    started: Instant,
+}
+
+impl ScopeTimer {
+    /// Start timing now.
+    pub fn start(name: &'static str, component: &str) -> ScopeTimer {
+        ScopeTimer {
+            name,
+            component: component.to_string(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the scope started (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Stop timing and observe the duration into `registry` under
+    /// `<name>_ns` with the scope's component label. Returns the
+    /// elapsed nanoseconds.
+    pub fn finish(self, registry: &mut MetricsRegistry) -> u64 {
+        let elapsed = self.elapsed_ns();
+        registry.histogram_observe(self.name, &self.component, SCOPE_NS_BUCKETS, elapsed as f64);
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let mut obs = Obs::disabled();
+        obs.counter_add("c_total", "x", 1);
+        obs.gauge_max("g", "x", 2.0);
+        obs.histogram_observe("h", "x", SCOPE_NS_BUCKETS, 3.0);
+        let mut called = false;
+        obs.trace_with(0, Severity::Info, "cat", "x", || {
+            called = true;
+            String::new()
+        });
+        assert!(obs.metrics.is_empty());
+        assert!(obs.trace.is_empty());
+        assert!(!called, "message closure must not run when disabled");
+    }
+
+    #[test]
+    fn enabled_obs_records() {
+        let mut obs = Obs::enabled();
+        obs.counter_add("c_total", "x", 2);
+        obs.trace_with(5, Severity::Warn, "cat", "x", || "hello".to_string());
+        assert_eq!(obs.metrics.counter("c_total", "x"), 2);
+        assert_eq!(obs.trace.len(), 1);
+    }
+
+    #[test]
+    fn scope_timer_lands_in_histogram() {
+        let mut reg = MetricsRegistry::new();
+        let timer = ScopeTimer::start("pair_run_wall_ns", "set1/high");
+        std::hint::black_box(0u64);
+        let elapsed = timer.finish(&mut reg);
+        let hist = reg.histogram("pair_run_wall_ns", "set1/high").unwrap();
+        assert_eq!(hist.count, 1);
+        assert!(hist.sum >= 0.0);
+        let _ = elapsed;
+    }
+}

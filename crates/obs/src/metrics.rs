@@ -1,0 +1,309 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms
+//! keyed by a static metric name plus a per-instance component label.
+//!
+//! Everything is deterministic: keys live in `BTreeMap`s so iteration
+//! (and therefore [`MetricsRegistry::render_text`]) is stable, and no
+//! operation draws randomness or perturbs caller state. Recording a
+//! metric is an integer update — cheap enough to leave on everywhere.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A metric instance: static metric name + owned component label
+/// (e.g. `("link_dropped_queue_total", "link:3")`).
+pub type Key = (&'static str, String);
+
+/// A fixed-bucket histogram (Prometheus-style cumulative buckets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of the buckets, ascending. An implicit `+Inf`
+    /// bucket always follows.
+    pub bounds: &'static [f64],
+    /// Observation counts per bucket; `counts[bounds.len()]` is the
+    /// overflow (`+Inf`) bucket.
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket bounds.
+    pub fn new(bounds: &'static [f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merge another histogram with identical bounds into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds must match");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// Default wall-clock scope buckets in nanoseconds: 1 µs … 100 s.
+pub const SCOPE_NS_BUCKETS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11];
+
+/// The registry of all metrics recorded during a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to a counter, creating it at zero first.
+    pub fn counter_add(&mut self, name: &'static str, component: &str, delta: u64) {
+        *self
+            .counters
+            .entry((name, component.to_string()))
+            .or_insert(0) += delta;
+    }
+
+    /// Set a gauge to `value`.
+    pub fn gauge_set(&mut self, name: &'static str, component: &str, value: f64) {
+        self.gauges.insert((name, component.to_string()), value);
+    }
+
+    /// Raise a gauge to `value` if it is below it (high-water marks).
+    pub fn gauge_max(&mut self, name: &'static str, component: &str, value: f64) {
+        let entry = self
+            .gauges
+            .entry((name, component.to_string()))
+            .or_insert(f64::NEG_INFINITY);
+        if value > *entry {
+            *entry = value;
+        }
+    }
+
+    /// Observe `value` into a histogram created with `bounds` on first
+    /// use.
+    pub fn histogram_observe(
+        &mut self,
+        name: &'static str,
+        component: &str,
+        bounds: &'static [f64],
+        value: f64,
+    ) {
+        self.histograms
+            .entry((name, component.to_string()))
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Read a counter (0 when absent).
+    pub fn counter(&self, name: &str, component: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|((n, c), _)| *n == name && c == component)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Sum of a counter over every component.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Read a gauge.
+    pub fn gauge(&self, name: &str, component: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|((n, c), _)| *n == name && c == component)
+            .map(|(_, v)| *v)
+    }
+
+    /// Read a histogram.
+    pub fn histogram(&self, name: &str, component: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|((n, c), _)| *n == name && c == component)
+            .map(|(_, v)| v)
+    }
+
+    /// All counters in deterministic (name, component) order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, &str, u64)> + '_ {
+        self.counters.iter().map(|((n, c), v)| (*n, c.as_str(), *v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge every metric from `other` into this registry (counters and
+    /// histograms add; gauges take the max, which suits high-water
+    /// marks — the only gauges the pipeline records).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for ((n, c), v) in &other.counters {
+            *self.counters.entry((n, c.clone())).or_insert(0) += v;
+        }
+        for ((n, c), v) in &other.gauges {
+            let entry = self
+                .gauges
+                .entry((n, c.clone()))
+                .or_insert(f64::NEG_INFINITY);
+            if *v > *entry {
+                *entry = *v;
+            }
+        }
+        for ((n, c), h) in &other.histograms {
+            self.histograms
+                .entry((n, c.clone()))
+                .or_insert_with(|| Histogram::new(h.bounds))
+                .merge(h);
+        }
+    }
+
+    /// Prometheus-style text exposition, deterministically ordered.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for ((name, component), value) in &self.counters {
+            let _ = writeln!(out, "{name}{{component=\"{component}\"}} {value}");
+        }
+        for ((name, component), value) in &self.gauges {
+            let _ = writeln!(out, "{name}{{component=\"{component}\"}} {value}");
+        }
+        for ((name, component), hist) in &self.histograms {
+            let mut cumulative = 0u64;
+            for (i, count) in hist.counts.iter().enumerate() {
+                cumulative += count;
+                let le = hist
+                    .bounds
+                    .get(i)
+                    .map(|b| format!("{b}"))
+                    .unwrap_or_else(|| "+Inf".to_string());
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{component=\"{component}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(out, "{name}_sum{{component=\"{component}\"}} {}", hist.sum);
+            let _ = writeln!(
+                out,
+                "{name}_count{{component=\"{component}\"}} {}",
+                hist.count
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_component() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("drops_total", "link:0", 2);
+        reg.counter_add("drops_total", "link:0", 3);
+        reg.counter_add("drops_total", "link:1", 7);
+        assert_eq!(reg.counter("drops_total", "link:0"), 5);
+        assert_eq!(reg.counter("drops_total", "link:1"), 7);
+        assert_eq!(reg.counter_total("drops_total"), 12);
+        assert_eq!(reg.counter("missing", "x"), 0);
+    }
+
+    #[test]
+    fn gauge_max_keeps_high_water() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_max("queue_high_water", "sim", 5.0);
+        reg.gauge_max("queue_high_water", "sim", 3.0);
+        reg.gauge_max("queue_high_water", "sim", 9.0);
+        assert_eq!(reg.gauge("queue_high_water", "sim"), Some(9.0));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_render() {
+        let mut reg = MetricsRegistry::new();
+        for v in [0.5, 1.5, 2.5, 100.0] {
+            reg.histogram_observe("lat", "a", &[1.0, 2.0, 3.0], v);
+        }
+        let h = reg.histogram("lat", "a").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.counts, vec![1, 1, 1, 1]);
+        let text = reg.render_text();
+        assert!(text.contains("lat_bucket{component=\"a\",le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{component=\"a\",le=\"3\"} 3"));
+        assert!(text.contains("lat_bucket{component=\"a\",le=\"+Inf\"} 4"));
+        assert!(text.contains("lat_count{component=\"a\"} 4"));
+    }
+
+    #[test]
+    fn render_text_is_deterministic() {
+        let build = || {
+            let mut reg = MetricsRegistry::new();
+            reg.counter_add("b_total", "z", 1);
+            reg.counter_add("a_total", "y", 2);
+            reg.gauge_set("g", "x", 1.25);
+            reg.histogram_observe("h", "w", &[1.0], 0.5);
+            reg.render_text()
+        };
+        assert_eq!(build(), build());
+        // Sorted by (name, component), counters first.
+        let text = build();
+        let a = text.find("a_total").unwrap();
+        let b = text.find("b_total").unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter_add("c_total", "x", 1);
+        b.counter_add("c_total", "x", 2);
+        b.counter_add("d_total", "y", 4);
+        a.gauge_max("hw", "s", 3.0);
+        b.gauge_max("hw", "s", 5.0);
+        a.histogram_observe("h", "p", &[1.0], 0.5);
+        b.histogram_observe("h", "p", &[1.0], 2.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c_total", "x"), 3);
+        assert_eq!(a.counter("d_total", "y"), 4);
+        assert_eq!(a.gauge("hw", "s"), Some(5.0));
+        assert_eq!(a.histogram("h", "p").unwrap().count, 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-run telemetry summaries: plain-data structs a simulation fills
+//! in at the end of a run, plus a fixed-width textual rendering for
+//! the CLI.
+
+use std::fmt::Write as _;
+
+/// Telemetry for one simulated link.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkReport {
+    /// Link identifier, e.g. `"link:0"`.
+    pub component: String,
+    /// Packets transmitted onto the wire.
+    pub tx_packets: u64,
+    /// Bytes transmitted onto the wire.
+    pub tx_bytes: u64,
+    /// Drop-tail queue drops.
+    pub dropped_queue: u64,
+    /// RED early drops.
+    pub dropped_red: u64,
+    /// Drops induced by the fault injector at this link.
+    pub dropped_fault: u64,
+    /// Fraction of run time the link spent transmitting (0..=1).
+    pub utilization: f64,
+}
+
+impl LinkReport {
+    /// All drops at this link, regardless of cause.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_queue + self.dropped_red + self.dropped_fault
+    }
+}
+
+/// Fragmentation and reassembly telemetry, both directions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FragReport {
+    /// Datagrams the sender had to fragment.
+    pub fragmented_datagrams: u64,
+    /// Fragments produced by the sender.
+    pub fragments_sent: u64,
+    /// Fragments received by reassemblers.
+    pub fragments_received: u64,
+    /// Datagrams successfully reassembled.
+    pub reassembled: u64,
+    /// Unfragmented datagrams passed through reassembly untouched.
+    pub passthrough: u64,
+    /// Partial fragment groups discarded on timeout.
+    pub timed_out: u64,
+    /// Duplicate fragments discarded.
+    pub duplicates: u64,
+}
+
+/// Player-side telemetry for one application.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlayerReport {
+    /// Player identifier, e.g. `"player:mediaplayer"`.
+    pub component: String,
+    /// Playout buffer underruns.
+    pub buffer_underruns: u64,
+    /// Interleave batches flushed to the network.
+    pub batch_flushes: u64,
+    /// Media-scaling rate switches.
+    pub scaling_switches: u64,
+    /// Packets delivered to the player.
+    pub packets_received: u64,
+}
+
+/// Telemetry for one pair run, assembled after the simulation ends.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Run label, e.g. `"set1/high"`.
+    pub label: String,
+    /// Wall-clock duration of the run in nanoseconds.
+    pub wall_ns: u64,
+    /// Events popped off the simulator queue.
+    pub sim_events_processed: u64,
+    /// Events pushed onto the simulator queue.
+    pub sim_events_scheduled: u64,
+    /// Maximum simulator queue length observed.
+    pub queue_high_water: u64,
+    /// Packets the fault injector deliberately dropped.
+    pub fault_induced_losses: u64,
+    /// Packets the fault injector delayed (reorder jitter).
+    pub fault_delayed: u64,
+    /// Records the sniffer captured.
+    pub capture_records: u64,
+    /// Per-link telemetry.
+    pub links: Vec<LinkReport>,
+    /// Fragmentation/reassembly telemetry.
+    pub frag: FragReport,
+    /// Per-player telemetry.
+    pub players: Vec<PlayerReport>,
+}
+
+impl RunReport {
+    /// Simulator throughput in events per wall-clock second (0 when
+    /// the wall clock recorded nothing).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.sim_events_processed as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// Total drops across every link.
+    pub fn link_drops_total(&self) -> u64 {
+        self.links.iter().map(LinkReport::dropped_total).sum()
+    }
+
+    /// Fold another report into this one (used to aggregate a corpus).
+    /// Labels are joined with `+`; per-component vectors concatenate.
+    pub fn absorb(&mut self, other: &RunReport) {
+        if self.label.is_empty() {
+            self.label = other.label.clone();
+        } else if !other.label.is_empty() {
+            self.label.push('+');
+            self.label.push_str(&other.label);
+        }
+        self.wall_ns += other.wall_ns;
+        self.sim_events_processed += other.sim_events_processed;
+        self.sim_events_scheduled += other.sim_events_scheduled;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.fault_induced_losses += other.fault_induced_losses;
+        self.fault_delayed += other.fault_delayed;
+        self.capture_records += other.capture_records;
+        self.links.extend(other.links.iter().cloned());
+        self.frag.fragmented_datagrams += other.frag.fragmented_datagrams;
+        self.frag.fragments_sent += other.frag.fragments_sent;
+        self.frag.fragments_received += other.frag.fragments_received;
+        self.frag.reassembled += other.frag.reassembled;
+        self.frag.passthrough += other.frag.passthrough;
+        self.frag.timed_out += other.frag.timed_out;
+        self.frag.duplicates += other.frag.duplicates;
+        self.players.extend(other.players.iter().cloned());
+    }
+
+    /// Fixed-width human-readable rendering for terminal output.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "run {}", self.label);
+        let _ = writeln!(
+            out,
+            "  wall clock      {:>12.3} ms   ({:.0} events/sec)",
+            self.wall_ns as f64 / 1e6,
+            self.events_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "  sim events      {:>12} processed / {} scheduled",
+            self.sim_events_processed, self.sim_events_scheduled
+        );
+        let _ = writeln!(out, "  queue high-water{:>12}", self.queue_high_water);
+        let _ = writeln!(
+            out,
+            "  fault injector  {:>12} losses / {} delayed",
+            self.fault_induced_losses, self.fault_delayed
+        );
+        let _ = writeln!(out, "  capture records {:>12}", self.capture_records);
+        let f = &self.frag;
+        let _ = writeln!(
+            out,
+            "  fragmentation   {:>12} datagrams split into {} fragments",
+            f.fragmented_datagrams, f.fragments_sent
+        );
+        let _ = writeln!(
+            out,
+            "  reassembly      {:>12} ok / {} timeout-discard / {} duplicate ({} frags seen, {} passthrough)",
+            f.reassembled, f.timed_out, f.duplicates, f.fragments_received, f.passthrough
+        );
+        let mut idle = 0usize;
+        for link in &self.links {
+            // Scenario topologies carry many links the run never uses;
+            // listing them would drown the active ones.
+            if link.tx_packets == 0 && link.dropped_total() == 0 {
+                idle += 1;
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<15} {:>12} tx pkts / {} drop-tail / {} red / {} fault  (util {:.1}%)",
+                link.component,
+                link.tx_packets,
+                link.dropped_queue,
+                link.dropped_red,
+                link.dropped_fault,
+                link.utilization * 100.0
+            );
+        }
+        if idle > 0 {
+            let _ = writeln!(out, "  ({idle} idle links omitted)");
+        }
+        for p in &self.players {
+            let _ = writeln!(
+                out,
+                "  {:<15} {:>12} rx pkts / {} underruns / {} batch flushes / {} scaling switches",
+                p.component,
+                p.packets_received,
+                p.buffer_underruns,
+                p.batch_flushes,
+                p.scaling_switches
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            label: "set1/high".to_string(),
+            wall_ns: 2_000_000_000,
+            sim_events_processed: 1_000_000,
+            sim_events_scheduled: 1_000_100,
+            queue_high_water: 42,
+            fault_induced_losses: 17,
+            fault_delayed: 3,
+            capture_records: 998,
+            links: vec![LinkReport {
+                component: "link:0".to_string(),
+                tx_packets: 1000,
+                tx_bytes: 500_000,
+                dropped_queue: 5,
+                dropped_red: 0,
+                dropped_fault: 17,
+                utilization: 0.5,
+            }],
+            frag: FragReport {
+                fragmented_datagrams: 10,
+                fragments_sent: 30,
+                fragments_received: 28,
+                reassembled: 9,
+                passthrough: 900,
+                timed_out: 1,
+                duplicates: 0,
+            },
+            players: vec![PlayerReport {
+                component: "player:mediaplayer".to_string(),
+                buffer_underruns: 2,
+                batch_flushes: 50,
+                scaling_switches: 1,
+                packets_received: 990,
+            }],
+        }
+    }
+
+    #[test]
+    fn events_per_sec_uses_wall_clock() {
+        let r = sample();
+        assert!((r.events_per_sec() - 500_000.0).abs() < 1.0);
+        let zero = RunReport::default();
+        assert_eq!(zero.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn drops_total_sums_causes() {
+        let r = sample();
+        assert_eq!(r.link_drops_total(), 22);
+    }
+
+    #[test]
+    fn absorb_aggregates() {
+        let mut total = RunReport::default();
+        total.absorb(&sample());
+        total.absorb(&sample());
+        assert_eq!(total.sim_events_processed, 2_000_000);
+        assert_eq!(total.queue_high_water, 42);
+        assert_eq!(total.links.len(), 2);
+        assert_eq!(total.frag.timed_out, 2);
+        assert_eq!(total.label, "set1/high+set1/high");
+    }
+
+    #[test]
+    fn table_mentions_the_headline_numbers() {
+        let text = sample().render_table();
+        assert!(text.contains("set1/high"));
+        assert!(text.contains("1000000 processed"));
+        assert!(text.contains("42"));
+        assert!(text.contains("timeout-discard"));
+        assert!(text.contains("link:0"));
+    }
+}

@@ -1,0 +1,194 @@
+//! The flight recorder: a bounded ring buffer of sim-time-stamped
+//! structured trace events.
+//!
+//! The recorder never allocates per event while disabled (callers gate
+//! on [`crate::Obs::enabled`] and build messages lazily), and a full
+//! buffer evicts the oldest event, so memory stays bounded no matter
+//! how long a simulation runs.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Event severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fine-grained diagnostics.
+    Debug,
+    /// Normal lifecycle events.
+    Info,
+    /// Losses, timeouts, and other degradations.
+    Warn,
+    /// Invariant violations.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time in nanoseconds.
+    pub time_ns: u64,
+    /// Severity.
+    pub severity: Severity,
+    /// Static category, e.g. `"link"`, `"reassembly"`, `"fault"`.
+    pub category: &'static str,
+    /// Component label, e.g. `"link:3"`.
+    pub component: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecorder {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Events evicted because the ring was full.
+    evicted: u64,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::with_capacity(4096)
+    }
+}
+
+impl TraceRecorder {
+    /// A recorder holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> TraceRecorder {
+        TraceRecorder {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// Record an event, evicting the oldest when full.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Convenience: record from parts.
+    pub fn emit(
+        &mut self,
+        time_ns: u64,
+        severity: Severity,
+        category: &'static str,
+        component: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.record(TraceEvent {
+            time_ns,
+            severity,
+            category,
+            component: component.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Serialise the retained events as JSON Lines (one object per
+    /// line), suitable for `jq` or trace viewers.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            let _ = writeln!(
+                out,
+                "{{\"t_ns\":{},\"severity\":\"{}\",\"category\":\"{}\",\"component\":\"{}\",\"message\":\"{}\"}}",
+                ev.time_ns,
+                ev.severity.label(),
+                json_escape(ev.category),
+                json_escape(&ev.component),
+                json_escape(&ev.message),
+            );
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut rec = TraceRecorder::with_capacity(2);
+        for i in 0..5u64 {
+            rec.emit(i, Severity::Info, "cat", "c", format!("event {i}"));
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.evicted(), 3);
+        let times: Vec<u64> = rec.events().map(|e| e.time_ns).collect();
+        assert_eq!(times, vec![3, 4]);
+    }
+
+    #[test]
+    fn jsonl_escapes_and_is_one_line_per_event() {
+        let mut rec = TraceRecorder::default();
+        rec.emit(7, Severity::Warn, "link", "link:0", "drop \"tail\"\n2nd");
+        let jsonl = rec.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\\\"tail\\\""));
+        assert!(jsonl.contains("\\n2nd"));
+        assert!(jsonl.contains("\"severity\":\"warn\""));
+        assert!(jsonl.contains("\"t_ns\":7"));
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Warn < Severity::Error);
+    }
+}

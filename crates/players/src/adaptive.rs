@@ -12,7 +12,6 @@ use crate::calibration::{END_FRAME_MARKER, REAL_PACING_SIGMA};
 use crate::config::{StreamConfig, START_REQUEST};
 use crate::scaling::{MediaScaler, RateLadder, ScalingPolicy};
 use bytes::Bytes;
-use serde::Serialize;
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
@@ -28,7 +27,7 @@ const FEEDBACK_MAGIC: &[u8; 8] = b"TURB-FB1";
 const FEEDBACK_INTERVAL_MS: u64 = 2000;
 
 /// One entry of the server's rate history.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RateChange {
     /// When the change took effect (ns of sim time).
     pub time_ns: u64,
@@ -37,7 +36,7 @@ pub struct RateChange {
 }
 
 /// Shared log of an adaptive session.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AdaptiveLog {
     /// Server-side rate changes over time.
     pub rate_history: Vec<RateChange>,
@@ -124,7 +123,12 @@ impl AdaptiveServer {
                     buffering: false,
                 };
                 self.seq += 1;
-                ctx.send_udp(self.config.server_port, addr, port, end.encode_with_padding(0));
+                ctx.send_udp(
+                    self.config.server_port,
+                    addr,
+                    port,
+                    end.encode_with_padding(0),
+                );
             }
             self.done = true;
             return;
@@ -138,13 +142,7 @@ impl AdaptiveServer {
 }
 
 impl Application for AdaptiveServer {
-    fn on_udp(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        from: (Ipv4Addr, u16),
-        _dst_port: u16,
-        payload: Bytes,
-    ) {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: (Ipv4Addr, u16), _dst_port: u16, payload: Bytes) {
         if payload.as_ref() == START_REQUEST && self.client.is_none() {
             self.client = Some(from);
             self.log.borrow_mut().rate_history.push(RateChange {
@@ -200,7 +198,10 @@ impl Application for AdaptiveClient {
             self.config.server_port,
             Bytes::from_static(START_REQUEST),
         );
-        ctx.set_timer_after(SimDuration::from_millis(FEEDBACK_INTERVAL_MS), TOKEN_FEEDBACK);
+        ctx.set_timer_after(
+            SimDuration::from_millis(FEEDBACK_INTERVAL_MS),
+            TOKEN_FEEDBACK,
+        );
         ctx.set_timer_after(SimDuration::from_secs(2), TOKEN_RETRY);
     }
 
@@ -260,16 +261,15 @@ impl Application for AdaptiveClient {
                     );
                 }
             }
-            TOKEN_RETRY
-                if !self.started => {
-                    ctx.send_udp(
-                        self.config.client_port,
-                        self.config.server_addr,
-                        self.config.server_port,
-                        Bytes::from_static(START_REQUEST),
-                    );
-                    ctx.set_timer_after(SimDuration::from_secs(2), TOKEN_RETRY);
-                }
+            TOKEN_RETRY if !self.started => {
+                ctx.send_udp(
+                    self.config.client_port,
+                    self.config.server_addr,
+                    self.config.server_port,
+                    Bytes::from_static(START_REQUEST),
+                );
+                ctx.set_timer_after(SimDuration::from_secs(2), TOKEN_RETRY);
+            }
             _ => {}
         }
     }
@@ -300,7 +300,12 @@ pub fn spawn_adaptive_stream(
         log: log.clone(),
         config: config.clone(),
     };
-    let server_app = sim.add_app(server_node, Box::new(server), Some(config.server_port), false);
+    let server_app = sim.add_app(
+        server_node,
+        Box::new(server),
+        Some(config.server_port),
+        false,
+    );
     let client = AdaptiveClient {
         next_seq: 0,
         window_received: 0,
@@ -310,7 +315,12 @@ pub fn spawn_adaptive_stream(
         log: log.clone(),
         config: config.clone(),
     };
-    let client_app = sim.add_app(client_node, Box::new(client), Some(config.client_port), false);
+    let client_app = sim.add_app(
+        client_node,
+        Box::new(client),
+        Some(config.client_port),
+        false,
+    );
     (log, server_app, client_app)
 }
 
@@ -346,8 +356,14 @@ mod tests {
             client_port: 7002,
             bottleneck_bps,
         };
-        let (log, _, _) =
-            spawn_adaptive_stream(&mut sim, server, client, config, ScalingPolicy::default(), &mut rng);
+        let (log, _, _) = spawn_adaptive_stream(
+            &mut sim,
+            server,
+            client,
+            config,
+            ScalingPolicy::default(),
+            &mut rng,
+        );
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(120));
         let out = log.borrow().clone();
         out
@@ -388,8 +404,13 @@ mod tests {
         // to a cleanly delivered lower tier.
         let adaptive = constrained_run(120_000, 11);
         assert!(adaptive.overall_loss() < 0.35);
-        let mut tail: Vec<f64> =
-            adaptive.reported_loss.iter().rev().take(10).copied().collect();
+        let mut tail: Vec<f64> = adaptive
+            .reported_loss
+            .iter()
+            .rev()
+            .take(10)
+            .copied()
+            .collect();
         tail.sort_by(f64::total_cmp);
         let late_median = tail[tail.len() / 2];
         assert!(late_median < 0.05, "adaptive late loss {late_median}");

@@ -193,8 +193,8 @@ mod tests {
         let t_low = REAL_AHEAD_TARGET_SECS / (beta_low / REAL_OVERHEAD - 1.0);
         assert!((14.0..=25.0).contains(&t_low), "t_low = {t_low}");
         let beta_high = real_buffering_ratio(268.0);
-        let t_high = (REAL_AHEAD_TARGET_SECS / (beta_high / REAL_OVERHEAD - 1.0))
-            .min(REAL_MAX_BURST_SECS);
+        let t_high =
+            (REAL_AHEAD_TARGET_SECS / (beta_high / REAL_OVERHEAD - 1.0)).min(REAL_MAX_BURST_SECS);
         assert!((35.0..=46.0).contains(&t_high), "t_high = {t_high}");
     }
 

@@ -127,9 +127,7 @@ impl ClientCore {
 
         // Pre-roll: playout starts once PREROLL seconds of media are
         // buffered.
-        if self.playout_start.is_none()
-            && f64::from(self.max_media_ms) / 1000.0 >= PREROLL_SECS
-        {
+        if self.playout_start.is_none() && f64::from(self.max_media_ms) / 1000.0 >= PREROLL_SECS {
             self.playout_start = Some(now);
             self.log.borrow_mut().playout_start = Some(now);
         }
@@ -138,8 +136,11 @@ impl ClientCore {
 
     /// Playback position (seconds of media) at `now`, if playing.
     pub fn position_secs(&self, now: SimTime) -> Option<f64> {
-        self.playout_start
-            .map(|t0| now.since(t0).as_secs_f64().min(self.config.clip.duration_secs))
+        self.playout_start.map(|t0| {
+            now.since(t0)
+                .as_secs_f64()
+                .min(self.config.clip.duration_secs)
+        })
     }
 
     /// Frames played during the second ending at `now`: the nominal
@@ -171,6 +172,15 @@ impl ClientCore {
         }
         let now = ctx.now();
         let frames = self.frames_this_second(now);
+        // Underrun check: playing, clip not finished, but the playout
+        // clock has caught up with everything buffered so far.
+        if let Some(position) = self.position_secs(now) {
+            let buffered_secs = f64::from(self.max_media_ms) / 1000.0;
+            if !self.ended && position < self.config.clip.duration_secs && position >= buffered_secs
+            {
+                self.log.borrow_mut().buffer_underruns += 1;
+            }
+        }
         {
             let mut log = self.log.borrow_mut();
             log.per_second.push(SecondStats {
@@ -192,9 +202,9 @@ impl ClientCore {
             .position_secs(now)
             .is_some_and(|p| p >= self.config.clip.duration_secs)
             && self.ended;
-        let hard_cap = self
-            .started_at
-            .is_some_and(|t0| now.since(t0).as_secs_f64() > self.config.clip.duration_secs * 3.0 + 120.0);
+        let hard_cap = self.started_at.is_some_and(|t0| {
+            now.since(t0).as_secs_f64() > self.config.clip.duration_secs * 3.0 + 120.0
+        });
         if played_out || hard_cap {
             self.finished_logging = true;
             return false;
@@ -282,6 +292,10 @@ mod tests {
         c.sec_lost = 5; // 50 % loss this second
         let f = c.frames_this_second(SimTime(10_000_000_000));
         let fps = codec::nominal_fps(c.config.clip.player, c.config.clip.encoded_kbps);
-        assert!((f64::from(f) - fps / 2.0).abs() <= 1.0, "{f} vs {}", fps / 2.0);
+        assert!(
+            (f64::from(f) - fps / 2.0).abs() <= 1.0,
+            "{f} vs {}",
+            fps / 2.0
+        );
     }
 }

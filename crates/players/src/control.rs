@@ -147,13 +147,7 @@ impl<S: MediaServerCore> Application for ControlledServer<S> {
         self.drain_control(ctx);
     }
 
-    fn on_udp(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        from: (Ipv4Addr, u16),
-        dst_port: u16,
-        payload: Bytes,
-    ) {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: (Ipv4Addr, u16), dst_port: u16, payload: Bytes) {
         // The tracker clients still broadcast the legacy UDP START (and
         // the adaptive feedback reports); forward them to the engine.
         self.inner.on_udp(ctx, from, dst_port, payload);
@@ -346,12 +340,22 @@ pub fn spawn_controlled_stream(
     let log = match config.clip.player {
         PlayerId::MediaPlayer => {
             let (client, log) = crate::wmp_client::WmpClient::new(config.clone());
-            sim.add_app(client_node, Box::new(client), Some(config.client_port), false);
+            sim.add_app(
+                client_node,
+                Box::new(client),
+                Some(config.client_port),
+                false,
+            );
             log
         }
         PlayerId::RealPlayer => {
             let (client, log) = crate::real_client::RealClient::new(config.clone());
-            sim.add_app(client_node, Box::new(client), Some(config.client_port), false);
+            sim.add_app(
+                client_node,
+                Box::new(client),
+                Some(config.client_port),
+                false,
+            );
             log
         }
     };

@@ -33,6 +33,7 @@ pub mod real_server;
 pub mod scaling;
 pub mod spawn;
 pub mod stats;
+pub mod telemetry;
 pub mod wmp_client;
 pub mod wmp_server;
 

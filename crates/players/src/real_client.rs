@@ -86,11 +86,16 @@ mod tests {
         sim.core_mut().node_mut(server).default_route = Some(sc);
         sim.core_mut().node_mut(client).default_route = Some(cs);
         let rng = SimRng::new(seed).fork(1);
-        sim.add_app(server, Box::new(RealServer::new(config.clone(), rng)), Some(554), false);
+        sim.add_app(
+            server,
+            Box::new(RealServer::new(config.clone(), rng)),
+            Some(554),
+            false,
+        );
         let (app, log) = RealClient::new(config.clone());
         sim.add_app(client, Box::new(app), Some(7002), false);
-        let limit = SimTime::ZERO
-            + SimDuration::from_secs_f64(config.clip.duration_secs * 2.0 + 60.0);
+        let limit =
+            SimTime::ZERO + SimDuration::from_secs_f64(config.clip.duration_secs * 2.0 + 60.0);
         sim.run_to_idle(limit);
         log
     }
@@ -103,7 +108,10 @@ mod tests {
         assert_eq!(log.packets_lost, 0);
         let expected = log.clip.media_bytes() as f64 * REAL_OVERHEAD;
         let got = log.bytes_total as f64;
-        assert!((got - expected).abs() / expected < 0.02, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() / expected < 0.02,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]
@@ -140,10 +148,7 @@ mod tests {
         let log = log.borrow();
         let streamed = log.streaming_duration_secs().unwrap();
         let clip = log.clip.duration_secs;
-        assert!(
-            streamed < clip - 15.0,
-            "streamed {streamed} vs clip {clip}"
-        );
+        assert!(streamed < clip - 15.0, "streamed {streamed} vs clip {clip}");
     }
 
     #[test]

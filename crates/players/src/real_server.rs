@@ -202,13 +202,7 @@ impl RealServer {
 }
 
 impl Application for RealServer {
-    fn on_udp(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        from: (Ipv4Addr, u16),
-        _dst_port: u16,
-        payload: Bytes,
-    ) {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: (Ipv4Addr, u16), _dst_port: u16, payload: Bytes) {
         if payload.as_ref() == START_REQUEST {
             self.begin_streaming(ctx, from);
         }

@@ -8,11 +8,9 @@
 //! the client reports reception quality, and the server switches down
 //! a tier under sustained loss and back up after a clean period.
 
-use serde::Serialize;
-
 /// A ladder of encoding tiers, Kbit/s, highest first (e.g. the
 /// advertised encodings of a SureStream clip).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RateLadder {
     tiers: Vec<f64>,
 }
@@ -62,7 +60,7 @@ impl RateLadder {
 }
 
 /// Decision thresholds for the scaler.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ScalingPolicy {
     /// Loss rate (per feedback window) above which to step down.
     pub down_loss: f64,
@@ -84,7 +82,7 @@ impl Default for ScalingPolicy {
 
 /// The media-scaling controller: consumes per-window loss reports,
 /// yields the tier to stream at.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MediaScaler {
     ladder: RateLadder,
     policy: ScalingPolicy,

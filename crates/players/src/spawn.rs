@@ -41,7 +41,12 @@ pub fn spawn_stream(
                 false,
             );
             let (client, log) = WmpClient::new(config.clone());
-            let client_app = sim.add_app(client_node, Box::new(client), Some(config.client_port), false);
+            let client_app = sim.add_app(
+                client_node,
+                Box::new(client),
+                Some(config.client_port),
+                false,
+            );
             StreamHandles {
                 log,
                 server_app,
@@ -57,7 +62,12 @@ pub fn spawn_stream(
                 false,
             );
             let (client, log) = RealClient::new(config.clone());
-            let client_app = sim.add_app(client_node, Box::new(client), Some(config.client_port), false);
+            let client_app = sim.add_app(
+                client_node,
+                Box::new(client),
+                Some(config.client_port),
+                false,
+            );
             StreamHandles {
                 log,
                 server_app,

@@ -3,12 +3,11 @@
 //! application level packets received, lost and recovered, frame rate,
 //! transport protocol, and reception quality".
 
-use serde::Serialize;
 use turb_media::Clip;
 use turb_netsim::SimTime;
 
 /// One second of tracker statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SecondStats {
     /// Second index since the client started (0-based).
     pub t_sec: u64,
@@ -24,7 +23,7 @@ pub struct SecondStats {
 }
 
 /// One application datagram as the OS delivered it (post-reassembly).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetEvent {
     /// Arrival instant.
     pub time_ns: u64,
@@ -40,7 +39,7 @@ pub struct NetEvent {
 
 /// One interleave batch released to the application layer (MediaPlayer
 /// only; §3.G / Figure 12).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppBatch {
     /// Release instant.
     pub time_ns: u64,
@@ -49,7 +48,7 @@ pub struct AppBatch {
 }
 
 /// The complete log of one tracked streaming session.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AppStatsLog {
     /// The clip streamed (carries the encoded rate the tracker reports).
     pub clip: Clip,
@@ -70,6 +69,9 @@ pub struct AppStatsLog {
     pub stream_end: Option<SimTime>,
     /// Datagrams lost (sequence gaps).
     pub packets_lost: u32,
+    /// Playout-buffer underruns: seconds during playback when the
+    /// buffer held no un-played media.
+    pub buffer_underruns: u32,
     /// Datagrams recovered (always 0: no FEC is modelled; the field
     /// exists because the tracker schema has it).
     pub packets_recovered: u32,
@@ -90,6 +92,7 @@ impl AppStatsLog {
             playout_start: None,
             stream_end: None,
             packets_lost: 0,
+            buffer_underruns: 0,
             packets_recovered: 0,
             bytes_total: 0,
         }

@@ -124,11 +124,16 @@ mod tests {
         );
         sim.core_mut().node_mut(server).default_route = Some(sc);
         sim.core_mut().node_mut(client).default_route = Some(cs);
-        sim.add_app(server, Box::new(WmpServer::new(config.clone())), Some(1755), false);
+        sim.add_app(
+            server,
+            Box::new(WmpServer::new(config.clone())),
+            Some(1755),
+            false,
+        );
         let (app, log) = WmpClient::new(config.clone());
         sim.add_app(client, Box::new(app), Some(7000), false);
-        let limit = SimTime::ZERO
-            + SimDuration::from_secs_f64(config.clip.duration_secs * 2.0 + 60.0);
+        let limit =
+            SimTime::ZERO + SimDuration::from_secs_f64(config.clip.duration_secs * 2.0 + 60.0);
         sim.run_to_idle(limit);
         log
     }
@@ -143,7 +148,10 @@ mod tests {
         // Delivered ≈ the clip's media bytes (unit rounding aside).
         let expected = log.clip.media_bytes() as f64;
         let got = log.bytes_total as f64;
-        assert!((got - expected).abs() / expected < 0.02, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() / expected < 0.02,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]

@@ -14,9 +14,7 @@
 //!   clip" (§3.F) — there is no burst phase, so the server streams for
 //!   the entire clip duration (Figure 10).
 
-use crate::calibration::{
-    END_FRAME_MARKER, END_MARKER_REPEATS, WMP_MIN_UNIT_BYTES, WMP_TICK_MS,
-};
+use crate::calibration::{END_FRAME_MARKER, END_MARKER_REPEATS, WMP_MIN_UNIT_BYTES, WMP_TICK_MS};
 use crate::config::{StreamConfig, START_REQUEST};
 use bytes::Bytes;
 use std::net::Ipv4Addr;
@@ -52,7 +50,10 @@ impl WmpServer {
             let tick = SimDuration::from_secs_f64(unit as f64 * 8.0 / rate_bps);
             (unit, tick)
         } else {
-            (raw_unit.round() as usize, SimDuration::from_millis(WMP_TICK_MS))
+            (
+                raw_unit.round() as usize,
+                SimDuration::from_millis(WMP_TICK_MS),
+            )
         };
         let fps = codec::nominal_fps(PlayerId::MediaPlayer, config.clip.encoded_kbps);
         WmpServer {
@@ -106,8 +107,7 @@ impl WmpServer {
         // "MediaPlayer always buffers at the same rate as it plays
         // back": the buffering flag marks only the pre-roll window so
         // the analysis can form the same two phases it forms for Real.
-        let buffering =
-            f64::from(media_time_ms) / 1000.0 < crate::calibration::PREROLL_SECS;
+        let buffering = f64::from(media_time_ms) / 1000.0 < crate::calibration::PREROLL_SECS;
         let header = MediaHeader {
             player: PlayerId::MediaPlayer,
             sequence: self.seq,
@@ -145,13 +145,7 @@ impl WmpServer {
 }
 
 impl Application for WmpServer {
-    fn on_udp(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        from: (Ipv4Addr, u16),
-        _dst_port: u16,
-        payload: Bytes,
-    ) {
+    fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: (Ipv4Addr, u16), _dst_port: u16, payload: Bytes) {
         if payload.as_ref() == START_REQUEST {
             self.begin_streaming(ctx, from);
         }

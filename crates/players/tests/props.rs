@@ -107,4 +107,3 @@ proptest! {
         prop_assert_eq!(real_effective_ratio(kbps, u64::MAX / 2), base);
     }
 }
-

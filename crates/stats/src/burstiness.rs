@@ -86,7 +86,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_series_is_negative() {
-        let series: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let series: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r1 = autocorrelation(&series, 1).unwrap();
         assert!(r1 < -0.9, "r1 = {r1}");
         let r2 = autocorrelation(&series, 2).unwrap();
@@ -97,7 +99,7 @@ mod tests {
     fn autocorrelation_edge_cases() {
         assert_eq!(autocorrelation(&[1.0, 2.0], 5), None);
         assert_eq!(autocorrelation(&[3.0; 50], 1), None); // zero variance
-        // Lag 0 of any varying series is 1.
+                                                          // Lag 0 of any varying series is 1.
         let series: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
         let r0 = autocorrelation(&series, 0).unwrap();
         assert!((r0 - 1.0).abs() < 1e-12);
@@ -136,7 +138,9 @@ mod tests {
         let mut state = 12345u64;
         let mut times = Vec::new();
         for _ in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
             t += -0.1 * u.ln(); // Exp(mean 0.1)
             times.push(t);

@@ -2,13 +2,12 @@
 //! and inverse-CDF sampling.
 
 use crate::hist::Histogram;
-use serde::Serialize;
 
 /// A probability density estimate over a fixed range — the PDF plots
 /// of Figures 6, 7 and 8. Bin values are *probability mass per bin*
 /// (so they sum to the in-range share), matching how the paper plots
 /// "Probability Density" on packet-size and interarrival histograms.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pdf {
     /// (bin center, probability mass) points, in order.
     pub points: Vec<(f64, f64)>,
@@ -22,7 +21,9 @@ impl Pdf {
         let h = Histogram::of(samples, lo, hi, bins);
         let fractions = h.fractions();
         Pdf {
-            points: (0..h.bins()).map(|i| (h.bin_center(i), fractions[i])).collect(),
+            points: (0..h.bins())
+                .map(|i| (h.bin_center(i), fractions[i]))
+                .collect(),
             bin_width: h.bin_width(),
         }
     }
@@ -64,7 +65,7 @@ impl Pdf {
 
 /// An empirical cumulative distribution — the CDF plots of Figures 1,
 /// 2 and 9. Exact (sample-based), not binned.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }
@@ -165,7 +166,7 @@ pub fn ks_distance(a: &Cdf, b: &Cdf) -> f64 {
 /// interpolation between order statistics. This is how Section IV's
 /// simulation sketch "select\[s\] packet sizes from distributions based
 /// on Figures 6 and 7".
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmpiricalSampler {
     sorted: Vec<f64>,
 }

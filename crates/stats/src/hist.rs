@@ -1,10 +1,8 @@
 //! Fixed-width histograms over `f64` samples.
 
-use serde::Serialize;
-
 /// A fixed-width histogram over `[lo, hi)`. Out-of-range samples are
 /// counted in the under/overflow tallies, not silently dropped.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

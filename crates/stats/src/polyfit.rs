@@ -4,10 +4,8 @@
 //! Solves the normal equations with Gaussian elimination and partial
 //! pivoting; fine for the low degrees (≤ 4) the workspace uses.
 
-use serde::Serialize;
-
 /// A polynomial `c[0] + c[1]·x + c[2]·x² + …`.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Polynomial {
     /// Coefficients, constant term first.
     pub coeffs: Vec<f64>,

@@ -1,14 +1,12 @@
 //! Time-bucketed series: bandwidth-vs-time (Figure 10) and
 //! frame-rate-vs-time (Figure 13).
 
-use serde::Serialize;
-
 /// Accumulates `(time, value)` events into fixed-width buckets.
 ///
 /// For Figure 10 the events are `(arrival_time, packet_bits)` and each
 /// bucket's sum divided by the bucket width is the bandwidth; for
 /// Figure 13 the events are `(time, frames_rendered)`.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     bucket_width: f64,
     sums: Vec<f64>,

@@ -1,10 +1,8 @@
 //! Summary statistics: mean, deviation, standard error, percentiles.
 
-use serde::Serialize;
-
 /// Summary of a sample: the numbers behind the error-bar points of
 /// Figures 14 and 15.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub n: usize,

@@ -189,7 +189,13 @@ mod tests {
     #[test]
     fn decode_rejects_short_buffer() {
         let err = EthernetFrame::decode(&[0u8; 13]).unwrap_err();
-        assert!(matches!(err, WireError::Truncated { what: "ethernet", .. }));
+        assert!(matches!(
+            err,
+            WireError::Truncated {
+                what: "ethernet",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -259,7 +259,10 @@ mod tests {
         p.dont_fragment = true;
         assert!(matches!(
             fragment(p, 1500).unwrap_err(),
-            WireError::Malformed { field: "dont_fragment", .. }
+            WireError::Malformed {
+                field: "dont_fragment",
+                ..
+            }
         ));
     }
 

@@ -62,10 +62,16 @@ impl IcmpMessage {
     pub fn encode(&self) -> Bytes {
         let (ty, code) = self.type_code();
         let (word, body): (u32, &Bytes) = match self {
-            IcmpMessage::EchoRequest { ident, seq, payload }
-            | IcmpMessage::EchoReply { ident, seq, payload } => {
-                ((u32::from(*ident) << 16) | u32::from(*seq), payload)
+            IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
             }
+            | IcmpMessage::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => ((u32::from(*ident) << 16) | u32::from(*seq), payload),
             IcmpMessage::TimeExceeded { original }
             | IcmpMessage::DestinationUnreachable { original, .. } => (0, original),
         };
@@ -123,7 +129,11 @@ impl IcmpMessage {
     /// Build the reply matching an echo request; `None` for other types.
     pub fn reply_to(&self) -> Option<IcmpMessage> {
         match self {
-            IcmpMessage::EchoRequest { ident, seq, payload } => Some(IcmpMessage::EchoReply {
+            IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => Some(IcmpMessage::EchoReply {
                 ident: *ident,
                 seq: *seq,
                 payload: payload.clone(),
@@ -157,7 +167,11 @@ mod tests {
         };
         let r = m.reply_to().unwrap();
         match r {
-            IcmpMessage::EchoReply { ident, seq, ref payload } => {
+            IcmpMessage::EchoReply {
+                ident,
+                seq,
+                ref payload,
+            } => {
                 assert_eq!((ident, seq), (9, 42));
                 assert_eq!(payload.as_ref(), b"x");
             }
@@ -209,7 +223,10 @@ mod tests {
         buf[2..4].copy_from_slice(&c.to_be_bytes());
         assert!(matches!(
             IcmpMessage::decode(&buf).unwrap_err(),
-            WireError::Malformed { field: "type/code", .. }
+            WireError::Malformed {
+                field: "type/code",
+                ..
+            }
         ));
     }
 

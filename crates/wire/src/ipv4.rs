@@ -121,7 +121,12 @@ impl Ipv4Packet {
 
     /// Key identifying the datagram this packet (fragment) belongs to.
     pub fn datagram_key(&self) -> (Ipv4Addr, Ipv4Addr, u8, u16) {
-        (self.src, self.dst, self.protocol.as_u8(), self.identification)
+        (
+            self.src,
+            self.dst,
+            self.protocol.as_u8(),
+            self.identification,
+        )
     }
 
     /// Serialise, computing the header checksum.
@@ -282,7 +287,10 @@ mod tests {
         encoded[0] = 0x65; // version 6
         assert!(matches!(
             Ipv4Packet::decode(&encoded).unwrap_err(),
-            WireError::Malformed { field: "version", .. }
+            WireError::Malformed {
+                field: "version",
+                ..
+            }
         ));
     }
 
@@ -293,7 +301,10 @@ mod tests {
         // Truncate below the declared total length.
         assert!(matches!(
             Ipv4Packet::decode(&encoded[..encoded.len() - 1]).unwrap_err(),
-            WireError::Malformed { field: "total_length", .. }
+            WireError::Malformed {
+                field: "total_length",
+                ..
+            }
         ));
     }
 
@@ -313,7 +324,10 @@ mod tests {
         p.fragment_offset = 0x2000;
         assert!(matches!(
             p.encode().unwrap_err(),
-            WireError::Malformed { field: "fragment_offset", .. }
+            WireError::Malformed {
+                field: "fragment_offset",
+                ..
+            }
         ));
     }
 

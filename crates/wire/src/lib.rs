@@ -23,8 +23,8 @@
 //! `bytes::Bytes` and decode from `&[u8]`, and never touch a socket.
 
 pub mod checksum;
-pub mod ethernet;
 pub mod error;
+pub mod ethernet;
 pub mod frag;
 pub mod icmp;
 pub mod ipv4;

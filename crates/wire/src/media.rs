@@ -11,7 +11,6 @@
 
 use crate::error::WireError;
 use bytes::{BufMut, Bytes, BytesMut};
-use serde::Serialize;
 
 /// Length of the media header.
 pub const MEDIA_HEADER_LEN: usize = 20;
@@ -20,7 +19,7 @@ pub const MEDIA_HEADER_LEN: usize = 20;
 const MAGIC: u16 = 0x7541; // "uA" for turbulence Analysis
 
 /// Which player model produced a stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PlayerId {
     /// Windows MediaPlayer model.
     MediaPlayer,
@@ -57,7 +56,7 @@ impl PlayerId {
 }
 
 /// The media header prepended to every streaming payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MediaHeader {
     /// Producing player model.
     pub player: PlayerId,
@@ -188,7 +187,10 @@ mod tests {
         bytes.truncate(MEDIA_HEADER_LEN + 4);
         assert!(matches!(
             MediaHeader::decode(&bytes).unwrap_err(),
-            WireError::Malformed { field: "padding_len", .. }
+            WireError::Malformed {
+                field: "padding_len",
+                ..
+            }
         ));
     }
 

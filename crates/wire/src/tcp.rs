@@ -277,7 +277,10 @@ mod tests {
         encoded[12] = 6 << 4; // data offset 24: options present
         assert!(matches!(
             TcpSegment::decode(&encoded, SRC, DST).unwrap_err(),
-            WireError::Malformed { field: "data_offset", .. }
+            WireError::Malformed {
+                field: "data_offset",
+                ..
+            }
         ));
     }
 

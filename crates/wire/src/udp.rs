@@ -185,7 +185,10 @@ mod tests {
         encoded[5] = 0xff; // declared length far beyond the buffer
         assert!(matches!(
             UdpDatagram::decode(&encoded, SRC, DST).unwrap_err(),
-            WireError::Malformed { field: "length", .. }
+            WireError::Malformed {
+                field: "length",
+                ..
+            }
         ));
     }
 

@@ -74,7 +74,7 @@ proptest! {
     fn media_header_roundtrip(seq: u32, frame: u32, t: u32, buffering: bool,
                               padding in 0usize..2000) {
         let h = MediaHeader {
-            player: if seq % 2 == 0 { PlayerId::MediaPlayer } else { PlayerId::RealPlayer },
+            player: if seq.is_multiple_of(2) { PlayerId::MediaPlayer } else { PlayerId::RealPlayer },
             sequence: seq,
             frame_number: frame,
             media_time_ms: t,

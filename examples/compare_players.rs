@@ -44,10 +44,7 @@ fn main() {
             pair.wmp.name(),
             pair.class()
         );
-        println!(
-            "{:<28} {:>14} {:>14}",
-            "", "RealPlayer", "MediaPlayer"
-        );
+        println!("{:<28} {:>14} {:>14}", "", "RealPlayer", "MediaPlayer");
         let row = |label: &str, real: String, wmp: String| {
             println!("{label:<28} {real:>14} {wmp:>14}");
         };
@@ -70,9 +67,21 @@ fn main() {
                 .map(|(iod, ptm)| format!("{iod:.2}/{ptm:.2}"))
                 .unwrap_or_else(|| "-".into())
         };
-        row("wire packet size", size_summary(PlayerId::RealPlayer), size_summary(PlayerId::MediaPlayer));
-        row("datagram interarrival", gap_summary(PlayerId::RealPlayer), gap_summary(PlayerId::MediaPlayer));
-        row("IP fragments", frag(PlayerId::RealPlayer), frag(PlayerId::MediaPlayer));
+        row(
+            "wire packet size",
+            size_summary(PlayerId::RealPlayer),
+            size_summary(PlayerId::MediaPlayer),
+        );
+        row(
+            "datagram interarrival",
+            gap_summary(PlayerId::RealPlayer),
+            gap_summary(PlayerId::MediaPlayer),
+        );
+        row(
+            "IP fragments",
+            frag(PlayerId::RealPlayer),
+            frag(PlayerId::MediaPlayer),
+        );
         row(
             "avg playback rate",
             format!("{:.1} Kbps", result.real.avg_playback_kbps()),
@@ -93,8 +102,14 @@ fn main() {
         );
         row(
             "streaming duration",
-            format!("{:.0}s", result.real.streaming_duration_secs().unwrap_or(f64::NAN)),
-            format!("{:.0}s", result.wmp.streaming_duration_secs().unwrap_or(f64::NAN)),
+            format!(
+                "{:.0}s",
+                result.real.streaming_duration_secs().unwrap_or(f64::NAN)
+            ),
+            format!(
+                "{:.0}s",
+                result.wmp.streaming_duration_secs().unwrap_or(f64::NAN)
+            ),
         );
         row(
             "burstiness (IoD/peak:mean)",

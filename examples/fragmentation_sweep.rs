@@ -54,16 +54,19 @@ fn measure(kbps: f64) -> f64 {
     sim.core_mut().node_mut(server).default_route = Some(sc);
     sim.core_mut().node_mut(client).default_route = Some(cs);
     let capture = Sniffer::attach(&mut sim, client);
-    sim.add_app(server, Box::new(WmpServer::new(config.clone())), Some(1755), false);
+    sim.add_app(
+        server,
+        Box::new(WmpServer::new(config.clone())),
+        Some(1755),
+        false,
+    );
     let (app, _log) = WmpClient::new(config);
     sim.add_app(client, Box::new(app), Some(7000), false);
     sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(120));
 
     let capture = capture.borrow();
     let records = capture.filtered(&Filter::stream_from(server_addr));
-    FragmentGroups::build(records)
-        .stats()
-        .fragment_fraction()
+    FragmentGroups::build(records).stats().fragment_fraction()
 }
 
 fn main() {

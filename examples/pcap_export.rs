@@ -33,11 +33,11 @@ fn main() {
     let mut file = std::fs::File::open(path).expect("open pcap");
     let packets = pcap::read_pcap(&mut file).expect("read pcap");
     assert_eq!(packets.len(), result.capture.len());
-    let decoded = packets
-        .iter()
-        .filter_map(pcap::decode_packet)
-        .count();
-    println!("read back {} packets, {decoded} decoded as IPv4 — round trip OK", packets.len());
+    let decoded = packets.iter().filter_map(pcap::decode_packet).count();
+    println!(
+        "read back {} packets, {decoded} decoded as IPv4 — round trip OK",
+        packets.len()
+    );
 
     // A taste of the dissection, tcpdump style.
     println!("\nfirst 10 frames:");

@@ -72,7 +72,10 @@ fn main() {
     let stream = Filter::stream_from(result.server_addr);
     let records = result.capture.filtered(&stream);
     let groups = FragmentGroups::build(records);
-    for player in [turb_media::PlayerId::RealPlayer, turb_media::PlayerId::MediaPlayer] {
+    for player in [
+        turb_media::PlayerId::RealPlayer,
+        turb_media::PlayerId::MediaPlayer,
+    ] {
         let g = groups.for_player(player);
         let stats = g.stats();
         println!(

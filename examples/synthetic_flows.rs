@@ -19,7 +19,11 @@ use turbulence::{run_pair, PairRunConfig};
 fn main() {
     let sets = corpus::table1();
     let pair = sets[0].pair(RateClass::Low).unwrap().clone();
-    println!("Measuring data set 1 low ({} / {})...", pair.real.name(), pair.wmp.name());
+    println!(
+        "Measuring data set 1 low ({} / {})...",
+        pair.real.name(),
+        pair.wmp.name()
+    );
     let result = run_pair(&PairRunConfig::new(42, 1, pair));
 
     for player in [PlayerId::RealPlayer, PlayerId::MediaPlayer] {
@@ -50,7 +54,10 @@ fn main() {
             "  steady interarrivals: median {:.1} ms",
             model.interarrivals.sample(0.5) * 1000.0
         );
-        println!("  fragment fraction: {:.1}%", model.fragment_fraction * 100.0);
+        println!(
+            "  fragment fraction: {:.1}%",
+            model.fragment_fraction * 100.0
+        );
         println!(
             "  buffering ratio {:.2} over the first {:.1}s",
             model.buffering_ratio, model.burst_secs
@@ -80,11 +87,7 @@ fn main() {
         let mut sim = Simulation::new(9);
         let a = sim.add_host("src", Ipv4Addr::new(10, 0, 0, 1));
         let b = sim.add_host("dst", Ipv4Addr::new(10, 0, 0, 2));
-        let (ab, ba) = sim.add_duplex(
-            a,
-            b,
-            LinkConfig::ethernet_10m(SimDuration::from_millis(10)),
-        );
+        let (ab, ba) = sim.add_duplex(a, b, LinkConfig::ethernet_10m(SimDuration::from_millis(10)));
         sim.core_mut().node_mut(a).default_route = Some(ab);
         sim.core_mut().node_mut(b).default_route = Some(ba);
         struct Counter;

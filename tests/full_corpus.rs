@@ -104,7 +104,11 @@ fn fig04_shape() {
     let real = series.iter().find(|s| s.label.starts_with("Real")).unwrap();
     // ~10 groups × 3 fragments for WMP; Real sends smaller packets
     // faster (≈30-80 in the window).
-    assert!((20..=40).contains(&wmp.points.len()), "wmp: {}", wmp.points.len());
+    assert!(
+        (20..=40).contains(&wmp.points.len()),
+        "wmp: {}",
+        wmp.points.len()
+    );
     assert!(real.points.len() >= 20, "real: {}", real.points.len());
 }
 
@@ -208,8 +212,14 @@ fn fig10_shape() {
             .map(|(t, _)| *t)
             .fold(0.0, f64::max)
     };
-    let real_high = series.iter().find(|s| s.label.starts_with("Real (284")).unwrap();
-    let wmp_high = series.iter().find(|s| s.label.starts_with("WMP (323")).unwrap();
+    let real_high = series
+        .iter()
+        .find(|s| s.label.starts_with("Real (284"))
+        .unwrap();
+    let wmp_high = series
+        .iter()
+        .find(|s| s.label.starts_with("WMP (323"))
+        .unwrap();
     assert!(
         last_active(real_high) < last_active(wmp_high) - 15.0,
         "Real should end well before WMP: {} vs {}",
@@ -239,13 +249,24 @@ fn fig11_shape() {
 fn fig12_shape() {
     let fig = figures::fig12_app_vs_net(corpus());
     // 4-second window at 250.4 Kbit/s: ≈40 network datagrams…
-    assert!((30..=50).contains(&fig.network.len()), "{}", fig.network.len());
+    assert!(
+        (30..=50).contains(&fig.network.len()),
+        "{}",
+        fig.network.len()
+    );
     // …released to the app in ≈4 batches of ≈10.
     let mut instants: Vec<f64> = fig.app.iter().map(|(t, _)| *t).collect();
     instants.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-    assert!((3..=5).contains(&instants.len()), "{} instants", instants.len());
+    assert!(
+        (3..=5).contains(&instants.len()),
+        "{} instants",
+        instants.len()
+    );
     let per_batch = fig.app.len() as f64 / instants.len() as f64;
-    assert!((8.0..=12.0).contains(&per_batch), "batch size = {per_batch}");
+    assert!(
+        (8.0..=12.0).contains(&per_batch),
+        "batch size = {per_batch}"
+    );
     // Batches are ≈1 s apart.
     for w in instants.windows(2) {
         assert!((w[1] - w[0] - 1.0).abs() < 0.05, "gap = {}", w[1] - w[0]);
@@ -259,7 +280,12 @@ fn fig13_shape() {
         let s = series
             .iter()
             .find(|s| s.label.starts_with(label_prefix))
-            .unwrap_or_else(|| panic!("{label_prefix} missing from {:?}", series.iter().map(|s| &s.label).collect::<Vec<_>>()));
+            .unwrap_or_else(|| {
+                panic!(
+                    "{label_prefix} missing from {:?}",
+                    series.iter().map(|s| &s.label).collect::<Vec<_>>()
+                )
+            });
         let vals: Vec<f64> = s
             .points
             .iter()
@@ -270,7 +296,11 @@ fn fig13_shape() {
     };
     assert!((24.0..=26.0).contains(&steady("Real (218")));
     assert!((24.0..=26.0).contains(&steady("WMP (250")));
-    assert!((12.0..=14.5).contains(&steady("WMP (39")), "{}", steady("WMP (39"));
+    assert!(
+        (12.0..=14.5).contains(&steady("WMP (39")),
+        "{}",
+        steady("WMP (39")
+    );
     assert!(steady("Real (22") >= steady("WMP (39") + 3.0);
 }
 
@@ -291,8 +321,16 @@ fn fig14_fig15_shape() {
         {
             assert!(real.mean + 0.5 >= wmp.mean, "class {idx}");
             if idx > 0 {
-                assert!((24.0..=26.0).contains(&real.mean), "class {idx}: {}", real.mean);
-                assert!((24.0..=26.0).contains(&wmp.mean), "class {idx}: {}", wmp.mean);
+                assert!(
+                    (24.0..=26.0).contains(&real.mean),
+                    "class {idx}: {}",
+                    real.mean
+                );
+                assert!(
+                    (24.0..=26.0).contains(&wmp.mean),
+                    "class {idx}: {}",
+                    wmp.mean
+                );
             }
         }
     }

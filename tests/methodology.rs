@@ -37,8 +37,7 @@ fn different_seeds_change_the_network_but_not_the_conclusions() {
     for r in [&a, &b] {
         assert!(r.real.avg_playback_kbps() > r.real.clip.encoded_kbps);
         assert!(
-            (r.wmp.avg_playback_kbps() - r.wmp.clip.encoded_kbps).abs()
-                / r.wmp.clip.encoded_kbps
+            (r.wmp.avg_playback_kbps() - r.wmp.clip.encoded_kbps).abs() / r.wmp.clip.encoded_kbps
                 < 0.05
         );
     }
@@ -107,7 +106,10 @@ fn fitted_models_survive_the_pcap_round_trip() {
     // Set 2 low = 102.3 Kbit/s: 100 ms units of ≈1279 B + 42 B of
     // headers ⇒ ≈1321 B on the wire, constant.
     let median = direct.datagram_sizes.sample(0.5);
-    assert!((1300.0..=1340.0).contains(&median), "median size = {median}");
+    assert!(
+        (1300.0..=1340.0).contains(&median),
+        "median size = {median}"
+    );
 }
 
 #[test]

@@ -50,14 +50,20 @@ fn headline_conclusions_hold_across_seeds() {
             // very-high (absent from this subset anyway).
             let real_ratio = run.real.buffering_ratio().unwrap_or(1.0);
             let wmp_ratio = run.wmp.buffering_ratio().unwrap_or(1.0);
-            assert!(real_ratio > wmp_ratio + 0.2, "{label}: {real_ratio} vs {wmp_ratio}");
+            assert!(
+                real_ratio > wmp_ratio + 0.2,
+                "{label}: {real_ratio} vs {wmp_ratio}"
+            );
         }
 
         // Frame-rate ordering across the subset.
         let fig = figures::fig14_framerate_vs_encoding(&corpus);
         let real_low = fig.real_classes[0].1.mean;
         let wmp_low = fig.wmp_classes[0].1.mean;
-        assert!(real_low > wmp_low + 3.0, "seed {seed}: {real_low} vs {wmp_low}");
+        assert!(
+            real_low > wmp_low + 3.0,
+            "seed {seed}: {real_low} vs {wmp_low}"
+        );
     }
 }
 

@@ -1,0 +1,162 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of criterion's API the workspace's benches use
+//! — `Criterion`, `bench_function`, `benchmark_group` with
+//! `sample_size` / `throughput` / `finish`, the `criterion_group!` /
+//! `criterion_main!` macros, and a re-exported `black_box` — backed by
+//! a simple wall-clock timer that prints a single line per benchmark.
+//! No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation echoed alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing loop handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, averaging over an adaptively chosen number of
+    /// iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: run once to estimate cost.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~200 ms of measurement, capped for slow routines.
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  {:.1} MiB/s", b as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => format!("  {:.0} elem/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!(
+        "{id:<48} {:>12.3} µs/iter ({} iters){rate}",
+        per_iter * 1e6,
+        bencher.iters
+    );
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub harness sizes runs
+    /// adaptively, so this is a no-op.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; no-op.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        report(&format!("{}/{id}", self.name), &bencher, self.throughput);
+        self
+    }
+
+    /// End the group (prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        report(id, &bencher, None);
+        self
+    }
+
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Collect bench functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($name, $($rest)*);
+    };
+}
+
+/// Entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
