@@ -4,10 +4,14 @@ use std::sync::OnceLock;
 use turbulence::CorpusResult;
 
 /// The full 26-clip corpus, simulated once per bench binary and shared
-/// by every figure bench in it. Seed 42 matches EXPERIMENTS.md.
+/// by every figure bench in it. Seed 42 matches EXPERIMENTS.md; the
+/// worker pool uses every available core (results are identical to
+/// sequential, only the setup wall-clock changes).
 pub fn corpus() -> &'static CorpusResult {
     static CORPUS: OnceLock<CorpusResult> = OnceLock::new();
-    CORPUS.get_or_init(|| turbulence::runner::run_corpus_parallel(42))
+    CORPUS.get_or_init(|| {
+        turbulence::runner::run_corpus_parallel(42, turbulence::parallel::available_threads())
+    })
 }
 
 #[cfg(test)]

@@ -57,20 +57,27 @@ impl Group {
         else {
             return false;
         };
-        let mut extents: Vec<(usize, usize)> = self
-            .extents
-            .iter()
-            .map(|(off, len, _)| (*off, *len))
-            .collect();
-        extents.sort_unstable();
-        let mut covered = 0usize;
-        for (off, len) in extents {
-            if off > covered {
-                return false; // hole
-            }
-            covered = covered.max(off + len);
+        // Sort the extents into a thread-local scratch: this runs for
+        // every group of every figure, and a fresh Vec per call was
+        // measurable on large captures.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Vec<(usize, usize)>> =
+                const { std::cell::RefCell::new(Vec::new()) };
         }
-        covered >= end
+        SCRATCH.with(|scratch| {
+            let mut extents = scratch.borrow_mut();
+            extents.clear();
+            extents.extend(self.extents.iter().map(|(off, len, _)| (*off, *len)));
+            extents.sort_unstable();
+            let mut covered = 0usize;
+            for &(off, len) in extents.iter() {
+                if off > covered {
+                    return false; // hole
+                }
+                covered = covered.max(off + len);
+            }
+            covered >= end
+        })
     }
 }
 
@@ -123,11 +130,13 @@ impl FragmentGroups {
                     last_time: t,
                     packets: 0,
                     wire_bytes: 0,
-                    frame_lens: Vec::new(),
-                    frame_times: Vec::new(),
+                    // A media datagram fragments into ≤3 frames at
+                    // Ethernet MTU; size for that up front.
+                    frame_lens: Vec::with_capacity(3),
+                    frame_times: Vec::with_capacity(3),
                     player: None,
                     buffering: false,
-                    extents: Vec::new(),
+                    extents: Vec::with_capacity(3),
                 }
             });
             entry.packets += 1;
@@ -191,8 +200,11 @@ impl FragmentGroups {
 
     /// Interarrival gaps between group leaders.
     pub fn group_interarrivals(&self) -> Vec<f64> {
-        let times = self.group_leader_times();
-        times.windows(2).map(|w| w[1] - w[0]).collect()
+        // Stream over the groups directly; no intermediate times vector.
+        self.groups
+            .windows(2)
+            .map(|w| w[1].first_time - w[0].first_time)
+            .collect()
     }
 
     /// Only the groups attributable to `player` (by visible media

@@ -113,11 +113,19 @@ impl MediaHeaderPrefix {
             return None;
         }
         // Reconstruct a buffer whose declared padding matches what
-        // MediaHeader::decode expects, then delegate.
-        let mut synthetic = Vec::with_capacity(MEDIA_HEADER_LEN + declared);
-        synthetic.extend_from_slice(&data[..MEDIA_HEADER_LEN]);
-        synthetic.resize(MEDIA_HEADER_LEN + declared, 0);
-        MediaHeader::decode(&synthetic).ok()
+        // MediaHeader::decode expects, then delegate. Every first
+        // fragment of every datagram lands here, so reuse one
+        // thread-local scratch buffer instead of allocating per packet.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        SCRATCH.with(|scratch| {
+            let mut synthetic = scratch.borrow_mut();
+            synthetic.clear();
+            synthetic.extend_from_slice(&data[..MEDIA_HEADER_LEN]);
+            synthetic.resize(MEDIA_HEADER_LEN + declared, 0);
+            MediaHeader::decode(&synthetic).ok()
+        })
     }
 }
 

@@ -16,6 +16,15 @@ pub struct Capture {
 }
 
 impl Capture {
+    /// An empty capture pre-sized for a typical streaming run, so the
+    /// record vector doesn't regrow a dozen times while the clip plays.
+    pub fn with_capacity_hint() -> Capture {
+        Capture {
+            records: Vec::with_capacity(4096),
+            sniffed: 0,
+        }
+    }
+
     /// All records in capture order.
     pub fn records(&self) -> &[PacketRecord] {
         &self.records
@@ -85,8 +94,18 @@ impl Capture {
 
     /// Interarrival gaps (seconds) between consecutive matching records.
     pub fn interarrivals(&self, filter: &Filter) -> Vec<f64> {
-        let times = self.times(filter);
-        times.windows(2).map(|w| w[1] - w[0]).collect()
+        // Stream directly off the records instead of materialising the
+        // timestamp vector first; this runs once per filter per figure.
+        let mut gaps = Vec::new();
+        let mut prev: Option<f64> = None;
+        for r in self.records.iter().filter(|r| filter.matches(r)) {
+            let t = r.time_secs();
+            if let Some(p) = prev {
+                gaps.push(t - p);
+            }
+            prev = Some(t);
+        }
+        gaps
     }
 }
 
@@ -102,7 +121,7 @@ impl Sniffer {
     /// paper's client machine). Returns the handle the analysis reads
     /// after — or during — the run.
     pub fn attach(sim: &mut Simulation, node: NodeId) -> CaptureHandle {
-        let handle: CaptureHandle = Rc::new(RefCell::new(Capture::default()));
+        let handle: CaptureHandle = Rc::new(RefCell::new(Capture::with_capacity_hint()));
         let tap_handle = handle.clone();
         sim.add_tap(
             node,
@@ -121,7 +140,7 @@ impl Sniffer {
     /// applied after the fact). Rejected packets still count toward
     /// [`Capture::sniffed`].
     pub fn attach_filtered(sim: &mut Simulation, node: NodeId, filter: Filter) -> CaptureHandle {
-        let handle: CaptureHandle = Rc::new(RefCell::new(Capture::default()));
+        let handle: CaptureHandle = Rc::new(RefCell::new(Capture::with_capacity_hint()));
         let tap_handle = handle.clone();
         sim.add_tap(
             node,

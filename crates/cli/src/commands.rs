@@ -1,8 +1,9 @@
 //! The CLI subcommand implementations.
 
-use crate::{class_of, pair_of, seed_of};
+use crate::{class_of, pair_of, seed_of, threads_of};
 use std::collections::HashMap;
 use turb_media::PlayerId;
+use turb_obs::ScopeTimer;
 use turbulence::{figures, report, runner, tables, PairRunConfig};
 
 type Flags = HashMap<String, String>;
@@ -22,6 +23,7 @@ fn loss_of(flags: &Flags) -> Result<Option<f64>, String> {
 /// `turbulence corpus`: run everything and print the digests.
 pub fn corpus(flags: &Flags) -> Result<(), String> {
     let seed = seed_of(flags)?;
+    let threads = threads_of(flags)?;
     let telemetry = flags.contains_key("telemetry");
     let mut configs = match flags.get("sets") {
         None => runner::corpus_configs(seed),
@@ -36,8 +38,13 @@ pub fn corpus(flags: &Flags) -> Result<(), String> {
     for config in &mut configs {
         config.telemetry = telemetry;
     }
-    let result = runner::run_configs_parallel(&configs);
-    println!("{} pair runs completed (seed {seed}).\n", result.runs.len());
+    let result = runner::run_configs_parallel(&configs, threads);
+    println!(
+        "{} pair runs completed (seed {seed}, {} worker thread{}).\n",
+        result.runs.len(),
+        result.threads,
+        if result.threads == 1 { "" } else { "s" },
+    );
 
     // Table 1.
     let rows: Vec<Vec<String>> = tables::table1_measured(&result)
@@ -99,6 +106,29 @@ pub fn corpus(flags: &Flags) -> Result<(), String> {
         )
     );
     if telemetry {
+        // Per-run wall clock first: which pairs dominate the corpus time.
+        let rows: Vec<Vec<String>> = result
+            .runs
+            .iter()
+            .filter_map(|run| {
+                let t = run.telemetry.as_ref()?;
+                Some(vec![
+                    t.report.label.clone(),
+                    format!("{:.1}", t.report.wall_ns as f64 / 1e6),
+                    format!("{:.0}", t.report.events_per_sec()),
+                ])
+            })
+            .collect();
+        if !rows.is_empty() {
+            println!(
+                "{}",
+                report::table(
+                    "Per-run wall clock",
+                    &["run", "wall ms", "events/sec"],
+                    &rows
+                )
+            );
+        }
         if let Some(report) = result.aggregate_report() {
             println!("{}", report.render_table());
         }
@@ -197,7 +227,7 @@ pub fn obs(flags: &Flags) -> Result<(), String> {
 /// `turbulence figures`: full data rows per figure.
 pub fn figures_cmd(flags: &Flags) -> Result<(), String> {
     let seed = seed_of(flags)?;
-    let result = runner::run_corpus_parallel(seed);
+    let result = runner::run_corpus_parallel(seed, threads_of(flags)?);
     let fig3 = figures::fig03_playback_vs_encoding(&result);
     println!(
         "{}",
@@ -257,6 +287,73 @@ pub fn figures_cmd(flags: &Flags) -> Result<(), String> {
             validation.ks_gaps,
             validation.passes(0.1)
         );
+    }
+    Ok(())
+}
+
+/// A stable digest of the figure data derived from a corpus — two
+/// corpora with equal digests plotted the same paper. Restricted to
+/// the figures that accept a partial corpus, so `--quick` works too.
+fn figure_digest(result: &runner::CorpusResult) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}",
+        figures::fig01_rtt_cdf(result),
+        figures::fig02_hops_cdf(result),
+        figures::fig05_fragmentation(result),
+        figures::fig11_buffering_ratio(result),
+    )
+}
+
+/// `turbulence bench`: time the corpus sequentially and with the
+/// worker pool, verify both produce identical figures, and write a
+/// machine-readable JSON summary (CI uploads it as an artifact).
+pub fn bench(flags: &Flags) -> Result<(), String> {
+    let seed = seed_of(flags)?;
+    let threads = threads_of(flags)?.max(1);
+    let quick = flags.contains_key("quick");
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_corpus.json".to_string());
+
+    let timer = ScopeTimer::start("bench_configs", "bench");
+    let configs = if quick {
+        // CI time budget: the two shortest data sets only.
+        runner::corpus_configs_for_sets(seed, &[1, 2])
+    } else {
+        runner::corpus_configs(seed)
+    };
+    let configs_ns = timer.elapsed_ns();
+
+    let timer = ScopeTimer::start("bench_sequential", "bench");
+    let sequential = runner::run_configs(&configs);
+    let sequential_ns = timer.elapsed_ns();
+
+    let timer = ScopeTimer::start("bench_parallel", "bench");
+    let parallel = runner::run_configs_parallel(&configs, threads);
+    let parallel_ns = timer.elapsed_ns();
+
+    let timer = ScopeTimer::start("bench_figures", "bench");
+    let identical = figure_digest(&sequential) == figure_digest(&parallel);
+    let figures_ns = timer.elapsed_ns();
+
+    let speedup = sequential_ns as f64 / parallel_ns.max(1) as f64;
+    // Hand-rolled JSON: every value is a number or bool, nothing needs
+    // escaping, and the workspace deliberately carries no serde.
+    let json = format!(
+        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"speedup\": {speedup:.3},\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"figures\": {figures_ns}\n  }}\n}}\n",
+        configs.len(),
+    );
+    std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "bench: {} pair runs | sequential {:.2}s | parallel({threads}) {:.2}s | speedup {speedup:.2}x | identical {identical}",
+        configs.len(),
+        sequential_ns as f64 / 1e9,
+        parallel_ns as f64 / 1e9,
+    );
+    println!("bench: wrote {out}");
+    if !identical {
+        return Err("parallel corpus output diverged from sequential".to_string());
     }
     Ok(())
 }

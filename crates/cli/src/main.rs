@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! turbulence corpus     [--seed N] [--sets 1,2,5]     full corpus + figure digests
+//!                       [--threads N]
 //! turbulence pair       --set N --class low|high|vh   one pair run, summarised
 //!                       [--seed N] [--pcap FILE] [--loss P] [--telemetry]
 //! turbulence obs        --set N [--class C] [--seed N] [--loss P]
 //!                       [--metrics] [--trace FILE]    one pair run, telemetry report
-//! turbulence figures    [--seed N]                    every figure's data rows
+//! turbulence figures    [--seed N] [--threads N]      every figure's data rows
+//! turbulence bench      [--seed N] [--threads N]      corpus wall-clock benchmark,
+//!                       [--quick] [--out FILE]        machine-readable JSON output
 //! turbulence flowgen    --set N --class C --player real|wmp
 //!                       [--seed N] [--out FILE]       fit, generate, validate, export
 //! turbulence friendly   [--kbps N,...] [--seed N]     §VI TCP-friendliness sweep
@@ -30,6 +33,7 @@ COMMANDS:
     pair        run one clip pair and summarise what both trackers measured
     obs         run one clip pair with telemetry and print the run report
     figures     run the corpus and print the full data rows per figure
+    bench       time the corpus sequential vs parallel, write BENCH_corpus.json
     flowgen     fit a Section-IV turbulence model and export an ns-style trace
     friendly    run the §VI TCP-friendliness sweep
     ping        check the simulated paths to all six server sites
@@ -44,15 +48,19 @@ OPTIONS (per command):
     --pcap FILE         pair: write the client capture as a pcap file
     --loss P            pair/obs: Bernoulli loss (0..=1) on the access link
     --telemetry         pair/corpus: collect and print the telemetry report
+    --threads N         corpus/figures/bench: worker threads (default: all
+                        cores; 0 or 1 runs sequentially)
     --metrics           obs: also print Prometheus-style metrics exposition
     --trace FILE        obs: dump the flight recorder as JSON Lines
+    --quick             bench: sets 1-2 only, for CI time budgets
     --out FILE          flowgen: trace output path (default stdout)
+                        bench: JSON output path (default BENCH_corpus.json)
     --kbps N,N,...      friendly: bottleneck sweep in Kbit/s
 "
 }
 
 /// Flags that stand alone (no value); parsed as `flag=true`.
-const BOOLEAN_FLAGS: &[&str] = &["telemetry", "metrics"];
+const BOOLEAN_FLAGS: &[&str] = &["telemetry", "metrics", "quick"];
 
 /// Minimal flag parser: `--key value` pairs after the subcommand, plus
 /// the bare boolean flags in [`BOOLEAN_FLAGS`].
@@ -81,6 +89,15 @@ fn seed_of(flags: &HashMap<String, String>) -> Result<u64, String> {
     match flags.get("seed") {
         None => Ok(42),
         Some(s) => s.parse().map_err(|_| format!("bad seed {s:?}")),
+    }
+}
+
+/// `--threads N`, defaulting to every available core. `0` is accepted
+/// and degrades to sequential in the runner.
+fn threads_of(flags: &HashMap<String, String>) -> Result<usize, String> {
+    match flags.get("threads") {
+        None => Ok(turbulence::parallel::available_threads()),
+        Some(s) => s.parse().map_err(|_| format!("bad --threads {s:?}")),
     }
 }
 
@@ -123,6 +140,7 @@ fn run() -> Result<(), String> {
         "pair" => commands::pair(&flags),
         "obs" => commands::obs(&flags),
         "figures" => commands::figures_cmd(&flags),
+        "bench" => commands::bench(&flags),
         "flowgen" => commands::flowgen(&flags),
         "friendly" => commands::friendly(&flags),
         "ping" => commands::ping(&flags),
@@ -225,10 +243,18 @@ mod tests {
     #[test]
     fn usage_names_every_command() {
         for command in [
-            "corpus", "pair", "obs", "figures", "flowgen", "friendly", "ping",
+            "corpus", "pair", "obs", "figures", "bench", "flowgen", "friendly", "ping",
         ] {
             assert!(usage().contains(command), "{command} missing from usage");
         }
+    }
+
+    #[test]
+    fn threads_defaults_to_available_and_accepts_zero() {
+        assert!(threads_of(&flags(&[])).unwrap() >= 1);
+        assert_eq!(threads_of(&flags(&[("threads", "0")])).unwrap(), 0);
+        assert_eq!(threads_of(&flags(&[("threads", "4")])).unwrap(), 4);
+        assert!(threads_of(&flags(&[("threads", "lots")])).is_err());
     }
 
     #[test]

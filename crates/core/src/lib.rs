@@ -7,8 +7,10 @@
 //! * [`experiment`] — one *pair run*: ping/tracert before, stream the
 //!   Real + WMP encodings of a clip pair simultaneously with a sniffer
 //!   at the client, ping/tracert after (§2's methodology).
-//! * [`runner`] — the full 26-clip corpus, sequential or one thread
-//!   per pair run.
+//! * [`runner`] — the full 26-clip corpus, sequential or fanned across
+//!   a worker pool.
+//! * [`parallel`] — the dependency-free worker pool behind the corpus
+//!   runner: deterministic fan-out/merge over std scoped threads.
 //! * [`analysis`] — per-stream views over a run's capture (sizes,
 //!   interarrivals, fragment groups, tracker logs).
 //! * [`figures`] — `fig01` … `fig15` plus `sec4`: the exact rows and
@@ -21,7 +23,7 @@
 //! ```no_run
 //! use turbulence::{figures, runner};
 //!
-//! let corpus = runner::run_corpus_parallel(42);
+//! let corpus = runner::run_corpus_parallel(42, 4);
 //! let rtt = figures::fig01_rtt_cdf(&corpus);
 //! println!("median RTT: {:.1} ms", rtt.median().unwrap());
 //! ```
@@ -30,6 +32,7 @@ pub mod analysis;
 pub mod experiment;
 pub mod figures;
 pub mod followup;
+pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod tables;

@@ -1,14 +1,19 @@
-//! Running the whole corpus: all six data sets, all rate classes.
+//! Running the whole corpus: all six data sets, all rate classes,
+//! sequentially or fanned across a worker pool ([`crate::parallel`]).
 
 use crate::experiment::{run_pair, PairRunConfig, PairRunResult};
+use crate::parallel;
 use turb_media::corpus;
 
 /// Results of running every pair in Table 1 (13 pair runs, 26 clips).
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct CorpusResult {
     /// One entry per pair run, ordered (set, class high→low as in
     /// Table 1).
     pub runs: Vec<PairRunResult>,
+    /// Worker threads the corpus was executed with (1 = sequential).
+    /// Descriptive only — results are identical for every value.
+    pub threads: usize,
 }
 
 impl CorpusResult {
@@ -27,15 +32,18 @@ impl CorpusResult {
     /// Fold every per-run report into one corpus-wide [`RunReport`].
     /// `None` when no run collected telemetry.
     pub fn aggregate_report(&self) -> Option<turb_obs::RunReport> {
-        let mut out: Option<turb_obs::RunReport> = None;
+        let mut out = turb_obs::RunReport::default();
+        let mut absorbed = 0usize;
         for run in &self.runs {
             let Some(t) = &run.telemetry else { continue };
-            match &mut out {
-                Some(agg) => agg.absorb(&t.report),
-                None => out = Some(t.report.clone()),
-            }
+            out.absorb(&t.report);
+            absorbed += 1;
         }
-        out
+        if absorbed == 0 {
+            return None;
+        }
+        out.threads = self.threads.max(1) as u64;
+        Some(out)
     }
 
     /// Merge every per-run metrics registry into one. Empty when no
@@ -81,6 +89,7 @@ pub fn run_corpus(base_seed: u64) -> CorpusResult {
 pub fn run_configs(configs: &[PairRunConfig]) -> CorpusResult {
     CorpusResult {
         runs: configs.iter().map(run_pair).collect(),
+        threads: 1,
     }
 }
 
@@ -92,35 +101,29 @@ pub fn corpus_configs_for_sets(base_seed: u64, sets: &[u8]) -> Vec<PairRunConfig
         .collect()
 }
 
-/// Run the full corpus with one thread per pair run. Each simulation
-/// is seeded independently, so the result is identical to
-/// [`run_corpus`] — parallelism only changes wall-clock time.
-pub fn run_corpus_parallel(base_seed: u64) -> CorpusResult {
-    run_configs_parallel(&corpus_configs(base_seed))
+/// Run the full corpus with up to `threads` workers. Each simulation
+/// is seeded independently and results merge back in canonical Table-1
+/// order, so the result is byte-identical to [`run_corpus`] —
+/// parallelism only changes wall-clock time. `threads == 0` (and `1`)
+/// degrades to the sequential path.
+pub fn run_corpus_parallel(base_seed: u64, threads: usize) -> CorpusResult {
+    run_configs_parallel(&corpus_configs(base_seed), threads)
 }
 
-/// Run an arbitrary set of pair configurations with one thread per
-/// run; ordering and results match [`run_configs`].
-pub fn run_configs_parallel(configs: &[PairRunConfig]) -> CorpusResult {
-    let mut slots: Vec<Option<PairRunResult>> = Vec::new();
-    slots.resize_with(configs.len(), || None);
-    let slots = std::sync::Mutex::new(slots);
-    std::thread::scope(|scope| {
-        for (idx, config) in configs.iter().enumerate() {
-            let slots = &slots;
-            scope.spawn(move || {
-                let result = run_pair(config);
-                slots.lock().expect("corpus worker panicked")[idx] = Some(result);
-            });
-        }
-    });
-    let runs = slots
-        .into_inner()
-        .expect("corpus worker panicked")
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect();
-    CorpusResult { runs }
+/// Run an arbitrary set of pair configurations with up to `threads`
+/// workers; ordering and results match [`run_configs`]. Thread counts
+/// of 0/1 and single-config corpora take the sequential path rather
+/// than spawning idle workers; a panicking run fails the whole corpus
+/// (the panic propagates) instead of hanging the pool.
+pub fn run_configs_parallel(configs: &[PairRunConfig], threads: usize) -> CorpusResult {
+    let threads = parallel::effective_threads(threads, configs.len());
+    if threads <= 1 {
+        return run_configs(configs);
+    }
+    CorpusResult {
+        runs: parallel::map_ordered(configs, threads, run_pair),
+        threads,
+    }
 }
 
 #[cfg(test)]

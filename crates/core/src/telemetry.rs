@@ -77,6 +77,9 @@ pub fn harvest(
     let report = RunReport {
         label: label.to_string(),
         wall_ns,
+        // One pair run is always a single simulation on one thread; the
+        // corpus aggregate overrides this with the pool width.
+        threads: 1,
         sim_events_processed: stats.events_processed,
         sim_events_scheduled: stats.events_scheduled,
         queue_high_water: stats.queue_high_water,

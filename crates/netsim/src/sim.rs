@@ -408,7 +408,11 @@ impl SimCore {
         encoded.slice(..encoded.len().min(28))
     }
 
-    fn handle_arrival(&mut self, link_id: LinkId, packet: Ipv4Packet) -> Vec<Delivery> {
+    /// Handle a packet coming off a link, appending any resulting
+    /// application deliveries to `out`. The caller owns `out` so the
+    /// per-event `Vec` can be reused across the whole event loop
+    /// instead of being reallocated for every arrival.
+    fn handle_arrival(&mut self, link_id: LinkId, packet: Ipv4Packet, out: &mut Vec<Delivery>) {
         let node_id = self.links[link_id.0].to;
         {
             let node = &mut self.nodes[node_id.0];
@@ -425,7 +429,7 @@ impl SimCore {
                 // Hosts silently drop transit traffic.
                 self.nodes[node_id.0].stats.no_route += 1;
             }
-            return Vec::new();
+            return;
         }
 
         // Local delivery: reassemble first.
@@ -448,13 +452,13 @@ impl SimCore {
             );
         }
         let Some(packet) = whole else {
-            return Vec::new();
+            return;
         };
         match packet.protocol {
-            IpProtocol::Icmp => self.deliver_icmp(node_id, packet),
-            IpProtocol::Udp => self.deliver_udp(node_id, packet),
-            IpProtocol::Tcp => self.deliver_tcp(node_id, packet),
-            _ => Vec::new(),
+            IpProtocol::Icmp => self.deliver_icmp(node_id, packet, out),
+            IpProtocol::Udp => self.deliver_udp(node_id, packet, out),
+            IpProtocol::Tcp => self.deliver_tcp(node_id, packet, out),
+            _ => {}
         }
     }
 
@@ -480,48 +484,49 @@ impl SimCore {
         self.send_ip(node_id, packet);
     }
 
-    fn deliver_icmp(&mut self, node_id: NodeId, packet: Ipv4Packet) -> Vec<Delivery> {
+    fn deliver_icmp(&mut self, node_id: NodeId, packet: Ipv4Packet, out: &mut Vec<Delivery>) {
         let msg = match IcmpMessage::decode(&packet.payload) {
             Ok(m) => m,
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
-                return Vec::new();
+                return;
             }
         };
         if let Some(reply) = msg.reply_to() {
             // Echo request: the node answers itself (hosts and routers).
             self.send_icmp_from(node_id, packet.src, reply);
-            return Vec::new();
+            return;
         }
-        self.nodes[node_id.0]
-            .icmp_listeners
-            .clone()
-            .into_iter()
-            .map(|app| Delivery::Icmp {
+        // Listeners are read, never mutated, while fanning out, so
+        // index rather than clone the listener list (this used to
+        // clone the Vec on every ICMP arrival).
+        for i in 0..self.nodes[node_id.0].icmp_listeners.len() {
+            let app = self.nodes[node_id.0].icmp_listeners[i];
+            out.push(Delivery::Icmp {
                 app,
                 from: packet.src,
                 msg: msg.clone(),
-            })
-            .collect()
+            });
+        }
     }
 
-    fn deliver_udp(&mut self, node_id: NodeId, packet: Ipv4Packet) -> Vec<Delivery> {
+    fn deliver_udp(&mut self, node_id: NodeId, packet: Ipv4Packet, out: &mut Vec<Delivery>) {
         let datagram = match UdpDatagram::decode(&packet.payload, packet.src, packet.dst) {
             Ok(d) => d,
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
-                return Vec::new();
+                return;
             }
         };
         match self.nodes[node_id.0].ports.get(&datagram.dst_port).copied() {
             Some(app) => {
                 self.nodes[node_id.0].stats.udp_delivered += 1;
-                vec![Delivery::Udp {
+                out.push(Delivery::Udp {
                     app,
                     from: (packet.src, datagram.src_port),
                     dst_port: datagram.dst_port,
                     payload: datagram.payload,
-                }]
+                });
             }
             None => {
                 self.nodes[node_id.0].stats.udp_unreachable += 1;
@@ -530,19 +535,18 @@ impl SimCore {
                     original: Self::icmp_original(&packet),
                 };
                 self.send_icmp_from(node_id, packet.src, msg);
-                Vec::new()
             }
         }
     }
 }
 
 impl SimCore {
-    fn deliver_tcp(&mut self, node_id: NodeId, packet: Ipv4Packet) -> Vec<Delivery> {
+    fn deliver_tcp(&mut self, node_id: NodeId, packet: Ipv4Packet, out: &mut Vec<Delivery>) {
         let segment = match TcpSegment::decode(&packet.payload, packet.src, packet.dst) {
             Ok(s) => s,
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
-                return Vec::new();
+                return;
             }
         };
         match self.nodes[node_id.0]
@@ -552,17 +556,16 @@ impl SimCore {
         {
             Some(app) => {
                 self.nodes[node_id.0].stats.tcp_delivered += 1;
-                vec![Delivery::Tcp {
+                out.push(Delivery::Tcp {
                     app,
                     from: packet.src,
                     segment,
-                }]
+                });
             }
             None => {
                 // A real stack would answer RST; nothing in the
                 // workspace needs that, so just count it.
                 self.nodes[node_id.0].stats.tcp_unreachable += 1;
-                Vec::new()
             }
         }
     }
@@ -678,6 +681,9 @@ struct AppSlot {
 pub struct Simulation {
     core: SimCore,
     apps: Vec<AppSlot>,
+    /// Reusable delivery buffer for the event loop: arrivals are the
+    /// hot path, and a fresh `Vec` per event showed up in profiles.
+    deliveries: Vec<Delivery>,
 }
 
 impl Simulation {
@@ -686,7 +692,9 @@ impl Simulation {
         Simulation {
             core: SimCore {
                 now: SimTime::ZERO,
-                queue: BinaryHeap::new(),
+                // Streaming runs keep thousands of in-flight events;
+                // pre-size the heap so warm-up doesn't regrow it.
+                queue: BinaryHeap::with_capacity(1024),
                 seq: 0,
                 nodes: Vec::new(),
                 links: Vec::new(),
@@ -696,6 +704,7 @@ impl Simulation {
                 obs: Obs::disabled(),
             },
             apps: Vec::new(),
+            deliveries: Vec::new(),
         }
     }
 
@@ -843,7 +852,12 @@ impl Simulation {
             Event::AppStart(app) => self.dispatch(app, |a, ctx| a.on_start(ctx)),
             Event::Timer { app, token } => self.dispatch(app, |a, ctx| a.on_timer(ctx, token)),
             Event::Arrival { link, packet } => {
-                for delivery in self.core.handle_arrival(link, packet) {
+                // Reuse one buffer across all arrivals; take/put so the
+                // borrow of `self` is released for dispatch below.
+                let mut deliveries = std::mem::take(&mut self.deliveries);
+                deliveries.clear();
+                self.core.handle_arrival(link, packet, &mut deliveries);
+                for delivery in deliveries.drain(..) {
                     match delivery {
                         Delivery::Udp {
                             app,
@@ -859,6 +873,7 @@ impl Simulation {
                         }
                     }
                 }
+                self.deliveries = deliveries;
             }
         }
         true

@@ -71,6 +71,10 @@ pub struct RunReport {
     pub label: String,
     /// Wall-clock duration of the run in nanoseconds.
     pub wall_ns: u64,
+    /// Worker threads used to produce this report (1 for a sequential
+    /// run; 0 when the producer predates thread accounting). Purely
+    /// descriptive — results never depend on it.
+    pub threads: u64,
     /// Events popped off the simulator queue.
     pub sim_events_processed: u64,
     /// Events pushed onto the simulator queue.
@@ -117,6 +121,7 @@ impl RunReport {
             self.label.push_str(&other.label);
         }
         self.wall_ns += other.wall_ns;
+        self.threads = self.threads.max(other.threads);
         self.sim_events_processed += other.sim_events_processed;
         self.sim_events_scheduled += other.sim_events_scheduled;
         self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
@@ -144,6 +149,9 @@ impl RunReport {
             self.wall_ns as f64 / 1e6,
             self.events_per_sec()
         );
+        if self.threads > 0 {
+            let _ = writeln!(out, "  threads         {:>12}", self.threads);
+        }
         let _ = writeln!(
             out,
             "  sim events      {:>12} processed / {} scheduled",
@@ -212,6 +220,7 @@ mod tests {
         RunReport {
             label: "set1/high".to_string(),
             wall_ns: 2_000_000_000,
+            threads: 1,
             sim_events_processed: 1_000_000,
             sim_events_scheduled: 1_000_100,
             queue_high_water: 42,
@@ -265,6 +274,7 @@ mod tests {
         let mut total = RunReport::default();
         total.absorb(&sample());
         total.absorb(&sample());
+        assert_eq!(total.threads, 1);
         assert_eq!(total.sim_events_processed, 2_000_000);
         assert_eq!(total.queue_high_water, 42);
         assert_eq!(total.links.len(), 2);
@@ -276,6 +286,7 @@ mod tests {
     fn table_mentions_the_headline_numbers() {
         let text = sample().render_table();
         assert!(text.contains("set1/high"));
+        assert!(text.contains("threads"));
         assert!(text.contains("1000000 processed"));
         assert!(text.contains("42"));
         assert!(text.contains("timeout-discard"));

@@ -97,9 +97,10 @@ impl Cdf {
         count as f64 / self.sorted.len() as f64
     }
 
-    /// The `p`-quantile (inverse CDF), `None` when empty.
+    /// The `p`-quantile (inverse CDF), `None` when empty. The samples
+    /// are already sorted, so this is O(1) — no clone, no re-sort.
     pub fn quantile(&self, p: f64) -> Option<f64> {
-        crate::summary::percentile(&self.sorted, p)
+        crate::summary::percentile_sorted(&self.sorted, p)
     }
 
     /// Median.

@@ -56,6 +56,17 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
+    percentile_sorted(&sorted, p)
+}
+
+/// [`percentile`] over a slice the caller has already sorted (by
+/// `f64::total_cmp`). Callers that query many quantiles of the same
+/// sample — CDF tables do eight per figure — should sort once and use
+/// this, instead of paying a clone + sort per quantile.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
     let p = p.clamp(0.0, 1.0);
     let idx = p * (sorted.len() - 1) as f64;
     let lo = idx.floor() as usize;
@@ -113,6 +124,17 @@ mod tests {
     fn percentile_handles_unsorted_input() {
         let xs = [9.0, 1.0, 5.0];
         assert_eq!(median(&xs), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile() {
+        let xs = [9.0, 1.0, 5.0, 2.0, 7.5];
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.0, 0.1, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(percentile_sorted(&sorted, p), percentile(&xs, p));
+        }
+        assert_eq!(percentile_sorted(&[], 0.5), None);
     }
 
     #[test]

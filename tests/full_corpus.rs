@@ -10,7 +10,9 @@ use turbulence::{figures, tables, CorpusResult};
 
 fn corpus() -> &'static CorpusResult {
     static CORPUS: OnceLock<CorpusResult> = OnceLock::new();
-    CORPUS.get_or_init(|| turbulence::runner::run_corpus_parallel(42))
+    CORPUS.get_or_init(|| {
+        turbulence::runner::run_corpus_parallel(42, turbulence::parallel::available_threads())
+    })
 }
 
 #[test]

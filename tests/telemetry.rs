@@ -37,8 +37,14 @@ fn telemetry_does_not_perturb_figure_data() {
     assert_eq!(off.wmp.bytes_total, on.wmp.bytes_total);
     assert_eq!(off.ping_before.median_rtt(), on.ping_before.median_rtt());
 
-    let fig_off = figures::fig05_fragmentation(&CorpusResult { runs: vec![off] });
-    let fig_on = figures::fig05_fragmentation(&CorpusResult { runs: vec![on] });
+    let fig_off = figures::fig05_fragmentation(&CorpusResult {
+        runs: vec![off],
+        threads: 1,
+    });
+    let fig_on = figures::fig05_fragmentation(&CorpusResult {
+        runs: vec![on],
+        threads: 1,
+    });
     assert_eq!(
         format!("{fig_off:?}"),
         format!("{fig_on:?}"),
