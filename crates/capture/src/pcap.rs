@@ -6,8 +6,9 @@ use crate::record::PacketRecord;
 use bytes::{BufMut, Bytes, BytesMut};
 use std::io::{self, Read, Write};
 use turb_netsim::SimTime;
-use turb_wire::ethernet::{EthernetFrame, MacAddr};
+use turb_wire::ethernet::{EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 use turb_wire::ipv4::Ipv4Packet;
+use turb_wire::view::PacketView;
 
 const MAGIC: u32 = 0xa1b2_c3d4;
 const VERSION_MAJOR: u16 = 2;
@@ -152,10 +153,17 @@ pub fn read_pcap<R: Read>(r: &mut R) -> Result<Vec<PcapPacket>, PcapError> {
 
 /// Decode a pcap packet back into timestamp + IP packet (convenience
 /// for round-trip tests and re-analysis of saved captures).
+///
+/// Zero-copy: the IP bytes are sliced straight out of the frame
+/// buffer and parsed through a [`PacketView`], so the returned
+/// packet's payload shares the frame allocation instead of being
+/// copied twice (once per decode layer, as the old path did).
 pub fn decode_packet(p: &PcapPacket) -> Option<(SimTime, Ipv4Packet)> {
-    let frame = EthernetFrame::decode(&p.frame).ok()?;
-    let ip = Ipv4Packet::decode(&frame.payload).ok()?;
-    Some((SimTime(p.ts_micros * 1_000), ip))
+    if p.frame.len() < ETHERNET_HEADER_LEN {
+        return None;
+    }
+    let view = PacketView::new(p.frame.slice(ETHERNET_HEADER_LEN..)).ok()?;
+    Some((SimTime(p.ts_micros * 1_000), view.to_packet()))
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
 //! The CLI subcommand implementations.
 
-use crate::{class_of, pair_of, seed_of, threads_of};
+use crate::{class_of, pair_of, scheduler_of, seed_of, threads_of};
 use std::collections::HashMap;
 use turb_media::PlayerId;
+use turb_netsim::SchedulerKind;
 use turb_obs::ScopeTimer;
 use turbulence::{figures, report, runner, tables, PairRunConfig};
 
@@ -25,6 +26,7 @@ pub fn corpus(flags: &Flags) -> Result<(), String> {
     let seed = seed_of(flags)?;
     let threads = threads_of(flags)?;
     let telemetry = flags.contains_key("telemetry");
+    let scheduler = scheduler_of(flags)?;
     let mut configs = match flags.get("sets") {
         None => runner::corpus_configs(seed),
         Some(list) => {
@@ -37,6 +39,7 @@ pub fn corpus(flags: &Flags) -> Result<(), String> {
     };
     for config in &mut configs {
         config.telemetry = telemetry;
+        config.scheduler = scheduler;
     }
     let result = runner::run_configs_parallel(&configs, threads);
     println!(
@@ -140,7 +143,7 @@ pub fn corpus(flags: &Flags) -> Result<(), String> {
 pub fn pair(flags: &Flags) -> Result<(), String> {
     let seed = seed_of(flags)?;
     let (set, pair) = pair_of(flags)?;
-    let mut config = PairRunConfig::new(seed, set, pair);
+    let mut config = PairRunConfig::new(seed, set, pair).with_scheduler(scheduler_of(flags)?);
     if let Some(loss) = loss_of(flags)? {
         config.access_loss = loss;
     }
@@ -203,7 +206,9 @@ pub fn pair(flags: &Flags) -> Result<(), String> {
 pub fn obs(flags: &Flags) -> Result<(), String> {
     let seed = seed_of(flags)?;
     let (set, pair) = pair_of(flags)?;
-    let mut config = PairRunConfig::new(seed, set, pair).with_telemetry();
+    let mut config = PairRunConfig::new(seed, set, pair)
+        .with_telemetry()
+        .with_scheduler(scheduler_of(flags)?);
     if let Some(loss) = loss_of(flags)? {
         config.access_loss = loss;
     }
@@ -213,6 +218,14 @@ pub fn obs(flags: &Flags) -> Result<(), String> {
         .as_ref()
         .expect("telemetry was requested for this run");
     println!("{}", telemetry.report.render_table());
+    let sched = telemetry.sched;
+    println!(
+        "  scheduler       {:>12} ({} slots touched / {} cascades / {} overflow entries)",
+        telemetry.scheduler.name(),
+        sched.slots_touched,
+        sched.cascades,
+        sched.overflow_events,
+    );
     if flags.contains_key("metrics") {
         println!("{}", telemetry.metrics.render_text());
     }
@@ -227,7 +240,12 @@ pub fn obs(flags: &Flags) -> Result<(), String> {
 /// `turbulence figures`: full data rows per figure.
 pub fn figures_cmd(flags: &Flags) -> Result<(), String> {
     let seed = seed_of(flags)?;
-    let result = runner::run_corpus_parallel(seed, threads_of(flags)?);
+    let scheduler = scheduler_of(flags)?;
+    let mut configs = runner::corpus_configs(seed);
+    for config in &mut configs {
+        config.scheduler = scheduler;
+    }
+    let result = runner::run_configs_parallel(&configs, threads_of(flags)?);
     let fig3 = figures::fig03_playback_vs_encoding(&result);
     println!(
         "{}",
@@ -291,38 +309,45 @@ pub fn figures_cmd(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// A stable digest of the figure data derived from a corpus — two
-/// corpora with equal digests plotted the same paper. Restricted to
-/// the figures that accept a partial corpus, so `--quick` works too.
-fn figure_digest(result: &runner::CorpusResult) -> String {
-    format!(
-        "{:?}|{:?}|{:?}|{:?}",
-        figures::fig01_rtt_cdf(result),
-        figures::fig02_hops_cdf(result),
-        figures::fig05_fragmentation(result),
-        figures::fig11_buffering_ratio(result),
-    )
+/// Pull `"key": <integer>` out of a previously written bench JSON.
+/// Hand-rolled like the writer below: the workspace deliberately
+/// carries no serde, and the file's shape is entirely our own.
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let at = json.find(&needle)? + needle.len();
+    let digits: &str = &json[at..at + json[at..].find(|c: char| !c.is_ascii_digit())?];
+    digits.parse().ok()
 }
 
 /// `turbulence bench`: time the corpus sequentially and with the
-/// worker pool, verify both produce identical figures, and write a
-/// machine-readable JSON summary (CI uploads it as an artifact).
+/// worker pool, re-run it on the other event-queue engine, verify all
+/// three produce identical figures, and write a machine-readable JSON
+/// summary (CI uploads it as an artifact). When the output file
+/// already exists — the committed baseline — the speedup against it is
+/// printed before it is overwritten.
 pub fn bench(flags: &Flags) -> Result<(), String> {
     let seed = seed_of(flags)?;
     let threads = threads_of(flags)?.max(1);
     let quick = flags.contains_key("quick");
+    let scheduler = scheduler_of(flags)?;
     let out = flags
         .get("out")
         .cloned()
         .unwrap_or_else(|| "BENCH_corpus.json".to_string());
+    let baseline = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|json| json_u64(&json, "sequential"));
 
     let timer = ScopeTimer::start("bench_configs", "bench");
-    let configs = if quick {
+    let mut configs = if quick {
         // CI time budget: the two shortest data sets only.
         runner::corpus_configs_for_sets(seed, &[1, 2])
     } else {
         runner::corpus_configs(seed)
     };
+    for config in &mut configs {
+        config.scheduler = scheduler;
+    }
     let configs_ns = timer.elapsed_ns();
 
     let timer = ScopeTimer::start("bench_sequential", "bench");
@@ -333,15 +358,43 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     let parallel = runner::run_configs_parallel(&configs, threads);
     let parallel_ns = timer.elapsed_ns();
 
+    // The same corpus on the other engine: the wheel-vs-heap A/B that
+    // the scheduler swap is judged by.
+    let other = match scheduler {
+        SchedulerKind::Wheel => SchedulerKind::Heap,
+        SchedulerKind::Heap => SchedulerKind::Wheel,
+    };
+    let mut alt_configs = configs.clone();
+    for config in &mut alt_configs {
+        config.scheduler = other;
+    }
+    let timer = ScopeTimer::start("bench_alternate", "bench");
+    let alternate = runner::run_configs(&alt_configs);
+    let alternate_ns = timer.elapsed_ns();
+
     let timer = ScopeTimer::start("bench_figures", "bench");
-    let identical = figure_digest(&sequential) == figure_digest(&parallel);
+    let digest = figures::digest(&sequential);
+    let identical = digest == figures::digest(&parallel);
+    let schedulers_identical = digest == figures::digest(&alternate);
     let figures_ns = timer.elapsed_ns();
 
     let speedup = sequential_ns as f64 / parallel_ns.max(1) as f64;
-    // Hand-rolled JSON: every value is a number or bool, nothing needs
-    // escaping, and the workspace deliberately carries no serde.
+    let scheduler_speedup = alternate_ns as f64 / sequential_ns.max(1) as f64;
+    // Present only when a previous file existed to compare against.
+    let baseline_fields = baseline
+        .map(|base_ns| {
+            format!(
+                "\n  \"baseline_sequential_ns\": {base_ns},\n  \"baseline_speedup\": {:.3},",
+                base_ns as f64 / sequential_ns.max(1) as f64,
+            )
+        })
+        .unwrap_or_default();
+    // Hand-rolled JSON: every value is a number, bool, or one of two
+    // fixed scheduler names, nothing needs escaping, and the workspace
+    // deliberately carries no serde.
     let json = format!(
-        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"speedup\": {speedup:.3},\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"figures\": {figures_ns}\n  }}\n}}\n",
+        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"scheduler\": \"{}\",\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"schedulers_identical\": {schedulers_identical},\n  \"speedup\": {speedup:.3},\n  \"scheduler_speedup\": {scheduler_speedup:.3},{baseline_fields}\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"alternate\": {alternate_ns},\n    \"figures\": {figures_ns}\n  }}\n}}\n",
+        scheduler.name(),
         configs.len(),
     );
     std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
@@ -351,9 +404,31 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         sequential_ns as f64 / 1e9,
         parallel_ns as f64 / 1e9,
     );
+    println!(
+        "bench: {} {:.2}s vs {} {:.2}s | {} speedup {scheduler_speedup:.2}x | identical {schedulers_identical}",
+        scheduler.name(),
+        sequential_ns as f64 / 1e9,
+        other.name(),
+        alternate_ns as f64 / 1e9,
+        scheduler.name(),
+    );
+    if let Some(base_ns) = baseline {
+        println!(
+            "bench: sequential vs committed {out} baseline ({:.2}s): {:.2}x",
+            base_ns as f64 / 1e9,
+            base_ns as f64 / sequential_ns.max(1) as f64,
+        );
+    }
     println!("bench: wrote {out}");
     if !identical {
         return Err("parallel corpus output diverged from sequential".to_string());
+    }
+    if !schedulers_identical {
+        return Err(format!(
+            "{} corpus output diverged from {}",
+            other.name(),
+            scheduler.name()
+        ));
     }
     Ok(())
 }

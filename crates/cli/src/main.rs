@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! turbulence corpus     [--seed N] [--sets 1,2,5]     full corpus + figure digests
-//!                       [--threads N]
+//!                       [--threads N] [--scheduler S]
 //! turbulence pair       --set N --class low|high|vh   one pair run, summarised
 //!                       [--seed N] [--pcap FILE] [--loss P] [--telemetry]
 //! turbulence obs        --set N [--class C] [--seed N] [--loss P]
 //!                       [--metrics] [--trace FILE]    one pair run, telemetry report
 //! turbulence figures    [--seed N] [--threads N]      every figure's data rows
 //! turbulence bench      [--seed N] [--threads N]      corpus wall-clock benchmark,
-//!                       [--quick] [--out FILE]        machine-readable JSON output
+//!                       [--quick] [--out FILE]        machine-readable JSON output,
+//!                       [--scheduler S]               wheel-vs-heap A/B comparison
 //! turbulence flowgen    --set N --class C --player real|wmp
 //!                       [--seed N] [--out FILE]       fit, generate, validate, export
 //! turbulence friendly   [--kbps N,...] [--seed N]     §VI TCP-friendliness sweep
@@ -19,6 +20,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 use turb_media::{corpus, RateClass};
+use turb_netsim::SchedulerKind;
 
 mod commands;
 
@@ -50,6 +52,8 @@ OPTIONS (per command):
     --telemetry         pair/corpus: collect and print the telemetry report
     --threads N         corpus/figures/bench: worker threads (default: all
                         cores; 0 or 1 runs sequentially)
+    --scheduler S       corpus/pair/obs/figures/bench: event-queue engine,
+                        wheel | heap (default wheel; results are identical)
     --metrics           obs: also print Prometheus-style metrics exposition
     --trace FILE        obs: dump the flight recorder as JSON Lines
     --quick             bench: sets 1-2 only, for CI time budgets
@@ -98,6 +102,16 @@ fn threads_of(flags: &HashMap<String, String>) -> Result<usize, String> {
     match flags.get("threads") {
         None => Ok(turbulence::parallel::available_threads()),
         Some(s) => s.parse().map_err(|_| format!("bad --threads {s:?}")),
+    }
+}
+
+/// `--scheduler wheel|heap`: the event-queue engine. The timing wheel
+/// is the default; the heap is kept for A/B runs and equivalence tests.
+fn scheduler_of(flags: &HashMap<String, String>) -> Result<SchedulerKind, String> {
+    match flags.get("scheduler").map(String::as_str) {
+        None | Some("wheel") => Ok(SchedulerKind::Wheel),
+        Some("heap") => Ok(SchedulerKind::Heap),
+        Some(other) => Err(format!("unknown scheduler {other:?} (wheel|heap)")),
     }
 }
 
@@ -238,6 +252,20 @@ mod tests {
             pair_of(&flags(&[("set", "1"), ("class", "vh")])).is_err(),
             "set 1 has no very-high pair"
         );
+    }
+
+    #[test]
+    fn scheduler_parses_both_engines_and_defaults_to_wheel() {
+        assert_eq!(scheduler_of(&flags(&[])).unwrap(), SchedulerKind::Wheel);
+        assert_eq!(
+            scheduler_of(&flags(&[("scheduler", "wheel")])).unwrap(),
+            SchedulerKind::Wheel
+        );
+        assert_eq!(
+            scheduler_of(&flags(&[("scheduler", "heap")])).unwrap(),
+            SchedulerKind::Heap
+        );
+        assert!(scheduler_of(&flags(&[("scheduler", "btree")])).is_err());
     }
 
     #[test]

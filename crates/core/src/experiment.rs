@@ -10,7 +10,9 @@ use std::net::Ipv4Addr;
 use turb_capture::{Capture, Sniffer};
 use turb_media::{ClipPair, RateClass};
 use turb_netsim::tools::{self, PingReport, TracertReport};
-use turb_netsim::{InternetScenario, ScenarioConfig, SimDuration, SimRng, SimTime, Simulation};
+use turb_netsim::{
+    InternetScenario, ScenarioConfig, SchedulerKind, SimDuration, SimRng, SimTime, Simulation,
+};
 use turb_obs::ScopeTimer;
 use turb_players::calibration::{REAL_SERVER_PORT, WMP_SERVER_PORT};
 use turb_players::{spawn_stream, AppStatsLog, StreamConfig};
@@ -41,6 +43,11 @@ pub struct PairRunConfig {
     /// and never draws randomness, so results are bit-identical either
     /// way.
     pub telemetry: bool,
+    /// Event-queue engine. The timing wheel is the default; the heap
+    /// is kept for `--scheduler heap` A/B runs, and
+    /// `tests/scheduler_equivalence.rs` proves both produce
+    /// byte-identical results.
+    pub scheduler: SchedulerKind,
 }
 
 impl PairRunConfig {
@@ -53,12 +60,19 @@ impl PairRunConfig {
             ping_count: 4,
             access_loss: 0.0,
             telemetry: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 
     /// Same config with telemetry collection switched on.
     pub fn with_telemetry(mut self) -> PairRunConfig {
         self.telemetry = true;
+        self
+    }
+
+    /// Same config with an explicit event-queue engine.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> PairRunConfig {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -124,7 +138,7 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
         config.seed
     );
     let timer = ScopeTimer::start("pair_run_wall_ns", &label);
-    let mut sim = Simulation::new(config.seed);
+    let mut sim = Simulation::with_scheduler(config.seed, config.scheduler);
     if config.telemetry {
         sim.enable_telemetry();
     }

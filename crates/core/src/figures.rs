@@ -416,6 +416,32 @@ pub fn sec4_flowgen_validation(
     out
 }
 
+/// A stable digest of the figure data derived from a corpus — two
+/// corpora with equal digests plotted the same paper. Restricted to
+/// the figures that accept a partial corpus, so `--quick` and
+/// single-set runs work too. Debug formatting is exact for f64, so
+/// equal digests mean byte-identical figure data.
+pub fn digest(corpus: &CorpusResult) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}",
+        fig01_rtt_cdf(corpus),
+        fig02_hops_cdf(corpus),
+        fig05_fragmentation(corpus),
+        fig11_buffering_ratio(corpus),
+    )
+}
+
+/// [`digest`] extended with the figures that need the whole 13-run
+/// corpus (the polynomial fits of Figures 3 and 14).
+pub fn full_digest(corpus: &CorpusResult) -> String {
+    format!(
+        "{}|{:?}|{:?}",
+        digest(corpus),
+        fig03_playback_vs_encoding(corpus),
+        fig14_framerate_vs_encoding(corpus),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,7 @@
 //! collected can never affect what the simulation computed.
 
 use turb_capture::Capture;
-use turb_netsim::Simulation;
+use turb_netsim::{SchedStats, SchedulerKind, Simulation};
 use turb_obs::{FragReport, LinkReport, MetricsRegistry, RunReport};
 use turb_players::telemetry::player_report;
 use turb_players::AppStatsLog;
@@ -20,6 +20,14 @@ pub struct RunTelemetry {
     pub metrics: MetricsRegistry,
     /// The flight recorder's events as JSON Lines.
     pub trace_jsonl: String,
+    /// Which event-queue engine ran the simulation.
+    pub scheduler: SchedulerKind,
+    /// Scheduler-internal diagnostics (slots touched, cascades,
+    /// overflow entries; all zero for the heap). Kept separate from
+    /// `report`/`metrics`/`trace_jsonl` deliberately: those three are
+    /// asserted byte-identical across schedulers, while these describe
+    /// the engine itself.
+    pub sched: SchedStats,
 }
 
 /// Harvest a finished simulation into a [`RunTelemetry`].
@@ -46,7 +54,7 @@ pub fn harvest(
         fault_delayed += f.delayed;
         let busy_secs = s.tx_bytes as f64 * 8.0 / link.config.rate_bps as f64;
         links.push(LinkReport {
-            component: format!("link:{i}"),
+            component: link.trace_component.clone(),
             tx_packets: s.tx_packets,
             tx_bytes: s.tx_bytes,
             dropped_queue: s.dropped_queue,
@@ -83,6 +91,8 @@ pub fn harvest(
         sim_events_processed: stats.events_processed,
         sim_events_scheduled: stats.events_scheduled,
         queue_high_water: stats.queue_high_water,
+        transit_fastpath: stats.transit_fastpath,
+        transit_slowpath: stats.transit_slowpath,
         fault_induced_losses: fault_losses,
         fault_delayed,
         capture_records: capture.len() as u64,
@@ -110,5 +120,7 @@ pub fn harvest(
         report,
         metrics,
         trace_jsonl: core.obs.trace.to_jsonl(),
+        scheduler: sim.scheduler(),
+        sched: sim.sched_stats(),
     }
 }

@@ -15,6 +15,8 @@
 //! * [`fault`] — Bernoulli / Gilbert-Elliott loss and jitter injection.
 //! * [`sim`] — the engine: event queue, [`Application`] trait,
 //!   [`Ctx`] capability handle, sniffer taps.
+//! * [`wheel`] — deterministic hierarchical timing wheel backing the
+//!   default event queue (`--scheduler heap` swaps the old heap in).
 //! * [`topology`] — the paper's client-to-six-sites scenario with
 //!   hop-count and RTT distributions calibrated to Figures 1–2.
 //! * [`tools`] — `ping` and `tracert` as simulated applications.
@@ -51,15 +53,19 @@ pub mod tcp_apps;
 pub mod time;
 pub mod tools;
 pub mod topology;
+pub mod wheel;
 
 pub use fault::{FaultInjector, JitterModel, LossModel};
 pub use link::{Link, LinkConfig, LinkId, LinkStats, NodeId};
 pub use node::{AppId, Node, NodeKind, NodeStats};
 pub use red::RedQueue;
 pub use rng::SimRng;
-pub use sim::{Application, Ctx, Direction, SimCore, SimStats, Simulation, Tap, TapEvent};
+pub use sim::{
+    Application, Ctx, Direction, SchedulerKind, SimCore, SimStats, Simulation, Tap, TapEvent,
+};
 pub use time::{SimDuration, SimTime};
 pub use topology::{InternetScenario, ScenarioConfig, SitePath};
+pub use wheel::{SchedStats, TimingWheel};
 
 /// Convenient glob import for simulation consumers.
 pub mod prelude {
@@ -67,7 +73,7 @@ pub mod prelude {
     pub use crate::link::{LinkConfig, LinkId, NodeId};
     pub use crate::node::AppId;
     pub use crate::rng::SimRng;
-    pub use crate::sim::{Application, Ctx, Direction, Simulation, TapEvent};
+    pub use crate::sim::{Application, Ctx, Direction, SchedulerKind, Simulation, TapEvent};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::tools;
     pub use crate::topology::{InternetScenario, ScenarioConfig};

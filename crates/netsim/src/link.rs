@@ -101,6 +101,9 @@ pub struct Link {
     next_free: SimTime,
     /// Counters.
     pub stats: LinkStats,
+    /// `"link:<id>"`, precomputed once so hot-path tracing and metric
+    /// harvesting never rebuild it per event.
+    pub trace_component: String,
 }
 
 /// Outcome of offering a packet to a link.
@@ -130,6 +133,7 @@ impl Link {
             red: None,
             next_free: SimTime::ZERO,
             stats: LinkStats::default(),
+            trace_component: format!("link:{}", id.0),
         }
     }
 

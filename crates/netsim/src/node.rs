@@ -77,6 +77,9 @@ pub struct Node {
     pub reassembler: Reassembler,
     /// Counters.
     pub stats: NodeStats,
+    /// `"node:<name>"`, precomputed once so hot-path tracing and
+    /// metric harvesting never rebuild it per event.
+    pub trace_component: String,
 }
 
 impl Node {
@@ -85,6 +88,7 @@ impl Node {
     pub fn new(id: NodeId, name: String, addr: Ipv4Addr, kind: NodeKind) -> Self {
         // Classic stacks hold fragments for 15-60 s; 30 s here.
         const REASSEMBLY_TIMEOUT_NS: u64 = 30_000_000_000;
+        let trace_component = format!("node:{name}");
         Node {
             id,
             name,
@@ -99,6 +103,7 @@ impl Node {
             ip_ident: 0,
             reassembler: Reassembler::new(REASSEMBLY_TIMEOUT_NS),
             stats: NodeStats::default(),
+            trace_component,
         }
     }
 

@@ -15,13 +15,14 @@ use crate::link::{Link, LinkConfig, LinkId, NodeId, TxOutcome};
 use crate::node::{AppId, Node, NodeKind, NodeStats};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{SchedStats, TimingWheel};
 use bytes::Bytes;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
 use turb_obs::{MetricsRegistry, Obs, Severity};
 use turb_wire::icmp::IcmpMessage;
-use turb_wire::ipv4::{IpProtocol, Ipv4Packet};
+use turb_wire::ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
 use turb_wire::tcp::TcpSegment;
 use turb_wire::udp::UdpDatagram;
 
@@ -107,6 +108,91 @@ impl Ord for Scheduled {
     }
 }
 
+/// Which event-queue implementation drives the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Hierarchical timing wheel (see [`crate::wheel`]); the default.
+    #[default]
+    Wheel,
+    /// The original binary heap, kept for A/B verification.
+    Heap,
+}
+
+impl SchedulerKind {
+    /// Stable lowercase name, as accepted by `--scheduler`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Wheel => "wheel",
+            SchedulerKind::Heap => "heap",
+        }
+    }
+}
+
+/// The two interchangeable queue engines. Both pop in exactly
+/// `(time, seq)` order — `tests/scheduler_equivalence.rs` proves full
+/// runs byte-identical, which is what lets the wheel be the default.
+enum EventQueue {
+    Heap(BinaryHeap<Scheduled>),
+    // Boxed: the wheel carries its occupancy bitmaps inline and would
+    // otherwise dwarf the heap variant.
+    Wheel(Box<TimingWheel<Event>>),
+}
+
+impl EventQueue {
+    fn with_capacity(kind: SchedulerKind, capacity: usize) -> EventQueue {
+        match kind {
+            SchedulerKind::Heap => EventQueue::Heap(BinaryHeap::with_capacity(capacity)),
+            SchedulerKind::Wheel => {
+                EventQueue::Wheel(Box::new(TimingWheel::with_capacity(capacity)))
+            }
+        }
+    }
+
+    fn push(&mut self, time: SimTime, seq: u64, event: Event) {
+        match self {
+            EventQueue::Heap(heap) => heap.push(Scheduled { time, seq, event }),
+            EventQueue::Wheel(wheel) => wheel.push(time, seq, event),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Event)> {
+        match self {
+            EventQueue::Heap(heap) => heap.pop().map(|s| (s.time, s.event)),
+            EventQueue::Wheel(wheel) => wheel.pop().map(|(time, _seq, event)| (time, event)),
+        }
+    }
+
+    /// Earliest pending time. `&mut` because the wheel may advance
+    /// its internal cursor to surface it.
+    fn next_time(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Heap(heap) => heap.peek().map(|s| s.time),
+            EventQueue::Wheel(wheel) => wheel.next_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(heap) => heap.len(),
+            EventQueue::Wheel(wheel) => wheel.len(),
+        }
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        match self {
+            EventQueue::Heap(_) => SchedulerKind::Heap,
+            EventQueue::Wheel(_) => SchedulerKind::Wheel,
+        }
+    }
+
+    fn sched_stats(&self) -> SchedStats {
+        match self {
+            EventQueue::Heap(_) => SchedStats::default(),
+            EventQueue::Wheel(wheel) => wheel.stats(),
+        }
+    }
+}
+
 /// A pending delivery to an application, produced while network state
 /// is mutably borrowed and dispatched afterwards.
 enum Delivery {
@@ -145,13 +231,19 @@ pub struct SimStats {
     /// Fragments produced by send-side fragmentation (counts only
     /// fragments of split datagrams, not whole packets).
     pub fragments_sent: u64,
+    /// Packets put on the wire through the zero-copy fast path: they
+    /// fit the link MTU, so the same refcounted buffer is forwarded
+    /// with no fragmentation `Vec` and no re-encode.
+    pub transit_fastpath: u64,
+    /// Packets that went through the allocate-and-fragment path.
+    pub transit_slowpath: u64,
 }
 
 /// All network state: everything an [`Application`] can touch through
 /// its [`Ctx`].
 pub struct SimCore {
     now: SimTime,
-    queue: BinaryHeap<Scheduled>,
+    queue: EventQueue,
     seq: u64,
     nodes: Vec<Node>,
     links: Vec<Link>,
@@ -169,7 +261,7 @@ impl SimCore {
         let time = time.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { time, seq, event });
+        self.queue.push(time, seq, event);
         self.stats.events_scheduled += 1;
         let depth = self.queue.len() as u64;
         if depth > self.stats.queue_high_water {
@@ -191,6 +283,18 @@ impl SimCore {
     /// Event-loop counters (always on).
     pub fn sim_stats(&self) -> SimStats {
         self.stats
+    }
+
+    /// Which scheduler implementation drives the event queue.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// Scheduler-internal diagnostics (all zero for the heap). These
+    /// describe the engine, not the simulated network, so they stay
+    /// outside the cross-scheduler identity set (see DESIGN.md).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.queue.sched_stats()
     }
 
     /// Harvest every component's counters into `registry`: engine
@@ -220,52 +324,62 @@ impl SimCore {
             self.stats.fragmented_datagrams,
         );
         registry.counter_add("sim_fragments_sent_total", "sim", self.stats.fragments_sent);
+        registry.counter_add(
+            "sim_transit_fastpath_total",
+            "sim",
+            self.stats.transit_fastpath,
+        );
+        registry.counter_add(
+            "sim_transit_slowpath_total",
+            "sim",
+            self.stats.transit_slowpath,
+        );
 
         let elapsed_secs = self.now.as_nanos() as f64 / 1e9;
         for link in &self.links {
-            let component = format!("link:{}", link.id.0);
+            let component = link.trace_component.as_str();
             let s = link.stats;
-            registry.counter_add("link_tx_packets_total", &component, s.tx_packets);
-            registry.counter_add("link_tx_bytes_total", &component, s.tx_bytes);
-            registry.counter_add("link_dropped_queue_total", &component, s.dropped_queue);
-            registry.counter_add("link_dropped_red_total", &component, s.dropped_red);
-            registry.counter_add("link_dropped_fault_total", &component, s.dropped_fault);
+            registry.counter_add("link_tx_packets_total", component, s.tx_packets);
+            registry.counter_add("link_tx_bytes_total", component, s.tx_bytes);
+            registry.counter_add("link_dropped_queue_total", component, s.dropped_queue);
+            registry.counter_add("link_dropped_red_total", component, s.dropped_red);
+            registry.counter_add("link_dropped_fault_total", component, s.dropped_fault);
             let f = link.fault.stats();
-            registry.counter_add("fault_offered_total", &component, f.offered);
-            registry.counter_add("fault_dropped_total", &component, f.dropped);
-            registry.counter_add("fault_delayed_total", &component, f.delayed);
+            registry.counter_add("fault_offered_total", component, f.offered);
+            registry.counter_add("fault_dropped_total", component, f.dropped);
+            registry.counter_add("fault_delayed_total", component, f.delayed);
             if elapsed_secs > 0.0 {
                 let busy_secs = s.tx_bytes as f64 * 8.0 / link.config.rate_bps as f64;
                 registry.gauge_set(
                     "link_utilization",
-                    &component,
+                    component,
                     (busy_secs / elapsed_secs).min(1.0),
                 );
             }
         }
 
         for node in &self.nodes {
-            let component = format!("node:{}", node.name);
+            let component = node.trace_component.as_str();
             let s = node.stats;
-            registry.counter_add("node_rx_packets_total", &component, s.rx_packets);
-            registry.counter_add("node_tx_packets_total", &component, s.tx_packets);
-            registry.counter_add("node_ttl_expired_total", &component, s.ttl_expired);
-            registry.counter_add("node_no_route_total", &component, s.no_route);
-            registry.counter_add("node_udp_delivered_total", &component, s.udp_delivered);
-            registry.counter_add("node_udp_unreachable_total", &component, s.udp_unreachable);
-            registry.counter_add("node_tcp_delivered_total", &component, s.tcp_delivered);
-            registry.counter_add("node_tcp_unreachable_total", &component, s.tcp_unreachable);
-            registry.counter_add("node_decode_errors_total", &component, s.decode_errors);
+            registry.counter_add("node_rx_packets_total", component, s.rx_packets);
+            registry.counter_add("node_tx_packets_total", component, s.tx_packets);
+            registry.counter_add("node_ttl_expired_total", component, s.ttl_expired);
+            registry.counter_add("node_no_route_total", component, s.no_route);
+            registry.counter_add("node_udp_delivered_total", component, s.udp_delivered);
+            registry.counter_add("node_udp_unreachable_total", component, s.udp_unreachable);
+            registry.counter_add("node_tcp_delivered_total", component, s.tcp_delivered);
+            registry.counter_add("node_tcp_unreachable_total", component, s.tcp_unreachable);
+            registry.counter_add("node_decode_errors_total", component, s.decode_errors);
             let r = node.reassembler.stats();
             registry.counter_add(
                 "reassembly_fragments_received_total",
-                &component,
+                component,
                 r.fragments_received,
             );
-            registry.counter_add("reassembly_passthrough_total", &component, r.passthrough);
-            registry.counter_add("reassembly_reassembled_total", &component, r.reassembled);
-            registry.counter_add("reassembly_timed_out_total", &component, r.timed_out);
-            registry.counter_add("reassembly_duplicates_total", &component, r.duplicates);
+            registry.counter_add("reassembly_passthrough_total", component, r.passthrough);
+            registry.counter_add("reassembly_reassembled_total", component, r.reassembled);
+            registry.counter_add("reassembly_timed_out_total", component, r.timed_out);
+            registry.counter_add("reassembly_duplicates_total", component, r.duplicates);
         }
     }
 
@@ -318,17 +432,28 @@ impl SimCore {
     }
 
     /// Originate or forward an IP packet from `node`: route, tap,
-    /// fragment to the link MTU, and put every fragment on the wire.
+    /// fragment to the link MTU if needed, and put every resulting
+    /// packet on the wire.
     pub fn send_ip(&mut self, node: NodeId, packet: Ipv4Packet) {
         let Some(link_id) = self.nodes[node.0].route(packet.dst) else {
             self.nodes[node.0].stats.no_route += 1;
             return;
         };
         let mtu = self.links[link_id.0].config.mtu;
+        // Zero-copy fast path: a packet that already fits the MTU is
+        // forwarded as-is — same refcounted payload, no fragmentation
+        // `Vec`. The tiny-MTU guard keeps the error path identical:
+        // `fragment` rejects any MTU below header + 8, even for
+        // packets that would fit it.
+        if packet.total_len() <= mtu && mtu >= IPV4_HEADER_LEN + 8 {
+            self.stats.transit_fastpath += 1;
+            self.transmit_packet(node, link_id, packet);
+            return;
+        }
         let fragments = match turb_wire::frag::fragment(packet, mtu) {
             Ok(f) => f,
             Err(_) => {
-                // DF set and too big: treat as unroutable.
+                // DF set and too big (or unusable MTU): unroutable.
                 self.nodes[node.0].stats.no_route += 1;
                 return;
             }
@@ -337,37 +462,45 @@ impl SimCore {
             self.stats.fragmented_datagrams += 1;
             self.stats.fragments_sent += fragments.len() as u64;
         }
+        self.stats.transit_slowpath += fragments.len() as u64;
         for frag in fragments {
-            self.nodes[node.0].stats.tx_packets += 1;
-            self.run_taps(Direction::Tx, node, link_id, &frag);
-            let bytes = frag.total_len();
-            let outcome = self.links[link_id.0].transmit(self.now, bytes, &mut self.rng);
-            match outcome {
-                TxOutcome::Deliver { arrival } => {
-                    self.schedule(
-                        arrival,
-                        Event::Arrival {
-                            link: link_id,
-                            packet: frag,
-                        },
+            self.transmit_packet(node, link_id, frag);
+        }
+    }
+
+    /// Put one MTU-sized packet on `link_id`'s wire: count, tap,
+    /// transmit, schedule the arrival. Shared by the zero-copy fast
+    /// path and the fragmentation path.
+    fn transmit_packet(&mut self, node: NodeId, link_id: LinkId, packet: Ipv4Packet) {
+        self.nodes[node.0].stats.tx_packets += 1;
+        self.run_taps(Direction::Tx, node, link_id, &packet);
+        let bytes = packet.total_len();
+        let outcome = self.links[link_id.0].transmit(self.now, bytes, &mut self.rng);
+        match outcome {
+            TxOutcome::Deliver { arrival } => {
+                self.schedule(
+                    arrival,
+                    Event::Arrival {
+                        link: link_id,
+                        packet,
+                    },
+                );
+            }
+            TxOutcome::QueueFull | TxOutcome::Faulted => {
+                if self.obs.enabled {
+                    let cause = if outcome == TxOutcome::Faulted {
+                        "fault injector"
+                    } else {
+                        "queue full"
+                    };
+                    let now_ns = self.now.as_nanos();
+                    self.obs.trace_with(
+                        now_ns,
+                        Severity::Warn,
+                        "link",
+                        &self.links[link_id.0].trace_component,
+                        || format!("dropped {bytes}-byte packet: {cause}"),
                     );
-                }
-                TxOutcome::QueueFull | TxOutcome::Faulted => {
-                    if self.obs.enabled {
-                        let cause = if outcome == TxOutcome::Faulted {
-                            "fault injector"
-                        } else {
-                            "queue full"
-                        };
-                        let now_ns = self.now.as_nanos();
-                        self.obs.trace_with(
-                            now_ns,
-                            Severity::Warn,
-                            "link",
-                            &format!("link:{}", link_id.0),
-                            || format!("dropped {bytes}-byte packet: {cause}"),
-                        );
-                    }
                 }
             }
         }
@@ -442,12 +575,11 @@ impl SimCore {
             (node.reassembler.push(packet, now_ns), expired)
         };
         if expired > 0 && self.obs.enabled {
-            let name = self.nodes[node_id.0].name.clone();
             self.obs.trace_with(
                 now_ns,
                 Severity::Warn,
                 "reassembly",
-                &format!("node:{name}"),
+                &self.nodes[node_id.0].trace_component,
                 || format!("discarded {expired} incomplete fragment group(s) on timeout"),
             );
         }
@@ -468,7 +600,7 @@ impl SimCore {
             // Never generate ICMP errors about ICMP errors.
             let is_icmp_error = packet.protocol == IpProtocol::Icmp
                 && matches!(
-                    IcmpMessage::decode(&packet.payload),
+                    IcmpMessage::decode_shared(&packet.payload),
                     Ok(IcmpMessage::TimeExceeded { .. })
                         | Ok(IcmpMessage::DestinationUnreachable { .. })
                 );
@@ -485,7 +617,7 @@ impl SimCore {
     }
 
     fn deliver_icmp(&mut self, node_id: NodeId, packet: Ipv4Packet, out: &mut Vec<Delivery>) {
-        let msg = match IcmpMessage::decode(&packet.payload) {
+        let msg = match IcmpMessage::decode_shared(&packet.payload) {
             Ok(m) => m,
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
@@ -498,20 +630,30 @@ impl SimCore {
             return;
         }
         // Listeners are read, never mutated, while fanning out, so
-        // index rather than clone the listener list (this used to
-        // clone the Vec on every ICMP arrival).
-        for i in 0..self.nodes[node_id.0].icmp_listeners.len() {
+        // index rather than clone the listener list; the message is
+        // moved, not cloned, into the last delivery, so the common
+        // single-listener node never clones at all.
+        let listeners = self.nodes[node_id.0].icmp_listeners.len();
+        let mut msg = Some(msg);
+        for i in 0..listeners {
             let app = self.nodes[node_id.0].icmp_listeners[i];
+            let msg = if i + 1 == listeners {
+                msg.take().expect("taken only on the last listener")
+            } else {
+                msg.as_ref()
+                    .expect("taken only on the last listener")
+                    .clone()
+            };
             out.push(Delivery::Icmp {
                 app,
                 from: packet.src,
-                msg: msg.clone(),
+                msg,
             });
         }
     }
 
     fn deliver_udp(&mut self, node_id: NodeId, packet: Ipv4Packet, out: &mut Vec<Delivery>) {
-        let datagram = match UdpDatagram::decode(&packet.payload, packet.src, packet.dst) {
+        let datagram = match UdpDatagram::decode_shared(&packet.payload, packet.src, packet.dst) {
             Ok(d) => d,
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
@@ -687,14 +829,21 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Create an empty simulation with the given RNG seed.
+    /// Create an empty simulation with the given RNG seed and the
+    /// default scheduler (the timing wheel).
     pub fn new(seed: u64) -> Self {
+        Self::with_scheduler(seed, SchedulerKind::default())
+    }
+
+    /// Like [`Simulation::new`] with an explicit event-queue engine,
+    /// for the `--scheduler wheel|heap` A/B harness.
+    pub fn with_scheduler(seed: u64, scheduler: SchedulerKind) -> Self {
         Simulation {
             core: SimCore {
                 now: SimTime::ZERO,
                 // Streaming runs keep thousands of in-flight events;
-                // pre-size the heap so warm-up doesn't regrow it.
-                queue: BinaryHeap::with_capacity(1024),
+                // pre-size the queue so warm-up doesn't regrow it.
+                queue: EventQueue::with_capacity(scheduler, 1024),
                 seq: 0,
                 nodes: Vec::new(),
                 links: Vec::new(),
@@ -718,6 +867,16 @@ impl Simulation {
     /// Event-loop counters (always on).
     pub fn sim_stats(&self) -> SimStats {
         self.core.sim_stats()
+    }
+
+    /// Which scheduler drives this run.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.core.scheduler()
+    }
+
+    /// Scheduler-internal diagnostics (all zero for the heap).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.core.sched_stats()
     }
 
     /// Harvest component counters into `registry`; see
@@ -839,16 +998,13 @@ impl Simulation {
 
     /// Process one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(scheduled) = self.core.queue.pop() else {
+        let Some((time, event)) = self.core.queue.pop() else {
             return false;
         };
-        debug_assert!(
-            scheduled.time >= self.core.now,
-            "time must not run backwards"
-        );
-        self.core.now = scheduled.time;
+        debug_assert!(time >= self.core.now, "time must not run backwards");
+        self.core.now = time;
         self.core.stats.events_processed += 1;
-        match scheduled.event {
+        match event {
             Event::AppStart(app) => self.dispatch(app, |a, ctx| a.on_start(ctx)),
             Event::Timer { app, token } => self.dispatch(app, |a, ctx| a.on_timer(ctx, token)),
             Event::Arrival { link, packet } => {
@@ -883,8 +1039,8 @@ impl Simulation {
     /// the clock to `limit`. Returns the final simulated time (`limit`,
     /// unless the clock was already past it).
     pub fn run_until(&mut self, limit: SimTime) -> SimTime {
-        while let Some(next) = self.core.queue.peek() {
-            if next.time > limit {
+        while let Some(next) = self.core.queue.next_time() {
+            if next > limit {
                 break;
             }
             self.step();
@@ -905,8 +1061,8 @@ impl Simulation {
     /// runaway guard), without force-advancing the clock. Returns the
     /// time of the last processed event.
     pub fn run_to_idle(&mut self, limit: SimTime) -> SimTime {
-        while let Some(next) = self.core.queue.peek() {
-            if next.time > limit {
+        while let Some(next) = self.core.queue.next_time() {
+            if next > limit {
                 break;
             }
             self.step();
@@ -964,13 +1120,11 @@ mod tests {
             _dst_port: u16,
             payload: Bytes,
         ) {
-            self.received
-                .borrow_mut()
-                .push((ctx.now(), payload.clone()));
-            // Echo it back once.
+            // Echo it back once, then record the payload by move.
             if payload.as_ref() == b"ping over udp" {
                 ctx.send_udp(6000, from.0, from.1, Bytes::from_static(b"pong"));
             }
+            self.received.borrow_mut().push((ctx.now(), payload));
         }
     }
 

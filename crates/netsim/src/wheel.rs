@@ -1,0 +1,492 @@
+//! A deterministic hierarchical timing wheel for the event queue.
+//!
+//! The simulator's original scheduler was a `BinaryHeap` ordered by
+//! `(time, insertion sequence)`. That order is the engine's contract:
+//! earlier sim-time first, and FIFO among events scheduled for the
+//! same instant. The wheel reproduces that order *exactly* — pop for
+//! pop — while making the common case (events scheduled a short,
+//! bounded distance into the future) O(1) amortised instead of
+//! O(log n).
+//!
+//! ## Layout
+//!
+//! Absolute sim-time is quantised to ticks of `2^TICK_SHIFT`
+//! nanoseconds (8.2 µs — finer than any serialisation delay in the
+//! corpus, far coarser than the nanosecond clock). Four levels of 256
+//! slots each cover `256^4 = 2^32` ticks (~9.8 simulated hours):
+//!
+//! * level 0: one tick per slot,
+//! * level `l`: `256^l` ticks per slot,
+//! * anything at or beyond the horizon waits in a far-future
+//!   `BinaryHeap` and is swept in when the wheel's range catches up.
+//!
+//! Every entry strictly after the current tick lives in exactly one
+//! slot (or the overflow heap). Entries **at or before** the current
+//! tick live in `current`: a small binary heap ordered by the exact
+//! `(time, seq)` key. Sub-tick ordering therefore never depends on
+//! the wheel geometry — the wheel only decides *when a tick's events
+//! become current*, and the heap restores the total order within it.
+//! That is what makes the wheel bit-identical to the old scheduler
+//! instead of merely "close enough" (see DESIGN.md §5).
+//!
+//! ## Advancing
+//!
+//! When `current` drains, the wheel scans level 0's occupancy bitmap
+//! for the next non-empty slot in the current 256-tick era. At an era
+//! boundary it cascades the next level-1 slot (re-dispatching each
+//! entry, which now lands in level 0 or `current`), and likewise for
+//! deeper levels at their `256^l`-aligned boundaries. If the whole
+//! wheel is empty it jumps straight to the earliest far-future entry.
+//! Each entry is touched at most `LEVELS` times total, and slot
+//! scans are 4 × `u64` bitmap words per level — no per-slot walk.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// log2 of nanoseconds per tick: 2^13 ns ≈ 8.2 µs.
+const TICK_SHIFT: u32 = 13;
+/// log2 of slots per level.
+const BITS: u32 = 8;
+/// Slots per level.
+const SLOTS: usize = 1 << BITS;
+/// Bitmask selecting a slot index within a level.
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+/// Wheel levels; together they span `2^(BITS * LEVELS)` ticks.
+const LEVELS: usize = 4;
+/// Ticks covered by all wheel levels; beyond this is overflow.
+const HORIZON_TICKS: u64 = 1 << (BITS * LEVELS as u32);
+/// u64 words in one level's occupancy bitmap.
+const BITMAP_WORDS: usize = SLOTS / 64;
+
+/// Scheduler-internal diagnostics. These describe the *engine*, not
+/// the simulated network, so they are reported alongside telemetry
+/// but never folded into the cross-scheduler identity set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Occupied slots drained into the current heap (level 0).
+    pub slots_touched: u64,
+    /// Occupied higher-level slots re-dispatched downward.
+    pub cascades: u64,
+    /// Entries that landed in the far-future overflow heap.
+    pub overflow_events: u64,
+}
+
+/// One scheduled item: the exact `(time, seq)` key plus its payload.
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    value: T,
+}
+
+// Manual impls: ordering ignores the payload entirely. Reversed so
+// that `BinaryHeap` (a max-heap) pops the earliest (time, seq) first.
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Deterministic hierarchical timing wheel. See the module docs for
+/// the layout and the determinism argument.
+pub struct TimingWheel<T> {
+    /// The wheel has conceptually advanced to this tick: every slot
+    /// entry is strictly after it, everything at or before it is in
+    /// `current`. Monotone; only moves when `current` is empty.
+    current_tick: u64,
+    /// Entries at or before `current_tick`, exact `(time, seq)` order.
+    current: BinaryHeap<Entry<T>>,
+    /// `LEVELS × SLOTS` buckets, flat-indexed `level * SLOTS + slot`.
+    slots: Vec<Vec<Entry<T>>>,
+    /// Per-level occupancy bitmaps; bit set ⇔ slot non-empty.
+    occupied: [[u64; BITMAP_WORDS]; LEVELS],
+    /// Entries at least `HORIZON_TICKS` past `current_tick` at insert.
+    overflow: BinaryHeap<Entry<T>>,
+    /// Total entries across current + slots + overflow.
+    len: usize,
+    /// Scratch buffer reused by slot drains to avoid reallocating.
+    scratch: Vec<Entry<T>>,
+    stats: SchedStats,
+}
+
+impl<T> TimingWheel<T> {
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// `capacity` pre-sizes the current-tick heap, the stand-in for
+    /// the old scheduler's pre-sized `BinaryHeap`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut slots = Vec::with_capacity(LEVELS * SLOTS);
+        slots.resize_with(LEVELS * SLOTS, Vec::new);
+        TimingWheel {
+            current_tick: 0,
+            current: BinaryHeap::with_capacity(capacity),
+            slots,
+            occupied: [[0u64; BITMAP_WORDS]; LEVELS],
+            overflow: BinaryHeap::new(),
+            len: 0,
+            scratch: Vec::new(),
+            stats: SchedStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    fn tick_of(time: SimTime) -> u64 {
+        time.as_nanos() >> TICK_SHIFT
+    }
+
+    /// Schedule `value` at `(time, seq)`. The caller guarantees `seq`
+    /// is unique and monotone (the engine's insertion counter) and
+    /// that `time` is never before an already-popped instant.
+    pub fn push(&mut self, time: SimTime, seq: u64, value: T) {
+        self.len += 1;
+        self.dispatch(Entry { time, seq, value });
+    }
+
+    /// Earliest pending `(time, seq, value)`, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.current.is_empty() {
+            self.advance();
+        }
+        self.len -= 1;
+        self.current.pop().map(|e| (e.time, e.seq, e.value))
+    }
+
+    /// Time of the earliest pending entry without removing it. Takes
+    /// `&mut self` because it may advance the wheel to surface it.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.current.is_empty() {
+            self.advance();
+        }
+        self.current.peek().map(|e| e.time)
+    }
+
+    /// Route one entry to the current heap, a wheel slot, or overflow.
+    /// Does not touch `len` — internal moves reuse it unchanged.
+    fn dispatch(&mut self, entry: Entry<T>) {
+        let tick = Self::tick_of(entry.time);
+        if tick <= self.current_tick {
+            self.current.push(entry);
+            return;
+        }
+        let delta = tick - self.current_tick;
+        if delta >= HORIZON_TICKS {
+            self.stats.overflow_events += 1;
+            self.overflow.push(entry);
+            return;
+        }
+        let mut level = 0usize;
+        while delta >= 1u64 << (BITS * (level as u32 + 1)) {
+            level += 1;
+        }
+        let slot = ((tick >> (BITS * level as u32)) & SLOT_MASK) as usize;
+        self.occupied[level][slot / 64] |= 1u64 << (slot % 64);
+        self.slots[level * SLOTS + slot].push(entry);
+    }
+
+    /// First occupied slot of `level` at index ≥ `from`, if any.
+    fn next_occupied(&self, level: usize, from: usize) -> Option<usize> {
+        if from >= SLOTS {
+            return None;
+        }
+        let bitmap = &self.occupied[level];
+        let mut word = from / 64;
+        let mut bits = bitmap[word] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word == BITMAP_WORDS {
+                return None;
+            }
+            bits = bitmap[word];
+        }
+    }
+
+    fn all_levels_empty(&self) -> bool {
+        self.occupied
+            .iter()
+            .all(|bitmap| bitmap.iter().all(|&w| w == 0))
+    }
+
+    /// Move every entry out of `(level, slot)` and re-route it. For
+    /// level 0 every entry lands in `current` (its tick equals the
+    /// new `current_tick`); for higher levels entries spread across
+    /// lower levels and `current`.
+    fn drain_slot(&mut self, level: usize, slot: usize) {
+        self.occupied[level][slot / 64] &= !(1u64 << (slot % 64));
+        let mut batch = std::mem::take(&mut self.scratch);
+        std::mem::swap(&mut batch, &mut self.slots[level * SLOTS + slot]);
+        for entry in batch.drain(..) {
+            self.dispatch(entry);
+        }
+        self.scratch = batch; // keep the allocation for the next drain
+    }
+
+    /// Precondition: `current` empty, `len > 0`. Postcondition holds
+    /// eventually (the loop runs until `current` is non-empty).
+    fn advance(&mut self) {
+        debug_assert!(self.current.is_empty() && self.len > 0);
+        if self.all_levels_empty() {
+            // Everything pending is far-future: jump straight to the
+            // earliest overflow tick and sweep in what now fits.
+            let target = self
+                .overflow
+                .peek()
+                .map(|e| Self::tick_of(e.time))
+                .expect("len > 0 with empty wheel implies overflow entries");
+            self.current_tick = target;
+            self.sweep_overflow();
+            // The earliest entry has tick == current_tick, so it is
+            // in `current` now.
+            return;
+        }
+        loop {
+            let cursor = (self.current_tick & SLOT_MASK) as usize;
+            if let Some(slot) = self.next_occupied(0, cursor + 1) {
+                // Jump within the current 256-tick era.
+                self.current_tick = (self.current_tick & !SLOT_MASK) | slot as u64;
+                self.stats.slots_touched += 1;
+                self.drain_slot(0, slot);
+                return; // the slot was non-empty ⇒ current is too
+            }
+            // Era exhausted: step to the boundary and cascade every
+            // level whose slot boundary we just crossed.
+            let next_era = (self.current_tick | SLOT_MASK) + 1;
+            self.current_tick = next_era;
+            for level in 1..LEVELS {
+                if next_era & ((1u64 << (BITS * level as u32)) - 1) != 0 {
+                    break;
+                }
+                let slot = ((next_era >> (BITS * level as u32)) & SLOT_MASK) as usize;
+                if self.occupied[level][slot / 64] & (1u64 << (slot % 64)) != 0 {
+                    self.stats.cascades += 1;
+                    self.drain_slot(level, slot);
+                }
+            }
+            if next_era & (HORIZON_TICKS - 1) == 0 {
+                // The wheel's range rolled over; far-future entries
+                // may fit now.
+                self.sweep_overflow();
+            }
+            // Entries exactly at the boundary tick were filed in
+            // level 0 slot 0 (delta < 256 at insert) — cascaded ones
+            // went straight to `current` above.
+            if self.occupied[0][0] & 1 != 0 {
+                self.stats.slots_touched += 1;
+                self.drain_slot(0, 0);
+            }
+            if !self.current.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Re-dispatch overflow entries that now fall inside the horizon.
+    fn sweep_overflow(&mut self) {
+        while let Some(head) = self.overflow.peek() {
+            let tick = Self::tick_of(head.time);
+            if tick > self.current_tick && tick - self.current_tick >= HORIZON_TICKS {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry exists");
+            self.dispatch(entry);
+        }
+    }
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    const TICK_NS: u64 = 1 << TICK_SHIFT;
+
+    fn drain(wheel: &mut TimingWheel<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((t, s, v)) = wheel.pop() {
+            out.push((t.as_nanos(), s, v));
+        }
+        out
+    }
+
+    /// Reference order: exactly what `BinaryHeap<Scheduled>` produced.
+    fn heap_order(mut items: Vec<(u64, u64, u32)>) -> Vec<(u64, u64, u32)> {
+        items.sort_by_key(|&(t, s, _)| (t, s));
+        items
+    }
+
+    #[test]
+    fn same_tick_fifo_ordering() {
+        // Several events inside one tick, pushed out of seq order:
+        // pops must follow (time, seq) exactly, like the heap.
+        let mut wheel = TimingWheel::new();
+        let base = 100 * TICK_NS;
+        let items = [
+            (base + 5, 3u64, 0u32),
+            (base + 5, 1, 1),
+            (base, 2, 2),
+            (base + 7, 0, 3),
+            (base, 4, 4),
+        ];
+        for &(t, s, v) in &items {
+            wheel.push(SimTime(t), s, v);
+        }
+        assert_eq!(wheel.len(), 5);
+        assert_eq!(drain(&mut wheel), heap_order(items.to_vec()));
+    }
+
+    #[test]
+    fn slot_zero_and_era_boundaries_cascade_correctly() {
+        // Entries sitting exactly on 256-tick era boundaries (slot 0
+        // of level 0) and just before/after them.
+        let mut wheel = TimingWheel::new();
+        let mut items = Vec::new();
+        let mut seq = 0u64;
+        for era in [1u64, 2, 3] {
+            for offset in [-1i64, 0, 1] {
+                let tick = (era * 256) as i64 + offset;
+                let t = tick as u64 * TICK_NS;
+                items.push((t, seq, seq as u32));
+                seq += 1;
+            }
+        }
+        for &(t, s, v) in &items {
+            wheel.push(SimTime(t), s, v);
+        }
+        assert_eq!(drain(&mut wheel), heap_order(items));
+    }
+
+    #[test]
+    fn exact_horizon_goes_to_overflow_and_comes_back() {
+        let mut wheel = TimingWheel::new();
+        // delta == HORIZON_TICKS must overflow; one tick less fits in
+        // the top level.
+        let inside = (HORIZON_TICKS - 1) * TICK_NS;
+        let at_horizon = HORIZON_TICKS * TICK_NS;
+        wheel.push(SimTime(at_horizon), 0, 0);
+        wheel.push(SimTime(inside), 1, 1);
+        assert_eq!(wheel.stats().overflow_events, 1);
+        assert_eq!(drain(&mut wheel), vec![(inside, 1, 1), (at_horizon, 0, 0)]);
+    }
+
+    #[test]
+    fn far_future_overflow_pops_in_order() {
+        let mut wheel = TimingWheel::new();
+        let far = 3 * HORIZON_TICKS * TICK_NS + 12_345;
+        let farther = 7 * HORIZON_TICKS * TICK_NS;
+        let near = 2 * TICK_NS;
+        wheel.push(SimTime(farther), 0, 0);
+        wheel.push(SimTime(far), 1, 1);
+        wheel.push(SimTime(near), 2, 2);
+        assert_eq!(wheel.stats().overflow_events, 2);
+        assert_eq!(
+            drain(&mut wheel),
+            vec![(near, 2, 2), (far, 1, 1), (farther, 0, 0)]
+        );
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_heap_order() {
+        // Mimic the simulator: pop one event, schedule a few more
+        // relative to it, repeat. Compare against a real BinaryHeap.
+        let mut wheel = TimingWheel::new();
+        let mut heap: BinaryHeap<Entry<u32>> = BinaryHeap::new();
+        let mut rng = SimRng::new(99);
+        let mut seq = 0u64;
+        fn push_both(
+            wheel: &mut TimingWheel<u32>,
+            heap: &mut BinaryHeap<Entry<u32>>,
+            t: u64,
+            seq: &mut u64,
+        ) {
+            let v = *seq as u32;
+            wheel.push(SimTime(t), *seq, v);
+            heap.push(Entry {
+                time: SimTime(t),
+                seq: *seq,
+                value: v,
+            });
+            *seq += 1;
+        }
+        for t in [0u64, 1, TICK_NS, 5 * TICK_NS] {
+            push_both(&mut wheel, &mut heap, t, &mut seq);
+        }
+        for _ in 0..2_000 {
+            let from_wheel = wheel.pop();
+            let from_heap = heap.pop().map(|e| (e.time, e.seq, e.value));
+            assert_eq!(from_wheel, from_heap);
+            let Some((now, _, _)) = from_wheel else {
+                break;
+            };
+            // Schedule 0-2 follow-ups at assorted distances, from
+            // sub-tick to beyond the horizon.
+            for _ in 0..rng.index(3) {
+                let jump = match rng.index(5) {
+                    0 => rng.range_u64(0, TICK_NS),
+                    1 => rng.range_u64(0, 256 * TICK_NS),
+                    2 => rng.range_u64(0, 65_536 * TICK_NS),
+                    3 => rng.range_u64(0, HORIZON_TICKS * TICK_NS / 8),
+                    _ => HORIZON_TICKS * TICK_NS + rng.range_u64(0, TICK_NS * 1_000),
+                };
+                push_both(&mut wheel, &mut heap, now.as_nanos() + jump, &mut seq);
+            }
+        }
+        assert_eq!(wheel.len(), heap.len());
+        while let Some(e) = heap.pop() {
+            assert_eq!(wheel.pop(), Some((e.time, e.seq, e.value)));
+        }
+        assert!(wheel.pop().is_none());
+    }
+
+    #[test]
+    fn next_time_matches_pop_and_len_tracks() {
+        let mut wheel = TimingWheel::new();
+        assert_eq!(wheel.next_time(), None);
+        wheel.push(SimTime(500 * TICK_NS), 0, 7u32);
+        wheel.push(SimTime(3), 1, 8);
+        assert_eq!(wheel.len(), 2);
+        assert_eq!(wheel.next_time(), Some(SimTime(3)));
+        assert_eq!(wheel.pop(), Some((SimTime(3), 1, 8)));
+        assert_eq!(wheel.next_time(), Some(SimTime(500 * TICK_NS)));
+        assert_eq!(wheel.len(), 1);
+        assert!(wheel.stats().slots_touched > 0);
+    }
+}

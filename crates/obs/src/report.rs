@@ -81,6 +81,11 @@ pub struct RunReport {
     pub sim_events_scheduled: u64,
     /// Maximum simulator queue length observed.
     pub queue_high_water: u64,
+    /// Packets forwarded through the engine's zero-copy fast path
+    /// (fit the link MTU, shared buffer, no fragmentation `Vec`).
+    pub transit_fastpath: u64,
+    /// Packets that went through the allocate-and-fragment path.
+    pub transit_slowpath: u64,
     /// Packets the fault injector deliberately dropped.
     pub fault_induced_losses: u64,
     /// Packets the fault injector delayed (reorder jitter).
@@ -125,6 +130,8 @@ impl RunReport {
         self.sim_events_processed += other.sim_events_processed;
         self.sim_events_scheduled += other.sim_events_scheduled;
         self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.transit_fastpath += other.transit_fastpath;
+        self.transit_slowpath += other.transit_slowpath;
         self.fault_induced_losses += other.fault_induced_losses;
         self.fault_delayed += other.fault_delayed;
         self.capture_records += other.capture_records;
@@ -158,6 +165,11 @@ impl RunReport {
             self.sim_events_processed, self.sim_events_scheduled
         );
         let _ = writeln!(out, "  queue high-water{:>12}", self.queue_high_water);
+        let _ = writeln!(
+            out,
+            "  packet transit  {:>12} fast-path / {} slow-path",
+            self.transit_fastpath, self.transit_slowpath
+        );
         let _ = writeln!(
             out,
             "  fault injector  {:>12} losses / {} delayed",
@@ -224,6 +236,8 @@ mod tests {
             sim_events_processed: 1_000_000,
             sim_events_scheduled: 1_000_100,
             queue_high_water: 42,
+            transit_fastpath: 950,
+            transit_slowpath: 30,
             fault_induced_losses: 17,
             fault_delayed: 3,
             capture_records: 998,
@@ -276,6 +290,8 @@ mod tests {
         total.absorb(&sample());
         assert_eq!(total.threads, 1);
         assert_eq!(total.sim_events_processed, 2_000_000);
+        assert_eq!(total.transit_fastpath, 1900);
+        assert_eq!(total.transit_slowpath, 60);
         assert_eq!(total.queue_high_water, 42);
         assert_eq!(total.links.len(), 2);
         assert_eq!(total.frag.timed_out, 2);
@@ -288,6 +304,7 @@ mod tests {
         assert!(text.contains("set1/high"));
         assert!(text.contains("threads"));
         assert!(text.contains("1000000 processed"));
+        assert!(text.contains("fast-path"));
         assert!(text.contains("42"));
         assert!(text.contains("timeout-discard"));
         assert!(text.contains("link:0"));

@@ -8,7 +8,7 @@ use std::net::Ipv4Addr;
 /// per RFC 1071) and finish with [`Checksum::value`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Checksum {
-    sum: u32,
+    sum: u64,
 }
 
 impl Checksum {
@@ -18,19 +18,36 @@ impl Checksum {
     }
 
     /// Add a slice of bytes to the running sum.
+    ///
+    /// Hot path: this runs over every UDP payload once at encode and
+    /// once at delivery. RFC 1071 §2 allows summing in any word width
+    /// on any boundary (every 2^16k positional weight is ≡ 1 mod
+    /// 2^16−1), so the loop takes 32-bit big-endian words four at a
+    /// time into independent accumulators — ~8× the bytes per add of
+    /// the naive 16-bit loop, and free of a serial dependency chain —
+    /// and defers all folding to [`Checksum::value`].
     pub fn push(&mut self, data: &[u8]) {
-        let mut chunks = data.chunks_exact(2);
+        let (mut s0, mut s1, mut s2, mut s3) = (0u64, 0u64, 0u64, 0u64);
+        let mut wide = data.chunks_exact(16);
+        for c in &mut wide {
+            s0 += u64::from(u32::from_be_bytes([c[0], c[1], c[2], c[3]]));
+            s1 += u64::from(u32::from_be_bytes([c[4], c[5], c[6], c[7]]));
+            s2 += u64::from(u32::from_be_bytes([c[8], c[9], c[10], c[11]]));
+            s3 += u64::from(u32::from_be_bytes([c[12], c[13], c[14], c[15]]));
+        }
+        let mut chunks = wide.remainder().chunks_exact(2);
         for chunk in &mut chunks {
-            self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+            s0 += u64::from(u16::from_be_bytes([chunk[0], chunk[1]]));
         }
         if let [last] = chunks.remainder() {
-            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+            s0 += u64::from(u16::from_be_bytes([*last, 0]));
         }
+        self.sum += s0 + s1 + s2 + s3;
     }
 
     /// Add a single big-endian `u16` word.
     pub fn push_u16(&mut self, word: u16) {
-        self.sum += u32::from(word);
+        self.sum += u64::from(word);
     }
 
     /// Add an IPv4 address (two 16-bit words).
@@ -109,6 +126,30 @@ mod tests {
         c.push(&data[..128]);
         c.push(&data[128..]);
         assert_eq!(c.value(), checksum(&data));
+    }
+
+    #[test]
+    fn wide_word_path_matches_the_16_bit_definition() {
+        // Cross-check every length 0..=64 (both sides of the 16-byte
+        // chunking, odd tails included) against a naive 16-bit loop.
+        for len in 0..=64usize {
+            let data: Vec<u8> = (0..len as u8)
+                .map(|i| i.wrapping_mul(37).wrapping_add(11))
+                .collect();
+            let mut naive: u32 = 0;
+            let mut words = data.chunks_exact(2);
+            for w in &mut words {
+                naive += u32::from(u16::from_be_bytes([w[0], w[1]]));
+            }
+            if let [last] = words.remainder() {
+                naive += u32::from(u16::from_be_bytes([*last, 0]));
+            }
+            let mut folded = naive;
+            while folded >> 16 != 0 {
+                folded = (folded & 0xffff) + (folded >> 16);
+            }
+            assert_eq!(checksum(&data), !(folded as u16), "len {len}");
+        }
     }
 
     #[test]

@@ -90,6 +90,20 @@ impl IcmpMessage {
 
     /// Parse and verify a message.
     pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        Self::check_header(data)?;
+        let body = Bytes::copy_from_slice(&data[ICMP_HEADER_LEN..]);
+        Self::classify(data, body)
+    }
+
+    /// Zero-copy [`IcmpMessage::decode`]: the body is a refcounted
+    /// slice of `data`, not a fresh allocation.
+    pub fn decode_shared(data: &Bytes) -> Result<Self, WireError> {
+        Self::check_header(data)?;
+        let body = data.slice(ICMP_HEADER_LEN..);
+        Self::classify(data, body)
+    }
+
+    fn check_header(data: &[u8]) -> Result<(), WireError> {
         if data.len() < ICMP_HEADER_LEN {
             return Err(WireError::Truncated {
                 what: "icmp",
@@ -100,9 +114,12 @@ impl IcmpMessage {
         if !crate::checksum::verify(data) {
             return Err(WireError::BadChecksum { what: "icmp" });
         }
+        Ok(())
+    }
+
+    fn classify(data: &[u8], body: Bytes) -> Result<Self, WireError> {
         let ident = u16::from_be_bytes([data[4], data[5]]);
         let seq = u16::from_be_bytes([data[6], data[7]]);
-        let body = Bytes::copy_from_slice(&data[ICMP_HEADER_LEN..]);
         match (data[0], data[1]) {
             (0, 0) => Ok(IcmpMessage::EchoReply {
                 ident,
@@ -156,6 +173,24 @@ mod tests {
         };
         let n = IcmpMessage::decode(&m.encode()).unwrap();
         assert_eq!(m, n);
+    }
+
+    #[test]
+    fn decode_shared_borrows_the_encoded_buffer() {
+        let m = IcmpMessage::EchoRequest {
+            ident: 0x1234,
+            seq: 7,
+            payload: Bytes::from_static(b"timestamp"),
+        };
+        let encoded = m.encode();
+        let n = IcmpMessage::decode_shared(&encoded).unwrap();
+        assert_eq!(m, n);
+        let IcmpMessage::EchoRequest { payload, .. } = n else {
+            panic!("expected echo request");
+        };
+        // The body aliases the encoded buffer instead of copying.
+        let base = encoded.as_ref().as_ptr() as usize;
+        assert_eq!(payload.as_ref().as_ptr() as usize, base + ICMP_HEADER_LEN);
     }
 
     #[test]

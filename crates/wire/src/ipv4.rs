@@ -179,6 +179,28 @@ impl Ipv4Packet {
 
     /// Parse and verify a packet from bytes.
     pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        let total_len = Self::validate_header(data)?;
+        Ok(Self::from_header(
+            data,
+            Bytes::copy_from_slice(&data[IPV4_HEADER_LEN..total_len]),
+        ))
+    }
+
+    /// Zero-copy [`Ipv4Packet::decode`]: the payload is a refcounted
+    /// slice of `data`, not a fresh allocation. Used by the capture
+    /// read path, where the whole frame already sits in one buffer.
+    pub fn decode_shared(data: &Bytes) -> Result<Self, WireError> {
+        let total_len = Self::validate_header(data)?;
+        Ok(Self::from_header(
+            data,
+            data.slice(IPV4_HEADER_LEN..total_len),
+        ))
+    }
+
+    /// Shared header validation (bounds, version, IHL, stored length,
+    /// checksum). Returns the on-wire total length. Also used by
+    /// [`crate::view::PacketView`] at construction.
+    pub(crate) fn validate_header(data: &[u8]) -> Result<usize, WireError> {
         if data.len() < IPV4_HEADER_LEN {
             return Err(WireError::Truncated {
                 what: "ipv4",
@@ -209,8 +231,12 @@ impl Ipv4Packet {
         if !crate::checksum::verify(&data[..IPV4_HEADER_LEN]) {
             return Err(WireError::BadChecksum { what: "ipv4" });
         }
+        Ok(total_len)
+    }
+
+    fn from_header(data: &[u8], payload: Bytes) -> Self {
         let flags_frag = u16::from_be_bytes([data[6], data[7]]);
-        Ok(Ipv4Packet {
+        Ipv4Packet {
             tos: data[1],
             identification: u16::from_be_bytes([data[4], data[5]]),
             dont_fragment: flags_frag & 0x4000 != 0,
@@ -220,8 +246,8 @@ impl Ipv4Packet {
             protocol: IpProtocol::from(data[9]),
             src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
             dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
-            payload: Bytes::copy_from_slice(&data[IPV4_HEADER_LEN..total_len]),
-        })
+            payload,
+        }
     }
 }
 

@@ -11,6 +11,8 @@
 //! * [`Ipv4Packet`] — IPv4 header with internet checksum, identification,
 //!   DF/MF flags and 13-bit fragment offset.
 //! * [`UdpDatagram`] — UDP with the IPv4 pseudo-header checksum.
+//! * [`PacketView`] — zero-copy lazy header view over an encoded
+//!   packet sitting in a shared buffer (the capture read path).
 //! * [`icmp`] — echo request/reply and time-exceeded, enough to
 //!   implement `ping` and `tracert`.
 //! * [`frag`] — RFC 791 style fragmentation ([`frag::fragment`]) and a
@@ -31,6 +33,7 @@ pub mod ipv4;
 pub mod media;
 pub mod tcp;
 pub mod udp;
+pub mod view;
 
 pub use error::WireError;
 pub use ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
@@ -38,6 +41,7 @@ pub use frag::{fragment, Reassembler};
 pub use ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
 pub use tcp::{TcpFlags, TcpSegment, TCP_HEADER_LEN};
 pub use udp::{UdpDatagram, UDP_HEADER_LEN};
+pub use view::PacketView;
 
 /// The default Ethernet MTU, and the default MTU of the Windows 2000
 /// stack the paper's client ran on (Microsoft KB Q140375, cited in the

@@ -88,10 +88,29 @@ impl MediaHeader {
         buf.put_u32(padding as u32);
         // Deterministic filler derived from the sequence number, so
         // payload bytes differ across packets (checksums exercise real
-        // data) without any RNG.
+        // data) without any RNG. Byte `i` is
+        // `(seed + i) >> (i % 4 * 8)`; this is the hottest loop in a
+        // streaming run (every payload byte of every datagram passes
+        // through it), so it fills a resized tail in place, unrolled
+        // to one four-byte group per iteration instead of a
+        // capacity-checked `put_u8` per byte.
         let seed = self.sequence.wrapping_mul(0x9e37_79b9);
-        for i in 0..padding {
-            buf.put_u8((seed.wrapping_add(i as u32) >> (i % 4 * 8)) as u8);
+        let start = buf.len();
+        buf.resize(start + padding, 0);
+        let fill = &mut buf[start..];
+        let mut groups = fill.chunks_exact_mut(4);
+        let mut i = 0u32;
+        for group in &mut groups {
+            let s = seed.wrapping_add(i);
+            group[0] = s as u8;
+            group[1] = (s.wrapping_add(1) >> 8) as u8;
+            group[2] = (s.wrapping_add(2) >> 16) as u8;
+            group[3] = (s.wrapping_add(3) >> 24) as u8;
+            i = i.wrapping_add(4);
+        }
+        for (j, byte) in groups.into_remainder().iter_mut().enumerate() {
+            let i = i as usize + j;
+            *byte = (seed.wrapping_add(i as u32) >> (i % 4 * 8)) as u8;
         }
         buf.freeze()
     }
@@ -150,6 +169,24 @@ mod tests {
             let bytes = h.encode_with_padding(padding);
             assert_eq!(bytes.len(), MEDIA_HEADER_LEN + padding);
             assert_eq!(MediaHeader::decode(&bytes).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn padding_filler_matches_the_per_byte_definition() {
+        // The unrolled fill must reproduce `(seed + i) >> (i % 4 * 8)`
+        // exactly, including the non-multiple-of-four tails.
+        let h = header();
+        let seed = h.sequence.wrapping_mul(0x9e37_79b9);
+        for padding in [0usize, 1, 2, 3, 4, 5, 63, 64, 65, 1452] {
+            let bytes = h.encode_with_padding(padding);
+            for i in 0..padding {
+                assert_eq!(
+                    bytes[MEDIA_HEADER_LEN + i],
+                    (seed.wrapping_add(i as u32) >> (i % 4 * 8)) as u8,
+                    "padding {padding} byte {i}"
+                );
+            }
         }
     }
 

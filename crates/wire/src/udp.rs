@@ -77,6 +77,34 @@ impl UdpDatagram {
 
     /// Parse and verify a datagram transmitted between `src` and `dst`.
     pub fn decode(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<Self, WireError> {
+        let (src_port, dst_port, len) = Self::parse_header(data, src, dst)?;
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload: Bytes::copy_from_slice(&data[UDP_HEADER_LEN..len]),
+        })
+    }
+
+    /// Zero-copy [`UdpDatagram::decode`]: the payload is a refcounted
+    /// slice of `data`, not a fresh allocation. Used on the delivery
+    /// hot path, where the datagram bytes already live in a shared
+    /// buffer.
+    pub fn decode_shared(data: &Bytes, src: Ipv4Addr, dst: Ipv4Addr) -> Result<Self, WireError> {
+        let (src_port, dst_port, len) = Self::parse_header(data, src, dst)?;
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload: data.slice(UDP_HEADER_LEN..len),
+        })
+    }
+
+    /// Shared validation: header bounds, stored length, pseudo-header
+    /// checksum. Returns `(src_port, dst_port, datagram_len)`.
+    fn parse_header(
+        data: &[u8],
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> Result<(u16, u16, usize), WireError> {
         if data.len() < UDP_HEADER_LEN {
             return Err(WireError::Truncated {
                 what: "udp",
@@ -103,11 +131,9 @@ impl UdpDatagram {
                 return Err(WireError::BadChecksum { what: "udp" });
             }
         }
-        Ok(UdpDatagram {
-            src_port: u16::from_be_bytes([data[0], data[1]]),
-            dst_port: u16::from_be_bytes([data[2], data[3]]),
-            payload: Bytes::copy_from_slice(&data[UDP_HEADER_LEN..len]),
-        })
+        let src_port = u16::from_be_bytes([data[0], data[1]]);
+        let dst_port = u16::from_be_bytes([data[2], data[3]]);
+        Ok((src_port, dst_port, len))
     }
 }
 
@@ -125,6 +151,18 @@ mod tests {
         assert_eq!(encoded.len(), d.len());
         let e = UdpDatagram::decode(&encoded, SRC, DST).unwrap();
         assert_eq!(d, e);
+    }
+
+    #[test]
+    fn decode_shared_borrows_the_encoded_buffer() {
+        let d = UdpDatagram::new(7070, 1755, Bytes::from_static(b"media data"));
+        let encoded = d.encode(SRC, DST).unwrap();
+        let e = UdpDatagram::decode_shared(&encoded, SRC, DST).unwrap();
+        assert_eq!(d, e);
+        // The payload aliases the encoded buffer instead of copying.
+        let base = encoded.as_ref().as_ptr() as usize;
+        let payload = e.payload.as_ref().as_ptr() as usize;
+        assert_eq!(payload, base + UDP_HEADER_LEN);
     }
 
     #[test]

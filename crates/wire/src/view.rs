@@ -1,0 +1,208 @@
+//! Lazy, zero-copy packet views.
+//!
+//! [`PacketView`] wraps one *encoded* IPv4 packet sitting in a shared
+//! refcounted buffer and answers header questions by reading bytes in
+//! place — no field-by-field decode, no payload copy. Construction
+//! runs the same validation as [`Ipv4Packet::decode`] (version, IHL,
+//! stored length, header checksum), so every accessor afterwards is
+//! infallible.
+//!
+//! This is the read-side half of the workspace's zero-copy path: the
+//! capture/pcap reader keeps each frame's bytes in one `Bytes` and
+//! parses IP/UDP headers through a view, materialising an owned
+//! [`Ipv4Packet`] (still sharing the payload) only when a caller
+//! actually needs one.
+
+use crate::error::WireError;
+use crate::ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
+use crate::udp::UDP_HEADER_LEN;
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+/// A validated view over one encoded IPv4 packet in a shared buffer.
+#[derive(Debug, Clone)]
+pub struct PacketView {
+    /// Exactly `total_length` bytes: any link-layer trailer/padding is
+    /// trimmed at construction, so slicing stays O(1) afterwards.
+    data: Bytes,
+}
+
+impl PacketView {
+    /// Validate the header and wrap `data`. Trailing padding beyond
+    /// the IP total length (legal in captured Ethernet frames) is
+    /// sliced off, still without copying.
+    pub fn new(data: Bytes) -> Result<Self, WireError> {
+        let total_len = Ipv4Packet::validate_header(&data)?;
+        let data = if data.len() == total_len {
+            data
+        } else {
+            data.slice(..total_len)
+        };
+        Ok(PacketView { data })
+    }
+
+    /// The full encoded packet (header + payload), shared.
+    pub fn as_bytes(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// On-wire total length (header + payload).
+    pub fn total_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Type-of-service byte.
+    pub fn tos(&self) -> u8 {
+        self.data[1]
+    }
+
+    /// IPv4 identification (the fragment-group key).
+    pub fn identification(&self) -> u16 {
+        u16::from_be_bytes([self.data[4], self.data[5]])
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_fragment(&self) -> bool {
+        self.data[6] & 0x40 != 0
+    }
+
+    /// More-fragments flag.
+    pub fn more_fragments(&self) -> bool {
+        self.data[6] & 0x20 != 0
+    }
+
+    /// Fragment offset in 8-byte units.
+    pub fn fragment_offset(&self) -> u16 {
+        u16::from_be_bytes([self.data[6], self.data[7]]) & 0x1fff
+    }
+
+    /// Remaining time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.data[8]
+    }
+
+    /// Transport protocol.
+    pub fn protocol(&self) -> IpProtocol {
+        IpProtocol::from(self.data[9])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Addr {
+        Ipv4Addr::new(self.data[12], self.data[13], self.data[14], self.data[15])
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        Ipv4Addr::new(self.data[16], self.data[17], self.data[18], self.data[19])
+    }
+
+    /// The transport payload as a shared slice of the same buffer.
+    pub fn payload(&self) -> Bytes {
+        self.data.slice(IPV4_HEADER_LEN..)
+    }
+
+    /// `(src_port, dst_port)` peeked straight from the buffer for an
+    /// unfragmented UDP packet; `None` otherwise (non-UDP, truncated,
+    /// or a non-first fragment whose payload has no UDP header).
+    pub fn udp_ports(&self) -> Option<(u16, u16)> {
+        if self.protocol() != IpProtocol::Udp || self.fragment_offset() != 0 {
+            return None;
+        }
+        let udp = &self.data[IPV4_HEADER_LEN..];
+        if udp.len() < UDP_HEADER_LEN {
+            return None;
+        }
+        Some((
+            u16::from_be_bytes([udp[0], udp[1]]),
+            u16::from_be_bytes([udp[2], udp[3]]),
+        ))
+    }
+
+    /// Materialise an owned [`Ipv4Packet`]. The payload still shares
+    /// this view's buffer (refcount bump, no copy).
+    pub fn to_packet(&self) -> Ipv4Packet {
+        Ipv4Packet::decode_shared(&self.data).expect("header validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn sample() -> Ipv4Packet {
+        let udp = crate::udp::UdpDatagram::new(7070, 1755, Bytes::from_static(b"media data"));
+        let src = Ipv4Addr::new(130, 215, 36, 1);
+        let dst = Ipv4Addr::new(204, 71, 200, 33);
+        let payload = udp.encode(src, dst).unwrap();
+        Ipv4Packet::new(src, dst, IpProtocol::Udp, 0xbeef, payload)
+    }
+
+    #[test]
+    fn header_accessors_match_full_decode() {
+        let packet = sample();
+        let encoded = packet.encode().unwrap();
+        let view = PacketView::new(encoded.clone()).unwrap();
+        let decoded = Ipv4Packet::decode(&encoded).unwrap();
+        assert_eq!(view.total_len(), decoded.total_len());
+        assert_eq!(view.tos(), decoded.tos);
+        assert_eq!(view.identification(), decoded.identification);
+        assert_eq!(view.dont_fragment(), decoded.dont_fragment);
+        assert_eq!(view.more_fragments(), decoded.more_fragments);
+        assert_eq!(view.fragment_offset(), decoded.fragment_offset);
+        assert_eq!(view.ttl(), decoded.ttl);
+        assert_eq!(view.protocol(), decoded.protocol);
+        assert_eq!(view.src(), decoded.src);
+        assert_eq!(view.dst(), decoded.dst);
+        assert_eq!(view.payload().as_ref(), decoded.payload.as_ref());
+        assert_eq!(view.udp_ports(), Some((7070, 1755)));
+        assert_eq!(view.to_packet(), decoded);
+    }
+
+    #[test]
+    fn payload_and_packet_share_the_buffer() {
+        let encoded = sample().encode().unwrap();
+        let base = encoded.as_ref().as_ptr() as usize;
+        let view = PacketView::new(encoded).unwrap();
+        let payload = view.payload();
+        assert_eq!(payload.as_ref().as_ptr() as usize, base + IPV4_HEADER_LEN);
+        let packet = view.to_packet();
+        assert_eq!(
+            packet.payload.as_ref().as_ptr() as usize,
+            base + IPV4_HEADER_LEN
+        );
+    }
+
+    #[test]
+    fn trailing_padding_is_trimmed_without_copying() {
+        let encoded = sample().encode().unwrap();
+        let total = encoded.len();
+        let mut padded = BytesMut::with_capacity(total + 6);
+        padded.extend_from_slice(&encoded);
+        padded.extend_from_slice(&[0u8; 6]); // Ethernet min-frame pad
+        let view = PacketView::new(padded.freeze()).unwrap();
+        assert_eq!(view.total_len(), total);
+        assert_eq!(view.udp_ports(), Some((7070, 1755)));
+    }
+
+    #[test]
+    fn rejects_corrupt_headers() {
+        let encoded = sample().encode().unwrap();
+        let mut bad = encoded.as_ref().to_vec();
+        bad[8] ^= 0xff; // flip TTL without fixing the checksum
+        assert!(matches!(
+            PacketView::new(Bytes::from(bad)),
+            Err(WireError::BadChecksum { what: "ipv4" })
+        ));
+        assert!(PacketView::new(Bytes::from_static(&[0u8; 5])).is_err());
+    }
+
+    #[test]
+    fn udp_ports_refuses_non_first_fragments() {
+        let mut packet = sample();
+        packet.fragment_offset = 185;
+        packet.more_fragments = true;
+        let view = PacketView::new(packet.encode().unwrap()).unwrap();
+        assert_eq!(view.udp_ports(), None);
+    }
+}
