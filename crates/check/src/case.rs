@@ -1,0 +1,159 @@
+//! Regression-case files.
+//!
+//! A case is the smallest thing that reproduces one property failure:
+//! the property name, the case seed, and — for byte-driven properties —
+//! the (minimised) input bytes. The format is line-oriented text so
+//! cases diff well and can be written by hand:
+//!
+//! ```text
+//! # optional comment lines
+//! prop = decode_differential
+//! seed = 0x1234abcd
+//! note = minimised from iteration 57
+//! data = 45000026...
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+/// One replayable check case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Case {
+    /// Property name (must resolve via `props::by_name`).
+    pub property: String,
+    /// The case seed (regenerates the input for seeded properties).
+    pub seed: u64,
+    /// Explicit input bytes for byte-driven properties. When present
+    /// it takes precedence over regenerating from the seed.
+    pub data: Option<Vec<u8>>,
+    /// Free-form provenance note.
+    pub note: String,
+}
+
+impl Case {
+    /// Render to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# turb-check regression case\n");
+        out.push_str(&format!("prop = {}\n", self.property));
+        out.push_str(&format!("seed = {:#018x}\n", self.seed));
+        if !self.note.is_empty() {
+            out.push_str(&format!("note = {}\n", self.note));
+        }
+        if let Some(data) = &self.data {
+            out.push_str("data = ");
+            for b in data {
+                out.push_str(&format!("{b:02x}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the text format.
+    pub fn from_text(text: &str) -> Result<Case, String> {
+        let mut property = None;
+        let mut seed = None;
+        let mut data = None;
+        let mut note = String::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "prop" => property = Some(value.to_string()),
+                "seed" => {
+                    let parsed = match value.strip_prefix("0x") {
+                        Some(hex) => u64::from_str_radix(hex, 16),
+                        None => value.parse(),
+                    };
+                    seed = Some(parsed.map_err(|_| format!("bad seed {value:?}"))?);
+                }
+                "note" => note = value.to_string(),
+                "data" => data = Some(parse_hex(value)?),
+                other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+            }
+        }
+        Ok(Case {
+            property: property.ok_or("missing `prop =` line")?,
+            seed: seed.unwrap_or(0),
+            data,
+            note,
+        })
+    }
+
+    /// Load a case from a file.
+    pub fn load(path: &Path) -> Result<Case, String> {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Self::from_text(&text)
+    }
+
+    /// A stable file name for this case.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-{:016x}.case",
+            self.property.replace('_', "-"),
+            self.seed
+        )
+    }
+}
+
+fn parse_hex(s: &str) -> Result<Vec<u8>, String> {
+    let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    if !s.len().is_multiple_of(2) {
+        return Err("hex data has odd length".to_string());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| format!("bad hex at {i}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let case = Case {
+            property: "decode_differential".to_string(),
+            seed: 0xdead_beef_0042,
+            data: Some(vec![0x45, 0x00, 0xff]),
+            note: "minimised from iteration 3".to_string(),
+        };
+        let parsed = Case::from_text(&case.to_text()).unwrap();
+        assert_eq!(parsed, case);
+    }
+
+    #[test]
+    fn seeded_case_without_data_round_trips() {
+        let case = Case {
+            property: "reassembly_adversarial".to_string(),
+            seed: 7,
+            data: None,
+            note: String::new(),
+        };
+        assert_eq!(Case::from_text(&case.to_text()).unwrap(), case);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Case::from_text("prop decode").is_err());
+        assert!(Case::from_text("seed = 1").is_err()); // no prop
+        assert!(Case::from_text("prop = x\ndata = abc").is_err()); // odd hex
+        assert!(Case::from_text("prop = x\nwhat = y").is_err());
+    }
+
+    #[test]
+    fn accepts_decimal_and_hex_seeds_and_comments() {
+        let case = Case::from_text("# c\nprop = x\nseed = 12\n").unwrap();
+        assert_eq!(case.seed, 12);
+        let case = Case::from_text("prop = x\nseed = 0x0c\n").unwrap();
+        assert_eq!(case.seed, 12);
+    }
+}

@@ -1,0 +1,362 @@
+//! The check campaign driver: iterate properties over derived case
+//! seeds, catch panics, minimise byte-level counterexamples, and
+//! replay stored regression cases.
+
+use crate::case::Case;
+use crate::props::{self, PropKind, Property};
+use crate::rng::{case_seed, CheckRng};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
+use std::time::Instant;
+use turb_obs::{CheckReport, PropCheckReport};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Root seed; case seeds derive from it per (property, iteration).
+    pub seed: u64,
+    /// Iterations per property.
+    pub iterations: u64,
+    /// Restrict to these property names (None = all).
+    pub only: Option<Vec<String>>,
+}
+
+/// One property failure, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The failing property.
+    pub property: &'static str,
+    /// The derived case seed.
+    pub case_seed: u64,
+    /// Iteration index within the campaign.
+    pub iteration: u64,
+    /// The counterexample description (or panic message).
+    pub detail: String,
+    /// Minimised input for byte-driven properties.
+    pub data: Option<Vec<u8>>,
+}
+
+impl Failure {
+    /// Convert to a regression case ready to be committed.
+    pub fn to_case(&self) -> Case {
+        Case {
+            property: self.property.to_string(),
+            seed: self.case_seed,
+            data: self.data.clone(),
+            note: format!(
+                "iteration {}: {}",
+                self.iteration,
+                self.detail.replace('\n', " ")
+            ),
+        }
+    }
+}
+
+type PanicHook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Send + Sync + 'static>;
+
+/// Silence the default panic hook for the guard's lifetime so expected
+/// property panics don't spray backtraces, restoring the previous hook
+/// on drop.
+struct QuietPanics {
+    prev: Option<PanicHook>,
+}
+
+impl QuietPanics {
+    fn engage() -> Self {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        QuietPanics { prev: Some(prev) }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            panic::set_hook(prev);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Run a byte property on an input, converting panics into failures.
+fn run_bytes_guarded(run: fn(&[u8]) -> Result<(), String>, data: &[u8]) -> Result<(), String> {
+    match panic::catch_unwind(AssertUnwindSafe(|| run(data))) {
+        Ok(result) => result,
+        Err(payload) => Err(format!("panic: {}", panic_message(&*payload))),
+    }
+}
+
+/// Run a seeded property, converting panics into failures.
+fn run_seeded_guarded(
+    run: fn(&mut CheckRng) -> Result<(), String>,
+    seed: u64,
+) -> Result<(), String> {
+    match panic::catch_unwind(AssertUnwindSafe(|| run(&mut CheckRng::new(seed)))) {
+        Ok(result) => result,
+        Err(payload) => Err(format!("panic: {}", panic_message(&*payload))),
+    }
+}
+
+/// Shrink a failing byte input: greedy chunk removal with halving
+/// chunk sizes (ddmin-style), then a byte-zeroing pass. The result is
+/// always still failing; the work is budgeted so a pathological
+/// property cannot stall the campaign.
+fn minimise(run: fn(&[u8]) -> Result<(), String>, mut best: Vec<u8>) -> Vec<u8> {
+    let mut budget = 2000usize;
+    let still_fails = |data: &[u8], budget: &mut usize| -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        run_bytes_guarded(run, data).is_err()
+    };
+    let mut chunk = (best.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < best.len() {
+            let end = (i + chunk).min(best.len());
+            let mut cand = Vec::with_capacity(best.len() - (end - i));
+            cand.extend_from_slice(&best[..i]);
+            cand.extend_from_slice(&best[end..]);
+            if still_fails(&cand, &mut budget) {
+                best = cand; // keep `i`: the next chunk slid into place
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    for i in 0..best.len() {
+        if best[i] == 0 {
+            continue;
+        }
+        let mut cand = best.clone();
+        cand[i] = 0;
+        if still_fails(&cand, &mut budget) {
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Run the campaign. Returns the per-property report and every failure
+/// found (byte failures already minimised).
+pub fn run(config: &CheckConfig) -> (CheckReport, Vec<Failure>) {
+    let _quiet = QuietPanics::engage();
+    let started = Instant::now();
+    let mut prop_reports = Vec::new();
+    let mut failures = Vec::new();
+    for prop in props::all() {
+        if let Some(only) = &config.only {
+            if !only.iter().any(|n| n == prop.name) {
+                continue;
+            }
+        }
+        let mut failed = 0u64;
+        for iteration in 0..config.iterations {
+            let seed = case_seed(config.seed, prop.name, iteration);
+            let (result, data) = match &prop.kind {
+                PropKind::Bytes { gen, run } => {
+                    let input = gen(&mut CheckRng::new(seed));
+                    let result = run_bytes_guarded(*run, &input);
+                    let data = result.is_err().then(|| minimise(*run, input));
+                    (result, data)
+                }
+                PropKind::Seeded { run } => (run_seeded_guarded(*run, seed), None),
+            };
+            if let Err(detail) = result {
+                failed += 1;
+                failures.push(Failure {
+                    property: prop.name,
+                    case_seed: seed,
+                    iteration,
+                    detail,
+                    data,
+                });
+            }
+        }
+        prop_reports.push(PropCheckReport {
+            property: prop.name.to_string(),
+            about: prop.about.to_string(),
+            cases: config.iterations,
+            failures: failed,
+        });
+    }
+    let report = CheckReport {
+        seed: config.seed,
+        iterations: config.iterations,
+        wall_ns: started.elapsed().as_nanos() as u64,
+        props: prop_reports,
+    };
+    (report, failures)
+}
+
+/// Replay one stored case. Byte-driven cases replay from their stored
+/// `data` when present, otherwise the input regenerates from the seed.
+pub fn replay(case: &Case) -> Result<(), String> {
+    let _quiet = QuietPanics::engage();
+    let prop: &Property = props::by_name(&case.property)
+        .ok_or_else(|| format!("unknown property {:?}", case.property))?;
+    match (&prop.kind, &case.data) {
+        (PropKind::Bytes { run, .. }, Some(data)) => run_bytes_guarded(*run, data),
+        (PropKind::Bytes { gen, run }, None) => {
+            let input = gen(&mut CheckRng::new(case.seed));
+            run_bytes_guarded(*run, &input)
+        }
+        (PropKind::Seeded { run }, None) => run_seeded_guarded(*run, case.seed),
+        (PropKind::Seeded { .. }, Some(_)) => Err(format!(
+            "property {:?} is seed-driven but the case carries data",
+            case.property
+        )),
+    }
+}
+
+/// One corpus entry's file name and replay verdict.
+pub type CaseVerdict = (String, Result<(), String>);
+
+/// Replay every `*.case` file in `dir`, in name order. Returns each
+/// file's name and verdict; `Err` only for directory-level problems.
+pub fn run_corpus(dir: &Path) -> Result<Vec<CaseVerdict>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "case"))
+        .collect();
+    paths.sort();
+    let mut results = Vec::with_capacity(paths.len());
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let verdict = Case::load(&path).and_then(|case| replay(&case));
+        results.push((name, verdict));
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let config = CheckConfig {
+            seed: 1,
+            iterations: 25,
+            only: None,
+        };
+        let (report, failures) = run(&config);
+        assert!(
+            failures.is_empty(),
+            "unexpected failures: {:?}",
+            failures
+                .iter()
+                .map(|f| (f.property, &f.detail))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.props.len(), props::all().len());
+        assert_eq!(report.total_cases(), 25 * props::all().len() as u64);
+        assert_eq!(report.total_failures(), 0);
+        // Same seed, same campaign.
+        let (again, _) = run(&config);
+        assert_eq!(report.props, again.props);
+    }
+
+    #[test]
+    fn property_filter_restricts_the_run() {
+        let (report, _) = run(&CheckConfig {
+            seed: 2,
+            iterations: 5,
+            only: Some(vec!["checksum_splits".to_string()]),
+        });
+        assert_eq!(report.props.len(), 1);
+        assert_eq!(report.props[0].property, "checksum_splits");
+    }
+
+    /// A stand-in "property" for the minimiser: fails iff the input
+    /// contains the byte 0x42.
+    fn contains_marker(data: &[u8]) -> Result<(), String> {
+        if data.contains(&0x42) {
+            Err("marker found".to_string())
+        } else {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn minimise_shrinks_to_the_essential_byte() {
+        let mut input = vec![7u8; 300];
+        input[143] = 0x42;
+        let minimised = minimise(contains_marker, input);
+        assert_eq!(minimised, vec![0x42]);
+    }
+
+    /// A stand-in property that panics on long inputs: the minimiser
+    /// and the guard must treat the panic as "still failing".
+    fn panics_on_long(data: &[u8]) -> Result<(), String> {
+        assert!(data.len() < 10, "input too long");
+        Ok(())
+    }
+
+    #[test]
+    fn minimise_treats_panics_as_failures() {
+        let _quiet = QuietPanics::engage();
+        let minimised = minimise(panics_on_long, vec![0u8; 64]);
+        assert_eq!(minimised.len(), 10);
+    }
+
+    #[test]
+    fn replay_matches_the_campaign_for_stored_and_seeded_cases() {
+        // A passing seeded case.
+        let case = Case {
+            property: "reassembly_adversarial".to_string(),
+            seed: 99,
+            data: None,
+            note: String::new(),
+        };
+        assert!(replay(&case).is_ok());
+        // A passing bytes case replayed from explicit data.
+        let case = Case {
+            property: "checksum_splits".to_string(),
+            seed: 0,
+            data: Some(vec![0xab, 0xcd, 0xef]),
+            note: String::new(),
+        };
+        assert!(replay(&case).is_ok());
+        // Unknown properties are an error, not a pass.
+        let case = Case {
+            property: "nope".to_string(),
+            seed: 0,
+            data: None,
+            note: String::new(),
+        };
+        assert!(replay(&case).is_err());
+    }
+
+    #[test]
+    fn failure_converts_to_a_loadable_case() {
+        let failure = Failure {
+            property: "decode_differential",
+            case_seed: 0xabc,
+            iteration: 7,
+            detail: "multi\nline detail".to_string(),
+            data: Some(vec![1, 2, 3]),
+        };
+        let case = failure.to_case();
+        let parsed = Case::from_text(&case.to_text()).unwrap();
+        assert_eq!(parsed, case);
+        assert!(!parsed.note.contains('\n'));
+        assert!(case.file_name().ends_with(".case"));
+    }
+}

@@ -573,3 +573,86 @@ pub fn ping(flags: &Flags) -> Result<(), String> {
     }
     Ok(())
 }
+
+/// `turbulence check`: the wire-layer fuzz/differential campaign, or a
+/// single-case replay with `--replay`.
+pub fn check(flags: &Flags) -> Result<(), String> {
+    use std::path::Path;
+    use turb_check::{runner, Case, CheckConfig};
+
+    if let Some(path) = flags.get("replay") {
+        let case = Case::load(Path::new(path))?;
+        println!(
+            "replaying {} (prop {}, seed {:#x}{})",
+            path,
+            case.property,
+            case.seed,
+            match &case.data {
+                Some(d) => format!(", {} data bytes", d.len()),
+                None => String::new(),
+            }
+        );
+        return match runner::replay(&case) {
+            Ok(()) => {
+                println!("case passes");
+                Ok(())
+            }
+            Err(detail) => Err(format!("case still fails: {detail}")),
+        };
+    }
+
+    let seed = seed_of(flags)?;
+    let iterations: u64 = match flags.get("iterations") {
+        None => 1000,
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("bad --iterations {raw:?}"))?,
+    };
+    let only = flags
+        .get("props")
+        .map(|raw| raw.split(',').map(str::to_string).collect::<Vec<_>>());
+    if let Some(names) = &only {
+        for name in names {
+            if turb_check::props::by_name(name).is_none() {
+                let known: Vec<_> = turb_check::props::all().iter().map(|p| p.name).collect();
+                return Err(format!(
+                    "unknown property {name:?} (known: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+
+    let config = CheckConfig {
+        seed,
+        iterations,
+        only,
+    };
+    let (report, failures) = runner::run(&config);
+    print!("{}", report.render_table());
+
+    if failures.is_empty() {
+        return Ok(());
+    }
+    // Persist every failure as a replayable case file.
+    let dir = flags
+        .get("write-failures")
+        .map(String::as_str)
+        .unwrap_or("check-failures");
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    for failure in &failures {
+        let case = failure.to_case();
+        let path = Path::new(dir).join(case.file_name());
+        std::fs::write(&path, case.to_text())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "FAIL {} seed {:#x}: {}",
+            failure.property, failure.case_seed, failure.detail
+        );
+        println!("     saved {}", path.display());
+    }
+    Err(format!(
+        "{} failing case(s); replay with `turbulence check --replay <file>`",
+        failures.len()
+    ))
+}

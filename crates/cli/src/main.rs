@@ -15,6 +15,9 @@
 //!                       [--seed N] [--out FILE]       fit, generate, validate, export
 //! turbulence friendly   [--kbps N,...] [--seed N]     §VI TCP-friendliness sweep
 //! turbulence ping       [--seed N]                    path check against all six sites
+//! turbulence check      [--iterations N] [--seed N]   wire-layer fuzz/differential campaign
+//!                       [--props a,b] [--replay FILE]
+//!                       [--write-failures DIR]
 //! ```
 
 use std::collections::HashMap;
@@ -39,6 +42,7 @@ COMMANDS:
     flowgen     fit a Section-IV turbulence model and export an ns-style trace
     friendly    run the §VI TCP-friendliness sweep
     ping        check the simulated paths to all six server sites
+    check       run the seeded wire-layer fuzz/differential campaign
     help        print this text
 
 OPTIONS (per command):
@@ -60,6 +64,11 @@ OPTIONS (per command):
     --out FILE          flowgen: trace output path (default stdout)
                         bench: JSON output path (default BENCH_corpus.json)
     --kbps N,N,...      friendly: bottleneck sweep in Kbit/s
+    --iterations N      check: cases per property (default 1000)
+    --props a,b         check: restrict to these properties
+    --replay FILE       check: re-run one stored .case file instead
+    --write-failures D  check: directory for failing-case files
+                        (default check-failures)
 "
 }
 
@@ -158,6 +167,7 @@ fn run() -> Result<(), String> {
         "flowgen" => commands::flowgen(&flags),
         "friendly" => commands::friendly(&flags),
         "ping" => commands::ping(&flags),
+        "check" => commands::check(&flags),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())

@@ -80,6 +80,7 @@ pub fn harvest(
         frag.passthrough += r.passthrough;
         frag.timed_out += r.timed_out;
         frag.duplicates += r.duplicates;
+        frag.invalid += r.invalid;
     }
 
     let report = RunReport {

@@ -380,6 +380,7 @@ impl SimCore {
             registry.counter_add("reassembly_reassembled_total", component, r.reassembled);
             registry.counter_add("reassembly_timed_out_total", component, r.timed_out);
             registry.counter_add("reassembly_duplicates_total", component, r.duplicates);
+            registry.counter_add("reassembly_invalid_total", component, r.invalid);
         }
     }
 

@@ -28,7 +28,7 @@ mod report;
 mod trace;
 
 pub use metrics::{Histogram, Key, MetricsRegistry, SCOPE_NS_BUCKETS};
-pub use report::{FragReport, LinkReport, PlayerReport, RunReport};
+pub use report::{CheckReport, FragReport, LinkReport, PlayerReport, PropCheckReport, RunReport};
 pub use trace::{Severity, TraceEvent, TraceRecorder};
 
 use std::time::Instant;

@@ -45,8 +45,11 @@ pub struct FragReport {
     pub passthrough: u64,
     /// Partial fragment groups discarded on timeout.
     pub timed_out: u64,
-    /// Duplicate fragments discarded.
+    /// Duplicate or overlapping fragments discarded.
     pub duplicates: u64,
+    /// Fragments rejected as malformed (extending past the declared
+    /// datagram length or contradicting the final fragment).
+    pub invalid: u64,
 }
 
 /// Player-side telemetry for one application.
@@ -143,6 +146,7 @@ impl RunReport {
         self.frag.passthrough += other.frag.passthrough;
         self.frag.timed_out += other.frag.timed_out;
         self.frag.duplicates += other.frag.duplicates;
+        self.frag.invalid += other.frag.invalid;
         self.players.extend(other.players.iter().cloned());
     }
 
@@ -184,8 +188,8 @@ impl RunReport {
         );
         let _ = writeln!(
             out,
-            "  reassembly      {:>12} ok / {} timeout-discard / {} duplicate ({} frags seen, {} passthrough)",
-            f.reassembled, f.timed_out, f.duplicates, f.fragments_received, f.passthrough
+            "  reassembly      {:>12} ok / {} timeout-discard / {} duplicate / {} invalid ({} frags seen, {} passthrough)",
+            f.reassembled, f.timed_out, f.duplicates, f.invalid, f.fragments_received, f.passthrough
         );
         let mut idle = 0usize;
         for link in &self.links {
@@ -224,6 +228,71 @@ impl RunReport {
     }
 }
 
+/// Outcome of one property in a `turbulence check` campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PropCheckReport {
+    /// Property name, e.g. `"decode_differential"`.
+    pub property: String,
+    /// One-line description of what the property asserts.
+    pub about: String,
+    /// Cases executed.
+    pub cases: u64,
+    /// Cases that failed (counterexamples or panics).
+    pub failures: u64,
+}
+
+/// Summary of one fuzz/differential-check campaign
+/// (`turbulence check`), assembled by the `turb-check` runner.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Root seed the campaign derived its case seeds from.
+    pub seed: u64,
+    /// Iterations requested per property.
+    pub iterations: u64,
+    /// Wall-clock duration of the campaign in nanoseconds.
+    pub wall_ns: u64,
+    /// Per-property outcomes, in execution order.
+    pub props: Vec<PropCheckReport>,
+}
+
+impl CheckReport {
+    /// Total cases executed across every property.
+    pub fn total_cases(&self) -> u64 {
+        self.props.iter().map(|p| p.cases).sum()
+    }
+
+    /// Total failing cases across every property.
+    pub fn total_failures(&self) -> u64 {
+        self.props.iter().map(|p| p.failures).sum()
+    }
+
+    /// Fixed-width human-readable rendering for terminal output.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "check seed {} / {} iterations per property ({:.3} ms)",
+            self.seed,
+            self.iterations,
+            self.wall_ns as f64 / 1e6
+        );
+        for p in &self.props {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>8} cases / {:>3} failures   {}",
+                p.property, p.cases, p.failures, p.about
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  total           {:>8} cases / {:>3} failures",
+            self.total_cases(),
+            self.total_failures()
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +327,7 @@ mod tests {
                 passthrough: 900,
                 timed_out: 1,
                 duplicates: 0,
+                invalid: 0,
             },
             players: vec![PlayerReport {
                 component: "player:mediaplayer".to_string(),

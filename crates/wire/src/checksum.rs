@@ -4,11 +4,17 @@ use std::net::Ipv4Addr;
 
 /// Incremental one's-complement sum accumulator.
 ///
-/// Feed it byte slices (odd-length slices are zero-padded on the right,
-/// per RFC 1071) and finish with [`Checksum::value`].
+/// Feed it byte slices in any split — a dangling odd byte is carried
+/// to the next [`Checksum::push`], so pushing a buffer in pieces gives
+/// the same result as pushing it whole regardless of where the cuts
+/// fall. Only at [`Checksum::value`] is a still-pending odd byte
+/// zero-padded on the right, per RFC 1071.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Checksum {
     sum: u64,
+    /// High half of a 16-bit word whose low half has not arrived yet:
+    /// set when the total bytes pushed so far is odd.
+    pending: Option<u8>,
 }
 
 impl Checksum {
@@ -26,7 +32,15 @@ impl Checksum {
     /// time into independent accumulators — ~8× the bytes per add of
     /// the naive 16-bit loop, and free of a serial dependency chain —
     /// and defers all folding to [`Checksum::value`].
-    pub fn push(&mut self, data: &[u8]) {
+    pub fn push(&mut self, mut data: &[u8]) {
+        if let Some(high) = self.pending.take() {
+            let Some((&low, rest)) = data.split_first() else {
+                self.pending = Some(high);
+                return;
+            };
+            self.sum += u64::from(u16::from_be_bytes([high, low]));
+            data = rest;
+        }
         let (mut s0, mut s1, mut s2, mut s3) = (0u64, 0u64, 0u64, 0u64);
         let mut wide = data.chunks_exact(16);
         for c in &mut wide {
@@ -40,14 +54,17 @@ impl Checksum {
             s0 += u64::from(u16::from_be_bytes([chunk[0], chunk[1]]));
         }
         if let [last] = chunks.remainder() {
-            s0 += u64::from(u16::from_be_bytes([*last, 0]));
+            self.pending = Some(*last);
         }
         self.sum += s0 + s1 + s2 + s3;
     }
 
     /// Add a single big-endian `u16` word.
     pub fn push_u16(&mut self, word: u16) {
-        self.sum += u64::from(word);
+        match self.pending {
+            None => self.sum += u64::from(word),
+            Some(_) => self.push(&word.to_be_bytes()),
+        }
     }
 
     /// Add an IPv4 address (two 16-bit words).
@@ -56,8 +73,12 @@ impl Checksum {
     }
 
     /// Fold and complement the running sum into the final checksum word.
+    /// A still-pending odd byte is zero-padded on the right (RFC 1071).
     pub fn value(self) -> u16 {
         let mut sum = self.sum;
+        if let Some(high) = self.pending {
+            sum += u64::from(u16::from_be_bytes([high, 0]));
+        }
         while sum >> 16 != 0 {
             sum = (sum & 0xffff) + (sum >> 16);
         }
@@ -117,15 +138,57 @@ mod tests {
     #[test]
     fn incremental_matches_one_shot() {
         let data: Vec<u8> = (0..=255u8).collect();
+        // Odd chunk size: every push but the last leaves a pending
+        // byte, so this exercises the carry on every boundary.
         let mut c = Checksum::new();
         for chunk in data.chunks(7) {
-            // Odd chunk sizes would pad mid-stream, so feed even pieces.
-            let _ = chunk;
+            c.push(chunk);
         }
-        // Feed in two even-length pieces instead.
+        assert_eq!(c.value(), checksum(&data));
+        // Even pieces still agree.
+        let mut c = Checksum::new();
         c.push(&data[..128]);
         c.push(&data[128..]);
         assert_eq!(c.value(), checksum(&data));
+    }
+
+    #[test]
+    fn every_two_piece_split_matches_one_shot() {
+        // Regression for the mid-stream zero-padding bug: splitting at
+        // an odd boundary used to pad the first piece and shift the
+        // second, yielding a different sum than the one-shot checksum.
+        let data: Vec<u8> = (0..67u8).map(|i| i.wrapping_mul(151)).collect();
+        let expected = checksum(&data);
+        for cut in 0..=data.len() {
+            let mut c = Checksum::new();
+            c.push(&data[..cut]);
+            c.push(&data[cut..]);
+            assert_eq!(c.value(), expected, "split at {cut}");
+        }
+    }
+
+    #[test]
+    fn pending_byte_survives_empty_and_odd_pushes() {
+        // Three odd pushes with an empty push interleaved: the carry
+        // must hop across all of them.
+        let data = [0xab, 0xcd, 0xef, 0x01, 0x23];
+        let mut c = Checksum::new();
+        c.push(&data[..1]);
+        c.push(&[]);
+        c.push(&data[1..2]);
+        c.push(&data[2..]);
+        assert_eq!(c.value(), checksum(&data));
+    }
+
+    #[test]
+    fn push_u16_after_odd_push_keeps_byte_stream_semantics() {
+        // push_u16 mid-stream must behave like pushing its two bytes.
+        let mut a = Checksum::new();
+        a.push(&[0x99]);
+        a.push_u16(0x1234);
+        let mut b = Checksum::new();
+        b.push(&[0x99, 0x12, 0x34]);
+        assert_eq!(a.value(), b.value());
     }
 
     #[test]

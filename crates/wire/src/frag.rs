@@ -49,14 +49,17 @@ pub fn fragment(packet: Ipv4Packet, mtu: usize) -> Result<Vec<Ipv4Packet>, WireE
         let last = end == payload.len();
         let mut frag = packet.clone();
         frag.payload = payload.slice(offset..end);
-        frag.fragment_offset = packet.fragment_offset + (offset / 8) as u16;
-        frag.more_fragments = if last { packet.more_fragments } else { true };
-        if frag.fragment_offset > 0x1fff {
+        // 32-bit sum: a hand-built packet can carry an offset the
+        // 13-bit field could never encode, and the add must not wrap.
+        let frag_offset = u32::from(packet.fragment_offset) + (offset / 8) as u32;
+        if frag_offset > 0x1fff {
             return Err(WireError::Malformed {
                 what: "fragment",
                 field: "fragment_offset",
             });
         }
+        frag.fragment_offset = frag_offset as u16;
+        frag.more_fragments = if last { packet.more_fragments } else { true };
         fragments.push(frag);
         offset = end;
     }
@@ -64,9 +67,13 @@ pub fn fragment(packet: Ipv4Packet, mtu: usize) -> Result<Vec<Ipv4Packet>, WireE
 }
 
 /// A partially reassembled datagram.
+///
+/// Pieces are kept sorted by offset and pairwise disjoint: overlap is
+/// resolved at insertion (first arrival wins per byte, BSD-style), so
+/// assembly is independent of arrival order by construction.
 #[derive(Debug)]
 struct Partial {
-    /// Received (offset_bytes, payload) pieces, unordered.
+    /// Accepted (offset_bytes, payload) pieces, sorted and disjoint.
     pieces: Vec<(usize, Bytes)>,
     /// Total payload length, known once the final fragment arrives.
     total_len: Option<usize>,
@@ -77,22 +84,55 @@ struct Partial {
 }
 
 impl Partial {
+    /// Insert the sub-ranges of `[offset, offset + payload.len())` not
+    /// already covered by an earlier fragment. Returns true when any
+    /// byte of the new fragment overlapped existing coverage.
+    fn insert_first_arrival_wins(&mut self, offset: usize, payload: Bytes) -> bool {
+        let end = offset + payload.len();
+        if end == offset {
+            return false; // empty fragment carries no bytes
+        }
+        // Walk existing pieces (sorted, disjoint) across the new range,
+        // collecting the uncovered gaps.
+        let mut fresh: Vec<(usize, Bytes)> = Vec::new();
+        let mut overlapped = false;
+        let mut cursor = offset;
+        for (off, piece) in &self.pieces {
+            let (off, piece_end) = (*off, off + piece.len());
+            if piece_end <= offset {
+                continue;
+            }
+            if off >= end {
+                break;
+            }
+            overlapped = true; // the piece intersects [offset, end)
+            if off > cursor {
+                fresh.push((cursor, payload.slice(cursor - offset..off - offset)));
+            }
+            cursor = cursor.max(piece_end);
+            if cursor >= end {
+                break;
+            }
+        }
+        if cursor < end {
+            fresh.push((cursor, payload.slice(cursor - offset..end - offset)));
+        }
+        self.pieces.extend(fresh);
+        self.pieces.sort_unstable_by_key(|(off, _)| *off);
+        overlapped
+    }
+
     fn is_complete(&self) -> bool {
         let Some(total) = self.total_len else {
             return false;
         };
-        let mut intervals: Vec<(usize, usize)> = self
-            .pieces
-            .iter()
-            .map(|(off, b)| (*off, off + b.len()))
-            .collect();
-        intervals.sort_unstable();
+        // Pieces are sorted and disjoint, so a single sweep suffices.
         let mut covered = 0usize;
-        for (start, end) in intervals {
-            if start > covered {
+        for (start, piece) in &self.pieces {
+            if *start > covered {
                 return false; // hole
             }
-            covered = covered.max(end);
+            covered = start + piece.len();
         }
         covered >= total
     }
@@ -101,10 +141,20 @@ impl Partial {
         let total = self.total_len.expect("assemble called before complete");
         let mut buf = BytesMut::from(&vec![0u8; total][..]);
         for (off, piece) in &self.pieces {
-            let end = usize::min(off + piece.len(), total);
-            buf[*off..end].copy_from_slice(&piece[..end - off]);
+            // Invariant: accepted pieces never extend past total_len
+            // (fragments that would are rejected as invalid on push).
+            buf[*off..off + piece.len()].copy_from_slice(piece);
         }
         buf.freeze()
+    }
+
+    /// Highest byte covered by any accepted piece.
+    fn covered_end(&self) -> usize {
+        self.pieces
+            .iter()
+            .map(|(off, b)| off + b.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -121,8 +171,15 @@ pub struct ReassemblyStats {
     /// the wasted-bandwidth case behind fragmentation-based congestion
     /// collapse.
     pub timed_out: u64,
-    /// Duplicate or overlapping fragments ignored.
+    /// Duplicate or overlapping fragments: any accepted fragment whose
+    /// byte range intersected data that had already arrived. Overlap is
+    /// resolved first-arrival-wins per byte (BSD-style), so reassembly
+    /// never depends on arrival order.
     pub duplicates: u64,
+    /// Fragments rejected as malformed: extending past the datagram's
+    /// declared total length, or a final fragment that contradicts an
+    /// earlier final / already-received data beyond its end.
+    pub invalid: u64,
 }
 
 /// Reassembles fragmented IPv4 datagrams keyed by
@@ -156,25 +213,42 @@ impl Reassembler {
         self.stats.fragments_received += 1;
         let key = packet.datagram_key();
         let offset = packet.fragment_offset_bytes();
+        let end = offset + packet.payload.len();
         let partial = self.partials.entry(key).or_insert_with(|| Partial {
             pieces: Vec::new(),
             total_len: None,
             template: packet.clone(),
             first_seen: now,
         });
-        if partial.pieces.iter().any(|(off, _)| *off == offset) {
-            self.stats.duplicates += 1;
-            return None;
-        }
-        if !packet.more_fragments {
-            partial.total_len = Some(offset + packet.payload.len());
+        // Fail closed on fragments that contradict the datagram's
+        // declared length instead of silently clamping at assembly.
+        match partial.total_len {
+            // Beyond the end set by the final fragment, or a second
+            // final fragment declaring a different end.
+            Some(total) if end > total || (!packet.more_fragments && end != total) => {
+                self.stats.invalid += 1;
+                return None;
+            }
+            Some(_) => {}
+            None if !packet.more_fragments => {
+                // A final fragment whose end already-received data
+                // extends past is equally contradictory.
+                if partial.covered_end() > end {
+                    self.stats.invalid += 1;
+                    return None;
+                }
+                partial.total_len = Some(end);
+            }
+            None => {}
         }
         if offset == 0 {
             // Prefer the first fragment's header as the template so the
             // reassembled datagram carries its TTL/TOS.
             partial.template = packet.clone();
         }
-        partial.pieces.push((offset, packet.payload));
+        if partial.insert_first_arrival_wins(offset, packet.payload) {
+            self.stats.duplicates += 1;
+        }
         if partial.is_complete() {
             let partial = self.partials.remove(&key).expect("present");
             let payload = partial.assemble();
@@ -326,6 +400,91 @@ mod tests {
         let whole = r.push(frags[1].clone(), 0).unwrap();
         assert_eq!(whole.payload, p.payload);
         assert_eq!(r.stats().duplicates, 1);
+    }
+
+    /// Build a raw fragment by hand: payload bytes at a byte offset.
+    fn raw_frag(offset_bytes: usize, payload: Vec<u8>, more: bool) -> Ipv4Packet {
+        let mut p = packet(0);
+        p.payload = Bytes::from(payload);
+        p.fragment_offset = (offset_bytes / 8) as u16;
+        p.more_fragments = more;
+        p
+    }
+
+    #[test]
+    fn overlapping_fragments_resolve_first_arrival_wins() {
+        // Regression: overlap used to be accepted and copied in arrival
+        // order, so the reassembled payload depended on which fragment
+        // came first. First arrival must win per byte, both orders.
+        let a = raw_frag(0, vec![0xaa; 16], true); // [0, 16) of 0xaa
+        let b = raw_frag(8, vec![0xbb; 16], false); // [8, 24) of 0xbb
+        let mut expected = vec![0xaa; 16];
+        expected.extend_from_slice(&[0xbb; 8]); // a's bytes win on [8, 16)
+        let mut r = Reassembler::new(u64::MAX);
+        assert!(r.push(a.clone(), 0).is_none());
+        let whole = r.push(b.clone(), 0).expect("complete");
+        assert_eq!(whole.payload.as_ref(), &expected[..]);
+        assert_eq!(r.stats().duplicates, 1);
+
+        // Reversed arrival: b's bytes win on the overlap instead.
+        let mut expected_rev = vec![0xaa; 8];
+        expected_rev.extend_from_slice(&[0xbb; 16]);
+        let mut r = Reassembler::new(u64::MAX);
+        assert!(r.push(b, 0).is_none());
+        let whole = r.push(a, 0).expect("complete");
+        assert_eq!(whole.payload.as_ref(), &expected_rev[..]);
+        assert_eq!(r.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn fragment_beyond_declared_total_is_rejected() {
+        // Regression: a fragment arriving after the final fragment and
+        // extending past the declared total length used to be silently
+        // clamped (and could wedge the partial forever). It must be
+        // rejected and counted.
+        let mut r = Reassembler::new(u64::MAX);
+        assert!(r.push(raw_frag(16, vec![2; 8], false), 0).is_none()); // total 24
+                                                                       // Entirely beyond the declared end.
+        assert!(r.push(raw_frag(32, vec![9; 8], true), 0).is_none());
+        // Straddling the declared end.
+        assert!(r.push(raw_frag(16, vec![9; 16], true), 0).is_none());
+        assert_eq!(r.stats().invalid, 2);
+        // The datagram still completes from the valid fragments alone.
+        let whole = r
+            .push(raw_frag(0, vec![1; 16], true), 0)
+            .expect("completes");
+        assert_eq!(whole.payload.len(), 24);
+        assert_eq!(&whole.payload[..16], &[1; 16][..]);
+        assert_eq!(&whole.payload[16..], &[2; 8][..]);
+        assert_eq!(r.stats().duplicates, 0);
+    }
+
+    #[test]
+    fn conflicting_final_fragment_does_not_panic_or_corrupt() {
+        // Regression: pieces [0,1000) + [1000,2000) followed by a final
+        // fragment declaring total 600 used to panic in assemble
+        // (buf[1000..600]). The contradictory final must be rejected.
+        let mut r = Reassembler::new(u64::MAX);
+        assert!(r.push(raw_frag(0, vec![1; 1000], true), 0).is_none());
+        assert!(r.push(raw_frag(1000, vec![2; 1000], true), 0).is_none());
+        assert!(r.push(raw_frag(592, vec![3; 8], false), 0).is_none());
+        assert_eq!(r.stats().invalid, 1);
+        // The datagram can still complete with a consistent final.
+        let whole = r
+            .push(raw_frag(2000, vec![4; 8], false), 0)
+            .expect("consistent final completes");
+        assert_eq!(whole.payload.len(), 2008);
+        assert_eq!(r.stats().reassembled, 1);
+    }
+
+    #[test]
+    fn second_final_with_different_length_is_rejected() {
+        let mut r = Reassembler::new(u64::MAX);
+        assert!(r.push(raw_frag(8, vec![2; 8], false), 0).is_none()); // total 16
+        assert!(r.push(raw_frag(8, vec![2; 16], false), 0).is_none()); // claims 24
+        assert_eq!(r.stats().invalid, 1);
+        let whole = r.push(raw_frag(0, vec![1; 8], true), 0).expect("completes");
+        assert_eq!(whole.payload.len(), 16);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Replay the committed check corpus and run a fixed-seed smoke
+//! campaign, so `cargo test` catches a wire-layer regression without
+//! needing the CLI. The full campaign (`turbulence check`) runs far
+//! more iterations; this keeps the committed counterexamples and a
+//! representative seed permanently green.
+
+use std::path::Path;
+use turb_check::runner::{run, run_corpus, CheckConfig};
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/check_cases"))
+}
+
+#[test]
+fn committed_regression_cases_all_pass() {
+    let results = run_corpus(corpus_dir()).expect("corpus directory readable");
+    assert!(
+        !results.is_empty(),
+        "no .case files found in {}",
+        corpus_dir().display()
+    );
+    let failing: Vec<_> = results
+        .iter()
+        .filter_map(|(name, verdict)| verdict.as_ref().err().map(|e| format!("{name}: {e}")))
+        .collect();
+    assert!(failing.is_empty(), "regression cases failed:\n{failing:?}");
+}
+
+#[test]
+fn fixed_seed_smoke_campaign_is_clean() {
+    let (report, failures) = run(&CheckConfig {
+        seed: 1,
+        iterations: 400,
+        only: None,
+    });
+    assert_eq!(
+        report.total_failures(),
+        0,
+        "smoke campaign found counterexamples: {:?}",
+        failures
+            .iter()
+            .map(|f| (f.property, f.case_seed, &f.detail))
+            .collect::<Vec<_>>()
+    );
+}
