@@ -75,6 +75,13 @@ impl PacketRecord {
         }
     }
 
+    /// Lineage span of the captured packet, when the run recorded
+    /// packet lineage (`None` otherwise — the field never crosses the
+    /// wire, so it survives the capture clone intact).
+    pub fn span(&self) -> Option<u64> {
+        self.packet.lineage
+    }
+
     /// Is this packet an IP fragment (MF set or non-zero offset)?
     pub fn is_fragment(&self) -> bool {
         self.packet.is_fragment()

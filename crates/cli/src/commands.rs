@@ -337,6 +337,27 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     let baseline = std::fs::read_to_string(&out)
         .ok()
         .and_then(|json| json_u64(&json, "sequential"));
+    // `--gate` fails the run when sequential time regresses more than
+    // 25% per pair run against a committed baseline file (`--baseline`,
+    // defaulting to the output path before it is overwritten). The
+    // comparison is normalised per pair run so a `--quick` CI bench can
+    // gate against the committed full-corpus baseline.
+    let gate = flags.contains_key("gate");
+    let gate_path = flags
+        .get("baseline")
+        .cloned()
+        .unwrap_or_else(|| out.clone());
+    let gate_baseline = std::fs::read_to_string(&gate_path).ok().and_then(|json| {
+        Some((
+            json_u64(&json, "sequential")?,
+            json_u64(&json, "pair_runs")?,
+        ))
+    });
+    if gate && gate_baseline.is_none() {
+        return Err(format!(
+            "--gate needs a baseline with sequential/pair_runs fields at {gate_path}"
+        ));
+    }
 
     let timer = ScopeTimer::start("bench_configs", "bench");
     let mut configs = if quick {
@@ -398,6 +419,30 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         configs.len(),
     );
     std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    // One trajectory point per bench run, appended so perf history
+    // accumulates across CI runs and local sessions.
+    let trajectory = flags
+        .get("trajectory")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_trajectory.jsonl".to_string());
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let point = format!(
+        "{{\"unix_secs\": {stamp}, \"seed\": {seed}, \"threads\": {threads}, \"quick\": {quick}, \"scheduler\": \"{}\", \"pair_runs\": {}, \"sequential_ns\": {sequential_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}, \"identical\": {identical}}}\n",
+        scheduler.name(),
+        configs.len(),
+    );
+    {
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&trajectory)
+            .and_then(|mut f| f.write_all(point.as_bytes()))
+            .map_err(|e| format!("append {trajectory}: {e}"))?;
+    }
     println!(
         "bench: {} pair runs | sequential {:.2}s | parallel({threads}) {:.2}s | speedup {speedup:.2}x | identical {identical}",
         configs.len(),
@@ -419,7 +464,22 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
             base_ns as f64 / sequential_ns.max(1) as f64,
         );
     }
-    println!("bench: wrote {out}");
+    println!("bench: wrote {out} (+ trajectory point in {trajectory})");
+    if let (true, Some((base_seq, base_runs))) = (gate, gate_baseline) {
+        let current = sequential_ns as f64 / configs.len().max(1) as f64;
+        let base = base_seq as f64 / base_runs.max(1) as f64;
+        let ratio = current / base.max(1.0);
+        println!(
+            "bench: gate {:.1} ms/run vs {gate_path} baseline {:.1} ms/run: {ratio:.2}x (limit 1.25x)",
+            current / 1e6,
+            base / 1e6,
+        );
+        if ratio > 1.25 {
+            return Err(format!(
+                "performance gate failed: {ratio:.2}x the {gate_path} per-run baseline (limit 1.25x)"
+            ));
+        }
+    }
     if !identical {
         return Err("parallel corpus output diverged from sequential".to_string());
     }
@@ -655,4 +715,245 @@ pub fn check(flags: &Flags) -> Result<(), String> {
         "{} failing case(s); replay with `turbulence check --replay <file>`",
         failures.len()
     ))
+}
+
+/// `turbulence timeline`: reconstruct per-packet lifecycles from a
+/// lineage-recorded run — top-K slowest media packets, per-stage
+/// latency CDFs in the paper's figure style, a drop post-mortem
+/// reconciled against the always-on drop counters, and an optional
+/// Perfetto-loadable trace export.
+pub fn timeline(flags: &Flags) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    use turb_obs::lineage::{self, DropCause, SpanOutcome, Stage};
+    use turb_stats::Cdf;
+
+    let seed = seed_of(flags)?;
+    let scheduler = scheduler_of(flags)?;
+    let top: usize = match flags.get("top") {
+        None => 10,
+        Some(raw) => raw.parse().map_err(|_| format!("bad --top {raw:?}"))?,
+    };
+    let corpus_mode = flags.contains_key("corpus");
+    if corpus_mode && flags.contains_key("perfetto") {
+        return Err("--perfetto exports one run; drop --corpus or pick a --set".into());
+    }
+    let loss = loss_of(flags)?;
+    let mut configs = if corpus_mode {
+        runner::corpus_configs(seed)
+    } else {
+        let (set, pair) = pair_of(flags)?;
+        vec![PairRunConfig::new(seed, set, pair)]
+    };
+    for config in &mut configs {
+        config.telemetry = true;
+        config.lineage = true;
+        config.scheduler = scheduler;
+        if let Some(loss) = loss {
+            config.access_loss = loss;
+        }
+    }
+
+    // Aggregates across runs (one run unless --corpus). Lineage dumps
+    // are large, so runs go sequentially and each dump is freed before
+    // the next run starts.
+    let mut samples = lineage::StageSamples::default();
+    // (e2e_ns, run, player, seq, media_ms, hops, outcome)
+    let mut slowest: Vec<(u64, String, &'static str, u32, u32, usize, String)> = Vec::new();
+    let mut drops: BTreeMap<(&'static str, String), u64> = BTreeMap::new();
+    let mut mismatches: Vec<String> = Vec::new();
+    let (mut spans, mut events, mut ring_dropped) = (0u64, 0u64, 0u64);
+    let mut outcomes = (0u64, 0u64, 0u64, 0u64);
+
+    for config in &configs {
+        let result = turbulence::run_pair(config);
+        let telemetry = result
+            .telemetry
+            .as_ref()
+            .expect("telemetry was requested for this run");
+        let label = telemetry.report.label.clone();
+        let dump = telemetry
+            .lineage
+            .as_ref()
+            .expect("lineage was requested for this run");
+        dump.validate()
+            .map_err(|e| format!("{label}: lineage dump inconsistent: {e}"))?;
+
+        spans += dump.origins.len() as u64;
+        events += dump.events.len() as u64;
+        ring_dropped += dump.dropped;
+        let (p, c, d, t) = dump.outcome_counts();
+        outcomes = (
+            outcomes.0 + p,
+            outcomes.1 + c,
+            outcomes.2 + d,
+            outcomes.3 + t,
+        );
+        println!(
+            "{label}: {} spans, {} events | {p} played / {c} completed / {d} dropped / {t} truncated",
+            dump.origins.len(),
+            dump.events.len(),
+        );
+
+        let run = lineage::stage_samples(dump);
+        samples.hop_ns.extend(run.hop_ns);
+        samples.reasm_ns.extend(run.reasm_ns);
+        samples.residency_ns.extend(run.residency_ns);
+        samples.e2e_ns.extend(run.e2e_ns);
+
+        for tl in dump.reconstruct() {
+            let origin = &dump.origins[tl.span as usize];
+            let Some(meta) = origin.meta else { continue };
+            let Some(end) = tl
+                .first_time(|s| s == Stage::Buffered)
+                .or_else(|| tl.first_time(|s| s == Stage::Delivered))
+            else {
+                continue;
+            };
+            let outcome = match tl.outcome {
+                SpanOutcome::Dropped(cause) => format!("dropped:{}", cause.label()),
+                other => other.label().to_string(),
+            };
+            slowest.push((
+                end - origin.time_ns,
+                label.clone(),
+                turb_media::player_label(meta.player),
+                meta.sequence,
+                meta.media_time_ms,
+                tl.hops(),
+                outcome,
+            ));
+        }
+        // Deterministic order: slowest first, run label and sequence
+        // as tie-breakers; only the global top K is kept per run so
+        // corpus mode stays bounded.
+        slowest.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.3.cmp(&b.3)));
+        slowest.truncate(top);
+
+        // The post-mortem must reconcile exactly: every cause's
+        // Dropped events against its always-on simulator counter, and
+        // every capture record against a Sniffed event. A dump whose
+        // recorder cap evicted events can no longer account for
+        // everything, so the reconciliation is only enforced on
+        // complete dumps (the warning below calls this out).
+        let pm = lineage::post_mortem(dump);
+        for (cause, comp, n) in &pm.entries {
+            *drops
+                .entry((cause.label(), dump.component(*comp).to_string()))
+                .or_insert(0) += n;
+        }
+        if dump.dropped == 0 {
+            for cause in DropCause::ALL {
+                let attributed = pm.cause_total(cause);
+                let counted = telemetry.metrics.counter_total(cause.counter());
+                if attributed != counted {
+                    mismatches.push(format!(
+                        "{label}: {} attributed {attributed} drops but {} counted {counted}",
+                        cause.label(),
+                        cause.counter(),
+                    ));
+                }
+            }
+            let sniffed = dump
+                .events
+                .iter()
+                .filter(|e| e.stage == Stage::Sniffed)
+                .count() as u64;
+            if sniffed != telemetry.report.capture_records {
+                mismatches.push(format!(
+                    "{label}: {sniffed} sniffed lineage events vs {} capture records",
+                    telemetry.report.capture_records,
+                ));
+            }
+        }
+
+        if let Some(path) = flags.get("perfetto") {
+            let trace = lineage::to_chrome_trace(dump);
+            std::fs::write(path, &trace).map_err(|e| format!("write {path}: {e}"))?;
+            println!(
+                "perfetto: {} spans / {} events written to {path} (load at ui.perfetto.dev)",
+                dump.origins.len(),
+                dump.events.len(),
+            );
+        }
+    }
+
+    println!(
+        "\ntimeline: {spans} spans, {events} events | {} played / {} completed / {} dropped / {} truncated",
+        outcomes.0, outcomes.1, outcomes.2, outcomes.3,
+    );
+    if ring_dropped > 0 {
+        println!(
+            "warning: {ring_dropped} lineage events evicted by the recorder cap; \
+             accounting below is partial and was not cross-checked"
+        );
+    }
+
+    let rows: Vec<Vec<String>> = slowest
+        .iter()
+        .map(|(e2e, run, player, seq, media_ms, hops, outcome)| {
+            vec![
+                run.clone(),
+                player.to_string(),
+                seq.to_string(),
+                media_ms.to_string(),
+                format!("{:.3}", *e2e as f64 / 1e6),
+                hops.to_string(),
+                outcome.clone(),
+            ]
+        })
+        .collect();
+    if !rows.is_empty() {
+        println!(
+            "{}",
+            report::table(
+                &format!("Top {} slowest media packets (send -> buffer)", rows.len()),
+                &["run", "player", "seq", "media ms", "e2e ms", "hops", "outcome"],
+                &rows
+            )
+        );
+    }
+
+    for (title, values) in [
+        ("Per-hop latency CDF", &samples.hop_ns),
+        ("Reassembly latency CDF", &samples.reasm_ns),
+        ("Playback buffer residency CDF", &samples.residency_ns),
+        ("End-to-end (send -> buffer) CDF", &samples.e2e_ns),
+    ] {
+        if values.is_empty() {
+            continue;
+        }
+        let ms: Vec<f64> = values.iter().map(|ns| ns / 1e6).collect();
+        println!(
+            "{}",
+            report::cdf_quantiles(title, &Cdf::from_samples(&ms), "ms")
+        );
+    }
+
+    let attributed: u64 = drops.values().sum();
+    if drops.is_empty() {
+        println!("Drop post-mortem: no wire packets were dropped.");
+    } else {
+        let rows: Vec<Vec<String>> = drops
+            .iter()
+            .map(|((cause, comp), n)| vec![cause.to_string(), comp.clone(), n.to_string()])
+            .collect();
+        println!(
+            "{}",
+            report::table(
+                "Drop post-mortem",
+                &["cause", "component", "packets"],
+                &rows
+            )
+        );
+        println!("post-mortem: {attributed} dropped wire packets attributed");
+    }
+    if mismatches.is_empty() {
+        println!("cross-check: every drop cause and capture record reconciles with its counter");
+        Ok(())
+    } else {
+        Err(format!(
+            "drop post-mortem failed to reconcile:\n  {}",
+            mismatches.join("\n  ")
+        ))
+    }
 }

@@ -10,7 +10,9 @@
 //! turbulence figures    [--seed N] [--threads N]      every figure's data rows
 //! turbulence bench      [--seed N] [--threads N]      corpus wall-clock benchmark,
 //!                       [--quick] [--out FILE]        machine-readable JSON output,
-//!                       [--scheduler S]               wheel-vs-heap A/B comparison
+//!                       [--scheduler S] [--gate]      wheel-vs-heap A/B comparison,
+//!                       [--baseline FILE]             25% regression gate + perf
+//!                       [--trajectory FILE]           trajectory log
 //! turbulence flowgen    --set N --class C --player real|wmp
 //!                       [--seed N] [--out FILE]       fit, generate, validate, export
 //! turbulence friendly   [--kbps N,...] [--seed N]     §VI TCP-friendliness sweep
@@ -18,6 +20,10 @@
 //! turbulence check      [--iterations N] [--seed N]   wire-layer fuzz/differential campaign
 //!                       [--props a,b] [--replay FILE]
 //!                       [--write-failures DIR]
+//! turbulence timeline   --set N [--class C] | --corpus
+//!                       [--seed N] [--loss P] [--top K] per-packet lifecycle analysis:
+//!                       [--perfetto FILE]             slowest packets, stage CDFs,
+//!                       [--scheduler S]               drop post-mortem, trace export
 //! ```
 
 use std::collections::HashMap;
@@ -43,6 +49,8 @@ COMMANDS:
     friendly    run the §VI TCP-friendliness sweep
     ping        check the simulated paths to all six server sites
     check       run the seeded wire-layer fuzz/differential campaign
+    timeline    trace per-packet lifecycles: slowest packets, stage CDFs,
+                drop post-mortem, Perfetto export
     help        print this text
 
 OPTIONS (per command):
@@ -61,9 +69,20 @@ OPTIONS (per command):
     --metrics           obs: also print Prometheus-style metrics exposition
     --trace FILE        obs: dump the flight recorder as JSON Lines
     --quick             bench: sets 1-2 only, for CI time budgets
+    --gate              bench: fail when sequential time regresses >25%
+                        per pair run against the baseline file
+    --baseline FILE     bench: baseline JSON the gate compares against
+                        (default: the --out path, before overwrite)
+    --trajectory FILE   bench: perf-history JSON Lines appended per run
+                        (default BENCH_trajectory.jsonl)
     --out FILE          flowgen: trace output path (default stdout)
                         bench: JSON output path (default BENCH_corpus.json)
     --kbps N,N,...      friendly: bottleneck sweep in Kbit/s
+    --set N, --class C  timeline: one pair run (or --corpus for all)
+    --corpus            timeline: trace every corpus run sequentially
+    --top N             timeline: slowest-packet table size (default 10)
+    --perfetto FILE     timeline: write the Chrome-trace JSON export
+                        (single-run mode only)
     --iterations N      check: cases per property (default 1000)
     --props a,b         check: restrict to these properties
     --replay FILE       check: re-run one stored .case file instead
@@ -73,7 +92,7 @@ OPTIONS (per command):
 }
 
 /// Flags that stand alone (no value); parsed as `flag=true`.
-const BOOLEAN_FLAGS: &[&str] = &["telemetry", "metrics", "quick"];
+const BOOLEAN_FLAGS: &[&str] = &["telemetry", "metrics", "quick", "corpus", "gate"];
 
 /// Minimal flag parser: `--key value` pairs after the subcommand, plus
 /// the bare boolean flags in [`BOOLEAN_FLAGS`].
@@ -168,6 +187,7 @@ fn run() -> Result<(), String> {
         "friendly" => commands::friendly(&flags),
         "ping" => commands::ping(&flags),
         "check" => commands::check(&flags),
+        "timeline" => commands::timeline(&flags),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())
@@ -281,7 +301,8 @@ mod tests {
     #[test]
     fn usage_names_every_command() {
         for command in [
-            "corpus", "pair", "obs", "figures", "bench", "flowgen", "friendly", "ping",
+            "corpus", "pair", "obs", "figures", "bench", "flowgen", "friendly", "ping", "check",
+            "timeline",
         ] {
             assert!(usage().contains(command), "{command} missing from usage");
         }

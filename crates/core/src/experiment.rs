@@ -48,6 +48,11 @@ pub struct PairRunConfig {
     /// `tests/scheduler_equivalence.rs` proves both produce
     /// byte-identical results.
     pub scheduler: SchedulerKind,
+    /// Record per-packet lineage spans (stage-transition events from
+    /// packetisation to playout). Like telemetry, recording reads the
+    /// simulation without perturbing it, so results are bit-identical
+    /// either way; the dump lands in [`RunTelemetry::lineage`].
+    pub lineage: bool,
 }
 
 impl PairRunConfig {
@@ -61,11 +66,20 @@ impl PairRunConfig {
             access_loss: 0.0,
             telemetry: false,
             scheduler: SchedulerKind::default(),
+            lineage: false,
         }
     }
 
     /// Same config with telemetry collection switched on.
     pub fn with_telemetry(mut self) -> PairRunConfig {
+        self.telemetry = true;
+        self
+    }
+
+    /// Same config with packet-lineage recording switched on (implies
+    /// telemetry, which carries the dump).
+    pub fn with_lineage(mut self) -> PairRunConfig {
+        self.lineage = true;
         self.telemetry = true;
         self
     }
@@ -141,6 +155,9 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
     let mut sim = Simulation::with_scheduler(config.seed, config.scheduler);
     if config.telemetry {
         sim.enable_telemetry();
+    }
+    if config.lineage {
+        sim.enable_lineage();
     }
     let mut rng = SimRng::new(config.seed ^ 0x7075_6c73_6172);
 
@@ -231,7 +248,7 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
     // still holds tap/app clones) goes out of scope.
     let real_log = real.log.borrow().clone();
     let wmp_log = wmp.log.borrow().clone();
-    let telemetry = config.telemetry.then(|| {
+    let mut telemetry = config.telemetry.then(|| {
         harvest(
             &label,
             &sim,
@@ -241,6 +258,9 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
             timer.elapsed_ns(),
         )
     });
+    if let Some(t) = telemetry.as_mut() {
+        t.lineage = sim.take_lineage();
+    }
     let result = PairRunResult {
         set_id: config.set_id,
         class: config.pair.class(),

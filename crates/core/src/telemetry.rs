@@ -6,7 +6,7 @@
 //! collected can never affect what the simulation computed.
 
 use turb_capture::Capture;
-use turb_netsim::{SchedStats, SchedulerKind, Simulation};
+use turb_netsim::{LineageDump, SchedStats, SchedulerKind, Simulation};
 use turb_obs::{FragReport, LinkReport, MetricsRegistry, RunReport};
 use turb_players::telemetry::player_report;
 use turb_players::AppStatsLog;
@@ -28,6 +28,12 @@ pub struct RunTelemetry {
     /// asserted byte-identical across schedulers, while these describe
     /// the engine itself.
     pub sched: SchedStats,
+    /// Per-packet lifecycle spans, when the run recorded lineage
+    /// ([`crate::PairRunConfig::with_lineage`]). Like `scheduler`/
+    /// `sched`, this sits outside the byte-identity set: the identity
+    /// tests assert `report`/`metrics`/`trace_jsonl` are unchanged by
+    /// turning lineage on, not that the dump itself exists.
+    pub lineage: Option<LineageDump>,
 }
 
 /// Harvest a finished simulation into a [`RunTelemetry`].
@@ -97,6 +103,7 @@ pub fn harvest(
         fault_induced_losses: fault_losses,
         fault_delayed,
         capture_records: capture.len() as u64,
+        trace_dropped: core.obs.trace.evicted(),
         links,
         frag,
         players: vec![
@@ -123,5 +130,8 @@ pub fn harvest(
         trace_jsonl: core.obs.trace.to_jsonl(),
         scheduler: sim.scheduler(),
         sched: sim.sched_stats(),
+        // Filled in by `run_pair` after harvesting (detaching the dump
+        // needs `&mut Simulation`; everything here reads shared refs).
+        lineage: None,
     }
 }

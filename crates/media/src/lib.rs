@@ -12,3 +12,34 @@ pub mod corpus;
 
 pub use clip::{Clip, ClipPair, ContentKind, DataSet, RateClass};
 pub use turb_wire::media::PlayerId;
+
+/// Numeric code for `player` fields in lineage packetise metadata
+/// (wire headers carry the same mapping).
+pub fn player_code(player: PlayerId) -> u8 {
+    match player {
+        PlayerId::MediaPlayer => 0,
+        PlayerId::RealPlayer => 1,
+    }
+}
+
+/// Human label for a lineage player code; `"?"` for unknown codes.
+pub fn player_label(code: u8) -> &'static str {
+    match code {
+        0 => "WMP",
+        1 => "Real",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod player_code_tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_to_the_wire_labels() {
+        for p in [PlayerId::MediaPlayer, PlayerId::RealPlayer] {
+            assert_eq!(player_label(player_code(p)), p.label());
+        }
+        assert_eq!(player_label(255), "?");
+    }
+}

@@ -64,7 +64,10 @@ pub use sim::{
     Application, Ctx, Direction, SchedulerKind, SimCore, SimStats, Simulation, Tap, TapEvent,
 };
 pub use time::{SimDuration, SimTime};
+// Lineage vocabulary re-exported so apps built on `Ctx` don't need a
+// direct `turb-obs` edge just to describe their packets.
 pub use topology::{InternetScenario, ScenarioConfig, SitePath};
+pub use turb_obs::lineage::{DropCause, LineageDump, PacketizeMeta, SpanOutcome, Stage};
 pub use wheel::{SchedStats, TimingWheel};
 
 /// Convenient glob import for simulation consumers.
@@ -77,4 +80,5 @@ pub mod prelude {
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::tools;
     pub use crate::topology::{InternetScenario, ScenarioConfig};
+    pub use turb_obs::lineage::PacketizeMeta;
 }

@@ -116,6 +116,8 @@ pub enum TxOutcome {
     },
     /// Dropped: transmit queue full.
     QueueFull,
+    /// Dropped: RED early drop (queue had room; AQM chose to shed).
+    Red,
     /// Dropped: fault injector.
     Faulted,
 }
@@ -164,7 +166,7 @@ impl Link {
         if let Some(red) = self.red.as_mut() {
             if red.should_drop(backlog, rng) {
                 self.stats.dropped_red += 1;
-                return TxOutcome::QueueFull;
+                return TxOutcome::Red;
             }
         }
         let start = self.next_free.max(now);

@@ -20,6 +20,7 @@ use bytes::Bytes;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
+use turb_obs::lineage::{DropCause, LineageDump, LineageRecorder, PacketizeMeta, Stage};
 use turb_obs::{MetricsRegistry, Obs, Severity};
 use turb_wire::icmp::IcmpMessage;
 use turb_wire::ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
@@ -239,6 +240,20 @@ pub struct SimStats {
     pub transit_slowpath: u64,
 }
 
+/// Causal lineage tracing state, present only when
+/// [`Simulation::enable_lineage`] was called. Hooks behind the
+/// `Option` never draw randomness, never schedule events, and never
+/// alter control flow, so lineage on/off cannot perturb a run.
+struct LineageState {
+    rec: LineageRecorder,
+    /// Packetisation metadata staged by [`Ctx::lineage_packetize`],
+    /// consumed when the next originated packet's span is born.
+    pending_meta: Option<PacketizeMeta>,
+    /// Span of the packet whose deliveries are currently dispatching,
+    /// readable by applications via [`Ctx::lineage_current_span`].
+    current_span: Option<u64>,
+}
+
 /// All network state: everything an [`Application`] can touch through
 /// its [`Ctx`].
 pub struct SimCore {
@@ -254,9 +269,43 @@ pub struct SimCore {
     /// `obs.enabled` and never touch the RNG or the event queue, so
     /// enabling it cannot change simulation results.
     pub obs: Obs,
+    /// Packet-lineage recorder; `None` unless lineage tracing is on.
+    lineage: Option<Box<LineageState>>,
 }
 
 impl SimCore {
+    /// Record a lineage stage for `span` at an explicit time, labelled
+    /// with `node`'s component. No-op unless lineage tracing is on.
+    fn lineage_record_at(&mut self, node: NodeId, span: u64, time_ns: u64, stage: Stage, aux: u32) {
+        let Some(lin) = self.lineage.as_deref_mut() else {
+            return;
+        };
+        let comp = lin.rec.comp(&self.nodes[node.0].trace_component);
+        lin.rec.record(span, time_ns, comp, stage, aux);
+    }
+
+    /// Record a lineage stage at the current sim time against a node.
+    fn lineage_node_event(&mut self, node: NodeId, span: Option<u64>, stage: Stage, aux: u32) {
+        if self.lineage.is_some() {
+            if let Some(span) = span {
+                let now_ns = self.now.as_nanos();
+                self.lineage_record_at(node, span, now_ns, stage, aux);
+            }
+        }
+    }
+
+    /// Record a lineage stage at the current sim time against a link.
+    fn lineage_link_event(&mut self, link: LinkId, span: Option<u64>, stage: Stage, aux: u32) {
+        let Some(lin) = self.lineage.as_deref_mut() else {
+            return;
+        };
+        let Some(span) = span else {
+            return;
+        };
+        let comp = lin.rec.comp(&self.links[link.0].trace_component);
+        lin.rec.record(span, self.now.as_nanos(), comp, stage, aux);
+    }
+
     fn schedule(&mut self, time: SimTime, event: Event) {
         let time = time.max(self.now);
         let seq = self.seq;
@@ -419,8 +468,10 @@ impl SimCore {
             return;
         }
         let ev_time = self.now;
+        let mut observed = false;
         for (tapped, tap) in &mut self.taps {
             if *tapped == node {
+                observed = true;
                 tap(&TapEvent {
                     time: ev_time,
                     node,
@@ -430,14 +481,45 @@ impl SimCore {
                 });
             }
         }
+        if observed {
+            self.lineage_node_event(
+                node,
+                packet.lineage,
+                Stage::Sniffed,
+                u32::from(packet.fragment_offset),
+            );
+        }
     }
 
     /// Originate or forward an IP packet from `node`: route, tap,
     /// fragment to the link MTU if needed, and put every resulting
     /// packet on the wire.
-    pub fn send_ip(&mut self, node: NodeId, packet: Ipv4Packet) {
+    pub fn send_ip(&mut self, node: NodeId, mut packet: Ipv4Packet) {
+        // Lineage spans are born here, at the single point every
+        // originated packet funnels through (player media, pings,
+        // traceroute probes, and router-generated ICMP errors alike).
+        // Forwarded packets already carry their span and keep it.
+        if let Some(lin) = self.lineage.as_deref_mut() {
+            if packet.lineage.is_none() {
+                let comp = lin.rec.comp(&self.nodes[node.0].trace_component);
+                let meta = lin.pending_meta.take();
+                let span = lin.rec.begin_span(
+                    self.now.as_nanos(),
+                    comp,
+                    meta,
+                    packet.payload.len() as u32,
+                );
+                packet.lineage = Some(span);
+            }
+        }
         let Some(link_id) = self.nodes[node.0].route(packet.dst) else {
             self.nodes[node.0].stats.no_route += 1;
+            self.lineage_node_event(
+                node,
+                packet.lineage,
+                Stage::Dropped(DropCause::NoRoute),
+                u32::from(packet.fragment_offset),
+            );
             return;
         };
         let mtu = self.links[link_id.0].config.mtu;
@@ -451,17 +533,20 @@ impl SimCore {
             self.transmit_packet(node, link_id, packet);
             return;
         }
+        let span = packet.lineage;
         let fragments = match turb_wire::frag::fragment(packet, mtu) {
             Ok(f) => f,
             Err(_) => {
                 // DF set and too big (or unusable MTU): unroutable.
                 self.nodes[node.0].stats.no_route += 1;
+                self.lineage_node_event(node, span, Stage::Dropped(DropCause::NoRoute), 0);
                 return;
             }
         };
         if fragments.len() > 1 {
             self.stats.fragmented_datagrams += 1;
             self.stats.fragments_sent += fragments.len() as u64;
+            self.lineage_node_event(node, span, Stage::Fragmented, fragments.len() as u32);
         }
         self.stats.transit_slowpath += fragments.len() as u64;
         for frag in fragments {
@@ -476,6 +561,8 @@ impl SimCore {
         self.nodes[node.0].stats.tx_packets += 1;
         self.run_taps(Direction::Tx, node, link_id, &packet);
         let bytes = packet.total_len();
+        let offset = u32::from(packet.fragment_offset);
+        self.lineage_link_event(link_id, packet.lineage, Stage::LinkTx, offset);
         let outcome = self.links[link_id.0].transmit(self.now, bytes, &mut self.rng);
         match outcome {
             TxOutcome::Deliver { arrival } => {
@@ -487,20 +574,21 @@ impl SimCore {
                     },
                 );
             }
-            TxOutcome::QueueFull | TxOutcome::Faulted => {
+            TxOutcome::QueueFull | TxOutcome::Red | TxOutcome::Faulted => {
+                let cause = match outcome {
+                    TxOutcome::Faulted => DropCause::Fault,
+                    TxOutcome::Red => DropCause::RedEarly,
+                    _ => DropCause::QueueFull,
+                };
+                self.lineage_link_event(link_id, packet.lineage, Stage::Dropped(cause), offset);
                 if self.obs.enabled {
-                    let cause = if outcome == TxOutcome::Faulted {
-                        "fault injector"
-                    } else {
-                        "queue full"
-                    };
                     let now_ns = self.now.as_nanos();
                     self.obs.trace_with(
                         now_ns,
                         Severity::Warn,
                         "link",
                         &self.links[link_id.0].trace_component,
-                        || format!("dropped {bytes}-byte packet: {cause}"),
+                        || format!("dropped {bytes}-byte packet: {}", cause.label()),
                     );
                 }
             }
@@ -553,6 +641,12 @@ impl SimCore {
             node.stats.rx_packets += 1;
             node.stats.rx_bytes += packet.total_len() as u64;
         }
+        self.lineage_node_event(
+            node_id,
+            packet.lineage,
+            Stage::Arrived,
+            u32::from(packet.fragment_offset),
+        );
         self.run_taps(Direction::Rx, node_id, link_id, &packet);
 
         let local = packet.dst == self.nodes[node_id.0].addr;
@@ -562,18 +656,50 @@ impl SimCore {
             } else {
                 // Hosts silently drop transit traffic.
                 self.nodes[node_id.0].stats.no_route += 1;
+                self.lineage_node_event(
+                    node_id,
+                    packet.lineage,
+                    Stage::Dropped(DropCause::NoRoute),
+                    u32::from(packet.fragment_offset),
+                );
             }
             return;
         }
 
         // Local delivery: reassemble first.
         let now_ns = self.now.as_nanos();
-        let (whole, expired) = {
+        let span = packet.lineage;
+        let offset = u32::from(packet.fragment_offset);
+        let was_fragment = packet.is_fragment();
+        let (whole, expired, new_duplicates, new_invalid) = {
+            let lineage = self.lineage.as_deref_mut();
             let node = &mut self.nodes[node_id.0];
-            let timed_out_before = node.reassembler.stats().timed_out;
-            node.reassembler.expire(now_ns);
-            let expired = node.reassembler.stats().timed_out - timed_out_before;
-            (node.reassembler.push(packet, now_ns), expired)
+            let expired = match lineage {
+                Some(lin) => {
+                    let comp = lin.rec.comp(&node.trace_component);
+                    node.reassembler.expire_with(now_ns, |template| {
+                        if let Some(span) = template.lineage {
+                            lin.rec.record(
+                                span,
+                                now_ns,
+                                comp,
+                                Stage::Dropped(DropCause::ReasmTimeout),
+                                u32::from(template.fragment_offset),
+                            );
+                        }
+                    })
+                }
+                None => node.reassembler.expire(now_ns),
+            };
+            let before = node.reassembler.stats();
+            let whole = node.reassembler.push(packet, now_ns);
+            let after = node.reassembler.stats();
+            (
+                whole,
+                expired,
+                after.duplicates - before.duplicates,
+                after.invalid - before.invalid,
+            )
         };
         if expired > 0 && self.obs.enabled {
             self.obs.trace_with(
@@ -584,9 +710,36 @@ impl SimCore {
                 || format!("discarded {expired} incomplete fragment group(s) on timeout"),
             );
         }
+        if new_invalid > 0 {
+            self.lineage_node_event(
+                node_id,
+                span,
+                Stage::Dropped(DropCause::ReasmInvalid),
+                offset,
+            );
+        }
+        if new_duplicates > 0 {
+            self.lineage_node_event(
+                node_id,
+                span,
+                Stage::Dropped(DropCause::ReasmDuplicate),
+                offset,
+            );
+        }
+        if was_fragment && whole.is_none() && new_invalid == 0 {
+            self.lineage_node_event(node_id, span, Stage::ReasmHeld, offset);
+        }
         let Some(packet) = whole else {
             return;
         };
+        if was_fragment {
+            self.lineage_node_event(node_id, packet.lineage, Stage::Reassembled, 0);
+        }
+        if let Some(lin) = self.lineage.as_deref_mut() {
+            // Applications read the delivering packet's span through
+            // `Ctx::lineage_current_span` while `out` is dispatched.
+            lin.current_span = packet.lineage;
+        }
         match packet.protocol {
             IpProtocol::Icmp => self.deliver_icmp(node_id, packet, out),
             IpProtocol::Udp => self.deliver_udp(node_id, packet, out),
@@ -598,6 +751,12 @@ impl SimCore {
     fn forward(&mut self, node_id: NodeId, mut packet: Ipv4Packet) {
         if packet.ttl <= 1 {
             self.nodes[node_id.0].stats.ttl_expired += 1;
+            self.lineage_node_event(
+                node_id,
+                packet.lineage,
+                Stage::Dropped(DropCause::TtlExpired),
+                u32::from(packet.fragment_offset),
+            );
             // Never generate ICMP errors about ICMP errors.
             let is_icmp_error = packet.protocol == IpProtocol::Icmp
                 && matches!(
@@ -622,9 +781,19 @@ impl SimCore {
             Ok(m) => m,
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
+                self.lineage_node_event(
+                    node_id,
+                    packet.lineage,
+                    Stage::Dropped(DropCause::DecodeError),
+                    0,
+                );
                 return;
             }
         };
+        // The protocol layer consumed the message either way (echo
+        // requests are answered, everything else fans out to whatever
+        // listeners exist): the span terminated by delivery.
+        self.lineage_node_event(node_id, packet.lineage, Stage::Delivered, 0);
         if let Some(reply) = msg.reply_to() {
             // Echo request: the node answers itself (hosts and routers).
             self.send_icmp_from(node_id, packet.src, reply);
@@ -658,12 +827,24 @@ impl SimCore {
             Ok(d) => d,
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
+                self.lineage_node_event(
+                    node_id,
+                    packet.lineage,
+                    Stage::Dropped(DropCause::DecodeError),
+                    0,
+                );
                 return;
             }
         };
         match self.nodes[node_id.0].ports.get(&datagram.dst_port).copied() {
             Some(app) => {
                 self.nodes[node_id.0].stats.udp_delivered += 1;
+                self.lineage_node_event(
+                    node_id,
+                    packet.lineage,
+                    Stage::Delivered,
+                    u32::from(datagram.dst_port),
+                );
                 out.push(Delivery::Udp {
                     app,
                     from: (packet.src, datagram.src_port),
@@ -673,6 +854,12 @@ impl SimCore {
             }
             None => {
                 self.nodes[node_id.0].stats.udp_unreachable += 1;
+                self.lineage_node_event(
+                    node_id,
+                    packet.lineage,
+                    Stage::Dropped(DropCause::UdpUnreachable),
+                    u32::from(datagram.dst_port),
+                );
                 let msg = IcmpMessage::DestinationUnreachable {
                     code: 3, // port unreachable
                     original: Self::icmp_original(&packet),
@@ -689,6 +876,12 @@ impl SimCore {
             Ok(s) => s,
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
+                self.lineage_node_event(
+                    node_id,
+                    packet.lineage,
+                    Stage::Dropped(DropCause::DecodeError),
+                    0,
+                );
                 return;
             }
         };
@@ -699,6 +892,12 @@ impl SimCore {
         {
             Some(app) => {
                 self.nodes[node_id.0].stats.tcp_delivered += 1;
+                self.lineage_node_event(
+                    node_id,
+                    packet.lineage,
+                    Stage::Delivered,
+                    u32::from(segment.dst_port),
+                );
                 out.push(Delivery::Tcp {
                     app,
                     from: packet.src,
@@ -709,6 +908,12 @@ impl SimCore {
                 // A real stack would answer RST; nothing in the
                 // workspace needs that, so just count it.
                 self.nodes[node_id.0].stats.tcp_unreachable += 1;
+                self.lineage_node_event(
+                    node_id,
+                    packet.lineage,
+                    Stage::Dropped(DropCause::TcpUnreachable),
+                    u32::from(segment.dst_port),
+                );
             }
         }
     }
@@ -813,6 +1018,43 @@ impl<'a> Ctx<'a> {
             },
         );
     }
+
+    /// Whether packet-lineage tracing is on. Apps use this to skip the
+    /// (cheap but non-free) metadata bookkeeping on untraced runs.
+    pub fn lineage_enabled(&self) -> bool {
+        self.core.lineage.is_some()
+    }
+
+    /// Describe the media frame behind the next `send_*` call. The
+    /// span born for that datagram records this metadata; it is
+    /// consumed by the first send and ignored entirely when lineage
+    /// tracing is off.
+    pub fn lineage_packetize(&mut self, meta: PacketizeMeta) {
+        if let Some(lin) = self.core.lineage.as_deref_mut() {
+            lin.pending_meta = Some(meta);
+        }
+    }
+
+    /// Span of the packet being delivered by the current callback
+    /// (`on_udp` / `on_icmp` / `on_tcp`), `None` for timer callbacks or
+    /// when lineage tracing is off.
+    pub fn lineage_current_span(&self) -> Option<u64> {
+        self.core.lineage.as_deref().and_then(|l| l.current_span)
+    }
+
+    /// Record that `span`'s payload entered this node's playback
+    /// buffer; `media_time_ms` is its presentation timestamp.
+    pub fn lineage_buffered(&mut self, span: u64, media_time_ms: u32) {
+        self.core
+            .lineage_node_event(self.node, Some(span), Stage::Buffered, media_time_ms);
+    }
+
+    /// Record that `span`'s payload was played out at `time_ns` (the
+    /// playout deadline, which may lag the callback that flushes it).
+    pub fn lineage_played(&mut self, span: u64, time_ns: u64, media_time_ms: u32) {
+        self.core
+            .lineage_record_at(self.node, span, time_ns, Stage::Played, media_time_ms);
+    }
 }
 
 struct AppSlot {
@@ -852,6 +1094,7 @@ impl Simulation {
                 rng: SimRng::new(seed),
                 stats: SimStats::default(),
                 obs: Obs::disabled(),
+                lineage: None,
             },
             apps: Vec::new(),
             deliveries: Vec::new(),
@@ -863,6 +1106,31 @@ impl Simulation {
     /// identically either way.
     pub fn enable_telemetry(&mut self) {
         self.core.obs.enabled = true;
+    }
+
+    /// Turn on per-packet lifecycle tracing. Like telemetry, lineage
+    /// recording never draws randomness, never schedules events, and
+    /// never changes control flow, so a traced run is byte-identical
+    /// to an untraced one. Idempotent.
+    pub fn enable_lineage(&mut self) {
+        if self.core.lineage.is_none() {
+            self.core.lineage = Some(Box::new(LineageState {
+                rec: LineageRecorder::default(),
+                pending_meta: None,
+                current_span: None,
+            }));
+        }
+    }
+
+    /// Whether lifecycle tracing is on.
+    pub fn lineage_enabled(&self) -> bool {
+        self.core.lineage.is_some()
+    }
+
+    /// Detach the lineage recording, leaving tracing off. `None` when
+    /// [`Simulation::enable_lineage`] was never called.
+    pub fn take_lineage(&mut self) -> Option<LineageDump> {
+        self.core.lineage.take().map(|l| l.rec.finish())
     }
 
     /// Event-loop counters (always on).
@@ -1005,6 +1273,12 @@ impl Simulation {
         debug_assert!(time >= self.core.now, "time must not run backwards");
         self.core.now = time;
         self.core.stats.events_processed += 1;
+        if let Some(lin) = self.core.lineage.as_deref_mut() {
+            // Timers and app starts are not caused by a packet; only an
+            // arrival (below, via `handle_arrival`) sets the span that
+            // apps read through `Ctx::lineage_current_span`.
+            lin.current_span = None;
+        }
         match event {
             Event::AppStart(app) => self.dispatch(app, |a, ctx| a.on_start(ctx)),
             Event::Timer { app, token } => self.dispatch(app, |a, ctx| a.on_timer(ctx, token)),
@@ -1160,6 +1434,159 @@ mod tests {
         // Latency sanity: one-way ≥ propagation (1 ms).
         let (t, _) = b_rx.borrow()[0].clone();
         assert!(t >= SimTime(1_000_000));
+    }
+
+    #[test]
+    fn lineage_tracks_udp_roundtrip() {
+        let (mut sim, a, b) = two_hosts(1);
+        sim.enable_lineage();
+        let a_rx = Rc::new(RefCell::new(Vec::new()));
+        let b_rx = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(
+            a,
+            Box::new(Echoer {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                send_at_start: true,
+                received: a_rx.clone(),
+            }),
+            Some(5000),
+            false,
+        );
+        sim.add_app(
+            b,
+            Box::new(Echoer {
+                peer: Ipv4Addr::new(10, 0, 0, 1),
+                send_at_start: false,
+                received: b_rx.clone(),
+            }),
+            Some(6000),
+            false,
+        );
+        sim.run_until(SimTime(10_000_000_000));
+        let dump = sim.take_lineage().expect("lineage was enabled");
+        dump.validate().expect("dump is well-formed");
+        assert_eq!(dump.origins.len(), 2, "ping and pong each get a span");
+        let timelines = dump.reconstruct();
+        for tl in &timelines {
+            assert!(matches!(tl.outcome, turb_obs::SpanOutcome::Completed));
+            let stages: Vec<_> = tl.events.iter().map(|e| e.stage).collect();
+            use turb_obs::Stage as S;
+            assert!(stages.contains(&S::Sent));
+            assert!(stages.contains(&S::LinkTx));
+            assert!(stages.contains(&S::Arrived));
+            assert!(stages.iter().any(|s| matches!(s, S::Delivered)));
+        }
+        // Tracing never perturbs the run itself.
+        assert_eq!(b_rx.borrow().len(), 1);
+        assert_eq!(a_rx.borrow().len(), 1);
+    }
+
+    #[test]
+    fn lineage_does_not_perturb_the_run() {
+        let run = |trace: bool| {
+            let (mut sim, a, b) = two_hosts(9);
+            if trace {
+                sim.enable_lineage();
+            }
+            let a_rx = Rc::new(RefCell::new(Vec::new()));
+            let b_rx = Rc::new(RefCell::new(Vec::new()));
+            sim.add_app(
+                a,
+                Box::new(Echoer {
+                    peer: Ipv4Addr::new(10, 0, 0, 2),
+                    send_at_start: true,
+                    received: a_rx.clone(),
+                }),
+                Some(5000),
+                false,
+            );
+            sim.add_app(
+                b,
+                Box::new(Echoer {
+                    peer: Ipv4Addr::new(10, 0, 0, 1),
+                    send_at_start: false,
+                    received: b_rx.clone(),
+                }),
+                Some(6000),
+                false,
+            );
+            sim.run_until(SimTime(10_000_000_000));
+            let arrivals: Vec<SimTime> = b_rx.borrow().iter().map(|(t, _)| *t).collect();
+            (sim.sim_stats(), arrivals)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn lineage_records_fragmentation_and_packetize_meta() {
+        struct BigSender {
+            peer: Ipv4Addr,
+        }
+        impl Application for BigSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                assert!(ctx.lineage_enabled());
+                ctx.lineage_packetize(PacketizeMeta {
+                    player: 7,
+                    sequence: 42,
+                    media_time_ms: 1234,
+                });
+                ctx.send_udp(5000, self.peer, 6000, Bytes::from(vec![0u8; 4000]));
+            }
+        }
+        struct Sink {
+            got: Rc<RefCell<Vec<Option<u64>>>>,
+        }
+        impl Application for Sink {
+            fn on_udp(
+                &mut self,
+                ctx: &mut Ctx<'_>,
+                _from: (Ipv4Addr, u16),
+                _dst_port: u16,
+                _payload: Bytes,
+            ) {
+                self.got.borrow_mut().push(ctx.lineage_current_span());
+            }
+        }
+        let (mut sim, a, b) = two_hosts(4);
+        sim.enable_lineage();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        sim.add_app(
+            a,
+            Box::new(BigSender {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+            }),
+            Some(5000),
+            false,
+        );
+        sim.add_app(b, Box::new(Sink { got: got.clone() }), Some(6000), false);
+        sim.run_until(SimTime(10_000_000_000));
+        let dump = sim.take_lineage().unwrap();
+        dump.validate().unwrap();
+        assert_eq!(dump.origins.len(), 1);
+        // The receiving app saw the span of the reassembled datagram.
+        assert_eq!(got.borrow().as_slice(), &[Some(0)]);
+        let meta = dump.origins[0].meta.expect("packetize meta recorded");
+        assert_eq!(
+            (meta.player, meta.sequence, meta.media_time_ms),
+            (7, 42, 1234)
+        );
+        use turb_obs::Stage as S;
+        let tl = &dump.reconstruct()[0];
+        let frag = tl
+            .events
+            .iter()
+            .find(|e| matches!(e.stage, S::Fragmented))
+            .expect("4000B over a 1500B MTU fragments");
+        assert_eq!(frag.aux, 3, "three fragments");
+        assert!(tl.events.iter().any(|e| matches!(e.stage, S::Reassembled)));
+        assert_eq!(
+            tl.events
+                .iter()
+                .filter(|e| matches!(e.stage, S::LinkTx))
+                .count(),
+            3,
+            "each fragment records its own link transmission"
+        );
     }
 
     #[test]

@@ -23,10 +23,15 @@
 //! seed with telemetry off. The workspace `tests/telemetry.rs` suite
 //! asserts this end to end.
 
+pub mod lineage;
 mod metrics;
 mod report;
 mod trace;
 
+pub use lineage::{
+    DropCause, LineageDump, LineageEvent, LineageRecorder, PacketizeMeta, PostMortem, SpanOrigin,
+    SpanOutcome, SpanTimeline, Stage, StageSamples,
+};
 pub use metrics::{Histogram, Key, MetricsRegistry, SCOPE_NS_BUCKETS};
 pub use report::{CheckReport, FragReport, LinkReport, PlayerReport, PropCheckReport, RunReport};
 pub use trace::{Severity, TraceEvent, TraceRecorder};

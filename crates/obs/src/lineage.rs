@@ -1,0 +1,949 @@
+//! Causal packet lineage: follow one datagram across every layer.
+//!
+//! A *span* is born when a packet enters the IP layer at its origin
+//! node (for media packets the player stamps packetisation metadata on
+//! it first), and every later stage transition — fragmentation, link
+//! transmission, scheduler dequeue/arrival, capture taps, reassembly,
+//! application delivery, playback buffering and playout — appends a
+//! [`LineageEvent`] carrying the sim timestamp. Fragments of one
+//! datagram share the parent's span and are told apart by their
+//! fragment offset (the event's `aux` field), so a lost fragment is
+//! attributed to the datagram it doomed.
+//!
+//! The recorder obeys the workspace no-perturbation invariant: it
+//! never draws randomness, never schedules events, and is only ever
+//! touched behind an `Option` that is `None` unless lineage tracing
+//! was explicitly enabled, so a run with lineage on is bit-identical
+//! to the same seed with lineage off.
+//!
+//! On top of the raw dump this module derives *explanations*:
+//! per-span timelines with a terminal [`SpanOutcome`], per-stage
+//! latency samples and histograms, a drop post-mortem attributing
+//! every lost wire packet to the exact component and cause (each
+//! cause reconciles 1:1 against an always-on simulator counter), and
+//! a deterministic Chrome-trace-event JSON export loadable in
+//! Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+
+use crate::metrics::MetricsRegistry;
+use std::fmt::Write as _;
+
+/// Default cap on recorded stage events (~32 MB); past it events are
+/// counted in [`LineageRecorder::dropped`] instead of recorded.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4_000_000;
+
+/// Histogram bounds (nanoseconds) for stage-latency metrics: 1 µs up
+/// through 100 s.
+pub const LINEAGE_NS_BUCKETS: &[f64] = &[
+    1e3, 1e4, 1e5, 5e5, 1e6, 5e6, 1e7, 5e7, 1e8, 5e8, 1e9, 5e9, 1e10, 1e11,
+];
+
+/// What killed a wire packet. Every variant reconciles against exactly
+/// one always-on simulator counter (see [`DropCause::counter`]), which
+/// is how the drop post-mortem proves it accounted for 100% of losses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DropCause {
+    /// Link drop-tail queue was full.
+    QueueFull,
+    /// RED early drop on an (otherwise non-full) link queue.
+    RedEarly,
+    /// Link fault injector consumed the packet.
+    Fault,
+    /// TTL reached zero at a router.
+    TtlExpired,
+    /// No route to the destination (includes DF-refused fragmentation).
+    NoRoute,
+    /// Payload failed protocol decode at the destination.
+    DecodeError,
+    /// UDP datagram arrived for a port nobody listens on.
+    UdpUnreachable,
+    /// TCP segment arrived for a port nobody listens on.
+    TcpUnreachable,
+    /// Reassembly abandoned the datagram: timer expired with holes.
+    ReasmTimeout,
+    /// Fragment rejected as malformed by the reassembler.
+    ReasmInvalid,
+    /// Fragment carried only bytes that had already arrived.
+    ReasmDuplicate,
+}
+
+impl DropCause {
+    /// Every cause, in stable report order.
+    pub const ALL: [DropCause; 11] = [
+        DropCause::QueueFull,
+        DropCause::RedEarly,
+        DropCause::Fault,
+        DropCause::TtlExpired,
+        DropCause::NoRoute,
+        DropCause::DecodeError,
+        DropCause::UdpUnreachable,
+        DropCause::TcpUnreachable,
+        DropCause::ReasmTimeout,
+        DropCause::ReasmInvalid,
+        DropCause::ReasmDuplicate,
+    ];
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::QueueFull => "queue_full",
+            DropCause::RedEarly => "red_early",
+            DropCause::Fault => "fault",
+            DropCause::TtlExpired => "ttl_expired",
+            DropCause::NoRoute => "no_route",
+            DropCause::DecodeError => "decode_error",
+            DropCause::UdpUnreachable => "udp_unreachable",
+            DropCause::TcpUnreachable => "tcp_unreachable",
+            DropCause::ReasmTimeout => "reassembly_timeout",
+            DropCause::ReasmInvalid => "reassembly_invalid",
+            DropCause::ReasmDuplicate => "reassembly_duplicate",
+        }
+    }
+
+    /// The always-on metrics counter this cause must sum to.
+    pub fn counter(self) -> &'static str {
+        match self {
+            DropCause::QueueFull => "link_dropped_queue_total",
+            DropCause::RedEarly => "link_dropped_red_total",
+            DropCause::Fault => "link_dropped_fault_total",
+            DropCause::TtlExpired => "node_ttl_expired_total",
+            DropCause::NoRoute => "node_no_route_total",
+            DropCause::DecodeError => "node_decode_errors_total",
+            DropCause::UdpUnreachable => "node_udp_unreachable_total",
+            DropCause::TcpUnreachable => "node_tcp_unreachable_total",
+            DropCause::ReasmTimeout => "reassembly_timed_out_total",
+            DropCause::ReasmInvalid => "reassembly_invalid_total",
+            DropCause::ReasmDuplicate => "reassembly_duplicates_total",
+        }
+    }
+
+    /// Whether this cause dooms the whole datagram's span. Duplicate
+    /// and invalid fragments waste a wire packet without preventing
+    /// the datagram from completing.
+    pub fn fatal(self) -> bool {
+        !matches!(self, DropCause::ReasmInvalid | DropCause::ReasmDuplicate)
+    }
+}
+
+/// A lifecycle stage transition. The meaning of an event's `aux` field
+/// depends on the stage, as documented per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Span born: packet entered the IP layer at its origin node.
+    /// `aux` = payload length in bytes.
+    Sent,
+    /// Datagram split for the path MTU. `aux` = fragment count.
+    Fragmented,
+    /// Offered to a link transmitter. `aux` = fragment offset (8-byte
+    /// units), distinguishing the fragments of one span.
+    LinkTx,
+    /// Popped from the event queue (heap or wheel — identically) and
+    /// arrived at a node. `aux` = fragment offset.
+    Arrived,
+    /// Seen by a capture tap. `aux` = fragment offset.
+    Sniffed,
+    /// Fragment accepted by the reassembler, datagram still has holes.
+    /// `aux` = fragment offset.
+    ReasmHeld,
+    /// Datagram fully reassembled at the destination. `aux` = 0.
+    Reassembled,
+    /// Handed to an application (or consumed by the protocol layer,
+    /// e.g. an echo responder). `aux` = destination port where known.
+    Delivered,
+    /// Media payload admitted to the client playback buffer.
+    /// `aux` = media time in ms.
+    Buffered,
+    /// Playout clock passed the payload's deadline: counted as played.
+    /// `aux` = media time in ms.
+    Played,
+    /// A wire packet of this span was killed. `aux` = fragment offset
+    /// where known.
+    Dropped(DropCause),
+}
+
+impl Stage {
+    /// Stable lowercase label (drop causes share `"dropped"`; use
+    /// [`DropCause::label`] for the detail).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Sent => "sent",
+            Stage::Fragmented => "fragmented",
+            Stage::LinkTx => "link_tx",
+            Stage::Arrived => "arrived",
+            Stage::Sniffed => "sniffed",
+            Stage::ReasmHeld => "reasm_held",
+            Stage::Reassembled => "reassembled",
+            Stage::Delivered => "delivered",
+            Stage::Buffered => "buffered",
+            Stage::Played => "played",
+            Stage::Dropped(_) => "dropped",
+        }
+    }
+}
+
+/// Application-layer context stamped on a span at packetisation time
+/// by the media players.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketizeMeta {
+    /// Player code — see `turb_media::player_code` (0 = unknown).
+    pub player: u8,
+    /// Media sequence number.
+    pub sequence: u32,
+    /// Media timestamp of the payload, milliseconds.
+    pub media_time_ms: u32,
+}
+
+/// Where and when a span was born.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanOrigin {
+    /// Sim time of birth, nanoseconds.
+    pub time_ns: u64,
+    /// Interned origin component (a node).
+    pub comp: u16,
+    /// Packetisation metadata, for media spans.
+    pub meta: Option<PacketizeMeta>,
+}
+
+/// One stage transition of one span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineageEvent {
+    /// The span this event belongs to (index into the origin table).
+    pub span: u64,
+    /// Sim time, nanoseconds.
+    pub time_ns: u64,
+    /// Interned component the transition happened at.
+    pub comp: u16,
+    /// The stage reached.
+    pub stage: Stage,
+    /// Stage-dependent detail — see [`Stage`].
+    pub aux: u32,
+}
+
+/// Append-only span/event recorder. Span ids are indices into the
+/// origin table, so same-seed runs allocate identical ids.
+#[derive(Debug)]
+pub struct LineageRecorder {
+    origins: Vec<SpanOrigin>,
+    events: Vec<LineageEvent>,
+    components: Vec<String>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for LineageRecorder {
+    fn default() -> Self {
+        LineageRecorder::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl LineageRecorder {
+    /// A recorder keeping at most `capacity` stage events.
+    pub fn with_capacity(capacity: usize) -> LineageRecorder {
+        LineageRecorder {
+            origins: Vec::new(),
+            events: Vec::new(),
+            components: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Intern a component name, returning its stable id. The table is
+    /// tiny (nodes + links), so a linear scan beats hashing.
+    pub fn comp(&mut self, name: &str) -> u16 {
+        if let Some(i) = self.components.iter().position(|c| c == name) {
+            return i as u16;
+        }
+        self.components.push(name.to_string());
+        (self.components.len() - 1) as u16
+    }
+
+    /// Allocate a span born now at `comp`, recording its `Sent` event.
+    /// `payload_len` lands in the Sent event's `aux`.
+    pub fn begin_span(
+        &mut self,
+        time_ns: u64,
+        comp: u16,
+        meta: Option<PacketizeMeta>,
+        payload_len: u32,
+    ) -> u64 {
+        let span = self.origins.len() as u64;
+        self.origins.push(SpanOrigin {
+            time_ns,
+            comp,
+            meta,
+        });
+        self.record(span, time_ns, comp, Stage::Sent, payload_len);
+        span
+    }
+
+    /// Record one stage transition (counted, not stored, past the
+    /// capacity cap).
+    pub fn record(&mut self, span: u64, time_ns: u64, comp: u16, stage: Stage, aux: u32) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(LineageEvent {
+            span,
+            time_ns,
+            comp,
+            stage,
+            aux,
+        });
+    }
+
+    /// Spans allocated so far.
+    pub fn spans(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.origins.is_empty()
+    }
+
+    /// Events discarded past the capacity cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Freeze into an immutable dump for analysis.
+    pub fn finish(self) -> LineageDump {
+        LineageDump {
+            origins: self.origins,
+            events: self.events,
+            components: self.components,
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// The frozen output of a traced run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LineageDump {
+    /// Per-span origin records; the span id is the index.
+    pub origins: Vec<SpanOrigin>,
+    /// Every stage transition, in emission (= sim time) order.
+    pub events: Vec<LineageEvent>,
+    /// Interned component names.
+    pub components: Vec<String>,
+    /// Events discarded past the recorder capacity.
+    pub dropped: u64,
+}
+
+/// How a span's life ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Media payload reached the playout clock.
+    Played,
+    /// Delivered to its destination (non-media traffic, or media that
+    /// arrived but whose playout never came due inside the run).
+    Completed,
+    /// Killed by the recorded cause (the first fatal drop).
+    Dropped(DropCause),
+    /// Still in flight when the run ended.
+    Truncated,
+}
+
+impl SpanOutcome {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanOutcome::Played => "played",
+            SpanOutcome::Completed => "completed",
+            SpanOutcome::Dropped(_) => "dropped",
+            SpanOutcome::Truncated => "truncated",
+        }
+    }
+}
+
+/// One span's reconstructed life: its events in time order plus the
+/// derived terminal outcome.
+#[derive(Debug, Clone)]
+pub struct SpanTimeline {
+    /// The span id.
+    pub span: u64,
+    /// This span's events, in recorded (= sim time) order.
+    pub events: Vec<LineageEvent>,
+    /// Terminal classification.
+    pub outcome: SpanOutcome,
+}
+
+impl SpanTimeline {
+    /// Time of the first event matching `pred`, if any.
+    pub fn first_time(&self, pred: impl Fn(Stage) -> bool) -> Option<u64> {
+        self.events
+            .iter()
+            .find(|e| pred(e.stage))
+            .map(|e| e.time_ns)
+    }
+
+    /// Hops taken: the number of link arrivals recorded.
+    pub fn hops(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.stage == Stage::Arrived)
+            .count()
+    }
+}
+
+fn classify(events: &[LineageEvent]) -> SpanOutcome {
+    let mut first_fatal = None;
+    for ev in events {
+        match ev.stage {
+            Stage::Played => return SpanOutcome::Played,
+            Stage::Dropped(cause) if cause.fatal() && first_fatal.is_none() => {
+                first_fatal = Some(cause);
+            }
+            _ => {}
+        }
+    }
+    if events.iter().any(|e| e.stage == Stage::Delivered) {
+        return SpanOutcome::Completed;
+    }
+    match first_fatal {
+        Some(cause) => SpanOutcome::Dropped(cause),
+        None => SpanOutcome::Truncated,
+    }
+}
+
+impl LineageDump {
+    /// Component name for an interned id.
+    pub fn component(&self, id: u16) -> &str {
+        self.components
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// Rebuild every span's timeline, in span-id order.
+    pub fn reconstruct(&self) -> Vec<SpanTimeline> {
+        let mut per_span: Vec<Vec<LineageEvent>> = vec![Vec::new(); self.origins.len()];
+        for ev in &self.events {
+            if let Some(bucket) = per_span.get_mut(ev.span as usize) {
+                bucket.push(*ev);
+            }
+        }
+        per_span
+            .into_iter()
+            .enumerate()
+            .map(|(span, events)| {
+                let outcome = classify(&events);
+                SpanTimeline {
+                    span: span as u64,
+                    events,
+                    outcome,
+                }
+            })
+            .collect()
+    }
+
+    /// Check the lifecycle invariants the `turb-check` property relies
+    /// on: every event references a real span and component, per-span
+    /// event times are monotone (and never precede the span's birth),
+    /// playout follows buffering, and each span classifies into
+    /// exactly one terminal outcome.
+    pub fn validate(&self) -> Result<(), String> {
+        for ev in &self.events {
+            if ev.span as usize >= self.origins.len() {
+                return Err(format!("event references unknown span {}", ev.span));
+            }
+            if ev.comp as usize >= self.components.len() {
+                return Err(format!("event references unknown component {}", ev.comp));
+            }
+        }
+        for origin in &self.origins {
+            if origin.comp as usize >= self.components.len() {
+                return Err(format!(
+                    "origin references unknown component {}",
+                    origin.comp
+                ));
+            }
+        }
+        for tl in self.reconstruct() {
+            let origin = &self.origins[tl.span as usize];
+            let mut prev = origin.time_ns;
+            let mut buffered = 0u64;
+            let mut played = 0u64;
+            for ev in &tl.events {
+                if ev.time_ns < prev {
+                    return Err(format!(
+                        "span {} time went backwards at {:?}: {} < {}",
+                        tl.span, ev.stage, ev.time_ns, prev
+                    ));
+                }
+                prev = ev.time_ns;
+                match ev.stage {
+                    Stage::Buffered => buffered += 1,
+                    Stage::Played => played += 1,
+                    _ => {}
+                }
+            }
+            if buffered > 1 || played > 1 {
+                return Err(format!(
+                    "span {} buffered {buffered}x / played {played}x (at most once each)",
+                    tl.span
+                ));
+            }
+            if played > buffered {
+                return Err(format!("span {} played without buffering", tl.span));
+            }
+            match (tl.events.first().map(|e| e.stage), tl.outcome) {
+                (Some(Stage::Sent), _) => {}
+                (first, _) => {
+                    return Err(format!(
+                        "span {} does not begin with Sent (first: {first:?})",
+                        tl.span
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Count spans per terminal outcome:
+    /// `(played, completed, dropped, truncated)`.
+    pub fn outcome_counts(&self) -> (u64, u64, u64, u64) {
+        let (mut p, mut c, mut d, mut t) = (0, 0, 0, 0);
+        for tl in self.reconstruct() {
+            match tl.outcome {
+                SpanOutcome::Played => p += 1,
+                SpanOutcome::Completed => c += 1,
+                SpanOutcome::Dropped(_) => d += 1,
+                SpanOutcome::Truncated => t += 1,
+            }
+        }
+        (p, c, d, t)
+    }
+}
+
+/// Raw latency samples per derived stage metric, nanoseconds, in
+/// deterministic (span, event) order — ready for CDF rendering.
+#[derive(Debug, Clone, Default)]
+pub struct StageSamples {
+    /// Link transmit offer → arrival, one sample per hop per fragment.
+    pub hop_ns: Vec<f64>,
+    /// Datagram fragmentation → successful reassembly.
+    pub reasm_ns: Vec<f64>,
+    /// Playback buffer admission → playout deadline.
+    pub residency_ns: Vec<f64>,
+    /// Span birth → buffer admission (media) or delivery (other).
+    pub e2e_ns: Vec<f64>,
+}
+
+/// Extract per-stage latency samples from a dump. Hops are paired
+/// FIFO per (span, fragment offset), so interleaved fragments of one
+/// datagram measure their own link traversals.
+pub fn stage_samples(dump: &LineageDump) -> StageSamples {
+    let mut samples = StageSamples::default();
+    for tl in dump.reconstruct() {
+        // (offset, pending link_tx times) — a handful per span.
+        let mut pending: Vec<(u32, Vec<u64>)> = Vec::new();
+        let mut fragged: Option<u64> = None;
+        let mut buffered: Option<u64> = None;
+        for ev in &tl.events {
+            match ev.stage {
+                Stage::LinkTx => match pending.iter_mut().find(|(off, _)| *off == ev.aux) {
+                    Some((_, q)) => q.push(ev.time_ns),
+                    None => pending.push((ev.aux, vec![ev.time_ns])),
+                },
+                Stage::Arrived => {
+                    if let Some((_, q)) = pending.iter_mut().find(|(off, _)| *off == ev.aux) {
+                        if !q.is_empty() {
+                            samples.hop_ns.push((ev.time_ns - q.remove(0)) as f64);
+                        }
+                    }
+                }
+                Stage::Fragmented => {
+                    fragged.get_or_insert(ev.time_ns);
+                }
+                Stage::Reassembled => {
+                    if let Some(t0) = fragged {
+                        samples.reasm_ns.push((ev.time_ns - t0) as f64);
+                    }
+                }
+                Stage::Buffered => {
+                    buffered.get_or_insert(ev.time_ns);
+                }
+                Stage::Played => {
+                    if let Some(t0) = buffered {
+                        samples.residency_ns.push((ev.time_ns - t0) as f64);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let born = dump
+            .origins
+            .get(tl.span as usize)
+            .map(|o| o.time_ns)
+            .unwrap_or(0);
+        let end = buffered.or_else(|| tl.first_time(|s| s == Stage::Delivered));
+        if let Some(end) = end {
+            samples.e2e_ns.push((end - born) as f64);
+        }
+    }
+    samples
+}
+
+/// Build the per-stage latency histograms into a fresh
+/// [`MetricsRegistry`] (kept separate from the run's shared registry
+/// so the lineage-on/off byte-identity of run metrics holds).
+pub fn stage_histograms(dump: &LineageDump) -> MetricsRegistry {
+    let samples = stage_samples(dump);
+    let mut reg = MetricsRegistry::new();
+    for (name, values) in [
+        ("lineage_hop_ns", &samples.hop_ns),
+        ("lineage_reassembly_ns", &samples.reasm_ns),
+        ("lineage_buffer_residency_ns", &samples.residency_ns),
+        ("lineage_end_to_end_ns", &samples.e2e_ns),
+    ] {
+        for v in values {
+            reg.histogram_observe(name, "lineage", LINEAGE_NS_BUCKETS, *v);
+        }
+    }
+    reg
+}
+
+/// The drop post-mortem: every `Dropped` event attributed to its
+/// cause and component.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostMortem {
+    /// `(cause, component id, count)`, sorted by cause order then
+    /// component id.
+    pub entries: Vec<(DropCause, u16, u64)>,
+}
+
+impl PostMortem {
+    /// Total dropped wire packets across all causes.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|(_, _, n)| n).sum()
+    }
+
+    /// Total for one cause across components.
+    pub fn cause_total(&self, cause: DropCause) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(c, _, _)| *c == cause)
+            .map(|(_, _, n)| n)
+            .sum()
+    }
+
+    /// Fold another post-mortem into this one (corpus aggregation by
+    /// cause; component attribution is per-run, so components fold by
+    /// id only when the topologies agree — the corpus topology does).
+    pub fn absorb(&mut self, other: &PostMortem) {
+        for (cause, comp, n) in &other.entries {
+            match self
+                .entries
+                .iter_mut()
+                .find(|(c, k, _)| c == cause && k == comp)
+            {
+                Some((_, _, total)) => *total += n,
+                None => self.entries.push((*cause, *comp, *n)),
+            }
+        }
+        self.entries.sort_by_key(|(c, k, _)| (*c, *k));
+    }
+}
+
+/// Attribute every `Dropped` event in the dump.
+pub fn post_mortem(dump: &LineageDump) -> PostMortem {
+    let mut entries: Vec<(DropCause, u16, u64)> = Vec::new();
+    for ev in &dump.events {
+        if let Stage::Dropped(cause) = ev.stage {
+            match entries
+                .iter_mut()
+                .find(|(c, comp, _)| *c == cause && *comp == ev.comp)
+            {
+                Some((_, _, n)) => *n += 1,
+                None => entries.push((cause, ev.comp, 1)),
+            }
+        }
+    }
+    entries.sort_by_key(|(c, k, _)| (*c, *k));
+    PostMortem { entries }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds rendered as microseconds with fixed three decimals —
+/// pure integer arithmetic, so output is deterministic.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Export the dump in Chrome trace-event JSON ("X" complete events
+/// per stage segment on one track per span, instants for terminal
+/// events), loadable in Perfetto. Output ordering is a pure function
+/// of the dump, so same-seed runs export byte-identical traces.
+pub fn to_chrome_trace(dump: &LineageDump) -> String {
+    let mut out = String::with_capacity(dump.events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"turbulence packet lineage\"}}",
+    );
+    for tl in dump.reconstruct() {
+        let meta = dump
+            .origins
+            .get(tl.span as usize)
+            .and_then(|o| o.meta)
+            .map(|m| {
+                format!(
+                    ",\"player\":{},\"seq\":{},\"media_ms\":{}",
+                    m.player, m.sequence, m.media_time_ms
+                )
+            })
+            .unwrap_or_default();
+        for (i, ev) in tl.events.iter().enumerate() {
+            let comp = json_escape(dump.component(ev.comp));
+            let args = format!(
+                "{{\"comp\":\"{}\",\"aux\":{}{}}}",
+                comp,
+                ev.aux,
+                if i == 0 { meta.as_str() } else { "" }
+            );
+            let name = match ev.stage {
+                Stage::Dropped(cause) => format!("dropped:{}", cause.label()),
+                stage => stage.label().to_string(),
+            };
+            match tl.events.get(i + 1) {
+                Some(next) => {
+                    let _ = write!(
+                        out,
+                        ",\n{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\"cat\":\"{}\",\"args\":{}}}",
+                        tl.span + 1,
+                        ts_us(ev.time_ns),
+                        ts_us(next.time_ns - ev.time_ns),
+                        name,
+                        tl.outcome.label(),
+                        args,
+                    );
+                }
+                None => {
+                    let _ = write!(
+                        out,
+                        ",\n{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\"name\":\"{}\",\"cat\":\"{}\",\"args\":{}}}",
+                        tl.span + 1,
+                        ts_us(ev.time_ns),
+                        name,
+                        tl.outcome.label(),
+                        args,
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn media_meta(seq: u32) -> PacketizeMeta {
+        PacketizeMeta {
+            player: 1,
+            sequence: seq,
+            media_time_ms: seq * 100,
+        }
+    }
+
+    /// One played media span, one span dropped in a queue, one span
+    /// truncated mid-flight.
+    fn sample_dump() -> LineageDump {
+        let mut rec = LineageRecorder::default();
+        let node = rec.comp("node:server");
+        let link = rec.comp("link:0");
+        let client = rec.comp("node:client");
+
+        let played = rec.begin_span(1_000, node, Some(media_meta(0)), 1400);
+        rec.record(played, 1_000, link, Stage::LinkTx, 0);
+        rec.record(played, 2_500, client, Stage::Arrived, 0);
+        rec.record(played, 2_500, client, Stage::Sniffed, 0);
+        rec.record(played, 2_500, client, Stage::Delivered, 7000);
+        rec.record(played, 2_500, client, Stage::Buffered, 0);
+        rec.record(played, 9_000, client, Stage::Played, 0);
+
+        let dropped = rec.begin_span(2_000, node, Some(media_meta(1)), 1400);
+        rec.record(dropped, 2_000, link, Stage::LinkTx, 0);
+        rec.record(
+            dropped,
+            2_000,
+            link,
+            Stage::Dropped(DropCause::QueueFull),
+            0,
+        );
+
+        let truncated = rec.begin_span(3_000, node, None, 64);
+        rec.record(truncated, 3_000, link, Stage::LinkTx, 0);
+        rec.finish()
+    }
+
+    #[test]
+    fn reconstruction_classifies_outcomes() {
+        let dump = sample_dump();
+        let timelines = dump.reconstruct();
+        assert_eq!(timelines.len(), 3);
+        assert_eq!(timelines[0].outcome, SpanOutcome::Played);
+        assert_eq!(
+            timelines[1].outcome,
+            SpanOutcome::Dropped(DropCause::QueueFull)
+        );
+        assert_eq!(timelines[2].outcome, SpanOutcome::Truncated);
+        assert_eq!(timelines[0].hops(), 1);
+        assert_eq!(dump.outcome_counts(), (1, 0, 1, 1));
+        dump.validate().expect("sample dump is well-formed");
+    }
+
+    #[test]
+    fn delivery_without_playout_is_completed() {
+        let mut rec = LineageRecorder::default();
+        let node = rec.comp("node:a");
+        let span = rec.begin_span(0, node, None, 8);
+        rec.record(span, 10, node, Stage::Delivered, 554);
+        let dump = rec.finish();
+        assert_eq!(dump.reconstruct()[0].outcome, SpanOutcome::Completed);
+    }
+
+    #[test]
+    fn non_fatal_drops_do_not_doom_a_span() {
+        let mut rec = LineageRecorder::default();
+        let node = rec.comp("node:a");
+        let span = rec.begin_span(0, node, None, 8);
+        rec.record(span, 5, node, Stage::Dropped(DropCause::ReasmDuplicate), 0);
+        rec.record(span, 9, node, Stage::Delivered, 7000);
+        let dump = rec.finish();
+        assert_eq!(dump.reconstruct()[0].outcome, SpanOutcome::Completed);
+        // The duplicate still shows up in the post-mortem.
+        assert_eq!(post_mortem(&dump).cause_total(DropCause::ReasmDuplicate), 1);
+    }
+
+    #[test]
+    fn validate_catches_time_regression() {
+        let mut rec = LineageRecorder::default();
+        let node = rec.comp("node:a");
+        let span = rec.begin_span(100, node, None, 8);
+        rec.record(span, 50, node, Stage::Delivered, 0);
+        assert!(rec.finish().validate().is_err());
+    }
+
+    #[test]
+    fn validate_requires_sent_first() {
+        let dump = LineageDump {
+            origins: vec![SpanOrigin {
+                time_ns: 0,
+                comp: 0,
+                meta: None,
+            }],
+            events: vec![LineageEvent {
+                span: 0,
+                time_ns: 1,
+                comp: 0,
+                stage: Stage::Delivered,
+                aux: 0,
+            }],
+            components: vec!["node:a".to_string()],
+            dropped: 0,
+        };
+        assert!(dump.validate().unwrap_err().contains("Sent"));
+    }
+
+    #[test]
+    fn capacity_counts_overflow_instead_of_recording() {
+        let mut rec = LineageRecorder::with_capacity(2);
+        let node = rec.comp("node:a");
+        let span = rec.begin_span(0, node, None, 8); // 1 event (Sent)
+        rec.record(span, 1, node, Stage::LinkTx, 0); // 2nd
+        rec.record(span, 2, node, Stage::Arrived, 0); // over
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 1);
+    }
+
+    #[test]
+    fn stage_samples_measure_hops_and_residency() {
+        let samples = stage_samples(&sample_dump());
+        assert_eq!(samples.hop_ns, vec![1_500.0]);
+        assert_eq!(samples.residency_ns, vec![6_500.0]);
+        assert_eq!(samples.e2e_ns, vec![1_500.0]);
+        assert!(samples.reasm_ns.is_empty());
+    }
+
+    #[test]
+    fn interleaved_fragments_pair_by_offset() {
+        let mut rec = LineageRecorder::default();
+        let node = rec.comp("node:a");
+        let link = rec.comp("link:0");
+        let span = rec.begin_span(0, node, None, 3000);
+        rec.record(span, 0, node, Stage::Fragmented, 2);
+        rec.record(span, 0, link, Stage::LinkTx, 0);
+        rec.record(span, 0, link, Stage::LinkTx, 185);
+        rec.record(span, 10, node, Stage::Arrived, 0);
+        rec.record(span, 25, node, Stage::Arrived, 185);
+        rec.record(span, 25, node, Stage::Reassembled, 0);
+        let samples = stage_samples(&rec.finish());
+        assert_eq!(samples.hop_ns, vec![10.0, 25.0]);
+        assert_eq!(samples.reasm_ns, vec![25.0]);
+    }
+
+    #[test]
+    fn histograms_land_in_a_registry() {
+        let reg = stage_histograms(&sample_dump());
+        let hist = reg.histogram("lineage_hop_ns", "lineage").unwrap();
+        assert_eq!(hist.count, 1);
+    }
+
+    #[test]
+    fn post_mortem_attributes_causes_to_components() {
+        let dump = sample_dump();
+        let pm = post_mortem(&dump);
+        assert_eq!(pm.total(), 1);
+        assert_eq!(pm.entries, vec![(DropCause::QueueFull, 1, 1)]);
+        let mut agg = PostMortem::default();
+        agg.absorb(&pm);
+        agg.absorb(&pm);
+        assert_eq!(agg.cause_total(DropCause::QueueFull), 2);
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic_and_structured() {
+        let dump = sample_dump();
+        let a = to_chrome_trace(&dump);
+        let b = to_chrome_trace(&dump);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(a.trim_end().ends_with("]}"));
+        assert!(a.contains("\"name\":\"dropped:queue_full\""));
+        assert!(a.contains("\"ts\":1.000"));
+        assert!(a.contains("\"media_ms\":0"));
+        // One line per event plus the header, metadata, and closer.
+        assert_eq!(a.lines().count(), 3 + dump.events.len());
+    }
+
+    #[test]
+    fn every_cause_has_a_distinct_counter() {
+        let mut counters: Vec<_> = DropCause::ALL.iter().map(|c| c.counter()).collect();
+        counters.sort_unstable();
+        counters.dedup();
+        assert_eq!(counters.len(), DropCause::ALL.len());
+    }
+}

@@ -41,6 +41,10 @@ pub struct ClientCore {
     sec_packets: u32,
     sec_lost: u32,
     finished_logging: bool,
+    /// Buffered-but-not-yet-played lineage spans:
+    /// `(span, media_time_ms, buffered_ns)`. Only populated when the
+    /// simulation records packet lineage; always empty otherwise.
+    lineage_pending: Vec<(u64, u32, u64)>,
 }
 
 impl ClientCore {
@@ -62,6 +66,7 @@ impl ClientCore {
             sec_packets: 0,
             sec_lost: 0,
             finished_logging: false,
+            lineage_pending: Vec::new(),
         };
         (core, log)
     }
@@ -131,7 +136,38 @@ impl ClientCore {
             self.playout_start = Some(now);
             self.log.borrow_mut().playout_start = Some(now);
         }
+        if let Some(span) = ctx.lineage_current_span() {
+            ctx.lineage_buffered(span, header.media_time_ms);
+            self.lineage_pending
+                .push((span, header.media_time_ms, now.as_nanos()));
+        }
         Some(header)
+    }
+
+    /// Emit `Played` lineage events for every buffered span whose
+    /// playout deadline has passed (all of them when `force` is set,
+    /// used once the clip has fully played out). The played timestamp
+    /// is the deadline itself — when the media was due — clamped to be
+    /// no earlier than the packet entered the buffer.
+    fn flush_played(&mut self, ctx: &mut Ctx<'_>, force: bool) {
+        if self.lineage_pending.is_empty() {
+            return;
+        }
+        let Some(t0) = self.playout_start else {
+            return;
+        };
+        let now_ns = ctx.now().as_nanos();
+        let t0_ns = t0.as_nanos();
+        let mut keep = Vec::new();
+        for (span, media_ms, buffered_ns) in std::mem::take(&mut self.lineage_pending) {
+            let deadline = t0_ns + u64::from(media_ms) * 1_000_000;
+            if deadline <= now_ns || force {
+                ctx.lineage_played(span, buffered_ns.max(deadline.min(now_ns)), media_ms);
+            } else {
+                keep.push((span, media_ms, buffered_ns));
+            }
+        }
+        self.lineage_pending = keep;
     }
 
     /// Playback position (seconds of media) at `now`, if playing.
@@ -171,6 +207,7 @@ impl ClientCore {
             return false;
         }
         let now = ctx.now();
+        self.flush_played(ctx, false);
         let frames = self.frames_this_second(now);
         // Underrun check: playing, clip not finished, but the playout
         // clock has caught up with everything buffered so far.
@@ -206,6 +243,9 @@ impl ClientCore {
             now.since(t0).as_secs_f64() > self.config.clip.duration_secs * 3.0 + 120.0
         });
         if played_out || hard_cap {
+            // A fully played clip flushes every remaining span; a dead
+            // stream does not (unplayed media stays unplayed).
+            self.flush_played(ctx, played_out);
             self.finished_logging = true;
             return false;
         }

@@ -27,7 +27,7 @@ use std::net::Ipv4Addr;
 use turb_media::codec;
 use turb_netsim::rng::SimRng;
 use turb_netsim::sim::{Application, Ctx};
-use turb_netsim::{SimDuration, SimTime};
+use turb_netsim::{PacketizeMeta, SimDuration, SimTime};
 use turb_wire::media::{MediaHeader, PlayerId, MEDIA_HEADER_LEN};
 
 const TOKEN_SEND: u64 = 1;
@@ -159,6 +159,13 @@ impl RealServer {
             buffering: self.phase == Phase::Burst,
         };
         self.seq += 1;
+        if ctx.lineage_enabled() {
+            ctx.lineage_packetize(PacketizeMeta {
+                player: turb_media::player_code(PlayerId::RealPlayer),
+                sequence: header.sequence,
+                media_time_ms: header.media_time_ms,
+            });
+        }
         ctx.send_udp(
             self.config.server_port,
             addr,
@@ -191,6 +198,13 @@ impl RealServer {
                 buffering: false,
             };
             self.seq += 1;
+            if ctx.lineage_enabled() {
+                ctx.lineage_packetize(PacketizeMeta {
+                    player: turb_media::player_code(PlayerId::RealPlayer),
+                    sequence: header.sequence,
+                    media_time_ms: header.media_time_ms,
+                });
+            }
             ctx.send_udp(
                 self.config.server_port,
                 addr,

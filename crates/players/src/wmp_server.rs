@@ -20,7 +20,7 @@ use bytes::Bytes;
 use std::net::Ipv4Addr;
 use turb_media::codec;
 use turb_netsim::sim::{Application, Ctx};
-use turb_netsim::SimDuration;
+use turb_netsim::{PacketizeMeta, SimDuration};
 use turb_wire::media::{MediaHeader, PlayerId, MEDIA_HEADER_LEN};
 
 const TOKEN_TICK: u64 = 1;
@@ -116,6 +116,13 @@ impl WmpServer {
             buffering,
         };
         self.seq += 1;
+        if ctx.lineage_enabled() {
+            ctx.lineage_packetize(PacketizeMeta {
+                player: turb_media::player_code(PlayerId::MediaPlayer),
+                sequence: header.sequence,
+                media_time_ms: header.media_time_ms,
+            });
+        }
         let payload = header.encode_with_padding(self.unit_bytes.saturating_sub(MEDIA_HEADER_LEN));
         ctx.send_udp(self.config.server_port, addr, port, payload);
         self.media_sent += self.unit_bytes as u64;
@@ -134,6 +141,13 @@ impl WmpServer {
                 buffering: false,
             };
             self.seq += 1;
+            if ctx.lineage_enabled() {
+                ctx.lineage_packetize(PacketizeMeta {
+                    player: turb_media::player_code(PlayerId::MediaPlayer),
+                    sequence: header.sequence,
+                    media_time_ms: header.media_time_ms,
+                });
+            }
             ctx.send_udp(
                 self.config.server_port,
                 addr,

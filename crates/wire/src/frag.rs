@@ -265,13 +265,29 @@ impl Reassembler {
     /// Drop partial datagrams older than the timeout. Returns how many
     /// were abandoned.
     pub fn expire(&mut self, now: u64) -> usize {
+        self.expire_with(now, |_| {})
+    }
+
+    /// [`Reassembler::expire`], invoking `on_expired` with each
+    /// abandoned datagram's header template. Expired partials are
+    /// visited in a deterministic order (first-seen time, then the
+    /// datagram key) regardless of `HashMap` iteration order, so
+    /// same-seed runs observe identical callback sequences.
+    pub fn expire_with(&mut self, now: u64, mut on_expired: impl FnMut(&Ipv4Packet)) -> usize {
         let timeout = self.timeout;
-        let before = self.partials.len();
-        self.partials
-            .retain(|_, p| now.saturating_sub(p.first_seen) < timeout);
-        let dropped = before - self.partials.len();
-        self.stats.timed_out += dropped as u64;
-        dropped
+        let mut expired: Vec<_> = self
+            .partials
+            .iter()
+            .filter(|(_, p)| now.saturating_sub(p.first_seen) >= timeout)
+            .map(|(key, p)| (p.first_seen, *key))
+            .collect();
+        expired.sort_unstable();
+        for (_, key) in &expired {
+            let partial = self.partials.remove(key).expect("expired key present");
+            on_expired(&partial.template);
+        }
+        self.stats.timed_out += expired.len() as u64;
+        expired.len()
     }
 
     /// Number of datagrams currently awaiting more fragments.
@@ -388,6 +404,42 @@ mod tests {
         assert_eq!(r.expire(1000), 1);
         assert_eq!(r.stats().timed_out, 1);
         assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn expire_with_reports_templates_in_deterministic_order() {
+        let mut r = Reassembler::new(1000);
+        // Three incomplete datagrams, first seen at 30 / 10 / 20.
+        for (ident, seen) in [(1u16, 30u64), (2, 10), (3, 20)] {
+            let mut p = packet(2000);
+            p.identification = ident;
+            p.lineage = Some(u64::from(ident));
+            let frags = fragment(p, 1500).unwrap();
+            assert!(r.push(frags[0].clone(), seen).is_none());
+        }
+        let mut seen: Vec<(u64, u16)> = Vec::new();
+        let n = r.expire_with(2000, |template| {
+            seen.push((template.lineage.unwrap(), template.identification));
+        });
+        assert_eq!(n, 3);
+        // Ordered by first-seen time, not hash order.
+        assert_eq!(seen, vec![(2, 2), (3, 3), (1, 1)]);
+        assert_eq!(r.stats().timed_out, 3);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reassembled_datagram_inherits_lineage() {
+        let mut p = packet(3000);
+        p.lineage = Some(77);
+        let frags = fragment(p, 1500).unwrap();
+        assert!(frags.iter().all(|f| f.lineage == Some(77)));
+        let mut r = Reassembler::new(u64::MAX);
+        let mut out = None;
+        for f in frags {
+            out = out.or(r.push(f, 0));
+        }
+        assert_eq!(out.unwrap().lineage, Some(77));
     }
 
     #[test]

@@ -71,6 +71,11 @@ pub struct Ipv4Packet {
     pub dst: Ipv4Addr,
     /// Payload bytes (the L4 segment or a fragment thereof).
     pub payload: Bytes,
+    /// Lineage span id (host-side only, never on the wire): stamped by
+    /// the simulator when lifecycle tracing is enabled, `None`
+    /// otherwise. Fragments inherit their parent datagram's span and
+    /// the reassembled datagram inherits it back from its template.
+    pub lineage: Option<u64>,
 }
 
 impl Ipv4Packet {
@@ -94,6 +99,7 @@ impl Ipv4Packet {
             src,
             dst,
             payload,
+            lineage: None,
         }
     }
 
@@ -247,6 +253,7 @@ impl Ipv4Packet {
             src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
             dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
             payload,
+            lineage: None,
         }
     }
 }

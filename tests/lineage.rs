@@ -1,0 +1,79 @@
+//! Packet-lineage integration tests.
+//!
+//! The drop post-mortem's load-bearing claim: every wire packet a
+//! lossy run lost is attributed to an exact component and cause, and
+//! each cause's total reconciles 1:1 with the always-on simulator
+//! counter it mirrors — no drop is explained twice, none goes
+//! unexplained. The Chrome-trace export must also be a pure function
+//! of the seed, so same-seed runs produce byte-identical traces.
+
+use turb_media::{corpus, RateClass};
+use turb_obs::lineage::{self, DropCause, Stage};
+use turbulence::{run_pair, PairRunConfig};
+
+/// Set 2's short pair with 5% Bernoulli loss on the access link.
+fn lossy_config(seed: u64) -> PairRunConfig {
+    let sets = corpus::table1();
+    let mut config =
+        PairRunConfig::new(seed, 2, sets[1].pair(RateClass::Low).unwrap().clone()).with_lineage();
+    config.access_loss = 0.05;
+    config
+}
+
+#[test]
+fn post_mortem_accounts_for_every_dropped_packet() {
+    let result = run_pair(&lossy_config(4040));
+    let telemetry = result.telemetry.as_ref().unwrap();
+    let dump = telemetry.lineage.as_ref().unwrap();
+    assert_eq!(dump.dropped, 0, "short run must fit the recorder cap");
+    dump.validate().unwrap();
+
+    let pm = lineage::post_mortem(dump);
+    assert!(pm.total() > 0, "5% access loss must drop some packets");
+    for cause in DropCause::ALL {
+        assert_eq!(
+            pm.cause_total(cause),
+            telemetry.metrics.counter_total(cause.counter()),
+            "cause {} must reconcile with {}",
+            cause.label(),
+            cause.counter(),
+        );
+    }
+
+    // The independent observer agrees: lineage recorded one Sniffed
+    // event per packet the client-side capture holds.
+    let sniffed = dump
+        .events
+        .iter()
+        .filter(|e| e.stage == Stage::Sniffed)
+        .count() as u64;
+    assert_eq!(sniffed, telemetry.report.capture_records);
+
+    // Every span terminates in exactly one outcome, and the loss
+    // actually doomed some spans.
+    let (played, completed, dropped, truncated) = dump.outcome_counts();
+    assert_eq!(
+        played + completed + dropped + truncated,
+        dump.origins.len() as u64
+    );
+    assert!(dropped > 0);
+    assert!(played > 0, "most media still reaches the playout clock");
+}
+
+#[test]
+fn chrome_trace_export_is_deterministic_and_wellformed() {
+    let a = run_pair(&lossy_config(808));
+    let b = run_pair(&lossy_config(808));
+    let ta = a.telemetry.unwrap().lineage.unwrap();
+    let tb = b.telemetry.unwrap().lineage.unwrap();
+
+    let ja = lineage::to_chrome_trace(&ta);
+    let jb = lineage::to_chrome_trace(&tb);
+    assert_eq!(ja, jb, "same seed must export byte-identical traces");
+
+    assert!(ja.starts_with("{\"displayTimeUnit\""));
+    assert!(ja.trim_end().ends_with("]}"));
+    assert!(ja.contains("\"ph\":\"X\""), "complete events present");
+    assert!(ja.contains("\"ph\":\"i\""), "terminal instants present");
+    assert!(ja.contains("dropped:"), "lossy run labels its drops");
+}

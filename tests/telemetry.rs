@@ -86,6 +86,95 @@ fn counters_are_identical_across_same_seed_runs() {
     assert_eq!(ra, rb);
 }
 
+#[test]
+fn lineage_does_not_perturb_reports_counters_or_trace() {
+    // Same seed, lineage off vs on, sequentially: the report, the
+    // counters, and the flight recorder must be byte-identical — only
+    // the dump (outside the identity set) may differ.
+    let off = run_pair(&short_config(515, RateClass::Low).with_telemetry());
+    let on = run_pair(&short_config(515, RateClass::Low).with_lineage());
+    let toff = off.telemetry.unwrap();
+    let ton = on.telemetry.unwrap();
+
+    assert!(toff.lineage.is_none());
+    let dump = ton.lineage.as_ref().expect("lineage dump present");
+    dump.validate().unwrap();
+    assert!(dump.origins.len() > 100, "{} spans", dump.origins.len());
+
+    let mut ra = toff.report.clone();
+    let mut rb = ton.report.clone();
+    ra.wall_ns = 0;
+    rb.wall_ns = 0;
+    assert_eq!(ra, rb);
+
+    let ca: Vec<(&str, String, u64)> = toff
+        .metrics
+        .counters()
+        .map(|(n, c, v)| (n, c.to_string(), v))
+        .collect();
+    let cb: Vec<(&str, String, u64)> = ton
+        .metrics
+        .counters()
+        .map(|(n, c, v)| (n, c.to_string(), v))
+        .collect();
+    assert_eq!(ca, cb);
+    assert_eq!(toff.trace_jsonl, ton.trace_jsonl);
+}
+
+#[test]
+fn lineage_identity_holds_under_the_parallel_runner() {
+    // Lineage off run sequentially vs lineage on across 4 worker
+    // threads: figures, per-run reports, counters and traces must all
+    // be byte-identical, and every dump must still validate.
+    use turbulence::runner;
+    let mk = |lineage: bool| {
+        let sets = corpus::table1();
+        let mut configs = vec![
+            PairRunConfig::new(901, 2, sets[1].pair(RateClass::Low).unwrap().clone()),
+            PairRunConfig::new(902, 2, sets[1].pair(RateClass::High).unwrap().clone()),
+            PairRunConfig::new(903, 2, sets[1].pair(RateClass::Low).unwrap().clone()),
+            PairRunConfig::new(904, 2, sets[1].pair(RateClass::High).unwrap().clone()),
+        ];
+        for config in &mut configs {
+            config.telemetry = true;
+            config.lineage = lineage;
+        }
+        configs
+    };
+    let seq_off = runner::run_configs(&mk(false));
+    let par_on = runner::run_configs_parallel(&mk(true), 4);
+
+    assert_eq!(seq_off.runs.len(), par_on.runs.len());
+    assert_eq!(figures::digest(&seq_off), figures::digest(&par_on));
+    for (off, on) in seq_off.runs.iter().zip(&par_on.runs) {
+        let toff = off.telemetry.as_ref().unwrap();
+        let ton = on.telemetry.as_ref().unwrap();
+        let mut ra = toff.report.clone();
+        let mut rb = ton.report.clone();
+        ra.wall_ns = 0;
+        rb.wall_ns = 0;
+        assert_eq!(ra, rb);
+        let ca: Vec<(&str, String, u64)> = toff
+            .metrics
+            .counters()
+            .map(|(n, c, v)| (n, c.to_string(), v))
+            .collect();
+        let cb: Vec<(&str, String, u64)> = ton
+            .metrics
+            .counters()
+            .map(|(n, c, v)| (n, c.to_string(), v))
+            .collect();
+        assert_eq!(ca, cb);
+        assert_eq!(toff.trace_jsonl, ton.trace_jsonl);
+        assert!(toff.lineage.is_none());
+        ton.lineage
+            .as_ref()
+            .expect("lineage dump present")
+            .validate()
+            .unwrap();
+    }
+}
+
 /// Sends `count` payloads of `size` bytes, `gap` apart, then one small
 /// flush datagram `flush_after` later (its arrival forces the
 /// receiver's reassembler to expire stale partial groups).
