@@ -399,6 +399,32 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     let schedulers_identical = digest == figures::digest(&alternate);
     let figures_ns = timer.elapsed_ns();
 
+    // Watch phase: one pair run with the windowed time-series recorder
+    // on, so recorder growth (series, retained windows, memory) shows
+    // up in the perf trajectory alongside run time.
+    let timer = ScopeTimer::start("bench_watch", "bench");
+    let watch_config = configs[0].clone().with_timeseries(0);
+    let watch_run = turbulence::run_pair(&watch_config);
+    let watch_telemetry = watch_run
+        .telemetry
+        .as_ref()
+        .expect("bench watch run requested telemetry");
+    // The registry's text render depends on keys staying sorted as
+    // they are inserted rather than re-sorting per call; assert the
+    // invariant where the perf gate will notice a regression.
+    assert!(
+        watch_telemetry.metrics.keys_are_sorted(),
+        "metrics registry keys lost their sorted order"
+    );
+    let watch_series = watch_telemetry
+        .series
+        .as_ref()
+        .expect("bench watch run requested time-series");
+    let watch_series_count = watch_series.series.len();
+    let watch_windows = watch_series.window_count();
+    let watch_memory_bytes = watch_series.memory_bytes();
+    let watch_ns = timer.elapsed_ns();
+
     let speedup = sequential_ns as f64 / parallel_ns.max(1) as f64;
     let scheduler_speedup = alternate_ns as f64 / sequential_ns.max(1) as f64;
     // Present only when a previous file existed to compare against.
@@ -414,7 +440,7 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     // fixed scheduler names, nothing needs escaping, and the workspace
     // deliberately carries no serde.
     let json = format!(
-        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"scheduler\": \"{}\",\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"schedulers_identical\": {schedulers_identical},\n  \"speedup\": {speedup:.3},\n  \"scheduler_speedup\": {scheduler_speedup:.3},{baseline_fields}\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"alternate\": {alternate_ns},\n    \"figures\": {figures_ns}\n  }}\n}}\n",
+        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"scheduler\": \"{}\",\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"schedulers_identical\": {schedulers_identical},\n  \"speedup\": {speedup:.3},\n  \"scheduler_speedup\": {scheduler_speedup:.3},{baseline_fields}\n  \"watch\": {{\n    \"series\": {watch_series_count},\n    \"windows\": {watch_windows},\n    \"memory_bytes\": {watch_memory_bytes}\n  }},\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"alternate\": {alternate_ns},\n    \"figures\": {figures_ns},\n    \"watch\": {watch_ns}\n  }}\n}}\n",
         scheduler.name(),
         configs.len(),
     );
@@ -430,7 +456,7 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let point = format!(
-        "{{\"unix_secs\": {stamp}, \"seed\": {seed}, \"threads\": {threads}, \"quick\": {quick}, \"scheduler\": \"{}\", \"pair_runs\": {}, \"sequential_ns\": {sequential_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}, \"identical\": {identical}}}\n",
+        "{{\"unix_secs\": {stamp}, \"seed\": {seed}, \"threads\": {threads}, \"quick\": {quick}, \"scheduler\": \"{}\", \"pair_runs\": {}, \"sequential_ns\": {sequential_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}, \"identical\": {identical}, \"watch_windows\": {watch_windows}, \"watch_memory_bytes\": {watch_memory_bytes}}}\n",
         scheduler.name(),
         configs.len(),
     );
@@ -464,6 +490,11 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
             base_ns as f64 / sequential_ns.max(1) as f64,
         );
     }
+    println!(
+        "bench: watch {watch_series_count} series / {watch_windows} windows (~{} KiB) in {:.2}s",
+        watch_memory_bytes / 1024,
+        watch_ns as f64 / 1e9,
+    );
     println!("bench: wrote {out} (+ trajectory point in {trajectory})");
     if let (true, Some((base_seq, base_runs))) = (gate, gate_baseline) {
         let current = sequential_ns as f64 / configs.len().max(1) as f64;
@@ -956,4 +987,215 @@ pub fn timeline(flags: &Flags) -> Result<(), String> {
             mismatches.join("\n  ")
         ))
     }
+}
+
+/// Render `values` as a sparkline at most `width` cells wide. Longer
+/// series are downsampled by chunking, keeping each chunk's maximum so
+/// short spikes stay visible at any zoom level.
+fn sparkline(values: &[u64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let cells = width.min(values.len()).max(1);
+    let mut chunks = Vec::with_capacity(cells);
+    for i in 0..cells {
+        let lo = i * values.len() / cells;
+        let hi = (((i + 1) * values.len()) / cells).max(lo + 1);
+        chunks.push(values[lo..hi].iter().copied().max().unwrap_or(0));
+    }
+    let max = chunks.iter().copied().max().unwrap_or(0);
+    chunks
+        .iter()
+        .map(|&v| {
+            if v == 0 || max == 0 {
+                BARS[0]
+            } else {
+                // Ceiling-scale 1..=max onto 1..=8 so any non-zero
+                // window is visibly above the baseline.
+                let idx = ((v as u128 * 8).div_ceil(max as u128) as usize).min(8);
+                BARS[idx - 1]
+            }
+        })
+        .collect()
+}
+
+/// `turbulence watch`: per-window time-series view of a pair run or
+/// the corpus — bandwidth in and out, loss by cause, queue depth,
+/// playback buffer occupancy, and reassembly backlog as sparkline
+/// curves over simulated time, with deterministic JSONL/CSV exports.
+/// Windowed loss totals are cross-checked 1:1 against the always-on
+/// drop counters before anything is printed.
+pub fn watch(flags: &Flags) -> Result<(), String> {
+    use turb_obs::lineage::DropCause;
+    use turb_obs::timeseries::SeriesKind;
+
+    let seed = seed_of(flags)?;
+    let scheduler = scheduler_of(flags)?;
+    let threads = threads_of(flags)?;
+    let corpus_mode = flags.contains_key("corpus");
+    let loss = loss_of(flags)?;
+    let window_ns: u64 = match flags.get("window") {
+        None => 0, // recorder default: 1 simulated second
+        Some(raw) => {
+            let secs: f64 = raw.parse().map_err(|_| format!("bad --window {raw:?}"))?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(format!(
+                    "--window {raw} must be a positive number of seconds"
+                ));
+            }
+            (secs * 1e9) as u64
+        }
+    };
+    // A bare `--metrics` parses as "true" (the flag doubles as the
+    // `obs` exposition switch); treat it as "no filter".
+    let metric_filter: Vec<String> = flags
+        .get("metrics")
+        .filter(|list| list.as_str() != "true")
+        .map(|list| {
+            list.split(',')
+                .map(|m| m.trim().to_string())
+                .filter(|m| !m.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let mut configs = if corpus_mode {
+        match flags.get("sets") {
+            None => runner::corpus_configs(seed),
+            Some(list) => {
+                let sets: Vec<u8> = list
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad set {s:?}")))
+                    .collect::<Result<_, _>>()?;
+                runner::corpus_configs_for_sets(seed, &sets)
+            }
+        }
+    } else {
+        let (set, pair) = pair_of(flags)?;
+        vec![PairRunConfig::new(seed, set, pair)]
+    };
+    for config in &mut configs {
+        config.telemetry = true;
+        config.timeseries = true;
+        config.ts_window_ns = window_ns;
+        config.scheduler = scheduler;
+        if let Some(loss) = loss {
+            config.access_loss = loss;
+        }
+    }
+    let result = runner::run_configs_parallel(&configs, threads);
+    let metrics = result.aggregate_metrics();
+    let mut dump = result
+        .aggregate_series()
+        .ok_or("no time-series were recorded")?;
+
+    // Reconcile before any filtering: per-cause windowed loss totals
+    // (which survive ring eviction) must match the always-on drop
+    // counters exactly, and likewise for the bandwidth counters. A
+    // mismatch means an event path bypassed its windowed hook.
+    let mut mismatches: Vec<String> = Vec::new();
+    for cause in DropCause::ALL {
+        let windowed = dump.total_of(cause.counter());
+        let counted = metrics.counter_total(cause.counter());
+        if windowed != counted {
+            mismatches.push(format!(
+                "{}: windowed total {windowed} vs always-on counter {counted}",
+                cause.counter(),
+            ));
+        }
+    }
+    for metric in ["link_tx_bytes_total", "node_rx_bytes_total"] {
+        let windowed = dump.total_of(metric);
+        let counted = metrics.counter_total(metric);
+        if windowed != counted {
+            mismatches.push(format!(
+                "{metric}: windowed total {windowed} vs always-on counter {counted}"
+            ));
+        }
+    }
+    if !mismatches.is_empty() {
+        return Err(format!(
+            "windowed series failed to reconcile with always-on counters:\n  {}",
+            mismatches.join("\n  ")
+        ));
+    }
+
+    // `--metrics` narrows the view (substring match on metric names);
+    // exports below carry the same narrowed view.
+    if !metric_filter.is_empty() {
+        dump.series
+            .retain(|s| metric_filter.iter().any(|f| s.metric.contains(f)));
+        if dump.series.is_empty() {
+            return Err(format!(
+                "--metrics {:?} matched no recorded series",
+                metric_filter.join(",")
+            ));
+        }
+    }
+
+    // Exports carry the (possibly narrowed) view and happen before any
+    // table rendering, so piping the report through `head` can never
+    // truncate the files.
+    if let Some(path) = flags.get("jsonl") {
+        std::fs::write(path, dump.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+        println!(
+            "watch: wrote {} series to {path} (JSONL)",
+            dump.series.len()
+        );
+    }
+    if let Some(path) = flags.get("csv") {
+        std::fs::write(path, dump.to_csv()).map_err(|e| format!("write {path}: {e}"))?;
+        println!(
+            "watch: wrote {} windows to {path} (CSV)",
+            dump.window_count()
+        );
+    }
+
+    let window_secs = dump.window_ns as f64 / 1e9;
+    println!(
+        "watch: {} pair run{} (seed {seed}, {} worker thread{}) | {window_secs}s windows | {} series, {} retained windows (~{} KiB)",
+        result.runs.len(),
+        if result.runs.len() == 1 { "" } else { "s" },
+        result.threads,
+        if result.threads == 1 { "" } else { "s" },
+        dump.series.len(),
+        dump.window_count(),
+        dump.memory_bytes() / 1024,
+    );
+    println!("cross-check: every windowed loss and bandwidth total reconciles with its counter\n");
+
+    let rows: Vec<Vec<String>> = dump
+        .series
+        .iter()
+        .map(|s| {
+            let peak = s.values.iter().copied().max().unwrap_or(0);
+            let total = match s.kind {
+                SeriesKind::Counter => s.total.to_string(),
+                SeriesKind::Gauge => format!("max {}", s.total),
+            };
+            let evicted = if s.evicted > 0 {
+                format!(" (+{} evicted)", s.evicted)
+            } else {
+                String::new()
+            };
+            vec![
+                s.metric.clone(),
+                s.component.clone(),
+                total,
+                format!("{peak}{evicted}"),
+                sparkline(&s.values, 48),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &format!("Per-window series ({window_secs}s windows, newest right)"),
+            &["metric", "component", "total", "peak/win", "curve"],
+            &rows
+        )
+    );
+
+    Ok(())
 }

@@ -24,6 +24,11 @@
 //!                       [--seed N] [--loss P] [--top K] per-packet lifecycle analysis:
 //!                       [--perfetto FILE]             slowest packets, stage CDFs,
 //!                       [--scheduler S]               drop post-mortem, trace export
+//! turbulence watch      --set N [--class C] | --corpus
+//!                       [--seed N] [--loss P]         per-window tables + sparklines:
+//!                       [--window SECS] [--metrics M,M] bandwidth, loss by cause,
+//!                       [--jsonl FILE] [--csv FILE]   queue depth, buffer occupancy,
+//!                       [--threads N] [--sets 1,2]    reassembly backlog
 //! ```
 
 use std::collections::HashMap;
@@ -51,6 +56,8 @@ COMMANDS:
     check       run the seeded wire-layer fuzz/differential campaign
     timeline    trace per-packet lifecycles: slowest packets, stage CDFs,
                 drop post-mortem, Perfetto export
+    watch       per-window time-series view of a pair run or the corpus:
+                bandwidth, loss by cause, queue depth, buffer occupancy
     help        print this text
 
 OPTIONS (per command):
@@ -83,6 +90,12 @@ OPTIONS (per command):
     --top N             timeline: slowest-packet table size (default 10)
     --perfetto FILE     timeline: write the Chrome-trace JSON export
                         (single-run mode only)
+    --window SECS       watch: window width in simulated seconds
+                        (default 1; fractions allowed)
+    --metrics M,M       watch: restrict the view to these metric names
+                        (substring match; default: all recorded series)
+    --jsonl FILE        watch: export the raw series as JSON Lines
+    --csv FILE          watch: export the long-format per-window CSV
     --iterations N      check: cases per property (default 1000)
     --props a,b         check: restrict to these properties
     --replay FILE       check: re-run one stored .case file instead
@@ -92,7 +105,12 @@ OPTIONS (per command):
 }
 
 /// Flags that stand alone (no value); parsed as `flag=true`.
-const BOOLEAN_FLAGS: &[&str] = &["telemetry", "metrics", "quick", "corpus", "gate"];
+const BOOLEAN_FLAGS: &[&str] = &["telemetry", "quick", "corpus", "gate"];
+
+/// Flags that take a value when one follows but also stand alone:
+/// `obs --metrics` prints the full exposition, while
+/// `watch --metrics tx,loss` narrows the view to matching series.
+const OPTIONAL_VALUE_FLAGS: &[&str] = &["metrics"];
 
 /// Minimal flag parser: `--key value` pairs after the subcommand, plus
 /// the bare boolean flags in [`BOOLEAN_FLAGS`].
@@ -106,6 +124,19 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         if BOOLEAN_FLAGS.contains(&key) {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
+            continue;
+        }
+        if OPTIONAL_VALUE_FLAGS.contains(&key) {
+            match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                Some(value) => {
+                    flags.insert(key.to_string(), value.clone());
+                    i += 2;
+                }
+                None => {
+                    flags.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                }
+            }
             continue;
         }
         let value = args
@@ -188,6 +219,7 @@ fn run() -> Result<(), String> {
         "ping" => commands::ping(&flags),
         "check" => commands::check(&flags),
         "timeline" => commands::timeline(&flags),
+        "watch" => commands::watch(&flags),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())
@@ -302,7 +334,7 @@ mod tests {
     fn usage_names_every_command() {
         for command in [
             "corpus", "pair", "obs", "figures", "bench", "flowgen", "friendly", "ping", "check",
-            "timeline",
+            "timeline", "watch",
         ] {
             assert!(usage().contains(command), "{command} missing from usage");
         }
@@ -326,5 +358,25 @@ mod tests {
         assert_eq!(parsed.get("telemetry").map(String::as_str), Some("true"));
         assert_eq!(parsed.get("metrics").map(String::as_str), Some("true"));
         assert_eq!(parsed.get("seed").map(String::as_str), Some("7"));
+    }
+
+    #[test]
+    fn metrics_flag_takes_an_optional_value() {
+        // `watch --metrics tx,loss` consumes the list as a value...
+        let args: Vec<String> = ["--metrics", "tx,loss", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let parsed = parse_flags(&args).unwrap();
+        assert_eq!(parsed.get("metrics").map(String::as_str), Some("tx,loss"));
+        assert_eq!(parsed.get("seed").map(String::as_str), Some("7"));
+        // ...while `obs --metrics --trace t.jsonl` stays a bare switch.
+        let args: Vec<String> = ["--metrics", "--trace", "t.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let parsed = parse_flags(&args).unwrap();
+        assert_eq!(parsed.get("metrics").map(String::as_str), Some("true"));
+        assert_eq!(parsed.get("trace").map(String::as_str), Some("t.jsonl"));
     }
 }

@@ -53,6 +53,14 @@ pub struct PairRunConfig {
     /// simulation without perturbing it, so results are bit-identical
     /// either way; the dump lands in [`RunTelemetry::lineage`].
     pub lineage: bool,
+    /// Record windowed time-series (per-window bandwidth, loss by
+    /// cause, queue depth, buffer occupancy). Same non-perturbation
+    /// discipline as `lineage`; the dump lands in
+    /// [`RunTelemetry::series`].
+    pub timeseries: bool,
+    /// Window width for time-series recording, nanoseconds; 0 selects
+    /// the 1 s default.
+    pub ts_window_ns: u64,
 }
 
 impl PairRunConfig {
@@ -67,6 +75,8 @@ impl PairRunConfig {
             telemetry: false,
             scheduler: SchedulerKind::default(),
             lineage: false,
+            timeseries: false,
+            ts_window_ns: 0,
         }
     }
 
@@ -87,6 +97,16 @@ impl PairRunConfig {
     /// Same config with an explicit event-queue engine.
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> PairRunConfig {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Same config with windowed time-series recording switched on
+    /// (implies telemetry, which carries the dump). `window_ns` = 0
+    /// selects the 1 s default window.
+    pub fn with_timeseries(mut self, window_ns: u64) -> PairRunConfig {
+        self.timeseries = true;
+        self.ts_window_ns = window_ns;
+        self.telemetry = true;
         self
     }
 }
@@ -158,6 +178,9 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
     }
     if config.lineage {
         sim.enable_lineage();
+    }
+    if config.timeseries {
+        sim.enable_timeseries(config.ts_window_ns);
     }
     let mut rng = SimRng::new(config.seed ^ 0x7075_6c73_6172);
 
@@ -260,6 +283,7 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
     });
     if let Some(t) = telemetry.as_mut() {
         t.lineage = sim.take_lineage();
+        t.series = sim.take_timeseries();
     }
     let result = PairRunResult {
         set_id: config.set_id,

@@ -48,11 +48,36 @@ impl CorpusResult {
 
     /// Merge every per-run metrics registry into one. Empty when no
     /// run collected telemetry.
+    ///
+    /// Iterating `runs` (always in canonical Table-1 order, however
+    /// many workers executed them) and resolving symbols by name during
+    /// the merge is what makes the aggregate independent of worker
+    /// scheduling: each per-run registry interned its labels in its own
+    /// order, but the merged registry sees them in run order.
     pub fn aggregate_metrics(&self) -> turb_obs::MetricsRegistry {
         let mut out = turb_obs::MetricsRegistry::new();
         for run in &self.runs {
             if let Some(t) = &run.telemetry {
                 out.merge(&t.metrics);
+            }
+        }
+        out
+    }
+
+    /// Merge every per-run time-series dump into one corpus-wide dump,
+    /// aligning series on absolute window indices (counters add,
+    /// gauges take the max). `None` when no run recorded time-series.
+    /// Merging in canonical run order keeps the aggregate byte-stable
+    /// across worker counts, like [`CorpusResult::aggregate_metrics`].
+    pub fn aggregate_series(&self) -> Option<turb_obs::SeriesDump> {
+        let mut out: Option<turb_obs::SeriesDump> = None;
+        for run in &self.runs {
+            let Some(series) = run.telemetry.as_ref().and_then(|t| t.series.as_ref()) else {
+                continue;
+            };
+            match out.as_mut() {
+                Some(acc) => acc.merge(series),
+                None => out = Some(series.clone()),
             }
         }
         out

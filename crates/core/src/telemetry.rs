@@ -7,7 +7,7 @@
 
 use turb_capture::Capture;
 use turb_netsim::{LineageDump, SchedStats, SchedulerKind, Simulation};
-use turb_obs::{FragReport, LinkReport, MetricsRegistry, RunReport};
+use turb_obs::{FragReport, LinkReport, MetricsRegistry, RunReport, SeriesDump};
 use turb_players::telemetry::player_report;
 use turb_players::AppStatsLog;
 
@@ -34,6 +34,10 @@ pub struct RunTelemetry {
     /// tests assert `report`/`metrics`/`trace_jsonl` are unchanged by
     /// turning lineage on, not that the dump itself exists.
     pub lineage: Option<LineageDump>,
+    /// Windowed time-series over the run, when it was recorded
+    /// ([`crate::PairRunConfig::with_timeseries`]). Outside the
+    /// byte-identity set for the same reason as `lineage`.
+    pub series: Option<SeriesDump>,
 }
 
 /// Harvest a finished simulation into a [`RunTelemetry`].
@@ -117,21 +121,17 @@ pub fn harvest(
     capture.collect_metrics("client", &mut metrics);
     turb_players::telemetry::collect_metrics("player:real", real, &mut metrics);
     turb_players::telemetry::collect_metrics("player:wmp", wmp, &mut metrics);
-    metrics.histogram_observe(
-        "pair_run_wall_ns",
-        label,
-        turb_obs::SCOPE_NS_BUCKETS,
-        wall_ns as f64,
-    );
+    metrics.log_observe("pair_run_wall_ns", label, wall_ns);
 
     RunTelemetry {
         report,
         metrics,
-        trace_jsonl: core.obs.trace.to_jsonl(),
+        trace_jsonl: core.obs.trace_jsonl(),
         scheduler: sim.scheduler(),
         sched: sim.sched_stats(),
-        // Filled in by `run_pair` after harvesting (detaching the dump
+        // Filled in by `run_pair` after harvesting (detaching the dumps
         // needs `&mut Simulation`; everything here reads shared refs).
         lineage: None,
+        series: None,
     }
 }

@@ -4,6 +4,7 @@
 use crate::fault::FaultInjector;
 use crate::red::RedQueue;
 use crate::time::{SimDuration, SimTime};
+use turb_obs::SymbolId;
 
 /// Identifier of a link within a [`crate::sim::Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -104,6 +105,11 @@ pub struct Link {
     /// `"link:<id>"`, precomputed once so hot-path tracing and metric
     /// harvesting never rebuild it per event.
     pub trace_component: String,
+    /// [`trace_component`](Link::trace_component) interned in the
+    /// run's shared symbol table. Assigned by
+    /// [`crate::sim::Simulation::add_link`]; hot-path observers record
+    /// this handle instead of cloning the string.
+    pub comp: SymbolId,
 }
 
 /// Outcome of offering a packet to a link.
@@ -136,6 +142,7 @@ impl Link {
             next_free: SimTime::ZERO,
             stats: LinkStats::default(),
             trace_component: format!("link:{}", id.0),
+            comp: SymbolId(0),
         }
     }
 

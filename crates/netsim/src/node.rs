@@ -4,6 +4,7 @@
 use crate::link::{LinkId, NodeId};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use turb_obs::SymbolId;
 use turb_wire::ethernet::MacAddr;
 use turb_wire::frag::Reassembler;
 
@@ -80,6 +81,12 @@ pub struct Node {
     /// `"node:<name>"`, precomputed once so hot-path tracing and
     /// metric harvesting never rebuild it per event.
     pub trace_component: String,
+    /// [`trace_component`](Node::trace_component) interned in the
+    /// run's shared symbol table. Assigned by
+    /// [`crate::sim::Simulation::add_host`]/`add_router`; hot-path
+    /// observers (lineage, time-series, traces) record this handle
+    /// instead of cloning the string.
+    pub comp: SymbolId,
 }
 
 impl Node {
@@ -104,6 +111,7 @@ impl Node {
             reassembler: Reassembler::new(REASSEMBLY_TIMEOUT_NS),
             stats: NodeStats::default(),
             trace_component,
+            comp: SymbolId(0),
         }
     }
 

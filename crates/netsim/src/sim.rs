@@ -21,7 +21,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
 use turb_obs::lineage::{DropCause, LineageDump, LineageRecorder, PacketizeMeta, Stage};
-use turb_obs::{MetricsRegistry, Obs, Severity};
+use turb_obs::timeseries::TimeSeriesRecorder;
+use turb_obs::{MetricsRegistry, Obs, SeriesDump, Severity, SymbolId};
 use turb_wire::icmp::IcmpMessage;
 use turb_wire::ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
 use turb_wire::tcp::TcpSegment;
@@ -271,17 +272,48 @@ pub struct SimCore {
     pub obs: Obs,
     /// Packet-lineage recorder; `None` unless lineage tracing is on.
     lineage: Option<Box<LineageState>>,
+    /// Windowed time-series recorder; `None` unless
+    /// [`Simulation::enable_timeseries`] was called. Hooks behind the
+    /// `Option` follow the same discipline as lineage: no randomness,
+    /// no scheduled events, no control-flow changes.
+    timeseries: Option<Box<TimeSeriesRecorder>>,
 }
 
 impl SimCore {
     /// Record a lineage stage for `span` at an explicit time, labelled
     /// with `node`'s component. No-op unless lineage tracing is on.
     fn lineage_record_at(&mut self, node: NodeId, span: u64, time_ns: u64, stage: Stage, aux: u32) {
+        let comp = self.nodes[node.0].comp;
         let Some(lin) = self.lineage.as_deref_mut() else {
             return;
         };
-        let comp = lin.rec.comp(&self.nodes[node.0].trace_component);
         lin.rec.record(span, time_ns, comp, stage, aux);
+    }
+
+    /// Add to a windowed counter series at the current sim time. No-op
+    /// unless time-series recording is on.
+    fn ts_counter(&mut self, name: &'static str, comp: SymbolId, delta: u64) {
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            ts.counter_add(self.now.as_nanos(), name, comp, delta);
+        }
+    }
+
+    /// Raise a windowed high-water gauge at the current sim time.
+    /// No-op unless time-series recording is on.
+    fn ts_gauge(&mut self, name: &'static str, comp: SymbolId, value: u64) {
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            ts.gauge_max(self.now.as_nanos(), name, comp, value);
+        }
+    }
+
+    /// Windowed counter for a drop, named by the cause's always-on
+    /// counter so per-window losses reconcile 1:1 against
+    /// [`SimCore::collect_metrics`]. Call sites sit next to the
+    /// always-on `stats` increments, NOT the lineage hooks: lineage
+    /// only sees packets that carry a span, while these series (like
+    /// the counters they mirror) see every drop.
+    fn ts_drop(&mut self, cause: DropCause, comp: SymbolId) {
+        self.ts_counter(cause.counter(), comp, 1);
     }
 
     /// Record a lineage stage at the current sim time against a node.
@@ -296,13 +328,13 @@ impl SimCore {
 
     /// Record a lineage stage at the current sim time against a link.
     fn lineage_link_event(&mut self, link: LinkId, span: Option<u64>, stage: Stage, aux: u32) {
+        let comp = self.links[link.0].comp;
         let Some(lin) = self.lineage.as_deref_mut() else {
             return;
         };
         let Some(span) = span else {
             return;
         };
-        let comp = lin.rec.comp(&self.links[link.0].trace_component);
         lin.rec.record(span, self.now.as_nanos(), comp, stage, aux);
     }
 
@@ -411,6 +443,7 @@ impl SimCore {
             let component = node.trace_component.as_str();
             let s = node.stats;
             registry.counter_add("node_rx_packets_total", component, s.rx_packets);
+            registry.counter_add("node_rx_bytes_total", component, s.rx_bytes);
             registry.counter_add("node_tx_packets_total", component, s.tx_packets);
             registry.counter_add("node_ttl_expired_total", component, s.ttl_expired);
             registry.counter_add("node_no_route_total", component, s.no_route);
@@ -482,6 +515,7 @@ impl SimCore {
             }
         }
         if observed {
+            self.ts_counter("capture_sniffed_total", self.nodes[node.0].comp, 1);
             self.lineage_node_event(
                 node,
                 packet.lineage,
@@ -501,7 +535,7 @@ impl SimCore {
         // Forwarded packets already carry their span and keep it.
         if let Some(lin) = self.lineage.as_deref_mut() {
             if packet.lineage.is_none() {
-                let comp = lin.rec.comp(&self.nodes[node.0].trace_component);
+                let comp = self.nodes[node.0].comp;
                 let meta = lin.pending_meta.take();
                 let span = lin.rec.begin_span(
                     self.now.as_nanos(),
@@ -514,6 +548,7 @@ impl SimCore {
         }
         let Some(link_id) = self.nodes[node.0].route(packet.dst) else {
             self.nodes[node.0].stats.no_route += 1;
+            self.ts_drop(DropCause::NoRoute, self.nodes[node.0].comp);
             self.lineage_node_event(
                 node,
                 packet.lineage,
@@ -539,6 +574,7 @@ impl SimCore {
             Err(_) => {
                 // DF set and too big (or unusable MTU): unroutable.
                 self.nodes[node.0].stats.no_route += 1;
+                self.ts_drop(DropCause::NoRoute, self.nodes[node.0].comp);
                 self.lineage_node_event(node, span, Stage::Dropped(DropCause::NoRoute), 0);
                 return;
             }
@@ -564,6 +600,18 @@ impl SimCore {
         let offset = u32::from(packet.fragment_offset);
         self.lineage_link_event(link_id, packet.lineage, Stage::LinkTx, offset);
         let outcome = self.links[link_id.0].transmit(self.now, bytes, &mut self.rng);
+        let link_comp = self.links[link_id.0].comp;
+        if self.timeseries.is_some() {
+            // Faulted packets consumed transmit bandwidth before being
+            // lost, so they count toward tx bytes exactly as the
+            // always-on `LinkStats` do; the windowed series must agree
+            // with those counters to reconcile.
+            if !matches!(outcome, TxOutcome::QueueFull | TxOutcome::Red) {
+                self.ts_counter("link_tx_bytes_total", link_comp, bytes as u64);
+            }
+            let backlog = self.links[link_id.0].backlog_bytes(self.now) as u64;
+            self.ts_gauge("link_queue_depth_bytes", link_comp, backlog);
+        }
         match outcome {
             TxOutcome::Deliver { arrival } => {
                 self.schedule(
@@ -580,16 +628,14 @@ impl SimCore {
                     TxOutcome::Red => DropCause::RedEarly,
                     _ => DropCause::QueueFull,
                 };
+                self.ts_drop(cause, link_comp);
                 self.lineage_link_event(link_id, packet.lineage, Stage::Dropped(cause), offset);
                 if self.obs.enabled {
                     let now_ns = self.now.as_nanos();
-                    self.obs.trace_with(
-                        now_ns,
-                        Severity::Warn,
-                        "link",
-                        &self.links[link_id.0].trace_component,
-                        || format!("dropped {bytes}-byte packet: {}", cause.label()),
-                    );
+                    self.obs
+                        .trace_with_sym(now_ns, Severity::Warn, "link", link_comp, || {
+                            format!("dropped {bytes}-byte packet: {}", cause.label())
+                        });
                 }
             }
         }
@@ -641,6 +687,11 @@ impl SimCore {
             node.stats.rx_packets += 1;
             node.stats.rx_bytes += packet.total_len() as u64;
         }
+        self.ts_counter(
+            "node_rx_bytes_total",
+            self.nodes[node_id.0].comp,
+            packet.total_len() as u64,
+        );
         self.lineage_node_event(
             node_id,
             packet.lineage,
@@ -656,6 +707,7 @@ impl SimCore {
             } else {
                 // Hosts silently drop transit traffic.
                 self.nodes[node_id.0].stats.no_route += 1;
+                self.ts_drop(DropCause::NoRoute, self.nodes[node_id.0].comp);
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -671,12 +723,13 @@ impl SimCore {
         let span = packet.lineage;
         let offset = u32::from(packet.fragment_offset);
         let was_fragment = packet.is_fragment();
-        let (whole, expired, new_duplicates, new_invalid) = {
+        let node_comp = self.nodes[node_id.0].comp;
+        let (whole, expired, new_duplicates, new_invalid, backlog) = {
             let lineage = self.lineage.as_deref_mut();
             let node = &mut self.nodes[node_id.0];
             let expired = match lineage {
                 Some(lin) => {
-                    let comp = lin.rec.comp(&node.trace_component);
+                    let comp = node.comp;
                     node.reassembler.expire_with(now_ns, |template| {
                         if let Some(span) = template.lineage {
                             lin.rec.record(
@@ -699,16 +752,30 @@ impl SimCore {
                 expired,
                 after.duplicates - before.duplicates,
                 after.invalid - before.invalid,
+                node.reassembler.pending() as u64,
             )
         };
+        if self.timeseries.is_some() {
+            if expired > 0 {
+                self.ts_counter(DropCause::ReasmTimeout.counter(), node_comp, expired as u64);
+            }
+            if new_duplicates > 0 {
+                self.ts_counter(
+                    DropCause::ReasmDuplicate.counter(),
+                    node_comp,
+                    new_duplicates,
+                );
+            }
+            if new_invalid > 0 {
+                self.ts_counter(DropCause::ReasmInvalid.counter(), node_comp, new_invalid);
+            }
+            self.ts_gauge("reassembly_backlog_groups", node_comp, backlog);
+        }
         if expired > 0 && self.obs.enabled {
-            self.obs.trace_with(
-                now_ns,
-                Severity::Warn,
-                "reassembly",
-                &self.nodes[node_id.0].trace_component,
-                || format!("discarded {expired} incomplete fragment group(s) on timeout"),
-            );
+            self.obs
+                .trace_with_sym(now_ns, Severity::Warn, "reassembly", node_comp, || {
+                    format!("discarded {expired} incomplete fragment group(s) on timeout")
+                });
         }
         if new_invalid > 0 {
             self.lineage_node_event(
@@ -751,6 +818,7 @@ impl SimCore {
     fn forward(&mut self, node_id: NodeId, mut packet: Ipv4Packet) {
         if packet.ttl <= 1 {
             self.nodes[node_id.0].stats.ttl_expired += 1;
+            self.ts_drop(DropCause::TtlExpired, self.nodes[node_id.0].comp);
             self.lineage_node_event(
                 node_id,
                 packet.lineage,
@@ -781,6 +849,7 @@ impl SimCore {
             Ok(m) => m,
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
+                self.ts_drop(DropCause::DecodeError, self.nodes[node_id.0].comp);
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -827,6 +896,7 @@ impl SimCore {
             Ok(d) => d,
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
+                self.ts_drop(DropCause::DecodeError, self.nodes[node_id.0].comp);
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -854,6 +924,7 @@ impl SimCore {
             }
             None => {
                 self.nodes[node_id.0].stats.udp_unreachable += 1;
+                self.ts_drop(DropCause::UdpUnreachable, self.nodes[node_id.0].comp);
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -876,6 +947,7 @@ impl SimCore {
             Ok(s) => s,
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
+                self.ts_drop(DropCause::DecodeError, self.nodes[node_id.0].comp);
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -908,6 +980,7 @@ impl SimCore {
                 // A real stack would answer RST; nothing in the
                 // workspace needs that, so just count it.
                 self.nodes[node_id.0].stats.tcp_unreachable += 1;
+                self.ts_drop(DropCause::TcpUnreachable, self.nodes[node_id.0].comp);
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -1025,6 +1098,30 @@ impl<'a> Ctx<'a> {
         self.core.lineage.is_some()
     }
 
+    /// Whether windowed time-series recording is on.
+    pub fn timeseries_enabled(&self) -> bool {
+        self.core.timeseries.is_some()
+    }
+
+    /// Add to a windowed counter series labelled with `component`,
+    /// at the current sim time. The label is interned whether or not
+    /// recording is on — the symbol table must not depend on which
+    /// observers are enabled, or otherwise-identical runs would
+    /// resolve different ids. No-op (beyond interning) when
+    /// time-series recording is off.
+    pub fn ts_counter(&mut self, name: &'static str, component: &str, delta: u64) {
+        let comp = self.core.obs.intern(component);
+        self.core.ts_counter(name, comp, delta);
+    }
+
+    /// Raise a windowed high-water gauge labelled with `component` at
+    /// the current sim time; interning behaves as in
+    /// [`Ctx::ts_counter`].
+    pub fn ts_gauge(&mut self, name: &'static str, component: &str, value: u64) {
+        let comp = self.core.obs.intern(component);
+        self.core.ts_gauge(name, comp, value);
+    }
+
     /// Describe the media frame behind the next `send_*` call. The
     /// span born for that datagram records this metadata; it is
     /// consumed by the first send and ignored entirely when lineage
@@ -1095,6 +1192,7 @@ impl Simulation {
                 stats: SimStats::default(),
                 obs: Obs::disabled(),
                 lineage: None,
+                timeseries: None,
             },
             apps: Vec::new(),
             deliveries: Vec::new(),
@@ -1130,7 +1228,31 @@ impl Simulation {
     /// Detach the lineage recording, leaving tracing off. `None` when
     /// [`Simulation::enable_lineage`] was never called.
     pub fn take_lineage(&mut self) -> Option<LineageDump> {
-        self.core.lineage.take().map(|l| l.rec.finish())
+        let lin = self.core.lineage.take()?;
+        Some(lin.rec.finish(self.core.obs.interner()))
+    }
+
+    /// Turn on windowed time-series recording with `window_ns`-wide
+    /// windows (0 selects the 1 s default). Like lineage, the recorder
+    /// never draws randomness, never schedules events, and never
+    /// changes control flow, so a recorded run is byte-identical to an
+    /// unrecorded one. Idempotent; the first window width wins.
+    pub fn enable_timeseries(&mut self, window_ns: u64) {
+        if self.core.timeseries.is_none() {
+            self.core.timeseries = Some(Box::new(TimeSeriesRecorder::new(window_ns)));
+        }
+    }
+
+    /// Whether windowed time-series recording is on.
+    pub fn timeseries_enabled(&self) -> bool {
+        self.core.timeseries.is_some()
+    }
+
+    /// Detach the recorded time-series, leaving recording off. `None`
+    /// when [`Simulation::enable_timeseries`] was never called.
+    pub fn take_timeseries(&mut self) -> Option<SeriesDump> {
+        let ts = self.core.timeseries.take()?;
+        Some(ts.finish(self.core.obs.interner()))
     }
 
     /// Event-loop counters (always on).
@@ -1170,16 +1292,21 @@ impl Simulation {
             !self.core.nodes.iter().any(|n| n.addr == addr),
             "duplicate node address {addr}"
         );
-        self.core
-            .nodes
-            .push(Node::new(id, name.to_string(), addr, kind));
+        let mut node = Node::new(id, name.to_string(), addr, kind);
+        // Intern the component label once, at construction time, so
+        // every observer shares one id and the symbol table is a pure
+        // function of topology construction order.
+        node.comp = self.core.obs.intern(&node.trace_component);
+        self.core.nodes.push(node);
         id
     }
 
     /// Add a simplex link.
     pub fn add_link(&mut self, from: NodeId, to: NodeId, config: LinkConfig) -> LinkId {
         let id = LinkId(self.core.links.len());
-        self.core.links.push(Link::new(id, from, to, config));
+        let mut link = Link::new(id, from, to, config);
+        link.comp = self.core.obs.intern(&link.trace_component);
+        self.core.links.push(link);
         id
     }
 

@@ -1,0 +1,147 @@
+//! String interning for metric keys and component names.
+//!
+//! Every observability layer labels data with small, heavily repeated
+//! strings — `"link:3"`, `"node:client"`, `"player:wmp"`. Cloning them
+//! per event is the allocation that would dominate a fleet-scale run,
+//! so the hot paths deal in [`SymbolId`]s instead: a component interns
+//! its label once (at construction time) and every later event is a
+//! `u32` copy. The [`Interner`] itself is deterministic — ids are
+//! assigned in insertion order and the lookup map is never iterated —
+//! so two runs that intern the same strings in the same order produce
+//! identical tables.
+
+use std::collections::HashMap;
+
+/// A handle to an interned string. Ids are only meaningful relative to
+/// the [`Interner`] that issued them; anything that crosses an
+/// interner boundary (dumps, merges) resolves back to the string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only symbol table: `intern` is O(1) amortised and
+/// allocates only the first time a string is seen; `resolve` is an
+/// index into a `Vec`.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern `name`, returning its id. Re-interning an existing
+    /// string is a hash lookup — no allocation.
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.index.get(name) {
+            return SymbolId(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.index.insert(boxed, id);
+        SymbolId(id)
+    }
+
+    /// Look up an id without interning. Returns `None` for unknown
+    /// strings.
+    pub fn get(&self, name: &str) -> Option<SymbolId> {
+        self.index.get(name).map(|&id| SymbolId(id))
+    }
+
+    /// The string behind `id`. Panics on an id from another interner
+    /// that is out of range — ids must not cross interner boundaries.
+    pub fn resolve(&self, id: SymbolId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All interned strings in id order (deterministic: insertion
+    /// order, never the hash map's).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|s| s.as_ref())
+    }
+
+    /// Snapshot the table in id order — used by dumps that must stay
+    /// self-contained after the interner is gone.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.names.iter().map(|s| s.to_string()).collect()
+    }
+}
+
+/// Equality compares the tables (id ↦ name mapping), not the lookup
+/// maps.
+impl PartialEq for Interner {
+    fn eq(&self, other: &Interner) -> bool {
+        self.names == other.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_ordered() {
+        let mut i = Interner::new();
+        let a = i.intern("link:0");
+        let b = i.intern("node:client");
+        let a2 = i.intern("link:0");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "link:0");
+        assert_eq!(i.resolve(b), "node:client");
+        assert_eq!(i.len(), 2);
+        let names: Vec<&str> = i.names().collect();
+        assert_eq!(names, vec!["link:0", "node:client"]);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let id = i.intern("x");
+        assert_eq!(i.get("x"), Some(id));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_id_ordered() {
+        let mut i = Interner::new();
+        i.intern("b");
+        i.intern("a");
+        assert_eq!(i.snapshot(), vec!["b".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn equality_ignores_map_internals() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        for s in ["x", "y", "z"] {
+            a.intern(s);
+            b.intern(s);
+        }
+        assert_eq!(a, b);
+        b.intern("w");
+        assert_ne!(a, b);
+    }
+}

@@ -1,15 +1,21 @@
 //! # turb-obs — deterministic telemetry for the turbulence workspace
 //!
-//! Three small pieces, zero dependencies:
+//! Zero dependencies, a handful of pieces:
 //!
-//! * [`MetricsRegistry`] — counters, gauges, and fixed-bucket
-//!   histograms keyed by a `&'static str` metric name plus a component
-//!   label, rendered Prometheus-style by
-//!   [`MetricsRegistry::render_text`].
+//! * [`Interner`]/[`SymbolId`] — the shared symbol table: component
+//!   labels and metric keys are interned once and the hot paths deal
+//!   in `u32` handles, never per-event `String` clones.
+//! * [`MetricsRegistry`] — counters, gauges, fixed-bucket histograms,
+//!   and mergeable [`LogHistogram`] latency sketches keyed by a
+//!   `&'static str` metric name plus an interned component label,
+//!   rendered Prometheus-style by [`MetricsRegistry::render_text`].
 //! * [`TraceRecorder`] — a bounded flight recorder of sim-time-stamped
 //!   [`TraceEvent`]s with severity and category, dumped as JSON Lines.
+//! * [`TimeSeriesRecorder`] — fixed simulated-time windows (default
+//!   1 s) over counters and gauges, ring-buffered per series, exported
+//!   as a [`SeriesDump`] for `turbulence watch` and plotting.
 //! * [`ScopeTimer`] — wall-clock scopes that observe their duration
-//!   into a histogram when finished.
+//!   into a log-bucket sketch when finished.
 //!
 //! ## The no-perturbation invariant
 //!
@@ -23,31 +29,43 @@
 //! seed with telemetry off. The workspace `tests/telemetry.rs` suite
 //! asserts this end to end.
 
+pub mod intern;
 pub mod lineage;
+mod loghist;
 mod metrics;
 mod report;
+pub mod timeseries;
 mod trace;
 
+pub use intern::{Interner, SymbolId};
 pub use lineage::{
     DropCause, LineageDump, LineageEvent, LineageRecorder, PacketizeMeta, PostMortem, SpanOrigin,
     SpanOutcome, SpanTimeline, Stage, StageSamples,
 };
-pub use metrics::{Histogram, Key, MetricsRegistry, SCOPE_NS_BUCKETS};
+pub use loghist::LogHistogram;
+pub use metrics::{Histogram, MetricKey, MetricsRegistry, SCOPE_NS_BUCKETS};
 pub use report::{CheckReport, FragReport, LinkReport, PlayerReport, PropCheckReport, RunReport};
+pub use timeseries::{
+    SeriesData, SeriesDump, SeriesKind, TimeSeriesRecorder, DEFAULT_WINDOW_CAP, DEFAULT_WINDOW_NS,
+};
 pub use trace::{Severity, TraceEvent, TraceRecorder};
 
 use std::time::Instant;
 
 /// The telemetry context a component threads through a run: a metrics
-/// registry plus a flight recorder, with a master switch.
+/// registry (owning the shared symbol table) plus a flight recorder,
+/// with a master switch.
 ///
 /// When `enabled` is false every helper is a cheap no-op, and the
 /// lazy-message forms ([`Obs::trace_with`]) never build their strings.
+/// The interner inside [`Obs::metrics`] is live even while disabled,
+/// so components can pre-intern their labels at construction time and
+/// other observers (lineage, time-series) can share the table.
 #[derive(Debug, Default)]
 pub struct Obs {
     /// Master switch. Off means helpers do nothing.
     pub enabled: bool,
-    /// Metrics recorded so far.
+    /// Metrics recorded so far; also owns the shared [`Interner`].
     pub metrics: MetricsRegistry,
     /// Flight recorder.
     pub trace: TraceRecorder,
@@ -65,6 +83,19 @@ impl Obs {
             enabled: true,
             ..Obs::default()
         }
+    }
+
+    /// Intern a component label in the shared table. Works whether or
+    /// not recording is enabled — construction-time interning must not
+    /// depend on the telemetry switch, or ids would differ between
+    /// instrumented and plain runs.
+    pub fn intern(&mut self, component: &str) -> SymbolId {
+        self.metrics.intern(component)
+    }
+
+    /// The shared symbol table.
+    pub fn interner(&self) -> &Interner {
+        self.metrics.interner()
     }
 
     /// Add to a counter when enabled.
@@ -88,7 +119,7 @@ impl Obs {
         }
     }
 
-    /// Observe a histogram value when enabled.
+    /// Observe a fixed-bucket histogram value when enabled.
     pub fn histogram_observe(
         &mut self,
         name: &'static str,
@@ -102,8 +133,17 @@ impl Obs {
         }
     }
 
+    /// Observe a latency-class value into a log-bucket sketch when
+    /// enabled.
+    pub fn log_observe(&mut self, name: &'static str, component: &str, value: u64) {
+        if self.enabled {
+            self.metrics.log_observe(name, component, value);
+        }
+    }
+
     /// Record a trace event when enabled, building the message lazily
-    /// so disabled runs pay no formatting cost.
+    /// so disabled runs pay no formatting cost. The component label is
+    /// interned (a hash lookup after first use — no allocation).
     pub fn trace_with(
         &mut self,
         time_ns: u64,
@@ -113,14 +153,30 @@ impl Obs {
         message: impl FnOnce() -> String,
     ) {
         if self.enabled {
-            self.trace.emit(
-                time_ns,
-                severity,
-                category,
-                component.to_string(),
-                message(),
-            );
+            let sym = self.metrics.intern(component);
+            self.trace.emit(time_ns, severity, category, sym, message());
         }
+    }
+
+    /// [`Obs::trace_with`] for a pre-interned component — the transit
+    /// hot path: no lookup, no allocation beyond the message itself.
+    pub fn trace_with_sym(
+        &mut self,
+        time_ns: u64,
+        severity: Severity,
+        category: &'static str,
+        component: SymbolId,
+        message: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.trace
+                .emit(time_ns, severity, category, component, message());
+        }
+    }
+
+    /// The flight recorder as JSON Lines, component symbols resolved.
+    pub fn trace_jsonl(&self) -> String {
+        self.trace.to_jsonl(self.metrics.interner())
     }
 
     /// Start a wall-clock scope. Always measures (the cost is one
@@ -133,12 +189,12 @@ impl Obs {
 
 /// A wall-clock profiling scope. Create with [`ScopeTimer::start`] (or
 /// [`Obs::scope`]), then call [`ScopeTimer::finish`] to observe the
-/// elapsed nanoseconds into `<name>_ns` in a registry, or
-/// [`ScopeTimer::elapsed_ns`] to just read the clock.
+/// elapsed nanoseconds into `<name>` in a registry's log-bucket
+/// sketch, or [`ScopeTimer::elapsed_ns`] to just read the clock.
 ///
 /// Wall-clock time is inherently nondeterministic, so it is kept out
 /// of anything that feeds figure data — it only ever lands in
-/// telemetry histograms.
+/// telemetry sketches.
 #[derive(Debug)]
 pub struct ScopeTimer {
     name: &'static str,
@@ -162,11 +218,11 @@ impl ScopeTimer {
     }
 
     /// Stop timing and observe the duration into `registry` under
-    /// `<name>_ns` with the scope's component label. Returns the
-    /// elapsed nanoseconds.
+    /// `<name>` (a log-bucket sketch) with the scope's component
+    /// label. Returns the elapsed nanoseconds.
     pub fn finish(self, registry: &mut MetricsRegistry) -> u64 {
         let elapsed = self.elapsed_ns();
-        registry.histogram_observe(self.name, &self.component, SCOPE_NS_BUCKETS, elapsed as f64);
+        registry.log_observe(self.name, &self.component, elapsed);
         elapsed
     }
 }
@@ -181,6 +237,7 @@ mod tests {
         obs.counter_add("c_total", "x", 1);
         obs.gauge_max("g", "x", 2.0);
         obs.histogram_observe("h", "x", SCOPE_NS_BUCKETS, 3.0);
+        obs.log_observe("l_ns", "x", 4);
         let mut called = false;
         obs.trace_with(0, Severity::Info, "cat", "x", || {
             called = true;
@@ -198,17 +255,36 @@ mod tests {
         obs.trace_with(5, Severity::Warn, "cat", "x", || "hello".to_string());
         assert_eq!(obs.metrics.counter("c_total", "x"), 2);
         assert_eq!(obs.trace.len(), 1);
+        assert!(obs.trace_jsonl().contains("\"component\":\"x\""));
     }
 
     #[test]
-    fn scope_timer_lands_in_histogram() {
+    fn interning_works_while_disabled() {
+        let mut obs = Obs::disabled();
+        let a = obs.intern("link:0");
+        let b = obs.intern("link:0");
+        assert_eq!(a, b);
+        assert_eq!(obs.interner().resolve(a), "link:0");
+    }
+
+    #[test]
+    fn sym_trace_path_matches_string_path() {
+        let mut a = Obs::enabled();
+        let sym = a.intern("link:1");
+        a.trace_with_sym(9, Severity::Info, "link", sym, || "tx".to_string());
+        let mut b = Obs::enabled();
+        b.trace_with(9, Severity::Info, "link", "link:1", || "tx".to_string());
+        assert_eq!(a.trace_jsonl(), b.trace_jsonl());
+    }
+
+    #[test]
+    fn scope_timer_lands_in_log_sketch() {
         let mut reg = MetricsRegistry::new();
         let timer = ScopeTimer::start("pair_run_wall_ns", "set1/high");
         std::hint::black_box(0u64);
         let elapsed = timer.finish(&mut reg);
-        let hist = reg.histogram("pair_run_wall_ns", "set1/high").unwrap();
-        assert_eq!(hist.count, 1);
-        assert!(hist.sum >= 0.0);
+        let hist = reg.log_histogram("pair_run_wall_ns", "set1/high").unwrap();
+        assert_eq!(hist.count(), 1);
         let _ = elapsed;
     }
 }

@@ -24,18 +24,13 @@
 //! a deterministic Chrome-trace-event JSON export loadable in
 //! Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
 
+use crate::intern::{Interner, SymbolId};
 use crate::metrics::MetricsRegistry;
 use std::fmt::Write as _;
 
 /// Default cap on recorded stage events (~32 MB); past it events are
 /// counted in [`LineageRecorder::dropped`] instead of recorded.
 pub const DEFAULT_EVENT_CAPACITY: usize = 4_000_000;
-
-/// Histogram bounds (nanoseconds) for stage-latency metrics: 1 µs up
-/// through 100 s.
-pub const LINEAGE_NS_BUCKETS: &[f64] = &[
-    1e3, 1e4, 1e5, 5e5, 1e6, 5e6, 1e7, 5e7, 1e8, 5e8, 1e9, 5e9, 1e10, 1e11,
-];
 
 /// What killed a wire packet. Every variant reconciles against exactly
 /// one always-on simulator counter (see [`DropCause::counter`]), which
@@ -197,8 +192,9 @@ pub struct PacketizeMeta {
 pub struct SpanOrigin {
     /// Sim time of birth, nanoseconds.
     pub time_ns: u64,
-    /// Interned origin component (a node).
-    pub comp: u16,
+    /// Interned origin component (a node), against the run's shared
+    /// [`Interner`].
+    pub comp: SymbolId,
     /// Packetisation metadata, for media spans.
     pub meta: Option<PacketizeMeta>,
 }
@@ -210,8 +206,9 @@ pub struct LineageEvent {
     pub span: u64,
     /// Sim time, nanoseconds.
     pub time_ns: u64,
-    /// Interned component the transition happened at.
-    pub comp: u16,
+    /// Interned component the transition happened at, against the
+    /// run's shared [`Interner`].
+    pub comp: SymbolId,
     /// The stage reached.
     pub stage: Stage,
     /// Stage-dependent detail — see [`Stage`].
@@ -219,12 +216,15 @@ pub struct LineageEvent {
 }
 
 /// Append-only span/event recorder. Span ids are indices into the
-/// origin table, so same-seed runs allocate identical ids.
+/// origin table, so same-seed runs allocate identical ids. Component
+/// names live in the run's shared [`Interner`] — events carry
+/// [`SymbolId`]s, so recording never allocates or scans a string
+/// table; the dump snapshots the resolved names at
+/// [`LineageRecorder::finish`] time.
 #[derive(Debug)]
 pub struct LineageRecorder {
     origins: Vec<SpanOrigin>,
     events: Vec<LineageEvent>,
-    components: Vec<String>,
     capacity: usize,
     dropped: u64,
 }
@@ -241,20 +241,9 @@ impl LineageRecorder {
         LineageRecorder {
             origins: Vec::new(),
             events: Vec::new(),
-            components: Vec::new(),
             capacity: capacity.max(1),
             dropped: 0,
         }
-    }
-
-    /// Intern a component name, returning its stable id. The table is
-    /// tiny (nodes + links), so a linear scan beats hashing.
-    pub fn comp(&mut self, name: &str) -> u16 {
-        if let Some(i) = self.components.iter().position(|c| c == name) {
-            return i as u16;
-        }
-        self.components.push(name.to_string());
-        (self.components.len() - 1) as u16
     }
 
     /// Allocate a span born now at `comp`, recording its `Sent` event.
@@ -262,7 +251,7 @@ impl LineageRecorder {
     pub fn begin_span(
         &mut self,
         time_ns: u64,
-        comp: u16,
+        comp: SymbolId,
         meta: Option<PacketizeMeta>,
         payload_len: u32,
     ) -> u64 {
@@ -278,7 +267,7 @@ impl LineageRecorder {
 
     /// Record one stage transition (counted, not stored, past the
     /// capacity cap).
-    pub fn record(&mut self, span: u64, time_ns: u64, comp: u16, stage: Stage, aux: u32) {
+    pub fn record(&mut self, span: u64, time_ns: u64, comp: SymbolId, stage: Stage, aux: u32) {
         if self.events.len() >= self.capacity {
             self.dropped += 1;
             return;
@@ -312,12 +301,13 @@ impl LineageRecorder {
         self.dropped
     }
 
-    /// Freeze into an immutable dump for analysis.
-    pub fn finish(self) -> LineageDump {
+    /// Freeze into an immutable dump for analysis, snapshotting the
+    /// shared symbol table so the dump stays self-contained.
+    pub fn finish(self, interner: &Interner) -> LineageDump {
         LineageDump {
             origins: self.origins,
             events: self.events,
-            components: self.components,
+            components: interner.snapshot(),
             dropped: self.dropped,
         }
     }
@@ -330,7 +320,8 @@ pub struct LineageDump {
     pub origins: Vec<SpanOrigin>,
     /// Every stage transition, in emission (= sim time) order.
     pub events: Vec<LineageEvent>,
-    /// Interned component names.
+    /// Component names in [`SymbolId`] order — a snapshot of the
+    /// run's shared interner.
     pub components: Vec<String>,
     /// Events discarded past the recorder capacity.
     pub dropped: u64,
@@ -414,9 +405,9 @@ fn classify(events: &[LineageEvent]) -> SpanOutcome {
 
 impl LineageDump {
     /// Component name for an interned id.
-    pub fn component(&self, id: u16) -> &str {
+    pub fn component(&self, id: SymbolId) -> &str {
         self.components
-            .get(id as usize)
+            .get(id.index())
             .map(String::as_str)
             .unwrap_or("?")
     }
@@ -453,15 +444,15 @@ impl LineageDump {
             if ev.span as usize >= self.origins.len() {
                 return Err(format!("event references unknown span {}", ev.span));
             }
-            if ev.comp as usize >= self.components.len() {
-                return Err(format!("event references unknown component {}", ev.comp));
+            if ev.comp.index() >= self.components.len() {
+                return Err(format!("event references unknown component {}", ev.comp.0));
             }
         }
         for origin in &self.origins {
-            if origin.comp as usize >= self.components.len() {
+            if origin.comp.index() >= self.components.len() {
                 return Err(format!(
                     "origin references unknown component {}",
-                    origin.comp
+                    origin.comp.0
                 ));
             }
         }
@@ -591,9 +582,11 @@ pub fn stage_samples(dump: &LineageDump) -> StageSamples {
     samples
 }
 
-/// Build the per-stage latency histograms into a fresh
+/// Build the per-stage latency sketches into a fresh
 /// [`MetricsRegistry`] (kept separate from the run's shared registry
-/// so the lineage-on/off byte-identity of run metrics holds).
+/// so the lineage-on/off byte-identity of run metrics holds). Each
+/// metric is a mergeable log-bucket sketch, so corpus-wide stage
+/// latencies combine exactly.
 pub fn stage_histograms(dump: &LineageDump) -> MetricsRegistry {
     let samples = stage_samples(dump);
     let mut reg = MetricsRegistry::new();
@@ -604,7 +597,7 @@ pub fn stage_histograms(dump: &LineageDump) -> MetricsRegistry {
         ("lineage_end_to_end_ns", &samples.e2e_ns),
     ] {
         for v in values {
-            reg.histogram_observe(name, "lineage", LINEAGE_NS_BUCKETS, *v);
+            reg.log_observe(name, "lineage", *v as u64);
         }
     }
     reg
@@ -616,7 +609,7 @@ pub fn stage_histograms(dump: &LineageDump) -> MetricsRegistry {
 pub struct PostMortem {
     /// `(cause, component id, count)`, sorted by cause order then
     /// component id.
-    pub entries: Vec<(DropCause, u16, u64)>,
+    pub entries: Vec<(DropCause, SymbolId, u64)>,
 }
 
 impl PostMortem {
@@ -654,7 +647,7 @@ impl PostMortem {
 
 /// Attribute every `Dropped` event in the dump.
 pub fn post_mortem(dump: &LineageDump) -> PostMortem {
-    let mut entries: Vec<(DropCause, u16, u64)> = Vec::new();
+    let mut entries: Vec<(DropCause, SymbolId, u64)> = Vec::new();
     for ev in &dump.events {
         if let Stage::Dropped(cause) = ev.stage {
             match entries
@@ -771,10 +764,11 @@ mod tests {
     /// One played media span, one span dropped in a queue, one span
     /// truncated mid-flight.
     fn sample_dump() -> LineageDump {
+        let mut interner = Interner::new();
         let mut rec = LineageRecorder::default();
-        let node = rec.comp("node:server");
-        let link = rec.comp("link:0");
-        let client = rec.comp("node:client");
+        let node = interner.intern("node:server");
+        let link = interner.intern("link:0");
+        let client = interner.intern("node:client");
 
         let played = rec.begin_span(1_000, node, Some(media_meta(0)), 1400);
         rec.record(played, 1_000, link, Stage::LinkTx, 0);
@@ -796,7 +790,7 @@ mod tests {
 
         let truncated = rec.begin_span(3_000, node, None, 64);
         rec.record(truncated, 3_000, link, Stage::LinkTx, 0);
-        rec.finish()
+        rec.finish(&interner)
     }
 
     #[test]
@@ -817,22 +811,24 @@ mod tests {
 
     #[test]
     fn delivery_without_playout_is_completed() {
+        let mut interner = Interner::new();
         let mut rec = LineageRecorder::default();
-        let node = rec.comp("node:a");
+        let node = interner.intern("node:a");
         let span = rec.begin_span(0, node, None, 8);
         rec.record(span, 10, node, Stage::Delivered, 554);
-        let dump = rec.finish();
+        let dump = rec.finish(&interner);
         assert_eq!(dump.reconstruct()[0].outcome, SpanOutcome::Completed);
     }
 
     #[test]
     fn non_fatal_drops_do_not_doom_a_span() {
+        let mut interner = Interner::new();
         let mut rec = LineageRecorder::default();
-        let node = rec.comp("node:a");
+        let node = interner.intern("node:a");
         let span = rec.begin_span(0, node, None, 8);
         rec.record(span, 5, node, Stage::Dropped(DropCause::ReasmDuplicate), 0);
         rec.record(span, 9, node, Stage::Delivered, 7000);
-        let dump = rec.finish();
+        let dump = rec.finish(&interner);
         assert_eq!(dump.reconstruct()[0].outcome, SpanOutcome::Completed);
         // The duplicate still shows up in the post-mortem.
         assert_eq!(post_mortem(&dump).cause_total(DropCause::ReasmDuplicate), 1);
@@ -840,11 +836,12 @@ mod tests {
 
     #[test]
     fn validate_catches_time_regression() {
+        let mut interner = Interner::new();
         let mut rec = LineageRecorder::default();
-        let node = rec.comp("node:a");
+        let node = interner.intern("node:a");
         let span = rec.begin_span(100, node, None, 8);
         rec.record(span, 50, node, Stage::Delivered, 0);
-        assert!(rec.finish().validate().is_err());
+        assert!(rec.finish(&interner).validate().is_err());
     }
 
     #[test]
@@ -852,13 +849,13 @@ mod tests {
         let dump = LineageDump {
             origins: vec![SpanOrigin {
                 time_ns: 0,
-                comp: 0,
+                comp: SymbolId(0),
                 meta: None,
             }],
             events: vec![LineageEvent {
                 span: 0,
                 time_ns: 1,
-                comp: 0,
+                comp: SymbolId(0),
                 stage: Stage::Delivered,
                 aux: 0,
             }],
@@ -870,8 +867,9 @@ mod tests {
 
     #[test]
     fn capacity_counts_overflow_instead_of_recording() {
+        let mut interner = Interner::new();
         let mut rec = LineageRecorder::with_capacity(2);
-        let node = rec.comp("node:a");
+        let node = interner.intern("node:a");
         let span = rec.begin_span(0, node, None, 8); // 1 event (Sent)
         rec.record(span, 1, node, Stage::LinkTx, 0); // 2nd
         rec.record(span, 2, node, Stage::Arrived, 0); // over
@@ -890,9 +888,10 @@ mod tests {
 
     #[test]
     fn interleaved_fragments_pair_by_offset() {
+        let mut interner = Interner::new();
         let mut rec = LineageRecorder::default();
-        let node = rec.comp("node:a");
-        let link = rec.comp("link:0");
+        let node = interner.intern("node:a");
+        let link = interner.intern("link:0");
         let span = rec.begin_span(0, node, None, 3000);
         rec.record(span, 0, node, Stage::Fragmented, 2);
         rec.record(span, 0, link, Stage::LinkTx, 0);
@@ -900,7 +899,7 @@ mod tests {
         rec.record(span, 10, node, Stage::Arrived, 0);
         rec.record(span, 25, node, Stage::Arrived, 185);
         rec.record(span, 25, node, Stage::Reassembled, 0);
-        let samples = stage_samples(&rec.finish());
+        let samples = stage_samples(&rec.finish(&interner));
         assert_eq!(samples.hop_ns, vec![10.0, 25.0]);
         assert_eq!(samples.reasm_ns, vec![25.0]);
     }
@@ -908,8 +907,9 @@ mod tests {
     #[test]
     fn histograms_land_in_a_registry() {
         let reg = stage_histograms(&sample_dump());
-        let hist = reg.histogram("lineage_hop_ns", "lineage").unwrap();
-        assert_eq!(hist.count, 1);
+        let hist = reg.log_histogram("lineage_hop_ns", "lineage").unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.min(), Some(1_500));
     }
 
     #[test]
@@ -917,7 +917,7 @@ mod tests {
         let dump = sample_dump();
         let pm = post_mortem(&dump);
         assert_eq!(pm.total(), 1);
-        assert_eq!(pm.entries, vec![(DropCause::QueueFull, 1, 1)]);
+        assert_eq!(pm.entries, vec![(DropCause::QueueFull, SymbolId(1), 1)]);
         let mut agg = PostMortem::default();
         agg.absorb(&pm);
         agg.absorb(&pm);

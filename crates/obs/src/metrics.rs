@@ -1,17 +1,32 @@
-//! The metrics registry: counters, gauges, and fixed-bucket histograms
-//! keyed by a static metric name plus a per-instance component label.
+//! The metrics registry: counters, gauges, fixed-bucket histograms,
+//! and log-bucket latency sketches, keyed by a static metric name plus
+//! an interned per-instance component label.
 //!
-//! Everything is deterministic: keys live in `BTreeMap`s so iteration
-//! (and therefore [`MetricsRegistry::render_text`]) is stable, and no
-//! operation draws randomness or perturbs caller state. Recording a
-//! metric is an integer update — cheap enough to leave on everywhere.
+//! Keys are `(&'static str, SymbolId)` pairs — the component string is
+//! interned once per registry and every later record is a hash lookup
+//! plus a binary search, no allocation. Entries are kept sorted by
+//! `(metric name, component name)` at insertion time, so reads,
+//! [`MetricsRegistry::counters`], and [`MetricsRegistry::render_text`]
+//! iterate in canonical order without ever re-sorting. Everything is
+//! deterministic: no operation draws randomness or perturbs caller
+//! state, and [`MetricsRegistry::merge`] resolves symbols back to
+//! strings, so per-worker registries with differently-ordered
+//! interners combine into byte-identical results.
 
-use std::collections::BTreeMap;
+use crate::intern::{Interner, SymbolId};
+use crate::loghist::LogHistogram;
+use std::cmp::Ordering;
 use std::fmt::Write as _;
 
-/// A metric instance: static metric name + owned component label
-/// (e.g. `("link_dropped_queue_total", "link:3")`).
-pub type Key = (&'static str, String);
+/// A metric instance key: static metric name + interned component
+/// label (e.g. `("link_dropped_queue_total", sym("link:3"))`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricKey {
+    /// Static metric name.
+    pub name: &'static str,
+    /// Interned component label (relative to the owning registry).
+    pub comp: SymbolId,
+}
 
 /// A fixed-bucket histogram (Prometheus-style cumulative buckets).
 #[derive(Debug, Clone, PartialEq)]
@@ -72,15 +87,37 @@ impl Histogram {
     }
 }
 
-/// Default wall-clock scope buckets in nanoseconds: 1 µs … 100 s.
+/// Legacy wall-clock scope buckets in nanoseconds: 1 µs … 100 s.
+/// Latency-class metrics now land in [`LogHistogram`] sketches
+/// ([`MetricsRegistry::log_observe`]); these decade bounds remain only
+/// for callers that explicitly want fixed coarse buckets.
 pub const SCOPE_NS_BUCKETS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11];
 
 /// The registry of all metrics recorded during a run.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Each store is a `Vec` kept sorted by `(name, component string)`;
+/// the interner maps component labels to the `SymbolId`s inside
+/// [`MetricKey`].
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<Key, u64>,
-    gauges: BTreeMap<Key, f64>,
-    histograms: BTreeMap<Key, Histogram>,
+    interner: Interner,
+    counters: Vec<(MetricKey, u64)>,
+    gauges: Vec<(MetricKey, f64)>,
+    histograms: Vec<(MetricKey, Histogram)>,
+    log_histograms: Vec<(MetricKey, LogHistogram)>,
+}
+
+/// Locate `(name, comp)` in a sorted store.
+fn find<T>(
+    entries: &[(MetricKey, T)],
+    interner: &Interner,
+    name: &str,
+    comp: &str,
+) -> Result<usize, usize> {
+    entries.binary_search_by(|(k, _)| match k.name.cmp(name) {
+        Ordering::Equal => interner.resolve(k.comp).cmp(comp),
+        ord => ord,
+    })
 }
 
 impl MetricsRegistry {
@@ -89,32 +126,66 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// The registry's symbol table. Shared with the trace recorder and
+    /// lineage spans when the registry lives inside an
+    /// [`crate::Obs`].
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Intern a component label, returning an id usable with the
+    /// `*_sym` fast paths and with [`crate::TraceRecorder`] events.
+    pub fn intern(&mut self, component: &str) -> SymbolId {
+        self.interner.intern(component)
+    }
+
     /// Add `delta` to a counter, creating it at zero first.
     pub fn counter_add(&mut self, name: &'static str, component: &str, delta: u64) {
-        *self
+        let comp = self.interner.intern(component);
+        match find(&self.counters, &self.interner, name, component) {
+            Ok(pos) => self.counters[pos].1 += delta,
+            Err(pos) => self.counters.insert(pos, (MetricKey { name, comp }, delta)),
+        }
+    }
+
+    /// [`MetricsRegistry::counter_add`] with a pre-interned component.
+    pub fn counter_add_sym(&mut self, name: &'static str, comp: SymbolId, delta: u64) {
+        let component = self.interner.resolve(comp);
+        match self
             .counters
-            .entry((name, component.to_string()))
-            .or_insert(0) += delta;
+            .binary_search_by(|(k, _)| match k.name.cmp(name) {
+                Ordering::Equal => self.interner.resolve(k.comp).cmp(component),
+                ord => ord,
+            }) {
+            Ok(pos) => self.counters[pos].1 += delta,
+            Err(pos) => self.counters.insert(pos, (MetricKey { name, comp }, delta)),
+        }
     }
 
     /// Set a gauge to `value`.
     pub fn gauge_set(&mut self, name: &'static str, component: &str, value: f64) {
-        self.gauges.insert((name, component.to_string()), value);
+        let comp = self.interner.intern(component);
+        match find(&self.gauges, &self.interner, name, component) {
+            Ok(pos) => self.gauges[pos].1 = value,
+            Err(pos) => self.gauges.insert(pos, (MetricKey { name, comp }, value)),
+        }
     }
 
     /// Raise a gauge to `value` if it is below it (high-water marks).
     pub fn gauge_max(&mut self, name: &'static str, component: &str, value: f64) {
-        let entry = self
-            .gauges
-            .entry((name, component.to_string()))
-            .or_insert(f64::NEG_INFINITY);
-        if value > *entry {
-            *entry = value;
+        let comp = self.interner.intern(component);
+        match find(&self.gauges, &self.interner, name, component) {
+            Ok(pos) => {
+                if value > self.gauges[pos].1 {
+                    self.gauges[pos].1 = value;
+                }
+            }
+            Err(pos) => self.gauges.insert(pos, (MetricKey { name, comp }, value)),
         }
     }
 
-    /// Observe `value` into a histogram created with `bounds` on first
-    /// use.
+    /// Observe `value` into a fixed-bucket histogram created with
+    /// `bounds` on first use.
     pub fn histogram_observe(
         &mut self,
         name: &'static str,
@@ -122,90 +193,165 @@ impl MetricsRegistry {
         bounds: &'static [f64],
         value: f64,
     ) {
-        self.histograms
-            .entry((name, component.to_string()))
-            .or_insert_with(|| Histogram::new(bounds))
-            .observe(value);
+        let comp = self.interner.intern(component);
+        match find(&self.histograms, &self.interner, name, component) {
+            Ok(pos) => self.histograms[pos].1.observe(value),
+            Err(pos) => {
+                let mut h = Histogram::new(bounds);
+                h.observe(value);
+                self.histograms.insert(pos, (MetricKey { name, comp }, h));
+            }
+        }
+    }
+
+    /// Observe `value` into a log-bucket latency sketch (created empty
+    /// on first use). This is the home for every latency-class metric;
+    /// sketches merge exactly across registries.
+    pub fn log_observe(&mut self, name: &'static str, component: &str, value: u64) {
+        let comp = self.interner.intern(component);
+        match find(&self.log_histograms, &self.interner, name, component) {
+            Ok(pos) => self.log_histograms[pos].1.observe(value),
+            Err(pos) => {
+                let mut h = LogHistogram::new();
+                h.observe(value);
+                self.log_histograms
+                    .insert(pos, (MetricKey { name, comp }, h));
+            }
+        }
     }
 
     /// Read a counter (0 when absent).
     pub fn counter(&self, name: &str, component: &str) -> u64 {
-        self.counters
-            .iter()
-            .find(|((n, c), _)| *n == name && c == component)
-            .map(|(_, v)| *v)
-            .unwrap_or(0)
+        match find(&self.counters, &self.interner, name, component) {
+            Ok(pos) => self.counters[pos].1,
+            Err(_) => 0,
+        }
     }
 
-    /// Sum of a counter over every component.
+    /// Sum of a counter over every component. The store is sorted by
+    /// name first, so this is a binary search plus a bounded scan.
     pub fn counter_total(&self, name: &str) -> u64 {
-        self.counters
+        let start = self.counters.partition_point(|(k, _)| k.name < name);
+        self.counters[start..]
             .iter()
-            .filter(|((n, _), _)| *n == name)
+            .take_while(|(k, _)| k.name == name)
             .map(|(_, v)| *v)
             .sum()
     }
 
     /// Read a gauge.
     pub fn gauge(&self, name: &str, component: &str) -> Option<f64> {
-        self.gauges
-            .iter()
-            .find(|((n, c), _)| *n == name && c == component)
-            .map(|(_, v)| *v)
+        match find(&self.gauges, &self.interner, name, component) {
+            Ok(pos) => Some(self.gauges[pos].1),
+            Err(_) => None,
+        }
     }
 
-    /// Read a histogram.
+    /// Read a fixed-bucket histogram.
     pub fn histogram(&self, name: &str, component: &str) -> Option<&Histogram> {
-        self.histograms
-            .iter()
-            .find(|((n, c), _)| *n == name && c == component)
-            .map(|(_, v)| v)
+        match find(&self.histograms, &self.interner, name, component) {
+            Ok(pos) => Some(&self.histograms[pos].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Read a log-bucket sketch.
+    pub fn log_histogram(&self, name: &str, component: &str) -> Option<&LogHistogram> {
+        match find(&self.log_histograms, &self.interner, name, component) {
+            Ok(pos) => Some(&self.log_histograms[pos].1),
+            Err(_) => None,
+        }
     }
 
     /// All counters in deterministic (name, component) order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, &str, u64)> + '_ {
-        self.counters.iter().map(|((n, c), v)| (*n, c.as_str(), *v))
+        self.counters
+            .iter()
+            .map(|(k, v)| (k.name, self.interner.resolve(k.comp), *v))
+    }
+
+    /// All log-bucket sketches in deterministic (name, component)
+    /// order.
+    pub fn log_histograms(&self) -> impl Iterator<Item = (&'static str, &str, &LogHistogram)> + '_ {
+        self.log_histograms
+            .iter()
+            .map(|(k, v)| (k.name, self.interner.resolve(k.comp), v))
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.log_histograms.is_empty()
     }
 
-    /// Merge every metric from `other` into this registry (counters and
-    /// histograms add; gauges take the max, which suits high-water
-    /// marks — the only gauges the pipeline records).
-    pub fn merge(&mut self, other: &MetricsRegistry) {
-        for ((n, c), v) in &other.counters {
-            *self.counters.entry((n, c.clone())).or_insert(0) += v;
+    /// Whether every store is in canonical `(name, component)` order.
+    /// Always true by construction; the CLI bench phase asserts it so
+    /// a regression to sort-on-render is caught immediately.
+    pub fn keys_are_sorted(&self) -> bool {
+        fn sorted<T>(entries: &[(MetricKey, T)], interner: &Interner) -> bool {
+            entries.windows(2).all(|w| {
+                let a = (w[0].0.name, interner.resolve(w[0].0.comp));
+                let b = (w[1].0.name, interner.resolve(w[1].0.comp));
+                a < b
+            })
         }
-        for ((n, c), v) in &other.gauges {
-            let entry = self
-                .gauges
-                .entry((n, c.clone()))
-                .or_insert(f64::NEG_INFINITY);
-            if *v > *entry {
-                *entry = *v;
+        sorted(&self.counters, &self.interner)
+            && sorted(&self.gauges, &self.interner)
+            && sorted(&self.histograms, &self.interner)
+            && sorted(&self.log_histograms, &self.interner)
+    }
+
+    /// Merge every metric from `other` into this registry (counters,
+    /// histograms, and sketches add; gauges take the max, which suits
+    /// high-water marks — the only gauges the pipeline records).
+    /// Symbols are resolved through `other`'s interner and re-interned
+    /// here, so registries built by different workers merge canonically
+    /// regardless of intern order.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.counter_add(k.name, other.interner.resolve(k.comp), *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_max(k.name, other.interner.resolve(k.comp), *v);
+        }
+        for (k, h) in &other.histograms {
+            let component = other.interner.resolve(k.comp);
+            let comp = self.interner.intern(component);
+            match find(&self.histograms, &self.interner, k.name, component) {
+                Ok(pos) => self.histograms[pos].1.merge(h),
+                Err(pos) => self
+                    .histograms
+                    .insert(pos, (MetricKey { name: k.name, comp }, h.clone())),
             }
         }
-        for ((n, c), h) in &other.histograms {
-            self.histograms
-                .entry((n, c.clone()))
-                .or_insert_with(|| Histogram::new(h.bounds))
-                .merge(h);
+        for (k, h) in &other.log_histograms {
+            let component = other.interner.resolve(k.comp);
+            let comp = self.interner.intern(component);
+            match find(&self.log_histograms, &self.interner, k.name, component) {
+                Ok(pos) => self.log_histograms[pos].1.merge(h),
+                Err(pos) => self
+                    .log_histograms
+                    .insert(pos, (MetricKey { name: k.name, comp }, h.clone())),
+            }
         }
     }
 
-    /// Prometheus-style text exposition, deterministically ordered.
+    /// Prometheus-style text exposition. The stores are already in
+    /// canonical order, so this is a single pass — no sorting.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        for ((name, component), value) in &self.counters {
+        for (k, value) in &self.counters {
+            let (name, component) = (k.name, self.interner.resolve(k.comp));
             let _ = writeln!(out, "{name}{{component=\"{component}\"}} {value}");
         }
-        for ((name, component), value) in &self.gauges {
+        for (k, value) in &self.gauges {
+            let (name, component) = (k.name, self.interner.resolve(k.comp));
             let _ = writeln!(out, "{name}{{component=\"{component}\"}} {value}");
         }
-        for ((name, component), hist) in &self.histograms {
+        for (k, hist) in &self.histograms {
+            let (name, component) = (k.name, self.interner.resolve(k.comp));
             let mut cumulative = 0u64;
             for (i, count) in hist.counts.iter().enumerate() {
                 cumulative += count;
@@ -226,7 +372,80 @@ impl MetricsRegistry {
                 hist.count
             );
         }
+        for (k, hist) in &self.log_histograms {
+            let (name, component) = (k.name, self.interner.resolve(k.comp));
+            let mut cumulative = 0u64;
+            for (_, upper, count) in hist.buckets() {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{component=\"{component}\",le=\"{upper}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{component=\"{component}\",le=\"+Inf\"}} {cumulative}"
+            );
+            let _ = writeln!(
+                out,
+                "{name}_sum{{component=\"{component}\"}} {}",
+                hist.sum()
+            );
+            let _ = writeln!(
+                out,
+                "{name}_count{{component=\"{component}\"}} {}",
+                hist.count()
+            );
+        }
         out
+    }
+}
+
+/// Equality compares resolved `(name, component, value)` entries, so
+/// two registries that interned the same labels in different orders
+/// still compare equal.
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &MetricsRegistry) -> bool {
+        let counters_eq = self.counters.len() == other.counters.len()
+            && self
+                .counters
+                .iter()
+                .zip(&other.counters)
+                .all(|((ka, va), (kb, vb))| {
+                    ka.name == kb.name
+                        && self.interner.resolve(ka.comp) == other.interner.resolve(kb.comp)
+                        && va == vb
+                });
+        let gauges_eq = self.gauges.len() == other.gauges.len()
+            && self
+                .gauges
+                .iter()
+                .zip(&other.gauges)
+                .all(|((ka, va), (kb, vb))| {
+                    ka.name == kb.name
+                        && self.interner.resolve(ka.comp) == other.interner.resolve(kb.comp)
+                        && va == vb
+                });
+        let hist_eq = self.histograms.len() == other.histograms.len()
+            && self
+                .histograms
+                .iter()
+                .zip(&other.histograms)
+                .all(|((ka, va), (kb, vb))| {
+                    ka.name == kb.name
+                        && self.interner.resolve(ka.comp) == other.interner.resolve(kb.comp)
+                        && va == vb
+                });
+        let log_eq =
+            self.log_histograms.len() == other.log_histograms.len()
+                && self.log_histograms.iter().zip(&other.log_histograms).all(
+                    |((ka, va), (kb, vb))| {
+                        ka.name == kb.name
+                            && self.interner.resolve(ka.comp) == other.interner.resolve(kb.comp)
+                            && va == vb
+                    },
+                );
+        counters_eq && gauges_eq && hist_eq && log_eq
     }
 }
 
@@ -244,6 +463,17 @@ mod tests {
         assert_eq!(reg.counter("drops_total", "link:1"), 7);
         assert_eq!(reg.counter_total("drops_total"), 12);
         assert_eq!(reg.counter("missing", "x"), 0);
+    }
+
+    #[test]
+    fn sym_fast_path_matches_string_path() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        let sym = a.intern("link:0");
+        a.counter_add_sym("drops_total", sym, 4);
+        a.counter_add_sym("drops_total", sym, 1);
+        b.counter_add("drops_total", "link:0", 5);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -272,13 +502,27 @@ mod tests {
     }
 
     #[test]
-    fn render_text_is_deterministic() {
+    fn log_histograms_render_and_merge() {
+        let mut reg = MetricsRegistry::new();
+        reg.log_observe("scope_ns", "pair", 1000);
+        reg.log_observe("scope_ns", "pair", 2000);
+        let h = reg.log_histogram("scope_ns", "pair").unwrap();
+        assert_eq!(h.count(), 2);
+        let text = reg.render_text();
+        assert!(text.contains("scope_ns_count{component=\"pair\"} 2"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn render_text_is_deterministic_and_never_resorts() {
         let build = || {
             let mut reg = MetricsRegistry::new();
             reg.counter_add("b_total", "z", 1);
             reg.counter_add("a_total", "y", 2);
             reg.gauge_set("g", "x", 1.25);
             reg.histogram_observe("h", "w", &[1.0], 0.5);
+            reg.log_observe("l_ns", "v", 9);
+            assert!(reg.keys_are_sorted(), "insertion keeps canonical order");
             reg.render_text()
         };
         assert_eq!(build(), build());
@@ -300,10 +544,38 @@ mod tests {
         b.gauge_max("hw", "s", 5.0);
         a.histogram_observe("h", "p", &[1.0], 0.5);
         b.histogram_observe("h", "p", &[1.0], 2.0);
+        a.log_observe("l_ns", "p", 10);
+        b.log_observe("l_ns", "p", 20);
         a.merge(&b);
         assert_eq!(a.counter("c_total", "x"), 3);
         assert_eq!(a.counter("d_total", "y"), 4);
         assert_eq!(a.gauge("hw", "s"), Some(5.0));
         assert_eq!(a.histogram("h", "p").unwrap().count, 2);
+        assert_eq!(a.log_histogram("l_ns", "p").unwrap().count(), 2);
+        assert!(a.keys_are_sorted());
+    }
+
+    #[test]
+    fn merge_is_canonical_across_intern_orders() {
+        // Two workers intern the same labels in opposite orders; merged
+        // into fresh registries in either order, the result is equal
+        // and renders identically.
+        let mut w1 = MetricsRegistry::new();
+        w1.counter_add("t_total", "b", 1);
+        w1.counter_add("t_total", "a", 2);
+        let mut w2 = MetricsRegistry::new();
+        w2.counter_add("t_total", "a", 10);
+        w2.counter_add("t_total", "b", 20);
+
+        let mut m12 = MetricsRegistry::new();
+        m12.merge(&w1);
+        m12.merge(&w2);
+        let mut m21 = MetricsRegistry::new();
+        m21.merge(&w2);
+        m21.merge(&w1);
+        assert_eq!(m12, m21);
+        assert_eq!(m12.render_text(), m21.render_text());
+        assert_eq!(m12.counter("t_total", "a"), 12);
+        assert_eq!(m12.counter("t_total", "b"), 21);
     }
 }

@@ -1,11 +1,15 @@
 //! The flight recorder: a bounded ring buffer of sim-time-stamped
 //! structured trace events.
 //!
-//! The recorder never allocates per event while disabled (callers gate
-//! on [`crate::Obs::enabled`] and build messages lazily), and a full
-//! buffer evicts the oldest event, so memory stays bounded no matter
-//! how long a simulation runs.
+//! Component labels are interned [`SymbolId`]s against the registry's
+//! shared [`Interner`], so recording an event stores two integers and
+//! the message string — the per-event component `String` clone is
+//! gone. The recorder never allocates per event while disabled
+//! (callers gate on [`crate::Obs::enabled`] and build messages
+//! lazily), and a full buffer evicts the oldest event, so memory stays
+//! bounded no matter how long a simulation runs.
 
+use crate::intern::{Interner, SymbolId};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 
@@ -43,8 +47,8 @@ pub struct TraceEvent {
     pub severity: Severity,
     /// Static category, e.g. `"link"`, `"reassembly"`, `"fault"`.
     pub category: &'static str,
-    /// Component label, e.g. `"link:3"`.
-    pub component: String,
+    /// Interned component label, e.g. the symbol for `"link:3"`.
+    pub component: SymbolId,
     /// Human-readable detail.
     pub message: String,
 }
@@ -89,14 +93,14 @@ impl TraceRecorder {
         time_ns: u64,
         severity: Severity,
         category: &'static str,
-        component: impl Into<String>,
+        component: SymbolId,
         message: impl Into<String>,
     ) {
         self.record(TraceEvent {
             time_ns,
             severity,
             category,
-            component: component.into(),
+            component,
             message: message.into(),
         });
     }
@@ -122,8 +126,8 @@ impl TraceRecorder {
     }
 
     /// Serialise the retained events as JSON Lines (one object per
-    /// line), suitable for `jq` or trace viewers.
-    pub fn to_jsonl(&self) -> String {
+    /// line), resolving component symbols through `interner`.
+    pub fn to_jsonl(&self, interner: &Interner) -> String {
         let mut out = String::new();
         for ev in &self.events {
             let _ = writeln!(
@@ -132,7 +136,7 @@ impl TraceRecorder {
                 ev.time_ns,
                 ev.severity.label(),
                 json_escape(ev.category),
-                json_escape(&ev.component),
+                json_escape(interner.resolve(ev.component)),
                 json_escape(&ev.message),
             );
         }
@@ -164,9 +168,11 @@ mod tests {
 
     #[test]
     fn ring_evicts_oldest() {
+        let mut interner = Interner::new();
+        let c = interner.intern("c");
         let mut rec = TraceRecorder::with_capacity(2);
         for i in 0..5u64 {
-            rec.emit(i, Severity::Info, "cat", "c", format!("event {i}"));
+            rec.emit(i, Severity::Info, "cat", c, format!("event {i}"));
         }
         assert_eq!(rec.len(), 2);
         assert_eq!(rec.evicted(), 3);
@@ -176,12 +182,15 @@ mod tests {
 
     #[test]
     fn jsonl_escapes_and_is_one_line_per_event() {
+        let mut interner = Interner::new();
+        let link0 = interner.intern("link:0");
         let mut rec = TraceRecorder::default();
-        rec.emit(7, Severity::Warn, "link", "link:0", "drop \"tail\"\n2nd");
-        let jsonl = rec.to_jsonl();
+        rec.emit(7, Severity::Warn, "link", link0, "drop \"tail\"\n2nd");
+        let jsonl = rec.to_jsonl(&interner);
         assert_eq!(jsonl.lines().count(), 1);
         assert!(jsonl.contains("\\\"tail\\\""));
         assert!(jsonl.contains("\\n2nd"));
+        assert!(jsonl.contains("\"component\":\"link:0\""));
         assert!(jsonl.contains("\"severity\":\"warn\""));
         assert!(jsonl.contains("\"t_ns\":7"));
     }

@@ -14,7 +14,7 @@ use std::rc::Rc;
 use turb_media::codec;
 use turb_netsim::sim::Ctx;
 use turb_netsim::{SimDuration, SimTime};
-use turb_wire::media::MediaHeader;
+use turb_wire::media::{MediaHeader, PlayerId};
 
 /// Timer token: per-second statistics tick.
 pub const TOKEN_SECOND: u64 = 1;
@@ -209,6 +209,18 @@ impl ClientCore {
         let now = ctx.now();
         self.flush_played(ctx, false);
         let frames = self.frames_this_second(now);
+        // Windowed buffer-occupancy gauge: decoded media sitting ahead
+        // of the playout clock, in ms. A cold 1 Hz sample, labelled by
+        // player so the watch view separates the two streams.
+        let component = match self.config.clip.player {
+            PlayerId::RealPlayer => "player:real",
+            PlayerId::MediaPlayer => "player:wmp",
+        };
+        let position_ms = self
+            .position_secs(now)
+            .map_or(0u32, |p| (p * 1000.0) as u32);
+        let occupancy_ms = self.max_media_ms.saturating_sub(position_ms);
+        ctx.ts_gauge("player_buffer_ms", component, u64::from(occupancy_ms));
         // Underrun check: playing, clip not finished, but the playout
         // clock has caught up with everything buffered so far.
         if let Some(position) = self.position_secs(now) {

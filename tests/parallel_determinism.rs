@@ -145,3 +145,36 @@ fn zero_threads_and_tiny_corpora_degrade_to_sequential() {
     assert!(empty.runs.is_empty());
     assert_eq!(empty.threads, 1);
 }
+
+#[test]
+fn aggregated_series_are_identical_across_thread_counts() {
+    // Windowed time-series on for every run: the per-run dumps and the
+    // corpus-wide aggregate (what `turbulence watch --corpus` renders
+    // and exports) must be byte-identical however many workers ran the
+    // corpus.
+    let mut configs = telemetry_configs(42);
+    for c in &mut configs {
+        c.timeseries = true;
+    }
+    let sequential = runner::run_configs(&configs);
+    let seq_dump = sequential.aggregate_series().expect("series were recorded");
+    assert!(!seq_dump.is_empty());
+
+    for threads in [2usize, 4, 8] {
+        let parallel = runner::run_configs_parallel(&configs, threads);
+        for (a, b) in sequential.runs.iter().zip(&parallel.runs) {
+            assert_eq!(
+                a.telemetry.as_ref().unwrap().series,
+                b.telemetry.as_ref().unwrap().series,
+                "per-run series diverged ({threads} threads)"
+            );
+        }
+        let par_dump = parallel.aggregate_series().expect("series were recorded");
+        assert_eq!(
+            seq_dump, par_dump,
+            "aggregated series diverged ({threads} threads)"
+        );
+        assert_eq!(seq_dump.to_jsonl(), par_dump.to_jsonl());
+        assert_eq!(seq_dump.to_csv(), par_dump.to_csv());
+    }
+}

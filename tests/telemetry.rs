@@ -330,3 +330,120 @@ fn reassembly_timeouts_match_sniffer_incomplete_groups() {
     // everything.
     assert!(groups.groups().iter().any(|g| !g.is_complete()));
 }
+
+#[test]
+fn timeseries_does_not_perturb_reports_counters_or_trace() {
+    // Same seed, windowed time-series off vs on, sequentially: the
+    // report, the counters, and the flight recorder must be
+    // byte-identical — only the series dump (outside the identity set,
+    // like lineage) may differ.
+    let off = run_pair(&short_config(616, RateClass::Low).with_telemetry());
+    let on = run_pair(&short_config(616, RateClass::Low).with_timeseries(0));
+    let toff = off.telemetry.unwrap();
+    let ton = on.telemetry.unwrap();
+
+    assert!(toff.series.is_none());
+    let dump = ton.series.as_ref().expect("series dump present");
+    assert!(!dump.is_empty());
+    assert!(dump.window_count() > 30, "{} windows", dump.window_count());
+
+    let mut ra = toff.report.clone();
+    let mut rb = ton.report.clone();
+    ra.wall_ns = 0;
+    rb.wall_ns = 0;
+    assert_eq!(ra, rb);
+
+    let ca: Vec<(&str, String, u64)> = toff
+        .metrics
+        .counters()
+        .map(|(n, c, v)| (n, c.to_string(), v))
+        .collect();
+    let cb: Vec<(&str, String, u64)> = ton
+        .metrics
+        .counters()
+        .map(|(n, c, v)| (n, c.to_string(), v))
+        .collect();
+    assert_eq!(ca, cb);
+    assert_eq!(toff.trace_jsonl, ton.trace_jsonl);
+}
+
+#[test]
+fn series_dumps_and_exports_are_deterministic() {
+    // Two same-seed runs: the dumps compare equal and both exports are
+    // byte-for-byte identical.
+    let a = run_pair(&short_config(313, RateClass::High).with_timeseries(0));
+    let b = run_pair(&short_config(313, RateClass::High).with_timeseries(0));
+    let da = a.telemetry.unwrap().series.unwrap();
+    let db = b.telemetry.unwrap().series.unwrap();
+    assert_eq!(da, db);
+    assert_eq!(da.to_jsonl(), db.to_jsonl());
+    assert_eq!(da.to_csv(), db.to_csv());
+
+    // The windowed totals survive whatever the ring evicted, so the
+    // per-cause loss series must reconcile 1:1 with the always-on drop
+    // counters — and the bandwidth series with theirs.
+    let metrics = run_pair(&short_config(313, RateClass::High).with_timeseries(0))
+        .telemetry
+        .unwrap()
+        .metrics;
+    for cause in turb_obs::lineage::DropCause::ALL {
+        assert_eq!(
+            da.total_of(cause.counter()),
+            metrics.counter_total(cause.counter()),
+            "{} must reconcile",
+            cause.counter(),
+        );
+    }
+    for metric in ["link_tx_bytes_total", "node_rx_bytes_total"] {
+        assert_eq!(da.total_of(metric), metrics.counter_total(metric));
+    }
+}
+
+#[test]
+fn windowed_loss_reconciles_on_a_lossy_link() {
+    // The targeted version of the reconciliation property: a lossy
+    // link with a tight queue drops real packets, and every per-window
+    // loss series must sum to exactly the always-on counter, cause by
+    // cause.
+    let blaster = Blaster {
+        peer: Ipv4Addr::new(10, 0, 0, 2),
+        count: 2000,
+        size: 1000,
+        gap: SimDuration::from_micros(500),
+        flush_after: SimDuration::from_secs(1),
+        sent: 0,
+        flushes: 0,
+    };
+    let (mut sim, _a, _b, _capture) = lossy_link_sim(7, 0.05, 4000, blaster);
+    sim.enable_timeseries(0);
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(40));
+
+    let mut registry = turb_obs::MetricsRegistry::new();
+    sim.collect_metrics(&mut registry);
+    let dump = sim.take_timeseries().expect("series dump present");
+
+    let mut dropped = 0u64;
+    for cause in turb_obs::lineage::DropCause::ALL {
+        let windowed = dump.total_of(cause.counter());
+        assert_eq!(
+            windowed,
+            registry.counter_total(cause.counter()),
+            "{} must reconcile",
+            cause.counter(),
+        );
+        dropped += windowed;
+    }
+    assert!(dropped > 0, "5% loss over 2001 packets should drop some");
+
+    // The loss curve is not flat: drops land in more than one window.
+    let lossy: Vec<_> = dump
+        .series
+        .iter()
+        .filter(|s| s.metric == "link_dropped_fault_total")
+        .collect();
+    assert!(!lossy.is_empty());
+    assert!(
+        lossy[0].values.iter().filter(|v| **v > 0).count() > 1,
+        "fault drops should spread across windows"
+    );
+}
