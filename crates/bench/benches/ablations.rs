@@ -91,10 +91,10 @@ fn ablation_jitter_vs_interarrival_spread(c: &mut Criterion) {
                 }
             }
         }
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::Mutex;
+        use std::sync::{Arc, Mutex};
         struct Sink {
-            arrivals: Rc<RefCell<Vec<f64>>>,
+            arrivals: Arc<Mutex<Vec<f64>>>,
         }
         impl Application for Sink {
             fn on_udp(
@@ -104,7 +104,7 @@ fn ablation_jitter_vs_interarrival_spread(c: &mut Criterion) {
                 _dst_port: u16,
                 _payload: Bytes,
             ) {
-                self.arrivals.borrow_mut().push(ctx.now().as_secs_f64());
+                self.arrivals.lock().unwrap().push(ctx.now().as_secs_f64());
             }
         }
         let mut sim = Simulation::new(5);
@@ -119,7 +119,7 @@ fn ablation_jitter_vs_interarrival_spread(c: &mut Criterion) {
                 cap: SimDuration::from_millis(jitter_std_ms * 5),
             };
         }
-        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let arrivals = Arc::new(Mutex::new(Vec::new()));
         sim.add_app(
             a,
             Box::new(Cbr {
@@ -138,7 +138,7 @@ fn ablation_jitter_vs_interarrival_spread(c: &mut Criterion) {
             false,
         );
         sim.run_to_idle(SimTime(u64::MAX));
-        let times = arrivals.borrow();
+        let times = arrivals.lock().unwrap();
         let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         (gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64).sqrt()
@@ -261,7 +261,7 @@ fn ablation_red_vs_droptail(c: &mut Criterion) {
             TcpConfig::default(),
         );
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
-        let goodput = report.borrow().bytes_acked as f64 * 8.0 / 60.0 / 1000.0;
+        let goodput = report.lock().unwrap().bytes_acked as f64 * 8.0 / 60.0 / 1000.0;
         let link = sim.core().link(ab);
         (goodput, link.stats.dropped_queue, link.stats.dropped_red)
     };
@@ -369,7 +369,7 @@ fn ablation_burst_loss_vs_fragmentation(c: &mut Criterion) {
             &mut rng,
         );
         sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(200));
-        let log = wmp.log.borrow();
+        let log = wmp.log.lock().unwrap();
         let datagram_loss = log.loss_rate();
         let link_stats = sim.core().link(sc).fault.stats();
         let packet_loss = link_stats.dropped as f64 / link_stats.offered.max(1) as f64;

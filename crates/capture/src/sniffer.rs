@@ -2,8 +2,7 @@
 
 use crate::filter::Filter;
 use crate::record::PacketRecord;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use turb_netsim::{NodeId, Simulation};
 
 /// A finished (or in-progress) capture buffer.
@@ -111,7 +110,7 @@ impl Capture {
 
 /// Shared handle to a capture buffer; the simulation's tap holds one
 /// clone, the analysis holds the other.
-pub type CaptureHandle = Rc<RefCell<Capture>>;
+pub type CaptureHandle = Arc<Mutex<Capture>>;
 
 /// Attaches capture taps to simulated nodes.
 pub struct Sniffer;
@@ -121,13 +120,13 @@ impl Sniffer {
     /// paper's client machine). Returns the handle the analysis reads
     /// after — or during — the run.
     pub fn attach(sim: &mut Simulation, node: NodeId) -> CaptureHandle {
-        let handle: CaptureHandle = Rc::new(RefCell::new(Capture::with_capacity_hint()));
+        let handle: CaptureHandle = Arc::new(Mutex::new(Capture::with_capacity_hint()));
         let tap_handle = handle.clone();
         sim.add_tap(
             node,
             Box::new(move |ev| {
                 let record = PacketRecord::dissect(ev.time, ev.direction, ev.packet);
-                let mut capture = tap_handle.borrow_mut();
+                let mut capture = tap_handle.lock().unwrap();
                 capture.sniffed += 1;
                 capture.records.push(record);
             }),
@@ -140,13 +139,13 @@ impl Sniffer {
     /// applied after the fact). Rejected packets still count toward
     /// [`Capture::sniffed`].
     pub fn attach_filtered(sim: &mut Simulation, node: NodeId, filter: Filter) -> CaptureHandle {
-        let handle: CaptureHandle = Rc::new(RefCell::new(Capture::with_capacity_hint()));
+        let handle: CaptureHandle = Arc::new(Mutex::new(Capture::with_capacity_hint()));
         let tap_handle = handle.clone();
         sim.add_tap(
             node,
             Box::new(move |ev| {
                 let record = PacketRecord::dissect(ev.time, ev.direction, ev.packet);
-                let mut capture = tap_handle.borrow_mut();
+                let mut capture = tap_handle.lock().unwrap();
                 capture.sniffed += 1;
                 if filter.matches(&record) {
                     capture.records.push(record);
@@ -206,7 +205,7 @@ mod tests {
     #[test]
     fn captures_arrivals_including_fragments() {
         let capture = run_capture();
-        let capture = capture.borrow();
+        let capture = capture.lock().unwrap();
         // 300 and 100 bytes unfragmented; 2000 bytes = 2 fragments;
         // plus the ICMP port-unreachables b sends back (Tx direction).
         let rx_udp = capture.filtered(&Filter::Udp.and(Filter::direction_rx()));
@@ -220,7 +219,7 @@ mod tests {
     #[test]
     fn interarrivals_reflect_the_send_pacing() {
         let capture = run_capture();
-        let capture = capture.borrow();
+        let capture = capture.lock().unwrap();
         // First packet of each datagram arrives ≈10 ms apart.
         let filter = Filter::Udp
             .and(Filter::direction_rx())
@@ -235,7 +234,7 @@ mod tests {
     #[test]
     fn wire_lengths_include_ethernet_header() {
         let capture = run_capture();
-        let capture = capture.borrow();
+        let capture = capture.lock().unwrap();
         let lens = capture.wire_lengths(&Filter::Udp.and(Filter::direction_rx()));
         // 100B payload → 100+8+20+14 = 142 on the wire.
         assert!(lens.contains(&142.0), "lens = {lens:?}");

@@ -1,9 +1,9 @@
 //! The CLI subcommand implementations.
 
-use crate::{class_of, pair_of, scheduler_of, seed_of, threads_of};
+use crate::{class_of, pair_of, scheduler_of, seed_of, shards_of, threads_of};
 use std::collections::HashMap;
 use turb_media::PlayerId;
-use turb_netsim::SchedulerKind;
+use turb_netsim::{SchedulerKind, ShardDiag, ShardKind};
 use turb_obs::ScopeTimer;
 use turbulence::{figures, report, runner, tables, PairRunConfig};
 
@@ -27,6 +27,7 @@ pub fn corpus(flags: &Flags) -> Result<(), String> {
     let threads = threads_of(flags)?;
     let telemetry = flags.contains_key("telemetry");
     let scheduler = scheduler_of(flags)?;
+    let shards = shards_of(flags)?;
     let mut configs = match flags.get("sets") {
         None => runner::corpus_configs(seed),
         Some(list) => {
@@ -40,6 +41,7 @@ pub fn corpus(flags: &Flags) -> Result<(), String> {
     for config in &mut configs {
         config.telemetry = telemetry;
         config.scheduler = scheduler;
+        config.shards = shards;
     }
     let result = runner::run_configs_parallel(&configs, threads);
     println!(
@@ -148,6 +150,7 @@ pub fn pair(flags: &Flags) -> Result<(), String> {
         config.access_loss = loss;
     }
     config.telemetry = flags.contains_key("telemetry");
+    config.shards = shards_of(flags)?;
     let result = turbulence::run_pair(&config);
 
     println!(
@@ -212,6 +215,7 @@ pub fn obs(flags: &Flags) -> Result<(), String> {
     if let Some(loss) = loss_of(flags)? {
         config.access_loss = loss;
     }
+    config.shards = shards_of(flags)?;
     let result = turbulence::run_pair(&config);
     let telemetry = result
         .telemetry
@@ -226,6 +230,9 @@ pub fn obs(flags: &Flags) -> Result<(), String> {
         sched.cascades,
         sched.overflow_events,
     );
+    if let Some(diag) = &telemetry.shards {
+        print!("{}", render_shard_diag(diag));
+    }
     if flags.contains_key("metrics") {
         println!("{}", telemetry.metrics.render_text());
     }
@@ -241,9 +248,11 @@ pub fn obs(flags: &Flags) -> Result<(), String> {
 pub fn figures_cmd(flags: &Flags) -> Result<(), String> {
     let seed = seed_of(flags)?;
     let scheduler = scheduler_of(flags)?;
+    let shards = shards_of(flags)?;
     let mut configs = runner::corpus_configs(seed);
     for config in &mut configs {
         config.scheduler = scheduler;
+        config.shards = shards;
     }
     let result = runner::run_configs_parallel(&configs, threads_of(flags)?);
     let fig3 = figures::fig03_playback_vs_encoding(&result);
@@ -305,6 +314,105 @@ pub fn figures_cmd(flags: &Flags) -> Result<(), String> {
             validation.ks_gaps,
             validation.passes(0.1)
         );
+    }
+    Ok(())
+}
+
+/// Render a [`ShardDiag`] in the `obs` report's indent style.
+fn render_shard_diag(diag: &ShardDiag) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let lookahead = if diag.lookahead_ns == u64::MAX {
+        "unbounded".to_string()
+    } else {
+        format!("{:.3} ms", diag.lookahead_ns as f64 / 1e6)
+    };
+    let _ = writeln!(
+        out,
+        "  shards          {:>12} (lookahead {lookahead} / {} barriers / {} transits / max batch {} / {} reallocs)",
+        diag.shards, diag.barriers, diag.transits, diag.max_exchange_depth, diag.exchange_reallocs,
+    );
+    for d in &diag.per_domain {
+        let _ = writeln!(
+            out,
+            "    domain {:>2}     {:>6} nodes | {:>10} events | queue depth {:>6} | {} slots / {} cascades",
+            d.domain, d.nodes, d.events_processed, d.max_queue_depth, d.sched.slots_touched, d.sched.cascades,
+        );
+    }
+    out
+}
+
+/// `turbulence scale`: the replicated-client scale scenario run
+/// sequentially and sharded back to back — byte-identity asserted via
+/// result digests, speedup and partition diagnostics printed.
+pub fn scale(flags: &Flags) -> Result<(), String> {
+    use turb_netsim::topology::ScaleConfig;
+    use turbulence::scale::{run_scale, ScaleRunConfig};
+
+    let seed = seed_of(flags)?;
+    let mut scenario = ScaleConfig::default();
+    if let Some(raw) = flags.get("clients") {
+        scenario.clients_per_group = raw.parse().map_err(|_| format!("bad --clients {raw:?}"))?;
+    }
+    if let Some(raw) = flags.get("groups") {
+        scenario.groups = raw.parse().map_err(|_| format!("bad --groups {raw:?}"))?;
+    }
+    if let Some(raw) = flags.get("packets") {
+        scenario.packets_per_client = raw.parse().map_err(|_| format!("bad --packets {raw:?}"))?;
+    }
+    // Default to one domain per group: the ring cuts are the natural
+    // partition, and more domains than groups would split a group's
+    // zero-latency access links.
+    let shard_n = match shards_of(flags)? {
+        ShardKind::Sharded(n) => n,
+        ShardKind::Sequential => scenario.groups as u16,
+    };
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let sequential = run_scale(&ScaleRunConfig {
+        seed,
+        scenario: scenario.clone(),
+        shards: ShardKind::Sequential,
+    });
+    let sharded = run_scale(&ScaleRunConfig {
+        seed,
+        scenario: scenario.clone(),
+        shards: ShardKind::Sharded(shard_n),
+    });
+    let identical = sequential.digest == sharded.digest;
+    let speedup = sequential.wall_ns as f64 / sharded.wall_ns.max(1) as f64;
+
+    println!(
+        "scale: {} groups x {} clients, {} datagrams offered ({} cpus available)",
+        scenario.groups,
+        scenario.clients_per_group,
+        scenario.groups as u64
+            * scenario.clients_per_group as u64
+            * u64::from(scenario.packets_per_client),
+        cpus,
+    );
+    println!(
+        "scale: {:<12} {:>8.1} ms | {:>10} events | digest {:016x}",
+        "sequential",
+        sequential.wall_ns as f64 / 1e6,
+        sequential.events_processed,
+        sequential.digest,
+    );
+    println!(
+        "scale: {:<12} {:>8.1} ms | {:>10} events | digest {:016x}",
+        format!("sharded({shard_n})"),
+        sharded.wall_ns as f64 / 1e6,
+        sharded.events_processed,
+        sharded.digest,
+    );
+    println!("scale: speedup {speedup:.2}x | identical {identical}");
+    if let Some(diag) = &sharded.diag {
+        print!("{}", render_shard_diag(diag));
+    }
+    if !identical {
+        return Err("sharded scale run diverged from sequential".to_string());
     }
     Ok(())
 }
@@ -425,6 +533,48 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     let watch_memory_bytes = watch_series.memory_bytes();
     let watch_ns = timer.elapsed_ns();
 
+    // Shard phase: the replicated-client scale scenario sequential vs
+    // sharded — the conservative parallel engine's honest speedup on
+    // this machine, plus byte-identity and the zero-realloc claim.
+    let timer = ScopeTimer::start("bench_scale", "bench");
+    let scale_scenario = if quick {
+        turb_netsim::topology::ScaleConfig {
+            clients_per_group: 64,
+            ..Default::default()
+        }
+    } else {
+        turb_netsim::topology::ScaleConfig::default()
+    };
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let scale_shards = scale_scenario.groups as u16;
+    let scale_seq = turbulence::run_scale(&turbulence::ScaleRunConfig {
+        seed,
+        scenario: scale_scenario.clone(),
+        shards: ShardKind::Sequential,
+    });
+    let scale_shd = turbulence::run_scale(&turbulence::ScaleRunConfig {
+        seed,
+        scenario: scale_scenario,
+        shards: ShardKind::Sharded(scale_shards),
+    });
+    let shards_identical = scale_seq.digest == scale_shd.digest;
+    let shard_speedup = scale_seq.wall_ns as f64 / scale_shd.wall_ns.max(1) as f64;
+    let scale_diag = scale_shd
+        .diag
+        .as_ref()
+        .expect("sharded scale run exposes diagnostics");
+    // Steady-state cross-domain exchange must never outgrow its
+    // pre-sized buffers; a realloc here is a perf bug even though the
+    // results stay correct.
+    assert!(
+        scale_diag.exchange_reallocs == 0,
+        "shard exchange buffers reallocated {} time(s)",
+        scale_diag.exchange_reallocs
+    );
+    let scale_ns = timer.elapsed_ns();
+
     let speedup = sequential_ns as f64 / parallel_ns.max(1) as f64;
     let scheduler_speedup = alternate_ns as f64 / sequential_ns.max(1) as f64;
     // Present only when a previous file existed to compare against.
@@ -440,9 +590,13 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     // fixed scheduler names, nothing needs escaping, and the workspace
     // deliberately carries no serde.
     let json = format!(
-        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"scheduler\": \"{}\",\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"schedulers_identical\": {schedulers_identical},\n  \"speedup\": {speedup:.3},\n  \"scheduler_speedup\": {scheduler_speedup:.3},{baseline_fields}\n  \"watch\": {{\n    \"series\": {watch_series_count},\n    \"windows\": {watch_windows},\n    \"memory_bytes\": {watch_memory_bytes}\n  }},\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"alternate\": {alternate_ns},\n    \"figures\": {figures_ns},\n    \"watch\": {watch_ns}\n  }}\n}}\n",
+        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"scheduler\": \"{}\",\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"schedulers_identical\": {schedulers_identical},\n  \"speedup\": {speedup:.3},\n  \"scheduler_speedup\": {scheduler_speedup:.3},{baseline_fields}\n  \"watch\": {{\n    \"series\": {watch_series_count},\n    \"windows\": {watch_windows},\n    \"memory_bytes\": {watch_memory_bytes}\n  }},\n  \"scale\": {{\n    \"events\": {},\n    \"shards\": {scale_shards},\n    \"cpus\": {cpus},\n    \"scale_sequential_ns\": {},\n    \"scale_sharded_ns\": {},\n    \"shard_speedup\": {shard_speedup:.3},\n    \"shards_identical\": {shards_identical},\n    \"exchange_reallocs\": {}\n  }},\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"alternate\": {alternate_ns},\n    \"figures\": {figures_ns},\n    \"watch\": {watch_ns},\n    \"scale\": {scale_ns}\n  }}\n}}\n",
         scheduler.name(),
         configs.len(),
+        scale_seq.events_processed,
+        scale_seq.wall_ns,
+        scale_shd.wall_ns,
+        scale_diag.exchange_reallocs,
     );
     std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
     // One trajectory point per bench run, appended so perf history
@@ -456,9 +610,11 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let point = format!(
-        "{{\"unix_secs\": {stamp}, \"seed\": {seed}, \"threads\": {threads}, \"quick\": {quick}, \"scheduler\": \"{}\", \"pair_runs\": {}, \"sequential_ns\": {sequential_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}, \"identical\": {identical}, \"watch_windows\": {watch_windows}, \"watch_memory_bytes\": {watch_memory_bytes}}}\n",
+        "{{\"unix_secs\": {stamp}, \"seed\": {seed}, \"threads\": {threads}, \"quick\": {quick}, \"scheduler\": \"{}\", \"pair_runs\": {}, \"sequential_ns\": {sequential_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}, \"identical\": {identical}, \"watch_windows\": {watch_windows}, \"watch_memory_bytes\": {watch_memory_bytes}, \"cpus\": {cpus}, \"scale_sequential_ns\": {}, \"scale_sharded_ns\": {}, \"shard_speedup\": {shard_speedup:.3}, \"shards_identical\": {shards_identical}}}\n",
         scheduler.name(),
         configs.len(),
+        scale_seq.wall_ns,
+        scale_shd.wall_ns,
     );
     {
         use std::io::Write as _;
@@ -495,6 +651,12 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         watch_memory_bytes / 1024,
         watch_ns as f64 / 1e9,
     );
+    println!(
+        "bench: scale sequential {:.2}s vs sharded({scale_shards}) {:.2}s | shard speedup {shard_speedup:.2}x on {cpus} cpu{} | identical {shards_identical}",
+        scale_seq.wall_ns as f64 / 1e9,
+        scale_shd.wall_ns as f64 / 1e9,
+        if cpus == 1 { "" } else { "s" },
+    );
     println!("bench: wrote {out} (+ trajectory point in {trajectory})");
     if let (true, Some((base_seq, base_runs))) = (gate, gate_baseline) {
         let current = sequential_ns as f64 / configs.len().max(1) as f64;
@@ -511,6 +673,14 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
             ));
         }
     }
+    // The shard speedup gate only binds where parallel hardware
+    // exists: on a single-core runner the barrier overhead makes a
+    // sharded run honestly slower, and that number is still recorded.
+    if gate && cpus >= 2 && shard_speedup < 1.0 {
+        return Err(format!(
+            "shard speedup gate failed: {shard_speedup:.2}x on {cpus} cpus (limit 1.00x)"
+        ));
+    }
     if !identical {
         return Err("parallel corpus output diverged from sequential".to_string());
     }
@@ -520,6 +690,9 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
             other.name(),
             scheduler.name()
         ));
+    }
+    if !shards_identical {
+        return Err("sharded scale run diverged from sequential".to_string());
     }
     Ok(())
 }
@@ -650,7 +823,7 @@ pub fn ping(flags: &Flags) -> Result<(), String> {
         "site", "hops", "median rtt", "loss"
     );
     for (addr, hops, report) in reports {
-        let report = report.borrow();
+        let report = report.lock().unwrap();
         println!(
             "{:>16} {:>6} {:>10.1}ms {:>11.1}%",
             addr.to_string(),
@@ -1075,11 +1248,13 @@ pub fn watch(flags: &Flags) -> Result<(), String> {
         let (set, pair) = pair_of(flags)?;
         vec![PairRunConfig::new(seed, set, pair)]
     };
+    let shards = shards_of(flags)?;
     for config in &mut configs {
         config.telemetry = true;
         config.timeseries = true;
         config.ts_window_ns = window_ns;
         config.scheduler = scheduler;
+        config.shards = shards;
         if let Some(loss) = loss {
             config.access_loss = loss;
         }

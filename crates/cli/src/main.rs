@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! turbulence corpus     [--seed N] [--sets 1,2,5]     full corpus + figure digests
-//!                       [--threads N] [--scheduler S]
+//!                       [--threads N] [--scheduler S] [--shards N]
 //! turbulence pair       --set N --class low|high|vh   one pair run, summarised
 //!                       [--seed N] [--pcap FILE] [--loss P] [--telemetry]
 //! turbulence obs        --set N [--class C] [--seed N] [--loss P]
@@ -29,12 +29,15 @@
 //!                       [--window SECS] [--metrics M,M] bandwidth, loss by cause,
 //!                       [--jsonl FILE] [--csv FILE]   queue depth, buffer occupancy,
 //!                       [--threads N] [--sets 1,2]    reassembly backlog
+//! turbulence scale      [--seed N] [--shards N]       replicated-client scale run,
+//!                       [--clients N] [--groups N]    sequential vs sharded, with
+//!                       [--packets N]                 byte-identity check + speedup
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use turb_media::{corpus, RateClass};
-use turb_netsim::SchedulerKind;
+use turb_netsim::{SchedulerKind, ShardKind};
 
 mod commands;
 
@@ -58,6 +61,8 @@ COMMANDS:
                 drop post-mortem, Perfetto export
     watch       per-window time-series view of a pair run or the corpus:
                 bandwidth, loss by cause, queue depth, buffer occupancy
+    scale       run the replicated-client scale scenario sequentially and
+                sharded, assert byte-identity, report the speedup
     help        print this text
 
 OPTIONS (per command):
@@ -69,8 +74,15 @@ OPTIONS (per command):
     --pcap FILE         pair: write the client capture as a pcap file
     --loss P            pair/obs: Bernoulli loss (0..=1) on the access link
     --telemetry         pair/corpus: collect and print the telemetry report
-    --threads N         corpus/figures/bench: worker threads (default: all
-                        cores; 0 or 1 runs sequentially)
+    --threads N         corpus/figures/bench/watch: worker threads fanning
+                        *whole pair runs* across a pool (default: all cores;
+                        0 or 1 runs sequentially). Compare --shards, which
+                        parallelises inside one simulation; the two compose.
+    --shards N          corpus/pair/obs/figures/watch/bench/scale: partition
+                        each simulation into N shard domains, one worker
+                        thread per domain (default: sequential; results are
+                        byte-identical at every N; N may not exceed the
+                        scenario's node count)
     --scheduler S       corpus/pair/obs/figures/bench: event-queue engine,
                         wheel | heap (default wheel; results are identical)
     --metrics           obs: also print Prometheus-style metrics exposition
@@ -96,6 +108,9 @@ OPTIONS (per command):
                         (substring match; default: all recorded series)
     --jsonl FILE        watch: export the raw series as JSON Lines
     --csv FILE          watch: export the long-format per-window CSV
+    --clients N         scale: client hosts per group (default 256)
+    --groups N          scale: site groups on the ring (default 8)
+    --packets N         scale: datagrams each client sends (default 40)
     --iterations N      check: cases per property (default 1000)
     --props a,b         check: restrict to these properties
     --replay FILE       check: re-run one stored .case file instead
@@ -164,6 +179,25 @@ fn threads_of(flags: &HashMap<String, String>) -> Result<usize, String> {
     }
 }
 
+/// `--shards N`: partition each simulation into N shard domains with
+/// one worker thread per domain. Not to be confused with `--threads`,
+/// which fans whole pair runs across a pool: shards parallelise
+/// *inside* one simulation, and the two compose. Absent means
+/// sequential; `--shards 1` runs the partitioned engine with a single
+/// domain, which is useful for overhead measurements.
+fn shards_of(flags: &HashMap<String, String>) -> Result<ShardKind, String> {
+    match flags.get("shards") {
+        None => Ok(ShardKind::Sequential),
+        Some(s) => {
+            let n: u16 = s.parse().map_err(|_| format!("bad --shards {s:?}"))?;
+            if n == 0 {
+                return Err("--shards must be at least 1 (omit it to run sequentially)".into());
+            }
+            Ok(ShardKind::Sharded(n))
+        }
+    }
+}
+
 /// `--scheduler wheel|heap`: the event-queue engine. The timing wheel
 /// is the default; the heap is kept for A/B runs and equivalence tests.
 fn scheduler_of(flags: &HashMap<String, String>) -> Result<SchedulerKind, String> {
@@ -220,6 +254,7 @@ fn run() -> Result<(), String> {
         "check" => commands::check(&flags),
         "timeline" => commands::timeline(&flags),
         "watch" => commands::watch(&flags),
+        "scale" => commands::scale(&flags),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())
@@ -334,10 +369,33 @@ mod tests {
     fn usage_names_every_command() {
         for command in [
             "corpus", "pair", "obs", "figures", "bench", "flowgen", "friendly", "ping", "check",
-            "timeline", "watch",
+            "timeline", "watch", "scale",
         ] {
             assert!(usage().contains(command), "{command} missing from usage");
         }
+    }
+
+    #[test]
+    fn shards_defaults_to_sequential_and_rejects_zero() {
+        assert_eq!(shards_of(&flags(&[])).unwrap(), ShardKind::Sequential);
+        assert_eq!(
+            shards_of(&flags(&[("shards", "4")])).unwrap(),
+            ShardKind::Sharded(4)
+        );
+        assert_eq!(
+            shards_of(&flags(&[("shards", "1")])).unwrap(),
+            ShardKind::Sharded(1)
+        );
+        assert!(shards_of(&flags(&[("shards", "0")])).is_err());
+        assert!(shards_of(&flags(&[("shards", "many")])).is_err());
+    }
+
+    #[test]
+    fn usage_disambiguates_threads_from_shards() {
+        // The two parallelism axes must each explain themselves in
+        // terms of the other.
+        assert!(usage().contains("whole pair runs"));
+        assert!(usage().contains("inside one simulation"));
     }
 
     #[test]

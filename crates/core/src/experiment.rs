@@ -11,7 +11,8 @@ use turb_capture::{Capture, Sniffer};
 use turb_media::{ClipPair, RateClass};
 use turb_netsim::tools::{self, PingReport, TracertReport};
 use turb_netsim::{
-    InternetScenario, ScenarioConfig, SchedulerKind, SimDuration, SimRng, SimTime, Simulation,
+    InternetScenario, ScenarioConfig, SchedulerKind, ShardKind, SimDuration, SimRng, SimTime,
+    Simulation,
 };
 use turb_obs::ScopeTimer;
 use turb_players::calibration::{REAL_SERVER_PORT, WMP_SERVER_PORT};
@@ -61,6 +62,15 @@ pub struct PairRunConfig {
     /// Window width for time-series recording, nanoseconds; 0 selects
     /// the 1 s default.
     pub ts_window_ns: u64,
+    /// How to execute the event loop: sequentially (the default) or
+    /// partitioned into shard domains with one worker thread each
+    /// (`--shards N`). Sharding is an execution strategy, not a model
+    /// change — `tests/shard_equivalence.rs` proves every shard count
+    /// produces byte-identical reports, metrics, traces, lineage, and
+    /// series. Distinct from corpus `--threads`, which runs whole
+    /// pair runs on a worker pool; shards parallelise *inside* one
+    /// simulation.
+    pub shards: ShardKind,
 }
 
 impl PairRunConfig {
@@ -77,6 +87,7 @@ impl PairRunConfig {
             lineage: false,
             timeseries: false,
             ts_window_ns: 0,
+            shards: ShardKind::Sequential,
         }
     }
 
@@ -107,6 +118,13 @@ impl PairRunConfig {
         self.timeseries = true;
         self.ts_window_ns = window_ns;
         self.telemetry = true;
+        self
+    }
+
+    /// Same config with the simulation partitioned into `n` shard
+    /// domains, one worker thread per domain.
+    pub fn with_shards(mut self, n: u16) -> PairRunConfig {
+        self.shards = ShardKind::Sharded(n);
         self
     }
 }
@@ -182,6 +200,7 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
     if config.timeseries {
         sim.enable_timeseries(config.ts_window_ns);
     }
+    sim.set_shards(config.shards);
     let mut rng = SimRng::new(config.seed ^ 0x7075_6c73_6172);
 
     let scenario = InternetScenario::build(&mut sim, &mut rng, &ScenarioConfig::default());
@@ -260,17 +279,17 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
     );
     sim.run_until(check_start + SimDuration::from_secs(10));
 
-    let capture = std::rc::Rc::try_unwrap(capture)
-        .map(|c| c.into_inner())
-        .unwrap_or_else(|rc| {
+    let capture = std::sync::Arc::try_unwrap(capture)
+        .map(|c| c.into_inner().expect("capture lock poisoned"))
+        .unwrap_or_else(|arc| {
             // The tap closure still holds a clone; clone the data out.
-            rc.borrow().clone()
+            arc.lock().unwrap().clone()
         });
 
     // Clone out of the shared handles before the simulation (which
     // still holds tap/app clones) goes out of scope.
-    let real_log = real.log.borrow().clone();
-    let wmp_log = wmp.log.borrow().clone();
+    let real_log = real.log.lock().unwrap().clone();
+    let wmp_log = wmp.log.lock().unwrap().clone();
     let mut telemetry = config.telemetry.then(|| {
         harvest(
             &label,
@@ -292,10 +311,10 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
         real: real_log,
         wmp: wmp_log,
         capture,
-        ping_before: ping_before.borrow().clone(),
-        ping_after: ping_after.borrow().clone(),
-        tracert_before: tracert_before.borrow().clone(),
-        tracert_after: tracert_after.borrow().clone(),
+        ping_before: ping_before.lock().unwrap().clone(),
+        ping_after: ping_after.lock().unwrap().clone(),
+        tracert_before: tracert_before.lock().unwrap().clone(),
+        tracert_after: tracert_after.lock().unwrap().clone(),
         server_addr: site.server_addr,
         configured_hops: site.hop_count,
         stream_start,

@@ -134,9 +134,9 @@ fn tcp_goodput(config: &FriendlinessConfig, with_stream: bool) -> (f64, Option<A
         TcpConfig::default(),
     );
     sim.run_until(SimTime::ZERO + SimDuration::from_secs_f64(config.observe_secs));
-    let acked = report.borrow().bytes_acked;
+    let acked = report.lock().unwrap().bytes_acked;
     let goodput_kbps = acked as f64 * 8.0 / config.observe_secs / 1000.0;
-    (goodput_kbps, stream_log.map(|l| l.borrow().clone()))
+    (goodput_kbps, stream_log.map(|l| l.lock().unwrap().clone()))
 }
 
 /// Run one TCP-friendliness trial: TCP alone, then TCP sharing the
@@ -244,7 +244,7 @@ pub fn run_egress_study(config: &EgressConfig) -> EgressResult {
     sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs_f64(config.observe_secs));
 
     let capture_data = {
-        let borrowed = capture.borrow();
+        let borrowed = capture.lock().unwrap();
         let mut out = Capture::default();
         for r in borrowed.records() {
             out.push_record(r.clone());
@@ -261,7 +261,7 @@ pub fn run_egress_study(config: &EgressConfig) -> EgressResult {
     let bytes: usize = groups.groups().iter().map(|g| g.wire_bytes).sum();
     let _ = records;
     EgressResult {
-        logs: logs.iter().map(|l| l.borrow().clone()).collect(),
+        logs: logs.iter().map(|l| l.lock().unwrap().clone()).collect(),
         aggregate_kbps: bytes as f64 * 8.0 / config.observe_secs / 1000.0,
         fragment_fraction: groups.stats().fragment_fraction(),
         capture: capture_data,

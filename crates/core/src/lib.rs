@@ -35,9 +35,11 @@ pub mod followup;
 pub mod parallel;
 pub mod report;
 pub mod runner;
+pub mod scale;
 pub mod tables;
 pub mod telemetry;
 
 pub use experiment::{run_pair, PairRunConfig, PairRunResult};
 pub use runner::{run_corpus, run_corpus_parallel, CorpusResult};
+pub use scale::{run_scale, ScaleRunConfig, ScaleRunResult};
 pub use telemetry::RunTelemetry;

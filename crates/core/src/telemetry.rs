@@ -6,7 +6,7 @@
 //! collected can never affect what the simulation computed.
 
 use turb_capture::Capture;
-use turb_netsim::{LineageDump, SchedStats, SchedulerKind, Simulation};
+use turb_netsim::{LineageDump, SchedStats, SchedulerKind, ShardDiag, Simulation};
 use turb_obs::{FragReport, LinkReport, MetricsRegistry, RunReport, SeriesDump};
 use turb_players::telemetry::player_report;
 use turb_players::AppStatsLog;
@@ -38,6 +38,13 @@ pub struct RunTelemetry {
     /// ([`crate::PairRunConfig::with_timeseries`]). Outside the
     /// byte-identity set for the same reason as `lineage`.
     pub series: Option<SeriesDump>,
+    /// Shard-engine diagnostics (lookahead, barriers, exchanged
+    /// transits, per-domain event counts) when the run was partitioned
+    /// ([`crate::PairRunConfig::with_shards`]); `None` for sequential
+    /// runs. Outside the byte-identity set — the identity tests assert
+    /// `report`/`metrics`/`trace_jsonl` are unchanged by sharding, not
+    /// that the partition looks any particular way.
+    pub shards: Option<ShardDiag>,
 }
 
 /// Harvest a finished simulation into a [`RunTelemetry`].
@@ -49,15 +56,14 @@ pub fn harvest(
     wmp: &AppStatsLog,
     wall_ns: u64,
 ) -> RunTelemetry {
-    let core = sim.core();
     let stats = sim.sim_stats();
 
     let elapsed_secs = sim.now().as_nanos() as f64 / 1e9;
-    let mut links = Vec::with_capacity(core.link_count());
+    let mut links = Vec::with_capacity(sim.link_count());
     let mut fault_losses = 0u64;
     let mut fault_delayed = 0u64;
-    for i in 0..core.link_count() {
-        let link = core.link(turb_netsim::LinkId(i));
+    for i in 0..sim.link_count() {
+        let link = sim.link(turb_netsim::LinkId(i));
         let s = link.stats;
         let f = link.fault.stats();
         fault_losses += f.dropped;
@@ -83,8 +89,8 @@ pub fn harvest(
         fragments_sent: stats.fragments_sent,
         ..FragReport::default()
     };
-    for i in 0..core.node_count() {
-        let r = core.node(turb_netsim::NodeId(i)).reassembler.stats();
+    for i in 0..sim.node_count() {
+        let r = sim.node(turb_netsim::NodeId(i)).reassembler.stats();
         frag.fragments_received += r.fragments_received;
         frag.reassembled += r.reassembled;
         frag.passthrough += r.passthrough;
@@ -101,13 +107,12 @@ pub fn harvest(
         threads: 1,
         sim_events_processed: stats.events_processed,
         sim_events_scheduled: stats.events_scheduled,
-        queue_high_water: stats.queue_high_water,
         transit_fastpath: stats.transit_fastpath,
         transit_slowpath: stats.transit_slowpath,
         fault_induced_losses: fault_losses,
         fault_delayed,
         capture_records: capture.len() as u64,
-        trace_dropped: core.obs.trace.evicted(),
+        trace_dropped: sim.trace_evicted(),
         links,
         frag,
         players: vec![
@@ -126,12 +131,13 @@ pub fn harvest(
     RunTelemetry {
         report,
         metrics,
-        trace_jsonl: core.obs.trace_jsonl(),
+        trace_jsonl: sim.trace_jsonl(),
         scheduler: sim.scheduler(),
         sched: sim.sched_stats(),
         // Filled in by `run_pair` after harvesting (detaching the dumps
         // needs `&mut Simulation`; everything here reads shared refs).
         lineage: None,
         series: None,
+        shards: sim.shard_diag(),
     }
 }

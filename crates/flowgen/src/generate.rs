@@ -241,8 +241,7 @@ mod tests {
     #[test]
     fn replay_app_delivers_the_schedule() {
         use bytes::Bytes;
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
         use turb_netsim::prelude::*;
 
         let mut generator = FlowGenerator::new(model(1.0, 0.0), SimRng::new(4));
@@ -257,7 +256,7 @@ mod tests {
         sim.core_mut().node_mut(b).default_route = Some(ba);
 
         struct Sink {
-            count: Rc<RefCell<usize>>,
+            count: Arc<Mutex<usize>>,
         }
         impl Application for Sink {
             fn on_udp(
@@ -267,10 +266,10 @@ mod tests {
                 _dst_port: u16,
                 _payload: Bytes,
             ) {
-                *self.count.borrow_mut() += 1;
+                *self.count.lock().unwrap() += 1;
             }
         }
-        let count = Rc::new(RefCell::new(0));
+        let count = Arc::new(Mutex::new(0));
         sim.add_app(
             b,
             Box::new(Sink {
@@ -292,6 +291,6 @@ mod tests {
             false,
         );
         sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(30));
-        assert_eq!(*count.borrow(), expected);
+        assert_eq!(*count.lock().unwrap(), expected);
     }
 }

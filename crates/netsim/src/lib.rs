@@ -1,9 +1,12 @@
 //! # turb-netsim — a deterministic discrete-event network simulator
 //!
 //! The substrate standing in for the 2002 Internet of the paper's
-//! measurement study. Sans-IO and single-threaded: a run is a pure
+//! measurement study. Sans-IO and deterministic: a run is a pure
 //! function of (topology, applications, seed), so every experiment in
-//! the workspace is bit-reproducible.
+//! the workspace is bit-reproducible — including under the optional
+//! sharded engine, which partitions one simulation across worker
+//! threads behind conservative lookahead barriers without changing a
+//! single result byte.
 //!
 //! * [`time`] — nanosecond [`SimTime`]/[`SimDuration`] clock.
 //! * [`rng`] — embedded xoshiro256** [`SimRng`] with forkable
@@ -17,8 +20,15 @@
 //!   [`Ctx`] capability handle, sniffer taps.
 //! * [`wheel`] — deterministic hierarchical timing wheel backing the
 //!   default event queue (`--scheduler heap` swaps the old heap in).
+//! * [`shard`] — conservative parallel engine: the topology is
+//!   partitioned into per-thread domains, lookahead = the minimum
+//!   propagation over cut links, and cross-domain packets transit
+//!   through canonical-order exchange queues at barriers. Selected
+//!   with [`ShardKind::Sharded`]; byte-identical to sequential.
 //! * [`topology`] — the paper's client-to-six-sites scenario with
-//!   hop-count and RTT distributions calibrated to Figures 1–2.
+//!   hop-count and RTT distributions calibrated to Figures 1–2, plus
+//!   the replicated-client [`topology::ScaleScenario`] used to bench
+//!   the shard engine on 10⁴–10⁵ pending events.
 //! * [`tools`] — `ping` and `tracert` as simulated applications.
 //! * [`tcp`] — a sans-IO Reno TCP (handshake, retransmission, fast
 //!   recovery) for the paper's §VI TCP-friendliness follow-up.
@@ -39,7 +49,7 @@
 //!     &mut rng,
 //! );
 //! sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
-//! assert_eq!(report.borrow().received, 4);
+//! assert_eq!(report.lock().unwrap().received, 4);
 //! ```
 
 pub mod fault;
@@ -47,6 +57,7 @@ pub mod link;
 pub mod node;
 pub mod red;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod tcp;
 pub mod tcp_apps;
@@ -60,6 +71,7 @@ pub use link::{Link, LinkConfig, LinkId, LinkStats, NodeId};
 pub use node::{AppId, Node, NodeKind, NodeStats};
 pub use red::RedQueue;
 pub use rng::SimRng;
+pub use shard::{ShardDiag, ShardDomainStats, ShardKind};
 pub use sim::{
     Application, Ctx, Direction, SchedulerKind, SimCore, SimStats, Simulation, Tap, TapEvent,
 };
@@ -76,6 +88,7 @@ pub mod prelude {
     pub use crate::link::{LinkConfig, LinkId, NodeId};
     pub use crate::node::AppId;
     pub use crate::rng::SimRng;
+    pub use crate::shard::{ShardDiag, ShardDomainStats, ShardKind};
     pub use crate::sim::{Application, Ctx, Direction, SchedulerKind, Simulation, TapEvent};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::tools;

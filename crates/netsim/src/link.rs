@@ -110,6 +110,12 @@ pub struct Link {
     /// [`crate::sim::Simulation::add_link`]; hot-path observers record
     /// this handle instead of cloning the string.
     pub comp: SymbolId,
+    /// This link's private random stream, consumed by the fault
+    /// injector and RED. Forked per link at construction so the draw
+    /// sequence is a function of this link's traffic alone — which is
+    /// what keeps faulty runs byte-identical when the topology is
+    /// partitioned across shard domains.
+    pub rng: crate::rng::SimRng,
 }
 
 /// Outcome of offering a packet to a link.
@@ -143,6 +149,7 @@ impl Link {
             stats: LinkStats::default(),
             trace_component: format!("link:{}", id.0),
             comp: SymbolId(0),
+            rng: crate::rng::SimRng::new(0x11A8_0000 ^ id.0 as u64),
         }
     }
 
@@ -159,19 +166,14 @@ impl Link {
     /// Applies drop-tail admission, FIFO serialisation, propagation
     /// delay, and the fault injector, and returns when (or whether) the
     /// packet reaches the far end.
-    pub fn transmit(
-        &mut self,
-        now: SimTime,
-        bytes: usize,
-        rng: &mut crate::rng::SimRng,
-    ) -> TxOutcome {
+    pub fn transmit(&mut self, now: SimTime, bytes: usize) -> TxOutcome {
         let backlog = self.backlog_bytes(now);
         if backlog + bytes > self.config.queue_capacity {
             self.stats.dropped_queue += 1;
             return TxOutcome::QueueFull;
         }
         if let Some(red) = self.red.as_mut() {
-            if red.should_drop(backlog, rng) {
+            if red.should_drop(backlog, &mut self.rng) {
                 self.stats.dropped_red += 1;
                 return TxOutcome::Red;
             }
@@ -181,13 +183,13 @@ impl Link {
         self.next_free = done;
         self.stats.tx_packets += 1;
         self.stats.tx_bytes += bytes as u64;
-        if self.fault.should_drop(rng) {
+        if self.fault.should_drop(&mut self.rng) {
             // The packet consumed transmit bandwidth but is lost in
             // flight; nothing arrives.
             self.stats.dropped_fault += 1;
             return TxOutcome::Faulted;
         }
-        let arrival = done + self.config.propagation + self.fault.extra_delay(rng);
+        let arrival = done + self.config.propagation + self.fault.extra_delay(&mut self.rng);
         TxOutcome::Deliver { arrival }
     }
 
@@ -200,7 +202,6 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rng::SimRng;
 
     fn link(rate_bps: u64, prop_ms: u64, queue: usize) -> Link {
         Link::new(
@@ -219,8 +220,7 @@ mod tests {
     #[test]
     fn single_packet_latency_is_tx_plus_prop() {
         let mut l = link(8_000_000, 10, 1 << 20); // 1 byte / µs
-        let mut rng = SimRng::new(1);
-        match l.transmit(SimTime::ZERO, 1000, &mut rng) {
+        match l.transmit(SimTime::ZERO, 1000) {
             TxOutcome::Deliver { arrival } => {
                 // 1000 µs serialisation + 10 ms propagation.
                 assert_eq!(arrival, SimTime(1_000_000 + 10_000_000));
@@ -232,9 +232,8 @@ mod tests {
     #[test]
     fn back_to_back_packets_serialise_fifo() {
         let mut l = link(8_000_000, 0, 1 << 20);
-        let mut rng = SimRng::new(1);
-        let a = l.transmit(SimTime::ZERO, 1000, &mut rng);
-        let b = l.transmit(SimTime::ZERO, 1000, &mut rng);
+        let a = l.transmit(SimTime::ZERO, 1000);
+        let b = l.transmit(SimTime::ZERO, 1000);
         let (TxOutcome::Deliver { arrival: ta }, TxOutcome::Deliver { arrival: tb }) = (a, b)
         else {
             panic!("both should deliver");
@@ -245,9 +244,8 @@ mod tests {
     #[test]
     fn backlog_drains_over_time() {
         let mut l = link(8_000_000, 0, 1 << 20);
-        let mut rng = SimRng::new(1);
-        l.transmit(SimTime::ZERO, 1000, &mut rng);
-        l.transmit(SimTime::ZERO, 1000, &mut rng);
+        l.transmit(SimTime::ZERO, 1000);
+        l.transmit(SimTime::ZERO, 1000);
         assert_eq!(l.backlog_bytes(SimTime::ZERO), 2000);
         assert_eq!(l.backlog_bytes(SimTime(1_000_000)), 1000);
         assert_eq!(l.backlog_bytes(SimTime(2_000_000)), 0);
@@ -256,20 +254,16 @@ mod tests {
     #[test]
     fn drop_tail_when_queue_full() {
         let mut l = link(8_000, 0, 1500); // slow link, tiny queue
-        let mut rng = SimRng::new(1);
         assert!(matches!(
-            l.transmit(SimTime::ZERO, 1000, &mut rng),
+            l.transmit(SimTime::ZERO, 1000),
             TxOutcome::Deliver { .. }
         ));
         // Backlog is now 1000 bytes; a 1000-byte packet exceeds capacity.
-        assert_eq!(
-            l.transmit(SimTime::ZERO, 1000, &mut rng),
-            TxOutcome::QueueFull
-        );
+        assert_eq!(l.transmit(SimTime::ZERO, 1000), TxOutcome::QueueFull);
         assert_eq!(l.stats.dropped_queue, 1);
         // A small packet still fits.
         assert!(matches!(
-            l.transmit(SimTime::ZERO, 400, &mut rng),
+            l.transmit(SimTime::ZERO, 400),
             TxOutcome::Deliver { .. }
         ));
     }
@@ -278,11 +272,7 @@ mod tests {
     fn fault_injector_drops_consume_bandwidth() {
         let mut l = link(8_000_000, 0, 1 << 20);
         l.fault = FaultInjector::bernoulli(1.0);
-        let mut rng = SimRng::new(1);
-        assert_eq!(
-            l.transmit(SimTime::ZERO, 1000, &mut rng),
-            TxOutcome::Faulted
-        );
+        assert_eq!(l.transmit(SimTime::ZERO, 1000), TxOutcome::Faulted);
         assert_eq!(l.stats.dropped_fault, 1);
         assert_eq!(l.backlog_bytes(SimTime::ZERO), 1000);
     }

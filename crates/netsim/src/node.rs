@@ -87,6 +87,13 @@ pub struct Node {
     /// observers (lineage, time-series, traces) record this handle
     /// instead of cloning the string.
     pub comp: SymbolId,
+    /// This node's private random stream, consumed by applications
+    /// through [`crate::sim::Ctx::rng`] (e.g. TCP initial sequence
+    /// numbers). Forked per node at construction so the draw sequence
+    /// is a function of this node's behaviour alone — which is what
+    /// keeps runs byte-identical when the topology is partitioned
+    /// across shard domains.
+    pub rng: crate::rng::SimRng,
 }
 
 impl Node {
@@ -112,6 +119,7 @@ impl Node {
             stats: NodeStats::default(),
             trace_component,
             comp: SymbolId(0),
+            rng: crate::rng::SimRng::new(0x11A8_1000 ^ id.0 as u64),
         }
     }
 

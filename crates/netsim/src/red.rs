@@ -219,7 +219,7 @@ mod tests {
                 TcpConfig::default(),
             );
             sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
-            let acked = report.borrow().bytes_acked;
+            let acked = report.lock().unwrap().bytes_acked;
             acked
         };
         let droptail = run(false);

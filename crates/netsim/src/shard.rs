@@ -1,0 +1,1014 @@
+//! Conservative parallel discrete-event execution: one simulation
+//! sharded across cores.
+//!
+//! [`ShardedEngine`] partitions a [`Simulation`]'s topology into
+//! *domains* — disjoint sets of nodes, each with its own event queue,
+//! clock, and observer set — and advances them on one worker thread
+//! per domain. Correctness rests on the classic conservative-lookahead
+//! argument (Chandy/Misra/Bryant): the only way one domain can affect
+//! another is a packet crossing a *cut link*, and a packet put on a
+//! cut link at time `t` cannot arrive before `t + L`, where `L` is the
+//! minimum propagation delay over all cut links. So if every domain's
+//! next pending event is at or after `t_min`, all domains may safely
+//! process events in the window `[t_min, t_min + L)` without hearing
+//! from each other; cross-domain packets emitted during the window are
+//! exchanged at the barrier that ends it, always landing at or beyond
+//! the next window's start.
+//!
+//! Determinism (the reason this engine can exist at all — see
+//! DESIGN.md §5): domains only share state at barriers, transits are
+//! routed in canonical source-domain-major order, per-entity RNG
+//! streams make random draws a function of each node/link's own
+//! traffic, and per-domain observer output is merged canonically
+//! afterwards. `tests/shard_equivalence.rs` holds the engine to
+//! byte-identical reports, metrics, traces, lineage, and series
+//! against the sequential engine at every shard count.
+
+use crate::link::{Link, LinkId, NodeId};
+use crate::node::{AppId, Node};
+use crate::sim::{
+    collect_link_metrics, collect_node_metrics, collect_sim_metrics, AppSlot, Application,
+    Delivery, Event, EventQueue, LineageState, SchedulerKind, SimCore, SimStats, Simulation,
+};
+use crate::time::SimTime;
+use crate::wheel::SchedStats;
+use std::sync::{Arc, Condvar, Mutex};
+use turb_obs::lineage::{LineageDump, LineageRecorder};
+use turb_obs::timeseries::TimeSeriesRecorder;
+use turb_obs::{merged_trace_jsonl, MetricsRegistry, SeriesDump, SPAN_DOMAIN_SHIFT};
+
+/// How a [`Simulation`]'s `run_*` calls execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardKind {
+    /// One event loop on the calling thread; the default.
+    #[default]
+    Sequential,
+    /// Partition the topology into this many domains and run them on
+    /// one worker thread each, synchronised by lookahead barriers.
+    /// `Sharded(1)` exercises the full barrier engine with a single
+    /// domain — useful for isolating engine overhead.
+    Sharded(u16),
+}
+
+impl ShardKind {
+    /// Number of domains this mode runs (1 for sequential).
+    pub fn domains(self) -> usize {
+        match self {
+            ShardKind::Sequential => 1,
+            ShardKind::Sharded(n) => n as usize,
+        }
+    }
+}
+
+/// A packet in flight between domains: the arrival the transmitting
+/// domain would have scheduled locally, diverted at the cut.
+pub(crate) struct Transit {
+    /// Arrival instant at the far end of the link.
+    pub(crate) time: SimTime,
+    /// The cut link the packet travelled.
+    pub(crate) link: LinkId,
+    /// The packet itself.
+    pub(crate) packet: turb_wire::ipv4::Ipv4Packet,
+}
+
+/// Per-domain sharding context, installed into each domain's
+/// [`SimCore`] so the transmit path can divert cross-domain
+/// deliveries into the outbox instead of the local event queue.
+pub(crate) struct ShardCtx {
+    /// Which domain this core is.
+    pub(crate) domain: u16,
+    /// Global node id → owning domain.
+    pub(crate) node_domain: Arc<Vec<u16>>,
+    /// Cross-domain packets emitted during the current window, in
+    /// emission order; drained at the barrier.
+    pub(crate) outbox: Vec<Transit>,
+}
+
+/// Engine diagnostics for one domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardDomainStats {
+    /// Domain index.
+    pub domain: u16,
+    /// Nodes assigned to this domain.
+    pub nodes: u32,
+    /// Events this domain's loop processed.
+    pub events_processed: u64,
+    /// High-water mark of this domain's event queue.
+    pub max_queue_depth: u64,
+    /// This domain's scheduler-internal diagnostics.
+    pub sched: SchedStats,
+}
+
+/// Diagnostics of a sharded run: how the partition ran, not what the
+/// simulated network did. Like [`SchedStats`], these live *outside*
+/// the byte-identity set (they vary with shard count by nature).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardDiag {
+    /// Number of domains.
+    pub shards: u16,
+    /// Conservative lookahead: minimum propagation over cut links
+    /// (`u64::MAX` when no link is cut).
+    pub lookahead_ns: u64,
+    /// Lookahead windows executed (= barrier synchronisations).
+    pub barriers: u64,
+    /// Packets exchanged across domains over the whole run.
+    pub transits: u64,
+    /// Largest single-barrier batch routed into one domain.
+    pub max_exchange_depth: u64,
+    /// Times an exchange buffer outgrew its pre-sized capacity. Stays
+    /// zero in steady state — the buffers ping-pong by `mem::swap` and
+    /// are never shrunk — and `turbulence bench` micro-asserts that.
+    pub exchange_reallocs: u64,
+    /// Per-domain breakdown.
+    pub per_domain: Vec<ShardDomainStats>,
+}
+
+/// Pre-sized capacity of every exchange buffer (inboxes, outboxes,
+/// routing stage). Generously above any per-window cross-domain batch
+/// the workspace scenarios produce, so steady-state exchange does no
+/// allocation.
+const EXCHANGE_CAP: usize = 1024;
+
+/// Window sentinel telling workers to drain their inbox and exit.
+const STOP: u64 = u64::MAX;
+
+/// Mail slot between the coordinator and one domain's worker.
+struct Mailbox {
+    /// Transits routed to this domain, scheduled by the worker at the
+    /// start of the next window.
+    inbox: Vec<Transit>,
+    /// The domain's published outbox, swapped out by the worker at the
+    /// end of each window and drained by the coordinator's router.
+    outbox: Vec<Transit>,
+    /// The domain's next pending event time after its last window.
+    next_time: Option<u64>,
+}
+
+/// Barrier state shared by the coordinator and all workers.
+struct Coord {
+    state: Mutex<CoordState>,
+    /// Coordinator → workers: a new generation was published.
+    to_workers: Condvar,
+    /// Workers → coordinator: a domain finished the generation.
+    to_coord: Condvar,
+}
+
+struct CoordState {
+    /// Generation counter; workers run one window per bump.
+    gen: u64,
+    /// End (exclusive) of the current window, or [`STOP`].
+    window_end: u64,
+    /// Domains done with the current generation (excluding domain 0,
+    /// which the coordinator runs inline).
+    done: usize,
+}
+
+/// The conservative parallel engine: one [`Simulation`] per domain
+/// plus the exchange machinery. Owned by the outer [`Simulation`] once
+/// it partitions; see [`Simulation::set_shards`].
+pub struct ShardedEngine {
+    /// One inner simulation per domain (each `ShardKind::Sequential`,
+    /// so the outer dispatch never recurses).
+    domains: Vec<Simulation>,
+    /// Global node id → owning domain.
+    node_domain: Arc<Vec<u16>>,
+    /// Global link id → domain owning the live copy (the transmitting
+    /// node's domain: that's where `transmit` mutates stats and RNG).
+    link_src_domain: Vec<u16>,
+    /// Global link id → domain of the receiving node.
+    link_dst_domain: Vec<u16>,
+    /// Conservative lookahead in nanoseconds.
+    lookahead: u64,
+    /// Global clock: `limit` after a forced run, else the latest
+    /// domain clock.
+    now: SimTime,
+    mailboxes: Vec<Mutex<Mailbox>>,
+    /// Coordinator-side routing stage, one slot per destination
+    /// domain; persists across runs so routing does no allocation.
+    staging: Vec<Vec<Transit>>,
+    /// Remembered buffer capacities, for realloc detection.
+    buffer_caps: Vec<usize>,
+    barriers: u64,
+    transits: u64,
+    max_exchange_depth: u64,
+    exchange_reallocs: u64,
+}
+
+/// Union-find with path halving.
+fn uf_find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+/// Partition nodes into `n` domains by greedily contracting the
+/// cheapest cut first: repeatedly merge the two components joined by
+/// the cross-component link with the smallest `(propagation, combined
+/// size, link id)` key until `n` components remain. Minimum-latency
+/// links vanish into domains (they would otherwise bound the
+/// lookahead), and the size term keeps domains balanced. Returns the
+/// node → domain map, with domains numbered by their smallest member
+/// node id so the assignment is independent of merge order.
+fn assign_domains(links: &[Link], node_count: usize, n: usize) -> Vec<u16> {
+    assert!(n >= 1, "a sharded simulation needs at least one domain");
+    assert!(
+        n <= node_count,
+        "cannot split {node_count} nodes into {n} shard domains; \
+         --shards must not exceed the node count"
+    );
+    let mut parent: Vec<usize> = (0..node_count).collect();
+    let mut size = vec![1usize; node_count];
+    let mut components = node_count;
+    while components > n {
+        // The cheapest cross-component link, by (propagation,
+        // combined component size, link id).
+        let mut best: Option<((u64, usize, usize), usize, usize)> = None;
+        for link in links {
+            let a = uf_find(&mut parent, link.from.0);
+            let b = uf_find(&mut parent, link.to.0);
+            if a == b {
+                continue;
+            }
+            let key = (link.config.propagation.0, size[a] + size[b], link.id.0);
+            if best.as_ref().is_none_or(|(k, _, _)| key < *k) {
+                best = Some((key, a, b));
+            }
+        }
+        let Some((_, a, b)) = best else {
+            break; // disconnected topology: no cross-component links left
+        };
+        let (root, child) = if size[a] >= size[b] { (a, b) } else { (b, a) };
+        parent[child] = root;
+        size[root] += size[child];
+        components -= 1;
+    }
+    // Disconnected leftovers: merge the smallest components first
+    // (ties by smallest member id) until n remain.
+    while components > n {
+        let mut roots: Vec<usize> = (0..node_count)
+            .filter(|&i| uf_find(&mut parent, i) == i)
+            .collect();
+        roots.sort_by_key(|&r| (size[r], r));
+        let (a, b) = (roots[0], roots[1]);
+        parent[a] = b;
+        size[b] += size[a];
+        components -= 1;
+    }
+    // Renumber components as domains ordered by smallest member node.
+    let mut root_domain = vec![u16::MAX; node_count];
+    let mut next = 0u16;
+    let mut node_domain = vec![0u16; node_count];
+    for (i, slot) in node_domain.iter_mut().enumerate() {
+        let r = uf_find(&mut parent, i);
+        if root_domain[r] == u16::MAX {
+            root_domain[r] = next;
+            next += 1;
+        }
+        *slot = root_domain[r];
+    }
+    debug_assert_eq!(next as usize, components);
+    node_domain
+}
+
+/// Schedule everything in this domain's inbox. No sort: the event
+/// queue orders by time, and for equal arrival times the inbox's
+/// source-domain-major order is the canonical tie-break.
+fn drain_inbox(sim: &mut Simulation, mailbox: &Mutex<Mailbox>) {
+    let mut mb = mailbox.lock().unwrap();
+    for t in mb.inbox.drain(..) {
+        sim.core.schedule(
+            t.time,
+            Event::Arrival {
+                link: t.link,
+                packet: t.packet,
+            },
+        );
+    }
+}
+
+/// Publish a domain's window results: swap the freshly filled outbox
+/// into the mailbox (buffer ping-pong — no allocation) and expose the
+/// next pending event time.
+fn publish(sim: &mut Simulation, mailbox: &Mutex<Mailbox>) {
+    let mut mb = mailbox.lock().unwrap();
+    let ctx = sim
+        .core
+        .shard
+        .as_deref_mut()
+        .expect("domain core has a shard context");
+    std::mem::swap(&mut mb.outbox, &mut ctx.outbox);
+    mb.next_time = sim.core.queue.next_time().map(SimTime::as_nanos);
+}
+
+/// One domain's worker loop: wait for a window, absorb the inbox, run
+/// the window, publish, repeat — until the [`STOP`] sentinel.
+fn worker(sim: &mut Simulation, mailbox: &Mutex<Mailbox>, coord: &Coord) {
+    let mut seen_gen = 0u64;
+    loop {
+        let window_end = {
+            let mut st = coord.state.lock().unwrap();
+            while st.gen == seen_gen {
+                st = coord.to_workers.wait(st).unwrap();
+            }
+            seen_gen = st.gen;
+            st.window_end
+        };
+        // Inbox first, in both cases: on STOP the drained arrivals lie
+        // beyond the run limit and must survive into the next run call.
+        drain_inbox(sim, mailbox);
+        let stopping = window_end == STOP;
+        if !stopping {
+            sim.run_window(window_end);
+            publish(sim, mailbox);
+        }
+        let mut st = coord.state.lock().unwrap();
+        st.done += 1;
+        coord.to_coord.notify_one();
+        if stopping {
+            return;
+        }
+    }
+}
+
+impl ShardedEngine {
+    /// Split a fully built simulation into `n` domains. Called lazily
+    /// by the outer [`Simulation`] on its first `run_*` call, so all
+    /// topology, application, and observer setup is already in place.
+    pub(crate) fn partition(
+        mut core: SimCore,
+        apps: Vec<AppSlot>,
+        deliveries: Vec<Delivery>,
+        n: usize,
+    ) -> ShardedEngine {
+        let node_count = core.nodes.len();
+        let node_domain = Arc::new(assign_domains(&core.links, node_count, n));
+        let n = *node_domain.iter().max().unwrap_or(&0) as usize + 1;
+        debug_assert!(n >= 1);
+
+        let link_src_domain: Vec<u16> = core.links.iter().map(|l| node_domain[l.from.0]).collect();
+        let link_dst_domain: Vec<u16> = core.links.iter().map(|l| node_domain[l.to.0]).collect();
+
+        // Conservative lookahead: the minimum propagation over cut
+        // links. A zero-propagation cut would make windows empty.
+        let mut lookahead = u64::MAX;
+        for link in &core.links {
+            if node_domain[link.from.0] != node_domain[link.to.0] {
+                assert!(
+                    link.config.propagation.0 > 0,
+                    "cut link {} has zero propagation delay: no conservative \
+                     lookahead exists for this partition",
+                    link.id.0
+                );
+                lookahead = lookahead.min(link.config.propagation.0);
+            }
+        }
+
+        let scheduler = core.queue.kind();
+        let now = core.now;
+
+        // Per-domain observers. Domain 0 inherits the originals (with
+        // any pre-partition recordings); the rest get empty recorders
+        // sharing the interned symbol table, with lineage span ids
+        // namespaced by domain (see `SPAN_DOMAIN_SHIFT`).
+        let obs_list: Vec<turb_obs::Obs> = (1..n).map(|_| core.obs.shard_clone()).collect();
+        let lineage_list: Vec<Option<Box<LineageState>>> = match core.lineage.as_deref() {
+            None => (1..n).map(|_| None).collect(),
+            Some(orig) => (1..n)
+                .map(|d| {
+                    let mut rec = LineageRecorder::with_capacity(orig.rec.capacity());
+                    rec.set_span_base((d as u64) << SPAN_DOMAIN_SHIFT);
+                    Some(Box::new(LineageState {
+                        rec,
+                        pending_meta: None,
+                        current_span: None,
+                    }))
+                })
+                .collect(),
+        };
+        let ts_list: Vec<Option<Box<TimeSeriesRecorder>>> = match core.timeseries.as_deref() {
+            None => (1..n).map(|_| None).collect(),
+            Some(orig) => (1..n)
+                .map(|_| {
+                    Some(Box::new(TimeSeriesRecorder::with_capacity(
+                        orig.window_ns(),
+                        orig.capacity(),
+                    )))
+                })
+                .collect(),
+        };
+
+        // Dismember the core. Nodes, links, taps, and the original
+        // observers move to their owning domains; every domain keeps
+        // full-length node/link/app vectors (placeholders in foreign
+        // slots) so global ids index directly everywhere.
+        let mut nodes: Vec<Option<Node>> = core.nodes.into_iter().map(Some).collect();
+        let mut links: Vec<Option<Link>> = core.links.into_iter().map(Some).collect();
+        let mut app_slots: Vec<(NodeId, Option<Box<dyn Application>>)> =
+            apps.into_iter().map(|s| (s.node, s.app)).collect();
+        let mut taps_by_domain: Vec<Vec<(NodeId, crate::sim::Tap)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (node, tap) in core.taps {
+            taps_by_domain[node_domain[node.0] as usize].push((node, tap));
+        }
+
+        // Lightweight per-entity metadata for placeholder construction.
+        let node_meta: Vec<(
+            String,
+            std::net::Ipv4Addr,
+            crate::node::NodeKind,
+            turb_obs::SymbolId,
+        )> = nodes
+            .iter()
+            .map(|node| {
+                let node = node.as_ref().unwrap();
+                (node.name.clone(), node.addr, node.kind, node.comp)
+            })
+            .collect();
+        let link_meta: Vec<(NodeId, NodeId, crate::link::LinkConfig, turb_obs::SymbolId)> = links
+            .iter()
+            .map(|link| {
+                let link = link.as_ref().unwrap();
+                (link.from, link.to, link.config, link.comp)
+            })
+            .collect();
+
+        let mut obs_iter = obs_list.into_iter();
+        let mut lineage_iter = lineage_list.into_iter();
+        let mut ts_iter = ts_list.into_iter();
+        let mut domains: Vec<Simulation> = (0..n)
+            .map(|d| {
+                let domain_nodes: Vec<Node> = (0..node_count)
+                    .map(|i| {
+                        if node_domain[i] as usize == d {
+                            nodes[i].take().unwrap()
+                        } else {
+                            let (name, addr, kind, comp) = &node_meta[i];
+                            let mut ph = Node::new(NodeId(i), name.clone(), *addr, *kind);
+                            ph.comp = *comp;
+                            ph
+                        }
+                    })
+                    .collect();
+                let domain_links: Vec<Link> = (0..link_meta.len())
+                    .map(|i| {
+                        if link_src_domain[i] as usize == d {
+                            links[i].take().unwrap()
+                        } else {
+                            // The receiving domain's arrival path only
+                            // reads `to` (and observers read `comp`);
+                            // stats and RNG live in the sender's copy.
+                            let (from, to, config, comp) = link_meta[i];
+                            let mut ph = Link::new(LinkId(i), from, to, config);
+                            ph.comp = comp;
+                            ph
+                        }
+                    })
+                    .collect();
+                let domain_apps: Vec<AppSlot> = app_slots
+                    .iter_mut()
+                    .map(|(node, app)| AppSlot {
+                        node: *node,
+                        app: if node_domain[node.0] as usize == d {
+                            app.take()
+                        } else {
+                            None
+                        },
+                    })
+                    .collect();
+                Simulation {
+                    core: SimCore {
+                        now,
+                        queue: EventQueue::with_capacity(scheduler, 1024),
+                        seq: 0,
+                        nodes: domain_nodes,
+                        links: domain_links,
+                        taps: std::mem::take(&mut taps_by_domain[d]),
+                        // Never drawn mid-run: every mid-run draw goes
+                        // through a per-node or per-link stream.
+                        rng: core.rng.clone(),
+                        stats: if d == 0 {
+                            core.stats
+                        } else {
+                            SimStats::default()
+                        },
+                        obs: if d == 0 {
+                            std::mem::take(&mut core.obs)
+                        } else {
+                            obs_iter.next().unwrap()
+                        },
+                        lineage: if d == 0 {
+                            core.lineage.take()
+                        } else {
+                            lineage_iter.next().unwrap()
+                        },
+                        timeseries: if d == 0 {
+                            core.timeseries.take()
+                        } else {
+                            ts_iter.next().unwrap()
+                        },
+                        shard: Some(Box::new(ShardCtx {
+                            domain: d as u16,
+                            node_domain: Arc::clone(&node_domain),
+                            outbox: Vec::with_capacity(EXCHANGE_CAP),
+                        })),
+                    },
+                    apps: domain_apps,
+                    deliveries: if d == 0 {
+                        deliveries.clone_capacity()
+                    } else {
+                        Vec::new()
+                    },
+                    shards: ShardKind::Sequential,
+                    sharded: None,
+                }
+            })
+            .collect();
+
+        // Redistribute pending events (AppStarts from setup, possibly
+        // timers) to their owning domains, preserving (time, seq)
+        // order: pops come out in canonical order and each domain
+        // re-sequences locally. Raw queue pushes — the events were
+        // already counted in `events_scheduled` when first scheduled.
+        let mut queue = core.queue;
+        while let Some((time, event)) = queue.pop() {
+            let owner = match &event {
+                Event::Arrival { link, .. } => link_dst_domain[link.0],
+                Event::AppStart(app) | Event::Timer { app, .. } => {
+                    node_domain[domains[0].apps[app.0].node.0]
+                }
+            } as usize;
+            let domain_core = &mut domains[owner].core;
+            let seq = domain_core.seq;
+            domain_core.seq += 1;
+            domain_core.queue.push(time, seq, event);
+        }
+
+        let mailboxes = (0..n)
+            .map(|_| {
+                Mutex::new(Mailbox {
+                    inbox: Vec::with_capacity(EXCHANGE_CAP),
+                    outbox: Vec::with_capacity(EXCHANGE_CAP),
+                    next_time: None,
+                })
+            })
+            .collect();
+        let staging: Vec<Vec<Transit>> = (0..n).map(|_| Vec::with_capacity(EXCHANGE_CAP)).collect();
+        // inbox, outbox, staging, per-domain shard outbox: 4 buffers
+        // per domain, all pre-sized.
+        let buffer_caps = vec![EXCHANGE_CAP; n * 4];
+
+        ShardedEngine {
+            domains,
+            node_domain,
+            link_src_domain,
+            link_dst_domain,
+            lookahead,
+            now,
+            mailboxes,
+            staging,
+            buffer_caps,
+            barriers: 0,
+            transits: 0,
+            max_exchange_depth: 0,
+            exchange_reallocs: 0,
+        }
+    }
+
+    /// Run all domains to `limit`. With `force_advance` every clock is
+    /// advanced to `limit` afterwards (the `run_until` contract);
+    /// without, clocks rest on their last processed event
+    /// (`run_to_idle`).
+    pub(crate) fn run(&mut self, limit: SimTime, force_advance: bool) -> SimTime {
+        // Windows are end-exclusive; events exactly at `limit` are in.
+        let end_ns = limit.as_nanos().saturating_add(1);
+        let n = self.domains.len();
+
+        // Publish every domain's next pending time; workers keep these
+        // fresh from here on.
+        for (sim, mailbox) in self.domains.iter_mut().zip(&self.mailboxes) {
+            mailbox.lock().unwrap().next_time = sim.core.queue.next_time().map(SimTime::as_nanos);
+        }
+
+        let coord = Coord {
+            state: Mutex::new(CoordState {
+                gen: 0,
+                window_end: 0,
+                done: 0,
+            }),
+            to_workers: Condvar::new(),
+            to_coord: Condvar::new(),
+        };
+        let mut barriers = 0u64;
+        let mut transits = 0u64;
+        let mut max_depth = self.max_exchange_depth;
+
+        {
+            let (d0, rest) = self.domains.split_first_mut().unwrap();
+            let mailboxes = &self.mailboxes;
+            let (mb0, mb_rest) = mailboxes.split_first().unwrap();
+            let staging = &mut self.staging;
+            let link_dst_domain = &self.link_dst_domain;
+            let lookahead = self.lookahead;
+            let coord = &coord;
+            std::thread::scope(|scope| {
+                for (sim, mailbox) in rest.iter_mut().zip(mb_rest.iter()) {
+                    scope.spawn(move || worker(sim, mailbox, coord));
+                }
+                // Coordinator: route, open a window, run domain 0
+                // inline, wait for the others.
+                loop {
+                    let mut t_min: Option<u64> = None;
+                    for mailbox in mailboxes.iter() {
+                        let mut mb = mailbox.lock().unwrap();
+                        if let Some(t) = mb.next_time {
+                            t_min = Some(t_min.map_or(t, |m: u64| m.min(t)));
+                        }
+                        for t in mb.outbox.drain(..) {
+                            let arrival = t.time.as_nanos();
+                            t_min = Some(t_min.map_or(arrival, |m: u64| m.min(arrival)));
+                            staging[link_dst_domain[t.link.0] as usize].push(t);
+                        }
+                    }
+                    for (dst, stage) in staging.iter_mut().enumerate() {
+                        if stage.is_empty() {
+                            continue;
+                        }
+                        transits += stage.len() as u64;
+                        max_depth = max_depth.max(stage.len() as u64);
+                        let mut mb = mailboxes[dst].lock().unwrap();
+                        mb.inbox.append(stage);
+                    }
+                    let stop = t_min.is_none_or(|t| t >= end_ns);
+                    let window_end = if stop {
+                        STOP
+                    } else {
+                        t_min.unwrap().saturating_add(lookahead).min(end_ns)
+                    };
+                    {
+                        let mut st = coord.state.lock().unwrap();
+                        st.done = 0;
+                        st.window_end = window_end;
+                        st.gen += 1;
+                    }
+                    coord.to_workers.notify_all();
+                    drain_inbox(d0, mb0);
+                    if !stop {
+                        d0.run_window(window_end);
+                        publish(d0, mb0);
+                        barriers += 1;
+                    }
+                    {
+                        let mut st = coord.state.lock().unwrap();
+                        while st.done < n - 1 {
+                            st = coord.to_coord.wait(st).unwrap();
+                        }
+                    }
+                    if stop {
+                        break;
+                    }
+                }
+            });
+        }
+
+        self.barriers += barriers;
+        self.transits += transits;
+        self.max_exchange_depth = max_depth;
+        self.note_reallocs();
+
+        if force_advance {
+            for sim in &mut self.domains {
+                if sim.core.now < limit {
+                    sim.core.now = limit;
+                }
+            }
+            if self.now < limit {
+                self.now = limit;
+            }
+        } else {
+            let latest = self
+                .domains
+                .iter()
+                .map(|sim| sim.core.now)
+                .max()
+                .unwrap_or(self.now);
+            self.now = self.now.max(latest);
+        }
+        self.now
+    }
+
+    /// Record exchange-buffer capacity growth since the last run (or
+    /// since partition). Steady state keeps this at zero: the buffers
+    /// are pre-sized and ping-ponged, never reallocated.
+    fn note_reallocs(&mut self) {
+        let n = self.domains.len();
+        for d in 0..n {
+            let mb = self.mailboxes[d].lock().unwrap();
+            let shard_out = self.domains[d]
+                .core
+                .shard
+                .as_deref()
+                .map_or(0, |ctx| ctx.outbox.capacity());
+            for (slot, cap) in [
+                (d * 4, mb.inbox.capacity()),
+                (d * 4 + 1, mb.outbox.capacity()),
+                (d * 4 + 2, self.staging[d].capacity()),
+                (d * 4 + 3, shard_out),
+            ] {
+                if cap > self.buffer_caps[slot] {
+                    self.exchange_reallocs += 1;
+                    self.buffer_caps[slot] = cap;
+                }
+            }
+        }
+    }
+
+    /// Global clock (see [`ShardedEngine::run`]).
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn owner_of_node(&self, id: NodeId) -> &Simulation {
+        &self.domains[self.node_domain[id.0] as usize]
+    }
+
+    /// The owning domain's live copy of a node.
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
+        &self.owner_of_node(id).core.nodes[id.0]
+    }
+
+    /// The transmitting domain's live copy of a link.
+    pub(crate) fn link(&self, id: LinkId) -> &Link {
+        &self.domains[self.link_src_domain[id.0] as usize].core.links[id.0]
+    }
+
+    pub(crate) fn node_count(&self) -> usize {
+        self.domains[0].core.nodes.len()
+    }
+
+    pub(crate) fn link_count(&self) -> usize {
+        self.domains[0].core.links.len()
+    }
+
+    /// Add an application mid-run: the live slot goes to the owning
+    /// domain, every other domain gets a placeholder so [`AppId`]s
+    /// stay globally consistent.
+    pub(crate) fn add_app(
+        &mut self,
+        node: NodeId,
+        app: Box<dyn Application>,
+        udp_port: Option<u16>,
+        listen_icmp: bool,
+    ) -> AppId {
+        let id = AppId(self.domains[0].apps.len());
+        let owner = self.node_domain[node.0] as usize;
+        let mut app = Some(app);
+        for (d, sim) in self.domains.iter_mut().enumerate() {
+            sim.apps.push(AppSlot {
+                node,
+                app: if d == owner { app.take() } else { None },
+            });
+        }
+        let start = self.now;
+        let sim = &mut self.domains[owner];
+        if let Some(port) = udp_port {
+            let previous = sim.core.nodes[node.0].ports.insert(port, id);
+            assert!(previous.is_none(), "UDP port {port} already bound");
+        }
+        if listen_icmp {
+            sim.core.nodes[node.0].icmp_listeners.push(id);
+        }
+        sim.core.schedule(start, Event::AppStart(id));
+        id
+    }
+
+    pub(crate) fn bind_tcp_port(&mut self, node: NodeId, port: u16, app: AppId) {
+        let owner = self.node_domain[node.0] as usize;
+        let previous = self.domains[owner].core.nodes[node.0]
+            .tcp_ports
+            .insert(port, app);
+        assert!(previous.is_none(), "TCP port {port} already bound");
+    }
+
+    pub(crate) fn remove_app(&mut self, id: AppId) -> Box<dyn Application> {
+        for sim in &mut self.domains {
+            if let Some(app) = sim.apps[id.0].app.take() {
+                return app;
+            }
+        }
+        panic!("application already removed");
+    }
+
+    /// Event-loop counters summed across domains; `queue_high_water`
+    /// takes the max (each domain has its own queue, so the sum would
+    /// be meaningless — and unlike the sums it is *not* comparable to
+    /// the sequential engine's figure).
+    pub(crate) fn sim_stats(&self) -> SimStats {
+        let mut total = SimStats::default();
+        for sim in &self.domains {
+            let s = sim.core.sim_stats();
+            total.events_scheduled += s.events_scheduled;
+            total.events_processed += s.events_processed;
+            total.queue_high_water = total.queue_high_water.max(s.queue_high_water);
+            total.fragmented_datagrams += s.fragmented_datagrams;
+            total.fragments_sent += s.fragments_sent;
+            total.transit_fastpath += s.transit_fastpath;
+            total.transit_slowpath += s.transit_slowpath;
+        }
+        total
+    }
+
+    pub(crate) fn scheduler(&self) -> SchedulerKind {
+        self.domains[0].core.scheduler()
+    }
+
+    pub(crate) fn sched_stats(&self) -> SchedStats {
+        let mut total = SchedStats::default();
+        for sim in &self.domains {
+            let s = sim.core.sched_stats();
+            total.slots_touched += s.slots_touched;
+            total.cascades += s.cascades;
+            total.overflow_events += s.overflow_events;
+        }
+        total
+    }
+
+    /// Harvest metrics byte-identically to a sequential run: summed
+    /// engine counters, then every link and node from its owning
+    /// domain in global id order, with elapsed time from the global
+    /// clock.
+    pub(crate) fn collect_metrics(&self, registry: &mut MetricsRegistry) {
+        collect_sim_metrics(&self.sim_stats(), registry);
+        let elapsed_secs = self.now.as_nanos() as f64 / 1e9;
+        for id in 0..self.link_count() {
+            collect_link_metrics(self.link(LinkId(id)), elapsed_secs, registry);
+        }
+        for id in 0..self.node_count() {
+            collect_node_metrics(self.node(NodeId(id)), registry);
+        }
+    }
+
+    pub(crate) fn lineage_enabled(&self) -> bool {
+        self.domains[0].core.lineage.is_some()
+    }
+
+    pub(crate) fn timeseries_enabled(&self) -> bool {
+        self.domains[0].core.timeseries.is_some()
+    }
+
+    /// Detach and canonically merge every domain's lineage recording;
+    /// see [`LineageDump::merge_domains`]. The part order must be the
+    /// domain order — span ids carry their origin domain in the high
+    /// bits.
+    pub(crate) fn take_lineage(&mut self) -> Option<LineageDump> {
+        if !self.lineage_enabled() {
+            return None;
+        }
+        let parts: Vec<LineageDump> = self
+            .domains
+            .iter_mut()
+            .map(|sim| {
+                let lin = sim.core.lineage.take().expect("all domains record lineage");
+                lin.rec.finish(sim.core.obs.interner())
+            })
+            .collect();
+        Some(LineageDump::merge_domains(parts))
+    }
+
+    /// Detach and merge every domain's time-series. Components are
+    /// owned by exactly one domain, so the merged dump is identical to
+    /// a sequential recorder's.
+    pub(crate) fn take_timeseries(&mut self) -> Option<SeriesDump> {
+        if !self.timeseries_enabled() {
+            return None;
+        }
+        let mut merged: Option<SeriesDump> = None;
+        for sim in &mut self.domains {
+            let ts = sim
+                .core
+                .timeseries
+                .take()
+                .expect("all domains record series");
+            let dump = ts.finish(sim.core.obs.interner());
+            match merged.as_mut() {
+                None => merged = Some(dump),
+                Some(m) => m.merge(&dump),
+            }
+        }
+        merged
+    }
+
+    /// Merge the per-domain flight recorders into the JSON Lines (and
+    /// eviction count) a single global ring would have produced.
+    pub(crate) fn trace_merged(&self) -> (String, u64) {
+        let parts: Vec<_> = self
+            .domains
+            .iter()
+            .map(|sim| (&sim.core.obs.trace, sim.core.obs.interner()))
+            .collect();
+        merged_trace_jsonl(&parts, self.domains[0].core.obs.trace.capacity())
+    }
+
+    /// Engine diagnostics; see [`ShardDiag`].
+    pub(crate) fn diag(&self) -> ShardDiag {
+        ShardDiag {
+            shards: self.domains.len() as u16,
+            lookahead_ns: self.lookahead,
+            barriers: self.barriers,
+            transits: self.transits,
+            max_exchange_depth: self.max_exchange_depth,
+            exchange_reallocs: self.exchange_reallocs,
+            per_domain: self
+                .domains
+                .iter()
+                .enumerate()
+                .map(|(d, sim)| ShardDomainStats {
+                    domain: d as u16,
+                    nodes: self
+                        .node_domain
+                        .iter()
+                        .filter(|&&owner| owner as usize == d)
+                        .count() as u32,
+                    events_processed: sim.core.stats.events_processed,
+                    max_queue_depth: sim.core.stats.queue_high_water,
+                    sched: sim.core.sched_stats(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// `Vec::with_capacity(v.capacity())` as a method, so the partition
+/// hands domain 0 a delivery buffer as warm as the one it took.
+trait CloneCapacity {
+    fn clone_capacity(&self) -> Self;
+}
+
+impl CloneCapacity for Vec<Delivery> {
+    fn clone_capacity(&self) -> Self {
+        Vec::with_capacity(self.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use crate::time::SimDuration;
+
+    fn link(id: usize, from: usize, to: usize, prop_ms: u64) -> Link {
+        Link::new(
+            LinkId(id),
+            NodeId(from),
+            NodeId(to),
+            LinkConfig::ethernet_10m(SimDuration::from_millis(prop_ms)),
+        )
+    }
+
+    #[test]
+    fn assign_domains_cuts_the_slowest_links() {
+        // Two clusters of two nodes joined by a slow pair of links:
+        // 0-1 (fast), 2-3 (fast), 1-2 (slow).
+        let links = vec![
+            link(0, 0, 1, 1),
+            link(1, 1, 0, 1),
+            link(2, 2, 3, 1),
+            link(3, 3, 2, 1),
+            link(4, 1, 2, 50),
+            link(5, 2, 1, 50),
+        ];
+        let domains = assign_domains(&links, 4, 2);
+        assert_eq!(domains, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn assign_domains_single_domain_is_trivial() {
+        let links = vec![link(0, 0, 1, 1)];
+        assert_eq!(assign_domains(&links, 3, 1), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn assign_domains_numbers_by_smallest_member() {
+        // {2,3} merges before {0,1}, but domains come out renumbered
+        // by their smallest member node id.
+        let links = vec![link(0, 2, 3, 1), link(1, 0, 1, 30)];
+        let domains = assign_domains(&links, 4, 2);
+        assert_eq!(domains, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed the node count")]
+    fn assign_domains_rejects_more_shards_than_nodes() {
+        assign_domains(&[], 2, 3);
+    }
+
+    #[test]
+    fn disconnected_leftovers_merge_smallest_first() {
+        // Four isolated nodes, two domains: pairwise merges by size
+        // then id.
+        let domains = assign_domains(&[], 4, 2);
+        assert_eq!(domains.iter().filter(|&&d| d == 0).count(), 2);
+        assert_eq!(domains.iter().filter(|&&d| d == 1).count(), 2);
+    }
+}

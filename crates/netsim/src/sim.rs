@@ -54,13 +54,13 @@ pub struct TapEvent<'a> {
 
 /// A sniffer hook: called for every packet leaving or arriving at the
 /// tapped node. Implemented as a boxed closure so capture buffers can
-/// live outside the simulation (e.g. behind `Rc<RefCell<..>>`).
-pub type Tap = Box<dyn FnMut(&TapEvent<'_>)>;
+/// live outside the simulation (e.g. behind `Arc<Mutex<..>>`).
+pub type Tap = Box<dyn FnMut(&TapEvent<'_>) + Send>;
 
 /// Callbacks implemented by simulated applications (players, trackers,
 /// ping, traceroute, traffic generators).
 #[allow(unused_variables)]
-pub trait Application {
+pub trait Application: Send {
     /// Called once when the simulation starts (or when the app is added
     /// to a running simulation).
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {}
@@ -79,14 +79,14 @@ pub trait Application {
 }
 
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     AppStart(AppId),
     Timer { app: AppId, token: u64 },
     Arrival { link: LinkId, packet: Ipv4Packet },
 }
 
 #[derive(Debug)]
-struct Scheduled {
+pub(crate) struct Scheduled {
     time: SimTime,
     seq: u64,
     event: Event,
@@ -133,7 +133,7 @@ impl SchedulerKind {
 /// The two interchangeable queue engines. Both pop in exactly
 /// `(time, seq)` order — `tests/scheduler_equivalence.rs` proves full
 /// runs byte-identical, which is what lets the wheel be the default.
-enum EventQueue {
+pub(crate) enum EventQueue {
     Heap(BinaryHeap<Scheduled>),
     // Boxed: the wheel carries its occupancy bitmaps inline and would
     // otherwise dwarf the heap variant.
@@ -141,7 +141,7 @@ enum EventQueue {
 }
 
 impl EventQueue {
-    fn with_capacity(kind: SchedulerKind, capacity: usize) -> EventQueue {
+    pub(crate) fn with_capacity(kind: SchedulerKind, capacity: usize) -> EventQueue {
         match kind {
             SchedulerKind::Heap => EventQueue::Heap(BinaryHeap::with_capacity(capacity)),
             SchedulerKind::Wheel => {
@@ -150,14 +150,14 @@ impl EventQueue {
         }
     }
 
-    fn push(&mut self, time: SimTime, seq: u64, event: Event) {
+    pub(crate) fn push(&mut self, time: SimTime, seq: u64, event: Event) {
         match self {
             EventQueue::Heap(heap) => heap.push(Scheduled { time, seq, event }),
             EventQueue::Wheel(wheel) => wheel.push(time, seq, event),
         }
     }
 
-    fn pop(&mut self) -> Option<(SimTime, Event)> {
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, Event)> {
         match self {
             EventQueue::Heap(heap) => heap.pop().map(|s| (s.time, s.event)),
             EventQueue::Wheel(wheel) => wheel.pop().map(|(time, _seq, event)| (time, event)),
@@ -166,21 +166,21 @@ impl EventQueue {
 
     /// Earliest pending time. `&mut` because the wheel may advance
     /// its internal cursor to surface it.
-    fn next_time(&mut self) -> Option<SimTime> {
+    pub(crate) fn next_time(&mut self) -> Option<SimTime> {
         match self {
             EventQueue::Heap(heap) => heap.peek().map(|s| s.time),
             EventQueue::Wheel(wheel) => wheel.next_time(),
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             EventQueue::Heap(heap) => heap.len(),
             EventQueue::Wheel(wheel) => wheel.len(),
         }
     }
 
-    fn kind(&self) -> SchedulerKind {
+    pub(crate) fn kind(&self) -> SchedulerKind {
         match self {
             EventQueue::Heap(_) => SchedulerKind::Heap,
             EventQueue::Wheel(_) => SchedulerKind::Wheel,
@@ -197,7 +197,7 @@ impl EventQueue {
 
 /// A pending delivery to an application, produced while network state
 /// is mutably borrowed and dispatched afterwards.
-enum Delivery {
+pub(crate) enum Delivery {
     Udp {
         app: AppId,
         from: (Ipv4Addr, u16),
@@ -245,38 +245,43 @@ pub struct SimStats {
 /// [`Simulation::enable_lineage`] was called. Hooks behind the
 /// `Option` never draw randomness, never schedule events, and never
 /// alter control flow, so lineage on/off cannot perturb a run.
-struct LineageState {
-    rec: LineageRecorder,
+pub(crate) struct LineageState {
+    pub(crate) rec: LineageRecorder,
     /// Packetisation metadata staged by [`Ctx::lineage_packetize`],
     /// consumed when the next originated packet's span is born.
-    pending_meta: Option<PacketizeMeta>,
+    pub(crate) pending_meta: Option<PacketizeMeta>,
     /// Span of the packet whose deliveries are currently dispatching,
     /// readable by applications via [`Ctx::lineage_current_span`].
-    current_span: Option<u64>,
+    pub(crate) current_span: Option<u64>,
 }
 
 /// All network state: everything an [`Application`] can touch through
 /// its [`Ctx`].
 pub struct SimCore {
-    now: SimTime,
-    queue: EventQueue,
-    seq: u64,
-    nodes: Vec<Node>,
-    links: Vec<Link>,
-    taps: Vec<(NodeId, Tap)>,
-    rng: SimRng,
-    stats: SimStats,
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue,
+    pub(crate) seq: u64,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) links: Vec<Link>,
+    pub(crate) taps: Vec<(NodeId, Tap)>,
+    pub(crate) rng: SimRng,
+    pub(crate) stats: SimStats,
     /// Telemetry context. Disabled by default; trace hooks check
     /// `obs.enabled` and never touch the RNG or the event queue, so
     /// enabling it cannot change simulation results.
     pub obs: Obs,
     /// Packet-lineage recorder; `None` unless lineage tracing is on.
-    lineage: Option<Box<LineageState>>,
+    pub(crate) lineage: Option<Box<LineageState>>,
     /// Windowed time-series recorder; `None` unless
     /// [`Simulation::enable_timeseries`] was called. Hooks behind the
     /// `Option` follow the same discipline as lineage: no randomness,
     /// no scheduled events, no control-flow changes.
-    timeseries: Option<Box<TimeSeriesRecorder>>,
+    pub(crate) timeseries: Option<Box<TimeSeriesRecorder>>,
+    /// Present only inside one domain of a sharded run (see
+    /// [`crate::shard`]): tells the transmit path which nodes are
+    /// foreign so cross-domain deliveries are diverted into the
+    /// domain's outbox instead of its own event queue.
+    pub(crate) shard: Option<Box<crate::shard::ShardCtx>>,
 }
 
 impl SimCore {
@@ -338,7 +343,7 @@ impl SimCore {
         lin.rec.record(span, self.now.as_nanos(), comp, stage, aux);
     }
 
-    fn schedule(&mut self, time: SimTime, event: Event) {
+    pub(crate) fn schedule(&mut self, time: SimTime, event: Event) {
         let time = time.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -384,85 +389,13 @@ impl SimCore {
     /// read of state the simulator keeps anyway, so it can be called
     /// whether or not `obs` is enabled.
     pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
-        registry.counter_add(
-            "sim_events_scheduled_total",
-            "sim",
-            self.stats.events_scheduled,
-        );
-        registry.counter_add(
-            "sim_events_processed_total",
-            "sim",
-            self.stats.events_processed,
-        );
-        registry.gauge_max(
-            "sim_queue_high_water",
-            "sim",
-            self.stats.queue_high_water as f64,
-        );
-        registry.counter_add(
-            "sim_fragmented_datagrams_total",
-            "sim",
-            self.stats.fragmented_datagrams,
-        );
-        registry.counter_add("sim_fragments_sent_total", "sim", self.stats.fragments_sent);
-        registry.counter_add(
-            "sim_transit_fastpath_total",
-            "sim",
-            self.stats.transit_fastpath,
-        );
-        registry.counter_add(
-            "sim_transit_slowpath_total",
-            "sim",
-            self.stats.transit_slowpath,
-        );
-
+        collect_sim_metrics(&self.stats, registry);
         let elapsed_secs = self.now.as_nanos() as f64 / 1e9;
         for link in &self.links {
-            let component = link.trace_component.as_str();
-            let s = link.stats;
-            registry.counter_add("link_tx_packets_total", component, s.tx_packets);
-            registry.counter_add("link_tx_bytes_total", component, s.tx_bytes);
-            registry.counter_add("link_dropped_queue_total", component, s.dropped_queue);
-            registry.counter_add("link_dropped_red_total", component, s.dropped_red);
-            registry.counter_add("link_dropped_fault_total", component, s.dropped_fault);
-            let f = link.fault.stats();
-            registry.counter_add("fault_offered_total", component, f.offered);
-            registry.counter_add("fault_dropped_total", component, f.dropped);
-            registry.counter_add("fault_delayed_total", component, f.delayed);
-            if elapsed_secs > 0.0 {
-                let busy_secs = s.tx_bytes as f64 * 8.0 / link.config.rate_bps as f64;
-                registry.gauge_set(
-                    "link_utilization",
-                    component,
-                    (busy_secs / elapsed_secs).min(1.0),
-                );
-            }
+            collect_link_metrics(link, elapsed_secs, registry);
         }
-
         for node in &self.nodes {
-            let component = node.trace_component.as_str();
-            let s = node.stats;
-            registry.counter_add("node_rx_packets_total", component, s.rx_packets);
-            registry.counter_add("node_rx_bytes_total", component, s.rx_bytes);
-            registry.counter_add("node_tx_packets_total", component, s.tx_packets);
-            registry.counter_add("node_ttl_expired_total", component, s.ttl_expired);
-            registry.counter_add("node_no_route_total", component, s.no_route);
-            registry.counter_add("node_udp_delivered_total", component, s.udp_delivered);
-            registry.counter_add("node_udp_unreachable_total", component, s.udp_unreachable);
-            registry.counter_add("node_tcp_delivered_total", component, s.tcp_delivered);
-            registry.counter_add("node_tcp_unreachable_total", component, s.tcp_unreachable);
-            registry.counter_add("node_decode_errors_total", component, s.decode_errors);
-            let r = node.reassembler.stats();
-            registry.counter_add(
-                "reassembly_fragments_received_total",
-                component,
-                r.fragments_received,
-            );
-            registry.counter_add("reassembly_passthrough_total", component, r.passthrough);
-            registry.counter_add("reassembly_reassembled_total", component, r.reassembled);
-            registry.counter_add("reassembly_timed_out_total", component, r.timed_out);
-            registry.counter_add("reassembly_duplicates_total", component, r.duplicates);
-            registry.counter_add("reassembly_invalid_total", component, r.invalid);
+            collect_node_metrics(node, registry);
         }
     }
 
@@ -599,7 +532,7 @@ impl SimCore {
         let bytes = packet.total_len();
         let offset = u32::from(packet.fragment_offset);
         self.lineage_link_event(link_id, packet.lineage, Stage::LinkTx, offset);
-        let outcome = self.links[link_id.0].transmit(self.now, bytes, &mut self.rng);
+        let outcome = self.links[link_id.0].transmit(self.now, bytes);
         let link_comp = self.links[link_id.0].comp;
         if self.timeseries.is_some() {
             // Faulted packets consumed transmit bandwidth before being
@@ -614,6 +547,22 @@ impl SimCore {
         }
         match outcome {
             TxOutcome::Deliver { arrival } => {
+                // Sharded runs divert deliveries whose receiving node
+                // lives in another domain into the outbox; the barrier
+                // exchange schedules them over there (which is also
+                // where `events_scheduled` counts them, matching the
+                // sequential totals when domains are summed).
+                let to = self.links[link_id.0].to;
+                if let Some(shard) = self.shard.as_deref_mut() {
+                    if shard.node_domain[to.0] != shard.domain {
+                        shard.outbox.push(crate::shard::Transit {
+                            time: arrival,
+                            link: link_id,
+                            packet,
+                        });
+                        return;
+                    }
+                }
                 self.schedule(
                     arrival,
                     Event::Arrival {
@@ -1004,6 +953,75 @@ impl SimCore {
     }
 }
 
+/// Engine event-loop counters into `registry`. Intentionally excludes
+/// `queue_high_water`: it describes one engine's queue, and a sharded
+/// run splits the queue across domains, so it lives in diagnostics
+/// ([`crate::shard::ShardDiag`]) rather than the identity-checked
+/// metrics. `SimStats` fields other than it sum exactly across shard
+/// domains, which is what keeps this collection partition-independent.
+pub(crate) fn collect_sim_metrics(stats: &SimStats, registry: &mut MetricsRegistry) {
+    registry.counter_add("sim_events_scheduled_total", "sim", stats.events_scheduled);
+    registry.counter_add("sim_events_processed_total", "sim", stats.events_processed);
+    registry.counter_add(
+        "sim_fragmented_datagrams_total",
+        "sim",
+        stats.fragmented_datagrams,
+    );
+    registry.counter_add("sim_fragments_sent_total", "sim", stats.fragments_sent);
+    registry.counter_add("sim_transit_fastpath_total", "sim", stats.transit_fastpath);
+    registry.counter_add("sim_transit_slowpath_total", "sim", stats.transit_slowpath);
+}
+
+/// One link's counters and utilisation into `registry`.
+pub(crate) fn collect_link_metrics(link: &Link, elapsed_secs: f64, registry: &mut MetricsRegistry) {
+    let component = link.trace_component.as_str();
+    let s = link.stats;
+    registry.counter_add("link_tx_packets_total", component, s.tx_packets);
+    registry.counter_add("link_tx_bytes_total", component, s.tx_bytes);
+    registry.counter_add("link_dropped_queue_total", component, s.dropped_queue);
+    registry.counter_add("link_dropped_red_total", component, s.dropped_red);
+    registry.counter_add("link_dropped_fault_total", component, s.dropped_fault);
+    let f = link.fault.stats();
+    registry.counter_add("fault_offered_total", component, f.offered);
+    registry.counter_add("fault_dropped_total", component, f.dropped);
+    registry.counter_add("fault_delayed_total", component, f.delayed);
+    if elapsed_secs > 0.0 {
+        let busy_secs = s.tx_bytes as f64 * 8.0 / link.config.rate_bps as f64;
+        registry.gauge_set(
+            "link_utilization",
+            component,
+            (busy_secs / elapsed_secs).min(1.0),
+        );
+    }
+}
+
+/// One node's delivery and reassembly counters into `registry`.
+pub(crate) fn collect_node_metrics(node: &Node, registry: &mut MetricsRegistry) {
+    let component = node.trace_component.as_str();
+    let s = node.stats;
+    registry.counter_add("node_rx_packets_total", component, s.rx_packets);
+    registry.counter_add("node_rx_bytes_total", component, s.rx_bytes);
+    registry.counter_add("node_tx_packets_total", component, s.tx_packets);
+    registry.counter_add("node_ttl_expired_total", component, s.ttl_expired);
+    registry.counter_add("node_no_route_total", component, s.no_route);
+    registry.counter_add("node_udp_delivered_total", component, s.udp_delivered);
+    registry.counter_add("node_udp_unreachable_total", component, s.udp_unreachable);
+    registry.counter_add("node_tcp_delivered_total", component, s.tcp_delivered);
+    registry.counter_add("node_tcp_unreachable_total", component, s.tcp_unreachable);
+    registry.counter_add("node_decode_errors_total", component, s.decode_errors);
+    let r = node.reassembler.stats();
+    registry.counter_add(
+        "reassembly_fragments_received_total",
+        component,
+        r.fragments_received,
+    );
+    registry.counter_add("reassembly_passthrough_total", component, r.passthrough);
+    registry.counter_add("reassembly_reassembled_total", component, r.reassembled);
+    registry.counter_add("reassembly_timed_out_total", component, r.timed_out);
+    registry.counter_add("reassembly_duplicates_total", component, r.duplicates);
+    registry.counter_add("reassembly_invalid_total", component, r.invalid);
+}
+
 /// The application-facing handle: everything an app may do during a
 /// callback.
 pub struct Ctx<'a> {
@@ -1033,9 +1051,12 @@ impl<'a> Ctx<'a> {
         self.core.nodes[self.node.0].addr
     }
 
-    /// Engine RNG.
+    /// This node's private random stream. Per-node (not engine-wide)
+    /// so the draw sequence each application sees is a function of its
+    /// own node's behaviour alone — a prerequisite for sharded runs
+    /// being byte-identical to sequential ones.
     pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.core.rng
+        &mut self.core.nodes[self.node.0].rng
     }
 
     /// Send a UDP datagram with the default TTL (128, matching the
@@ -1154,18 +1175,28 @@ impl<'a> Ctx<'a> {
     }
 }
 
-struct AppSlot {
-    node: NodeId,
-    app: Option<Box<dyn Application>>,
+pub(crate) struct AppSlot {
+    pub(crate) node: NodeId,
+    pub(crate) app: Option<Box<dyn Application>>,
 }
 
 /// The simulation: network core plus applications.
 pub struct Simulation {
-    core: SimCore,
-    apps: Vec<AppSlot>,
+    pub(crate) core: SimCore,
+    pub(crate) apps: Vec<AppSlot>,
     /// Reusable delivery buffer for the event loop: arrivals are the
     /// hot path, and a fresh `Vec` per event showed up in profiles.
-    deliveries: Vec<Delivery>,
+    pub(crate) deliveries: Vec<Delivery>,
+    /// How [`Simulation::run_until`]-family calls execute: on this
+    /// thread ([`ShardKind::Sequential`], the default) or partitioned
+    /// across domains with one worker each. Set via
+    /// [`Simulation::set_shards`] before the first run call.
+    pub(crate) shards: crate::shard::ShardKind,
+    /// The live partition, built lazily at the first run call when
+    /// `shards` asks for one. Once present, the topology/state above
+    /// has been moved into the engine's per-domain simulations and
+    /// every public method dispatches there.
+    pub(crate) sharded: Option<Box<crate::shard::ShardedEngine>>,
 }
 
 impl Simulation {
@@ -1193,16 +1224,80 @@ impl Simulation {
                 obs: Obs::disabled(),
                 lineage: None,
                 timeseries: None,
+                shard: None,
             },
             apps: Vec::new(),
             deliveries: Vec::new(),
+            shards: crate::shard::ShardKind::Sequential,
+            sharded: None,
         }
+    }
+
+    /// Choose how runs execute (see [`crate::shard::ShardKind`]).
+    /// Must be called before the first `run_*` call; the partition is
+    /// built lazily when the simulation first runs, so all topology
+    /// and observer setup happens on the un-partitioned state.
+    pub fn set_shards(&mut self, shards: crate::shard::ShardKind) {
+        assert!(
+            self.sharded.is_none(),
+            "set_shards must be called before the simulation first runs"
+        );
+        self.shards = shards;
+    }
+
+    /// The sharding mode this simulation was configured with.
+    pub fn shards(&self) -> crate::shard::ShardKind {
+        self.shards
+    }
+
+    /// Build the partition on first run when one was requested.
+    fn ensure_partitioned(&mut self) {
+        if self.sharded.is_some() {
+            return;
+        }
+        let crate::shard::ShardKind::Sharded(n) = self.shards else {
+            return;
+        };
+        let scheduler = self.core.queue.kind();
+        let core = std::mem::replace(
+            &mut self.core,
+            SimCore {
+                now: SimTime::ZERO,
+                queue: EventQueue::with_capacity(scheduler, 0),
+                seq: 0,
+                nodes: Vec::new(),
+                links: Vec::new(),
+                taps: Vec::new(),
+                rng: SimRng::new(0),
+                stats: SimStats::default(),
+                obs: Obs::disabled(),
+                lineage: None,
+                timeseries: None,
+                shard: None,
+            },
+        );
+        let apps = std::mem::take(&mut self.apps);
+        let deliveries = std::mem::take(&mut self.deliveries);
+        self.sharded = Some(Box::new(crate::shard::ShardedEngine::partition(
+            core, apps, deliveries, n as usize,
+        )));
+    }
+
+    /// Panic unless the simulation is still un-partitioned: observer
+    /// and topology setup must happen before the first run call of a
+    /// sharded simulation.
+    fn assert_unpartitioned(&self, what: &str) {
+        assert!(
+            self.sharded.is_none(),
+            "{what} must happen before a sharded simulation first runs"
+        );
     }
 
     /// Turn on metric recording and the flight recorder. Telemetry
     /// never draws randomness or schedules events, so a run behaves
     /// identically either way.
     pub fn enable_telemetry(&mut self) {
+        self.assert_unpartitioned("enable_telemetry");
         self.core.obs.enabled = true;
     }
 
@@ -1211,6 +1306,7 @@ impl Simulation {
     /// never changes control flow, so a traced run is byte-identical
     /// to an untraced one. Idempotent.
     pub fn enable_lineage(&mut self) {
+        self.assert_unpartitioned("enable_lineage");
         if self.core.lineage.is_none() {
             self.core.lineage = Some(Box::new(LineageState {
                 rec: LineageRecorder::default(),
@@ -1222,14 +1318,27 @@ impl Simulation {
 
     /// Whether lifecycle tracing is on.
     pub fn lineage_enabled(&self) -> bool {
-        self.core.lineage.is_some()
+        match self.sharded.as_deref() {
+            Some(sh) => sh.lineage_enabled(),
+            None => self.core.lineage.is_some(),
+        }
     }
 
     /// Detach the lineage recording, leaving tracing off. `None` when
     /// [`Simulation::enable_lineage`] was never called.
+    ///
+    /// The dump is canonicalized through
+    /// [`LineageDump::merge_domains`] on both paths, so a sharded
+    /// run's merged dump and a sequential run's dump come out
+    /// byte-identical.
     pub fn take_lineage(&mut self) -> Option<LineageDump> {
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            return sh.take_lineage();
+        }
         let lin = self.core.lineage.take()?;
-        Some(lin.rec.finish(self.core.obs.interner()))
+        Some(LineageDump::merge_domains(vec![lin
+            .rec
+            .finish(self.core.obs.interner())]))
     }
 
     /// Turn on windowed time-series recording with `window_ns`-wide
@@ -1238,6 +1347,7 @@ impl Simulation {
     /// changes control flow, so a recorded run is byte-identical to an
     /// unrecorded one. Idempotent; the first window width wins.
     pub fn enable_timeseries(&mut self, window_ns: u64) {
+        self.assert_unpartitioned("enable_timeseries");
         if self.core.timeseries.is_none() {
             self.core.timeseries = Some(Box::new(TimeSeriesRecorder::new(window_ns)));
         }
@@ -1245,35 +1355,87 @@ impl Simulation {
 
     /// Whether windowed time-series recording is on.
     pub fn timeseries_enabled(&self) -> bool {
-        self.core.timeseries.is_some()
+        match self.sharded.as_deref() {
+            Some(sh) => sh.timeseries_enabled(),
+            None => self.core.timeseries.is_some(),
+        }
     }
 
     /// Detach the recorded time-series, leaving recording off. `None`
-    /// when [`Simulation::enable_timeseries`] was never called.
+    /// when [`Simulation::enable_timeseries`] was never called. A
+    /// sharded run's per-domain series are disjoint by component, so
+    /// the merged dump is byte-identical to a sequential run's.
     pub fn take_timeseries(&mut self) -> Option<SeriesDump> {
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            return sh.take_timeseries();
+        }
         let ts = self.core.timeseries.take()?;
         Some(ts.finish(self.core.obs.interner()))
     }
 
-    /// Event-loop counters (always on).
+    /// Event-loop counters (always on). For a sharded run the counters
+    /// are summed across domains (`queue_high_water` takes the max —
+    /// each domain has its own queue).
     pub fn sim_stats(&self) -> SimStats {
-        self.core.sim_stats()
+        match self.sharded.as_deref() {
+            Some(sh) => sh.sim_stats(),
+            None => self.core.sim_stats(),
+        }
     }
 
     /// Which scheduler drives this run.
     pub fn scheduler(&self) -> SchedulerKind {
-        self.core.scheduler()
+        match self.sharded.as_deref() {
+            Some(sh) => sh.scheduler(),
+            None => self.core.scheduler(),
+        }
     }
 
-    /// Scheduler-internal diagnostics (all zero for the heap).
+    /// Scheduler-internal diagnostics (all zero for the heap; summed
+    /// across domains for a sharded run).
     pub fn sched_stats(&self) -> SchedStats {
-        self.core.sched_stats()
+        match self.sharded.as_deref() {
+            Some(sh) => sh.sched_stats(),
+            None => self.core.sched_stats(),
+        }
     }
 
     /// Harvest component counters into `registry`; see
-    /// [`SimCore::collect_metrics`].
+    /// [`SimCore::collect_metrics`]. A sharded run harvests each
+    /// component from its owning domain in global id order, so the
+    /// registry comes out byte-identical to a sequential run's.
     pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
-        self.core.collect_metrics(registry);
+        match self.sharded.as_deref() {
+            Some(sh) => sh.collect_metrics(registry),
+            None => self.core.collect_metrics(registry),
+        }
+    }
+
+    /// Flight-recorder events as JSON Lines. A sharded run merges the
+    /// per-domain rings, reproducing a single global ring's retention
+    /// exactly (see [`turb_obs::merged_trace_jsonl`]).
+    pub fn trace_jsonl(&self) -> String {
+        match self.sharded.as_deref() {
+            Some(sh) => sh.trace_merged().0,
+            None => self.core.obs.trace_jsonl(),
+        }
+    }
+
+    /// Events evicted from the flight recorder's ring.
+    pub fn trace_evicted(&self) -> u64 {
+        match self.sharded.as_deref() {
+            Some(sh) => sh.trace_merged().1,
+            None => self.core.obs.trace.evicted(),
+        }
+    }
+
+    /// Shard-engine diagnostics (barriers, exchanged transits,
+    /// per-domain event counts); `None` for sequential runs or before
+    /// a sharded simulation first runs. Like [`SchedStats`], these
+    /// describe the engine, not the simulated network, so they stay
+    /// outside the byte-identity set.
+    pub fn shard_diag(&self) -> Option<crate::shard::ShardDiag> {
+        self.sharded.as_deref().map(|sh| sh.diag())
     }
 
     /// Add an end host.
@@ -1287,6 +1449,7 @@ impl Simulation {
     }
 
     fn add_node(&mut self, name: &str, addr: Ipv4Addr, kind: NodeKind) -> NodeId {
+        self.assert_unpartitioned("add_node");
         let id = NodeId(self.core.nodes.len());
         assert!(
             !self.core.nodes.iter().any(|n| n.addr == addr),
@@ -1297,15 +1460,24 @@ impl Simulation {
         // every observer shares one id and the symbol table is a pure
         // function of topology construction order.
         node.comp = self.core.obs.intern(&node.trace_component);
+        // Per-node stream forked off the seed, so application draws
+        // depend on the seed (unlike the construction-time fallback
+        // seeding in `Node::new`) but not on other nodes' behaviour.
+        node.rng = self.core.rng.fork((2u64 << 32) | id.0 as u64);
         self.core.nodes.push(node);
         id
     }
 
     /// Add a simplex link.
     pub fn add_link(&mut self, from: NodeId, to: NodeId, config: LinkConfig) -> LinkId {
+        self.assert_unpartitioned("add_link");
         let id = LinkId(self.core.links.len());
         let mut link = Link::new(id, from, to, config);
         link.comp = self.core.obs.intern(&link.trace_component);
+        // Per-link stream, same reasoning as the per-node fork above
+        // (fault injection and RED draws stay seed-dependent but
+        // independent of every other component's traffic).
+        link.rng = self.core.rng.fork((1u64 << 32) | id.0 as u64);
         self.core.links.push(link);
         id
     }
@@ -1325,6 +1497,9 @@ impl Simulation {
         udp_port: Option<u16>,
         listen_icmp: bool,
     ) -> AppId {
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            return sh.add_app(node, app, udp_port, listen_icmp);
+        }
         let id = AppId(self.apps.len());
         self.apps.push(AppSlot {
             node,
@@ -1345,6 +1520,9 @@ impl Simulation {
     /// Bind an application to a TCP port on its node (raw segment
     /// delivery).
     pub fn bind_tcp_port(&mut self, node: NodeId, port: u16, app: AppId) {
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            return sh.bind_tcp_port(node, port, app);
+        }
         let previous = self.core.nodes[node.0].tcp_ports.insert(port, app);
         assert!(previous.is_none(), "TCP port {port} already bound");
     }
@@ -1353,27 +1531,78 @@ impl Simulation {
     /// node sends or receives (both directions, like Ethereal on the
     /// client machine).
     pub fn add_tap(&mut self, node: NodeId, tap: Tap) {
+        self.assert_unpartitioned("add_tap");
         self.core.taps.push((node, tap));
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.core.now
+        match self.sharded.as_deref() {
+            Some(sh) => sh.now(),
+            None => self.core.now,
+        }
     }
 
-    /// Access the network core (topology, stats, RNG).
+    /// Access the network core (topology, stats, RNG). Panics once a
+    /// sharded simulation has partitioned — the core has been split
+    /// into per-domain state; use the [`Simulation`]-level accessors
+    /// ([`Simulation::link`], [`Simulation::node`],
+    /// [`Simulation::trace_jsonl`], ...) which work in both modes.
     pub fn core(&self) -> &SimCore {
+        assert!(
+            self.sharded.is_none(),
+            "core() is unavailable after a sharded simulation partitions"
+        );
         &self.core
     }
 
-    /// Mutable access to the network core.
+    /// Mutable access to the network core. Panics once a sharded
+    /// simulation has partitioned; see [`Simulation::core`].
     pub fn core_mut(&mut self) -> &mut SimCore {
+        assert!(
+            self.sharded.is_none(),
+            "core_mut() is unavailable after a sharded simulation partitions"
+        );
         &mut self.core
+    }
+
+    /// Number of nodes. Works in both modes.
+    pub fn node_count(&self) -> usize {
+        match self.sharded.as_deref() {
+            Some(sh) => sh.node_count(),
+            None => self.core.nodes.len(),
+        }
+    }
+
+    /// Number of links. Works in both modes.
+    pub fn link_count(&self) -> usize {
+        match self.sharded.as_deref() {
+            Some(sh) => sh.link_count(),
+            None => self.core.links.len(),
+        }
+    }
+
+    /// A node by id — the owning domain's copy in a sharded run, so
+    /// counters and reassembler state are the live ones.
+    pub fn node(&self, id: NodeId) -> &Node {
+        match self.sharded.as_deref() {
+            Some(sh) => sh.node(id),
+            None => &self.core.nodes[id.0],
+        }
+    }
+
+    /// A link by id — the transmitting domain's copy in a sharded run,
+    /// so stats and fault-injector counters are the live ones.
+    pub fn link(&self, id: LinkId) -> &Link {
+        match self.sharded.as_deref() {
+            Some(sh) => sh.link(id),
+            None => &self.core.links[id.0],
+        }
     }
 
     /// Convenience: a node's stats.
     pub fn node_stats(&self, id: NodeId) -> NodeStats {
-        self.core.nodes[id.0].stats
+        self.node(id).stats
     }
 
     fn dispatch(&mut self, app_id: AppId, f: impl FnOnce(&mut dyn Application, &mut Ctx<'_>)) {
@@ -1393,7 +1622,14 @@ impl Simulation {
     }
 
     /// Process one event. Returns `false` when the queue is empty.
+    /// Single-stepping a partitioned simulation is not supported (the
+    /// conservative engine advances in lookahead windows); panics once
+    /// sharded.
     pub fn step(&mut self) -> bool {
+        assert!(
+            self.sharded.is_none(),
+            "step() is unavailable on a partitioned simulation; use run_until/run_for"
+        );
         let Some((time, event)) = self.core.queue.pop() else {
             return false;
         };
@@ -1441,6 +1677,10 @@ impl Simulation {
     /// the clock to `limit`. Returns the final simulated time (`limit`,
     /// unless the clock was already past it).
     pub fn run_until(&mut self, limit: SimTime) -> SimTime {
+        self.ensure_partitioned();
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            return sh.run(limit, true);
+        }
         while let Some(next) = self.core.queue.next_time() {
             if next > limit {
                 break;
@@ -1455,7 +1695,7 @@ impl Simulation {
 
     /// Run for a further `duration` of simulated time.
     pub fn run_for(&mut self, duration: SimDuration) -> SimTime {
-        let limit = self.core.now + duration;
+        let limit = self.now() + duration;
         self.run_until(limit)
     }
 
@@ -1463,6 +1703,10 @@ impl Simulation {
     /// runaway guard), without force-advancing the clock. Returns the
     /// time of the last processed event.
     pub fn run_to_idle(&mut self, limit: SimTime) -> SimTime {
+        self.ensure_partitioned();
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            return sh.run(limit, false);
+        }
         while let Some(next) = self.core.queue.next_time() {
             if next > limit {
                 break;
@@ -1472,9 +1716,25 @@ impl Simulation {
         self.core.now
     }
 
+    /// Drain every event strictly before `end_ns`. The conservative
+    /// parallel engine's per-window worker loop: events exactly at
+    /// `end_ns` belong to the next window (cross-domain transits from
+    /// this window may land there).
+    pub(crate) fn run_window(&mut self, end_ns: u64) {
+        while let Some(next) = self.core.queue.next_time() {
+            if next.as_nanos() >= end_ns {
+                break;
+            }
+            self.step();
+        }
+    }
+
     /// Take back ownership of an application after the run, for result
     /// extraction. Panics if the id is unknown.
     pub fn remove_app(&mut self, id: AppId) -> Box<dyn Application> {
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            return sh.remove_app(id);
+        }
         self.apps[id.0]
             .app
             .take()
@@ -1485,8 +1745,8 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+
+    use std::sync::{Arc, Mutex};
 
     fn two_hosts(seed: u64) -> (Simulation, NodeId, NodeId) {
         let mut sim = Simulation::new(seed);
@@ -1506,7 +1766,7 @@ mod tests {
     struct Echoer {
         peer: Ipv4Addr,
         send_at_start: bool,
-        received: Rc<RefCell<Vec<(SimTime, Bytes)>>>,
+        received: Arc<Mutex<Vec<(SimTime, Bytes)>>>,
     }
 
     impl Application for Echoer {
@@ -1526,15 +1786,15 @@ mod tests {
             if payload.as_ref() == b"ping over udp" {
                 ctx.send_udp(6000, from.0, from.1, Bytes::from_static(b"pong"));
             }
-            self.received.borrow_mut().push((ctx.now(), payload));
+            self.received.lock().unwrap().push((ctx.now(), payload));
         }
     }
 
     #[test]
     fn udp_roundtrip_between_hosts() {
         let (mut sim, a, b) = two_hosts(1);
-        let a_rx = Rc::new(RefCell::new(Vec::new()));
-        let b_rx = Rc::new(RefCell::new(Vec::new()));
+        let a_rx = Arc::new(Mutex::new(Vec::new()));
+        let b_rx = Arc::new(Mutex::new(Vec::new()));
         sim.add_app(
             a,
             Box::new(Echoer {
@@ -1556,10 +1816,10 @@ mod tests {
             false,
         );
         sim.run_until(SimTime(10_000_000_000));
-        assert_eq!(b_rx.borrow().len(), 1, "b received the ping");
-        assert_eq!(a_rx.borrow().len(), 1, "a received the pong");
+        assert_eq!(b_rx.lock().unwrap().len(), 1, "b received the ping");
+        assert_eq!(a_rx.lock().unwrap().len(), 1, "a received the pong");
         // Latency sanity: one-way ≥ propagation (1 ms).
-        let (t, _) = b_rx.borrow()[0].clone();
+        let (t, _) = b_rx.lock().unwrap()[0].clone();
         assert!(t >= SimTime(1_000_000));
     }
 
@@ -1567,8 +1827,8 @@ mod tests {
     fn lineage_tracks_udp_roundtrip() {
         let (mut sim, a, b) = two_hosts(1);
         sim.enable_lineage();
-        let a_rx = Rc::new(RefCell::new(Vec::new()));
-        let b_rx = Rc::new(RefCell::new(Vec::new()));
+        let a_rx = Arc::new(Mutex::new(Vec::new()));
+        let b_rx = Arc::new(Mutex::new(Vec::new()));
         sim.add_app(
             a,
             Box::new(Echoer {
@@ -1604,8 +1864,8 @@ mod tests {
             assert!(stages.iter().any(|s| matches!(s, S::Delivered)));
         }
         // Tracing never perturbs the run itself.
-        assert_eq!(b_rx.borrow().len(), 1);
-        assert_eq!(a_rx.borrow().len(), 1);
+        assert_eq!(b_rx.lock().unwrap().len(), 1);
+        assert_eq!(a_rx.lock().unwrap().len(), 1);
     }
 
     #[test]
@@ -1615,8 +1875,8 @@ mod tests {
             if trace {
                 sim.enable_lineage();
             }
-            let a_rx = Rc::new(RefCell::new(Vec::new()));
-            let b_rx = Rc::new(RefCell::new(Vec::new()));
+            let a_rx = Arc::new(Mutex::new(Vec::new()));
+            let b_rx = Arc::new(Mutex::new(Vec::new()));
             sim.add_app(
                 a,
                 Box::new(Echoer {
@@ -1638,7 +1898,7 @@ mod tests {
                 false,
             );
             sim.run_until(SimTime(10_000_000_000));
-            let arrivals: Vec<SimTime> = b_rx.borrow().iter().map(|(t, _)| *t).collect();
+            let arrivals: Vec<SimTime> = b_rx.lock().unwrap().iter().map(|(t, _)| *t).collect();
             (sim.sim_stats(), arrivals)
         };
         assert_eq!(run(false), run(true));
@@ -1661,7 +1921,7 @@ mod tests {
             }
         }
         struct Sink {
-            got: Rc<RefCell<Vec<Option<u64>>>>,
+            got: Arc<Mutex<Vec<Option<u64>>>>,
         }
         impl Application for Sink {
             fn on_udp(
@@ -1671,12 +1931,12 @@ mod tests {
                 _dst_port: u16,
                 _payload: Bytes,
             ) {
-                self.got.borrow_mut().push(ctx.lineage_current_span());
+                self.got.lock().unwrap().push(ctx.lineage_current_span());
             }
         }
         let (mut sim, a, b) = two_hosts(4);
         sim.enable_lineage();
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         sim.add_app(
             a,
             Box::new(BigSender {
@@ -1691,7 +1951,7 @@ mod tests {
         dump.validate().unwrap();
         assert_eq!(dump.origins.len(), 1);
         // The receiving app saw the span of the reassembled datagram.
-        assert_eq!(got.borrow().as_slice(), &[Some(0)]);
+        assert_eq!(got.lock().unwrap().as_slice(), &[Some(0)]);
         let meta = dump.origins[0].meta.expect("packetize meta recorded");
         assert_eq!(
             (meta.player, meta.sequence, meta.media_time_ms),
@@ -1720,7 +1980,7 @@ mod tests {
     fn unbound_port_triggers_port_unreachable() {
         struct Prober {
             peer: Ipv4Addr,
-            unreachable: Rc<RefCell<u32>>,
+            unreachable: Arc<Mutex<u32>>,
         }
         impl Application for Prober {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1728,12 +1988,12 @@ mod tests {
             }
             fn on_icmp(&mut self, _ctx: &mut Ctx<'_>, _from: Ipv4Addr, msg: IcmpMessage) {
                 if matches!(msg, IcmpMessage::DestinationUnreachable { code: 3, .. }) {
-                    *self.unreachable.borrow_mut() += 1;
+                    *self.unreachable.lock().unwrap() += 1;
                 }
             }
         }
         let (mut sim, a, _b) = two_hosts(2);
-        let hits = Rc::new(RefCell::new(0));
+        let hits = Arc::new(Mutex::new(0));
         sim.add_app(
             a,
             Box::new(Prober {
@@ -1744,7 +2004,7 @@ mod tests {
             true,
         );
         sim.run_until(SimTime(5_000_000_000));
-        assert_eq!(*hits.borrow(), 1);
+        assert_eq!(*hits.lock().unwrap(), 1);
     }
 
     #[test]
@@ -1767,7 +2027,7 @@ mod tests {
         struct TtlProbe {
             dst: Ipv4Addr,
             ttl: u8,
-            time_exceeded_from: Rc<RefCell<Vec<Ipv4Addr>>>,
+            time_exceeded_from: Arc<Mutex<Vec<Ipv4Addr>>>,
         }
         impl Application for TtlProbe {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1775,11 +2035,11 @@ mod tests {
             }
             fn on_icmp(&mut self, _ctx: &mut Ctx<'_>, from: Ipv4Addr, msg: IcmpMessage) {
                 if matches!(msg, IcmpMessage::TimeExceeded { .. }) {
-                    self.time_exceeded_from.borrow_mut().push(from);
+                    self.time_exceeded_from.lock().unwrap().push(from);
                 }
             }
         }
-        let hops = Rc::new(RefCell::new(Vec::new()));
+        let hops = Arc::new(Mutex::new(Vec::new()));
         sim.add_app(
             a,
             Box::new(TtlProbe {
@@ -1791,11 +2051,14 @@ mod tests {
             true,
         );
         sim.run_until(SimTime(5_000_000_000));
-        assert_eq!(hops.borrow().as_slice(), &[Ipv4Addr::new(10, 0, 0, 254)]);
+        assert_eq!(
+            hops.lock().unwrap().as_slice(),
+            &[Ipv4Addr::new(10, 0, 0, 254)]
+        );
         assert_eq!(sim.node_stats(r).ttl_expired, 1);
         // With ttl 2 the probe reaches b and comes back port-unreachable,
         // so no new time-exceeded is recorded.
-        let before = hops.borrow().len();
+        let before = hops.lock().unwrap().len();
         let probe2 = TtlProbe {
             dst: addr_b,
             ttl: 2,
@@ -1803,7 +2066,7 @@ mod tests {
         };
         sim.add_app(a, Box::new(probe2), Some(4001), true);
         sim.run_until(SimTime(10_000_000_000));
-        assert_eq!(hops.borrow().len(), before);
+        assert_eq!(hops.lock().unwrap().len(), before);
         assert_eq!(sim.node_stats(b).udp_unreachable, 1);
     }
 
@@ -1811,7 +2074,7 @@ mod tests {
     fn hosts_answer_ping() {
         struct Pinger {
             dst: Ipv4Addr,
-            rtt: Rc<RefCell<Option<SimDuration>>>,
+            rtt: Arc<Mutex<Option<SimDuration>>>,
             sent_at: SimTime,
         }
         impl Application for Pinger {
@@ -1828,12 +2091,12 @@ mod tests {
             }
             fn on_icmp(&mut self, ctx: &mut Ctx<'_>, _from: Ipv4Addr, msg: IcmpMessage) {
                 if let IcmpMessage::EchoReply { ident: 77, .. } = msg {
-                    *self.rtt.borrow_mut() = Some(ctx.now().since(self.sent_at));
+                    *self.rtt.lock().unwrap() = Some(ctx.now().since(self.sent_at));
                 }
             }
         }
         let (mut sim, a, _b) = two_hosts(4);
-        let rtt = Rc::new(RefCell::new(None));
+        let rtt = Arc::new(Mutex::new(None));
         sim.add_app(
             a,
             Box::new(Pinger {
@@ -1845,7 +2108,7 @@ mod tests {
             true,
         );
         sim.run_until(SimTime(5_000_000_000));
-        let rtt = rtt.borrow().expect("got an echo reply");
+        let rtt = rtt.lock().unwrap().expect("got an echo reply");
         // ≥ 2 × 1 ms propagation.
         assert!(rtt >= SimDuration::from_millis(2));
         assert!(rtt < SimDuration::from_millis(5));
@@ -1863,7 +2126,7 @@ mod tests {
             }
         }
         struct Sink {
-            got: Rc<RefCell<Vec<usize>>>,
+            got: Arc<Mutex<Vec<usize>>>,
         }
         impl Application for Sink {
             fn on_udp(
@@ -1873,11 +2136,11 @@ mod tests {
                 _dst_port: u16,
                 payload: Bytes,
             ) {
-                self.got.borrow_mut().push(payload.len());
+                self.got.lock().unwrap().push(payload.len());
             }
         }
         let (mut sim, a, b) = two_hosts(5);
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         sim.add_app(
             a,
             Box::new(BigSender {
@@ -1889,32 +2152,36 @@ mod tests {
         sim.add_app(b, Box::new(Sink { got: got.clone() }), Some(6000), false);
 
         // Tap the receiver to count on-the-wire fragments.
-        let frames = Rc::new(RefCell::new(0usize));
+        let frames = Arc::new(Mutex::new(0usize));
         let frames_tap = frames.clone();
         sim.add_tap(
             b,
             Box::new(move |ev| {
                 if ev.direction == Direction::Rx {
-                    *frames_tap.borrow_mut() += 1;
+                    *frames_tap.lock().unwrap() += 1;
                 }
             }),
         );
         sim.run_until(SimTime(5_000_000_000));
-        assert_eq!(got.borrow().as_slice(), &[4096]);
-        assert_eq!(*frames.borrow(), 3, "4 KiB + UDP header = 3 fragments");
+        assert_eq!(got.lock().unwrap().as_slice(), &[4096]);
+        assert_eq!(
+            *frames.lock().unwrap(),
+            3,
+            "4 KiB + UDP header = 3 fragments"
+        );
     }
 
     #[test]
     fn identical_seeds_give_identical_runs() {
         fn run(seed: u64) -> Vec<(SimTime, Bytes)> {
             let (mut sim, a, b) = two_hosts(seed);
-            let b_rx = Rc::new(RefCell::new(Vec::new()));
+            let b_rx = Arc::new(Mutex::new(Vec::new()));
             sim.add_app(
                 a,
                 Box::new(Echoer {
                     peer: Ipv4Addr::new(10, 0, 0, 2),
                     send_at_start: true,
-                    received: Rc::new(RefCell::new(Vec::new())),
+                    received: Arc::new(Mutex::new(Vec::new())),
                 }),
                 Some(5000),
                 false,
@@ -1930,7 +2197,7 @@ mod tests {
                 false,
             );
             sim.run_until(SimTime(10_000_000_000));
-            let out = b_rx.borrow().clone();
+            let out = b_rx.lock().unwrap().clone();
             out
         }
         assert_eq!(run(42), run(42));

@@ -8,9 +8,8 @@ use crate::link::NodeId;
 use crate::sim::{Application, Ctx, Simulation};
 use crate::tcp::{TcpConfig, TcpDriver, TcpStats};
 use crate::time::SimTime;
-use std::cell::RefCell;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use turb_wire::tcp::TcpSegment;
 
 /// Progress shared out of a bulk transfer.
@@ -50,7 +49,7 @@ pub struct BulkSender {
     written: u64,
     driver: Option<TcpDriver>,
     config: TcpConfig,
-    report: Rc<RefCell<BulkReport>>,
+    report: Arc<Mutex<BulkReport>>,
 }
 
 const TOKEN_PUMP: u64 = 0xF00D;
@@ -74,7 +73,7 @@ impl BulkSender {
             driver.close(ctx);
         }
         let stats = driver.conn.stats();
-        let mut report = self.report.borrow_mut();
+        let mut report = self.report.lock().unwrap();
         report.bytes_acked = stats.bytes_acked;
         report.sender_stats = stats;
         if stats.bytes_acked >= self.total_bytes && report.finished_at.is_none() {
@@ -85,7 +84,7 @@ impl BulkSender {
 
 impl Application for BulkSender {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.report.borrow_mut().started_at = Some(ctx.now());
+        self.report.lock().unwrap().started_at = Some(ctx.now());
         self.driver = Some(TcpDriver::connect(
             ctx,
             self.local_port,
@@ -118,7 +117,7 @@ pub struct BulkReceiver {
     local_port: u16,
     config: TcpConfig,
     driver: Option<TcpDriver>,
-    report: Rc<RefCell<BulkReport>>,
+    report: Arc<Mutex<BulkReport>>,
 }
 
 impl Application for BulkReceiver {
@@ -131,7 +130,7 @@ impl Application for BulkReceiver {
             driver.on_segment(ctx, from, segment);
             let drained = driver.conn.take_received();
             if !drained.is_empty() {
-                self.report.borrow_mut().bytes_received += drained.len() as u64;
+                self.report.lock().unwrap().bytes_received += drained.len() as u64;
             }
             // Mirror the peer's close.
             if driver.conn.state() == crate::tcp::State::CloseWait {
@@ -157,9 +156,9 @@ pub fn spawn_bulk_transfer(
     ports: (u16, u16),
     total_bytes: u64,
     config: TcpConfig,
-) -> Rc<RefCell<BulkReport>> {
+) -> Arc<Mutex<BulkReport>> {
     let (local_port, server_port) = ports;
-    let report = Rc::new(RefCell::new(BulkReport::default()));
+    let report = Arc::new(Mutex::new(BulkReport::default()));
     let receiver = BulkReceiver {
         local_port: server_port,
         config,
@@ -213,7 +212,7 @@ mod tests {
             TcpConfig::default(),
         );
         sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(120));
-        let report = report.borrow();
+        let report = report.lock().unwrap();
         assert_eq!(report.bytes_received, 1_000_000);
         assert_eq!(report.bytes_acked, 1_000_000);
         let goodput = report.goodput_bps().expect("finished");
@@ -246,7 +245,7 @@ mod tests {
             TcpConfig::default(),
         );
         sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(600));
-        let report = report.borrow();
+        let report = report.lock().unwrap();
         assert_eq!(report.bytes_received, 500_000, "reliable despite loss");
         let stats = report.sender_stats;
         assert!(
@@ -285,8 +284,8 @@ mod tests {
             TcpConfig::default(),
         );
         sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(600));
-        let g1 = r1.borrow().goodput_bps().expect("flow 1 finished");
-        let g2 = r2.borrow().goodput_bps().expect("flow 2 finished");
+        let g1 = r1.lock().unwrap().goodput_bps().expect("flow 1 finished");
+        let g2 = r2.lock().unwrap().goodput_bps().expect("flow 2 finished");
         let ratio = g1.max(g2) / g1.min(g2);
         assert!(ratio < 2.5, "unfair split: {g1} vs {g2}");
         // Combined they use most of the link.
@@ -308,7 +307,7 @@ mod tests {
                 TcpConfig::default(),
             );
             sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(60));
-            let r = report.borrow();
+            let r = report.lock().unwrap();
             (r.bytes_received, r.finished_at)
         };
         assert_eq!(run(7), run(7));

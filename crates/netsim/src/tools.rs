@@ -11,10 +11,9 @@ use crate::rng::SimRng;
 use crate::sim::{Application, Ctx, Simulation};
 use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use turb_wire::icmp::IcmpMessage;
 
 /// Results of a ping run.
@@ -72,7 +71,7 @@ pub struct PingApp {
     ident: u16,
     next_seq: u16,
     outstanding: HashMap<u16, SimTime>,
-    report: Rc<RefCell<PingReport>>,
+    report: Arc<Mutex<PingReport>>,
 }
 
 impl PingApp {
@@ -80,7 +79,7 @@ impl PingApp {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.outstanding.insert(seq, ctx.now());
-        self.report.borrow_mut().sent += 1;
+        self.report.lock().unwrap().sent += 1;
         ctx.send_icmp(
             self.dst,
             IcmpMessage::EchoRequest {
@@ -113,7 +112,7 @@ impl Application for PingApp {
             if ident == self.ident {
                 if let Some(sent_at) = self.outstanding.remove(&seq) {
                     let rtt = ctx.now().since(sent_at);
-                    let mut report = self.report.borrow_mut();
+                    let mut report = self.report.lock().unwrap();
                     report.received += 1;
                     report.rtts.push(rtt);
                 }
@@ -132,8 +131,8 @@ pub fn spawn_ping(
     interval: SimDuration,
     start_after: SimDuration,
     rng: &mut SimRng,
-) -> Rc<RefCell<PingReport>> {
-    let report = Rc::new(RefCell::new(PingReport::default()));
+) -> Arc<Mutex<PingReport>> {
+    let report = Arc::new(Mutex::new(PingReport::default()));
     let app = PingApp {
         dst,
         count,
@@ -196,7 +195,7 @@ pub struct TracertApp {
     current_ttl: u8,
     sent_at: SimTime,
     answered: bool,
-    report: Rc<RefCell<TracertReport>>,
+    report: Arc<Mutex<TracertReport>>,
 }
 
 impl TracertApp {
@@ -215,7 +214,7 @@ impl TracertApp {
 
     fn advance(&mut self, ctx: &mut Ctx<'_>, result: HopResult, reached: bool) {
         {
-            let mut report = self.report.borrow_mut();
+            let mut report = self.report.lock().unwrap();
             report.hops.push(result);
             report.reached = reached;
         }
@@ -283,8 +282,8 @@ pub fn spawn_tracert(
     src_port: u16,
     max_ttl: u8,
     probe_timeout: SimDuration,
-) -> Rc<RefCell<TracertReport>> {
-    let report = Rc::new(RefCell::new(TracertReport::default()));
+) -> Arc<Mutex<TracertReport>> {
+    let report = Arc::new(Mutex::new(TracertReport::default()));
     let app = TracertApp {
         dst,
         src_port,
@@ -325,7 +324,7 @@ mod tests {
             &mut rng,
         );
         sim.run_until(SimTime(20_000_000_000));
-        let report = report.borrow();
+        let report = report.lock().unwrap();
         assert_eq!(report.sent, 10);
         assert_eq!(report.received, 10);
         let median = report.median_rtt().unwrap();
@@ -352,7 +351,7 @@ mod tests {
                 SimDuration::from_secs(2),
             );
             sim.run_until(SimTime(sim.now().as_nanos() + 400_000_000_000));
-            let report = report.borrow();
+            let report = report.lock().unwrap();
             assert!(report.reached, "site {:?} unreachable", site.server_addr);
             assert_eq!(
                 report.hop_count().unwrap(),
@@ -392,8 +391,8 @@ mod tests {
             &mut rng,
         );
         sim.run_until(SimTime(30_000_000_000));
-        assert_eq!(r0.borrow().received, 5);
-        assert_eq!(r1.borrow().received, 5);
+        assert_eq!(r0.lock().unwrap().received, 5);
+        assert_eq!(r1.lock().unwrap().received, 5);
     }
 
     #[test]

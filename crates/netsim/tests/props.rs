@@ -21,12 +21,11 @@ proptest! {
             queue_capacity: usize::MAX,
             mtu: 1500,
         });
-        let mut rng = SimRng::new(0);
         let mut now = SimTime::ZERO;
         let mut last_arrival = SimTime::ZERO;
         for (size, gap) in sizes.iter().zip(gaps.iter().cycle()) {
             now += SimDuration::from_nanos(*gap);
-            match link.transmit(now, *size, &mut rng) {
+            match link.transmit(now, *size) {
                 TxOutcome::Deliver { arrival } => {
                     prop_assert!(arrival >= last_arrival, "reordered");
                     // Arrival is never before tx time + propagation.
@@ -52,9 +51,8 @@ proptest! {
             queue_capacity: capacity,
             mtu: 1500,
         });
-        let mut rng = SimRng::new(0);
         for size in &sizes {
-            let _ = link.transmit(SimTime::ZERO, *size, &mut rng);
+            let _ = link.transmit(SimTime::ZERO, *size);
             prop_assert!(link.backlog_bytes(SimTime::ZERO) <= capacity);
         }
         let accepted = link.stats.tx_packets;
@@ -115,7 +113,7 @@ mod end_to_end {
                 .collect();
             sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
             for report in reports {
-                let report = report.borrow();
+                let report = report.lock().unwrap();
                 prop_assert_eq!(report.received, 3);
                 let max = report.max_rtt().unwrap();
                 prop_assert!(max < SimDuration::from_millis(200), "rtt {max}");

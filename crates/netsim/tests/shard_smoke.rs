@@ -1,0 +1,197 @@
+//! Fast byte-identity check for the sharded engine: the calibrated
+//! Internet scenario with ping traffic must produce identical metrics,
+//! traces, lineage, and time-series whether it runs sequentially or
+//! partitioned across shard domains. The exhaustive sweep lives in
+//! the workspace-level `shard_equivalence` suite; this one exists so a
+//! broken exchange protocol fails in seconds, inside this crate.
+
+use turb_netsim::prelude::*;
+use turb_obs::{LineageDump, MetricsRegistry, SeriesDump};
+
+/// Everything a run can externalise, gathered from one simulation.
+struct RunOutput {
+    metrics: String,
+    trace: String,
+    lineage: Option<LineageDump>,
+    series: Option<SeriesDump>,
+    events_processed: u64,
+    events_scheduled: u64,
+    ping_received: Vec<u32>,
+}
+
+fn run(seed: u64, shards: ShardKind) -> RunOutput {
+    let mut sim = Simulation::new(seed);
+    let mut rng = SimRng::new(seed);
+    sim.enable_telemetry();
+    sim.enable_lineage();
+    sim.enable_timeseries(0);
+    sim.set_shards(shards);
+    let scenario = InternetScenario::build(&mut sim, &mut rng, &ScenarioConfig::default());
+    let reports: Vec<_> = scenario
+        .sites
+        .iter()
+        .map(|site| {
+            tools::spawn_ping(
+                &mut sim,
+                scenario.client,
+                site.server_addr,
+                20,
+                SimDuration::from_millis(250),
+                SimDuration::ZERO,
+                &mut rng,
+            )
+        })
+        .collect();
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+    let mut registry = MetricsRegistry::new();
+    sim.collect_metrics(&mut registry);
+    let stats = sim.sim_stats();
+    RunOutput {
+        metrics: registry.render_text(),
+        trace: sim.trace_jsonl(),
+        lineage: sim.take_lineage(),
+        series: sim.take_timeseries(),
+        events_processed: stats.events_processed,
+        events_scheduled: stats.events_scheduled,
+        ping_received: reports.iter().map(|r| r.lock().unwrap().received).collect(),
+    }
+}
+
+fn assert_identical(seed: u64, n: u16) {
+    let seq = run(seed, ShardKind::Sequential);
+    let shd = run(seed, ShardKind::Sharded(n));
+    assert!(
+        seq.ping_received.iter().any(|&r| r > 0),
+        "seed {seed}: no traffic flowed — test is vacuous"
+    );
+    assert_eq!(
+        seq.ping_received, shd.ping_received,
+        "seed {seed} shards {n}: ping deliveries diverge"
+    );
+    assert_eq!(
+        seq.events_processed, shd.events_processed,
+        "seed {seed} shards {n}: events_processed diverges"
+    );
+    assert_eq!(
+        seq.events_scheduled, shd.events_scheduled,
+        "seed {seed} shards {n}: events_scheduled diverges"
+    );
+    assert_eq!(
+        seq.metrics, shd.metrics,
+        "seed {seed} shards {n}: metrics diverge"
+    );
+    assert_eq!(
+        seq.lineage, shd.lineage,
+        "seed {seed} shards {n}: lineage diverges"
+    );
+    assert_eq!(
+        seq.series, shd.series,
+        "seed {seed} shards {n}: time-series diverge"
+    );
+    assert_eq!(
+        seq.trace, shd.trace,
+        "seed {seed} shards {n}: traces diverge"
+    );
+}
+
+#[test]
+fn two_domains_match_sequential() {
+    assert_identical(7, 2);
+}
+
+#[test]
+fn four_domains_match_sequential() {
+    assert_identical(7, 4);
+}
+
+#[test]
+fn one_domain_partition_matches_sequential() {
+    // Sharded(1) exercises the full partition/exchange machinery with
+    // zero cut links — a degenerate case worth pinning.
+    assert_identical(7, 1);
+}
+
+#[test]
+fn other_seed_matches_too() {
+    assert_identical(1902, 2);
+}
+
+#[test]
+fn scale_scenario_matches_sequential() {
+    use turb_netsim::topology::{ScaleConfig, ScaleScenario};
+    let run = |shards: ShardKind| {
+        let mut sim = Simulation::new(11);
+        sim.enable_telemetry();
+        sim.set_shards(shards);
+        let scenario = ScaleScenario::build(
+            &mut sim,
+            &ScaleConfig {
+                groups: 4,
+                clients_per_group: 16,
+                packets_per_client: 8,
+                send_interval: SimDuration::from_millis(25),
+                payload_bytes: 300,
+            },
+        );
+        sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(30));
+        let mut registry = MetricsRegistry::new();
+        sim.collect_metrics(&mut registry);
+        (
+            scenario.total_received(),
+            sim.sim_stats().events_processed,
+            registry.render_text(),
+        )
+    };
+    let seq = run(ShardKind::Sequential);
+    for n in [2u16, 4, 8] {
+        let shd = run(ShardKind::Sharded(n));
+        assert_eq!(seq.0, shd.0, "shards {n}: sink totals diverge");
+        assert_eq!(seq.1, shd.1, "shards {n}: events diverge");
+        assert_eq!(seq.2, shd.2, "shards {n}: metrics diverge");
+    }
+    assert!(seq.0.datagrams > 0);
+}
+
+#[test]
+fn diag_reports_the_partition() {
+    let mut sim = Simulation::new(7);
+    let mut rng = SimRng::new(7);
+    let scenario = InternetScenario::build(&mut sim, &mut rng, &ScenarioConfig::default());
+    sim.set_shards(ShardKind::Sharded(2));
+    // Ping every site: whatever the 2-way partition, some path must
+    // cross the cut.
+    for site in &scenario.sites {
+        tools::spawn_ping(
+            &mut sim,
+            scenario.client,
+            site.server_addr,
+            4,
+            SimDuration::from_millis(100),
+            SimDuration::ZERO,
+            &mut rng,
+        );
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+    let diag = sim
+        .shard_diag()
+        .expect("sharded run must expose diagnostics");
+    assert_eq!(diag.shards, 2);
+    assert_eq!(diag.per_domain.len(), 2);
+    assert!(diag.lookahead_ns > 0);
+    assert!(diag.barriers > 0, "run should cross at least one barrier");
+    assert!(
+        diag.transits > 0,
+        "ping crosses the cut, so transits must flow"
+    );
+    let total: u64 = diag.per_domain.iter().map(|d| d.events_processed).sum();
+    assert_eq!(total, sim.sim_stats().events_processed);
+    assert_eq!(
+        diag.exchange_reallocs, 0,
+        "steady state must not reallocate exchange buffers"
+    );
+    // Sequential runs report no diagnostics.
+    let mut seq = Simulation::new(7);
+    assert!(seq.shard_diag().is_none());
+    seq.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+    assert!(seq.shard_diag().is_none());
+}

@@ -40,7 +40,7 @@ mod trace;
 pub use intern::{Interner, SymbolId};
 pub use lineage::{
     DropCause, LineageDump, LineageEvent, LineageRecorder, PacketizeMeta, PostMortem, SpanOrigin,
-    SpanOutcome, SpanTimeline, Stage, StageSamples,
+    SpanOutcome, SpanTimeline, Stage, StageSamples, SPAN_DOMAIN_SHIFT, SPAN_LOCAL_MASK,
 };
 pub use loghist::LogHistogram;
 pub use metrics::{Histogram, MetricKey, MetricsRegistry, SCOPE_NS_BUCKETS};
@@ -48,7 +48,7 @@ pub use report::{CheckReport, FragReport, LinkReport, PlayerReport, PropCheckRep
 pub use timeseries::{
     SeriesData, SeriesDump, SeriesKind, TimeSeriesRecorder, DEFAULT_WINDOW_CAP, DEFAULT_WINDOW_NS,
 };
-pub use trace::{Severity, TraceEvent, TraceRecorder};
+pub use trace::{merged_trace_jsonl, Severity, TraceEvent, TraceRecorder};
 
 use std::time::Instant;
 
@@ -177,6 +177,21 @@ impl Obs {
     /// The flight recorder as JSON Lines, component symbols resolved.
     pub fn trace_jsonl(&self) -> String {
         self.trace.to_jsonl(self.metrics.interner())
+    }
+
+    /// A context for one shard domain of a partitioned simulation:
+    /// same switch, an *empty* metrics registry sharing the interner
+    /// (so every construction-time [`SymbolId`] stays valid in every
+    /// domain without double-counting pre-partition values at merge),
+    /// and a fresh flight recorder of the same capacity. The
+    /// partitioner hands the original `Obs` to domain 0 and one of
+    /// these to each of the rest.
+    pub fn shard_clone(&self) -> Obs {
+        Obs {
+            enabled: self.enabled,
+            metrics: self.metrics.fork_interner(),
+            trace: TraceRecorder::with_capacity(self.trace.capacity()),
+        }
     }
 
     /// Start a wall-clock scope. Always measures (the cost is one

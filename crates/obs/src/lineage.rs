@@ -227,7 +227,19 @@ pub struct LineageRecorder {
     events: Vec<LineageEvent>,
     capacity: usize,
     dropped: u64,
+    /// OR-ed into every allocated span id. Zero for a sequential run;
+    /// a sharded run gives domain `d` the base `d << SPAN_DOMAIN_SHIFT`
+    /// so span ids allocated concurrently by different domains never
+    /// collide and [`LineageDump::merge_domains`] can decode which
+    /// per-domain origin table an id indexes.
+    span_base: u64,
 }
+
+/// Bit position of the domain tag inside a span id. The low 48 bits
+/// index the owning recorder's origin table.
+pub const SPAN_DOMAIN_SHIFT: u32 = 48;
+/// Mask selecting the local origin index of a span id.
+pub const SPAN_LOCAL_MASK: u64 = (1 << SPAN_DOMAIN_SHIFT) - 1;
 
 impl Default for LineageRecorder {
     fn default() -> Self {
@@ -243,7 +255,25 @@ impl LineageRecorder {
             events: Vec::new(),
             capacity: capacity.max(1),
             dropped: 0,
+            span_base: 0,
         }
+    }
+
+    /// The configured event capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Tag every span id this recorder allocates with `base` (see
+    /// [`SPAN_DOMAIN_SHIFT`]). Must be called before any span is born.
+    pub fn set_span_base(&mut self, base: u64) {
+        debug_assert!(self.origins.is_empty(), "span base set after spans born");
+        debug_assert_eq!(
+            base & SPAN_LOCAL_MASK,
+            0,
+            "base must be above the local bits"
+        );
+        self.span_base = base;
     }
 
     /// Allocate a span born now at `comp`, recording its `Sent` event.
@@ -255,7 +285,7 @@ impl LineageRecorder {
         meta: Option<PacketizeMeta>,
         payload_len: u32,
     ) -> u64 {
-        let span = self.origins.len() as u64;
+        let span = self.span_base | self.origins.len() as u64;
         self.origins.push(SpanOrigin {
             time_ns,
             comp,
@@ -410,6 +440,92 @@ impl LineageDump {
             .get(id.index())
             .map(String::as_str)
             .unwrap_or("?")
+    }
+
+    /// Fold per-domain dumps into one canonical dump.
+    ///
+    /// `parts[d]` must come from the recorder whose span base was
+    /// `d << SPAN_DOMAIN_SHIFT` (a sequential run is the single part
+    /// `d = 0`). Component tables are unioned by name and re-sorted;
+    /// origins are renumbered in `(birth time, component name)` order
+    /// (ties keep each component's own birth order — a component's
+    /// spans are all born in one domain, so this is well defined);
+    /// events are remapped onto the new span and component ids and
+    /// sorted by `(time, span)`. The result is a pure function of the
+    /// simulated behaviour, independent of how the topology was
+    /// partitioned — which is exactly what lets a sharded run's dump
+    /// compare byte-identical against a sequential run's.
+    pub fn merge_domains(parts: Vec<LineageDump>) -> LineageDump {
+        // Union the component names, sorted.
+        let mut components: Vec<String> = parts
+            .iter()
+            .flat_map(|p| p.components.iter().cloned())
+            .collect();
+        components.sort();
+        components.dedup();
+        let comp_maps: Vec<Vec<u32>> = parts
+            .iter()
+            .map(|p| {
+                p.components
+                    .iter()
+                    .map(|c| {
+                        components
+                            .binary_search(c)
+                            .expect("component in sorted union") as u32
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Renumber origins canonically. Comparing remapped component
+        // ids is comparing names, because `components` is sorted.
+        let mut order: Vec<(u64, u32, usize, usize)> = Vec::new();
+        for (part, p) in parts.iter().enumerate() {
+            for (local, origin) in p.origins.iter().enumerate() {
+                order.push((
+                    origin.time_ns,
+                    comp_maps[part][origin.comp.index()],
+                    part,
+                    local,
+                ));
+            }
+        }
+        order.sort_by_key(|&(t, c, part, _)| (t, c, part));
+        let mut span_maps: Vec<Vec<u64>> = parts.iter().map(|p| vec![0; p.origins.len()]).collect();
+        let mut origins = Vec::with_capacity(order.len());
+        for (new_id, &(_, new_comp, part, local)) in order.iter().enumerate() {
+            span_maps[part][local] = new_id as u64;
+            let mut origin = parts[part].origins[local];
+            origin.comp = SymbolId(new_comp);
+            origins.push(origin);
+        }
+
+        // Remap and canonically order the events. A packet that
+        // crossed domains has its later stages recorded by a *different*
+        // recorder than the one that allocated its span, so the origin
+        // part is decoded from the span id, while the component id is
+        // resolved against the recording part's own symbol table.
+        let mut events: Vec<LineageEvent> = Vec::new();
+        let mut dropped = 0u64;
+        for (part, p) in parts.iter().enumerate() {
+            dropped += p.dropped;
+            for ev in &p.events {
+                let origin_part = (ev.span >> SPAN_DOMAIN_SHIFT) as usize;
+                let local = (ev.span & SPAN_LOCAL_MASK) as usize;
+                let mut ev = *ev;
+                ev.span = span_maps[origin_part][local];
+                ev.comp = SymbolId(comp_maps[part][ev.comp.index()]);
+                events.push(ev);
+            }
+        }
+        events.sort_by_key(|ev| (ev.time_ns, ev.span));
+
+        LineageDump {
+            origins,
+            events,
+            components,
+            dropped,
+        }
     }
 
     /// Rebuild every span's timeline, in span-id order.
@@ -937,6 +1053,66 @@ mod tests {
         assert!(a.contains("\"media_ms\":0"));
         // One line per event plus the header, metadata, and closer.
         assert_eq!(a.lines().count(), 3 + dump.events.len());
+    }
+
+    #[test]
+    fn merge_domains_canonicalizes_a_single_part_idempotently() {
+        let dump = sample_dump();
+        let canon = LineageDump::merge_domains(vec![dump.clone()]);
+        canon.validate().expect("canonical dump is well-formed");
+        // Same behaviour, canonical ids.
+        assert_eq!(canon.outcome_counts(), dump.outcome_counts());
+        assert_eq!(canon.events.len(), dump.events.len());
+        let mut names = canon.components.clone();
+        names.sort();
+        assert_eq!(names, canon.components, "components come out sorted");
+        // Canonicalizing a canonical dump changes nothing.
+        assert_eq!(LineageDump::merge_domains(vec![canon.clone()]), canon);
+    }
+
+    #[test]
+    fn merge_domains_matches_the_sequential_recorder() {
+        // A two-domain run: span 0 is born at node:a (domain 0) and
+        // crosses the cut link to node:b (domain 1); span 1 is born at
+        // node:b. The per-domain dumps merged must equal the
+        // canonicalized dump of one sequential recorder that saw the
+        // same history.
+        let mut gi = Interner::new();
+        let (ga, gl, gb) = (
+            gi.intern("node:a"),
+            gi.intern("link:01"),
+            gi.intern("node:b"),
+        );
+        let mut seq = LineageRecorder::default();
+        let s0 = seq.begin_span(0, ga, None, 100);
+        seq.record(s0, 0, gl, Stage::LinkTx, 0);
+        let s1 = seq.begin_span(5, gb, None, 8);
+        seq.record(s0, 10, gb, Stage::Arrived, 0);
+        seq.record(s0, 10, gb, Stage::Delivered, 554);
+        let _ = s1;
+        let sequential = LineageDump::merge_domains(vec![seq.finish(&gi)]);
+
+        // Domain 0 owns node:a and the cut link's transmit side.
+        let mut i0 = Interner::new();
+        let (l0, a0) = (i0.intern("link:01"), i0.intern("node:a"));
+        let mut d0 = LineageRecorder::default();
+        d0.set_span_base(0);
+        let d0s0 = d0.begin_span(0, a0, None, 100);
+        d0.record(d0s0, 0, l0, Stage::LinkTx, 0);
+
+        // Domain 1 owns node:b and records span 0's later stages
+        // under the foreign span id it arrived with.
+        let mut i1 = Interner::new();
+        let b1 = i1.intern("node:b");
+        let mut d1 = LineageRecorder::default();
+        d1.set_span_base(1u64 << SPAN_DOMAIN_SHIFT);
+        let _d1s0 = d1.begin_span(5, b1, None, 8);
+        d1.record(d0s0, 10, b1, Stage::Arrived, 0);
+        d1.record(d0s0, 10, b1, Stage::Delivered, 554);
+
+        let merged = LineageDump::merge_domains(vec![d0.finish(&i0), d1.finish(&i1)]);
+        assert_eq!(merged, sequential);
+        merged.validate().expect("merged dump is well-formed");
     }
 
     #[test]

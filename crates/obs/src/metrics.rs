@@ -139,6 +139,18 @@ impl MetricsRegistry {
         self.interner.intern(component)
     }
 
+    /// An empty registry sharing this one's symbol table: the interner
+    /// is cloned (so every construction-time [`SymbolId`] stays valid)
+    /// but no metric values come along. This is what each extra shard
+    /// domain starts from, so merging the per-domain registries back
+    /// together never double-counts anything recorded pre-partition.
+    pub fn fork_interner(&self) -> MetricsRegistry {
+        MetricsRegistry {
+            interner: self.interner.clone(),
+            ..MetricsRegistry::default()
+        }
+    }
+
     /// Add `delta` to a counter, creating it at zero first.
     pub fn counter_add(&mut self, name: &'static str, component: &str, delta: u64) {
         let comp = self.interner.intern(component);

@@ -82,8 +82,6 @@ pub struct RunReport {
     pub sim_events_processed: u64,
     /// Events pushed onto the simulator queue.
     pub sim_events_scheduled: u64,
-    /// Maximum simulator queue length observed.
-    pub queue_high_water: u64,
     /// Packets forwarded through the engine's zero-copy fast path
     /// (fit the link MTU, shared buffer, no fragmentation `Vec`).
     pub transit_fastpath: u64,
@@ -135,7 +133,6 @@ impl RunReport {
         self.threads = self.threads.max(other.threads);
         self.sim_events_processed += other.sim_events_processed;
         self.sim_events_scheduled += other.sim_events_scheduled;
-        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
         self.transit_fastpath += other.transit_fastpath;
         self.transit_slowpath += other.transit_slowpath;
         self.fault_induced_losses += other.fault_induced_losses;
@@ -172,7 +169,6 @@ impl RunReport {
             "  sim events      {:>12} processed / {} scheduled",
             self.sim_events_processed, self.sim_events_scheduled
         );
-        let _ = writeln!(out, "  queue high-water{:>12}", self.queue_high_water);
         let _ = writeln!(
             out,
             "  packet transit  {:>12} fast-path / {} slow-path",
@@ -313,7 +309,6 @@ mod tests {
             threads: 1,
             sim_events_processed: 1_000_000,
             sim_events_scheduled: 1_000_100,
-            queue_high_water: 42,
             transit_fastpath: 950,
             transit_slowpath: 30,
             fault_induced_losses: 17,
@@ -372,7 +367,6 @@ mod tests {
         assert_eq!(total.sim_events_processed, 2_000_000);
         assert_eq!(total.transit_fastpath, 1900);
         assert_eq!(total.transit_slowpath, 60);
-        assert_eq!(total.queue_high_water, 42);
         assert_eq!(total.trace_dropped, 14);
         assert_eq!(total.links.len(), 2);
         assert_eq!(total.frag.timed_out, 2);
@@ -386,7 +380,6 @@ mod tests {
         assert!(text.contains("threads"));
         assert!(text.contains("1000000 processed"));
         assert!(text.contains("fast-path"));
-        assert!(text.contains("42"));
         assert!(text.contains("timeout-discard"));
         assert!(text.contains("events evicted"));
         assert!(text.contains("link:0"));

@@ -109,6 +109,11 @@ impl TimeSeriesRecorder {
         self.window_ns
     }
 
+    /// The configured per-series ring capacity, in windows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of live series.
     pub fn series_count(&self) -> usize {
         self.series.len()

@@ -125,23 +125,67 @@ impl TraceRecorder {
         self.evicted
     }
 
+    /// The ring's configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Serialise the retained events as JSON Lines (one object per
     /// line), resolving component symbols through `interner`.
     pub fn to_jsonl(&self, interner: &Interner) -> String {
         let mut out = String::new();
         for ev in &self.events {
-            let _ = writeln!(
-                out,
-                "{{\"t_ns\":{},\"severity\":\"{}\",\"category\":\"{}\",\"component\":\"{}\",\"message\":\"{}\"}}",
-                ev.time_ns,
-                ev.severity.label(),
-                json_escape(ev.category),
-                json_escape(interner.resolve(ev.component)),
-                json_escape(&ev.message),
-            );
+            write_event_jsonl(&mut out, ev, interner);
         }
         out
     }
+}
+
+/// One event in the exact `to_jsonl` line format.
+fn write_event_jsonl(out: &mut String, ev: &TraceEvent, interner: &Interner) {
+    let _ = writeln!(
+        out,
+        "{{\"t_ns\":{},\"severity\":\"{}\",\"category\":\"{}\",\"component\":\"{}\",\"message\":\"{}\"}}",
+        ev.time_ns,
+        ev.severity.label(),
+        json_escape(ev.category),
+        json_escape(interner.resolve(ev.component)),
+        json_escape(&ev.message),
+    );
+}
+
+/// Merge the retained events of several per-domain recorders into the
+/// JSON Lines a single global recorder of `capacity` would have
+/// produced, resolving each event through its own domain's interner.
+///
+/// Events are ordered by sim time (ties keep domain-index order, then
+/// each domain's record order), and the merged stream reproduces the
+/// global ring semantics: only the newest `capacity` events survive,
+/// and everything older counts as evicted. Because per-domain rings
+/// share the same capacity and recording time is monotone, every
+/// event the global ring would have retained is still held by some
+/// domain ring, so the truncation is exact rather than approximate.
+/// Returns the JSONL and the merged evicted count.
+pub fn merged_trace_jsonl(parts: &[(&TraceRecorder, &Interner)], capacity: usize) -> (String, u64) {
+    let total_recorded: u64 = parts
+        .iter()
+        .map(|(rec, _)| rec.len() as u64 + rec.evicted())
+        .sum();
+    let mut events: Vec<(u64, usize, &TraceEvent)> = Vec::new();
+    for (part, (rec, _)) in parts.iter().enumerate() {
+        for ev in rec.events() {
+            events.push((ev.time_ns, part, ev));
+        }
+    }
+    // Stable: equal (time, part) keys keep record order within a part.
+    events.sort_by_key(|&(t, part, _)| (t, part));
+    let keep = total_recorded.min(capacity as u64) as usize;
+    let skip = events.len().saturating_sub(keep);
+    let mut out = String::new();
+    for &(_, part, ev) in &events[skip..] {
+        write_event_jsonl(&mut out, ev, parts[part].1);
+    }
+    (out, total_recorded - keep as u64)
 }
 
 fn json_escape(s: &str) -> String {
@@ -199,5 +243,53 @@ mod tests {
     fn severity_orders() {
         assert!(Severity::Debug < Severity::Info);
         assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn merged_jsonl_matches_a_single_global_recorder() {
+        // One global recorder vs the same events split across two
+        // domain recorders with divergent interners.
+        let mut gi = Interner::new();
+        let (ga, gb) = (gi.intern("a"), gi.intern("b"));
+        let mut global = TraceRecorder::with_capacity(16);
+        let mut i0 = Interner::new();
+        let a = i0.intern("a");
+        let mut d0 = TraceRecorder::with_capacity(16);
+        let mut i1 = Interner::new();
+        let b = i1.intern("b");
+        let mut d1 = TraceRecorder::with_capacity(16);
+        for t in 0..6u64 {
+            if t % 2 == 0 {
+                global.emit(t, Severity::Info, "x", ga, format!("e{t}"));
+                d0.emit(t, Severity::Info, "x", a, format!("e{t}"));
+            } else {
+                global.emit(t, Severity::Info, "x", gb, format!("e{t}"));
+                d1.emit(t, Severity::Info, "x", b, format!("e{t}"));
+            }
+        }
+        let (merged, evicted) = merged_trace_jsonl(&[(&d0, &i0), (&d1, &i1)], 16);
+        assert_eq!(merged, global.to_jsonl(&gi));
+        assert_eq!(evicted, 0);
+    }
+
+    #[test]
+    fn merged_jsonl_reproduces_global_ring_eviction() {
+        let mut gi = Interner::new();
+        let (ga, gb) = (gi.intern("a"), gi.intern("b"));
+        let mut global = TraceRecorder::with_capacity(4);
+        let mut d0 = TraceRecorder::with_capacity(4);
+        let mut d1 = TraceRecorder::with_capacity(4);
+        for t in 0..10u64 {
+            if t % 2 == 0 {
+                global.emit(t, Severity::Info, "x", ga, format!("e{t}"));
+                d0.emit(t, Severity::Info, "x", ga, format!("e{t}"));
+            } else {
+                global.emit(t, Severity::Info, "x", gb, format!("e{t}"));
+                d1.emit(t, Severity::Info, "x", gb, format!("e{t}"));
+            }
+        }
+        let (merged, evicted) = merged_trace_jsonl(&[(&d0, &gi), (&d1, &gi)], 4);
+        assert_eq!(merged, global.to_jsonl(&gi));
+        assert_eq!(evicted, global.evicted());
     }
 }

@@ -12,9 +12,8 @@ use crate::calibration::{END_FRAME_MARKER, REAL_PACING_SIGMA};
 use crate::config::{StreamConfig, START_REQUEST};
 use crate::scaling::{MediaScaler, RateLadder, ScalingPolicy};
 use bytes::Bytes;
-use std::cell::RefCell;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use turb_netsim::rng::SimRng;
 use turb_netsim::sim::{Application, Ctx};
 use turb_netsim::{AppId, NodeId, SimDuration, Simulation};
@@ -79,7 +78,7 @@ pub struct AdaptiveServer {
     sent_bytes: u64,
     budget: u64,
     done: bool,
-    log: Rc<RefCell<AdaptiveLog>>,
+    log: Arc<Mutex<AdaptiveLog>>,
 }
 
 impl AdaptiveServer {
@@ -145,7 +144,7 @@ impl Application for AdaptiveServer {
     fn on_udp(&mut self, ctx: &mut Ctx<'_>, from: (Ipv4Addr, u16), _dst_port: u16, payload: Bytes) {
         if payload.as_ref() == START_REQUEST && self.client.is_none() {
             self.client = Some(from);
-            self.log.borrow_mut().rate_history.push(RateChange {
+            self.log.lock().unwrap().rate_history.push(RateChange {
                 time_ns: ctx.now().as_nanos(),
                 rate_kbps: self.scaler.rate_kbps(),
             });
@@ -157,11 +156,11 @@ impl Application for AdaptiveServer {
             let loss = f64::from_bits(u64::from_be_bytes(
                 payload[8..16].try_into().expect("8 bytes"),
             ));
-            self.log.borrow_mut().reported_loss.push(loss);
+            self.log.lock().unwrap().reported_loss.push(loss);
             let before = self.scaler.rate_kbps();
             let after = self.scaler.on_feedback(loss.clamp(0.0, 1.0));
             if (after - before).abs() > f64::EPSILON {
-                self.log.borrow_mut().rate_history.push(RateChange {
+                self.log.lock().unwrap().rate_history.push(RateChange {
                     time_ns: ctx.now().as_nanos(),
                     rate_kbps: after,
                 });
@@ -187,7 +186,7 @@ pub struct AdaptiveClient {
     window_lost: u32,
     started: bool,
     ended: bool,
-    log: Rc<RefCell<AdaptiveLog>>,
+    log: Arc<Mutex<AdaptiveLog>>,
 }
 
 impl Application for AdaptiveClient {
@@ -220,7 +219,7 @@ impl Application for AdaptiveClient {
             self.ended = true;
             return;
         }
-        let mut log = self.log.borrow_mut();
+        let mut log = self.log.lock().unwrap();
         log.bytes_received += payload.len() as u64;
         log.packets_received += 1;
         self.window_received += 1;
@@ -285,8 +284,8 @@ pub fn spawn_adaptive_stream(
     config: StreamConfig,
     policy: ScalingPolicy,
     rng: &mut SimRng,
-) -> (Rc<RefCell<AdaptiveLog>>, AppId, AppId) {
-    let log = Rc::new(RefCell::new(AdaptiveLog::default()));
+) -> (Arc<Mutex<AdaptiveLog>>, AppId, AppId) {
+    let log = Arc::new(Mutex::new(AdaptiveLog::default()));
     let ladder = RateLadder::halving_from(config.clip.encoded_kbps);
     let budget = config.media_bytes();
     let server = AdaptiveServer {
@@ -365,7 +364,7 @@ mod tests {
             &mut rng,
         );
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(120));
-        let out = log.borrow().clone();
+        let out = log.lock().unwrap().clone();
         out
     }
 

@@ -9,8 +9,7 @@ use crate::calibration::{END_FRAME_MARKER, PREROLL_SECS};
 use crate::config::{StreamConfig, START_REQUEST};
 use crate::stats::{AppStatsLog, NetEvent, SecondStats};
 use bytes::Bytes;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use turb_media::codec;
 use turb_netsim::sim::Ctx;
 use turb_netsim::{SimDuration, SimTime};
@@ -28,7 +27,7 @@ pub struct ClientCore {
     /// Session parameters.
     pub config: StreamConfig,
     /// Shared statistics log.
-    pub log: Rc<RefCell<AppStatsLog>>,
+    pub log: Arc<Mutex<AppStatsLog>>,
     fps: f64,
     started_at: Option<SimTime>,
     next_seq: u32,
@@ -49,8 +48,8 @@ pub struct ClientCore {
 
 impl ClientCore {
     /// Build the core and its shared log.
-    pub fn new(config: StreamConfig) -> (ClientCore, Rc<RefCell<AppStatsLog>>) {
-        let log = Rc::new(RefCell::new(AppStatsLog::new(config.clip.clone())));
+    pub fn new(config: StreamConfig) -> (ClientCore, Arc<Mutex<AppStatsLog>>) {
+        let log = Arc::new(Mutex::new(AppStatsLog::new(config.clip.clone())));
         let fps = codec::nominal_fps(config.clip.player, config.clip.encoded_kbps);
         let core = ClientCore {
             config,
@@ -97,12 +96,12 @@ impl ClientCore {
         if header.frame_number == END_FRAME_MARKER {
             if !self.ended {
                 self.ended = true;
-                self.log.borrow_mut().stream_end = Some(now);
+                self.log.lock().unwrap().stream_end = Some(now);
             }
             return None;
         }
         {
-            let mut log = self.log.borrow_mut();
+            let mut log = self.log.lock().unwrap();
             if log.first_packet.is_none() {
                 log.first_packet = Some(now);
             }
@@ -134,7 +133,7 @@ impl ClientCore {
         // buffered.
         if self.playout_start.is_none() && f64::from(self.max_media_ms) / 1000.0 >= PREROLL_SECS {
             self.playout_start = Some(now);
-            self.log.borrow_mut().playout_start = Some(now);
+            self.log.lock().unwrap().playout_start = Some(now);
         }
         if let Some(span) = ctx.lineage_current_span() {
             ctx.lineage_buffered(span, header.media_time_ms);
@@ -227,11 +226,11 @@ impl ClientCore {
             let buffered_secs = f64::from(self.max_media_ms) / 1000.0;
             if !self.ended && position < self.config.clip.duration_secs && position >= buffered_secs
             {
-                self.log.borrow_mut().buffer_underruns += 1;
+                self.log.lock().unwrap().buffer_underruns += 1;
             }
         }
         {
-            let mut log = self.log.borrow_mut();
+            let mut log = self.log.lock().unwrap();
             log.per_second.push(SecondStats {
                 t_sec: self.cur_second,
                 bytes_received: self.sec_bytes,
@@ -267,7 +266,7 @@ impl ClientCore {
 
     /// Retry tick: resend START while no data has arrived.
     pub fn on_retry(&mut self, ctx: &mut Ctx<'_>) {
-        if self.log.borrow().first_packet.is_none() && !self.ended {
+        if self.log.lock().unwrap().first_packet.is_none() && !self.ended {
             self.send_start(ctx);
             ctx.set_timer_after(SimDuration::from_secs(2), TOKEN_RETRY);
         }

@@ -25,9 +25,8 @@ use crate::config::StreamConfig;
 use crate::real_server::RealServer;
 use crate::wmp_server::WmpServer;
 use bytes::Bytes;
-use std::cell::RefCell;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use turb_netsim::sim::{Application, Ctx};
 use turb_netsim::tcp::{TcpConfig, TcpDriver};
 use turb_netsim::SimDuration;
@@ -190,13 +189,13 @@ pub struct ControlClient {
     control: Option<TcpDriver>,
     line_buf: String,
     sent_play: bool,
-    log: Rc<RefCell<ControlLog>>,
+    log: Arc<Mutex<ControlLog>>,
 }
 
 impl ControlClient {
     /// Build the client and its log handle.
-    pub fn new(config: &StreamConfig) -> (ControlClient, Rc<RefCell<ControlLog>>) {
-        let log = Rc::new(RefCell::new(ControlLog::default()));
+    pub fn new(config: &StreamConfig) -> (ControlClient, Arc<Mutex<ControlLog>>) {
+        let log = Arc::new(Mutex::new(ControlLog::default()));
         (
             ControlClient {
                 server_addr: config.server_addr,
@@ -227,22 +226,22 @@ impl ControlClient {
         if let Some(rest) = line.strip_prefix("200 OK rate=") {
             // DESCRIBE response: "rate=<kbps> duration=<secs>".
             let mut parts = rest.split(" duration=");
-            let mut log = self.log.borrow_mut();
+            let mut log = self.log.lock().unwrap();
             log.described_rate = parts.next().and_then(|v| v.parse().ok());
             log.described_duration = parts.next().and_then(|v| v.parse().ok());
             drop(log);
             let play = format!("PLAY port={}", self.data_port);
             self.send_line(ctx, &play);
             self.sent_play = true;
-        } else if self.sent_play && !self.log.borrow().play_acked {
-            self.log.borrow_mut().play_acked = true;
+        } else if self.sent_play && !self.log.lock().unwrap().play_acked {
+            self.log.lock().unwrap().play_acked = true;
             // Tear the session down after the clip (plus margin).
             ctx.set_timer_after(
                 SimDuration::from_secs_f64(self.clip_duration * 1.2 + 30.0),
                 TOKEN_TEARDOWN,
             );
-        } else if self.log.borrow().play_acked {
-            self.log.borrow_mut().teardown_acked = true;
+        } else if self.log.lock().unwrap().play_acked {
+            self.log.lock().unwrap().teardown_acked = true;
         }
     }
 
@@ -294,9 +293,9 @@ impl Application for ControlClient {
 /// Handles for a control-channel session.
 pub struct ControlledStreamHandles {
     /// The tracker log (same schema as the UDP-START sessions).
-    pub log: Rc<RefCell<crate::stats::AppStatsLog>>,
+    pub log: Arc<Mutex<crate::stats::AppStatsLog>>,
     /// The control conversation log.
-    pub control: Rc<RefCell<ControlLog>>,
+    pub control: Arc<Mutex<ControlLog>>,
 }
 
 /// Install a full control-channel session: a [`ControlledServer`]
@@ -414,13 +413,13 @@ mod tests {
     #[test]
     fn rtsp_handshake_describes_plays_and_tears_down_real() {
         let (handles, tcp_segments) = run(turb_media::PlayerId::RealPlayer);
-        let control = handles.control.borrow();
+        let control = handles.control.lock().unwrap();
         assert_eq!(control.described_rate, Some(84.0));
         assert_eq!(control.described_duration, Some(39.0));
         assert!(control.play_acked);
         assert!(control.teardown_acked, "TEARDOWN acked");
         // Media flowed over UDP as usual.
-        let log = handles.log.borrow();
+        let log = handles.log.lock().unwrap();
         assert!(log.stream_end.is_some());
         assert_eq!(log.packets_lost, 0);
         assert!(log.bytes_total > 0);
@@ -431,10 +430,10 @@ mod tests {
     #[test]
     fn control_channel_works_for_wmp_too() {
         let (handles, _) = run(turb_media::PlayerId::MediaPlayer);
-        let control = handles.control.borrow();
+        let control = handles.control.lock().unwrap();
         assert_eq!(control.described_rate, Some(102.3));
         assert!(control.play_acked);
-        let log = handles.log.borrow();
+        let log = handles.log.lock().unwrap();
         assert!(log.stream_end.is_some());
         // The delivered stream matches the plain UDP-START variant's
         // behaviour: playback ≈ encoding rate.

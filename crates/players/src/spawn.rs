@@ -6,8 +6,7 @@ use crate::real_server::RealServer;
 use crate::stats::AppStatsLog;
 use crate::wmp_client::WmpClient;
 use crate::wmp_server::WmpServer;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use turb_media::PlayerId;
 use turb_netsim::rng::SimRng;
 use turb_netsim::{AppId, NodeId, Simulation};
@@ -15,7 +14,7 @@ use turb_netsim::{AppId, NodeId, Simulation};
 /// Handles returned when a streaming session is installed.
 pub struct StreamHandles {
     /// The tracker's statistics log, populated as the simulation runs.
-    pub log: Rc<RefCell<AppStatsLog>>,
+    pub log: Arc<Mutex<AppStatsLog>>,
     /// The server application id.
     pub server_app: AppId,
     /// The client application id.
@@ -126,8 +125,8 @@ mod tests {
         let wmp = spawn_stream(&mut sim, server, client, wmp_cfg, &mut rng);
         sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(200));
 
-        let real_log = real.log.borrow();
-        let wmp_log = wmp.log.borrow();
+        let real_log = real.log.lock().unwrap();
+        let wmp_log = wmp.log.lock().unwrap();
         assert!(real_log.stream_end.is_some());
         assert!(wmp_log.stream_end.is_some());
         assert_eq!(real_log.packets_lost + wmp_log.packets_lost, 0);

@@ -11,9 +11,8 @@ use crate::client_core::{ClientCore, TOKEN_BATCH, TOKEN_RETRY, TOKEN_SECOND};
 use crate::config::StreamConfig;
 use crate::stats::{AppBatch, AppStatsLog};
 use bytes::Bytes;
-use std::cell::RefCell;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use turb_netsim::sim::{Application, Ctx};
 use turb_netsim::SimDuration;
 
@@ -26,7 +25,7 @@ pub struct WmpClient {
 
 impl WmpClient {
     /// Build the client and return it with its stats-log handle.
-    pub fn new(config: StreamConfig) -> (WmpClient, Rc<RefCell<AppStatsLog>>) {
+    pub fn new(config: StreamConfig) -> (WmpClient, Arc<Mutex<AppStatsLog>>) {
         let (core, log) = ClientCore::new(config);
         (
             WmpClient {
@@ -70,7 +69,7 @@ impl Application for WmpClient {
             TOKEN_BATCH => {
                 if !self.pending_batch.is_empty() {
                     let seqs = std::mem::take(&mut self.pending_batch);
-                    self.core.log.borrow_mut().app_batches.push(AppBatch {
+                    self.core.log.lock().unwrap().app_batches.push(AppBatch {
                         time_ns: ctx.now().as_nanos(),
                         seqs,
                     });
@@ -101,7 +100,7 @@ mod tests {
     use turb_netsim::prelude::*;
 
     /// End-to-end: WMP server + client over a simple duplex link.
-    fn run_session(class: RateClass, set: usize) -> Rc<RefCell<AppStatsLog>> {
+    fn run_session(class: RateClass, set: usize) -> Arc<Mutex<AppStatsLog>> {
         let sets = corpus::table1();
         let pair = sets[set].pair(class).unwrap();
         let server_addr = std::net::Ipv4Addr::new(204, 71, 0, 33);
@@ -141,7 +140,7 @@ mod tests {
     #[test]
     fn full_session_delivers_the_whole_clip() {
         let log = run_session(RateClass::Low, 4); // set 5 low: 39 Kbit/s
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         assert!(log.first_packet.is_some());
         assert!(log.stream_end.is_some(), "END marker seen");
         assert_eq!(log.packets_lost, 0);
@@ -158,7 +157,7 @@ mod tests {
     fn playback_rate_matches_encoding_rate() {
         // Figure 3: "MediaPlayer tends to playback at the encoding rate".
         let log = run_session(RateClass::High, 4); // 250.4 Kbit/s
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         let avg = log.avg_playback_kbps();
         let encoded = log.clip.encoded_kbps;
         assert!((avg - encoded).abs() / encoded < 0.05, "{avg} vs {encoded}");
@@ -169,7 +168,7 @@ mod tests {
         // §3.F: MediaPlayer buffers at the playout rate, so streaming
         // spans ≈ the clip duration.
         let log = run_session(RateClass::High, 1); // set 2: 39 s clip
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         let streamed = log.streaming_duration_secs().unwrap();
         let clip = log.clip.duration_secs;
         assert!((streamed - clip).abs() < 3.0, "{streamed} vs {clip}");
@@ -180,7 +179,7 @@ mod tests {
         // Figure 11: "the ratio of buffering rate to playout rate for
         // MediaPlayer clips is 1".
         let log = run_session(RateClass::High, 0);
-        let ratio = log.borrow().buffering_ratio().unwrap();
+        let ratio = log.lock().unwrap().buffering_ratio().unwrap();
         assert!((ratio - 1.0).abs() < 0.1, "ratio = {ratio}");
     }
 
@@ -189,7 +188,7 @@ mod tests {
         // Figure 12: app-layer batches ≈1 s apart; for a high-rate clip
         // ≈10 datagrams per batch.
         let log = run_session(RateClass::High, 4); // 250.4 Kbit/s, 100 ms ticks
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         assert!(log.app_batches.len() > 10);
         let mid = &log.app_batches[2..log.app_batches.len() - 2];
         for pair in mid.windows(2) {
@@ -204,7 +203,7 @@ mod tests {
     #[test]
     fn frame_rate_reaches_full_motion_on_high_rate_clips() {
         let log = run_session(RateClass::High, 4);
-        let avg = log.borrow().avg_frame_rate();
+        let avg = log.lock().unwrap().avg_frame_rate();
         assert!((24.0..=26.0).contains(&avg), "fps = {avg}");
     }
 
@@ -212,7 +211,7 @@ mod tests {
     fn low_rate_clip_plays_near_13_fps() {
         // Figure 13: the 39 Kbit/s MediaPlayer clip plays at 13 fps.
         let log = run_session(RateClass::Low, 4); // set 5 low: 39 Kbit/s... set index 4
-        let avg = log.borrow().avg_frame_rate();
+        let avg = log.lock().unwrap().avg_frame_rate();
         assert!((12.0..=14.5).contains(&avg), "fps = {avg}");
     }
 }

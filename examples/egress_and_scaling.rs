@@ -92,7 +92,7 @@ fn main() {
         &mut rng,
     );
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(120));
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     println!("  rate ladder over time:");
     for change in &log.rate_history {
         println!(

@@ -64,7 +64,7 @@ fn measure(kbps: f64) -> f64 {
     sim.add_app(client, Box::new(app), Some(7000), false);
     sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(120));
 
-    let capture = capture.borrow();
+    let capture = capture.lock().unwrap();
     let records = capture.filtered(&Filter::stream_from(server_addr));
     FragmentGroups::build(records).stats().fragment_fraction()
 }

@@ -273,7 +273,11 @@ fn link_drops_equal_sent_minus_sniffed() {
     sim.collect_metrics(&mut registry);
 
     let sent = sim.node_stats(a).tx_packets;
-    let sniffed = capture.borrow().filtered(&Filter::direction_rx()).len() as u64;
+    let sniffed = capture
+        .lock()
+        .unwrap()
+        .filtered(&Filter::direction_rx())
+        .len() as u64;
     let dropped = registry.counter_total("link_dropped_queue_total")
         + registry.counter_total("link_dropped_red_total")
         + registry.counter_total("link_dropped_fault_total");
@@ -316,7 +320,7 @@ fn reassembly_timeouts_match_sniffer_incomplete_groups() {
     sim.collect_metrics(&mut registry);
     let timed_out = registry.counter_total("reassembly_timed_out_total");
 
-    let capture = capture.borrow();
+    let capture = capture.lock().unwrap();
     let rx = capture.filtered(&Filter::Udp.and(Filter::direction_rx()));
     let groups = FragmentGroups::build(rx);
     let incomplete = groups.incomplete_groups() as u64;
