@@ -1,9 +1,11 @@
 //! The CLI subcommand implementations.
 
-use crate::{class_of, pair_of, scheduler_of, seed_of, shards_of, threads_of};
+use crate::{
+    background_of, class_of, engine_of, pair_of, scheduler_of, seed_of, shards_of, threads_of,
+};
 use std::collections::HashMap;
 use turb_media::PlayerId;
-use turb_netsim::{SchedulerKind, ShardDiag, ShardKind};
+use turb_netsim::{EngineKind, FluidDiag, SchedulerKind, ShardDiag, ShardKind};
 use turb_obs::ScopeTimer;
 use turbulence::{figures, report, runner, tables, PairRunConfig};
 
@@ -38,10 +40,14 @@ pub fn corpus(flags: &Flags) -> Result<(), String> {
             runner::corpus_configs_for_sets(seed, &sets)
         }
     };
+    let engine = engine_of(flags)?;
+    let background = background_of(flags)?;
     for config in &mut configs {
         config.telemetry = telemetry;
         config.scheduler = scheduler;
         config.shards = shards;
+        config.engine = engine;
+        config.background_flows = background;
     }
     let result = runner::run_configs_parallel(&configs, threads);
     println!(
@@ -151,6 +157,8 @@ pub fn pair(flags: &Flags) -> Result<(), String> {
     }
     config.telemetry = flags.contains_key("telemetry");
     config.shards = shards_of(flags)?;
+    config.engine = engine_of(flags)?;
+    config.background_flows = background_of(flags)?;
     let result = turbulence::run_pair(&config);
 
     println!(
@@ -216,6 +224,8 @@ pub fn obs(flags: &Flags) -> Result<(), String> {
         config.access_loss = loss;
     }
     config.shards = shards_of(flags)?;
+    config.engine = engine_of(flags)?;
+    config.background_flows = background_of(flags)?;
     let result = turbulence::run_pair(&config);
     let telemetry = result
         .telemetry
@@ -233,6 +243,9 @@ pub fn obs(flags: &Flags) -> Result<(), String> {
     if let Some(diag) = &telemetry.shards {
         print!("{}", render_shard_diag(diag));
     }
+    if let Some(diag) = &telemetry.fluid {
+        print!("{}", render_fluid_diag(diag));
+    }
     if flags.contains_key("metrics") {
         println!("{}", telemetry.metrics.render_text());
     }
@@ -249,10 +262,14 @@ pub fn figures_cmd(flags: &Flags) -> Result<(), String> {
     let seed = seed_of(flags)?;
     let scheduler = scheduler_of(flags)?;
     let shards = shards_of(flags)?;
+    let engine = engine_of(flags)?;
+    let background = background_of(flags)?;
     let mut configs = runner::corpus_configs(seed);
     for config in &mut configs {
         config.scheduler = scheduler;
         config.shards = shards;
+        config.engine = engine;
+        config.background_flows = background;
     }
     let result = runner::run_configs_parallel(&configs, threads_of(flags)?);
     let fig3 = figures::fig03_playback_vs_encoding(&result);
@@ -342,6 +359,19 @@ fn render_shard_diag(diag: &ShardDiag) -> String {
     out
 }
 
+/// Render a [`FluidDiag`] in the `obs` report's indent style.
+fn render_fluid_diag(diag: &FluidDiag) -> String {
+    format!(
+        "  fluid           {:>12} flows ({} breakpoints / {} recomputes / {} updates applied of {} scheduled / peak {:.3} Mbit/s on one link)\n",
+        diag.flows,
+        diag.breakpoints,
+        diag.recomputes,
+        diag.updates_applied,
+        diag.updates_scheduled,
+        diag.peak_link_fluid_bps as f64 / 1e6,
+    )
+}
+
 /// `turbulence scale`: the replicated-client scale scenario run
 /// sequentially and sharded back to back — byte-identity asserted via
 /// result digests, speedup and partition diagnostics printed.
@@ -360,6 +390,8 @@ pub fn scale(flags: &Flags) -> Result<(), String> {
     if let Some(raw) = flags.get("packets") {
         scenario.packets_per_client = raw.parse().map_err(|_| format!("bad --packets {raw:?}"))?;
     }
+    scenario.background_flows = background_of(flags)? as usize;
+    scenario.engine = engine_of(flags)?;
     // Default to one domain per group: the ring cuts are the natural
     // partition, and more domains than groups would split a group's
     // zero-latency access links.
@@ -385,12 +417,14 @@ pub fn scale(flags: &Flags) -> Result<(), String> {
     let speedup = sequential.wall_ns as f64 / sharded.wall_ns.max(1) as f64;
 
     println!(
-        "scale: {} groups x {} clients, {} datagrams offered ({} cpus available)",
+        "scale: {} groups x {} clients, {} datagrams offered, {} background flows ({} engine, {} cpus available)",
         scenario.groups,
         scenario.clients_per_group,
         scenario.groups as u64
             * scenario.clients_per_group as u64
             * u64::from(scenario.packets_per_client),
+        scenario.background_flows,
+        scenario.engine.name(),
         cpus,
     );
     println!(
@@ -410,6 +444,34 @@ pub fn scale(flags: &Flags) -> Result<(), String> {
     println!("scale: speedup {speedup:.2}x | identical {identical}");
     if let Some(diag) = &sharded.diag {
         print!("{}", render_shard_diag(diag));
+    }
+    if let Some(diag) = &sequential.fluid {
+        print!("{}", render_fluid_diag(diag));
+    }
+    // With hybrid background flows, also time the honest all-packet
+    // twin (same scenario, background as real datagram streams) so the
+    // fluid engine's speedup is measured, not asserted.
+    if scenario.engine == EngineKind::Hybrid && scenario.background_flows > 0 {
+        let packet_twin = run_scale(&ScaleRunConfig {
+            seed,
+            scenario: ScaleConfig {
+                engine: EngineKind::Packet,
+                ..scenario.clone()
+            },
+            shards: ShardKind::Sequential,
+        });
+        let hybrid_speedup = packet_twin.wall_ns as f64 / sequential.wall_ns.max(1) as f64;
+        println!(
+            "scale: {:<12} {:>8.1} ms | {:>10} events | {} background datagrams delivered",
+            "all-packet",
+            packet_twin.wall_ns as f64 / 1e6,
+            packet_twin.events_processed,
+            packet_twin.background_datagrams,
+        );
+        println!(
+            "scale: hybrid speedup {hybrid_speedup:.2}x over all-packet at {} background flows",
+            scenario.background_flows,
+        );
     }
     if !identical {
         return Err("sharded scale run diverged from sequential".to_string());
@@ -435,7 +497,7 @@ fn json_u64(json: &str, key: &str) -> Option<u64> {
 /// printed before it is overwritten.
 pub fn bench(flags: &Flags) -> Result<(), String> {
     let seed = seed_of(flags)?;
-    let threads = threads_of(flags)?.max(1);
+    let threads_requested = threads_of(flags)?;
     let quick = flags.contains_key("quick");
     let scheduler = scheduler_of(flags)?;
     let out = flags
@@ -477,6 +539,9 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     for config in &mut configs {
         config.scheduler = scheduler;
     }
+    // `0` = auto; report the resolved width, not the request, so the
+    // JSON says what actually ran.
+    let threads = turbulence::parallel::effective_threads(threads_requested, configs.len());
     let configs_ns = timer.elapsed_ns();
 
     let timer = ScopeTimer::start("bench_sequential", "bench");
@@ -556,7 +621,7 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     });
     let scale_shd = turbulence::run_scale(&turbulence::ScaleRunConfig {
         seed,
-        scenario: scale_scenario,
+        scenario: scale_scenario.clone(),
         shards: ShardKind::Sharded(scale_shards),
     });
     let shards_identical = scale_seq.digest == scale_shd.digest;
@@ -575,6 +640,46 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     );
     let scale_ns = timer.elapsed_ns();
 
+    // Fluid phase: the same scale scenario carrying N background bulk
+    // flows, run all-packet and hybrid back to back (both sequential —
+    // this isolates the engine swap from sharding). The packet engine
+    // pays per background datagram; the fluid engine pays per rate
+    // recompute, so the hybrid speedup grows roughly linearly with N.
+    let timer = ScopeTimer::start("bench_fluid", "bench");
+    let background_flows = if flags.contains_key("background") {
+        background_of(flags)?
+    } else {
+        2_000
+    };
+    let fluid_packet = turbulence::run_scale(&turbulence::ScaleRunConfig {
+        seed,
+        scenario: turb_netsim::topology::ScaleConfig {
+            engine: EngineKind::Packet,
+            background_flows: background_flows as usize,
+            ..scale_scenario.clone()
+        },
+        shards: ShardKind::Sequential,
+    });
+    let fluid_hybrid = turbulence::run_scale(&turbulence::ScaleRunConfig {
+        seed,
+        scenario: turb_netsim::topology::ScaleConfig {
+            engine: EngineKind::Hybrid,
+            background_flows: background_flows as usize,
+            ..scale_scenario
+        },
+        shards: ShardKind::Sequential,
+    });
+    let fluid_diag = fluid_hybrid
+        .fluid
+        .expect("hybrid scale run exposes fluid diagnostics");
+    assert!(
+        fluid_diag.flows == u64::from(background_flows),
+        "hybrid run registered {} fluid flows, expected {background_flows}",
+        fluid_diag.flows,
+    );
+    let hybrid_speedup = fluid_packet.wall_ns as f64 / fluid_hybrid.wall_ns.max(1) as f64;
+    let fluid_ns = timer.elapsed_ns();
+
     let speedup = sequential_ns as f64 / parallel_ns.max(1) as f64;
     let scheduler_speedup = alternate_ns as f64 / sequential_ns.max(1) as f64;
     // Present only when a previous file existed to compare against.
@@ -590,13 +695,18 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     // fixed scheduler names, nothing needs escaping, and the workspace
     // deliberately carries no serde.
     let json = format!(
-        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"scheduler\": \"{}\",\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"schedulers_identical\": {schedulers_identical},\n  \"speedup\": {speedup:.3},\n  \"scheduler_speedup\": {scheduler_speedup:.3},{baseline_fields}\n  \"watch\": {{\n    \"series\": {watch_series_count},\n    \"windows\": {watch_windows},\n    \"memory_bytes\": {watch_memory_bytes}\n  }},\n  \"scale\": {{\n    \"events\": {},\n    \"shards\": {scale_shards},\n    \"cpus\": {cpus},\n    \"scale_sequential_ns\": {},\n    \"scale_sharded_ns\": {},\n    \"shard_speedup\": {shard_speedup:.3},\n    \"shards_identical\": {shards_identical},\n    \"exchange_reallocs\": {}\n  }},\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"alternate\": {alternate_ns},\n    \"figures\": {figures_ns},\n    \"watch\": {watch_ns},\n    \"scale\": {scale_ns}\n  }}\n}}\n",
+        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"scheduler\": \"{}\",\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"schedulers_identical\": {schedulers_identical},\n  \"speedup\": {speedup:.3},\n  \"scheduler_speedup\": {scheduler_speedup:.3},{baseline_fields}\n  \"watch\": {{\n    \"series\": {watch_series_count},\n    \"windows\": {watch_windows},\n    \"memory_bytes\": {watch_memory_bytes}\n  }},\n  \"scale\": {{\n    \"events\": {},\n    \"shards\": {scale_shards},\n    \"cpus\": {cpus},\n    \"scale_sequential_ns\": {},\n    \"scale_sharded_ns\": {},\n    \"shard_speedup\": {shard_speedup:.3},\n    \"shards_identical\": {shards_identical},\n    \"exchange_reallocs\": {}\n  }},\n  \"fluid\": {{\n    \"background_flows\": {background_flows},\n    \"packet_engine_ns\": {},\n    \"hybrid_engine_ns\": {},\n    \"hybrid_speedup\": {hybrid_speedup:.3},\n    \"background_datagrams\": {},\n    \"solver_recomputes\": {},\n    \"updates_applied\": {}\n  }},\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"alternate\": {alternate_ns},\n    \"figures\": {figures_ns},\n    \"watch\": {watch_ns},\n    \"scale\": {scale_ns},\n    \"fluid\": {fluid_ns}\n  }}\n}}\n",
         scheduler.name(),
         configs.len(),
         scale_seq.events_processed,
         scale_seq.wall_ns,
         scale_shd.wall_ns,
         scale_diag.exchange_reallocs,
+        fluid_packet.wall_ns,
+        fluid_hybrid.wall_ns,
+        fluid_packet.background_datagrams,
+        fluid_diag.recomputes,
+        fluid_diag.updates_applied,
     );
     std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
     // One trajectory point per bench run, appended so perf history
@@ -610,7 +720,7 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let point = format!(
-        "{{\"unix_secs\": {stamp}, \"seed\": {seed}, \"threads\": {threads}, \"quick\": {quick}, \"scheduler\": \"{}\", \"pair_runs\": {}, \"sequential_ns\": {sequential_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}, \"identical\": {identical}, \"watch_windows\": {watch_windows}, \"watch_memory_bytes\": {watch_memory_bytes}, \"cpus\": {cpus}, \"scale_sequential_ns\": {}, \"scale_sharded_ns\": {}, \"shard_speedup\": {shard_speedup:.3}, \"shards_identical\": {shards_identical}}}\n",
+        "{{\"unix_secs\": {stamp}, \"seed\": {seed}, \"threads\": {threads}, \"quick\": {quick}, \"scheduler\": \"{}\", \"pair_runs\": {}, \"sequential_ns\": {sequential_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}, \"identical\": {identical}, \"watch_windows\": {watch_windows}, \"watch_memory_bytes\": {watch_memory_bytes}, \"cpus\": {cpus}, \"scale_sequential_ns\": {}, \"scale_sharded_ns\": {}, \"shard_speedup\": {shard_speedup:.3}, \"shards_identical\": {shards_identical}, \"background_flows\": {background_flows}, \"hybrid_speedup\": {hybrid_speedup:.3}}}\n",
         scheduler.name(),
         configs.len(),
         scale_seq.wall_ns,
@@ -657,6 +767,13 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         scale_shd.wall_ns as f64 / 1e9,
         if cpus == 1 { "" } else { "s" },
     );
+    println!(
+        "bench: fluid all-packet {:.2}s vs hybrid {:.2}s at {background_flows} background flows | hybrid speedup {hybrid_speedup:.2}x | {} background datagrams vs {} rate updates",
+        fluid_packet.wall_ns as f64 / 1e9,
+        fluid_hybrid.wall_ns as f64 / 1e9,
+        fluid_packet.background_datagrams,
+        fluid_diag.updates_applied,
+    );
     println!("bench: wrote {out} (+ trajectory point in {trajectory})");
     if let (true, Some((base_seq, base_runs))) = (gate, gate_baseline) {
         let current = sequential_ns as f64 / configs.len().max(1) as f64;
@@ -679,6 +796,15 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     if gate && cpus >= 2 && shard_speedup < 1.0 {
         return Err(format!(
             "shard speedup gate failed: {shard_speedup:.2}x on {cpus} cpus (limit 1.00x)"
+        ));
+    }
+    // The hybrid gate binds wherever the background population is big
+    // enough for the per-datagram cost to dominate the packet side; at
+    // small N both engines spend their time on the foreground and the
+    // ratio says nothing about the fluid path.
+    if gate && background_flows >= 1_000 && hybrid_speedup < 5.0 {
+        return Err(format!(
+            "hybrid speedup gate failed: {hybrid_speedup:.2}x at {background_flows} background flows (limit 5.00x)"
         ));
     }
     if !identical {
@@ -1249,12 +1375,16 @@ pub fn watch(flags: &Flags) -> Result<(), String> {
         vec![PairRunConfig::new(seed, set, pair)]
     };
     let shards = shards_of(flags)?;
+    let engine = engine_of(flags)?;
+    let background = background_of(flags)?;
     for config in &mut configs {
         config.telemetry = true;
         config.timeseries = true;
         config.ts_window_ns = window_ns;
         config.scheduler = scheduler;
         config.shards = shards;
+        config.engine = engine;
+        config.background_flows = background;
         if let Some(loss) = loss {
             config.access_loss = loss;
         }

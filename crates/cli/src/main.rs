@@ -31,13 +31,14 @@
 //!                       [--threads N] [--sets 1,2]    reassembly backlog
 //! turbulence scale      [--seed N] [--shards N]       replicated-client scale run,
 //!                       [--clients N] [--groups N]    sequential vs sharded, with
-//!                       [--packets N]                 byte-identity check + speedup
+//!                       [--packets N] [--background N] byte-identity check + speedup;
+//!                       [--engine packet|hybrid]      fluid background population
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use turb_media::{corpus, RateClass};
-use turb_netsim::{SchedulerKind, ShardKind};
+use turb_netsim::{EngineKind, SchedulerKind, ShardKind};
 
 mod commands;
 
@@ -75,9 +76,10 @@ OPTIONS (per command):
     --loss P            pair/obs: Bernoulli loss (0..=1) on the access link
     --telemetry         pair/corpus: collect and print the telemetry report
     --threads N         corpus/figures/bench/watch: worker threads fanning
-                        *whole pair runs* across a pool (default: all cores;
-                        0 or 1 runs sequentially). Compare --shards, which
-                        parallelises inside one simulation; the two compose.
+                        *whole pair runs* across a pool (default 0 = auto:
+                        min(available cores, runs); 1 runs sequentially).
+                        Compare --shards, which parallelises
+                        inside one simulation; the two compose.
     --shards N          corpus/pair/obs/figures/watch/bench/scale: partition
                         each simulation into N shard domains, one worker
                         thread per domain (default: sequential; results are
@@ -111,6 +113,15 @@ OPTIONS (per command):
     --clients N         scale: client hosts per group (default 256)
     --groups N          scale: site groups on the ring (default 8)
     --packets N         scale: datagrams each client sends (default 40)
+    --engine E          corpus/pair/obs/figures/watch/scale/bench: how
+                        background flows are simulated, packet | hybrid
+                        (default packet; hybrid lowers them onto the
+                        fluid max-min solver — zero events per flow,
+                        and with --background 0 results stay
+                        byte-identical to the packet engine)
+    --background N      corpus/pair/obs/figures/watch/scale/bench:
+                        background flows sharing the path (default 0;
+                        scale: bulk flows over the backbone ring)
     --iterations N      check: cases per property (default 1000)
     --props a,b         check: restrict to these properties
     --replay FILE       check: re-run one stored .case file instead
@@ -170,11 +181,12 @@ fn seed_of(flags: &HashMap<String, String>) -> Result<u64, String> {
     }
 }
 
-/// `--threads N`, defaulting to every available core. `0` is accepted
-/// and degrades to sequential in the runner.
+/// `--threads N`, defaulting to `0` = auto: the runner resolves it to
+/// `min(available cores, jobs)`, so a 13-run corpus never spawns more
+/// workers than it has runs to fill them with.
 fn threads_of(flags: &HashMap<String, String>) -> Result<usize, String> {
     match flags.get("threads") {
-        None => Ok(turbulence::parallel::available_threads()),
+        None => Ok(0),
         Some(s) => s.parse().map_err(|_| format!("bad --threads {s:?}")),
     }
 }
@@ -205,6 +217,26 @@ fn scheduler_of(flags: &HashMap<String, String>) -> Result<SchedulerKind, String
         None | Some("wheel") => Ok(SchedulerKind::Wheel),
         Some("heap") => Ok(SchedulerKind::Heap),
         Some(other) => Err(format!("unknown scheduler {other:?} (wheel|heap)")),
+    }
+}
+
+/// `--engine packet|hybrid`: how background flows are simulated. The
+/// all-packet engine is the default; the hybrid engine lowers
+/// background flows onto the fluid max-min solver.
+fn engine_of(flags: &HashMap<String, String>) -> Result<EngineKind, String> {
+    match flags.get("engine") {
+        None => Ok(EngineKind::Packet),
+        Some(s) => {
+            EngineKind::parse(s).ok_or_else(|| format!("unknown engine {s:?} (packet|hybrid)"))
+        }
+    }
+}
+
+/// `--background N`: background flows sharing the foreground's path.
+fn background_of(flags: &HashMap<String, String>) -> Result<u32, String> {
+    match flags.get("background") {
+        None => Ok(0),
+        Some(s) => s.parse().map_err(|_| format!("bad --background {s:?}")),
     }
 }
 
@@ -399,11 +431,37 @@ mod tests {
     }
 
     #[test]
-    fn threads_defaults_to_available_and_accepts_zero() {
-        assert!(threads_of(&flags(&[])).unwrap() >= 1);
+    fn threads_defaults_to_auto_and_accepts_explicit_counts() {
+        // 0 = auto; the runner resolves it against the job count so a
+        // 13-run corpus on a 4-core host gets 4 workers, not 1.
+        assert_eq!(threads_of(&flags(&[])).unwrap(), 0);
         assert_eq!(threads_of(&flags(&[("threads", "0")])).unwrap(), 0);
         assert_eq!(threads_of(&flags(&[("threads", "4")])).unwrap(), 4);
         assert!(threads_of(&flags(&[("threads", "lots")])).is_err());
+    }
+
+    #[test]
+    fn engine_parses_both_engines_and_defaults_to_packet() {
+        assert_eq!(engine_of(&flags(&[])).unwrap(), EngineKind::Packet);
+        assert_eq!(
+            engine_of(&flags(&[("engine", "packet")])).unwrap(),
+            EngineKind::Packet
+        );
+        assert_eq!(
+            engine_of(&flags(&[("engine", "hybrid")])).unwrap(),
+            EngineKind::Hybrid
+        );
+        assert!(engine_of(&flags(&[("engine", "fluid")])).is_err());
+    }
+
+    #[test]
+    fn background_defaults_to_zero() {
+        assert_eq!(background_of(&flags(&[])).unwrap(), 0);
+        assert_eq!(
+            background_of(&flags(&[("background", "10000")])).unwrap(),
+            10_000
+        );
+        assert!(background_of(&flags(&[("background", "-3")])).is_err());
     }
 
     #[test]

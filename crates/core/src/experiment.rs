@@ -11,8 +11,8 @@ use turb_capture::{Capture, Sniffer};
 use turb_media::{ClipPair, RateClass};
 use turb_netsim::tools::{self, PingReport, TracertReport};
 use turb_netsim::{
-    InternetScenario, ScenarioConfig, SchedulerKind, ShardKind, SimDuration, SimRng, SimTime,
-    Simulation,
+    EngineKind, InternetScenario, ScenarioConfig, SchedulerKind, ShardKind, SimDuration, SimRng,
+    SimTime, Simulation,
 };
 use turb_obs::ScopeTimer;
 use turb_players::calibration::{REAL_SERVER_PORT, WMP_SERVER_PORT};
@@ -22,6 +22,9 @@ use turb_players::{spawn_stream, AppStatsLog, StreamConfig};
 pub const REAL_CLIENT_PORT: u16 = 7002;
 /// Client UDP port the MediaPlayer stream is delivered to.
 pub const WMP_CLIENT_PORT: u16 = 7000;
+/// Client UDP port packet-engine background cross-traffic is absorbed
+/// on (kept off the player ports so foreground logs stay clean).
+pub const BACKGROUND_CLIENT_PORT: u16 = 7100;
 
 /// Configuration of one pair run.
 #[derive(Debug, Clone)]
@@ -71,6 +74,16 @@ pub struct PairRunConfig {
     /// pair runs on a worker pool; shards parallelise *inside* one
     /// simulation.
     pub shards: ShardKind,
+    /// How background cross-traffic is simulated. Irrelevant (and
+    /// byte-identical by construction) when `background_flows` is
+    /// zero; with flows present, [`EngineKind::Packet`] replays each
+    /// as real datagrams while [`EngineKind::Hybrid`] lowers them onto
+    /// the fluid solver.
+    pub engine: EngineKind,
+    /// Number of streaming background flows sharing the pair's path
+    /// (server access + client access links). Zero — the default, the
+    /// paper's uncongested conditions — adds nothing at all.
+    pub background_flows: u32,
 }
 
 impl PairRunConfig {
@@ -88,6 +101,8 @@ impl PairRunConfig {
             timeseries: false,
             ts_window_ns: 0,
             shards: ShardKind::Sequential,
+            engine: EngineKind::Packet,
+            background_flows: 0,
         }
     }
 
@@ -125,6 +140,14 @@ impl PairRunConfig {
     /// domains, one worker thread per domain.
     pub fn with_shards(mut self, n: u16) -> PairRunConfig {
         self.shards = ShardKind::Sharded(n);
+        self
+    }
+
+    /// Same config with `background_flows` cross-traffic flows run
+    /// under `engine`.
+    pub fn with_engine(mut self, engine: EngineKind, background_flows: u32) -> PairRunConfig {
+        self.engine = engine;
+        self.background_flows = background_flows;
         self
     }
 }
@@ -181,6 +204,21 @@ impl PairRunResult {
     }
 }
 
+/// The canned model background cross-traffic streams at: a
+/// RealPlayer-like ~109 kbps steady flow with a 2× buffering burst for
+/// its first five seconds, matching the paper's fitted shape.
+pub fn background_model() -> turb_flowgen::TurbulenceModel {
+    turb_flowgen::TurbulenceModel {
+        player: turb_wire::media::PlayerId::RealPlayer,
+        encoded_kbps: 100.0,
+        datagram_sizes: turb_stats::EmpiricalSampler::from_samples(&[600.0, 700.0, 800.0, 900.0]),
+        interarrivals: turb_stats::EmpiricalSampler::from_samples(&[0.04, 0.05, 0.06, 0.07]),
+        fragment_fraction: 0.0,
+        buffering_ratio: 2.0,
+        burst_secs: 5.0,
+    }
+}
+
 /// Execute one pair run.
 pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
     let label = format!(
@@ -213,6 +251,58 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
     }
 
     let capture = Sniffer::attach(&mut sim, scenario.client);
+
+    // Background cross-traffic sharing the pair's path (the server and
+    // client access links). Under the hybrid engine the population is
+    // lowered onto the fluid solver — zero events per flow, the packet
+    // path just sees reduced residual capacity; under the packet
+    // engine every flow replays a synthetic schedule datagram by
+    // datagram. Zero flows adds nothing at all, keeping the default
+    // run byte-identical under either engine.
+    if config.background_flows > 0 {
+        let background_secs = config.pair.real.duration_secs * 2.0 + 110.0;
+        match config.engine {
+            EngineKind::Hybrid => {
+                for _ in 0..config.background_flows {
+                    sim.add_fluid_flow(turb_flowgen::fluid_flow_from_model(
+                        &background_model(),
+                        vec![site.server_access_down, scenario.client_access_down],
+                        SimTime::ZERO,
+                        background_secs,
+                    ));
+                }
+            }
+            EngineKind::Packet => {
+                struct BackgroundSink;
+                impl turb_netsim::sim::Application for BackgroundSink {}
+                sim.add_app(
+                    scenario.client,
+                    Box::new(BackgroundSink),
+                    Some(BACKGROUND_CLIENT_PORT),
+                    false,
+                );
+                for i in 0..config.background_flows {
+                    let mut generator = turb_flowgen::FlowGenerator::new(
+                        background_model(),
+                        SimRng::new(config.seed ^ 0xbac6_f10f ^ (u64::from(i) << 20)),
+                    );
+                    let schedule = generator.generate(background_secs);
+                    sim.add_app(
+                        site.server,
+                        Box::new(turb_flowgen::SyntheticFlowApp::new(
+                            schedule,
+                            scenario.client_addr,
+                            BACKGROUND_CLIENT_PORT,
+                            7200 + (i % 400) as u16,
+                            turb_wire::media::PlayerId::RealPlayer,
+                        )),
+                        None,
+                        false,
+                    );
+                }
+            }
+        }
+    }
 
     // Phase 1: pre-run network check.
     let ping_before = tools::spawn_ping(
@@ -375,6 +465,72 @@ mod tests {
         assert_eq!(a.real.bytes_total, b.real.bytes_total);
         assert_eq!(a.wmp.bytes_total, b.wmp.bytes_total);
         assert_eq!(a.ping_before.median_rtt(), b.ping_before.median_rtt());
+    }
+
+    #[test]
+    fn hybrid_engine_with_zero_background_is_byte_identical() {
+        let (set_id, pair) = short_pair();
+        let packet = run_pair(&PairRunConfig::new(31, set_id, pair.clone()).with_telemetry());
+        let hybrid = run_pair(
+            &PairRunConfig::new(31, set_id, pair)
+                .with_telemetry()
+                .with_engine(EngineKind::Hybrid, 0),
+        );
+        let (p, h) = (packet.telemetry.unwrap(), hybrid.telemetry.unwrap());
+        // Counters (never wall-clock histograms) and traces match byte
+        // for byte, same discipline as the shard/scheduler identity
+        // tests.
+        let counters = |t: &RunTelemetry| {
+            t.metrics
+                .counters()
+                .map(|(n, c, v)| (n.to_string(), c.to_string(), v))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(counters(&p), counters(&h));
+        assert_eq!(p.trace_jsonl, h.trace_jsonl);
+        assert!(h.fluid.is_none(), "no flows, no solver");
+    }
+
+    #[test]
+    fn hybrid_background_squeezes_the_foreground() {
+        let (set_id, pair) = short_pair();
+        let clean = run_pair(&PairRunConfig::new(31, set_id, pair.clone()));
+        let contended = run_pair(
+            &PairRunConfig::new(31, set_id, pair)
+                .with_telemetry()
+                .with_engine(EngineKind::Hybrid, 16),
+        );
+        let fluid = contended
+            .telemetry
+            .as_ref()
+            .unwrap()
+            .fluid
+            .expect("hybrid background run carries fluid diag");
+        assert_eq!(fluid.flows, 16);
+        assert!(fluid.updates_applied > 0);
+        // 16 × ~109 kbps against the ≤10 Mbit access path must slow
+        // the streams relative to the clean run.
+        let slower = contended.real.stream_end.unwrap() > clean.real.stream_end.unwrap()
+            || contended.wmp.stream_end.unwrap() > clean.wmp.stream_end.unwrap()
+            || contended.ping_after.median_rtt() > clean.ping_after.median_rtt();
+        assert!(slower, "background pressure should be observable");
+    }
+
+    #[test]
+    fn packet_background_replays_real_datagrams() {
+        let (set_id, pair) = short_pair();
+        let result = run_pair(
+            &PairRunConfig::new(31, set_id, pair)
+                .with_telemetry()
+                .with_engine(EngineKind::Packet, 4),
+        );
+        assert!(result.telemetry.as_ref().unwrap().fluid.is_none());
+        // The capture sees the background datagrams on their own port.
+        use turb_capture::Filter;
+        let background = result
+            .capture
+            .filtered(&Filter::PortIs(BACKGROUND_CLIENT_PORT));
+        assert!(background.len() > 100, "{}", background.len());
     }
 
     #[test]

@@ -36,12 +36,18 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Clamp a requested thread count to what `jobs` jobs can use.
-/// `0` and `1` both select the sequential path (a `--threads 0` guard,
-/// not an error), and there is never a reason to spawn more workers
-/// than jobs — the surplus would sit idle on the counter.
+/// Resolve a requested thread count to what `jobs` jobs can use.
+/// `0` means *auto*: all the parallelism the host reports, capped at
+/// the job count. An explicit request is honoured up to the job count
+/// — there is never a reason to spawn more workers than jobs; the
+/// surplus would sit idle on the counter.
 pub fn effective_threads(requested: usize, jobs: usize) -> usize {
-    requested.max(1).min(jobs.max(1))
+    let requested = if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    };
+    requested.min(jobs.max(1))
 }
 
 /// Apply `f` to every item, using up to `threads` worker threads, and
@@ -161,8 +167,14 @@ mod tests {
     }
 
     #[test]
-    fn effective_threads_guards_zero_and_caps_at_jobs() {
-        assert_eq!(effective_threads(0, 13), 1);
+    fn effective_threads_resolves_auto_and_caps_at_jobs() {
+        // 0 = auto: everything the host offers, capped at the jobs.
+        assert_eq!(
+            effective_threads(0, 13),
+            available_threads().min(13),
+            "auto must use the host's parallelism, not serialize"
+        );
+        assert_eq!(effective_threads(0, 1), 1);
         assert_eq!(effective_threads(1, 13), 1);
         assert_eq!(effective_threads(4, 13), 4);
         assert_eq!(effective_threads(64, 13), 13);

@@ -8,7 +8,7 @@
 //! nothing else.
 
 use turb_netsim::topology::{ScaleConfig, ScaleScenario};
-use turb_netsim::{ShardDiag, ShardKind, SimDuration, SimTime, Simulation};
+use turb_netsim::{FluidDiag, ShardDiag, ShardKind, SimDuration, SimTime, Simulation};
 use turb_obs::MetricsRegistry;
 
 /// Configuration of one scale run.
@@ -51,6 +51,12 @@ pub struct ScaleRunResult {
     pub digest: u64,
     /// Shard-engine diagnostics; `None` for sequential runs.
     pub diag: Option<ShardDiag>,
+    /// Fluid-solver diagnostics; `None` unless the run carried
+    /// hybrid-engine background flows.
+    pub fluid: Option<FluidDiag>,
+    /// Datagrams absorbed by the packet-engine background sinks
+    /// (always zero under the hybrid engine).
+    pub background_datagrams: u64,
 }
 
 /// FNV-1a 64 over a byte slice — dependency-free content digest.
@@ -92,6 +98,7 @@ pub fn run_scale(config: &ScaleRunConfig) -> ScaleRunResult {
     blob.extend_from_slice(&total.datagrams.to_le_bytes());
     blob.extend_from_slice(&total.bytes.to_le_bytes());
 
+    let background_datagrams = scenario.background.lock().unwrap().datagrams;
     ScaleRunResult {
         wall_ns,
         events_processed: stats.events_processed,
@@ -99,12 +106,16 @@ pub fn run_scale(config: &ScaleRunConfig) -> ScaleRunResult {
         bytes: total.bytes,
         digest: fnv1a(&blob),
         diag: sim.shard_diag(),
+        fluid: sim.fluid_diag(),
+        background_datagrams,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use turb_netsim::EngineKind;
 
     fn small() -> ScaleConfig {
         ScaleConfig {
@@ -113,6 +124,7 @@ mod tests {
             packets_per_client: 4,
             send_interval: SimDuration::from_millis(20),
             payload_bytes: 200,
+            ..ScaleConfig::default()
         }
     }
 
@@ -155,6 +167,49 @@ mod tests {
         });
         assert!(seq.diag.is_none());
         assert_eq!(seq.events_processed, result.events_processed);
+    }
+
+    #[test]
+    fn hybrid_background_digest_is_shard_invariant() {
+        let scenario = ScaleConfig {
+            background_flows: 24,
+            engine: EngineKind::Hybrid,
+            ..small()
+        };
+        let mut digests = Vec::new();
+        for shards in [
+            ShardKind::Sequential,
+            ShardKind::Sharded(2),
+            ShardKind::Sharded(4),
+        ] {
+            let result = run_scale(&ScaleRunConfig {
+                seed: 9,
+                scenario: scenario.clone(),
+                shards,
+            });
+            let fluid = result.fluid.expect("hybrid run exposes fluid diag");
+            assert_eq!(fluid.flows, 24);
+            assert!(fluid.updates_applied > 0);
+            assert_eq!(result.background_datagrams, 0);
+            digests.push(result.digest);
+        }
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[0], digests[2]);
+    }
+
+    #[test]
+    fn zero_background_hybrid_digest_matches_packet() {
+        let run = |engine: EngineKind| {
+            run_scale(&ScaleRunConfig {
+                seed: 9,
+                scenario: ScaleConfig { engine, ..small() },
+                shards: ShardKind::Sequential,
+            })
+        };
+        let packet = run(EngineKind::Packet);
+        let hybrid = run(EngineKind::Hybrid);
+        assert_eq!(packet.digest, hybrid.digest);
+        assert!(hybrid.fluid.is_none());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! collected can never affect what the simulation computed.
 
 use turb_capture::Capture;
-use turb_netsim::{LineageDump, SchedStats, SchedulerKind, ShardDiag, Simulation};
+use turb_netsim::{FluidDiag, LineageDump, SchedStats, SchedulerKind, ShardDiag, Simulation};
 use turb_obs::{FragReport, LinkReport, MetricsRegistry, RunReport, SeriesDump};
 use turb_players::telemetry::player_report;
 use turb_players::AppStatsLog;
@@ -45,6 +45,12 @@ pub struct RunTelemetry {
     /// `report`/`metrics`/`trace_jsonl` are unchanged by sharding, not
     /// that the partition looks any particular way.
     pub shards: Option<ShardDiag>,
+    /// Fluid-solver diagnostics when the run carried hybrid-engine
+    /// background flows ([`crate::PairRunConfig::with_engine`]);
+    /// `None` otherwise. Outside the byte-identity set — the identity
+    /// tests assert the hybrid engine with zero background flows
+    /// changes nothing, not that the solver ran.
+    pub fluid: Option<FluidDiag>,
 }
 
 /// Harvest a finished simulation into a [`RunTelemetry`].
@@ -139,5 +145,6 @@ pub fn harvest(
         lineage: None,
         series: None,
         shards: sim.shard_diag(),
+        fluid: sim.fluid_diag(),
     }
 }

@@ -19,13 +19,20 @@
 //! * [`generate::SyntheticFlowApp`] — replays a schedule as real UDP
 //!   traffic inside a [`turb_netsim::Simulation`] (e.g. as cross
 //!   traffic for queue-management experiments).
+//! * [`lower`] — lowers models and schedules onto the fluid engine:
+//!   demand curves become piecewise-constant [`turb_netsim::RateSchedule`]s
+//!   so background populations cost O(rate changes), not O(packets).
 //! * [`validate`] — Kolmogorov-Smirnov comparison of generated flows
 //!   against the distributions they were fitted from.
 
 pub mod generate;
+pub mod lower;
 pub mod model;
 pub mod validate;
 
 pub use generate::{FlowGenerator, SyntheticFlowApp, SyntheticPacket};
+pub use lower::{
+    fluid_flow_from_model, model_steady_bps, rate_schedule_from_model, rate_schedule_from_packets,
+};
 pub use model::TurbulenceModel;
 pub use validate::{validate_against_model, ValidationReport};

@@ -1,0 +1,209 @@
+//! Lowering synthetic flows onto the fluid engine.
+//!
+//! A [`SyntheticFlowApp`](crate::generate::SyntheticFlowApp) replays a
+//! packet schedule datagram by datagram — exact, but every datagram is
+//! a simulated event. When a flow is background pressure rather than
+//! the thing being measured, the same demand can ride the fluid solver
+//! instead: this module turns fitted [`TurbulenceModel`] demand curves
+//! and concrete packet schedules into piecewise-constant
+//! [`RateSchedule`]s, so a population of streaming flows costs the
+//! simulation O(rate changes) instead of O(packets).
+
+use crate::generate::SyntheticPacket;
+use crate::model::TurbulenceModel;
+use turb_netsim::{FluidFlow, LinkId, RateSchedule, SimDuration, SimTime};
+
+/// Mean steady-state wire rate of a fitted model, in bits per second:
+/// mean datagram size over mean interarrival gap.
+pub fn model_steady_bps(model: &TurbulenceModel) -> u64 {
+    let bytes = model.datagram_sizes.mean();
+    let gap = model.interarrivals.mean().max(1e-6);
+    (bytes * 8.0 / gap).round().max(1.0) as u64
+}
+
+/// Lower a fitted model's demand curve to a piecewise-constant rate
+/// schedule: the buffering burst (Figure 11) runs at `buffering_ratio ×`
+/// the steady wire rate for `burst_secs`, the remainder of
+/// `duration_secs` at the steady rate, then the flow ends.
+pub fn rate_schedule_from_model(
+    model: &TurbulenceModel,
+    start: SimTime,
+    duration_secs: f64,
+) -> RateSchedule {
+    assert!(duration_secs > 0.0, "flow must last a positive duration");
+    let steady = model_steady_bps(model);
+    let end = start + SimDuration::from_secs_f64(duration_secs);
+    let bursting =
+        model.buffering_ratio > 1.0 && model.burst_secs > 0.0 && model.burst_secs < duration_secs;
+    if bursting {
+        let burst_end = start + SimDuration::from_secs_f64(model.burst_secs);
+        let burst_bps = (steady as f64 * model.buffering_ratio).round() as u64;
+        RateSchedule::from_points(vec![(start, burst_bps), (burst_end, steady), (end, 0)])
+    } else {
+        RateSchedule::constant(start, end, steady)
+    }
+}
+
+/// Lower a concrete packet schedule — exactly what a
+/// [`SyntheticFlowApp`](crate::generate::SyntheticFlowApp) would
+/// replay — to a rate schedule by bucketing wire bytes into `window`
+/// slices. Smaller windows track the flow's turbulence more closely
+/// at the cost of more solver recomputes.
+pub fn rate_schedule_from_packets(
+    schedule: &[SyntheticPacket],
+    start: SimTime,
+    window: SimDuration,
+) -> RateSchedule {
+    let window_ns = window.as_nanos().max(1);
+    if schedule.is_empty() {
+        return RateSchedule::from_points(Vec::new());
+    }
+    // Bytes per window bucket.
+    let mut buckets: Vec<u64> = Vec::new();
+    for p in schedule {
+        let at_ns = (p.time_secs.max(0.0) * 1e9) as u64;
+        let idx = (at_ns / window_ns) as usize;
+        if buckets.len() <= idx {
+            buckets.resize(idx + 1, 0);
+        }
+        buckets[idx] += p.bytes as u64;
+    }
+    // Each bucket becomes a segment; consecutive equal rates merge.
+    let mut points: Vec<(SimTime, u64)> = Vec::new();
+    for (i, bytes) in buckets.iter().enumerate() {
+        let bps = bytes * 8 * 1_000_000_000 / window_ns;
+        let at = start + SimDuration::from_nanos(i as u64 * window_ns);
+        if points.last().map(|&(_, r)| r) != Some(bps) {
+            points.push((at, bps));
+        }
+    }
+    let end = start + SimDuration::from_nanos(buckets.len() as u64 * window_ns);
+    if points.last().map(|&(_, r)| r) != Some(0) {
+        points.push((end, 0));
+    }
+    RateSchedule::from_points(points)
+}
+
+/// Lower a fitted model straight to a registrable [`FluidFlow`] over
+/// `route`.
+pub fn fluid_flow_from_model(
+    model: &TurbulenceModel,
+    route: Vec<LinkId>,
+    start: SimTime,
+    duration_secs: f64,
+) -> FluidFlow {
+    FluidFlow {
+        route,
+        schedule: rate_schedule_from_model(model, start, duration_secs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turb_stats::EmpiricalSampler;
+    use turb_wire::media::PlayerId;
+
+    fn model(ratio: f64, burst: f64) -> TurbulenceModel {
+        TurbulenceModel {
+            player: PlayerId::RealPlayer,
+            encoded_kbps: 100.0,
+            datagram_sizes: EmpiricalSampler::from_samples(&[600.0, 700.0, 800.0, 900.0]),
+            interarrivals: EmpiricalSampler::from_samples(&[0.04, 0.05, 0.06, 0.07]),
+            fragment_fraction: 0.0,
+            buffering_ratio: ratio,
+            burst_secs: burst,
+        }
+    }
+
+    #[test]
+    fn steady_rate_is_mean_size_over_mean_gap() {
+        // 750 bytes / 55 ms = 109_091 bps.
+        assert_eq!(model_steady_bps(&model(1.0, 0.0)), 109_091);
+    }
+
+    #[test]
+    fn model_schedule_has_burst_then_steady_then_nothing() {
+        let start = SimTime(1_000_000_000);
+        let s = rate_schedule_from_model(&model(3.0, 5.0), start, 30.0);
+        let steady = 109_091;
+        assert_eq!(s.demand_at(start), 3 * steady);
+        assert_eq!(s.demand_at(SimTime(999_999_999)), 0);
+        assert_eq!(s.demand_at(start + SimDuration::from_secs(10)), steady);
+        assert_eq!(s.demand_at(start + SimDuration::from_secs(31)), 0);
+        assert_eq!(s.breakpoints().count(), 3);
+    }
+
+    #[test]
+    fn model_without_burst_lowers_to_a_constant() {
+        let start = SimTime::ZERO;
+        let s = rate_schedule_from_model(&model(1.0, 0.0), start, 10.0);
+        assert_eq!(s.demand_at(start), 109_091);
+        assert_eq!(s.demand_at(start + SimDuration::from_secs(9)), 109_091);
+        assert_eq!(s.demand_at(start + SimDuration::from_secs(10)), 0);
+        assert_eq!(s.breakpoints().count(), 2);
+    }
+
+    #[test]
+    fn packet_schedule_buckets_bytes_into_windows() {
+        let packets = vec![
+            SyntheticPacket {
+                time_secs: 0.1,
+                bytes: 500,
+                buffering: true,
+            },
+            SyntheticPacket {
+                time_secs: 0.9,
+                bytes: 500,
+                buffering: true,
+            },
+            // Window [1, 2) is silent.
+            SyntheticPacket {
+                time_secs: 2.5,
+                bytes: 250,
+                buffering: false,
+            },
+        ];
+        let s = rate_schedule_from_packets(&packets, SimTime::ZERO, SimDuration::from_secs(1));
+        // 1000 bytes in second 0 → 8000 bps; silence; 2000 bps.
+        assert_eq!(s.demand_at(SimTime::ZERO), 8000);
+        assert_eq!(s.demand_at(SimTime(1_500_000_000)), 0);
+        assert_eq!(s.demand_at(SimTime(2_500_000_000)), 2000);
+        assert_eq!(s.demand_at(SimTime(3_000_000_000)), 0);
+    }
+
+    #[test]
+    fn empty_schedule_lowers_to_an_empty_curve() {
+        let s = rate_schedule_from_packets(&[], SimTime::ZERO, SimDuration::from_secs(1));
+        assert!(s.is_empty());
+        assert_eq!(s.demand_at(SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn generated_schedule_lowers_close_to_the_model_rate() {
+        use crate::generate::FlowGenerator;
+        use turb_netsim::rng::SimRng;
+        let mut generator = FlowGenerator::new(model(1.0, 0.0), SimRng::new(8));
+        let packets = generator.generate(20.0);
+        let s = rate_schedule_from_packets(&packets, SimTime::ZERO, SimDuration::from_secs(2));
+        // Mid-flow windows should carry roughly the model's steady rate.
+        let mid = s.demand_at(SimTime(10_000_000_000));
+        let steady = model_steady_bps(&model(1.0, 0.0));
+        assert!(
+            mid > steady / 2 && mid < steady * 2,
+            "mid-flow rate {mid} vs steady {steady}"
+        );
+    }
+
+    #[test]
+    fn fluid_flow_carries_route_and_schedule() {
+        let flow = fluid_flow_from_model(
+            &model(2.0, 3.0),
+            vec![LinkId(4), LinkId(7)],
+            SimTime::ZERO,
+            10.0,
+        );
+        assert_eq!(flow.route, vec![LinkId(4), LinkId(7)]);
+        assert_eq!(flow.schedule.demand_at(SimTime::ZERO), 2 * 109_091);
+    }
+}

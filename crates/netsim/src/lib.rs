@@ -16,6 +16,9 @@
 //! * [`node`] — hosts (reassembly, UDP port table, ICMP listeners) and
 //!   routers (TTL, forwarding, ICMP time-exceeded).
 //! * [`fault`] — Bernoulli / Gilbert-Elliott loss and jitter injection.
+//! * [`fluid`] — max-min fair fluid engine: background flows modelled
+//!   as rates over link routes, recomputed only at demand breakpoints;
+//!   the packet path sees them as reduced residual link capacity.
 //! * [`sim`] — the engine: event queue, [`Application`] trait,
 //!   [`Ctx`] capability handle, sniffer taps.
 //! * [`wheel`] — deterministic hierarchical timing wheel backing the
@@ -53,6 +56,7 @@
 //! ```
 
 pub mod fault;
+pub mod fluid;
 pub mod link;
 pub mod node;
 pub mod red;
@@ -67,6 +71,7 @@ pub mod topology;
 pub mod wheel;
 
 pub use fault::{FaultInjector, JitterModel, LossModel};
+pub use fluid::{EngineKind, FlowClass, FluidDiag, FluidFlow, RateSchedule};
 pub use link::{Link, LinkConfig, LinkId, LinkStats, NodeId};
 pub use node::{AppId, Node, NodeKind, NodeStats};
 pub use red::RedQueue;
@@ -85,6 +90,7 @@ pub use wheel::{SchedStats, TimingWheel};
 /// Convenient glob import for simulation consumers.
 pub mod prelude {
     pub use crate::fault::{FaultInjector, JitterModel, LossModel};
+    pub use crate::fluid::{EngineKind, FlowClass, FluidDiag, FluidFlow, RateSchedule};
     pub use crate::link::{LinkConfig, LinkId, NodeId};
     pub use crate::node::AppId;
     pub use crate::rng::SimRng;

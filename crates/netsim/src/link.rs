@@ -100,6 +100,11 @@ pub struct Link {
     pub red: Option<RedQueue>,
     /// Instant at which the transmitter becomes free.
     next_free: SimTime,
+    /// Bandwidth currently occupied by fluid background flows, in bits
+    /// per second. Zero unless a hybrid run's solver assigned this
+    /// link a share (see [`crate::fluid`]); updated only by
+    /// `FluidUpdate` events.
+    pub(crate) fluid_bps: u64,
     /// Counters.
     pub stats: LinkStats,
     /// `"link:<id>"`, precomputed once so hot-path tracing and metric
@@ -146,6 +151,7 @@ impl Link {
             fault: FaultInjector::none(),
             red: None,
             next_free: SimTime::ZERO,
+            fluid_bps: 0,
             stats: LinkStats::default(),
             trace_component: format!("link:{}", id.0),
             comp: SymbolId(0),
@@ -153,12 +159,35 @@ impl Link {
         }
     }
 
+    /// The capacity the packet path may use: configured rate minus the
+    /// fluid engine's share, floored at 1% of the configured rate (a
+    /// fully fluid-saturated link still trickles packets instead of
+    /// dividing by zero — the residual floor is documented in DESIGN
+    /// §5). Exactly `config.rate_bps` when no fluid occupies the link,
+    /// so packet-engine arithmetic is untouched byte-for-byte.
+    pub fn effective_rate_bps(&self) -> u64 {
+        if self.fluid_bps == 0 {
+            self.config.rate_bps
+        } else {
+            (self.config.rate_bps.saturating_sub(self.fluid_bps))
+                .max(self.config.rate_bps / 100)
+                .max(1)
+        }
+    }
+
+    /// The fluid engine's current share of this link, in bits per
+    /// second.
+    pub fn fluid_bps(&self) -> u64 {
+        self.fluid_bps
+    }
+
     /// Bytes currently queued awaiting transmission. Exact for a FIFO
     /// transmitter: the backlog is whatever the remaining busy time can
-    /// serialise.
+    /// serialise at the current residual rate.
     pub fn backlog_bytes(&self, now: SimTime) -> usize {
         let busy = self.next_free.since(now);
-        ((busy.as_nanos() as u128 * self.config.rate_bps as u128) / (8 * 1_000_000_000)) as usize
+        ((busy.as_nanos() as u128 * self.effective_rate_bps() as u128) / (8 * 1_000_000_000))
+            as usize
     }
 
     /// Offer an IP packet of `bytes` for transmission at `now`.
@@ -179,7 +208,7 @@ impl Link {
             }
         }
         let start = self.next_free.max(now);
-        let done = start + self.config.tx_time(bytes);
+        let done = start + SimDuration::transmission(bytes, self.effective_rate_bps());
         self.next_free = done;
         self.stats.tx_packets += 1;
         self.stats.tx_bytes += bytes as u64;
@@ -275,6 +304,27 @@ mod tests {
         assert_eq!(l.transmit(SimTime::ZERO, 1000), TxOutcome::Faulted);
         assert_eq!(l.stats.dropped_fault, 1);
         assert_eq!(l.backlog_bytes(SimTime::ZERO), 1000);
+    }
+
+    #[test]
+    fn fluid_share_reduces_residual_capacity() {
+        let mut l = link(8_000_000, 0, 1 << 20); // 1 byte / µs
+        assert_eq!(l.effective_rate_bps(), 8_000_000);
+        l.fluid_bps = 4_000_000; // half the link is fluid
+        assert_eq!(l.effective_rate_bps(), 4_000_000);
+        match l.transmit(SimTime::ZERO, 1000) {
+            // Serialisation takes twice as long against the residual.
+            TxOutcome::Deliver { arrival } => assert_eq!(arrival, SimTime(2_000_000)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Fully saturated: the 1% residual floor keeps packets moving.
+        l.fluid_bps = 8_000_000;
+        assert_eq!(l.effective_rate_bps(), 80_000);
+        l.fluid_bps = 9_999_999_999;
+        assert_eq!(l.effective_rate_bps(), 80_000);
+        // Share withdrawn: configured rate restored exactly.
+        l.fluid_bps = 0;
+        assert_eq!(l.effective_rate_bps(), 8_000_000);
     }
 
     #[test]

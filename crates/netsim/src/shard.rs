@@ -513,6 +513,7 @@ impl ShardedEngine {
                             node_domain: Arc::clone(&node_domain),
                             outbox: Vec::with_capacity(EXCHANGE_CAP),
                         })),
+                        fluid_applied: if d == 0 { core.fluid_applied } else { 0 },
                     },
                     apps: domain_apps,
                     deliveries: if d == 0 {
@@ -522,6 +523,12 @@ impl ShardedEngine {
                     },
                     shards: ShardKind::Sequential,
                     sharded: None,
+                    // The outer simulation sealed the fluid population
+                    // before partitioning; domains only apply the
+                    // already-scheduled updates.
+                    fluid_flows: Vec::new(),
+                    fluid_sealed: true,
+                    fluid_diag: crate::fluid::FluidDiag::default(),
                 }
             })
             .collect();
@@ -538,6 +545,10 @@ impl ShardedEngine {
                 Event::AppStart(app) | Event::Timer { app, .. } => {
                     node_domain[domains[0].apps[app.0].node.0]
                 }
+                // Fluid shares are read by `transmit`, which runs in
+                // the domain owning the link's live copy (the
+                // transmitting node's domain).
+                Event::FluidUpdate { link, .. } => link_src_domain[link.0],
             } as usize;
             let domain_core = &mut domains[owner].core;
             let seq = domain_core.seq;
@@ -821,6 +832,11 @@ impl ShardedEngine {
 
     pub(crate) fn scheduler(&self) -> SchedulerKind {
         self.domains[0].core.scheduler()
+    }
+
+    /// `FluidUpdate` events applied, summed across domains.
+    pub(crate) fn fluid_applied(&self) -> u64 {
+        self.domains.iter().map(|sim| sim.core.fluid_applied).sum()
     }
 
     pub(crate) fn sched_stats(&self) -> SchedStats {

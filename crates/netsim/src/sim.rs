@@ -81,8 +81,21 @@ pub trait Application: Send {
 #[derive(Debug)]
 pub(crate) enum Event {
     AppStart(AppId),
-    Timer { app: AppId, token: u64 },
-    Arrival { link: LinkId, packet: Ipv4Packet },
+    Timer {
+        app: AppId,
+        token: u64,
+    },
+    Arrival {
+        link: LinkId,
+        packet: Ipv4Packet,
+    },
+    /// The fluid engine's precomputed share of `link` changes to
+    /// `bps` (see [`crate::fluid`]). Planned entirely at seal time;
+    /// applying one only writes the link's `fluid_bps` field.
+    FluidUpdate {
+        link: LinkId,
+        bps: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -282,6 +295,10 @@ pub struct SimCore {
     /// foreign so cross-domain deliveries are diverted into the
     /// domain's outbox instead of its own event queue.
     pub(crate) shard: Option<Box<crate::shard::ShardCtx>>,
+    /// `FluidUpdate` events applied by this core's event loop. Kept
+    /// out of [`SimStats`]: it is fluid-engine diagnostics
+    /// ([`crate::fluid::FluidDiag`]), not simulated-network state.
+    pub(crate) fluid_applied: u64,
 }
 
 impl SimCore {
@@ -341,6 +358,18 @@ impl SimCore {
             return;
         };
         lin.rec.record(span, self.now.as_nanos(), comp, stage, aux);
+    }
+
+    /// Apply a precomputed fluid-share change: the packet path on this
+    /// link now sees `capacity − bps` residual. Pure state write plus
+    /// an (optional) series sample — no RNG, no scheduling — so with
+    /// zero background flows none of these ever exist and hybrid runs
+    /// stay byte-identical to packet runs.
+    pub(crate) fn apply_fluid_update(&mut self, link: LinkId, bps: u64) {
+        self.links[link.0].fluid_bps = bps;
+        self.fluid_applied += 1;
+        let comp = self.links[link.0].comp;
+        self.ts_gauge("link_fluid_bps", comp, bps);
     }
 
     pub(crate) fn schedule(&mut self, time: SimTime, event: Event) {
@@ -1197,6 +1226,15 @@ pub struct Simulation {
     /// has been moved into the engine's per-domain simulations and
     /// every public method dispatches there.
     pub(crate) sharded: Option<Box<crate::shard::ShardedEngine>>,
+    /// Background flows registered through
+    /// [`Simulation::add_fluid_flow`], solved at seal time.
+    pub(crate) fluid_flows: Vec<crate::fluid::FluidFlow>,
+    /// Whether the fluid population has been solved and its updates
+    /// scheduled (the first `run_*` call seals; flows are immutable
+    /// afterwards).
+    pub(crate) fluid_sealed: bool,
+    /// Planning-phase diagnostics, filled at seal time.
+    pub(crate) fluid_diag: crate::fluid::FluidDiag,
 }
 
 impl Simulation {
@@ -1225,11 +1263,15 @@ impl Simulation {
                 lineage: None,
                 timeseries: None,
                 shard: None,
+                fluid_applied: 0,
             },
             apps: Vec::new(),
             deliveries: Vec::new(),
             shards: crate::shard::ShardKind::Sequential,
             sharded: None,
+            fluid_flows: Vec::new(),
+            fluid_sealed: false,
+            fluid_diag: crate::fluid::FluidDiag::default(),
         }
     }
 
@@ -1274,6 +1316,7 @@ impl Simulation {
                 lineage: None,
                 timeseries: None,
                 shard: None,
+                fluid_applied: 0,
             },
         );
         let apps = std::mem::take(&mut self.apps);
@@ -1436,6 +1479,73 @@ impl Simulation {
     /// outside the byte-identity set.
     pub fn shard_diag(&self) -> Option<crate::shard::ShardDiag> {
         self.sharded.as_deref().map(|sh| sh.diag())
+    }
+
+    /// Register a background flow with the fluid engine (hybrid runs;
+    /// see [`crate::fluid`]). Must be called after the route's links
+    /// exist and before the simulation first runs: the first `run_*`
+    /// call *seals* the population — solves the max-min allocation at
+    /// every demand breakpoint and schedules the per-link share
+    /// changes as ordinary events.
+    pub fn add_fluid_flow(&mut self, flow: crate::fluid::FluidFlow) {
+        self.assert_unpartitioned("add_fluid_flow");
+        assert!(
+            !self.fluid_sealed,
+            "add_fluid_flow must happen before the simulation first runs"
+        );
+        for link in &flow.route {
+            assert!(
+                link.0 < self.core.links.len(),
+                "fluid flow routed over unknown link {}",
+                link.0
+            );
+        }
+        self.fluid_flows.push(flow);
+    }
+
+    /// Solve the fluid population and schedule its rate-change events.
+    /// Runs once, at the first `run_*` call (before partitioning, so a
+    /// sharded run redistributes the updates to the domains owning
+    /// each link's live copy). A run with no fluid flows schedules
+    /// nothing — the zero-background identity guarantee.
+    fn seal_fluid(&mut self) {
+        if self.fluid_sealed {
+            return;
+        }
+        self.fluid_sealed = true;
+        if self.fluid_flows.is_empty() {
+            return;
+        }
+        let plan = crate::fluid::plan_updates(&self.fluid_flows, |id| {
+            self.core.links[id.0].config.rate_bps
+        });
+        self.fluid_diag = plan.diag;
+        for (time, link, bps) in plan.updates {
+            if time <= self.core.now {
+                // Shares already in force when the run starts apply
+                // directly: ambient background is present from the
+                // first instant, ahead of any same-time app event.
+                self.core.apply_fluid_update(link, bps);
+            } else {
+                self.core.schedule(time, Event::FluidUpdate { link, bps });
+            }
+        }
+    }
+
+    /// Fluid-engine diagnostics; `None` when no background flows were
+    /// registered. Like [`Simulation::shard_diag`], these describe the
+    /// engine, not the simulated network, so they stay outside the
+    /// byte-identity set.
+    pub fn fluid_diag(&self) -> Option<crate::fluid::FluidDiag> {
+        if self.fluid_diag.flows == 0 {
+            return None;
+        }
+        let mut diag = self.fluid_diag;
+        diag.updates_applied = match self.sharded.as_deref() {
+            Some(sh) => sh.fluid_applied(),
+            None => self.core.fluid_applied,
+        };
+        Some(diag)
     }
 
     /// Add an end host.
@@ -1669,6 +1779,7 @@ impl Simulation {
                 }
                 self.deliveries = deliveries;
             }
+            Event::FluidUpdate { link, bps } => self.core.apply_fluid_update(link, bps),
         }
         true
     }
@@ -1677,6 +1788,7 @@ impl Simulation {
     /// the clock to `limit`. Returns the final simulated time (`limit`,
     /// unless the clock was already past it).
     pub fn run_until(&mut self, limit: SimTime) -> SimTime {
+        self.seal_fluid();
         self.ensure_partitioned();
         if let Some(sh) = self.sharded.as_deref_mut() {
             return sh.run(limit, true);
@@ -1703,6 +1815,7 @@ impl Simulation {
     /// runaway guard), without force-advancing the clock. Returns the
     /// time of the last processed event.
     pub fn run_to_idle(&mut self, limit: SimTime) -> SimTime {
+        self.seal_fluid();
         self.ensure_partitioned();
         if let Some(sh) = self.sharded.as_deref_mut() {
             return sh.run(limit, false);
@@ -2228,5 +2341,74 @@ mod tests {
         // clock lands exactly on the limit.
         let t = sim.run_for(SimDuration::from_secs(1));
         assert_eq!(t, SimTime(1_000_000_000));
+    }
+
+    /// One Echoer ping/pong, optionally under a fluid background flow
+    /// occupying most of both access links.
+    fn fluid_run(fluid: bool) -> (SimTime, SimStats, Option<crate::fluid::FluidDiag>) {
+        let (mut sim, a, b) = two_hosts(6);
+        if fluid {
+            // 9 of 10 Mbit/s on both directions for the whole run.
+            for link in [LinkId(0), LinkId(1)] {
+                sim.add_fluid_flow(crate::fluid::FluidFlow {
+                    route: vec![link],
+                    schedule: crate::fluid::RateSchedule::constant(
+                        SimTime::ZERO,
+                        SimTime(20_000_000_000),
+                        9_000_000,
+                    ),
+                });
+            }
+        }
+        let b_rx = Arc::new(Mutex::new(Vec::new()));
+        sim.add_app(
+            a,
+            Box::new(Echoer {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                send_at_start: true,
+                received: Arc::new(Mutex::new(Vec::new())),
+            }),
+            Some(5000),
+            false,
+        );
+        sim.add_app(
+            b,
+            Box::new(Echoer {
+                peer: Ipv4Addr::new(10, 0, 0, 1),
+                send_at_start: false,
+                received: b_rx.clone(),
+            }),
+            Some(6000),
+            false,
+        );
+        sim.run_until(SimTime(10_000_000_000));
+        let arrival = b_rx.lock().unwrap()[0].0;
+        (arrival, sim.sim_stats(), sim.fluid_diag())
+    }
+
+    #[test]
+    fn fluid_background_slows_the_foreground_packet_path() {
+        let (clean, _, no_diag) = fluid_run(false);
+        let (contended, _, diag) = fluid_run(true);
+        assert!(no_diag.is_none(), "packet run reports no fluid diag");
+        let diag = diag.expect("hybrid run reports fluid diag");
+        assert_eq!(diag.flows, 2);
+        // Each link: share rises at t=0 and falls at t=20 s, but the
+        // fall lies beyond the run limit, so only 2 of 4 apply.
+        assert_eq!(diag.updates_scheduled, 4);
+        assert_eq!(diag.updates_applied, 2);
+        assert_eq!(diag.peak_link_fluid_bps, 9_000_000);
+        // 10× less residual capacity → serialisation takes 10× longer;
+        // the ping must arrive later under contention.
+        assert!(contended > clean, "{contended:?} vs {clean:?}");
+    }
+
+    #[test]
+    fn zero_fluid_flows_do_not_perturb_a_run() {
+        // Byte-for-byte: a hybrid-eligible run that registers no fluid
+        // flows schedules no events and counts nothing extra.
+        let (ta, sa, _) = fluid_run(false);
+        let (tb, sb, _) = fluid_run(false);
+        assert_eq!((ta, sa), (tb, sb));
     }
 }

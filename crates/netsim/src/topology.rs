@@ -12,10 +12,11 @@
 //! site behind a shared campus access router, and installs routes in
 //! both directions.
 
+use crate::fluid::{EngineKind, FluidFlow, RateSchedule};
 use crate::link::{LinkConfig, LinkId, NodeId};
 use crate::rng::SimRng;
 use crate::sim::Simulation;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use std::net::Ipv4Addr;
 
 /// Calibration constants for path sampling (§3.A, Figures 1 and 2).
@@ -263,6 +264,15 @@ pub struct ScaleConfig {
     pub send_interval: SimDuration,
     /// UDP payload size in bytes.
     pub payload_bytes: usize,
+    /// Long-lived background bulk flows pressuring the backbone ring,
+    /// server-to-next-server. Zero (the default) adds nothing at all,
+    /// so existing digests are untouched.
+    pub background_flows: usize,
+    /// How background flows are simulated: [`EngineKind::Packet`]
+    /// runs each as a real UDP sender, [`EngineKind::Hybrid`] lowers
+    /// them onto the fluid solver. Irrelevant when `background_flows`
+    /// is zero.
+    pub engine: EngineKind,
 }
 
 impl Default for ScaleConfig {
@@ -273,6 +283,8 @@ impl Default for ScaleConfig {
             packets_per_client: 40,
             send_interval: SimDuration::from_millis(50),
             payload_bytes: 400,
+            background_flows: 0,
+            engine: EngineKind::Packet,
         }
     }
 }
@@ -309,13 +321,27 @@ pub struct ScaleScenario {
     pub sinks: Vec<std::sync::Arc<std::sync::Mutex<ScaleSinkReport>>>,
     /// Total expected datagram sends (`clients * packets_per_client`).
     pub expected_sends: u64,
+    /// Aggregate totals absorbed by the background sinks. Stays zero
+    /// when `background_flows == 0` or under the hybrid engine (fluid
+    /// flows move rate, not datagrams).
+    pub background: std::sync::Arc<std::sync::Mutex<ScaleSinkReport>>,
+    /// Forward ring link of each group (router `g` → router `g+1`).
+    pub ring: Vec<LinkId>,
 }
 
 /// UDP port every scale sink listens on.
 pub const SCALE_SINK_PORT: u16 = 9000;
+/// UDP port the background bulk sinks listen on, kept off the
+/// foreground port so `sinks` totals stay foreground-only.
+pub const SCALE_BACKGROUND_PORT: u16 = 9001;
+/// Demand of one background bulk flow, in bits per second.
+pub const SCALE_BACKGROUND_DEMAND_BPS: u64 = 1_000_000;
+/// Payload of one background datagram under the packet engine.
+pub const SCALE_BACKGROUND_PAYLOAD: usize = 500;
 
 struct ScaleSource {
     dst: Ipv4Addr,
+    dst_port: u16,
     src_port: u16,
     remaining: u32,
     interval: SimDuration,
@@ -333,7 +359,7 @@ impl crate::sim::Application for ScaleSource {
         ctx.send_udp(
             self.src_port,
             self.dst,
-            SCALE_SINK_PORT,
+            self.dst_port,
             bytes::Bytes::from(vec![0u8; self.payload]),
         );
         self.remaining -= 1;
@@ -384,6 +410,8 @@ impl ScaleScenario {
         let mut routers = Vec::with_capacity(g_count);
         let mut servers = Vec::with_capacity(g_count);
         let mut server_addrs = Vec::with_capacity(g_count);
+        let mut server_ups = Vec::with_capacity(g_count);
+        let mut server_downs = Vec::with_capacity(g_count);
         for g in 0..g_count {
             let router = sim.add_router(
                 &format!("scale-g{g}-gw"),
@@ -398,12 +426,15 @@ impl ScaleScenario {
             routers.push(router);
             servers.push(server);
             server_addrs.push(server_addr);
+            server_ups.push(up);
+            server_downs.push(down);
         }
 
         // The ring itself: 5 ms T3 hops, clockwise default routes. The
         // 5 ms propagation dwarfs every access link, so these are the
         // links the shard partitioner cuts — and 5 ms of lookahead is
         // plenty of work per barrier window.
+        let mut ring = Vec::with_capacity(g_count);
         for g in 0..g_count {
             let next = (g + 1) % g_count;
             let (fwd, _back) = sim.add_duplex(
@@ -412,6 +443,7 @@ impl ScaleScenario {
                 LinkConfig::t3(SimDuration::from_millis(5)),
             );
             sim.core_mut().node_mut(routers[g]).default_route = Some(fwd);
+            ring.push(fwd);
         }
 
         // Clients: ethernet access with per-client propagation spread,
@@ -440,6 +472,7 @@ impl ScaleScenario {
                     client,
                     Box::new(ScaleSource {
                         dst: server_addrs[dst_group],
+                        dst_port: SCALE_SINK_PORT,
                         src_port: 20_000 + (i % 40_000) as u16,
                         remaining: config.packets_per_client,
                         interval: config.send_interval,
@@ -471,11 +504,75 @@ impl ScaleScenario {
             });
         }
 
+        // Background bulk population over the ring: flow `i` runs
+        // server `g` → server `g+1` (g = i mod groups) for the length
+        // of the send phase, starting on one of eight staggered
+        // offsets. Everything below is arithmetic in `i` — no RNG —
+        // and both engines see the same flow matrix; they differ only
+        // in whether it moves datagrams or solver rate.
+        let background = std::sync::Arc::new(std::sync::Mutex::new(ScaleSinkReport::default()));
+        if config.background_flows > 0 {
+            let end_ns = (interval_ns * u64::from(config.packets_per_client)).max(interval_ns);
+            let stagger_ns = (interval_ns / 8).max(1);
+            match config.engine {
+                EngineKind::Hybrid => {
+                    for i in 0..config.background_flows {
+                        let g = i % g_count;
+                        let start_ns = (i % 8) as u64 * stagger_ns;
+                        sim.add_fluid_flow(FluidFlow {
+                            route: vec![server_ups[g], ring[g], server_downs[(g + 1) % g_count]],
+                            schedule: RateSchedule::constant(
+                                SimTime(start_ns),
+                                SimTime(end_ns.max(start_ns + 1)),
+                                SCALE_BACKGROUND_DEMAND_BPS,
+                            ),
+                        });
+                    }
+                }
+                EngineKind::Packet => {
+                    for &server in &servers {
+                        sim.add_app(
+                            server,
+                            Box::new(ScaleSink {
+                                report: background.clone(),
+                            }),
+                            Some(SCALE_BACKGROUND_PORT),
+                            false,
+                        );
+                    }
+                    let gap_ns = (SCALE_BACKGROUND_PAYLOAD as u64 * 8 * 1_000_000_000)
+                        / SCALE_BACKGROUND_DEMAND_BPS;
+                    for i in 0..config.background_flows {
+                        let g = i % g_count;
+                        let start_ns = (i % 8) as u64 * stagger_ns;
+                        let remaining =
+                            ((end_ns.max(start_ns + 1) - start_ns) / gap_ns.max(1)).max(1);
+                        sim.add_app(
+                            servers[g],
+                            Box::new(ScaleSource {
+                                dst: server_addrs[(g + 1) % g_count],
+                                dst_port: SCALE_BACKGROUND_PORT,
+                                src_port: 30_000 + (i % 30_000) as u16,
+                                remaining: remaining.min(u64::from(u32::MAX)) as u32,
+                                interval: SimDuration::from_nanos(gap_ns.max(1)),
+                                first_after: SimDuration::from_nanos(start_ns),
+                                payload: SCALE_BACKGROUND_PAYLOAD,
+                            }),
+                            None,
+                            false,
+                        );
+                    }
+                }
+            }
+        }
+
         ScaleScenario {
             groups,
             sinks,
             expected_sends: (g_count * config.clients_per_group) as u64
                 * u64::from(config.packets_per_client),
+            background,
+            ring,
         }
     }
 
@@ -550,6 +647,7 @@ mod tests {
             packets_per_client: 5,
             send_interval: SimDuration::from_millis(20),
             payload_bytes: 200,
+            ..ScaleConfig::default()
         };
         let scenario = ScaleScenario::build(&mut sim, &config);
         sim.run_to_idle(crate::time::SimTime::ZERO + SimDuration::from_secs(30));
@@ -582,6 +680,7 @@ mod tests {
                         packets_per_client: 3,
                         send_interval: SimDuration::from_millis(10),
                         payload_bytes: 100,
+                        ..ScaleConfig::default()
                     },
                 );
                 sim.run_to_idle(crate::time::SimTime::ZERO + SimDuration::from_secs(10));
@@ -589,6 +688,62 @@ mod tests {
             })
             .collect();
         assert_eq!(totals[0], totals[1]);
+    }
+
+    fn background_config(engine: EngineKind, flows: usize) -> ScaleConfig {
+        ScaleConfig {
+            groups: 4,
+            clients_per_group: 4,
+            packets_per_client: 5,
+            send_interval: SimDuration::from_millis(20),
+            payload_bytes: 200,
+            background_flows: flows,
+            engine,
+        }
+    }
+
+    #[test]
+    fn hybrid_background_registers_fluid_flows() {
+        let mut sim = Simulation::new(7);
+        let scenario = ScaleScenario::build(&mut sim, &background_config(EngineKind::Hybrid, 12));
+        assert_eq!(scenario.ring.len(), 4);
+        sim.run_to_idle(crate::time::SimTime::ZERO + SimDuration::from_secs(30));
+        let diag = sim
+            .fluid_diag()
+            .expect("hybrid run should carry fluid diag");
+        assert_eq!(diag.flows, 12);
+        assert!(diag.updates_applied > 0, "shares must have been applied");
+        assert!(diag.peak_link_fluid_bps > 0);
+        // Foreground still delivers everything: fluid shares slow the
+        // ring but drop nothing.
+        assert_eq!(scenario.total_received().datagrams, scenario.expected_sends);
+        // No background datagrams exist under the hybrid engine.
+        assert_eq!(scenario.background.lock().unwrap().datagrams, 0);
+    }
+
+    #[test]
+    fn packet_background_moves_real_datagrams() {
+        let mut sim = Simulation::new(7);
+        let scenario = ScaleScenario::build(&mut sim, &background_config(EngineKind::Packet, 12));
+        sim.run_to_idle(crate::time::SimTime::ZERO + SimDuration::from_secs(30));
+        assert!(sim.fluid_diag().is_none(), "packet engine uses no solver");
+        let bg = scenario.background.lock().unwrap();
+        assert!(bg.datagrams > 0, "background senders must deliver");
+        assert_eq!(bg.bytes, bg.datagrams * SCALE_BACKGROUND_PAYLOAD as u64);
+        // Background stays off the foreground sinks entirely.
+        assert_eq!(scenario.total_received().datagrams, scenario.expected_sends);
+    }
+
+    #[test]
+    fn hybrid_with_zero_background_matches_packet_exactly() {
+        let run = |engine: EngineKind| {
+            let mut sim = Simulation::new(11);
+            let scenario = ScaleScenario::build(&mut sim, &background_config(engine, 0));
+            sim.run_to_idle(crate::time::SimTime::ZERO + SimDuration::from_secs(30));
+            assert!(sim.fluid_diag().is_none());
+            (sim.sim_stats().events_processed, scenario.total_received())
+        };
+        assert_eq!(run(EngineKind::Packet), run(EngineKind::Hybrid));
     }
 
     #[test]

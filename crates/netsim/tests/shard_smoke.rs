@@ -131,6 +131,7 @@ fn scale_scenario_matches_sequential() {
                 packets_per_client: 8,
                 send_interval: SimDuration::from_millis(25),
                 payload_bytes: 300,
+                ..ScaleConfig::default()
             },
         );
         sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(30));

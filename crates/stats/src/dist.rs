@@ -194,6 +194,11 @@ impl EmpiricalSampler {
         self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
     }
 
+    /// Mean of the underlying samples.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
     /// Number of underlying samples.
     pub fn len(&self) -> usize {
         self.sorted.len()

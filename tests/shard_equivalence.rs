@@ -127,6 +127,7 @@ fn sharded_matches_sequential_on_the_scale_scenario_for_every_seed() {
         packets_per_client: 10,
         send_interval: SimDuration::from_millis(30),
         payload_bytes: 300,
+        ..ScaleConfig::default()
     };
     for seed in [42u64, 7, 1003] {
         let seq = run_scale(&ScaleRunConfig {
@@ -192,6 +193,7 @@ fn more_shards_than_nodes_is_rejected_loudly() {
                 packets_per_client: 1,
                 send_interval: turb_netsim::SimDuration::from_millis(10),
                 payload_bytes: 100,
+                ..turb_netsim::topology::ScaleConfig::default()
             },
             // 2 groups x (1 client + router + server) = 6 nodes.
             shards: ShardKind::Sharded(500),
