@@ -479,6 +479,105 @@ pub fn scale(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Shared flag parsing for `fleet` and the bench fleet phase.
+fn fleet_config_of(flags: &Flags) -> Result<turbulence::FleetRunConfig, String> {
+    use turbulence::{ArrivalProcess, DurationDist, FleetRunConfig};
+    let mut config = FleetRunConfig::new(seed_of(flags)?);
+    if let Some(raw) = flags.get("sessions") {
+        config.sessions = raw.parse().map_err(|_| format!("bad --sessions {raw:?}"))?;
+        if config.sessions == 0 {
+            return Err("--sessions must be at least 1".into());
+        }
+    }
+    if let Some(raw) = flags.get("arrival") {
+        config.arrival = ArrivalProcess::parse(raw)?;
+    }
+    if let Some(raw) = flags.get("duration-dist") {
+        config.duration = DurationDist::parse(raw)?;
+    }
+    config.diurnal = flags.contains_key("diurnal");
+    if let Some(raw) = flags.get("groups") {
+        config.groups = raw.parse().map_err(|_| format!("bad --groups {raw:?}"))?;
+    }
+    if let Some(raw) = flags.get("wmp-permille") {
+        config.wmp_permille = raw
+            .parse()
+            .map_err(|_| format!("bad --wmp-permille {raw:?}"))?;
+    }
+    // For the fleet, `--background` is the background-class share of
+    // the population, per 1000 sessions.
+    if flags.contains_key("background") {
+        config.background_permille = background_of(flags)?;
+        if config.background_permille > 1000 {
+            return Err("--background is per 1000 sessions (0..=1000)".into());
+        }
+    }
+    config.shards = shards_of(flags)?;
+    config.engine = engine_of(flags)?;
+    config.threads = threads_of(flags)?;
+    config.lineage = flags.contains_key("lineage");
+    Ok(config)
+}
+
+/// `turbulence fleet`: a session population — Poisson/MMPP arrivals,
+/// heavy-tailed lifetimes — multiplexed over the scale ring, with the
+/// heavy-traffic figures printed and (when sharded) byte-identity
+/// against the sequential twin asserted.
+pub fn fleet(flags: &Flags) -> Result<(), String> {
+    use turbulence::population::run_fleet;
+    let config = fleet_config_of(flags)?;
+    let result = run_fleet(&config);
+    println!(
+        "fleet: {} sessions over {} groups | {:?} arrivals | {:?} lifetimes{} | {} engine",
+        result.sessions,
+        config.groups,
+        config.arrival,
+        config.duration,
+        if config.diurnal { " | diurnal" } else { "" },
+        config.engine.name(),
+    );
+    println!(
+        "fleet: {:>8.1} ms | {:>10} events | digest {:016x}",
+        result.wall_ns as f64 / 1e6,
+        result.events_processed,
+        result.digest,
+    );
+    println!(
+        "fleet: fg {}/{} datagrams delivered | bg {}/{} | loss fg {:.4} bg {:.4}",
+        result.fg_delivered,
+        result.fg_offered,
+        result.bg_delivered,
+        result.bg_offered,
+        1.0 - result.fg_delivered as f64 / result.fg_offered.max(1) as f64,
+        1.0 - result.bg_delivered as f64 / result.bg_offered.max(1) as f64,
+    );
+    if let Some(diag) = &result.diag {
+        print!("{}", render_shard_diag(diag));
+    }
+    if let Some(diag) = &result.fluid {
+        print!("{}", render_fluid_diag(diag));
+    }
+    // Sharded runs are checked against their sequential twin, the same
+    // byte-identity contract the scale command enforces.
+    if result.diag.is_some() {
+        let twin = run_fleet(&turbulence::FleetRunConfig {
+            shards: ShardKind::Sequential,
+            ..config.clone()
+        });
+        if twin.digest != result.digest {
+            return Err("sharded fleet run diverged from sequential".to_string());
+        }
+        println!("fleet: identical true (sequential twin digest matches)");
+    }
+    println!();
+    print!("{}", result.figures);
+    if flags.contains_key("metrics") {
+        println!();
+        print!("{}", result.metrics);
+    }
+    Ok(())
+}
+
 /// Pull `"key": <integer>` out of a previously written bench JSON.
 /// Hand-rolled like the writer below: the workspace deliberately
 /// carries no serde, and the file's shape is entirely our own.
@@ -680,6 +779,37 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     let hybrid_speedup = fluid_packet.wall_ns as f64 / fluid_hybrid.wall_ns.max(1) as f64;
     let fluid_ns = timer.elapsed_ns();
 
+    // Fleet phase: a session population over the ring — the
+    // heavy-traffic workload the ROADMAP aims at. Sequential and
+    // sharded back to back for byte-identity; the population's
+    // steady-state heap cost is bounded by the peak-RSS growth across
+    // the sequential run divided by the session count (an upper bound:
+    // the high-water mark only moves if the fleet outgrew every
+    // earlier phase).
+    let timer = ScopeTimer::start("bench_fleet", "bench");
+    let fleet_sessions: usize = match flags.get("sessions") {
+        Some(raw) => raw.parse().map_err(|_| format!("bad --sessions {raw:?}"))?,
+        None if quick => 10_000,
+        None => 100_000,
+    };
+    let fleet_config = turbulence::FleetRunConfig {
+        sessions: fleet_sessions,
+        ..turbulence::FleetRunConfig::new(seed)
+    };
+    let fleet_rss_before = turb_obs::peak_rss_bytes();
+    let fleet_seq = turbulence::run_fleet(&fleet_config);
+    let fleet_rss = turb_obs::peak_rss_bytes();
+    let fleet_shd = turbulence::run_fleet(&turbulence::FleetRunConfig {
+        shards: ShardKind::Sharded(fleet_config.groups as u16),
+        ..fleet_config
+    });
+    let fleet_identical = fleet_seq.digest == fleet_shd.digest;
+    let fleet_events_per_sec =
+        fleet_seq.events_processed.saturating_mul(1_000_000_000) / fleet_seq.wall_ns.max(1);
+    let fleet_heap_per_session = fleet_seq.heap_bytes_per_session;
+    let fleet_rss_growth = fleet_rss.saturating_sub(fleet_rss_before);
+    let fleet_ns = timer.elapsed_ns();
+
     let speedup = sequential_ns as f64 / parallel_ns.max(1) as f64;
     let scheduler_speedup = alternate_ns as f64 / sequential_ns.max(1) as f64;
     // Present only when a previous file existed to compare against.
@@ -695,7 +825,7 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     // fixed scheduler names, nothing needs escaping, and the workspace
     // deliberately carries no serde.
     let json = format!(
-        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"scheduler\": \"{}\",\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"schedulers_identical\": {schedulers_identical},\n  \"speedup\": {speedup:.3},\n  \"scheduler_speedup\": {scheduler_speedup:.3},{baseline_fields}\n  \"watch\": {{\n    \"series\": {watch_series_count},\n    \"windows\": {watch_windows},\n    \"memory_bytes\": {watch_memory_bytes}\n  }},\n  \"scale\": {{\n    \"events\": {},\n    \"shards\": {scale_shards},\n    \"cpus\": {cpus},\n    \"scale_sequential_ns\": {},\n    \"scale_sharded_ns\": {},\n    \"shard_speedup\": {shard_speedup:.3},\n    \"shards_identical\": {shards_identical},\n    \"exchange_reallocs\": {}\n  }},\n  \"fluid\": {{\n    \"background_flows\": {background_flows},\n    \"packet_engine_ns\": {},\n    \"hybrid_engine_ns\": {},\n    \"hybrid_speedup\": {hybrid_speedup:.3},\n    \"background_datagrams\": {},\n    \"solver_recomputes\": {},\n    \"updates_applied\": {}\n  }},\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"alternate\": {alternate_ns},\n    \"figures\": {figures_ns},\n    \"watch\": {watch_ns},\n    \"scale\": {scale_ns},\n    \"fluid\": {fluid_ns}\n  }}\n}}\n",
+        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"scheduler\": \"{}\",\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"schedulers_identical\": {schedulers_identical},\n  \"speedup\": {speedup:.3},\n  \"scheduler_speedup\": {scheduler_speedup:.3},{baseline_fields}\n  \"watch\": {{\n    \"series\": {watch_series_count},\n    \"windows\": {watch_windows},\n    \"memory_bytes\": {watch_memory_bytes}\n  }},\n  \"scale\": {{\n    \"events\": {},\n    \"shards\": {scale_shards},\n    \"cpus\": {cpus},\n    \"scale_sequential_ns\": {},\n    \"scale_sharded_ns\": {},\n    \"shard_speedup\": {shard_speedup:.3},\n    \"shards_identical\": {shards_identical},\n    \"exchange_reallocs\": {}\n  }},\n  \"fluid\": {{\n    \"background_flows\": {background_flows},\n    \"packet_engine_ns\": {},\n    \"hybrid_engine_ns\": {},\n    \"hybrid_speedup\": {hybrid_speedup:.3},\n    \"background_datagrams\": {},\n    \"solver_recomputes\": {},\n    \"updates_applied\": {}\n  }},\n  \"fleet\": {{\n    \"sessions\": {fleet_sessions},\n    \"events\": {},\n    \"events_per_sec\": {fleet_events_per_sec},\n    \"fleet_sequential_ns\": {},\n    \"fleet_sharded_ns\": {},\n    \"fleet_identical\": {fleet_identical},\n    \"peak_rss_bytes\": {fleet_rss},\n    \"rss_growth_bytes\": {fleet_rss_growth},\n    \"per_session_heap_bytes\": {fleet_heap_per_session}\n  }},\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"alternate\": {alternate_ns},\n    \"figures\": {figures_ns},\n    \"watch\": {watch_ns},\n    \"scale\": {scale_ns},\n    \"fluid\": {fluid_ns},\n    \"fleet\": {fleet_ns}\n  }}\n}}\n",
         scheduler.name(),
         configs.len(),
         scale_seq.events_processed,
@@ -707,6 +837,9 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         fluid_packet.background_datagrams,
         fluid_diag.recomputes,
         fluid_diag.updates_applied,
+        fleet_seq.events_processed,
+        fleet_seq.wall_ns,
+        fleet_shd.wall_ns,
     );
     std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
     // One trajectory point per bench run, appended so perf history
@@ -720,11 +853,12 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let point = format!(
-        "{{\"unix_secs\": {stamp}, \"seed\": {seed}, \"threads\": {threads}, \"quick\": {quick}, \"scheduler\": \"{}\", \"pair_runs\": {}, \"sequential_ns\": {sequential_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}, \"identical\": {identical}, \"watch_windows\": {watch_windows}, \"watch_memory_bytes\": {watch_memory_bytes}, \"cpus\": {cpus}, \"scale_sequential_ns\": {}, \"scale_sharded_ns\": {}, \"shard_speedup\": {shard_speedup:.3}, \"shards_identical\": {shards_identical}, \"background_flows\": {background_flows}, \"hybrid_speedup\": {hybrid_speedup:.3}}}\n",
+        "{{\"unix_secs\": {stamp}, \"seed\": {seed}, \"threads\": {threads}, \"quick\": {quick}, \"scheduler\": \"{}\", \"pair_runs\": {}, \"sequential_ns\": {sequential_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}, \"identical\": {identical}, \"watch_windows\": {watch_windows}, \"watch_memory_bytes\": {watch_memory_bytes}, \"cpus\": {cpus}, \"scale_sequential_ns\": {}, \"scale_sharded_ns\": {}, \"shard_speedup\": {shard_speedup:.3}, \"shards_identical\": {shards_identical}, \"background_flows\": {background_flows}, \"hybrid_speedup\": {hybrid_speedup:.3}, \"fleet_sessions\": {fleet_sessions}, \"fleet_ns\": {}, \"fleet_events_per_sec\": {fleet_events_per_sec}, \"fleet_identical\": {fleet_identical}, \"fleet_peak_rss_bytes\": {fleet_rss}}}\n",
         scheduler.name(),
         configs.len(),
         scale_seq.wall_ns,
         scale_shd.wall_ns,
+        fleet_seq.wall_ns,
     );
     {
         use std::io::Write as _;
@@ -774,6 +908,15 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         fluid_packet.background_datagrams,
         fluid_diag.updates_applied,
     );
+    println!(
+        "bench: fleet {} sessions sequential {:.2}s ({} events/s) vs sharded {:.2}s | identical {fleet_identical} | ~{} B heap/session (peak RSS {} MiB)",
+        fleet_sessions,
+        fleet_seq.wall_ns as f64 / 1e9,
+        fleet_events_per_sec,
+        fleet_shd.wall_ns as f64 / 1e9,
+        fleet_heap_per_session,
+        fleet_rss / (1024 * 1024),
+    );
     println!("bench: wrote {out} (+ trajectory point in {trajectory})");
     if let (true, Some((base_seq, base_runs))) = (gate, gate_baseline) {
         let current = sequential_ns as f64 / configs.len().max(1) as f64;
@@ -819,6 +962,9 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     }
     if !shards_identical {
         return Err("sharded scale run diverged from sequential".to_string());
+    }
+    if !fleet_identical {
+        return Err("sharded fleet run diverged from sequential".to_string());
     }
     Ok(())
 }

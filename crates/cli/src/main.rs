@@ -33,6 +33,11 @@
 //!                       [--clients N] [--groups N]    sequential vs sharded, with
 //!                       [--packets N] [--background N] byte-identity check + speedup;
 //!                       [--engine packet|hybrid]      fluid background population
+//! turbulence fleet      [--sessions N] [--arrival A]  session population over the
+//!                       [--duration-dist D] [--diurnal] scale ring: Poisson/MMPP
+//!                       [--groups N] [--background N] arrivals, Pareto lifetimes,
+//!                       [--engine E] [--shards N]     heavy-traffic figures
+//!                       [--threads N] [--lineage]
 //! ```
 
 use std::collections::HashMap;
@@ -64,6 +69,9 @@ COMMANDS:
                 bandwidth, loss by cause, queue depth, buffer occupancy
     scale       run the replicated-client scale scenario sequentially and
                 sharded, assert byte-identity, report the speedup
+    fleet       multiplex a session population (Poisson/MMPP arrivals,
+                heavy-tailed lifetimes) over the scale ring and print
+                the heavy-traffic figures
     help        print this text
 
 OPTIONS (per command):
@@ -111,8 +119,22 @@ OPTIONS (per command):
     --jsonl FILE        watch: export the raw series as JSON Lines
     --csv FILE          watch: export the long-format per-window CSV
     --clients N         scale: client hosts per group (default 256)
-    --groups N          scale: site groups on the ring (default 8)
+    --groups N          scale/fleet: site groups on the ring (default 8)
     --packets N         scale: datagrams each client sends (default 40)
+    --sessions N        fleet: population size (default 1000);
+                        bench: fleet-phase population (default 100000,
+                        or 10000 with --quick)
+    --arrival A         fleet: arrival process, poisson:RATE or
+                        mmpp:FAST,SLOW,DWELL in sessions/s (default
+                        poisson:200)
+    --duration-dist D   fleet: session lifetimes, pareto:XM,ALPHA or
+                        fixed:SECS (default pareto:2,1.5)
+    --diurnal           fleet: thin arrivals by the compressed diurnal
+                        load curve (one cycle per 10 simulated minutes)
+    --wmp-permille N    fleet: MediaPlayer share per 1000 sessions
+                        (default 500; the rest are RealPlayer-like)
+    --lineage           fleet: record packet lineage during the run
+                        (figures are identical either way)
     --engine E          corpus/pair/obs/figures/watch/scale/bench: how
                         background flows are simulated, packet | hybrid
                         (default packet; hybrid lowers them onto the
@@ -121,7 +143,8 @@ OPTIONS (per command):
                         byte-identical to the packet engine)
     --background N      corpus/pair/obs/figures/watch/scale/bench:
                         background flows sharing the path (default 0;
-                        scale: bulk flows over the backbone ring)
+                        scale: bulk flows over the backbone ring;
+                        fleet: background-class sessions per 1000)
     --iterations N      check: cases per property (default 1000)
     --props a,b         check: restrict to these properties
     --replay FILE       check: re-run one stored .case file instead
@@ -131,7 +154,7 @@ OPTIONS (per command):
 }
 
 /// Flags that stand alone (no value); parsed as `flag=true`.
-const BOOLEAN_FLAGS: &[&str] = &["telemetry", "quick", "corpus", "gate"];
+const BOOLEAN_FLAGS: &[&str] = &["telemetry", "quick", "corpus", "gate", "diurnal", "lineage"];
 
 /// Flags that take a value when one follows but also stand alone:
 /// `obs --metrics` prints the full exposition, while
@@ -287,6 +310,7 @@ fn run() -> Result<(), String> {
         "timeline" => commands::timeline(&flags),
         "watch" => commands::watch(&flags),
         "scale" => commands::scale(&flags),
+        "fleet" => commands::fleet(&flags),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())
@@ -401,7 +425,7 @@ mod tests {
     fn usage_names_every_command() {
         for command in [
             "corpus", "pair", "obs", "figures", "bench", "flowgen", "friendly", "ping", "check",
-            "timeline", "watch", "scale",
+            "timeline", "watch", "scale", "fleet",
         ] {
             assert!(usage().contains(command), "{command} missing from usage");
         }

@@ -11,6 +11,9 @@
 //!   a worker pool.
 //! * [`parallel`] — the dependency-free worker pool behind the corpus
 //!   runner: deterministic fan-out/merge over std scoped threads.
+//! * [`population`] — fleet-scale session populations: Poisson/MMPP
+//!   arrivals with heavy-tailed lifetimes multiplexed over the scale
+//!   ring, rendered into heavy-traffic figures.
 //! * [`analysis`] — per-stream views over a run's capture (sizes,
 //!   interarrivals, fragment groups, tracker logs).
 //! * [`figures`] — `fig01` … `fig15` plus `sec4`: the exact rows and
@@ -33,6 +36,7 @@ pub mod experiment;
 pub mod figures;
 pub mod followup;
 pub mod parallel;
+pub mod population;
 pub mod report;
 pub mod runner;
 pub mod scale;
@@ -40,6 +44,9 @@ pub mod tables;
 pub mod telemetry;
 
 pub use experiment::{run_pair, PairRunConfig, PairRunResult};
+pub use population::{
+    generate_sessions, run_fleet, ArrivalProcess, DurationDist, FleetRunConfig, FleetRunResult,
+};
 pub use runner::{run_corpus, run_corpus_parallel, CorpusResult};
 pub use scale::{run_scale, ScaleRunConfig, ScaleRunResult};
 pub use telemetry::RunTelemetry;

@@ -84,6 +84,41 @@ pub fn rate_schedule_from_packets(
     RateSchedule::from_points(points)
 }
 
+/// Lower a whole session population's background class to one
+/// piecewise-constant curve: each session contributes `rate_bps` from
+/// its start to its end, with both edges quantised to `epoch`
+/// boundaries (starts rounded down, ends rounded up) so ten thousand
+/// sessions collapse into O(active epochs) solver breakpoints instead
+/// of two per session. The sweep is a plain delta map, so the result
+/// is independent of session order.
+pub fn aggregate_session_schedule(
+    sessions: &[(SimTime, SimTime, u64)],
+    epoch: SimDuration,
+) -> RateSchedule {
+    let epoch_ns = epoch.as_nanos().max(1);
+    let mut deltas: std::collections::BTreeMap<u64, i128> = std::collections::BTreeMap::new();
+    for &(start, end, bps) in sessions {
+        if end.as_nanos() <= start.as_nanos() || bps == 0 {
+            continue;
+        }
+        let lo = start.as_nanos() / epoch_ns * epoch_ns;
+        let hi = end.as_nanos().div_ceil(epoch_ns) * epoch_ns;
+        *deltas.entry(lo).or_insert(0) += bps as i128;
+        *deltas.entry(hi).or_insert(0) -= bps as i128;
+    }
+    let mut points: Vec<(SimTime, u64)> = Vec::new();
+    let mut level: i128 = 0;
+    for (at, delta) in deltas {
+        level += delta;
+        debug_assert!(level >= 0, "session deltas must never go negative");
+        let bps = level.max(0) as u64;
+        if points.last().map(|&(_, r)| r) != Some(bps) {
+            points.push((SimTime(at), bps));
+        }
+    }
+    RateSchedule::from_points(points)
+}
+
 /// Lower a fitted model straight to a registrable [`FluidFlow`] over
 /// `route`.
 pub fn fluid_flow_from_model(
@@ -193,6 +228,34 @@ mod tests {
             mid > steady / 2 && mid < steady * 2,
             "mid-flow rate {mid} vs steady {steady}"
         );
+    }
+
+    #[test]
+    fn aggregate_schedule_sums_overlapping_sessions() {
+        let sec = |s: u64| SimTime(s * 1_000_000_000);
+        let sessions = vec![
+            (sec(0), sec(10), 100_000u64),
+            (sec(5), sec(15), 50_000),
+            // Sub-epoch session: still counts for one full epoch.
+            (SimTime(20_100_000_000), SimTime(20_200_000_000), 30_000),
+            // Degenerate and zero-rate rows are ignored.
+            (sec(3), sec(3), 999_999),
+            (sec(3), sec(4), 0),
+        ];
+        let s = aggregate_session_schedule(&sessions, SimDuration::from_secs(1));
+        assert_eq!(s.demand_at(sec(2)), 100_000);
+        assert_eq!(s.demand_at(sec(7)), 150_000);
+        assert_eq!(s.demand_at(sec(12)), 50_000);
+        assert_eq!(s.demand_at(sec(16)), 0);
+        assert_eq!(s.demand_at(SimTime(20_500_000_000)), 30_000);
+        assert_eq!(s.demand_at(sec(21)), 0);
+        // Order independence: reversed input, identical curve.
+        let mut rev = sessions.clone();
+        rev.reverse();
+        let r = aggregate_session_schedule(&rev, SimDuration::from_secs(1));
+        for t in [0u64, 5, 7, 12, 16, 20, 21] {
+            assert_eq!(s.demand_at(sec(t)), r.demand_at(sec(t)), "t={t}");
+        }
     }
 
     #[test]

@@ -35,6 +35,10 @@
 //! * [`tools`] — `ping` and `tracert` as simulated applications.
 //! * [`tcp`] — a sans-IO Reno TCP (handshake, retransmission, fast
 //!   recovery) for the paper's §VI TCP-friendliness follow-up.
+//! * [`fleet`] — session-population multiplexing over the scale ring:
+//!   one driver app per group walks a table of compact
+//!   [`fleet::SessionSpec`] rows, so 10⁵–10⁶ churning sessions cost a
+//!   few dozen bytes each instead of a host and an app.
 //!
 //! ```
 //! use turb_netsim::prelude::*;
@@ -56,6 +60,7 @@
 //! ```
 
 pub mod fault;
+pub mod fleet;
 pub mod fluid;
 pub mod link;
 pub mod node;
@@ -71,6 +76,7 @@ pub mod topology;
 pub mod wheel;
 
 pub use fault::{FaultInjector, JitterModel, LossModel};
+pub use fleet::{FleetLedger, FleetScenario, SessionSpec, FLEET_WINDOW_NS};
 pub use fluid::{EngineKind, FlowClass, FluidDiag, FluidFlow, RateSchedule};
 pub use link::{Link, LinkConfig, LinkId, LinkStats, NodeId};
 pub use node::{AppId, Node, NodeKind, NodeStats};

@@ -81,6 +81,11 @@ pub struct LinkStats {
     pub dropped_red: u64,
     /// Packets dropped by the fault injector.
     pub dropped_fault: u64,
+    /// High-water mark of the transmit queue, in bytes (backlog plus
+    /// the packet being admitted). Deterministic sim state like every
+    /// other counter here — a link's transmits happen in one shard
+    /// domain in event order — so it is safe inside the identity set.
+    pub peak_backlog_bytes: u64,
 }
 
 /// A simplex link. Duplex connectivity is modelled as a pair of links.
@@ -212,6 +217,7 @@ impl Link {
         self.next_free = done;
         self.stats.tx_packets += 1;
         self.stats.tx_bytes += bytes as u64;
+        self.stats.peak_backlog_bytes = self.stats.peak_backlog_bytes.max((backlog + bytes) as u64);
         if self.fault.should_drop(&mut self.rng) {
             // The packet consumed transmit bandwidth but is lost in
             // flight; nothing arrives.
@@ -325,6 +331,53 @@ mod tests {
         // Share withdrawn: configured rate restored exactly.
         l.fluid_bps = 0;
         assert_eq!(l.effective_rate_bps(), 8_000_000);
+    }
+
+    #[test]
+    fn saturated_trickle_keeps_sub_100bps_links_alive() {
+        // Regression guard for the residual floor on low-capacity
+        // links: below 100 bit/s the 1%-of-capacity floor truncates to
+        // zero in u64, and a fully fluid-saturated link would then
+        // hand a 0 bit/s rate to `SimDuration::transmission`, which
+        // asserts. The `.max(1)` clamp keeps the trickle path alive.
+        let mut l = link(50, 0, 1 << 20);
+        l.fluid_bps = 50;
+        assert_eq!(l.effective_rate_bps(), 1);
+        // Any partial saturation of a sub-100 bps link floors at 1 too.
+        l.fluid_bps = 49;
+        assert_eq!(l.effective_rate_bps(), 1);
+        l.fluid_bps = u64::MAX;
+        assert_eq!(l.effective_rate_bps(), 1);
+        // The packet still serialises (very slowly) instead of
+        // panicking: 10 bytes at 1 bit/s is 80 s on the wire.
+        match l.transmit(SimTime::ZERO, 10) {
+            TxOutcome::Deliver { arrival } => {
+                assert_eq!(arrival, SimTime::ZERO + SimDuration::from_secs(80));
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        // backlog_bytes against the 1 bps residual stays finite/exact.
+        assert_eq!(l.backlog_bytes(SimTime::ZERO), 10);
+        // Share withdrawn: the configured rate comes back untouched.
+        l.fluid_bps = 0;
+        assert_eq!(l.effective_rate_bps(), 50);
+    }
+
+    #[test]
+    fn peak_backlog_tracks_the_queue_high_water_mark() {
+        let mut l = link(8_000_000, 0, 1 << 20);
+        assert_eq!(l.stats.peak_backlog_bytes, 0);
+        l.transmit(SimTime::ZERO, 1000);
+        l.transmit(SimTime::ZERO, 1000);
+        assert_eq!(l.stats.peak_backlog_bytes, 2000);
+        // Draining does not lower the high-water mark...
+        l.transmit(SimTime(2_000_000), 500);
+        assert_eq!(l.stats.peak_backlog_bytes, 2000);
+        // ...and rejected packets never raise it.
+        let mut tiny = link(8_000, 0, 1500);
+        tiny.transmit(SimTime::ZERO, 1000);
+        assert_eq!(tiny.transmit(SimTime::ZERO, 1000), TxOutcome::QueueFull);
+        assert_eq!(tiny.stats.peak_backlog_bytes, 1000);
     }
 
     #[test]

@@ -424,6 +424,71 @@ mod tests {
     }
 
     #[test]
+    fn double_insert_at_the_horizon_boundary_keeps_heap_order() {
+        // Two events beyond the 4-level horizon at the *same* instant,
+        // landing exactly on the horizon-aligned tick boundary. Both
+        // take the overflow heap; the (time, seq) tie must break the
+        // same way the reference heap breaks it, on both paths that
+        // bring overflow entries back:
+        //
+        // 1. The empty-wheel jump (`advance` with all levels empty).
+        let boundary = HORIZON_TICKS * TICK_NS;
+        for flip in [false, true] {
+            let mut wheel = TimingWheel::new();
+            let mut items = vec![(boundary, 0u64, 0u32), (boundary, 1, 1)];
+            if flip {
+                items.reverse();
+            }
+            for &(t, s, v) in &items {
+                wheel.push(SimTime(t), s, v);
+            }
+            assert_eq!(wheel.stats().overflow_events, 2);
+            assert_eq!(drain(&mut wheel), heap_order(items), "flip = {flip}");
+        }
+
+        // 2. The era-rollover sweep: the wheel walks eras (levels
+        //    still occupied) across a horizon-aligned boundary and
+        //    sweeps the pair back in mid-walk.
+        let mut wheel = TimingWheel::new();
+        let mut items = Vec::new();
+        // Seed entry moves current_tick off zero so later pushes can
+        // file wheel entries beyond the first horizon multiple.
+        items.push((300 * TICK_NS, 0u64, 0u32));
+        wheel.push(SimTime(300 * TICK_NS), 0, 0);
+        assert_eq!(wheel.pop(), Some((SimTime(300 * TICK_NS), 0, 0)));
+        // A wheel-resident entry past the boundary keeps the levels
+        // occupied, forcing the walk (not the jump) across it...
+        let in_wheel = (HORIZON_TICKS + 100) * TICK_NS;
+        // ...while the duplicate-time pair sits exactly one horizon
+        // away from current_tick: delta == HORIZON_TICKS overflows.
+        let pair_at = (HORIZON_TICKS + 300) * TICK_NS;
+        let tail = [(in_wheel, 1u64, 1u32), (pair_at, 2, 2), (pair_at, 3, 3)];
+        for &(t, s, v) in &tail {
+            wheel.push(SimTime(t), s, v);
+        }
+        items.extend_from_slice(&tail);
+        assert_eq!(wheel.stats().overflow_events, 2);
+        let mut expected = heap_order(items);
+        expected.remove(0); // the seed was already popped
+        assert_eq!(drain(&mut wheel), expected);
+
+        // Degenerate duplicate: the engine guarantees unique seqs, but
+        // a literal (time, seq) collision at the boundary must still
+        // surface both entries with the right key.
+        let mut wheel = TimingWheel::new();
+        wheel.push(SimTime(boundary), 7, 10u32);
+        wheel.push(SimTime(boundary), 7, 11);
+        let popped = drain(&mut wheel);
+        assert_eq!(popped.len(), 2);
+        for &(t, s, _) in &popped {
+            assert_eq!((t, s), (boundary, 7));
+        }
+        let mut values: Vec<u32> = popped.iter().map(|&(_, _, v)| v).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![10, 11]);
+    }
+
+    #[test]
     fn interleaved_push_pop_preserves_heap_order() {
         // Mimic the simulator: pop one event, schedule a few more
         // relative to it, repeat. Compare against a real BinaryHeap.

@@ -154,6 +154,150 @@ fn scale_scenario_matches_sequential() {
 }
 
 #[test]
+fn isolated_node_at_max_shards_yields_an_empty_domain_without_stalling() {
+    // `--shards N` is accepted up to the node count. At exactly the
+    // node count with an isolated (link-less, app-less) node, that
+    // node becomes a shard domain that never has a single event: its
+    // mailbox publishes no next_time at every barrier and must simply
+    // be skipped by the coordinator — no stall, no lookahead collapse,
+    // and results byte-identical to a sequential run.
+    use std::net::Ipv4Addr;
+    let b_addr = Ipv4Addr::new(10, 0, 0, 2);
+    let run = |shards: ShardKind| {
+        let mut sim = Simulation::new(13);
+        let mut rng = SimRng::new(13);
+        sim.enable_telemetry();
+        sim.set_shards(shards);
+        let a = sim.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
+        let b = sim.add_host("b", b_addr);
+        // Positive propagation so the cut has real lookahead.
+        let (ab, ba) = sim.add_duplex(a, b, LinkConfig::ethernet_10m(SimDuration::from_millis(2)));
+        sim.core_mut().node_mut(a).default_route = Some(ab);
+        sim.core_mut().node_mut(b).default_route = Some(ba);
+        // The isolated node: no links, no apps, never any events.
+        sim.add_host("island", Ipv4Addr::new(10, 0, 0, 3));
+        let report = tools::spawn_ping(
+            &mut sim,
+            a,
+            b_addr,
+            8,
+            SimDuration::from_millis(50),
+            SimDuration::ZERO,
+            &mut rng,
+        );
+        sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(5));
+        let mut registry = MetricsRegistry::new();
+        sim.collect_metrics(&mut registry);
+        let received = report.lock().unwrap().received;
+        (
+            received,
+            sim.sim_stats().events_processed,
+            registry.render_text(),
+            sim.shard_diag(),
+        )
+    };
+    let seq = run(ShardKind::Sequential);
+    assert_eq!(seq.0, 8, "all pings must come back");
+    // 3 shards over 3 nodes: a, b, and the island each get a domain.
+    let shd = run(ShardKind::Sharded(3));
+    assert_eq!(seq.0, shd.0, "ping deliveries diverge");
+    assert_eq!(seq.1, shd.1, "events_processed diverges");
+    assert_eq!(seq.2, shd.2, "metrics diverge");
+    let diag = shd.3.expect("sharded run must expose diagnostics");
+    assert_eq!(diag.per_domain.len(), 3);
+    assert!(
+        diag.lookahead_ns >= 2_000_000,
+        "cut lookahead is the 2 ms link"
+    );
+    let empties = diag
+        .per_domain
+        .iter()
+        .filter(|d| d.events_processed == 0)
+        .count();
+    assert_eq!(empties, 1, "exactly the island domain sees zero events");
+    assert!(diag.transits > 0, "pings cross the a↔b cut");
+}
+
+/// A one-node app that just burns a chain of timers — no network.
+struct TickApp {
+    remaining: u32,
+    fired: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Application for TickApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.remaining > 0 {
+            ctx.set_timer_after(SimDuration::from_millis(10), 0);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        self.fired
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            ctx.set_timer_after(SimDuration::from_millis(10), 0);
+        }
+    }
+}
+
+#[test]
+fn linkless_partition_with_unbounded_lookahead_terminates() {
+    // No links at all: every node is its own domain, nothing is cut,
+    // and the lookahead is unbounded (u64::MAX). The window must clamp
+    // to the run horizon instead of overflowing or spinning, and
+    // domains whose node has no app stay empty throughout.
+    use std::net::Ipv4Addr;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let run = |shards: ShardKind| {
+        let mut sim = Simulation::new(17);
+        sim.enable_telemetry();
+        sim.set_shards(shards);
+        let fired = Arc::new(AtomicU64::new(0));
+        for i in 0..4u8 {
+            let node = sim.add_host(&format!("n{i}"), Ipv4Addr::new(10, 1, 0, i + 1));
+            // Nodes 0 and 2 tick; 1 and 3 are entirely idle domains.
+            if i % 2 == 0 {
+                sim.add_app(
+                    node,
+                    Box::new(TickApp {
+                        remaining: 20,
+                        fired: fired.clone(),
+                    }),
+                    None,
+                    false,
+                );
+            }
+        }
+        sim.run_to_idle(SimTime::ZERO + SimDuration::from_secs(5));
+        (
+            fired.load(Ordering::Relaxed),
+            sim.sim_stats().events_processed,
+            sim.shard_diag(),
+        )
+    };
+    let seq = run(ShardKind::Sequential);
+    assert_eq!(seq.0, 40, "both tickers run to completion");
+    let shd = run(ShardKind::Sharded(4));
+    assert_eq!(seq.0, shd.0);
+    assert_eq!(seq.1, shd.1, "events_processed diverges");
+    let diag = shd.2.expect("sharded run must expose diagnostics");
+    assert_eq!(diag.per_domain.len(), 4);
+    assert_eq!(
+        diag.lookahead_ns,
+        u64::MAX,
+        "no cut links means unbounded lookahead"
+    );
+    assert_eq!(diag.transits, 0);
+    let empties = diag
+        .per_domain
+        .iter()
+        .filter(|d| d.events_processed == 0)
+        .count();
+    assert_eq!(empties, 2, "app-less nodes are zero-event domains");
+}
+
+#[test]
 fn diag_reports_the_partition() {
     let mut sim = Simulation::new(7);
     let mut rng = SimRng::new(7);

@@ -242,6 +242,28 @@ impl ScopeTimer {
     }
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where the proc filesystem is
+/// unavailable. Host-machine state like wall-clock time: bench
+/// reporting only, never part of figure data.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +312,15 @@ mod tests {
         let mut b = Obs::enabled();
         b.trace_with(9, Severity::Info, "link", "link:1", || "tx".to_string());
         assert_eq!(a.trace_jsonl(), b.trace_jsonl());
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        // The bench harness records this; on any Linux host it must
+        // read a real high-water mark.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0);
+        }
     }
 
     #[test]

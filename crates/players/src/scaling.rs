@@ -59,6 +59,20 @@ impl RateLadder {
     }
 }
 
+/// The per-player encoding ladders a fleet session draws its nominal
+/// rate from, spanning the paper's Table 1 clip encodings: Windows
+/// Media clips from 28.8 Kbit/s up to 1128 Kbit/s, RealPlayer
+/// SureStream tiers from 20 Kbit/s up to 637 Kbit/s. Population
+/// harnesses index these with a seeded draw so the wmp/real mix skews
+/// exactly like the measured clip corpus.
+pub fn session_ladder(wmp: bool) -> RateLadder {
+    if wmp {
+        RateLadder::new(vec![1128.0, 548.0, 282.0, 109.0, 56.0, 28.8])
+    } else {
+        RateLadder::new(vec![637.0, 284.0, 150.0, 80.0, 44.0, 20.0])
+    }
+}
+
 /// Decision thresholds for the scaler.
 #[derive(Debug, Clone, Copy)]
 pub struct ScalingPolicy {
@@ -164,6 +178,18 @@ mod tests {
         assert_eq!(ladder.rate(0), 300.0);
         assert!(ladder.rate(ladder.len() - 1) < 56.0);
         assert!(ladder.len() >= 3);
+    }
+
+    #[test]
+    fn session_ladders_span_the_paper_encodings() {
+        let wmp = session_ladder(true);
+        let real = session_ladder(false);
+        assert_eq!(wmp.rate(0), 1128.0);
+        assert_eq!(wmp.rate(wmp.len() - 1), 28.8);
+        assert_eq!(real.rate(0), 637.0);
+        assert_eq!(real.rate(real.len() - 1), 20.0);
+        assert_eq!(wmp.len(), 6);
+        assert_eq!(real.len(), 6);
     }
 
     #[test]
