@@ -42,12 +42,14 @@ pub fn corpus(flags: &Flags) -> Result<(), String> {
     };
     let engine = engine_of(flags)?;
     let background = background_of(flags)?;
+    let progress = flags.contains_key("progress");
     for config in &mut configs {
         config.telemetry = telemetry;
         config.scheduler = scheduler;
         config.shards = shards;
         config.engine = engine;
         config.background_flows = background;
+        config.progress = progress;
     }
     let result = runner::run_configs_parallel(&configs, threads);
     println!(
@@ -226,12 +228,20 @@ pub fn obs(flags: &Flags) -> Result<(), String> {
     config.shards = shards_of(flags)?;
     config.engine = engine_of(flags)?;
     config.background_flows = background_of(flags)?;
+    if flags.contains_key("rollups") {
+        config = config.with_sessions();
+    }
+    config.progress = flags.contains_key("progress");
     let result = turbulence::run_pair(&config);
     let telemetry = result
         .telemetry
         .as_ref()
         .expect("telemetry was requested for this run");
     println!("{}", telemetry.report.render_table());
+    if let Some(sessions) = &telemetry.sessions {
+        println!("per-class session QoE (rollups):");
+        print!("{}", sessions.summary_table());
+    }
     let sched = telemetry.sched;
     println!(
         "  scheduler       {:>12} ({} slots touched / {} cascades / {} overflow entries)",
@@ -403,15 +413,18 @@ pub fn scale(flags: &Flags) -> Result<(), String> {
         .map(|n| n.get())
         .unwrap_or(1);
 
+    let progress = flags.contains_key("progress");
     let sequential = run_scale(&ScaleRunConfig {
         seed,
         scenario: scenario.clone(),
         shards: ShardKind::Sequential,
+        progress,
     });
     let sharded = run_scale(&ScaleRunConfig {
         seed,
         scenario: scenario.clone(),
         shards: ShardKind::Sharded(shard_n),
+        progress,
     });
     let identical = sequential.digest == sharded.digest;
     let speedup = sequential.wall_ns as f64 / sharded.wall_ns.max(1) as f64;
@@ -459,6 +472,7 @@ pub fn scale(flags: &Flags) -> Result<(), String> {
                 ..scenario.clone()
             },
             shards: ShardKind::Sequential,
+            progress: false,
         });
         let hybrid_speedup = packet_twin.wall_ns as f64 / sequential.wall_ns.max(1) as f64;
         println!(
@@ -516,6 +530,16 @@ fn fleet_config_of(flags: &Flags) -> Result<turbulence::FleetRunConfig, String> 
     config.engine = engine_of(flags)?;
     config.threads = threads_of(flags)?;
     config.lineage = flags.contains_key("lineage");
+    config.rollups = flags.contains_key("rollups");
+    if let Some(raw) = flags.get("sample-permille") {
+        config.sample_permille = raw
+            .parse()
+            .map_err(|_| format!("bad --sample-permille {raw:?}"))?;
+        if config.sample_permille > 1000 {
+            return Err("--sample-permille is per 1000 sessions (0..=1000)".into());
+        }
+    }
+    config.progress = flags.contains_key("progress");
     Ok(config)
 }
 
@@ -571,9 +595,272 @@ pub fn fleet(flags: &Flags) -> Result<(), String> {
     }
     println!();
     print!("{}", result.figures);
+    if let Some(dump) = &result.rollups {
+        println!("\n## per-class session QoE (rollups)");
+        print!("{}", dump.summary_table());
+    }
     if flags.contains_key("metrics") {
         println!();
         print!("{}", result.metrics);
+    }
+    Ok(())
+}
+
+/// `turbulence sessions`: the fleet-scale QoE view. Runs the fleet
+/// scenario with rollups forced on and renders the per-class summary,
+/// per-class QoE CDFs (startup, rebuffer, loss, goodput), and the
+/// top-K worst sessions under a composable `--by` badness key.
+/// `--session ID` drills into a sampled session's lineage timeline;
+/// `--jsonl`/`--csv` export the full rollup table deterministically.
+pub fn sessions(flags: &Flags) -> Result<(), String> {
+    use turb_obs::lineage::{SpanOutcome, Stage};
+    use turb_obs::BadnessKey;
+    use turb_stats::Cdf;
+    use turbulence::population::run_fleet;
+
+    let mut config = fleet_config_of(flags)?;
+    config.rollups = true;
+    let by = match flags.get("by") {
+        None => BadnessKey::default(),
+        Some(raw) => BadnessKey::parse(raw)?,
+    };
+    let top: usize = match flags.get("top") {
+        None => 10,
+        Some(raw) => raw.parse().map_err(|_| format!("bad --top {raw:?}"))?,
+    };
+    let drill: Option<u32> = match flags.get("session") {
+        None => None,
+        Some(raw) => Some(raw.parse().map_err(|_| format!("bad --session {raw:?}"))?),
+    };
+
+    let result = run_fleet(&config);
+    let dump = result
+        .rollups
+        .as_ref()
+        .expect("rollups are forced on for this command");
+
+    // Exports first: the files are the machine-readable contract; the
+    // rendering below is for humans.
+    if let Some(path) = flags.get("jsonl") {
+        std::fs::write(path, dump.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("sessions: rollup JSONL written to {path}");
+    }
+    if let Some(path) = flags.get("csv") {
+        std::fs::write(path, dump.to_csv()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("sessions: rollup CSV written to {path}");
+    }
+
+    // Rollups are accumulated at event time from the same callbacks
+    // that feed the always-on counters, so they must reconcile 1:1.
+    let totals = dump.totals();
+    if totals.datagrams_sent != result.fg_offered + result.bg_offered {
+        return Err(format!(
+            "rollups sent {} datagrams but the offered-load counters say {}",
+            totals.datagrams_sent,
+            result.fg_offered + result.bg_offered,
+        ));
+    }
+    if totals.datagrams_delivered != result.fg_delivered + result.bg_delivered {
+        return Err(format!(
+            "rollups delivered {} datagrams but the ledger says {}",
+            totals.datagrams_delivered,
+            result.fg_delivered + result.bg_delivered,
+        ));
+    }
+    if dump.unknown_session_events != 0 {
+        return Err(format!(
+            "{} events carried an unregistered session id",
+            dump.unknown_session_events,
+        ));
+    }
+
+    println!(
+        "sessions: {} sessions | {:>8.1} ms | digest {:016x} | rollups {} KiB ({:.1} B/session) | counters reconcile 1:1",
+        result.sessions,
+        result.wall_ns as f64 / 1e6,
+        result.digest,
+        result.session_memory_bytes / 1024,
+        result.session_memory_bytes as f64 / result.sessions.max(1) as f64,
+    );
+    match &result.lineage {
+        Some(lin) => {
+            let status = if lin.dropped == 0 {
+                "recorder never evicted".to_string()
+            } else {
+                format!("recorder evicted {} events", lin.dropped)
+            };
+            println!(
+                "sessions: sampled lineage on {} spans / {} events ({}‰ of sessions, seed-keyed) | {status}",
+                lin.origins.len(),
+                lin.events.len(),
+                if config.lineage { 1000 } else { config.sample_permille },
+            );
+            if lin.dropped > 0 {
+                return Err(format!(
+                    "lineage recorder evicted {} events; lower --sample-permille",
+                    lin.dropped,
+                ));
+            }
+        }
+        None => println!("sessions: lineage sampling off (--sample-permille 0)"),
+    }
+
+    println!("\n## per-class session QoE (rollups)");
+    print!("{}", dump.summary_table());
+
+    // Per-class QoE CDFs from the individual rollups. Startup and
+    // rebuffer could also come from the class sketches; sampling the
+    // rollups directly keeps all four metrics on one exact footing.
+    for (c, name) in dump.class_names.iter().enumerate() {
+        let members = || {
+            dump.rollups
+                .iter()
+                .zip(&dump.class_of)
+                .filter(move |(_, &rc)| usize::from(rc) == c)
+                .map(|(r, _)| r)
+        };
+        if members().next().is_none() {
+            continue;
+        }
+        let startup_ms: Vec<f64> = members()
+            .filter_map(|r| r.startup_ns())
+            .map(|ns| ns as f64 / 1e6)
+            .collect();
+        let rebuffer_ms: Vec<f64> = members().map(|r| r.rebuffer_ns as f64 / 1e6).collect();
+        let loss_pct: Vec<f64> = members().map(|r| r.loss_fraction() * 100.0).collect();
+        let goodput_kbps: Vec<f64> = members()
+            .filter_map(|r| r.mean_rate_bps())
+            .map(|bps| bps as f64 / 1e3)
+            .collect();
+        for (what, unit, values) in [
+            ("startup", "ms", &startup_ms),
+            ("rebuffer", "ms", &rebuffer_ms),
+            ("loss", "%", &loss_pct),
+            ("goodput", "kbit/s", &goodput_kbps),
+        ] {
+            if values.is_empty() {
+                continue;
+            }
+            println!(
+                "{}",
+                report::cdf_quantiles(
+                    &format!("{name}: {what} CDF"),
+                    &Cdf::from_samples(values),
+                    unit,
+                )
+            );
+        }
+    }
+
+    // Top-K worst sessions under the badness key — the triage list.
+    let worst = dump.worst(top, &by);
+    let sampler = (config.sample_permille > 0 && !config.lineage)
+        .then(|| turb_obs::SessionSampler::new(config.seed, config.sample_permille));
+    let rows: Vec<Vec<String>> = worst
+        .iter()
+        .map(|&(id, score)| {
+            let r = &dump.rollups[id as usize];
+            let sampled = config.lineage || sampler.as_ref().is_some_and(|s| s.admits(id));
+            vec![
+                id.to_string(),
+                dump.class_names[usize::from(dump.class_of[id as usize])].clone(),
+                format!("{score:.3}"),
+                format!("{:.3}", r.loss_fraction() * 100.0),
+                format!("{:.1}", r.rebuffer_ns as f64 / 1e6),
+                r.startup_ns()
+                    .map_or("-".to_string(), |ns| format!("{:.1}", ns as f64 / 1e6)),
+                r.mean_rate_bps()
+                    .map_or("-".to_string(), |bps| format!("{:.1}", bps as f64 / 1e3)),
+                if sampled { "yes" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &format!("Top {} worst sessions by {}", worst.len(), by.spec()),
+            &[
+                "id",
+                "class",
+                "score",
+                "loss %",
+                "rebuf ms",
+                "startup ms",
+                "kbit/s",
+                "sampled"
+            ],
+            &rows,
+        )
+    );
+
+    // Drill-down: the sampled session's full per-packet lineage.
+    if let Some(sid) = drill {
+        if usize::try_from(sid).unwrap() >= dump.rollups.len() {
+            return Err(format!(
+                "--session {sid} out of range (fleet has {} sessions)",
+                dump.rollups.len(),
+            ));
+        }
+        if !(config.lineage || sampler.as_ref().is_some_and(|s| s.admits(sid))) {
+            let examples: Vec<String> = sampler
+                .as_ref()
+                .map(|s| {
+                    (0..result.sessions as u32)
+                        .filter(|&id| s.admits(id))
+                        .take(8)
+                        .map(|id| id.to_string())
+                        .collect()
+                })
+                .unwrap_or_default();
+            return Err(format!(
+                "session {sid} is not in the sampled set; sampled ids start {:?} \
+                 (raise --sample-permille, up to 1000, to widen the set)",
+                examples,
+            ));
+        }
+        let lin = result
+            .lineage
+            .as_ref()
+            .expect("sampled sessions carry lineage");
+        println!("\n## session {sid} lineage timeline");
+        let mut printed = 0usize;
+        for tl in lin.reconstruct() {
+            let origin = &lin.origins[tl.span as usize];
+            let meta = match origin.meta {
+                Some(meta) if meta.sequence == sid => meta,
+                _ => continue,
+            };
+            let outcome = match tl.outcome {
+                SpanOutcome::Dropped(cause) => format!("dropped:{}", cause.label()),
+                other => other.label().to_string(),
+            };
+            let e2e = tl
+                .first_time(|s| s == Stage::Delivered)
+                .map_or("      -".to_string(), |t| {
+                    format!("{:>7.3}", (t - origin.time_ns) as f64 / 1e6)
+                });
+            println!(
+                "  pkt {:>6} @ {:>10.3} ms  e2e {e2e} ms  {} hops  {}",
+                meta.media_time_ms,
+                origin.time_ns as f64 / 1e6,
+                tl.hops(),
+                outcome,
+            );
+            for ev in &tl.events {
+                println!(
+                    "      {:>10.3} ms  {:<11} {}",
+                    ev.time_ns as f64 / 1e6,
+                    ev.stage.label(),
+                    lin.component(ev.comp),
+                );
+            }
+            printed += 1;
+        }
+        if printed == 0 {
+            println!("  (session sent no packets inside the horizon)");
+        } else {
+            println!("  {printed} packets");
+        }
     }
     Ok(())
 }
@@ -717,11 +1004,13 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         seed,
         scenario: scale_scenario.clone(),
         shards: ShardKind::Sequential,
+        progress: false,
     });
     let scale_shd = turbulence::run_scale(&turbulence::ScaleRunConfig {
         seed,
         scenario: scale_scenario.clone(),
         shards: ShardKind::Sharded(scale_shards),
+        progress: false,
     });
     let shards_identical = scale_seq.digest == scale_shd.digest;
     let shard_speedup = scale_seq.wall_ns as f64 / scale_shd.wall_ns.max(1) as f64;
@@ -758,6 +1047,7 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
             ..scale_scenario.clone()
         },
         shards: ShardKind::Sequential,
+        progress: false,
     });
     let fluid_hybrid = turbulence::run_scale(&turbulence::ScaleRunConfig {
         seed,
@@ -767,6 +1057,7 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
             ..scale_scenario
         },
         shards: ShardKind::Sequential,
+        progress: false,
     });
     let fluid_diag = fluid_hybrid
         .fluid
@@ -801,7 +1092,7 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     let fleet_rss = turb_obs::peak_rss_bytes();
     let fleet_shd = turbulence::run_fleet(&turbulence::FleetRunConfig {
         shards: ShardKind::Sharded(fleet_config.groups as u16),
-        ..fleet_config
+        ..fleet_config.clone()
     });
     let fleet_identical = fleet_seq.digest == fleet_shd.digest;
     let fleet_events_per_sec =
@@ -809,6 +1100,23 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     let fleet_heap_per_session = fleet_seq.heap_bytes_per_session;
     let fleet_rss_growth = fleet_rss.saturating_sub(fleet_rss_before);
     let fleet_ns = timer.elapsed_ns();
+
+    // Sessions phase: the same fleet workload with rollups and sampled
+    // lineage on — the observability tax. The no-perturbation invariant
+    // makes the digest comparable, so byte-identity against the plain
+    // run is asserted alongside the overhead ratio and the per-session
+    // memory bill.
+    let timer = ScopeTimer::start("bench_sessions", "bench");
+    let sessions_run = turbulence::run_fleet(&turbulence::FleetRunConfig {
+        rollups: true,
+        ..fleet_config
+    });
+    let sessions_identical = sessions_run.digest == fleet_seq.digest;
+    let sessions_overhead = sessions_run.wall_ns as f64 / fleet_seq.wall_ns.max(1) as f64;
+    let session_memory_bytes = sessions_run.session_memory_bytes;
+    let session_memory_per = session_memory_bytes / fleet_sessions.max(1) as u64;
+    let sessions_lineage_dropped = sessions_run.lineage.as_ref().map_or(0, |l| l.dropped);
+    let sessions_ns = timer.elapsed_ns();
 
     let speedup = sequential_ns as f64 / parallel_ns.max(1) as f64;
     let scheduler_speedup = alternate_ns as f64 / sequential_ns.max(1) as f64;
@@ -825,7 +1133,7 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     // fixed scheduler names, nothing needs escaping, and the workspace
     // deliberately carries no serde.
     let json = format!(
-        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"scheduler\": \"{}\",\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"schedulers_identical\": {schedulers_identical},\n  \"speedup\": {speedup:.3},\n  \"scheduler_speedup\": {scheduler_speedup:.3},{baseline_fields}\n  \"watch\": {{\n    \"series\": {watch_series_count},\n    \"windows\": {watch_windows},\n    \"memory_bytes\": {watch_memory_bytes}\n  }},\n  \"scale\": {{\n    \"events\": {},\n    \"shards\": {scale_shards},\n    \"cpus\": {cpus},\n    \"scale_sequential_ns\": {},\n    \"scale_sharded_ns\": {},\n    \"shard_speedup\": {shard_speedup:.3},\n    \"shards_identical\": {shards_identical},\n    \"exchange_reallocs\": {}\n  }},\n  \"fluid\": {{\n    \"background_flows\": {background_flows},\n    \"packet_engine_ns\": {},\n    \"hybrid_engine_ns\": {},\n    \"hybrid_speedup\": {hybrid_speedup:.3},\n    \"background_datagrams\": {},\n    \"solver_recomputes\": {},\n    \"updates_applied\": {}\n  }},\n  \"fleet\": {{\n    \"sessions\": {fleet_sessions},\n    \"events\": {},\n    \"events_per_sec\": {fleet_events_per_sec},\n    \"fleet_sequential_ns\": {},\n    \"fleet_sharded_ns\": {},\n    \"fleet_identical\": {fleet_identical},\n    \"peak_rss_bytes\": {fleet_rss},\n    \"rss_growth_bytes\": {fleet_rss_growth},\n    \"per_session_heap_bytes\": {fleet_heap_per_session}\n  }},\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"alternate\": {alternate_ns},\n    \"figures\": {figures_ns},\n    \"watch\": {watch_ns},\n    \"scale\": {scale_ns},\n    \"fluid\": {fluid_ns},\n    \"fleet\": {fleet_ns}\n  }}\n}}\n",
+        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"scheduler\": \"{}\",\n  \"pair_runs\": {},\n  \"identical\": {identical},\n  \"schedulers_identical\": {schedulers_identical},\n  \"speedup\": {speedup:.3},\n  \"scheduler_speedup\": {scheduler_speedup:.3},{baseline_fields}\n  \"watch\": {{\n    \"series\": {watch_series_count},\n    \"windows\": {watch_windows},\n    \"memory_bytes\": {watch_memory_bytes}\n  }},\n  \"scale\": {{\n    \"events\": {},\n    \"shards\": {scale_shards},\n    \"cpus\": {cpus},\n    \"scale_sequential_ns\": {},\n    \"scale_sharded_ns\": {},\n    \"shard_speedup\": {shard_speedup:.3},\n    \"shards_identical\": {shards_identical},\n    \"exchange_reallocs\": {}\n  }},\n  \"fluid\": {{\n    \"background_flows\": {background_flows},\n    \"packet_engine_ns\": {},\n    \"hybrid_engine_ns\": {},\n    \"hybrid_speedup\": {hybrid_speedup:.3},\n    \"background_datagrams\": {},\n    \"solver_recomputes\": {},\n    \"updates_applied\": {}\n  }},\n  \"fleet\": {{\n    \"sessions\": {fleet_sessions},\n    \"events\": {},\n    \"events_per_sec\": {fleet_events_per_sec},\n    \"fleet_sequential_ns\": {},\n    \"fleet_sharded_ns\": {},\n    \"fleet_identical\": {fleet_identical},\n    \"peak_rss_bytes\": {fleet_rss},\n    \"rss_growth_bytes\": {fleet_rss_growth},\n    \"per_session_heap_bytes\": {fleet_heap_per_session}\n  }},\n  \"sessions\": {{\n    \"rollups_ns\": {},\n    \"overhead\": {sessions_overhead:.3},\n    \"identical\": {sessions_identical},\n    \"sample_permille\": {},\n    \"session_memory_bytes\": {session_memory_bytes},\n    \"memory_bytes_per_session\": {session_memory_per},\n    \"lineage_dropped\": {sessions_lineage_dropped}\n  }},\n  \"phases_ns\": {{\n    \"configs\": {configs_ns},\n    \"sequential\": {sequential_ns},\n    \"parallel\": {parallel_ns},\n    \"alternate\": {alternate_ns},\n    \"figures\": {figures_ns},\n    \"watch\": {watch_ns},\n    \"scale\": {scale_ns},\n    \"fluid\": {fluid_ns},\n    \"fleet\": {fleet_ns},\n    \"sessions\": {sessions_ns}\n  }}\n}}\n",
         scheduler.name(),
         configs.len(),
         scale_seq.events_processed,
@@ -840,6 +1148,8 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         fleet_seq.events_processed,
         fleet_seq.wall_ns,
         fleet_shd.wall_ns,
+        sessions_run.wall_ns,
+        turb_obs::DEFAULT_SESSION_SAMPLE_PERMILLE,
     );
     std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
     // One trajectory point per bench run, appended so perf history
@@ -853,7 +1163,7 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let point = format!(
-        "{{\"unix_secs\": {stamp}, \"seed\": {seed}, \"threads\": {threads}, \"quick\": {quick}, \"scheduler\": \"{}\", \"pair_runs\": {}, \"sequential_ns\": {sequential_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}, \"identical\": {identical}, \"watch_windows\": {watch_windows}, \"watch_memory_bytes\": {watch_memory_bytes}, \"cpus\": {cpus}, \"scale_sequential_ns\": {}, \"scale_sharded_ns\": {}, \"shard_speedup\": {shard_speedup:.3}, \"shards_identical\": {shards_identical}, \"background_flows\": {background_flows}, \"hybrid_speedup\": {hybrid_speedup:.3}, \"fleet_sessions\": {fleet_sessions}, \"fleet_ns\": {}, \"fleet_events_per_sec\": {fleet_events_per_sec}, \"fleet_identical\": {fleet_identical}, \"fleet_peak_rss_bytes\": {fleet_rss}}}\n",
+        "{{\"unix_secs\": {stamp}, \"seed\": {seed}, \"threads\": {threads}, \"quick\": {quick}, \"scheduler\": \"{}\", \"pair_runs\": {}, \"sequential_ns\": {sequential_ns}, \"parallel_ns\": {parallel_ns}, \"speedup\": {speedup:.3}, \"identical\": {identical}, \"watch_windows\": {watch_windows}, \"watch_memory_bytes\": {watch_memory_bytes}, \"cpus\": {cpus}, \"scale_sequential_ns\": {}, \"scale_sharded_ns\": {}, \"shard_speedup\": {shard_speedup:.3}, \"shards_identical\": {shards_identical}, \"background_flows\": {background_flows}, \"hybrid_speedup\": {hybrid_speedup:.3}, \"fleet_sessions\": {fleet_sessions}, \"fleet_ns\": {}, \"fleet_events_per_sec\": {fleet_events_per_sec}, \"fleet_identical\": {fleet_identical}, \"fleet_peak_rss_bytes\": {fleet_rss}, \"sessions_overhead\": {sessions_overhead:.3}, \"sessions_identical\": {sessions_identical}, \"session_memory_bytes\": {session_memory_bytes}}}\n",
         scheduler.name(),
         configs.len(),
         scale_seq.wall_ns,
@@ -917,6 +1227,12 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
         fleet_heap_per_session,
         fleet_rss / (1024 * 1024),
     );
+    println!(
+        "bench: sessions rollups+sampling {:.2}s vs plain fleet {:.2}s | overhead {sessions_overhead:.3}x | identical {sessions_identical} | {} KiB rollups (~{session_memory_per} B/session), {sessions_lineage_dropped} lineage events evicted",
+        sessions_run.wall_ns as f64 / 1e9,
+        fleet_seq.wall_ns as f64 / 1e9,
+        session_memory_bytes / 1024,
+    );
     println!("bench: wrote {out} (+ trajectory point in {trajectory})");
     if let (true, Some((base_seq, base_runs))) = (gate, gate_baseline) {
         let current = sequential_ns as f64 / configs.len().max(1) as f64;
@@ -965,6 +1281,22 @@ pub fn bench(flags: &Flags) -> Result<(), String> {
     }
     if !fleet_identical {
         return Err("sharded fleet run diverged from sequential".to_string());
+    }
+    // Rollups accumulate inline at event time, so their cost must stay
+    // in the noise: the gate caps the observability tax at 5% of the
+    // plain fleet phase.
+    if gate && sessions_overhead > 1.05 {
+        return Err(format!(
+            "sessions overhead gate failed: rollups cost {sessions_overhead:.3}x the plain fleet run (limit 1.05x)"
+        ));
+    }
+    if !sessions_identical {
+        return Err("fleet run with rollups+sampling diverged from observability-off".to_string());
+    }
+    if sessions_lineage_dropped > 0 {
+        return Err(format!(
+            "lineage recorder evicted {sessions_lineage_dropped} events at the default sample rate"
+        ));
     }
     Ok(())
 }

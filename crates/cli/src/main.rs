@@ -38,6 +38,12 @@
 //!                       [--groups N] [--background N] arrivals, Pareto lifetimes,
 //!                       [--engine E] [--shards N]     heavy-traffic figures
 //!                       [--threads N] [--lineage]
+//!                       [--rollups] [--progress]
+//! turbulence sessions   [fleet options] [--top K]     fleet-scale session QoE:
+//!                       [--by loss,rebuffer,...]      per-class CDFs, top-K worst
+//!                       [--session ID]                sessions, sampled-lineage
+//!                       [--jsonl FILE] [--csv FILE]   drill-down, rollup export
+//!                       [--sample-permille N]
 //! ```
 
 use std::collections::HashMap;
@@ -72,6 +78,9 @@ COMMANDS:
     fleet       multiplex a session population (Poisson/MMPP arrivals,
                 heavy-tailed lifetimes) over the scale ring and print
                 the heavy-traffic figures
+    sessions    the fleet's session-level QoE view: per-class rollup
+                summary and CDFs, top-K worst sessions, sampled-lineage
+                drill-down, deterministic JSONL/CSV export
     help        print this text
 
 OPTIONS (per command):
@@ -133,8 +142,26 @@ OPTIONS (per command):
                         load curve (one cycle per 10 simulated minutes)
     --wmp-permille N    fleet: MediaPlayer share per 1000 sessions
                         (default 500; the rest are RealPlayer-like)
-    --lineage           fleet: record packet lineage during the run
-                        (figures are identical either way)
+    --lineage           fleet/sessions: record full packet lineage for
+                        every session (figures are identical either way;
+                        overrides the sampler)
+    --rollups           fleet/obs: accumulate per-session QoE rollups
+                        (≤128 B/session) and print the per-class summary
+    --sample-permille N fleet/sessions: sessions per 1000 whose packets
+                        get full lineage, hash-selected from the seed
+                        (default 10; thread/shard/engine invariant)
+    --progress          fleet/sessions/scale/corpus/obs/bench: heartbeat
+                        line on stderr every few seconds (sim time,
+                        events/s, sessions live/done, RSS, ETA); stderr
+                        only — never part of the byte-identity set
+    --top K             sessions: worst-session table size (default 10)
+    --by TERMS          sessions: badness ranking key — comma-separated
+                        loss|rebuffer|startup|goodput, each optionally
+                        =weight (default loss,rebuffer,startup)
+    --session ID        sessions: print the sampled session's per-packet
+                        lineage timeline
+    --jsonl FILE        sessions: export every rollup as JSON Lines
+    --csv FILE          sessions: export every rollup as CSV
     --engine E          corpus/pair/obs/figures/watch/scale/bench: how
                         background flows are simulated, packet | hybrid
                         (default packet; hybrid lowers them onto the
@@ -154,7 +181,16 @@ OPTIONS (per command):
 }
 
 /// Flags that stand alone (no value); parsed as `flag=true`.
-const BOOLEAN_FLAGS: &[&str] = &["telemetry", "quick", "corpus", "gate", "diurnal", "lineage"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "telemetry",
+    "quick",
+    "corpus",
+    "gate",
+    "diurnal",
+    "lineage",
+    "rollups",
+    "progress",
+];
 
 /// Flags that take a value when one follows but also stand alone:
 /// `obs --metrics` prints the full exposition, while
@@ -311,6 +347,7 @@ fn run() -> Result<(), String> {
         "watch" => commands::watch(&flags),
         "scale" => commands::scale(&flags),
         "fleet" => commands::fleet(&flags),
+        "sessions" => commands::sessions(&flags),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())
@@ -425,7 +462,7 @@ mod tests {
     fn usage_names_every_command() {
         for command in [
             "corpus", "pair", "obs", "figures", "bench", "flowgen", "friendly", "ping", "check",
-            "timeline", "watch", "scale", "fleet",
+            "timeline", "watch", "scale", "fleet", "sessions",
         ] {
             assert!(usage().contains(command), "{command} missing from usage");
         }

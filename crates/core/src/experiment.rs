@@ -57,6 +57,10 @@ pub struct PairRunConfig {
     /// simulation without perturbing it, so results are bit-identical
     /// either way; the dump lands in [`RunTelemetry::lineage`].
     pub lineage: bool,
+    /// Record per-session QoE rollups (one session per player stream).
+    /// Same non-perturbation discipline as `lineage`; the dump lands
+    /// in [`RunTelemetry::sessions`].
+    pub sessions: bool,
     /// Record windowed time-series (per-window bandwidth, loss by
     /// cause, queue depth, buffer occupancy). Same non-perturbation
     /// discipline as `lineage`; the dump lands in
@@ -84,6 +88,10 @@ pub struct PairRunConfig {
     /// (server access + client access links). Zero — the default, the
     /// paper's uncongested conditions — adds nothing at all.
     pub background_flows: u32,
+    /// Emit a periodic heartbeat line on stderr while the simulation
+    /// runs (sim time, event rate, RSS, ETA). Stderr only — never part
+    /// of any byte-identity surface.
+    pub progress: bool,
 }
 
 impl PairRunConfig {
@@ -98,11 +106,13 @@ impl PairRunConfig {
             telemetry: false,
             scheduler: SchedulerKind::default(),
             lineage: false,
+            sessions: false,
             timeseries: false,
             ts_window_ns: 0,
             shards: ShardKind::Sequential,
             engine: EngineKind::Packet,
             background_flows: 0,
+            progress: false,
         }
     }
 
@@ -116,6 +126,14 @@ impl PairRunConfig {
     /// telemetry, which carries the dump).
     pub fn with_lineage(mut self) -> PairRunConfig {
         self.lineage = true;
+        self.telemetry = true;
+        self
+    }
+
+    /// Same config with per-session QoE rollups switched on (implies
+    /// telemetry, which carries the dump).
+    pub fn with_sessions(mut self) -> PairRunConfig {
+        self.sessions = true;
         self.telemetry = true;
         self
     }
@@ -235,8 +253,31 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
     if config.lineage {
         sim.enable_lineage();
     }
+    let session_recorder = config.sessions.then(|| {
+        let mut rec = turb_obs::SessionRecorder::new();
+        let real_class = rec.add_class("real");
+        let wmp_class = rec.add_class("wmp");
+        // Stall thresholds derive from each clip's nominal packet
+        // cadence: the time a typical payload (≈700 B Real, ≈1400 B
+        // MediaPlayer) takes at the encoded rate.
+        let real_interval_us = (700.0 * 8e6 / config.pair.real.encoded_bps().max(1) as f64) as u32;
+        let wmp_interval_us = (1400.0 * 8e6 / config.pair.wmp.encoded_bps().max(1) as f64) as u32;
+        let real_id = rec.add_session(real_class, real_interval_us);
+        let wmp_id = rec.add_session(wmp_class, wmp_interval_us);
+        debug_assert_eq!(real_id, turb_players::REAL_SESSION_ID);
+        debug_assert_eq!(wmp_id, turb_players::WMP_SESSION_ID);
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(rec));
+        sim.enable_sessions(shared.clone(), None);
+        shared
+    });
     if config.timeseries {
         sim.enable_timeseries(config.ts_window_ns);
+    }
+    if config.progress {
+        // Horizon: the 8 s pre-check + double-duration stream window
+        // (+90 s margin) + 10 s post-check the phases below run to.
+        let horizon_ns = ((config.pair.real.duration_secs * 2.0 + 108.0) * 1e9) as u64;
+        sim.set_progress(turb_obs::ProgressMeter::new(&label, horizon_ns));
     }
     sim.set_shards(config.shards);
     let mut rng = SimRng::new(config.seed ^ 0x7075_6c73_6172);
@@ -393,6 +434,14 @@ pub fn run_pair(config: &PairRunConfig) -> PairRunResult {
     if let Some(t) = telemetry.as_mut() {
         t.lineage = sim.take_lineage();
         t.series = sim.take_timeseries();
+        if let Some(shared) = session_recorder {
+            sim.release_sessions();
+            let rec = std::sync::Arc::try_unwrap(shared)
+                .expect("simulation released every recorder handle")
+                .into_inner()
+                .expect("session recorder lock poisoned");
+            t.sessions = Some(rec.finish());
+        }
     }
     let result = PairRunResult {
         set_id: config.set_id,

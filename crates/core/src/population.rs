@@ -22,16 +22,16 @@
 
 use crate::parallel;
 use crate::scale::fnv1a;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use turb_flowgen::lower::aggregate_session_schedule;
 use turb_netsim::fleet::{FleetScenario, SessionSpec, FLEET_WINDOW_NS};
 use turb_netsim::topology::{ScaleConfig, ScaleScenario};
 use turb_netsim::{
-    EngineKind, FluidDiag, FluidFlow, ShardDiag, ShardKind, SimDuration, SimRng, SimTime,
-    Simulation,
+    EngineKind, FluidDiag, FluidFlow, LineageDump, ShardDiag, ShardKind, SimDuration, SimRng,
+    SimTime, Simulation,
 };
 use turb_obs::intern::Interner;
-use turb_obs::MetricsRegistry;
+use turb_obs::{MetricsRegistry, ProgressMeter, SessionDump, SessionRecorder, SessionSampler};
 
 /// How sessions arrive.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,6 +157,18 @@ pub struct FleetRunConfig {
     /// Record packet lineage during the run (memory-heavy; figures
     /// must not change either way).
     pub lineage: bool,
+    /// Accumulate one fixed-size QoE rollup per session (≤ 128 bytes
+    /// each; figures must not change either way).
+    pub rollups: bool,
+    /// Sessions per 1000 whose packets additionally get full lineage
+    /// spans, selected by a deterministic hash of `(seed, session id)`
+    /// — thread-, shard-, and engine-invariant. Only meaningful with
+    /// `rollups`; ignored when `lineage` already records everything.
+    pub sample_permille: u32,
+    /// Emit a periodic heartbeat line on stderr (sim time, event rate,
+    /// live/done sessions, RSS, ETA). Stderr only — never part of any
+    /// byte-identity surface.
+    pub progress: bool,
 }
 
 impl FleetRunConfig {
@@ -180,6 +192,9 @@ impl FleetRunConfig {
             engine: EngineKind::Packet,
             threads: 1,
             lineage: false,
+            rollups: false,
+            sample_permille: turb_obs::DEFAULT_SESSION_SAMPLE_PERMILLE,
+            progress: false,
         }
     }
 }
@@ -219,6 +234,16 @@ pub struct FleetRunResult {
     pub diag: Option<ShardDiag>,
     /// Fluid-solver diagnostics; `None` unless background rode fluid.
     pub fluid: Option<FluidDiag>,
+    /// Per-session QoE rollups; `None` unless `rollups` was set.
+    /// Outside the digest — identity is asserted on the dump's own
+    /// serialization instead.
+    pub rollups: Option<SessionDump>,
+    /// Packet lineage: the sampled subset under `sample_permille`, or
+    /// everything under `lineage`; `None` when neither recorded.
+    pub lineage: Option<LineageDump>,
+    /// Bytes the session recorder held at harvest (rollup table +
+    /// class names); zero when rollups were off.
+    pub session_memory_bytes: u64,
 }
 
 /// Draw the population table: a pure function of the config, never of
@@ -335,6 +360,37 @@ pub fn run_fleet(config: &FleetRunConfig) -> FleetRunResult {
     if config.lineage {
         sim.enable_lineage();
     }
+    // Session rollups: one dense recorder shared by every shard domain,
+    // with session ids equal to spec-table indices (the fleet driver
+    // stamps the same id on each outgoing datagram). The sampler keeps
+    // the lineage recorder bounded: only a hash-selected permille of
+    // sessions get full per-packet spans. An explicit `lineage` flag
+    // wins — it means "record everything", so no sampler is installed.
+    let session_recorder = config.rollups.then(|| {
+        let mut rec = SessionRecorder::new();
+        let classes = [
+            rec.add_class("real"),
+            rec.add_class("wmp"),
+            rec.add_class("real-bg"),
+            rec.add_class("wmp-bg"),
+        ];
+        rec.reserve(specs.len());
+        for s in specs.iter() {
+            let class = classes[usize::from(s.wmp) | (usize::from(s.background) << 1)];
+            rec.add_session(
+                class,
+                (s.interval_ns / 1000).clamp(1, u64::from(u32::MAX)) as u32,
+            );
+        }
+        let sampler = (config.sample_permille > 0 && !config.lineage)
+            .then(|| SessionSampler::new(config.seed, config.sample_permille));
+        if sampler.is_some() {
+            sim.enable_lineage();
+        }
+        let shared = Arc::new(Mutex::new(rec));
+        sim.enable_sessions(Arc::clone(&shared), sampler);
+        shared
+    });
     sim.set_shards(config.shards);
     let base = ScaleScenario::build(
         &mut sim,
@@ -374,9 +430,33 @@ pub fn run_fleet(config: &FleetRunConfig) -> FleetRunResult {
     let scenario = FleetScenario::attach(&mut sim, &base, specs.clone(), horizon_ns, !hybrid);
 
     let limit = SimTime::ZERO + SimDuration::from_nanos(horizon_ns) + SimDuration::from_secs(10);
+    if config.progress {
+        let mut starts: Vec<u64> = specs.iter().map(|s| s.start_ns).collect();
+        let mut ends: Vec<u64> = specs.iter().map(|s| s.end_ns).collect();
+        starts.sort_unstable();
+        ends.sort_unstable();
+        sim.set_progress(ProgressMeter::new("fleet", limit.as_nanos()).with_sessions(starts, ends));
+    }
     let start = std::time::Instant::now();
     sim.run_to_idle(limit);
     let wall_ns = start.elapsed().as_nanos() as u64;
+
+    // Detach observability products before the figures are rendered:
+    // the recorder is harvested by value (every shard domain's handle
+    // is released first so the Arc unwraps), and the lineage dump is
+    // whatever the sampler admitted.
+    let session_memory_bytes = session_recorder
+        .as_ref()
+        .map_or(0, |shared| shared.lock().unwrap().memory_bytes());
+    let session_dump = session_recorder.map(|shared| {
+        sim.release_sessions();
+        Arc::try_unwrap(shared)
+            .expect("simulation released every recorder handle")
+            .into_inner()
+            .expect("session recorder lock poisoned")
+            .finish()
+    });
+    let lineage_dump = sim.take_lineage();
 
     let mut registry = MetricsRegistry::new();
     sim.collect_metrics(&mut registry);
@@ -559,6 +639,9 @@ pub fn run_fleet(config: &FleetRunConfig) -> FleetRunResult {
         digest: fnv1a(&blob),
         diag: sim.shard_diag(),
         fluid: sim.fluid_diag(),
+        rollups: session_dump,
+        lineage: lineage_dump,
+        session_memory_bytes,
     }
 }
 
@@ -703,6 +786,31 @@ mod tests {
         assert_eq!(packet.digest, hybrid.digest);
         assert_eq!(packet.figures, hybrid.figures);
         assert!(hybrid.fluid.is_none());
+    }
+
+    #[test]
+    fn rollups_and_sampled_lineage_do_not_perturb_the_run() {
+        let base = run_fleet(&small(7));
+        assert!(base.rollups.is_none() && base.lineage.is_none());
+        let mut cfg = small(7);
+        cfg.rollups = true;
+        let r = run_fleet(&cfg);
+        assert_eq!(base.digest, r.digest, "rollups must not perturb the run");
+        assert_eq!(base.figures, r.figures);
+        assert!(r.session_memory_bytes > 0);
+
+        // The rollup totals reconcile 1:1 with the run's own counters:
+        // every datagram the driver offered was recorded as sent, every
+        // datagram the ledger saw delivered was recorded as delivered.
+        let dump = r.rollups.expect("rollups recorded");
+        let totals = dump.totals();
+        assert_eq!(totals.datagrams_sent, r.fg_offered + r.bg_offered);
+        assert_eq!(totals.datagrams_delivered, r.fg_delivered + r.bg_delivered);
+
+        // Default sampling keeps the lineage recorder bounded: spans
+        // exist, and nothing was discarded past capacity.
+        let lin = r.lineage.expect("sampled lineage recorded");
+        assert_eq!(lin.dropped, 0, "sampled lineage must never evict");
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct ScaleRunConfig {
     pub scenario: ScaleConfig,
     /// Execution strategy: sequential or sharded.
     pub shards: ShardKind,
+    /// Emit a periodic heartbeat line on stderr while the run is in
+    /// flight (sim time, event rate, RSS, ETA). Stderr only — never
+    /// part of the digest.
+    pub progress: bool,
 }
 
 impl ScaleRunConfig {
@@ -30,6 +34,7 @@ impl ScaleRunConfig {
             seed,
             scenario: ScaleConfig::default(),
             shards,
+            progress: false,
         }
     }
 }
@@ -82,6 +87,9 @@ pub fn run_scale(config: &ScaleRunConfig) -> ScaleRunResult {
     let send_phase_ns = config.scenario.send_interval.as_nanos()
         * u64::from(config.scenario.packets_per_client.max(1));
     let limit = SimTime::ZERO + SimDuration::from_nanos(send_phase_ns) + SimDuration::from_secs(10);
+    if config.progress {
+        sim.set_progress(turb_obs::ProgressMeter::new("scale", limit.as_nanos()));
+    }
 
     let start = std::time::Instant::now();
     sim.run_to_idle(limit);
@@ -140,6 +148,7 @@ mod tests {
                 seed: 9,
                 scenario: small(),
                 shards,
+                progress: false,
             });
             assert_eq!(result.datagrams, 4 * 8 * 4);
             digests.push(result.digest);
@@ -154,6 +163,7 @@ mod tests {
             seed: 9,
             scenario: small(),
             shards: ShardKind::Sharded(4),
+            progress: false,
         });
         let diag = result.diag.expect("sharded run exposes diagnostics");
         assert_eq!(diag.shards, 4);
@@ -164,6 +174,7 @@ mod tests {
             seed: 9,
             scenario: small(),
             shards: ShardKind::Sequential,
+            progress: false,
         });
         assert!(seq.diag.is_none());
         assert_eq!(seq.events_processed, result.events_processed);
@@ -186,6 +197,7 @@ mod tests {
                 seed: 9,
                 scenario: scenario.clone(),
                 shards,
+                progress: false,
             });
             let fluid = result.fluid.expect("hybrid run exposes fluid diag");
             assert_eq!(fluid.flows, 24);
@@ -204,6 +216,7 @@ mod tests {
                 seed: 9,
                 scenario: ScaleConfig { engine, ..small() },
                 shards: ShardKind::Sequential,
+                progress: false,
             })
         };
         let packet = run(EngineKind::Packet);

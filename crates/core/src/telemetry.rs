@@ -7,7 +7,7 @@
 
 use turb_capture::Capture;
 use turb_netsim::{FluidDiag, LineageDump, SchedStats, SchedulerKind, ShardDiag, Simulation};
-use turb_obs::{FragReport, LinkReport, MetricsRegistry, RunReport, SeriesDump};
+use turb_obs::{FragReport, LinkReport, MetricsRegistry, RunReport, SeriesDump, SessionDump};
 use turb_players::telemetry::player_report;
 use turb_players::AppStatsLog;
 
@@ -38,6 +38,11 @@ pub struct RunTelemetry {
     /// ([`crate::PairRunConfig::with_timeseries`]). Outside the
     /// byte-identity set for the same reason as `lineage`.
     pub series: Option<SeriesDump>,
+    /// Per-session QoE rollups (one for the real stream, one for the
+    /// wmp stream), when the run recorded them
+    /// ([`crate::PairRunConfig::with_sessions`]). Outside the
+    /// byte-identity set for the same reason as `lineage`.
+    pub sessions: Option<SessionDump>,
     /// Shard-engine diagnostics (lookahead, barriers, exchanged
     /// transits, per-domain event counts) when the run was partitioned
     /// ([`crate::PairRunConfig::with_shards`]); `None` for sequential
@@ -144,6 +149,7 @@ pub fn harvest(
         // needs `&mut Simulation`; everything here reads shared refs).
         lineage: None,
         series: None,
+        sessions: None,
         shards: sim.shard_diag(),
         fluid: sim.fluid_diag(),
     }

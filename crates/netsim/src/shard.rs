@@ -28,14 +28,15 @@ use crate::link::{Link, LinkId, NodeId};
 use crate::node::{AppId, Node};
 use crate::sim::{
     collect_link_metrics, collect_node_metrics, collect_sim_metrics, AppSlot, Application,
-    Delivery, Event, EventQueue, LineageState, SchedulerKind, SimCore, SimStats, Simulation,
+    Delivery, Event, EventQueue, LineageState, SchedulerKind, SessionState, SimCore, SimStats,
+    Simulation,
 };
 use crate::time::SimTime;
 use crate::wheel::SchedStats;
 use std::sync::{Arc, Condvar, Mutex};
 use turb_obs::lineage::{LineageDump, LineageRecorder};
 use turb_obs::timeseries::TimeSeriesRecorder;
-use turb_obs::{merged_trace_jsonl, MetricsRegistry, SeriesDump, SPAN_DOMAIN_SHIFT};
+use turb_obs::{merged_trace_jsonl, MetricsRegistry, ProgressMeter, SeriesDump, SPAN_DOMAIN_SHIFT};
 
 /// How a [`Simulation`]'s `run_*` calls execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,6 +143,10 @@ struct Mailbox {
     outbox: Vec<Transit>,
     /// The domain's next pending event time after its last window.
     next_time: Option<u64>,
+    /// Events this domain has processed so far, refreshed at each
+    /// publish. Read only by the coordinator's heartbeat — diagnostics
+    /// outside the byte-identity set.
+    events: u64,
 }
 
 /// Barrier state shared by the coordinator and all workers.
@@ -300,6 +305,7 @@ fn publish(sim: &mut Simulation, mailbox: &Mutex<Mailbox>) {
         .expect("domain core has a shard context");
     std::mem::swap(&mut mb.outbox, &mut ctx.outbox);
     mb.next_time = sim.core.queue.next_time().map(SimTime::as_nanos);
+    mb.events = sim.core.stats.events_processed;
 }
 
 /// One domain's worker loop: wait for a window, absorb the inbox, run
@@ -387,6 +393,13 @@ impl ShardedEngine {
                 })
                 .collect(),
         };
+        // Session state shares one recorder across all domains (the
+        // `Arc<Mutex<..>>` ledger idiom): per-session updates commute,
+        // so one dense table serves every shard count identically.
+        let session_shared = core
+            .sessions
+            .as_deref()
+            .map(|s| (Arc::clone(&s.shared), s.sampler));
         let ts_list: Vec<Option<Box<TimeSeriesRecorder>>> = match core.timeseries.as_deref() {
             None => (1..n).map(|_| None).collect(),
             Some(orig) => (1..n)
@@ -503,6 +516,17 @@ impl ShardedEngine {
                         } else {
                             lineage_iter.next().unwrap()
                         },
+                        sessions: if d == 0 {
+                            core.sessions.take()
+                        } else {
+                            session_shared.as_ref().map(|(shared, sampler)| {
+                                Box::new(SessionState {
+                                    shared: Arc::clone(shared),
+                                    pending: None,
+                                    sampler: *sampler,
+                                })
+                            })
+                        },
                         timeseries: if d == 0 {
                             core.timeseries.take()
                         } else {
@@ -529,6 +553,7 @@ impl ShardedEngine {
                     fluid_flows: Vec::new(),
                     fluid_sealed: true,
                     fluid_diag: crate::fluid::FluidDiag::default(),
+                    progress: None,
                 }
             })
             .collect();
@@ -562,6 +587,7 @@ impl ShardedEngine {
                     inbox: Vec::with_capacity(EXCHANGE_CAP),
                     outbox: Vec::with_capacity(EXCHANGE_CAP),
                     next_time: None,
+                    events: 0,
                 })
             })
             .collect();
@@ -591,7 +617,12 @@ impl ShardedEngine {
     /// advanced to `limit` afterwards (the `run_until` contract);
     /// without, clocks rest on their last processed event
     /// (`run_to_idle`).
-    pub(crate) fn run(&mut self, limit: SimTime, force_advance: bool) -> SimTime {
+    pub(crate) fn run(
+        &mut self,
+        limit: SimTime,
+        force_advance: bool,
+        mut progress: Option<&mut ProgressMeter>,
+    ) -> SimTime {
         // Windows are end-exclusive; events exactly at `limit` are in.
         let end_ns = limit.as_nanos().saturating_add(1);
         let n = self.domains.len();
@@ -631,8 +662,10 @@ impl ShardedEngine {
                 // inline, wait for the others.
                 loop {
                     let mut t_min: Option<u64> = None;
+                    let mut events_total = 0u64;
                     for mailbox in mailboxes.iter() {
                         let mut mb = mailbox.lock().unwrap();
+                        events_total += mb.events;
                         if let Some(t) = mb.next_time {
                             t_min = Some(t_min.map_or(t, |m: u64| m.min(t)));
                         }
@@ -641,6 +674,12 @@ impl ShardedEngine {
                             t_min = Some(t_min.map_or(arrival, |m: u64| m.min(arrival)));
                             staging[link_dst_domain[t.link.0] as usize].push(t);
                         }
+                    }
+                    // Heartbeat at the barrier: the coordinator already
+                    // holds all the state (frontier time, event totals)
+                    // and the meter rate-limits itself on wall clock.
+                    if let (Some(p), Some(t)) = (progress.as_deref_mut(), t_min) {
+                        p.tick(t, events_total);
                     }
                     for (dst, stage) in staging.iter_mut().enumerate() {
                         if stage.is_empty() {
@@ -871,6 +910,18 @@ impl ShardedEngine {
 
     pub(crate) fn timeseries_enabled(&self) -> bool {
         self.domains[0].core.timeseries.is_some()
+    }
+
+    pub(crate) fn sessions_enabled(&self) -> bool {
+        self.domains[0].core.sessions.is_some()
+    }
+
+    /// Drop every domain's reference to the shared session recorder so
+    /// the caller's own `Arc` clone becomes the sole owner.
+    pub(crate) fn release_sessions(&mut self) {
+        for sim in &mut self.domains {
+            sim.core.sessions = None;
+        }
     }
 
     /// Detach and canonically merge every domain's lineage recording;

@@ -20,11 +20,15 @@ use bytes::Bytes;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
+use std::sync::{Arc, Mutex};
 use turb_obs::lineage::{DropCause, LineageDump, LineageRecorder, PacketizeMeta, Stage};
 use turb_obs::timeseries::TimeSeriesRecorder;
-use turb_obs::{MetricsRegistry, Obs, SeriesDump, Severity, SymbolId};
+use turb_obs::{
+    MetricsRegistry, Obs, ProgressMeter, SeriesDump, SessionRecorder, SessionSampler, Severity,
+    SymbolId,
+};
 use turb_wire::icmp::IcmpMessage;
-use turb_wire::ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
+use turb_wire::ipv4::{IpProtocol, Ipv4Packet, SessionTag, IPV4_HEADER_LEN};
 use turb_wire::tcp::TcpSegment;
 use turb_wire::udp::UdpDatagram;
 
@@ -268,6 +272,30 @@ pub(crate) struct LineageState {
     pub(crate) current_span: Option<u64>,
 }
 
+/// Session-rollup accumulation state, present only when
+/// [`Simulation::enable_sessions`] was called. Follows the same
+/// no-perturbation discipline as [`LineageState`]: hooks behind the
+/// `Option` never draw randomness, never schedule events, and never
+/// alter control flow. The recorder itself sits behind an
+/// `Arc<Mutex<..>>` shared by every shard domain (the `FleetLedger`
+/// idiom), so one dense ≤128 B/session table exists regardless of
+/// shard count; per-session events are totally ordered by sim time at
+/// a single driver/sink pair and every update commutes across
+/// sessions, so the dump is deterministic under shard interleaving.
+pub(crate) struct SessionState {
+    /// The shared rollup table.
+    pub(crate) shared: Arc<Mutex<SessionRecorder>>,
+    /// `(session id, payload bytes)` staged by
+    /// [`Ctx::session_packetize`], consumed (and stamped onto the
+    /// packet as a [`SessionTag`]) by the next originated datagram.
+    pub(crate) pending: Option<(u32, u32)>,
+    /// When set, per-packet lineage spans are only born for sessions
+    /// this sampler admits — the deterministic hash-selected subset
+    /// that keeps the lineage recorder within bounds at fleet scale.
+    /// `None` preserves the full always-trace lineage behaviour.
+    pub(crate) sampler: Option<SessionSampler>,
+}
+
 /// All network state: everything an [`Application`] can touch through
 /// its [`Ctx`].
 pub struct SimCore {
@@ -285,6 +313,9 @@ pub struct SimCore {
     pub obs: Obs,
     /// Packet-lineage recorder; `None` unless lineage tracing is on.
     pub(crate) lineage: Option<Box<LineageState>>,
+    /// Session-rollup state; `None` unless session observability is
+    /// on. See [`SessionState`].
+    pub(crate) sessions: Option<Box<SessionState>>,
     /// Windowed time-series recorder; `None` unless
     /// [`Simulation::enable_timeseries`] was called. Hooks behind the
     /// `Option` follow the same discipline as lineage: no randomness,
@@ -336,6 +367,28 @@ impl SimCore {
     /// the counters they mirror) see every drop.
     fn ts_drop(&mut self, cause: DropCause, comp: SymbolId) {
         self.ts_counter(cause.counter(), comp, 1);
+    }
+
+    /// Attribute a drop to the packet's session rollup. Call sites sit
+    /// next to the always-on `stats`/`ts_drop` increments so per-cause
+    /// rollup sums reconcile 1:1 against the counters; untagged
+    /// packets (pings, control traffic) are simply not attributed.
+    fn sess_drop(&mut self, tag: Option<SessionTag>, cause: DropCause) {
+        if let (Some(sess), Some(tag)) = (self.sessions.as_deref(), tag) {
+            sess.shared.lock().unwrap().record_drop(tag.id, cause);
+        }
+    }
+
+    /// Whether a packet with this session tag should get a lineage
+    /// span. With no sampler (or sessions off) every packet qualifies;
+    /// with a sampler, only packets of admitted sessions do — untagged
+    /// traffic records no lineage at all, which is what bounds the
+    /// recorder at fleet scale.
+    fn session_lineage_admits(&self, tag: Option<SessionTag>) -> bool {
+        match self.sessions.as_deref().and_then(|s| s.sampler) {
+            Some(sampler) => tag.is_some_and(|t| sampler.admits(t.id)),
+            None => true,
+        }
     }
 
     /// Record a lineage stage at the current sim time against a node.
@@ -491,26 +544,49 @@ impl SimCore {
     /// fragment to the link MTU if needed, and put every resulting
     /// packet on the wire.
     pub fn send_ip(&mut self, node: NodeId, mut packet: Ipv4Packet) {
+        // Session tags are stamped here too: a pending
+        // `session_packetize` attribution is consumed by the first
+        // originated datagram, before the routing decision, so packets
+        // that drop on NoRoute still count as sent. Forwarded packets
+        // already carry their tag and keep it.
+        if self.sessions.is_some() && packet.session.is_none() {
+            let now_ns = self.now.as_nanos();
+            let sess = self.sessions.as_deref_mut().expect("checked above");
+            if let Some((id, bytes)) = sess.pending.take() {
+                packet.session = Some(SessionTag {
+                    id,
+                    born_ns: now_ns,
+                });
+                sess.shared.lock().unwrap().record_send(id, bytes, now_ns);
+            }
+        }
         // Lineage spans are born here, at the single point every
         // originated packet funnels through (player media, pings,
         // traceroute probes, and router-generated ICMP errors alike).
         // Forwarded packets already carry their span and keep it.
+        // With session sampling active, only admitted sessions get
+        // spans — but the staged packetize metadata is consumed either
+        // way so it cannot leak onto a later packet.
+        let sampled = self.session_lineage_admits(packet.session);
         if let Some(lin) = self.lineage.as_deref_mut() {
             if packet.lineage.is_none() {
                 let comp = self.nodes[node.0].comp;
                 let meta = lin.pending_meta.take();
-                let span = lin.rec.begin_span(
-                    self.now.as_nanos(),
-                    comp,
-                    meta,
-                    packet.payload.len() as u32,
-                );
-                packet.lineage = Some(span);
+                if sampled {
+                    let span = lin.rec.begin_span(
+                        self.now.as_nanos(),
+                        comp,
+                        meta,
+                        packet.payload.len() as u32,
+                    );
+                    packet.lineage = Some(span);
+                }
             }
         }
         let Some(link_id) = self.nodes[node.0].route(packet.dst) else {
             self.nodes[node.0].stats.no_route += 1;
             self.ts_drop(DropCause::NoRoute, self.nodes[node.0].comp);
+            self.sess_drop(packet.session, DropCause::NoRoute);
             self.lineage_node_event(
                 node,
                 packet.lineage,
@@ -531,12 +607,14 @@ impl SimCore {
             return;
         }
         let span = packet.lineage;
+        let sess_tag = packet.session;
         let fragments = match turb_wire::frag::fragment(packet, mtu) {
             Ok(f) => f,
             Err(_) => {
                 // DF set and too big (or unusable MTU): unroutable.
                 self.nodes[node.0].stats.no_route += 1;
                 self.ts_drop(DropCause::NoRoute, self.nodes[node.0].comp);
+                self.sess_drop(sess_tag, DropCause::NoRoute);
                 self.lineage_node_event(node, span, Stage::Dropped(DropCause::NoRoute), 0);
                 return;
             }
@@ -607,6 +685,7 @@ impl SimCore {
                     _ => DropCause::QueueFull,
                 };
                 self.ts_drop(cause, link_comp);
+                self.sess_drop(packet.session, cause);
                 self.lineage_link_event(link_id, packet.lineage, Stage::Dropped(cause), offset);
                 if self.obs.enabled {
                     let now_ns = self.now.as_nanos();
@@ -686,6 +765,7 @@ impl SimCore {
                 // Hosts silently drop transit traffic.
                 self.nodes[node_id.0].stats.no_route += 1;
                 self.ts_drop(DropCause::NoRoute, self.nodes[node_id.0].comp);
+                self.sess_drop(packet.session, DropCause::NoRoute);
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -699,29 +779,34 @@ impl SimCore {
         // Local delivery: reassemble first.
         let now_ns = self.now.as_nanos();
         let span = packet.lineage;
+        let sess_tag = packet.session;
         let offset = u32::from(packet.fragment_offset);
         let was_fragment = packet.is_fragment();
         let node_comp = self.nodes[node_id.0].comp;
         let (whole, expired, new_duplicates, new_invalid, backlog) = {
-            let lineage = self.lineage.as_deref_mut();
+            let mut lineage = self.lineage.as_deref_mut();
+            let sessions = self.sessions.as_deref();
             let node = &mut self.nodes[node_id.0];
-            let expired = match lineage {
-                Some(lin) => {
-                    let comp = node.comp;
-                    node.reassembler.expire_with(now_ns, |template| {
-                        if let Some(span) = template.lineage {
-                            lin.rec.record(
-                                span,
-                                now_ns,
-                                comp,
-                                Stage::Dropped(DropCause::ReasmTimeout),
-                                u32::from(template.fragment_offset),
-                            );
-                        }
-                    })
+            let comp = node.comp;
+            let expired = node.reassembler.expire_with(now_ns, |template| {
+                if let Some(lin) = lineage.as_deref_mut() {
+                    if let Some(span) = template.lineage {
+                        lin.rec.record(
+                            span,
+                            now_ns,
+                            comp,
+                            Stage::Dropped(DropCause::ReasmTimeout),
+                            u32::from(template.fragment_offset),
+                        );
+                    }
                 }
-                None => node.reassembler.expire(now_ns),
-            };
+                if let (Some(sess), Some(tag)) = (sessions, template.session) {
+                    sess.shared
+                        .lock()
+                        .unwrap()
+                        .record_drop(tag.id, DropCause::ReasmTimeout);
+                }
+            });
             let before = node.reassembler.stats();
             let whole = node.reassembler.push(packet, now_ns);
             let after = node.reassembler.stats();
@@ -756,6 +841,7 @@ impl SimCore {
                 });
         }
         if new_invalid > 0 {
+            self.sess_drop(sess_tag, DropCause::ReasmInvalid);
             self.lineage_node_event(
                 node_id,
                 span,
@@ -764,6 +850,7 @@ impl SimCore {
             );
         }
         if new_duplicates > 0 {
+            self.sess_drop(sess_tag, DropCause::ReasmDuplicate);
             self.lineage_node_event(
                 node_id,
                 span,
@@ -797,6 +884,7 @@ impl SimCore {
         if packet.ttl <= 1 {
             self.nodes[node_id.0].stats.ttl_expired += 1;
             self.ts_drop(DropCause::TtlExpired, self.nodes[node_id.0].comp);
+            self.sess_drop(packet.session, DropCause::TtlExpired);
             self.lineage_node_event(
                 node_id,
                 packet.lineage,
@@ -828,6 +916,7 @@ impl SimCore {
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
                 self.ts_drop(DropCause::DecodeError, self.nodes[node_id.0].comp);
+                self.sess_drop(packet.session, DropCause::DecodeError);
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -875,6 +964,7 @@ impl SimCore {
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
                 self.ts_drop(DropCause::DecodeError, self.nodes[node_id.0].comp);
+                self.sess_drop(packet.session, DropCause::DecodeError);
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -887,6 +977,17 @@ impl SimCore {
         match self.nodes[node_id.0].ports.get(&datagram.dst_port).copied() {
             Some(app) => {
                 self.nodes[node_id.0].stats.udp_delivered += 1;
+                // Session delivery accounting sits next to the
+                // always-on `udp_delivered` increment so the rollup
+                // totals reconcile 1:1 with the counters.
+                if let (Some(sess), Some(tag)) = (self.sessions.as_deref(), packet.session) {
+                    sess.shared.lock().unwrap().record_delivery(
+                        tag.id,
+                        datagram.payload.len() as u32,
+                        self.now.as_nanos(),
+                        tag.born_ns,
+                    );
+                }
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -903,6 +1004,7 @@ impl SimCore {
             None => {
                 self.nodes[node_id.0].stats.udp_unreachable += 1;
                 self.ts_drop(DropCause::UdpUnreachable, self.nodes[node_id.0].comp);
+                self.sess_drop(packet.session, DropCause::UdpUnreachable);
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -926,6 +1028,7 @@ impl SimCore {
             Err(_) => {
                 self.nodes[node_id.0].stats.decode_errors += 1;
                 self.ts_drop(DropCause::DecodeError, self.nodes[node_id.0].comp);
+                self.sess_drop(packet.session, DropCause::DecodeError);
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -959,6 +1062,7 @@ impl SimCore {
                 // workspace needs that, so just count it.
                 self.nodes[node_id.0].stats.tcp_unreachable += 1;
                 self.ts_drop(DropCause::TcpUnreachable, self.nodes[node_id.0].comp);
+                self.sess_drop(packet.session, DropCause::TcpUnreachable);
                 self.lineage_node_event(
                     node_id,
                     packet.lineage,
@@ -1148,6 +1252,22 @@ impl<'a> Ctx<'a> {
         self.core.lineage.is_some()
     }
 
+    /// Whether session-rollup recording is on. Apps use this to skip
+    /// the attribution call on un-instrumented runs.
+    pub fn sessions_enabled(&self) -> bool {
+        self.core.sessions.is_some()
+    }
+
+    /// Attribute the next `send_*` call's datagram to session `id`
+    /// carrying `bytes` of application payload. Consumed by the first
+    /// originated packet (the tag then rides every fragment) and
+    /// ignored entirely when session recording is off.
+    pub fn session_packetize(&mut self, id: u32, bytes: u32) {
+        if let Some(sess) = self.core.sessions.as_deref_mut() {
+            sess.pending = Some((id, bytes));
+        }
+    }
+
     /// Whether windowed time-series recording is on.
     pub fn timeseries_enabled(&self) -> bool {
         self.core.timeseries.is_some()
@@ -1204,6 +1324,11 @@ impl<'a> Ctx<'a> {
     }
 }
 
+/// How many events the sequential loop processes between heartbeat
+/// checks. The wall-clock rate limiting lives in the meter itself;
+/// this just keeps the `Instant::now` call off the per-event path.
+const PROGRESS_EVENT_STRIDE: u64 = 1 << 16;
+
 pub(crate) struct AppSlot {
     pub(crate) node: NodeId,
     pub(crate) app: Option<Box<dyn Application>>,
@@ -1235,6 +1360,11 @@ pub struct Simulation {
     pub(crate) fluid_sealed: bool,
     /// Planning-phase diagnostics, filled at seal time.
     pub(crate) fluid_diag: crate::fluid::FluidDiag,
+    /// Live-run heartbeat, `None` unless [`Simulation::set_progress`]
+    /// was called. Lives on `Simulation` (not [`SimCore`]) so it
+    /// survives partitioning; it writes only to stderr on wall-clock
+    /// cadence and is entirely outside the byte-identity set.
+    pub(crate) progress: Option<Box<ProgressMeter>>,
 }
 
 impl Simulation {
@@ -1261,6 +1391,7 @@ impl Simulation {
                 stats: SimStats::default(),
                 obs: Obs::disabled(),
                 lineage: None,
+                sessions: None,
                 timeseries: None,
                 shard: None,
                 fluid_applied: 0,
@@ -1272,6 +1403,7 @@ impl Simulation {
             fluid_flows: Vec::new(),
             fluid_sealed: false,
             fluid_diag: crate::fluid::FluidDiag::default(),
+            progress: None,
         }
     }
 
@@ -1314,6 +1446,7 @@ impl Simulation {
                 stats: SimStats::default(),
                 obs: Obs::disabled(),
                 lineage: None,
+                sessions: None,
                 timeseries: None,
                 shard: None,
                 fluid_applied: 0,
@@ -1382,6 +1515,56 @@ impl Simulation {
         Some(LineageDump::merge_domains(vec![lin
             .rec
             .finish(self.core.obs.interner())]))
+    }
+
+    /// Turn on session-rollup recording against a shared recorder, and
+    /// optionally restrict lineage span creation to sessions `sampler`
+    /// admits. Callers keep their own `Arc` clone, then call
+    /// [`Simulation::release_sessions`] after the run to reclaim sole
+    /// ownership and `finish()` the recorder. Like lineage, the hooks
+    /// never draw randomness, never schedule events, and never change
+    /// control flow, so an instrumented run is byte-identical to a
+    /// plain one. Idempotent; the first recorder wins.
+    pub fn enable_sessions(
+        &mut self,
+        recorder: Arc<Mutex<SessionRecorder>>,
+        sampler: Option<SessionSampler>,
+    ) {
+        self.assert_unpartitioned("enable_sessions");
+        if self.core.sessions.is_none() {
+            self.core.sessions = Some(Box::new(SessionState {
+                shared: recorder,
+                pending: None,
+                sampler,
+            }));
+        }
+    }
+
+    /// Whether session-rollup recording is on.
+    pub fn sessions_enabled(&self) -> bool {
+        match self.sharded.as_deref() {
+            Some(sh) => sh.sessions_enabled(),
+            None => self.core.sessions.is_some(),
+        }
+    }
+
+    /// Drop every reference this simulation holds to the shared
+    /// session recorder (all shard domains in a partitioned run),
+    /// leaving recording off, so the caller's own `Arc` clone becomes
+    /// the sole owner and `Arc::try_unwrap` succeeds.
+    pub fn release_sessions(&mut self) {
+        if let Some(sh) = self.sharded.as_deref_mut() {
+            sh.release_sessions();
+            return;
+        }
+        self.core.sessions = None;
+    }
+
+    /// Install a live-run heartbeat: a periodic stderr line with
+    /// simulated time, event rate, live/done sessions, RSS and ETA.
+    /// Wall-clock-paced and write-only, so it cannot perturb a run.
+    pub fn set_progress(&mut self, meter: ProgressMeter) {
+        self.progress = Some(Box::new(meter));
     }
 
     /// Turn on windowed time-series recording with `window_ns`-wide
@@ -1791,13 +1974,14 @@ impl Simulation {
         self.seal_fluid();
         self.ensure_partitioned();
         if let Some(sh) = self.sharded.as_deref_mut() {
-            return sh.run(limit, true);
+            return sh.run(limit, true, self.progress.as_deref_mut());
         }
         while let Some(next) = self.core.queue.next_time() {
             if next > limit {
                 break;
             }
             self.step();
+            self.tick_progress();
         }
         if self.core.now < limit {
             self.core.now = limit;
@@ -1818,15 +2002,31 @@ impl Simulation {
         self.seal_fluid();
         self.ensure_partitioned();
         if let Some(sh) = self.sharded.as_deref_mut() {
-            return sh.run(limit, false);
+            return sh.run(limit, false, self.progress.as_deref_mut());
         }
         while let Some(next) = self.core.queue.next_time() {
             if next > limit {
                 break;
             }
             self.step();
+            self.tick_progress();
         }
         self.core.now
+    }
+
+    /// Offer the heartbeat a chance to emit. Checked only every
+    /// [`PROGRESS_EVENT_STRIDE`] events so the sequential hot loop
+    /// pays one masked compare per event when a meter is installed.
+    fn tick_progress(&mut self) {
+        if self.progress.is_some()
+            && self.core.stats.events_processed & (PROGRESS_EVENT_STRIDE - 1) == 0
+        {
+            let now_ns = self.core.now.as_nanos();
+            let events = self.core.stats.events_processed;
+            if let Some(p) = self.progress.as_deref_mut() {
+                p.tick(now_ns, events);
+            }
+        }
     }
 
     /// Drain every event strictly before `end_ns`. The conservative

@@ -33,7 +33,9 @@ pub mod intern;
 pub mod lineage;
 mod loghist;
 mod metrics;
+pub mod progress;
 mod report;
+pub mod session;
 pub mod timeseries;
 mod trace;
 
@@ -44,7 +46,12 @@ pub use lineage::{
 };
 pub use loghist::LogHistogram;
 pub use metrics::{Histogram, MetricKey, MetricsRegistry, SCOPE_NS_BUCKETS};
+pub use progress::ProgressMeter;
 pub use report::{CheckReport, FragReport, LinkReport, PlayerReport, PropCheckReport, RunReport};
+pub use session::{
+    BadnessKey, SessionDump, SessionRecorder, SessionRollup, SessionSampler, SessionTotals,
+    DEFAULT_SESSION_SAMPLE_PERMILLE, SESSION_ROLLUP_BYTES,
+};
 pub use timeseries::{
     SeriesData, SeriesDump, SeriesKind, TimeSeriesRecorder, DEFAULT_WINDOW_CAP, DEFAULT_WINDOW_NS,
 };

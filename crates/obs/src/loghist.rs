@@ -285,6 +285,29 @@ mod tests {
     }
 
     #[test]
+    fn quantile_relative_error_is_within_a_sixteenth() {
+        // The helper exists so callers (session tables, reports) never
+        // re-derive bucket math; its contract is ≤1/16 relative error
+        // against the exact order statistic at every scale.
+        for shift in [0u32, 8, 20, 40] {
+            let mut h = LogHistogram::new();
+            let values: Vec<u64> = (1..=5000u64).map(|v| v << shift).collect();
+            for &v in &values {
+                h.observe(v);
+            }
+            for q in [0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 1.0] {
+                let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+                let exact = values[rank - 1] as f64;
+                let approx = h.quantile(q).unwrap() as f64;
+                assert!(
+                    (approx - exact).abs() / exact <= 1.0 / 16.0 + 1e-12,
+                    "q={q} shift={shift}: approx {approx} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn quantiles_walk_the_distribution() {
         let mut h = LogHistogram::new();
         for v in 1..=1000u64 {

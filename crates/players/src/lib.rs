@@ -44,3 +44,12 @@ pub use spawn::{spawn_stream, StreamHandles};
 pub use stats::{AppBatch, AppStatsLog, NetEvent, SecondStats};
 pub use wmp_client::WmpClient;
 pub use wmp_server::WmpServer;
+
+/// Session id the Real stream's rollup is recorded under when a pair
+/// run enables session observability: the servers stamp it on every
+/// outgoing media datagram via `Ctx::session_packetize`. Fixed small
+/// ids (not ports) because the session table is a dense array.
+pub const REAL_SESSION_ID: u32 = 0;
+/// Session id of the MediaPlayer stream's rollup (see
+/// [`REAL_SESSION_ID`]).
+pub const WMP_SESSION_ID: u32 = 1;

@@ -159,6 +159,9 @@ impl RealServer {
             buffering: self.phase == Phase::Burst,
         };
         self.seq += 1;
+        if ctx.sessions_enabled() {
+            ctx.session_packetize(crate::REAL_SESSION_ID, payload_len as u32);
+        }
         if ctx.lineage_enabled() {
             ctx.lineage_packetize(PacketizeMeta {
                 player: turb_media::player_code(PlayerId::RealPlayer),
@@ -198,6 +201,9 @@ impl RealServer {
                 buffering: false,
             };
             self.seq += 1;
+            if ctx.sessions_enabled() {
+                ctx.session_packetize(crate::REAL_SESSION_ID, MEDIA_HEADER_LEN as u32);
+            }
             if ctx.lineage_enabled() {
                 ctx.lineage_packetize(PacketizeMeta {
                     player: turb_media::player_code(PlayerId::RealPlayer),

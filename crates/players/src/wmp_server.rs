@@ -116,6 +116,12 @@ impl WmpServer {
             buffering,
         };
         self.seq += 1;
+        if ctx.sessions_enabled() {
+            ctx.session_packetize(
+                crate::WMP_SESSION_ID,
+                self.unit_bytes.max(MEDIA_HEADER_LEN) as u32,
+            );
+        }
         if ctx.lineage_enabled() {
             ctx.lineage_packetize(PacketizeMeta {
                 player: turb_media::player_code(PlayerId::MediaPlayer),
@@ -141,6 +147,9 @@ impl WmpServer {
                 buffering: false,
             };
             self.seq += 1;
+            if ctx.sessions_enabled() {
+                ctx.session_packetize(crate::WMP_SESSION_ID, MEDIA_HEADER_LEN as u32);
+            }
             if ctx.lineage_enabled() {
                 ctx.lineage_packetize(PacketizeMeta {
                     player: turb_media::player_code(PlayerId::MediaPlayer),

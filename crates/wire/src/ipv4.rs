@@ -76,6 +76,22 @@ pub struct Ipv4Packet {
     /// otherwise. Fragments inherit their parent datagram's span and
     /// the reassembled datagram inherits it back from its template.
     pub lineage: Option<u64>,
+    /// Session tag (host-side only, never on the wire): which observed
+    /// session this datagram belongs to and when it left the sending
+    /// application, stamped by the simulator when session rollups are
+    /// enabled. Propagates across fragmentation/reassembly exactly
+    /// like `lineage`.
+    pub session: Option<SessionTag>,
+}
+
+/// Host-side session annotation carried by [`Ipv4Packet::session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTag {
+    /// Dense session id (the session recorder's table index).
+    pub id: u32,
+    /// Sim time the datagram left the sending application, for
+    /// end-to-end latency at delivery.
+    pub born_ns: u64,
 }
 
 impl Ipv4Packet {
@@ -100,6 +116,7 @@ impl Ipv4Packet {
             dst,
             payload,
             lineage: None,
+            session: None,
         }
     }
 
@@ -254,6 +271,7 @@ impl Ipv4Packet {
             dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
             payload,
             lineage: None,
+            session: None,
         }
     }
 }

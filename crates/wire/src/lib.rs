@@ -38,7 +38,7 @@ pub mod view;
 pub use error::WireError;
 pub use ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 pub use frag::{fragment, Reassembler};
-pub use ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
+pub use ipv4::{IpProtocol, Ipv4Packet, SessionTag, IPV4_HEADER_LEN};
 pub use tcp::{TcpFlags, TcpSegment, TCP_HEADER_LEN};
 pub use udp::{UdpDatagram, UDP_HEADER_LEN};
 pub use view::PacketView;

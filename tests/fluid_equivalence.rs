@@ -103,6 +103,7 @@ fn scale_run(
         seed,
         scenario: scale_scenario(engine, background),
         shards,
+        progress: false,
     })
 }
 

@@ -134,6 +134,7 @@ fn sharded_matches_sequential_on_the_scale_scenario_for_every_seed() {
             seed,
             scenario: scenario.clone(),
             shards: ShardKind::Sequential,
+            progress: false,
         });
         assert!(seq.datagrams > 0);
         for n in [1u16, 2, 4, 8] {
@@ -141,6 +142,7 @@ fn sharded_matches_sequential_on_the_scale_scenario_for_every_seed() {
                 seed,
                 scenario: scenario.clone(),
                 shards: ShardKind::Sharded(n),
+                progress: false,
             });
             assert_eq!(
                 seq.digest, shd.digest,
@@ -197,6 +199,7 @@ fn more_shards_than_nodes_is_rejected_loudly() {
             },
             // 2 groups x (1 client + router + server) = 6 nodes.
             shards: ShardKind::Sharded(500),
+            progress: false,
         })
     });
     let message = match result {
